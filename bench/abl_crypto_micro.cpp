@@ -1,0 +1,110 @@
+// Ablation A5: crypto micro-operations, via google-benchmark.
+// Grounds the Figure 3 macro numbers in per-operation costs.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "crypto/curve.hpp"
+#include "crypto/hash_to_curve.hpp"
+#include "crypto/sha256.hpp"
+
+namespace {
+
+using namespace dfl::crypto;
+
+const Curve& curve_of(int64_t idx) {
+  return idx == 0 ? Curve::secp256k1() : Curve::secp256r1();
+}
+
+U256 random_scalar(dfl::Rng& rng, const Curve& c) {
+  for (;;) {
+    U256 v{rng.next(), rng.next(), rng.next(), rng.next()};
+    if (v < c.order()) return v;
+  }
+}
+
+void BM_FieldMul(benchmark::State& state) {
+  const Curve& c = curve_of(state.range(0));
+  dfl::Rng rng(1);
+  Fe a = c.fp().to_mont(random_scalar(rng, c));
+  const Fe b = c.fp().to_mont(random_scalar(rng, c));
+  for (auto _ : state) {
+    a = c.fp().mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldMul)->Arg(0)->Arg(1);
+
+void BM_FieldInv(benchmark::State& state) {
+  const Curve& c = curve_of(state.range(0));
+  dfl::Rng rng(2);
+  const Fe a = c.fp().to_mont(random_scalar(rng, c));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.fp().inv(a));
+  }
+}
+BENCHMARK(BM_FieldInv)->Arg(0)->Arg(1);
+
+void BM_PointDouble(benchmark::State& state) {
+  const Curve& c = curve_of(state.range(0));
+  JacobianPoint p = c.to_jacobian(c.generator());
+  for (auto _ : state) {
+    p = c.dbl(p);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_PointDouble)->Arg(0)->Arg(1);
+
+void BM_PointAddMixed(benchmark::State& state) {
+  const Curve& c = curve_of(state.range(0));
+  JacobianPoint p = c.dbl(c.to_jacobian(c.generator()));
+  const AffinePoint g = c.generator();
+  for (auto _ : state) {
+    p = c.add_mixed(p, g);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_PointAddMixed)->Arg(0)->Arg(1);
+
+void BM_ScalarMul256(benchmark::State& state) {
+  const Curve& c = curve_of(state.range(0));
+  dfl::Rng rng(3);
+  const U256 k = random_scalar(rng, c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.scalar_mul(c.generator(), k));
+  }
+}
+BENCHMARK(BM_ScalarMul256)->Arg(0)->Arg(1);
+
+void BM_ScalarMulGradientSized(benchmark::State& state) {
+  // 17-bit scalars — the per-element cost behind naive commitments.
+  const Curve& c = curve_of(state.range(0));
+  const U256 k(0x1ffff);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.scalar_mul(c.generator(), k));
+  }
+}
+BENCHMARK(BM_ScalarMulGradientSized)->Arg(0)->Arg(1);
+
+void BM_HashToCurve(benchmark::State& state) {
+  const Curve& c = curve_of(state.range(0));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash_to_curve(c, "bench", i++));
+  }
+}
+BENCHMARK(BM_HashToCurve)->Arg(0)->Arg(1);
+
+void BM_Sha256PerMB(benchmark::State& state) {
+  dfl::Bytes data(1 << 20);
+  dfl::Rng rng(4);
+  rng.fill_bytes(data.data(), data.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_Sha256PerMB);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Ablation A4: directory-service load per round (the Section VI concern
+// "minimize the query load of the directory service"). Sweeps trainers and
+// partitions; reports announcements, polls, and bytes handled per round.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/runner.hpp"
+
+namespace {
+
+using namespace dfl;
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation A4: directory load per round");
+  std::printf("%-10s %-12s %14s %10s %12s %12s %12s\n", "trainers", "partitions",
+              "announcements", "polls", "lookups", "bytes_in", "bytes_out");
+
+  for (const std::size_t trainers : {4u, 8u, 16u, 32u}) {
+    for (const std::size_t partitions : {1u, 4u}) {
+      core::DeploymentConfig cfg;
+      cfg.num_trainers = trainers;
+      cfg.num_partitions = partitions;
+      cfg.partition_elements = 8'192;
+      cfg.num_ipfs_nodes = 4;
+      cfg.train_time = sim::from_seconds(1);
+      core::Deployment d(cfg);
+      (void)d.run_round(0);
+      const auto& s = d.directory().stats();
+      std::printf("%-10zu %-12zu %14llu %10llu %12llu %12llu %12llu\n",
+                  static_cast<std::size_t>(trainers), static_cast<std::size_t>(partitions),
+                  static_cast<unsigned long long>(s.announcements),
+                  static_cast<unsigned long long>(s.polls),
+                  static_cast<unsigned long long>(s.lookups),
+                  static_cast<unsigned long long>(s.bytes_in),
+                  static_cast<unsigned long long>(s.bytes_out));
+    }
+  }
+  bench::print_note("announcements scale with trainers x partitions; polls additionally with");
+  bench::print_note("round duration / poll interval — the load Section VI proposes to shed");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation A1: validate the Section III-E provider-count analysis.
+// The paper derives tau = S*(T/(d*P) + P/b), minimized at P = sqrt(b*T/d).
+// With equal node and aggregator bandwidth (b = d) the optimum is sqrt(T).
+// We sweep T and P, report the measured optimum and the analytical one.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/runner.hpp"
+
+namespace {
+
+using namespace dfl;
+
+double run_delay(std::size_t trainers, std::size_t providers) {
+  core::DeploymentConfig cfg;
+  cfg.num_trainers = trainers;
+  cfg.num_partitions = 1;
+  cfg.partition_elements = 81'250;  // 0.65 MB — half the Fig.1 size, faster sweep
+  cfg.aggs_per_partition = 1;
+  cfg.num_ipfs_nodes = providers;
+  cfg.providers_per_agg = providers;
+  cfg.options.merge_and_download = true;
+  cfg.train_time = sim::from_seconds(1);
+  core::Deployment d(cfg);
+  return d.run_round(0).mean_aggregation_delay_s();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation A1: sqrt(T) provider rule (Section III-E)");
+  for (const std::size_t trainers : {4u, 16u, 64u}) {
+    std::printf("T = %zu trainers\n", static_cast<std::size_t>(trainers));
+    std::printf("  %-10s %20s %22s\n", "providers", "agg_delay_s", "model tau = S(T/dP+P/b)");
+    double best_delay = 1e18;
+    std::size_t best_p = 0;
+    const double size_mbit = 0.65 * 8;
+    for (std::size_t p = 1; p <= trainers; p *= 2) {
+      const double delay = run_delay(trainers, p);
+      const double tau = size_mbit * (static_cast<double>(trainers) / (10.0 * static_cast<double>(p)) +
+                                      static_cast<double>(p) / 10.0);
+      std::printf("  %-10zu %20.2f %22.2f\n", p, delay, tau);
+      if (delay < best_delay) {
+        best_delay = delay;
+        best_p = p;
+      }
+    }
+    std::printf("  measured optimum: P = %zu ; analytical sqrt(T) = %.1f\n\n", best_p,
+                std::sqrt(static_cast<double>(trainers)));
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+#include "bench_util.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dfl::bench {
+
+bool full_sweep_requested() {
+  const char* v = std::getenv("DFL_BENCH_FULL");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+}  // namespace dfl::bench

@@ -1,0 +1,33 @@
+// Shared helpers for the figure-reproduction benches: wall-clock timing and
+// uniform table printing.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace dfl::bench {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("  # %s\n", note.c_str());
+}
+
+/// True when the caller asked for the full (slow) parameter sweep.
+bool full_sweep_requested();
+
+}  // namespace dfl::bench

@@ -1,0 +1,81 @@
+// Figure 1: aggregation delay (top) and gradient-upload delay (bottom) for
+// one FL iteration, vs the number of IPFS providers |P_ij|.
+//
+// Paper setup (Section V, "Impact of merge-and-download"): 16 trainers,
+// partition size 1.3 MB, one aggregator per partition, 10 Mbps links.
+// The top panel also compares indirect-without-merging ("8 (naive)") with
+// the original IPLS direct communication ("8 (direct)").
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/baseline_direct.hpp"
+#include "core/runner.hpp"
+
+namespace {
+
+using namespace dfl;
+
+// 1.3 MB / 8 bytes per fixed-point element.
+constexpr std::size_t kPartitionElements = 162'500;
+constexpr std::size_t kTrainers = 16;
+constexpr double kMbps = 10.0;
+
+core::DeploymentConfig base_config(std::size_t providers, bool merge) {
+  core::DeploymentConfig cfg;
+  cfg.num_trainers = kTrainers;
+  cfg.num_partitions = 1;
+  cfg.partition_elements = kPartitionElements;
+  cfg.aggs_per_partition = 1;
+  cfg.num_ipfs_nodes = providers;
+  cfg.providers_per_agg = providers;
+  cfg.participant_mbps = kMbps;
+  cfg.node_mbps = kMbps;
+  cfg.options.merge_and_download = merge;
+  cfg.train_time = sim::from_seconds(1);
+  cfg.schedule =
+      core::Schedule{sim::from_seconds(600), sim::from_seconds(1200), sim::from_millis(100)};
+  return cfg;
+}
+
+struct Point {
+  double aggregation_delay_s;
+  double upload_delay_s;
+};
+
+Point run_point(std::size_t providers, bool merge) {
+  core::Deployment d(base_config(providers, merge));
+  const core::RoundMetrics m = d.run_round(0);
+  return Point{m.mean_aggregation_delay_s(), m.mean_upload_delay_s()};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 1: merge-and-download, delays vs #providers");
+  bench::print_note("16 trainers, 1.3 MB partition, 1 aggregator, 10 Mbps links");
+  std::printf("%-12s %22s %18s\n", "providers", "aggregation_delay_s", "upload_delay_s");
+
+  for (const std::size_t p : {1u, 2u, 4u, 8u, 16u}) {
+    const Point pt = run_point(p, /*merge=*/true);
+    std::printf("%-12zu %22.2f %18.2f\n", static_cast<std::size_t>(p), pt.aggregation_delay_s,
+                pt.upload_delay_s);
+  }
+
+  // Comparison series of the top panel.
+  const Point naive = run_point(8, /*merge=*/false);
+  std::printf("%-12s %22.2f %18.2f\n", "8 (naive)", naive.aggregation_delay_s,
+              naive.upload_delay_s);
+
+  core::DirectConfig direct_cfg;
+  direct_cfg.num_trainers = kTrainers;
+  direct_cfg.num_partitions = 1;
+  direct_cfg.partition_elements = kPartitionElements;
+  direct_cfg.participant_mbps = kMbps;
+  direct_cfg.train_time = sim::from_seconds(1);
+  const core::DirectRoundResult direct = core::DirectIplsBaseline(direct_cfg).run_round();
+  std::printf("%-12s %22.2f %18s\n", "8 (direct)", direct.aggregation_delay_s, "n/a");
+
+  bench::print_note("expected shape: upload delay falls with providers; aggregation delay is");
+  bench::print_note("U-shaped with the optimum near sqrt(16) = 4 (Section III-E analysis)");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 3: wall-clock time to compute the SHA-256 hash and the Pedersen
+// commitment (secp256k1 and secp256r1) of a trainer's gradients, vs the
+// number of model parameters (log-log in the paper).
+//
+// The Pedersen columns use the naive per-element exponentiation the paper's
+// implementation used ("rather straight-forward", Section V); abl_msm
+// benchmarks the Pippenger optimization the paper cites as future work.
+//
+// Default sweep goes to 1M parameters; set DFL_BENCH_FULL=1 to extend to
+// 10M (the paper's MobileNet/GoogleNet scale — several minutes).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "crypto/encoding.hpp"
+#include "crypto/hash_to_curve.hpp"
+#include "crypto/pedersen.hpp"
+#include "crypto/sha256.hpp"
+
+namespace {
+
+using namespace dfl;
+using crypto::Curve;
+
+std::vector<std::int64_t> gradient_values(std::size_t n) {
+  Rng rng(7);
+  std::vector<std::int64_t> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v.push_back(crypto::encode_fixed(rng.uniform_real(-1.0, 1.0)));
+  }
+  return v;
+}
+
+double time_sha256(const std::vector<std::int64_t>& values) {
+  // Hash the serialized gradient bytes, as IPFS content addressing does.
+  Bytes bytes(values.size() * 8);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const auto u = static_cast<std::uint64_t>(values[i]);
+    for (int k = 0; k < 8; ++k) bytes[i * 8 + static_cast<std::size_t>(k)] =
+        static_cast<std::uint8_t>(u >> (8 * k));
+  }
+  const bench::WallTimer t;
+  const auto digest = crypto::Sha256::hash(bytes);
+  (void)digest;
+  return t.seconds();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 3: SHA-256 vs Pedersen commitment time by model size");
+
+  std::vector<std::size_t> sizes{1'000, 10'000, 100'000, 1'000'000};
+  if (bench::full_sweep_requested()) {
+    sizes.push_back(5'000'000);
+    sizes.push_back(10'000'000);
+  } else {
+    bench::print_note("set DFL_BENCH_FULL=1 for the paper's 5M/10M parameter points");
+  }
+  const std::size_t max_n = sizes.back();
+
+  // Commitment keys are derived once at the largest size; smaller sizes use
+  // a prefix of the same generators (index-consistent derivation).
+  bench::print_note("deriving commitment keys (one-time setup, parallel hash-to-curve)...");
+  bench::WallTimer setup;
+  const crypto::PedersenKey key_k1(Curve::secp256k1(), "fig3", max_n,
+                                   crypto::MsmMode::kNaive);
+  const crypto::PedersenKey key_r1(Curve::secp256r1(), "fig3", max_n,
+                                   crypto::MsmMode::kNaive);
+  std::printf("  key setup: %.1f s for 2 x %zu generators\n", setup.seconds(), max_n);
+
+  std::printf("%-12s %14s %22s %22s\n", "params", "sha256_s", "pedersen_secp256k1_s",
+              "pedersen_secp256r1_s");
+  for (const std::size_t n : sizes) {
+    const auto values = gradient_values(n);
+    const double sha_s = time_sha256(values);
+
+    bench::WallTimer tk1;
+    (void)key_k1.commit(values);
+    const double k1_s = tk1.seconds();
+
+    bench::WallTimer tr1;
+    (void)key_r1.commit(values);
+    const double r1_s = tr1.seconds();
+
+    std::printf("%-12zu %14.4f %22.3f %22.3f\n", n, sha_s, k1_s, r1_s);
+  }
+
+  bench::print_note("expected shape: all linear in size; Pedersen 2-4 orders of magnitude");
+  bench::print_note("slower than SHA-256, quickly becoming the protocol bottleneck");
+  return 0;
+}

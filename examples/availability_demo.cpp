@@ -1,0 +1,52 @@
+// Availability demo (Section VI, "Guarantee availability of gradients in
+// IPFS network"): what happens to a round when a storage node dies, with
+// and without gradient replication.
+//
+//   ./examples/availability_demo
+#include <cstdio>
+
+#include "core/runner.hpp"
+
+namespace {
+
+using namespace dfl;
+
+core::DeploymentConfig scenario(std::size_t gradient_replicas) {
+  core::DeploymentConfig cfg;
+  cfg.num_trainers = 8;
+  cfg.num_partitions = 2;
+  cfg.partition_elements = 2048;
+  cfg.num_ipfs_nodes = 4;
+  cfg.providers_per_agg = 4;
+  cfg.options.gradient_replicas = gradient_replicas;
+  cfg.options.update_replicas = 2;
+  cfg.train_time = sim::from_millis(300);
+  cfg.schedule = core::Schedule{sim::from_seconds(20), sim::from_seconds(45),
+                                sim::from_millis(50)};
+  return cfg;
+}
+
+void run_case(const char* label, std::size_t replicas, bool kill_node) {
+  core::Deployment d(scenario(replicas));
+  if (kill_node) d.swarm().node(0).host().set_up(false);
+  const core::RoundMetrics m = d.run_round(0);
+  std::uint64_t aggregated = 0;
+  for (const auto& a : m.aggregators) aggregated += a.gradients_aggregated;
+  std::printf("%-38s gradients aggregated: %2llu/16, update published: %s\n", label,
+              static_cast<unsigned long long>(aggregated),
+              d.last_global_update().empty() ? "NO" : "yes");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("8 trainers x 2 partitions over 4 storage nodes; node 0 may be down\n\n");
+  run_case("healthy swarm, 1 copy per gradient:", 1, false);
+  run_case("node 0 down, 1 copy per gradient:", 1, true);
+  run_case("node 0 down, 2 copies per gradient:", 2, true);
+  std::printf(
+      "\nwith a single copy, gradients routed to the dead node are lost and the\n"
+      "round degrades; with one extra replica (Section VI's suggestion) trainers\n"
+      "fail over and the round aggregates everything\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Convergence equivalence (Section V, "Convergence and Accuracy"): the
+// decentralized protocol computes exactly the same per-round average as a
+// centralized FL server, so the learning trajectories coincide. We train a
+// real softmax classifier on a synthetic non-IID federated split both ways
+// and print the two accuracy curves side by side.
+//
+//   ./examples/convergence_demo
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "core/baseline_central.hpp"
+#include "core/runner.hpp"
+#include "ml/federated.hpp"
+
+int main() {
+  using namespace dfl;
+
+  // Data: 3-class blobs, split label-skewed (non-IID) across 6 trainers.
+  Rng data_rng(2024);
+  const ml::Dataset train_data = ml::make_gaussian_blobs(data_rng, 1200, 4, 3, 3.0);
+  const ml::Dataset test_data = ml::make_gaussian_blobs(data_rng, 600, 4, 3, 3.0);
+  const auto shards = ml::split_label_skew(train_data, 6, 1.0, data_rng);
+
+  const auto make_source = [&] {
+    Rng model_rng(7);
+    auto model = std::make_unique<ml::LogisticRegression>(4, 3, model_rng);
+    return std::make_unique<core::MlGradientSource>(std::move(model), shards,
+                                                    /*learning_rate=*/0.5,
+                                                    sim::from_millis(200));
+  };
+
+  auto central_source = std::shared_ptr<core::MlGradientSource>(make_source().release());
+  core::CentralConfig ccfg;
+  ccfg.num_trainers = 6;
+  ccfg.num_params = central_source->model().num_params();
+  core::CentralizedFl central(ccfg, central_source);
+
+  auto dec_source = make_source();
+  auto* dec_model_view = dec_source.get();
+  core::DeploymentConfig dcfg;
+  dcfg.num_trainers = 6;
+  dcfg.num_partitions = 3;
+  dcfg.partition_elements = central_source->model().num_params() / 3;
+  dcfg.num_ipfs_nodes = 3;
+  dcfg.train_time = sim::from_millis(200);
+  core::Deployment decentralized(dcfg, std::move(dec_source));
+
+  std::printf("%zu-param softmax model, 6 non-IID trainers, 3 partitions\n\n",
+              central_source->model().num_params());
+  std::printf("%-8s %22s %24s %12s\n", "round", "centralized_accuracy", "decentralized_accuracy",
+              "max|dw|");
+
+  for (std::uint32_t round = 0; round < 15; ++round) {
+    (void)central.run_round(round);
+    (void)decentralized.run_round(round);
+    const auto& wc = central_source->model().params();
+    const auto& wd = dec_model_view->model().params();
+    double max_dw = 0;
+    for (std::size_t i = 0; i < wc.size(); ++i) {
+      max_dw = std::max(max_dw, std::abs(wc[i] - wd[i]));
+    }
+    std::printf("%-8u %22.3f %24.3f %12.2e\n", round,
+                central_source->model().accuracy(test_data),
+                dec_model_view->model().accuracy(test_data), max_dw);
+  }
+
+  std::printf("\nthe trajectories coincide (parameter gap at float precision): the\n");
+  std::printf("decentralized deployment inherits centralized FL convergence exactly\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Quickstart: the smallest end-to-end decentralized FL deployment.
+//
+// 8 trainers train a model whose parameter vector is split into 2
+// partitions; 2 aggregators (one per partition) aggregate the gradient
+// partitions through a 4-node decentralized storage network, coordinated
+// by the bootstrapper's directory service.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "core/runner.hpp"
+
+int main() {
+  using namespace dfl;
+
+  core::DeploymentConfig cfg;
+  cfg.num_trainers = 8;
+  cfg.num_partitions = 2;
+  cfg.partition_elements = 16 * 1024;  // ~128 KB per partition on the wire
+  cfg.aggs_per_partition = 1;
+  cfg.num_ipfs_nodes = 4;
+  cfg.participant_mbps = 10.0;
+  cfg.train_time = sim::from_millis(500);
+
+  core::Deployment deployment(cfg);
+
+  std::printf("decentralized FL: %zu trainers, %zu partitions, %zu storage nodes\n\n",
+              cfg.num_trainers, cfg.num_partitions, cfg.num_ipfs_nodes);
+  std::printf("%-8s %18s %20s %16s\n", "round", "upload_delay_s", "aggregation_delay_s",
+              "round_time_s");
+
+  for (std::uint32_t round = 0; round < 3; ++round) {
+    const core::RoundMetrics m = deployment.run_round(round);
+    std::printf("%-8u %18.2f %20.2f %16.2f\n", round, m.mean_upload_delay_s(),
+                m.mean_aggregation_delay_s(),
+                sim::to_seconds(m.round_done - m.round_start));
+    if (deployment.last_global_update().empty()) {
+      std::printf("round %u failed!\n", round);
+      return 1;
+    }
+  }
+
+  std::printf("\nall rounds aggregated exactly; directory handled %llu announcements\n",
+              static_cast<unsigned long long>(deployment.directory().stats().announcements));
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Verifiable aggregation demo (Section IV): a malicious aggregator drops a
+// trainer's gradient. Without commitments the poisoned model propagates
+// silently; with Pedersen commitments the directory rejects the bogus
+// update, and with multiple aggregators per partition an honest peer
+// detects the bad partial and covers for the victimized trainers.
+//
+//   ./examples/verifiable_training
+#include <cmath>
+#include <algorithm>
+#include <cstdio>
+
+#include "core/runner.hpp"
+#include "crypto/encoding.hpp"
+
+namespace {
+
+using namespace dfl;
+
+core::DeploymentConfig scenario(bool verifiable, std::size_t aggs_per_partition) {
+  core::DeploymentConfig cfg;
+  cfg.num_trainers = 6;
+  cfg.num_partitions = 1;
+  cfg.partition_elements = 1024;
+  cfg.aggs_per_partition = aggs_per_partition;
+  cfg.num_ipfs_nodes = 3;
+  cfg.options.verifiable = verifiable;
+  cfg.train_time = sim::from_millis(300);
+  cfg.behaviors[0] = core::AggBehavior::kDropsGradients;  // aggregator 0 cheats
+  return cfg;
+}
+
+double max_error_vs_honest(core::Deployment& d) {
+  // Recompute the honest average and compare.
+  const auto& cfg = d.config();
+  const std::size_t n = cfg.partition_elements * cfg.num_partitions;
+  std::vector<double> honest(n, 0.0);
+  for (std::uint32_t t = 0; t < cfg.num_trainers; ++t) {
+    const auto g = d.source().gradient(t, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      honest[i] += crypto::decode_fixed(g[i], cfg.options.frac_bits);
+    }
+  }
+  for (double& v : honest) v /= static_cast<double>(cfg.num_trainers);
+  const auto& got = d.last_global_update();
+  if (got.empty()) return -1;  // round failed (update rejected)
+  double mx = 0;
+  for (std::size_t i = 0; i < n; ++i) mx = std::max(mx, std::abs(got[i] - honest[i]));
+  return mx;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dfl;
+
+  std::printf("scenario: 6 trainers, 1 partition; aggregator 0 DROPS one gradient\n\n");
+
+  {
+    std::printf("[1] plain protocol (no verifiability), single aggregator\n");
+    core::Deployment d(scenario(false, 1));
+    (void)d.run_round(0);
+    std::printf("    round completed; max deviation from honest average: %.4f\n",
+                max_error_vs_honest(d));
+    std::printf("    -> the poisoned update went UNDETECTED\n\n");
+  }
+
+  {
+    std::printf("[2] verifiable protocol, single aggregator\n");
+    core::Deployment d(scenario(true, 1));
+    const core::RoundMetrics m = d.run_round(0);
+    std::printf("    directory verifications failed: %llu; update registered: %s\n",
+                static_cast<unsigned long long>(d.directory().stats().verifications_failed),
+                d.last_global_update().empty() ? "NO (rejected)" : "yes");
+    std::printf("    trainers with missing update: %zu/%zu (round aborted, model unharmed)\n\n",
+                static_cast<std::size_t>(
+                    std::count_if(m.trainers.begin(), m.trainers.end(),
+                                  [](const auto& t) { return t.update_missing; })),
+                m.trainers.size());
+  }
+
+  {
+    std::printf("[3] verifiable protocol, TWO aggregators per partition\n");
+    core::Deployment d(scenario(true, 2));
+    const core::RoundMetrics m = d.run_round(0);
+    const double err = max_error_vs_honest(d);
+    std::printf("    bad partial rejected by peer: %s; peer covered for it: %s\n",
+                m.rejected_updates > 0 ? "yes" : "no",
+                m.aggregators[1].covered_for_peer || m.aggregators[0].covered_for_peer ? "yes"
+                                                                                       : "no");
+    std::printf("    final update deviation from honest average: %.2e\n", err);
+    std::printf("    -> attack detected AND the round still completed correctly\n");
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Byte-buffer utilities shared across the project: the canonical `Bytes`
+// type, hex encoding/decoding, and small conversion helpers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dfl {
+
+/// Canonical owned byte buffer used throughout the library.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning view over bytes (read-only).
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encodes `data` as a lowercase hex string ("deadbeef").
+std::string to_hex(BytesView data);
+
+/// Decodes a hex string (with or without "0x" prefix, case-insensitive).
+/// Throws std::invalid_argument on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Builds a Bytes buffer from a string's raw characters.
+Bytes bytes_of(std::string_view s);
+
+/// Constant-time equality check for secret-adjacent comparisons.
+bool equal_constant_time(BytesView a, BytesView b);
+
+}  // namespace dfl

@@ -1,0 +1,53 @@
+// Tiny leveled logger. Defaults to WARN so tests and benches stay quiet;
+// examples raise the level to narrate protocol progress.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dfl {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one formatted line to stderr (thread-safe enough for our use:
+/// the simulator is single-threaded, benches log rarely).
+void log_line(LogLevel level, const std::string& component, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { log_line(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define DFL_LOG(level, component)                    \
+  if (::dfl::log_level() > (level)) {                \
+  } else                                             \
+    ::dfl::detail::LogStream((level), (component))
+
+#define DFL_TRACE(component) DFL_LOG(::dfl::LogLevel::kTrace, component)
+#define DFL_DEBUG(component) DFL_LOG(::dfl::LogLevel::kDebug, component)
+#define DFL_INFO(component) DFL_LOG(::dfl::LogLevel::kInfo, component)
+#define DFL_WARN(component) DFL_LOG(::dfl::LogLevel::kWarn, component)
+#define DFL_ERROR(component) DFL_LOG(::dfl::LogLevel::kError, component)
+
+}  // namespace dfl

@@ -1,0 +1,5 @@
+#include "common/serde.hpp"
+
+// Header-only implementation; this TU exists to give the library a
+// compiled anchor and to catch ODR/compile problems early.
+namespace dfl {}

@@ -1,0 +1,127 @@
+// Minimal binary serialization: little-endian fixed-width integers, doubles,
+// length-prefixed strings/byte blobs and vectors. Used for everything that
+// travels over the simulated network or is hashed into a CID.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace dfl {
+
+/// Appends primitive values to a growing byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+
+  template <typename T>
+    requires std::is_integral_v<T>
+  void put(T value) {
+    auto u = static_cast<std::make_unsigned_t<T>>(value);
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(u >> (8 * i)));
+    }
+  }
+
+  void put_double(double value) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    put<std::uint64_t>(bits);
+  }
+
+  void put_bytes(BytesView data) {
+    put<std::uint32_t>(static_cast<std::uint32_t>(data.size()));
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  void put_string(std::string_view s) {
+    put<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Appends raw bytes with no length prefix.
+  void put_raw(BytesView data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
+
+  void put_doubles(const std::vector<double>& v) {
+    put<std::uint32_t>(static_cast<std::uint32_t>(v.size()));
+    for (double d : v) put_double(d);
+  }
+
+  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads primitive values back; throws std::out_of_range on truncation.
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  template <typename T>
+    requires std::is_integral_v<T>
+  T get() {
+    need(sizeof(T));
+    std::make_unsigned_t<T> u = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      u |= static_cast<std::make_unsigned_t<T>>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return static_cast<T>(u);
+  }
+
+  double get_double() {
+    const std::uint64_t bits = get<std::uint64_t>();
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+  Bytes get_bytes() {
+    const auto n = get<std::uint32_t>();
+    need(n);
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  std::string get_string() {
+    const auto n = get<std::uint32_t>();
+    need(n);
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  std::vector<double> get_doubles() {
+    const auto n = get<std::uint32_t>();
+    std::vector<double> out;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) out.push_back(get_double());
+    return out;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw std::out_of_range("Reader: truncated buffer");
+    }
+  }
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dfl

@@ -1,0 +1,34 @@
+// Running summary statistics and percentile helpers used by the benchmark
+// harnesses and by protocol metrics collection.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dfl {
+
+/// Accumulates samples; computes mean/variance online (Welford) and keeps
+/// the raw samples so percentiles can be queried afterwards.
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace dfl

@@ -1,0 +1,397 @@
+#include "core/aggregator.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/log.hpp"
+#include "common/serde.hpp"
+
+namespace dfl::core {
+
+namespace {
+
+/// Zero payload of the right shape (used when nothing was gathered).
+Payload zero_payload(std::size_t elements) {
+  Payload p;
+  p.values.assign(elements + 1, 0);
+  return p;
+}
+
+Bytes encode_sync_message(std::uint32_t agg_id, const ipfs::Cid& cid) {
+  Writer w;
+  w.put<std::uint32_t>(agg_id);
+  w.put_raw(BytesView(cid.digest().data(), cid.digest().size()));
+  return w.take();
+}
+
+std::pair<std::uint32_t, ipfs::Cid> decode_sync_message(BytesView msg) {
+  Reader r(msg);
+  const auto agg_id = r.get<std::uint32_t>();
+  Bytes digest(32);
+  for (auto& b : digest) b = r.get<std::uint8_t>();
+  return {agg_id, ipfs::Cid::from_digest(digest)};
+}
+
+}  // namespace
+
+std::string Aggregator::sync_topic(std::uint32_t iter) const {
+  return "sync/" + std::to_string(partition_) + "/" + std::to_string(iter);
+}
+
+sim::Task<void> Aggregator::run_round(std::uint32_t iter, sim::TimeNs round_start,
+                                      RoundMetrics& metrics) {
+  co_await ctx_.sim.sleep_until(round_start);
+  if (behavior_ == AggBehavior::kOffline) {
+    co_return;  // never shows up this round; peers must cover
+  }
+  AggregatorRecord& rec = metrics.aggregators.at(global_id_);
+  rec.partition = partition_;
+
+  const PartitionAssignment& pa = ctx_.spec.assignment(partition_);
+  const bool multi = pa.aggregators.size() > 1;
+  // Subscribe before gathering so no sync announcement can be missed.
+  if (multi) {
+    (void)ctx_.pubsub.subscribe(sync_topic(iter), host_);
+  }
+
+  const sim::TimeNs t_train_abs = round_start + ctx_.spec.schedule.t_train;
+  const sim::TimeNs t_sync_abs = round_start + ctx_.spec.schedule.t_sync;
+  const sim::TimeNs gather_deadline = t_train_abs + (t_sync_abs - t_train_abs) / 4;
+
+  // A malicious "dropping" aggregator simply never requests one of its
+  // trainers' gradients.
+  std::vector<std::uint32_t> wanted = pa.trainers.at(slot_);
+  if (behavior_ == AggBehavior::kDropsGradients && !wanted.empty()) {
+    wanted.erase(wanted.begin());
+  }
+
+  GatherResult g = co_await gather(iter, wanted, gather_deadline, rec);
+  Payload partial =
+      g.sum ? std::move(*g.sum) : zero_payload(ctx_.spec.partition_size(partition_));
+  corrupt(partial, wanted, iter);
+  rec.gather_done_at = ctx_.sim.now();
+  rec.gradients_aggregated = g.received.size();
+
+  std::optional<Payload> global;
+  if (multi) {
+    global = co_await synchronize(iter, round_start, std::move(partial), metrics, rec);
+    rec.sync_done_at = ctx_.sim.now();
+  } else {
+    global = std::move(partial);
+    rec.sync_done_at = rec.gather_done_at;
+  }
+  if (!global) co_return;
+  // Nothing aggregated this round (e.g. every trainer offline): there is
+  // no meaningful update to publish.
+  if (global->weight() <= 0) {
+    DFL_WARN("aggregator") << "a" << global_id_ << " has no contributions for partition "
+                           << partition_ << "; not publishing";
+    co_return;
+  }
+
+  // Only the first aggregator to register the (verified) global update
+  // writes back; later slots back off progressively so the common case has
+  // exactly one writer, while a failed writer is still covered.
+  if (multi) {
+    co_await ctx_.sim.sleep(static_cast<sim::TimeNs>(slot_) * sim::from_seconds(2));
+    const auto existing = co_await ctx_.dir.poll(host_, partition_, iter,
+                                                 directory::EntryType::kGlobalUpdate);
+    if (!existing.empty()) co_return;
+  }
+  const bool ok =
+      co_await upload_and_announce(iter, *global, directory::EntryType::kGlobalUpdate, nullptr);
+  if (ok) {
+    rec.global_written_at = ctx_.sim.now();
+  } else {
+    rec.rejected_by_directory = true;
+    ++metrics.rejected_updates;
+  }
+}
+
+sim::Task<Aggregator::GatherResult> Aggregator::gather(
+    std::uint32_t iter, const std::vector<std::uint32_t>& trainers, sim::TimeNs deadline,
+    AggregatorRecord& rec) {
+  GatherResult g;
+  const std::set<std::uint32_t> expected(trainers.begin(), trainers.end());
+  if (expected.empty()) co_return g;
+
+  const bool merge_mode = ctx_.spec.options.merge_and_download;
+
+  // provider node -> expected trainers stored there (deterministic rule).
+  std::map<std::uint32_t, std::set<std::uint32_t>> groups;
+  for (const std::uint32_t t : trainers) {
+    groups[ctx_.spec.provider_for(partition_, t)].insert(t);
+  }
+  std::map<std::uint32_t, std::vector<std::pair<std::uint32_t, ipfs::Cid>>> ready;
+  std::set<std::uint32_t> seen;
+  std::set<std::uint32_t> merged_providers;
+
+  // Individual-gradient commitments, fetched lazily once (verifiable merge).
+  std::optional<std::map<std::uint32_t, crypto::Commitment>> grad_commitments;
+
+  auto absorb = [&](const Payload& p, const std::set<std::uint32_t>& from) {
+    g.sum = g.sum ? Payload::add(*g.sum, p) : p;
+    g.received.insert(from.begin(), from.end());
+  };
+
+  auto merge_group = [&](std::uint32_t provider_id)
+      -> sim::Task<void> {
+    auto& list = ready[provider_id];
+    if (list.empty()) co_return;
+    std::vector<ipfs::Cid> cids;
+    std::set<std::uint32_t> from;
+    for (const auto& [t, cid] : list) {
+      cids.push_back(cid);
+      from.insert(t);
+    }
+    ipfs::IpfsNode& node = ctx_.swarm.node(provider_id);
+    Bytes merged;
+    bool merge_failed = false;
+    try {
+      merged = co_await node.merge_get(host_, cids, ctx_.merger);
+    } catch (const std::exception& e) {
+      // Provider down or block missing: fall back to fetching each gradient
+      // through the routing layer (replicas on other nodes still serve it).
+      DFL_WARN("aggregator") << "a" << global_id_ << " merge at node " << provider_id
+                             << " failed (" << e.what() << "); fetching individually";
+      merge_failed = true;
+    }
+    if (merge_failed) {
+      for (const auto& [t, cid] : list) {
+        bool fetched = false;
+        Bytes data;
+        try {
+          data = co_await ctx_.swarm.fetch(host_, cid);
+          fetched = true;
+        } catch (const std::exception&) {
+          DFL_WARN("aggregator") << "a" << global_id_ << " gradient of t" << t
+                                 << " unavailable on every replica";
+        }
+        if (fetched) {
+          rec.bytes_received += data.size();
+          absorb(Payload::deserialize(data), {t});
+        }
+      }
+      list.clear();
+      merged_providers.insert(provider_id);
+      co_return;
+    }
+    ++rec.merge_requests;
+    rec.bytes_received += merged.size();
+    Payload payload = Payload::deserialize(merged);
+
+    bool accept = true;
+    if (ctx_.spec.options.verifiable) {
+      // Check the pre-aggregation against the product of the commitments
+      // of the gradients it claims to contain (Section IV-B, last ¶).
+      if (!grad_commitments) {
+        grad_commitments.emplace();
+        const auto list2 = co_await ctx_.dir.gradient_commitments(host_, partition_, iter);
+        for (const auto& [t, c] : list2) grad_commitments->emplace(t, c);
+      }
+      std::vector<crypto::Commitment> parts;
+      for (const std::uint32_t t : from) {
+        const auto it = grad_commitments->find(t);
+        if (it == grad_commitments->end()) {
+          accept = false;
+          break;
+        }
+        parts.push_back(it->second);
+      }
+      co_await ctx_.sim.sleep(ctx_.commit_cost(payload.values.size()));
+      accept = accept && ctx_.key->verify(ctx_.key->add_all(parts), payload.values);
+      if (!accept) {
+        DFL_WARN("aggregator") << "a" << global_id_
+                               << " merge result failed verification; falling back to "
+                                  "individual downloads from node "
+                               << provider_id;
+        // Un-merged fallback: fetch each gradient directly.
+        for (const auto& [t, cid] : list) {
+          const Bytes data = co_await ctx_.swarm.fetch(host_, cid);
+          rec.bytes_received += data.size();
+          absorb(Payload::deserialize(data), {t});
+        }
+      }
+    }
+    if (accept) absorb(payload, from);
+    list.clear();
+    merged_providers.insert(provider_id);
+  };
+
+  for (;;) {
+    const auto entries =
+        co_await ctx_.dir.poll(host_, partition_, iter, directory::EntryType::kGradient);
+    for (const auto& e : entries) {
+      if (!expected.contains(e.uploader_id) || seen.contains(e.uploader_id)) continue;
+      seen.insert(e.uploader_id);
+      if (merge_mode) {
+        ready[ctx_.spec.provider_for(partition_, e.uploader_id)].emplace_back(e.uploader_id,
+                                                                              e.cid);
+      } else {
+        // Plain path: download each gradient as it appears.
+        bool fetched = false;
+        Bytes data;
+        try {
+          data = co_await ctx_.swarm.fetch(host_, e.cid);
+          fetched = true;
+        } catch (const std::exception& ex) {
+          DFL_WARN("aggregator") << "a" << global_id_ << " failed to fetch gradient of t"
+                                 << e.uploader_id << ": " << ex.what();
+        }
+        if (fetched) {
+          rec.bytes_received += data.size();
+          absorb(Payload::deserialize(data), {e.uploader_id});
+        }
+      }
+    }
+    if (merge_mode) {
+      // Merge a provider's batch as soon as all its trainers have announced.
+      for (auto& [prov, group] : groups) {
+        if (merged_providers.contains(prov)) continue;
+        if (ready[prov].size() == group.size()) {
+          co_await merge_group(prov);
+        }
+      }
+    }
+    if (g.received.size() == expected.size()) break;
+    if (ctx_.sim.now() > deadline) {
+      if (merge_mode) {
+        // Deadline: merge whatever partial groups are available.
+        for (auto& [prov, list] : ready) {
+          if (!merged_providers.contains(prov) && !list.empty()) {
+            co_await merge_group(prov);
+          }
+        }
+      }
+      break;
+    }
+    co_await ctx_.sim.sleep(ctx_.spec.schedule.poll_interval);
+  }
+  co_return g;
+}
+
+sim::Task<std::optional<Payload>> Aggregator::synchronize(std::uint32_t iter,
+                                                          sim::TimeNs round_start,
+                                                          Payload own_partial,
+                                                          RoundMetrics& metrics,
+                                                          AggregatorRecord& rec) {
+  const PartitionAssignment& pa = ctx_.spec.assignment(partition_);
+  const sim::TimeNs t_sync_abs = round_start + ctx_.spec.schedule.t_sync;
+  auto& mailbox = ctx_.pubsub.subscribe(sync_topic(iter), host_);
+
+  // Upload own partial, register it, and announce the hash over pub/sub.
+  ipfs::Cid own_cid;
+  (void)co_await upload_and_announce(iter, own_partial, directory::EntryType::kPartialUpdate,
+                                     &own_cid);
+  co_await ctx_.pubsub.publish(host_, sync_topic(iter), encode_sync_message(global_id_, own_cid));
+
+  std::map<std::uint32_t, Payload> partials;  // by aggregator global id
+  partials.emplace(global_id_, std::move(own_partial));
+
+  while (partials.size() < pa.aggregators.size() && ctx_.sim.now() < t_sync_abs) {
+    if (mailbox.empty()) {
+      co_await ctx_.sim.sleep(ctx_.spec.schedule.poll_interval);
+      continue;
+    }
+    const Bytes msg = co_await mailbox.receive();
+    const auto [peer_id, cid] = decode_sync_message(msg);
+    if (partials.contains(peer_id)) continue;
+    Bytes data;
+    try {
+      data = co_await ctx_.swarm.fetch(host_, cid);
+    } catch (const std::exception& e) {
+      DFL_WARN("aggregator") << "a" << global_id_ << " failed to fetch partial of a" << peer_id
+                             << ": " << e.what();
+      continue;
+    }
+    rec.bytes_received += data.size();
+    Payload payload = Payload::deserialize(data);
+    if (ctx_.spec.options.verifiable) {
+      // A partial must open the accumulated commitment of that peer's T_ij.
+      const crypto::Commitment acc =
+          co_await ctx_.dir.aggregator_commitment(host_, partition_, peer_id, iter);
+      co_await ctx_.sim.sleep(ctx_.commit_cost(payload.values.size()));
+      if (!ctx_.key->verify(acc, payload.values)) {
+        ++metrics.rejected_updates;
+        DFL_WARN("aggregator") << "a" << global_id_ << " REJECTED partial from a" << peer_id
+                               << " (commitment mismatch)";
+        continue;  // treat as missing; covered below if we are responsible
+      }
+    }
+    partials.emplace(peer_id, std::move(payload));
+  }
+
+  // Cover for peers whose (valid) partial never arrived: the live
+  // aggregator with the smallest id among contributors downloads the
+  // missing trainers' gradients itself.
+  if (partials.size() < pa.aggregators.size()) {
+    const std::uint32_t coverer = partials.begin()->first;  // smallest id present
+    if (coverer == global_id_) {
+      for (std::size_t j = 0; j < pa.aggregators.size(); ++j) {
+        const std::uint32_t peer = pa.aggregators[j];
+        if (partials.contains(peer)) continue;
+        DFL_INFO("aggregator") << "a" << global_id_ << " covering for a" << peer;
+        rec.covered_for_peer = true;
+        GatherResult g = co_await gather(iter, pa.trainers[j], t_sync_abs, rec);
+        if (g.sum) partials.emplace(peer, std::move(*g.sum));
+      }
+    } else {
+      // Give the coverer time; poll the directory for its replacement
+      // partial registrations is out of scope — the coverer folds the
+      // recovered gradients into the global update itself.
+      co_return std::nullopt;
+    }
+  }
+
+  Payload global = zero_payload(ctx_.spec.partition_size(partition_));
+  for (auto& [id, p] : partials) global = Payload::add(global, p);
+  co_return global;
+}
+
+sim::Task<bool> Aggregator::upload_and_announce(std::uint32_t iter, const Payload& payload,
+                                                directory::EntryType type,
+                                                ipfs::Cid* out_cid) {
+  const PartitionAssignment& pa = ctx_.spec.assignment(partition_);
+  // Spread update uploads across this aggregator's provider set so partial
+  // exchange in the sync phase doesn't funnel through one storage node.
+  // Dead providers are skipped (failover to the next in the set).
+  const auto& provs = pa.providers.at(slot_);
+  const Bytes data = payload.serialize();
+  const std::size_t want_copies =
+      type == directory::EntryType::kGlobalUpdate
+          ? std::min(ctx_.spec.options.update_replicas, provs.size())
+          : 1;  // partial updates are fetched a few times only
+  ipfs::Cid cid;
+  std::size_t copies = 0;
+  for (std::size_t k = 0; k < provs.size() && copies < want_copies; ++k) {
+    const std::uint32_t node_id = provs[(global_id_ + k) % provs.size()];
+    bool ok = false;
+    try {
+      const ipfs::Cid got = co_await ctx_.swarm.node(node_id).put(host_, data);
+      cid = got;
+      ok = true;
+    } catch (const std::exception& e) {
+      DFL_WARN("aggregator") << "a" << global_id_ << " update upload to node " << node_id
+                             << " failed: " << e.what();
+    }
+    if (ok) ++copies;
+  }
+  if (copies == 0) {
+    DFL_WARN("aggregator") << "a" << global_id_ << " could not store its update anywhere";
+    co_return false;
+  }
+  if (out_cid != nullptr) *out_cid = cid;
+  const directory::Addr addr{global_id_, partition_, iter, type};
+  co_return co_await ctx_.dir.announce(host_, addr, cid);
+}
+
+void Aggregator::corrupt(Payload& partial, const std::vector<std::uint32_t>& /*trainers*/,
+                         std::uint32_t iter) {
+  if (behavior_ == AggBehavior::kAltersGradients && !partial.values.empty()) {
+    // Poison a few elements deterministically (reproducible attacks).
+    partial.values[0] += 1 << 20;
+    partial.values[partial.values.size() / 2] -= static_cast<std::int64_t>(iter + 1) << 16;
+  }
+}
+
+}  // namespace dfl::core

@@ -1,0 +1,84 @@
+#include "core/baseline_central.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/payload.hpp"
+#include "crypto/encoding.hpp"
+
+namespace dfl::core {
+
+CentralizedFl::CentralizedFl(CentralConfig config, std::shared_ptr<GradientSource> source)
+    : config_(config), source_(std::move(source)) {
+  if (source_ == nullptr) {
+    source_ = std::make_shared<SyntheticGradientSource>(config_.num_params,
+                                                        config_.train_time);
+  }
+  sim_ = std::make_unique<sim::Simulator>();
+  net_ = std::make_unique<sim::Network>(*sim_);
+  const sim::HostConfig link{config_.participant_mbps * 1e6, config_.participant_mbps * 1e6,
+                             config_.link_latency};
+  for (std::size_t t = 0; t < config_.num_trainers; ++t) {
+    trainers_.push_back(&net_->add_host("t" + std::to_string(t), link));
+  }
+  server_ = &net_->add_host("server", sim::HostConfig{config_.server_mbps * 1e6,
+                                                      config_.server_mbps * 1e6,
+                                                      config_.link_latency});
+}
+
+CentralizedFl::~CentralizedFl() = default;
+
+CentralRoundResult CentralizedFl::run_round(std::uint32_t iter) {
+  const std::uint64_t grad_bytes = Payload::wire_size(config_.num_params + 1);
+  CentralRoundResult result;
+
+  struct State {
+    sim::TimeNs first_send = -1;
+    sim::TimeNs gather_done = -1;
+    sim::TimeNs round_done = -1;
+    std::size_t arrived = 0;
+    std::vector<std::int64_t> sum;
+    std::int64_t weight = 0;
+  } st;
+  st.sum.assign(config_.num_params, 0);
+
+  auto trainer_proc = [this, &st, grad_bytes, iter](std::size_t t) -> sim::Task<void> {
+    const auto grad = source_->gradient(static_cast<std::uint32_t>(t), iter);
+    co_await sim_->sleep(source_->train_time(static_cast<std::uint32_t>(t), iter));
+    if (st.first_send < 0) st.first_send = sim_->now();
+    co_await net_->transfer(*trainers_[t], *server_, grad_bytes);
+    for (std::size_t i = 0; i < st.sum.size(); ++i) st.sum[i] += grad[i];
+    st.weight += 1;
+    if (++st.arrived == config_.num_trainers) st.gather_done = sim_->now();
+  };
+  for (std::size_t t = 0; t < config_.num_trainers; ++t) sim_->spawn(trainer_proc(t));
+  sim_->run();
+  if (st.gather_done < 0) {
+    throw std::logic_error("CentralizedFl: gather never completed");
+  }
+
+  // Server pushes the averaged update back to every trainer.
+  auto broadcast = [this, &st, grad_bytes]() -> sim::Task<void> {
+    for (sim::Host* t : trainers_) {
+      co_await net_->transfer(*server_, *t, grad_bytes);
+    }
+    st.round_done = sim_->now();
+  };
+  sim_->spawn(broadcast());
+  sim_->run();
+
+  // Semantics: identical averaging rule as the decentralized protocol.
+  std::vector<double> avg(st.sum.size());
+  for (std::size_t i = 0; i < avg.size(); ++i) {
+    avg[i] = crypto::decode_fixed(st.sum[i], config_.frac_bits) /
+             static_cast<double>(st.weight);
+  }
+  source_->apply_global_update(avg, iter);
+
+  result.aggregation_delay_s = sim::to_seconds(st.gather_done - st.first_send);
+  result.round_time_s = sim::to_seconds(st.round_done - st.first_send);
+  result.server_bytes_received = config_.num_trainers * grad_bytes;
+  return result;
+}
+
+}  // namespace dfl::core

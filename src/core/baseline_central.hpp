@@ -1,0 +1,55 @@
+// Centralized federated learning baseline: a single aggregation server.
+// Used (a) as the convergence reference — the paper argues the
+// decentralized protocol computes the exact same averages, and (b) as a
+// delay comparison point with one server link doing all the work.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/gradient_source.hpp"
+#include "sim/net.hpp"
+
+namespace dfl::core {
+
+struct CentralConfig {
+  std::size_t num_trainers = 16;
+  std::size_t num_params = 16 * 1024;
+  double participant_mbps = 10.0;
+  double server_mbps = 10.0;
+  sim::TimeNs link_latency = sim::from_millis(5);
+  sim::TimeNs train_time = sim::from_seconds(1);
+  int frac_bits = 16;
+};
+
+struct CentralRoundResult {
+  /// First gradient send start -> all gradients at the server.
+  double aggregation_delay_s = 0;
+  /// Until every trainer holds the updated model.
+  double round_time_s = 0;
+  std::uint64_t server_bytes_received = 0;
+};
+
+/// Single-server FL over the simulated network, driven by a GradientSource
+/// so its learning trajectory can be compared against the decentralized
+/// deployment bit-for-bit.
+class CentralizedFl {
+ public:
+  CentralizedFl(CentralConfig config, std::shared_ptr<GradientSource> source);
+  ~CentralizedFl();
+
+  CentralRoundResult run_round(std::uint32_t iter);
+
+  [[nodiscard]] GradientSource& source() { return *source_; }
+
+ private:
+  CentralConfig config_;
+  std::shared_ptr<GradientSource> source_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<sim::Network> net_;
+  std::vector<sim::Host*> trainers_;
+  sim::Host* server_ = nullptr;
+};
+
+}  // namespace dfl::core

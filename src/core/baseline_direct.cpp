@@ -1,0 +1,116 @@
+#include "core/baseline_direct.hpp"
+
+#include <algorithm>
+
+namespace dfl::core {
+
+namespace {
+
+struct RoundState {
+  std::size_t gradients_expected = 0;
+  std::size_t gradients_arrived = 0;
+  sim::TimeNs first_send = -1;
+  sim::TimeNs gather_done = -1;
+  sim::TimeNs sync_done = -1;
+  sim::TimeNs all_models_done = -1;
+  std::size_t trainers_done = 0;
+  std::uint64_t bytes_per_aggregator = 0;
+};
+
+}  // namespace
+
+DirectIplsBaseline::DirectIplsBaseline(DirectConfig config) : config_(config) {
+  sim_ = std::make_unique<sim::Simulator>();
+  net_ = std::make_unique<sim::Network>(*sim_);
+  const sim::HostConfig link{config_.participant_mbps * 1e6, config_.participant_mbps * 1e6,
+                             config_.link_latency};
+  for (std::size_t t = 0; t < config_.num_trainers; ++t) {
+    trainers_.push_back(&net_->add_host("t" + std::to_string(t), link));
+  }
+  for (std::size_t a = 0; a < config_.num_partitions * config_.aggs_per_partition; ++a) {
+    aggregators_.push_back(&net_->add_host("a" + std::to_string(a), link));
+  }
+}
+
+DirectIplsBaseline::~DirectIplsBaseline() = default;
+
+DirectRoundResult DirectIplsBaseline::run_round() {
+  const std::uint64_t partition_bytes = Payload::wire_size(config_.partition_elements + 1);
+  RoundState st;
+  st.gradients_expected = config_.num_trainers * config_.num_partitions;
+
+  sim::SyncEvent gather_done_ev(*sim_);
+
+  // Trainers: train, then push each partition directly to its aggregator
+  // (trainer t's aggregator for partition p is slot t % A, like the
+  // round-robin assignment of the main protocol).
+  auto trainer_proc = [this, &st, partition_bytes, &gather_done_ev](std::size_t t)
+      -> sim::Task<void> {
+    co_await sim_->sleep(config_.train_time);
+    if (st.first_send < 0) st.first_send = sim_->now();
+    for (std::size_t p = 0; p < config_.num_partitions; ++p) {
+      sim::Host& agg =
+          *aggregators_[p * config_.aggs_per_partition + (t % config_.aggs_per_partition)];
+      co_await net_->transfer(*trainers_[t], agg, partition_bytes);
+      ++st.gradients_arrived;
+      st.bytes_per_aggregator += partition_bytes;
+      if (st.gradients_arrived == st.gradients_expected) {
+        st.gather_done = sim_->now();
+        gather_done_ev.set();
+      }
+    }
+  };
+  for (std::size_t t = 0; t < config_.num_trainers; ++t) {
+    sim_->spawn(trainer_proc(t));
+  }
+
+  // Aggregators: once gathering finishes, exchange partials all-to-all
+  // within each partition, then broadcast the updated partition to all
+  // trainers.
+  auto agg_proc = [this, &st, partition_bytes, &gather_done_ev](std::size_t p, std::size_t j)
+      -> sim::Task<void> {
+    co_await gather_done_ev.wait();
+    const std::size_t a_index = p * config_.aggs_per_partition + j;
+    sim::Host& me = *aggregators_[a_index];
+    if (config_.aggs_per_partition > 1) {
+      for (std::size_t other = 0; other < config_.aggs_per_partition; ++other) {
+        if (other == j) continue;
+        co_await net_->transfer(me, *aggregators_[p * config_.aggs_per_partition + other],
+                                partition_bytes);
+        st.bytes_per_aggregator += partition_bytes;
+      }
+      st.sync_done = std::max(st.sync_done, sim_->now());
+    }
+    // Broadcast the updated partition to every trainer. Only aggregator
+    // slot 0 of each partition broadcasts (it holds the global partition).
+    if (j == 0) {
+      for (sim::Host* t : trainers_) {
+        co_await net_->transfer(me, *t, partition_bytes);
+      }
+      st.all_models_done = std::max(st.all_models_done, sim_->now());
+    }
+  };
+  for (std::size_t p = 0; p < config_.num_partitions; ++p) {
+    for (std::size_t j = 0; j < config_.aggs_per_partition; ++j) {
+      sim_->spawn(agg_proc(p, j));
+    }
+  }
+
+  sim_->run();
+
+  DirectRoundResult result;
+  if (st.first_send >= 0 && st.gather_done >= 0) {
+    result.aggregation_delay_s = sim::to_seconds(st.gather_done - st.first_send);
+  }
+  if (st.sync_done >= 0 && st.gather_done >= 0) {
+    result.sync_delay_s = sim::to_seconds(st.sync_done - st.gather_done);
+  }
+  if (st.all_models_done >= 0 && st.first_send >= 0) {
+    result.round_time_s = sim::to_seconds(st.all_models_done - st.first_send);
+  }
+  const std::size_t n_aggs = aggregators_.size();
+  result.bytes_per_aggregator = n_aggs == 0 ? 0 : st.bytes_per_aggregator / n_aggs;
+  return result;
+}
+
+}  // namespace dfl::core

@@ -1,0 +1,47 @@
+#include "core/bootstrapper.hpp"
+
+#include <stdexcept>
+
+#include "directory/replicated.hpp"
+
+namespace dfl::core {
+
+Bootstrapper::Bootstrapper(sim::Network& net, std::vector<sim::Host*> hosts, ipfs::Swarm& swarm,
+                           TaskSpec spec, std::string task_domain)
+    : hosts_(std::move(hosts)), spec_(std::move(spec)) {
+  if (hosts_.empty()) {
+    throw std::invalid_argument("Bootstrapper: need at least one directory host");
+  }
+  if (spec_.options.verifiable) {
+    // One generator per element of the largest partition, plus the weight.
+    key_ = std::make_unique<crypto::PedersenKey>(crypto::Curve::get(spec_.options.curve),
+                                                 task_domain, spec_.max_partition_size() + 1,
+                                                 spec_.options.msm_mode);
+    verifier_ = std::make_unique<PayloadVerifier>(*key_);
+  }
+  directory::DirectoryConfig dir_config;
+  dir_config.verifiable = spec_.options.verifiable;
+  if (hosts_.size() == 1) {
+    directory_ = std::make_unique<directory::DirectoryService>(net, *hosts_.front(), swarm,
+                                                               dir_config, key_.get(),
+                                                               verifier_.get());
+  } else {
+    directory_ = std::make_unique<directory::ReplicatedDirectory>(net, hosts_, swarm,
+                                                                  dir_config, key_.get(),
+                                                                  verifier_.get());
+  }
+  publish_assignment();
+}
+
+void Bootstrapper::publish_assignment() {
+  for (std::size_t p = 0; p < spec_.num_partitions(); ++p) {
+    const PartitionAssignment& pa = spec_.assignment(p);
+    for (std::size_t j = 0; j < pa.aggregators.size(); ++j) {
+      for (const std::uint32_t t : pa.trainers[j]) {
+        directory_->set_assignment(static_cast<std::uint32_t>(p), pa.aggregators[j], t);
+      }
+    }
+  }
+}
+
+}  // namespace dfl::core

@@ -1,0 +1,63 @@
+// The bootstrapper: the FL task owner. It constructs the TaskSpec (role
+// assignment and schedule), derives the Pedersen commitment key for the
+// task domain, runs the directory service on its own host, and provides
+// the payload-aware verifier hook the directory uses in verifiable mode.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/payload.hpp"
+#include "core/task_spec.hpp"
+#include "directory/directory.hpp"
+#include "ipfs/swarm.hpp"
+
+namespace dfl::core {
+
+/// Directory-side verification: decode the payload, check the opening.
+class PayloadVerifier final : public directory::UpdateVerifier {
+ public:
+  explicit PayloadVerifier(const crypto::PedersenKey& key) : key_(key) {}
+
+  [[nodiscard]] bool verify(const Bytes& payload,
+                            const crypto::Commitment& accumulated) const override {
+    try {
+      return key_.verify(accumulated, Payload::deserialize(payload).values);
+    } catch (const std::exception&) {
+      return false;  // malformed payload can never open a commitment
+    }
+  }
+
+ private:
+  const crypto::PedersenKey& key_;
+};
+
+class Bootstrapper {
+ public:
+  /// Builds the task: spec (already configured by the caller), the
+  /// commitment key (iff spec.options.verifiable), and the directory — a
+  /// single DirectoryService on hosts[0], or a ReplicatedDirectory across
+  /// all given hosts (no single point of failure) when hosts.size() > 1.
+  Bootstrapper(sim::Network& net, std::vector<sim::Host*> hosts, ipfs::Swarm& swarm,
+               TaskSpec spec, std::string task_domain = "dfl/task/v1");
+
+  [[nodiscard]] const TaskSpec& spec() const { return spec_; }
+  [[nodiscard]] TaskSpec& spec() { return spec_; }
+  [[nodiscard]] directory::Directory& directory() { return *directory_; }
+  [[nodiscard]] const crypto::PedersenKey* key() const { return key_.get(); }
+  [[nodiscard]] sim::Host& host() { return *hosts_.front(); }
+
+  /// Registers the T_ij assignment with the directory (required before
+  /// verifiable rounds so per-aggregator accumulations form correctly).
+  void publish_assignment();
+
+ private:
+  std::vector<sim::Host*> hosts_;
+  TaskSpec spec_;
+  std::unique_ptr<crypto::PedersenKey> key_;
+  std::unique_ptr<PayloadVerifier> verifier_;
+  std::unique_ptr<directory::Directory> directory_;
+};
+
+}  // namespace dfl::core

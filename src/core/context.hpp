@@ -1,0 +1,37 @@
+// Shared wiring handed to every protocol actor: the simulation fabric, the
+// storage network, the directory service, the task description, and the
+// gradient source. Owned by the Deployment (runner.hpp).
+#pragma once
+
+#include "core/gradient_source.hpp"
+#include "core/payload.hpp"
+#include "core/task_spec.hpp"
+#include "directory/directory.hpp"
+#include "ipfs/pubsub.hpp"
+#include "ipfs/swarm.hpp"
+#include "sim/net.hpp"
+#include "sim/simulator.hpp"
+
+namespace dfl::core {
+
+struct Context {
+  sim::Simulator& sim;
+  sim::Network& net;
+  ipfs::Swarm& swarm;
+  ipfs::PubSub& pubsub;
+  directory::Directory& dir;
+  const TaskSpec& spec;
+  GradientSource& source;
+  /// Non-null iff spec.options.verifiable.
+  const crypto::PedersenKey* key = nullptr;
+  PayloadMerger merger;
+
+  /// Simulated compute cost of committing/verifying an `elements`-long
+  /// vector (spec.options.commit_ns_per_element scaling).
+  [[nodiscard]] sim::TimeNs commit_cost(std::size_t elements) const {
+    return static_cast<sim::TimeNs>(spec.options.commit_ns_per_element *
+                                    static_cast<double>(elements));
+  }
+};
+
+}  // namespace dfl::core

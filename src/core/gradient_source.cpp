@@ -1,0 +1,65 @@
+#include "core/gradient_source.hpp"
+
+#include <stdexcept>
+
+#include "crypto/encoding.hpp"
+#include "ml/federated.hpp"
+
+namespace dfl::core {
+
+SyntheticGradientSource::SyntheticGradientSource(std::size_t num_params, sim::TimeNs train_time,
+                                                 std::uint64_t seed, int frac_bits)
+    : num_params_(num_params), train_time_(train_time), seed_(seed), frac_bits_(frac_bits) {}
+
+std::vector<std::int64_t> SyntheticGradientSource::gradient(std::uint32_t trainer,
+                                                            std::uint32_t iter) {
+  Rng rng(seed_ ^ (static_cast<std::uint64_t>(trainer) << 32) ^ iter);
+  std::vector<std::int64_t> out;
+  out.reserve(num_params_);
+  for (std::size_t i = 0; i < num_params_; ++i) {
+    out.push_back(crypto::encode_fixed(rng.uniform_real(-1.0, 1.0), frac_bits_));
+  }
+  return out;
+}
+
+sim::TimeNs SyntheticGradientSource::train_time(std::uint32_t /*trainer*/,
+                                                std::uint32_t /*iter*/) {
+  return train_time_;
+}
+
+void SyntheticGradientSource::apply_global_update(const std::vector<double>& avg_gradient,
+                                                  std::uint32_t /*iter*/) {
+  last_update_ = avg_gradient;
+}
+
+MlGradientSource::MlGradientSource(std::unique_ptr<ml::Model> model,
+                                   std::vector<ml::Dataset> shards, double learning_rate,
+                                   sim::TimeNs train_time, int frac_bits,
+                                   std::size_t batch_size, std::uint64_t seed)
+    : model_(std::move(model)),
+      shards_(std::move(shards)),
+      learning_rate_(learning_rate),
+      train_time_(train_time),
+      frac_bits_(frac_bits),
+      batch_size_(batch_size),
+      rng_(seed) {
+  if (model_ == nullptr) throw std::invalid_argument("MlGradientSource: null model");
+}
+
+std::vector<std::int64_t> MlGradientSource::gradient(std::uint32_t trainer,
+                                                     std::uint32_t /*iter*/) {
+  const ml::Dataset& shard = shards_.at(trainer);
+  const auto batch = ml::draw_batch(shard.size(), batch_size_, rng_);
+  return crypto::encode_fixed_vec(model_->gradient(shard, batch), frac_bits_);
+}
+
+sim::TimeNs MlGradientSource::train_time(std::uint32_t /*trainer*/, std::uint32_t /*iter*/) {
+  return train_time_;
+}
+
+void MlGradientSource::apply_global_update(const std::vector<double>& avg_gradient,
+                                           std::uint32_t /*iter*/) {
+  model_->apply_gradient(avg_gradient, learning_rate_);
+}
+
+}  // namespace dfl::core

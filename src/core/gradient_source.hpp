@@ -1,0 +1,84 @@
+// Where trainers' gradients come from. The delay experiments (Figures 1-2)
+// use synthetic byte payloads of a chosen size; the convergence
+// demonstration plugs in real model training.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+#include "ml/model.hpp"
+#include "sim/simulator.hpp"
+
+namespace dfl::core {
+
+class GradientSource {
+ public:
+  virtual ~GradientSource() = default;
+
+  /// Fixed-point encoded gradient vector (num_params elements, no weight).
+  [[nodiscard]] virtual std::vector<std::int64_t> gradient(std::uint32_t trainer,
+                                                           std::uint32_t iter) = 0;
+
+  /// Simulated local training time for this round.
+  [[nodiscard]] virtual sim::TimeNs train_time(std::uint32_t trainer, std::uint32_t iter) = 0;
+
+  /// Called once per round by the runner with the decoded average gradient
+  /// (the semantics every trainer derives from the downloaded updates).
+  virtual void apply_global_update(const std::vector<double>& avg_gradient,
+                                   std::uint32_t iter) = 0;
+};
+
+/// Random small-magnitude gradients of a fixed dimension; deterministic in
+/// (seed, trainer, iter) so repeated runs are identical.
+class SyntheticGradientSource final : public GradientSource {
+ public:
+  SyntheticGradientSource(std::size_t num_params, sim::TimeNs train_time,
+                          std::uint64_t seed = 1, int frac_bits = 16);
+
+  [[nodiscard]] std::vector<std::int64_t> gradient(std::uint32_t trainer,
+                                                   std::uint32_t iter) override;
+  [[nodiscard]] sim::TimeNs train_time(std::uint32_t trainer, std::uint32_t iter) override;
+  void apply_global_update(const std::vector<double>& avg_gradient, std::uint32_t iter) override;
+
+  /// The average gradient applied after the latest completed round.
+  [[nodiscard]] const std::vector<double>& last_update() const { return last_update_; }
+
+ private:
+  std::size_t num_params_;
+  sim::TimeNs train_time_;
+  std::uint64_t seed_;
+  int frac_bits_;
+  std::vector<double> last_update_;
+};
+
+/// Real federated training: one shared model replica (all trainers hold
+/// identical parameters — aggregation is exact) and per-trainer shards.
+class MlGradientSource final : public GradientSource {
+ public:
+  MlGradientSource(std::unique_ptr<ml::Model> model, std::vector<ml::Dataset> shards,
+                   double learning_rate, sim::TimeNs train_time, int frac_bits = 16,
+                   std::size_t batch_size = 0, std::uint64_t seed = 7);
+
+  [[nodiscard]] std::vector<std::int64_t> gradient(std::uint32_t trainer,
+                                                   std::uint32_t iter) override;
+  [[nodiscard]] sim::TimeNs train_time(std::uint32_t trainer, std::uint32_t iter) override;
+  void apply_global_update(const std::vector<double>& avg_gradient, std::uint32_t iter) override;
+
+  [[nodiscard]] ml::Model& model() { return *model_; }
+  [[nodiscard]] const ml::Model& model() const { return *model_; }
+  [[nodiscard]] const std::vector<ml::Dataset>& shards() const { return shards_; }
+
+ private:
+  std::unique_ptr<ml::Model> model_;
+  std::vector<ml::Dataset> shards_;
+  double learning_rate_;
+  sim::TimeNs train_time_;
+  int frac_bits_;
+  std::size_t batch_size_;
+  Rng rng_;
+};
+
+}  // namespace dfl::core

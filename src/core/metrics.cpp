@@ -1,0 +1,65 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+namespace dfl::core {
+
+double RoundMetrics::mean_upload_delay_s() const {
+  double total = 0;
+  int n = 0;
+  for (const TrainerRecord& t : trainers) {
+    if (t.uploads > 0) {
+      total += t.upload_delay_total_s / t.uploads;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : total / n;
+}
+
+double RoundMetrics::mean_aggregation_delay_s() const {
+  if (first_gradient_announce < 0) return 0.0;
+  double total = 0;
+  int n = 0;
+  for (const AggregatorRecord& a : aggregators) {
+    if (a.gather_done_at >= 0) {
+      total += sim::to_seconds(a.gather_done_at - first_gradient_announce);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : total / n;
+}
+
+double RoundMetrics::total_aggregation_delay_s() const {
+  if (first_gradient_announce < 0) return 0.0;
+  double mx = 0;
+  for (const AggregatorRecord& a : aggregators) {
+    const sim::TimeNs done = a.sync_done_at >= 0 ? a.sync_done_at : a.gather_done_at;
+    if (done >= 0) {
+      mx = std::max(mx, sim::to_seconds(done - first_gradient_announce));
+    }
+  }
+  return mx;
+}
+
+double RoundMetrics::mean_sync_delay_s() const {
+  double total = 0;
+  int n = 0;
+  for (const AggregatorRecord& a : aggregators) {
+    if (a.sync_done_at >= 0 && a.gather_done_at >= 0) {
+      total += sim::to_seconds(a.sync_done_at - a.gather_done_at);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : total / n;
+}
+
+double RoundMetrics::mean_aggregator_bytes() const {
+  if (aggregators.empty()) return 0.0;
+  double total = 0;
+  for (const AggregatorRecord& a : aggregators) {
+    total += static_cast<double>(a.bytes_received);
+  }
+  return total / static_cast<double>(aggregators.size());
+}
+
+}  // namespace dfl::core

@@ -1,0 +1,64 @@
+// Per-round measurement records — the quantities the paper's evaluation
+// plots: aggregation delay, synchronization delay, upload delay, and bytes
+// received per aggregator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace dfl::core {
+
+struct TrainerRecord {
+  double upload_delay_total_s = 0;  // sum over partition uploads this round
+  int uploads = 0;
+  sim::TimeNs model_ready_at = -1;  // when the full updated model was assembled
+  bool aborted = false;             // missed t_train
+  bool offline = false;             // skipped the round entirely
+  bool update_missing = false;      // some partition never appeared by deadline
+};
+
+struct AggregatorRecord {
+  std::uint32_t partition = 0;
+  sim::TimeNs gather_done_at = -1;     // all assigned gradients aggregated
+  sim::TimeNs sync_done_at = -1;       // global partition update formed
+  sim::TimeNs global_written_at = -1;  // directory accepted the global update
+  std::uint64_t bytes_received = 0;    // gradient + partial-update payload bytes
+  std::uint64_t gradients_aggregated = 0;
+  std::uint64_t merge_requests = 0;
+  bool covered_for_peer = false;  // downloaded an offline peer's gradients
+  bool rejected_by_directory = false;
+};
+
+struct RoundMetrics {
+  std::uint32_t iter = 0;
+  sim::TimeNs round_start = 0;
+  sim::TimeNs first_gradient_announce = -1;  // directory write of the first hash
+  sim::TimeNs round_done = -1;               // all trainers assembled the model
+  std::vector<TrainerRecord> trainers;
+  std::vector<AggregatorRecord> aggregators;
+  int rejected_updates = 0;  // directory refusals (verifiable mode)
+  double post_round_accuracy = -1;
+  double post_round_loss = -1;
+
+  void note_gradient_announce(sim::TimeNs at) {
+    if (first_gradient_announce < 0 || at < first_gradient_announce) {
+      first_gradient_announce = at;
+    }
+  }
+
+  /// Mean over per-trainer mean upload delays, seconds.
+  [[nodiscard]] double mean_upload_delay_s() const;
+  /// Mean of (gather_done - first_announce) over aggregators, seconds.
+  [[nodiscard]] double mean_aggregation_delay_s() const;
+  /// Max over aggregators of (sync_done - first_announce), seconds: the
+  /// "total aggregation delay" of Figure 2.
+  [[nodiscard]] double total_aggregation_delay_s() const;
+  /// Mean synchronization overhead (sync_done - gather_done), seconds.
+  [[nodiscard]] double mean_sync_delay_s() const;
+  /// Mean bytes received per aggregator.
+  [[nodiscard]] double mean_aggregator_bytes() const;
+};
+
+}  // namespace dfl::core

@@ -1,0 +1,60 @@
+#include "core/payload.hpp"
+
+#include <stdexcept>
+
+#include "common/serde.hpp"
+#include "crypto/encoding.hpp"
+
+namespace dfl::core {
+
+Bytes Payload::serialize() const {
+  Writer w;
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(values.size()));
+  for (const std::int64_t v : values) w.put<std::int64_t>(v);
+  return w.take();
+}
+
+Payload Payload::deserialize(BytesView data) {
+  Reader r(data);
+  const auto n = r.get<std::uint32_t>();
+  Payload p;
+  p.values.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) p.values.push_back(r.get<std::int64_t>());
+  return p;
+}
+
+Payload Payload::add(const Payload& a, const Payload& b) {
+  if (a.values.size() != b.values.size()) {
+    throw std::invalid_argument("Payload::add: size mismatch");
+  }
+  Payload out;
+  out.values.resize(a.values.size());
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    out.values[i] = a.values[i] + b.values[i];
+  }
+  return out;
+}
+
+std::vector<double> Payload::average(int frac_bits) const {
+  if (values.size() < 2 || weight() <= 0) {
+    throw std::logic_error("Payload::average: missing or nonpositive weight");
+  }
+  const double w = static_cast<double>(weight());
+  std::vector<double> out;
+  out.reserve(values.size() - 1);
+  for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+    out.push_back(crypto::decode_fixed(values[i], frac_bits) / w);
+  }
+  return out;
+}
+
+Bytes PayloadMerger::merge(const std::vector<Bytes>& blocks) const {
+  if (blocks.empty()) return Payload{}.serialize();
+  Payload acc = Payload::deserialize(blocks.front());
+  for (std::size_t i = 1; i < blocks.size(); ++i) {
+    acc = Payload::add(acc, Payload::deserialize(blocks[i]));
+  }
+  return acc.serialize();
+}
+
+}  // namespace dfl::core

@@ -1,0 +1,44 @@
+// Wire format of every FL object stored in IPFS: a vector of fixed-point
+// encoded values whose LAST element is the averaging weight (Algorithm 1
+// line 14 appends 1 to each gradient partition; sums of k contributions
+// carry weight k, and trainers divide by it on download, lines 20-21).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "ipfs/node.hpp"
+
+namespace dfl::core {
+
+struct Payload {
+  /// Fixed-point encoded gradient elements, then the weight element.
+  std::vector<std::int64_t> values;
+
+  [[nodiscard]] Bytes serialize() const;
+  static Payload deserialize(BytesView data);
+
+  /// Element-wise sum; sizes must match.
+  static Payload add(const Payload& a, const Payload& b);
+
+  /// The averaging weight (last element).
+  [[nodiscard]] std::int64_t weight() const { return values.empty() ? 0 : values.back(); }
+
+  /// Gradient elements without the weight, divided by the weight.
+  [[nodiscard]] std::vector<double> average(int frac_bits) const;
+
+  /// Serialized size in bytes for a payload of `elements` values
+  /// (including the weight element).
+  static std::size_t wire_size(std::size_t elements) { return 4 + elements * 8; }
+
+  friend bool operator==(const Payload&, const Payload&) = default;
+};
+
+/// Sums payload blocks on a storage node — the merge-and-download merger.
+class PayloadMerger final : public ipfs::BlockMerger {
+ public:
+  [[nodiscard]] Bytes merge(const std::vector<Bytes>& blocks) const override;
+};
+
+}  // namespace dfl::core

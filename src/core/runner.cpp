@@ -1,0 +1,166 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "crypto/encoding.hpp"
+
+namespace dfl::core {
+
+namespace {
+
+sim::HostConfig participant_link(const DeploymentConfig& cfg) {
+  return sim::HostConfig{cfg.participant_mbps * 1e6, cfg.participant_mbps * 1e6,
+                         cfg.link_latency};
+}
+
+}  // namespace
+
+Deployment::Deployment(DeploymentConfig config, std::unique_ptr<GradientSource> source)
+    : config_(std::move(config)) {
+  sim_ = std::make_unique<sim::Simulator>();
+  net_ = std::make_unique<sim::Network>(*sim_);
+  swarm_ = std::make_unique<ipfs::Swarm>(*net_);
+  pubsub_ = std::make_unique<ipfs::PubSub>(*net_);
+
+  for (std::size_t i = 0; i < config_.num_ipfs_nodes; ++i) {
+    swarm_->add_node("ipfs" + std::to_string(i),
+                     sim::HostConfig{config_.node_mbps * 1e6, config_.node_mbps * 1e6,
+                                     config_.link_latency});
+  }
+
+  const std::size_t num_params = config_.partition_elements * config_.num_partitions;
+  TaskSpec spec(num_params, config_.num_partitions, config_.num_trainers);
+  spec.schedule = config_.schedule;
+  spec.options = config_.options;
+  spec.build_round_robin(config_.aggs_per_partition, config_.providers_per_agg,
+                         config_.num_ipfs_nodes);
+
+  const std::size_t dir_replicas = std::max<std::size_t>(1, config_.directory_replicas);
+  for (std::size_t r = 0; r < dir_replicas; ++r) {
+    directory_hosts_.push_back(&net_->add_host(
+        "directory" + std::to_string(r),
+        sim::HostConfig{config_.directory_mbps * 1e6, config_.directory_mbps * 1e6,
+                        config_.link_latency}));
+  }
+  boot_ = std::make_unique<Bootstrapper>(*net_, directory_hosts_, *swarm_, std::move(spec),
+                                         config_.task_domain);
+
+  source_ = source ? std::move(source)
+                   : std::make_unique<SyntheticGradientSource>(num_params, config_.train_time,
+                                                               config_.seed,
+                                                               config_.options.frac_bits);
+
+  ctx_.reset(new Context{*sim_, *net_, *swarm_, *pubsub_, boot_->directory(), boot_->spec(),
+                         *source_, boot_->key(), PayloadMerger{}});
+
+  for (std::uint32_t t = 0; t < config_.num_trainers; ++t) {
+    sim::Host& h = net_->add_host("trainer" + std::to_string(t), participant_link(config_));
+    TrainerBehavior behavior = TrainerBehavior::kHonest;
+    if (const auto it = config_.trainer_behaviors.find(t);
+        it != config_.trainer_behaviors.end()) {
+      behavior = it->second;
+    }
+    trainers_.push_back(std::make_unique<Trainer>(*ctx_, t, h, behavior));
+  }
+  const std::size_t total_aggs = config_.num_partitions * config_.aggs_per_partition;
+  for (std::uint32_t a = 0; a < total_aggs; ++a) {
+    sim::Host& h = net_->add_host("agg" + std::to_string(a), participant_link(config_));
+    const auto partition = static_cast<std::uint32_t>(a / config_.aggs_per_partition);
+    const auto slot = static_cast<std::uint32_t>(a % config_.aggs_per_partition);
+    AggBehavior behavior = AggBehavior::kHonest;
+    if (const auto it = config_.behaviors.find(a); it != config_.behaviors.end()) {
+      behavior = it->second;
+    }
+    aggregators_.push_back(
+        std::make_unique<Aggregator>(*ctx_, a, partition, slot, h, behavior));
+  }
+}
+
+Deployment::~Deployment() = default;
+
+RoundMetrics Deployment::run_round(std::uint32_t iter) {
+  RoundMetrics metrics;
+  metrics.iter = iter;
+  metrics.round_start = sim_->now();
+  metrics.trainers.resize(trainers_.size());
+  metrics.aggregators.resize(aggregators_.size());
+
+  for (auto& t : trainers_) {
+    sim_->spawn(t->run_round(iter, metrics.round_start, metrics));
+  }
+  for (auto& a : aggregators_) {
+    sim_->spawn(a->run_round(iter, metrics.round_start, metrics));
+  }
+  // Run to quiescence: every actor either finished or timed out by t_sync.
+  sim_->run();
+
+  sim::TimeNs done = -1;
+  for (const TrainerRecord& t : metrics.trainers) {
+    done = std::max(done, t.model_ready_at);
+  }
+  metrics.round_done = done;
+
+  collect_global_update(iter);
+  if (!last_global_update_.empty()) {
+    source_->apply_global_update(last_global_update_, iter);
+  }
+  return metrics;
+}
+
+void Deployment::collect_global_update(std::uint32_t iter) {
+  // Omniscient post-round read: assemble the accepted global updates
+  // directly out of the directory rows and node block stores (no network
+  // cost — this is measurement bookkeeping, not protocol).
+  last_global_update_.assign(boot_->spec().num_params(), 0.0);
+  for (std::size_t p = 0; p < boot_->spec().num_partitions(); ++p) {
+    const auto rows = boot_->directory().rows(static_cast<std::uint32_t>(p), iter,
+                                              directory::EntryType::kGlobalUpdate);
+    if (rows.empty()) {
+      last_global_update_.clear();
+      return;
+    }
+    Bytes data;
+    bool found = false;
+    for (const std::uint32_t node_id : swarm_->providers(rows.front().cid)) {
+      if (auto block = swarm_->node(node_id).store().get(rows.front().cid)) {
+        data = std::move(*block);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      last_global_update_.clear();
+      return;
+    }
+    const Payload payload = Payload::deserialize(data);
+    const auto avg = payload.average(boot_->spec().options.frac_bits);
+    const auto [first, last] = boot_->spec().partition_range(p);
+    if (avg.size() != last - first) {
+      throw std::runtime_error("Deployment: global update size mismatch");
+    }
+    std::copy(avg.begin(), avg.end(),
+              last_global_update_.begin() + static_cast<std::ptrdiff_t>(first));
+  }
+}
+
+RunSummary Deployment::run(int rounds, const ml::Dataset* eval) {
+  RunSummary summary;
+  auto* ml_source = dynamic_cast<MlGradientSource*>(source_.get());
+  for (int r = 0; r < rounds; ++r) {
+    RoundMetrics m = run_round(static_cast<std::uint32_t>(r));
+    if (ml_source != nullptr && eval != nullptr) {
+      m.post_round_accuracy = ml_source->model().accuracy(*eval);
+      m.post_round_loss = ml_source->model().loss(*eval);
+      summary.accuracy.push_back(m.post_round_accuracy);
+      summary.loss.push_back(m.post_round_loss);
+    }
+    summary.rounds.push_back(std::move(m));
+    // Bound directory state like a real deployment would (Section VI).
+    boot_->directory().gc_before(static_cast<std::uint32_t>(r));
+  }
+  return summary;
+}
+
+}  // namespace dfl::core

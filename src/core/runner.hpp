@@ -1,0 +1,122 @@
+// Deployment: wires the whole system together — simulator, network,
+// storage swarm, pub/sub, bootstrapper/directory, trainers and aggregators
+// — and drives FL rounds, collecting the metrics the paper plots.
+//
+// This is the main entry point of the library:
+//
+//   core::DeploymentConfig cfg;
+//   cfg.num_trainers = 16; ...
+//   core::Deployment d(cfg);
+//   auto rounds = d.run(5);
+//   std::cout << rounds[0].mean_aggregation_delay_s();
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/aggregator.hpp"
+#include "core/bootstrapper.hpp"
+#include "core/context.hpp"
+#include "core/trainer.hpp"
+#include "ml/dataset.hpp"
+
+namespace dfl::core {
+
+struct DeploymentConfig {
+  // Scale.
+  std::size_t num_trainers = 16;
+  std::size_t num_partitions = 1;
+  /// Gradient elements per partition (excluding the weight element).
+  /// Wire size of one partition ≈ 8 bytes × (elements + 1).
+  std::size_t partition_elements = 16 * 1024;
+  std::size_t aggs_per_partition = 1;
+  std::size_t num_ipfs_nodes = 4;
+  /// |P_ij|: providers per aggregator (merge-and-download placement).
+  std::size_t providers_per_agg = 1;
+
+  // Links (the paper uses symmetric 10 or 20 Mbps).
+  double participant_mbps = 10.0;
+  double node_mbps = 10.0;
+  double directory_mbps = 100.0;
+  sim::TimeNs link_latency = sim::from_millis(5);
+
+  Schedule schedule{sim::from_seconds(600), sim::from_seconds(1200), sim::from_millis(100)};
+  ProtocolOptions options;
+
+  /// Local training compute time per round.
+  sim::TimeNs train_time = sim::from_seconds(1);
+
+  /// Malicious/faulty aggregators: global aggregator id -> behaviour.
+  std::map<std::uint32_t, AggBehavior> behaviors;
+  /// Unreliable trainers: trainer id -> behaviour.
+  std::map<std::uint32_t, TrainerBehavior> trainer_behaviors;
+
+  std::uint64_t seed = 1;
+  std::string task_domain = "dfl/task/v1";
+  /// Directory replicas (>1 uses ReplicatedDirectory: no single point of
+  /// failure, at the cost of write amplification).
+  std::size_t directory_replicas = 1;
+};
+
+struct RunSummary {
+  std::vector<RoundMetrics> rounds;
+  /// Accuracy after each round (ML source only; empty otherwise).
+  std::vector<double> accuracy;
+  std::vector<double> loss;
+};
+
+class Deployment {
+ public:
+  /// If `source` is null a SyntheticGradientSource of the right size is
+  /// created. Pass an MlGradientSource for real training.
+  explicit Deployment(DeploymentConfig config,
+                      std::unique_ptr<GradientSource> source = nullptr);
+  ~Deployment();
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  /// Runs one FL iteration to quiescence and returns its metrics.
+  RoundMetrics run_round(std::uint32_t iter);
+
+  /// Runs `rounds` iterations; evaluates on `eval` after each when given.
+  RunSummary run(int rounds, const ml::Dataset* eval = nullptr);
+
+  [[nodiscard]] const DeploymentConfig& config() const { return config_; }
+  [[nodiscard]] Context& context() { return *ctx_; }
+  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+  [[nodiscard]] ipfs::Swarm& swarm() { return *swarm_; }
+  [[nodiscard]] directory::Directory& directory() { return boot_->directory(); }
+  /// The directory replica hosts (size = config().directory_replicas).
+  [[nodiscard]] const std::vector<sim::Host*>& directory_hosts() const {
+    return directory_hosts_;
+  }
+  [[nodiscard]] GradientSource& source() { return *source_; }
+  [[nodiscard]] Trainer& trainer(std::size_t i) { return *trainers_.at(i); }
+  [[nodiscard]] Aggregator& aggregator(std::size_t i) { return *aggregators_.at(i); }
+  [[nodiscard]] std::size_t num_aggregators() const { return aggregators_.size(); }
+
+  /// The decoded average gradient assembled by the directory's view after
+  /// run_round (empty if any partition's update is missing).
+  [[nodiscard]] const std::vector<double>& last_global_update() const {
+    return last_global_update_;
+  }
+
+ private:
+  void collect_global_update(std::uint32_t iter);
+
+  DeploymentConfig config_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<ipfs::Swarm> swarm_;
+  std::unique_ptr<ipfs::PubSub> pubsub_;
+  std::unique_ptr<GradientSource> source_;
+  std::unique_ptr<Bootstrapper> boot_;
+  std::unique_ptr<Context> ctx_;
+  std::vector<std::unique_ptr<Trainer>> trainers_;
+  std::vector<std::unique_ptr<Aggregator>> aggregators_;
+  std::vector<sim::Host*> directory_hosts_;
+  std::vector<double> last_global_update_;
+};
+
+}  // namespace dfl::core

@@ -1,0 +1,117 @@
+#include "core/task_spec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dfl::core {
+
+TaskSpec::TaskSpec(std::size_t num_params, std::size_t num_partitions, std::size_t num_trainers)
+    : num_params_(num_params), num_trainers_(num_trainers), partitions_(num_partitions) {
+  if (num_partitions == 0 || num_params < num_partitions) {
+    throw std::invalid_argument("TaskSpec: need at least one parameter per partition");
+  }
+  // Equal-size chunks; the remainder spreads over the first partitions.
+  const std::size_t base = num_params / num_partitions;
+  const std::size_t extra = num_params % num_partitions;
+  offsets_.push_back(0);
+  for (std::size_t p = 0; p < num_partitions; ++p) {
+    offsets_.push_back(offsets_.back() + base + (p < extra ? 1 : 0));
+  }
+}
+
+std::pair<std::size_t, std::size_t> TaskSpec::partition_range(std::size_t p) const {
+  return {offsets_.at(p), offsets_.at(p + 1)};
+}
+
+std::size_t TaskSpec::partition_size(std::size_t p) const {
+  return offsets_.at(p + 1) - offsets_.at(p);
+}
+
+std::size_t TaskSpec::max_partition_size() const {
+  std::size_t mx = 0;
+  for (std::size_t p = 0; p < num_partitions(); ++p) mx = std::max(mx, partition_size(p));
+  return mx;
+}
+
+std::uint32_t TaskSpec::aggregator_of(std::size_t p, std::uint32_t trainer) const {
+  const PartitionAssignment& pa = partitions_.at(p);
+  for (std::size_t j = 0; j < pa.trainers.size(); ++j) {
+    const auto& ts = pa.trainers[j];
+    if (std::find(ts.begin(), ts.end(), trainer) != ts.end()) {
+      return static_cast<std::uint32_t>(j);
+    }
+  }
+  throw std::out_of_range("TaskSpec::aggregator_of: trainer not assigned for partition");
+}
+
+namespace {
+
+// splitmix64 finalizer — a cheap deterministic spread for kHashed.
+std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint32_t TaskSpec::provider_for(std::size_t p, std::uint32_t trainer) const {
+  const PartitionAssignment& pa = partitions_.at(p);
+  const std::uint32_t j = aggregator_of(p, trainer);
+  const auto& provs = pa.providers.at(j);
+  if (provs.empty()) {
+    throw std::logic_error("TaskSpec::provider_for: aggregator has no providers");
+  }
+  if (options.provider_policy == ProviderPolicy::kHashed) {
+    const std::uint64_t h = mix((static_cast<std::uint64_t>(p) << 32) | trainer);
+    return provs[h % provs.size()];
+  }
+  return provs[trainer % provs.size()];
+}
+
+std::vector<std::uint32_t> TaskSpec::upload_targets(std::size_t p, std::uint32_t trainer,
+                                                    std::size_t replicas) const {
+  const PartitionAssignment& pa = partitions_.at(p);
+  const auto& provs = pa.providers.at(aggregator_of(p, trainer));
+  const std::uint32_t primary = provider_for(p, trainer);
+  std::size_t start = 0;
+  while (start < provs.size() && provs[start] != primary) ++start;
+  std::vector<std::uint32_t> out{primary};
+  for (std::size_t k = 1; k < provs.size() && out.size() < replicas; ++k) {
+    const std::uint32_t candidate = provs[(start + k) % provs.size()];
+    if (std::find(out.begin(), out.end(), candidate) == out.end()) {
+      out.push_back(candidate);
+    }
+  }
+  return out;
+}
+
+void TaskSpec::build_round_robin(std::size_t aggs_per_partition, std::size_t providers_per_agg,
+                                 std::size_t num_nodes) {
+  if (aggs_per_partition == 0 || providers_per_agg == 0 || num_nodes == 0) {
+    throw std::invalid_argument("build_round_robin: zero-sized role set");
+  }
+  std::uint32_t next_agg_id = 0;
+  std::size_t next_provider = 0;
+  for (std::size_t p = 0; p < num_partitions(); ++p) {
+    PartitionAssignment pa;
+    pa.aggregators.resize(aggs_per_partition);
+    pa.trainers.assign(aggs_per_partition, {});
+    pa.providers.assign(aggs_per_partition, {});
+    for (std::size_t j = 0; j < aggs_per_partition; ++j) {
+      pa.aggregators[j] = next_agg_id++;
+      for (std::size_t k = 0; k < providers_per_agg; ++k) {
+        pa.providers[j].push_back(static_cast<std::uint32_t>(next_provider % num_nodes));
+        ++next_provider;
+      }
+    }
+    // Deal every trainer to exactly one aggregator of this partition
+    // (the paper's invariant: the T_ij partition the trainer set T).
+    for (std::uint32_t t = 0; t < num_trainers_; ++t) {
+      pa.trainers[t % aggs_per_partition].push_back(t);
+    }
+    partitions_[p] = std::move(pa);
+  }
+}
+
+}  // namespace dfl::core

@@ -1,0 +1,132 @@
+// Static description of one federated-learning deployment: the model
+// partitioning, the role assignment (A_i aggregator sets, T_ij trainer
+// sets, P_ij provider sets), the per-round schedule, and protocol options.
+// Built once by the bootstrapper and shared read-only by every actor.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "crypto/pedersen.hpp"
+#include "sim/simulator.hpp"
+
+namespace dfl::core {
+
+/// What a malicious or faulty aggregator does (Section III-A threat model).
+enum class AggBehavior {
+  kHonest,
+  kDropsGradients,   // omits one trainer's gradient from its aggregation
+  kAltersGradients,  // perturbs the aggregated values
+  kOffline,          // never shows up; peers must cover for it
+};
+
+/// Faulty trainer profiles (trainers are honest-but-unreliable; malicious
+/// trainers are out of scope, as in the paper).
+enum class TrainerBehavior {
+  kHonest,
+  kSlow,     // training exceeds t_train -> aborts the iteration (Alg. 1 l.10)
+  kOffline,  // intermittent connectivity: skips the round entirely
+};
+
+/// How trainers pick the storage node for a gradient partition within
+/// their aggregator's provider set P_ij.
+enum class ProviderPolicy {
+  kRoundRobin,  // providers[trainer % |P_ij|]
+  kHashed,      // pseudo-random uniform spread keyed on (partition, trainer)
+                // — the Section VI suggestion to frustrate collusion between
+                // malicious participants and specific storage nodes
+};
+
+struct Schedule {
+  sim::TimeNs t_train = sim::from_seconds(60);   // gradients must be uploaded by then
+  sim::TimeNs t_sync = sim::from_seconds(120);   // iteration hard deadline
+  sim::TimeNs poll_interval = sim::from_millis(100);
+};
+
+struct ProtocolOptions {
+  bool merge_and_download = false;
+  bool verifiable = false;
+  crypto::CurveId curve = crypto::CurveId::kSecp256k1;
+  crypto::MsmMode msm_mode = crypto::MsmMode::kAuto;
+  int frac_bits = 16;
+  /// Simulated compute cost of commitment/verification per vector element
+  /// (0 = free; set from measured Figure 3 rates for end-to-end realism).
+  double commit_ns_per_element = 0.0;
+  /// How many storage nodes each global update is uploaded to. Hot objects
+  /// (every trainer downloads them) need replicas or the single holder's
+  /// uplink becomes the bottleneck — the availability knob Section VI
+  /// suggests ("replicate through a predetermined number of IPFS nodes").
+  std::size_t update_replicas = 2;
+  /// How many providers each gradient partition is uploaded to (>1 keeps
+  /// rounds alive through storage-node failures; Section VI availability).
+  std::size_t gradient_replicas = 1;
+  /// Trainers register all their partition hashes with the directory in a
+  /// single batched message instead of one per partition (the Section VI
+  /// "minimize the query load of the directory service" direction).
+  bool batched_announce = false;
+  /// Provider selection within P_ij.
+  ProviderPolicy provider_policy = ProviderPolicy::kRoundRobin;
+};
+
+/// Role assignment for one partition.
+struct PartitionAssignment {
+  /// Aggregator indices responsible for this partition (the set A_i).
+  std::vector<std::uint32_t> aggregators;
+  /// For each aggregator (parallel to `aggregators`): its trainers T_ij.
+  std::vector<std::vector<std::uint32_t>> trainers;
+  /// For each aggregator: its IPFS provider node ids P_ij.
+  std::vector<std::vector<std::uint32_t>> providers;
+};
+
+class TaskSpec {
+ public:
+  TaskSpec(std::size_t num_params, std::size_t num_partitions, std::size_t num_trainers);
+
+  [[nodiscard]] std::size_t num_params() const { return num_params_; }
+  [[nodiscard]] std::size_t num_partitions() const { return partitions_.size(); }
+  [[nodiscard]] std::size_t num_trainers() const { return num_trainers_; }
+
+  /// Element range [first, last) of partition p in the flat parameter vector.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> partition_range(std::size_t p) const;
+  [[nodiscard]] std::size_t partition_size(std::size_t p) const;
+  /// Largest partition length (the Pedersen key needs size + 1 generators).
+  [[nodiscard]] std::size_t max_partition_size() const;
+
+  [[nodiscard]] const PartitionAssignment& assignment(std::size_t p) const {
+    return partitions_.at(p);
+  }
+  PartitionAssignment& assignment(std::size_t p) { return partitions_.at(p); }
+
+  /// The aggregator (index into assignment.aggregators) handling trainer t
+  /// for partition p; throws if t is not assigned.
+  [[nodiscard]] std::uint32_t aggregator_of(std::size_t p, std::uint32_t trainer) const;
+
+  /// The provider node trainer t must upload partition p to: its
+  /// aggregator's provider list indexed per options.provider_policy.
+  [[nodiscard]] std::uint32_t provider_for(std::size_t p, std::uint32_t trainer) const;
+
+  /// Primary provider plus up to `replicas - 1` distinct fallback nodes
+  /// from the same P_ij (gradient replication, Section VI availability).
+  [[nodiscard]] std::vector<std::uint32_t> upload_targets(std::size_t p, std::uint32_t trainer,
+                                                          std::size_t replicas) const;
+
+  /// Round-robin construction of the standard assignment used by the
+  /// paper's experiments: `aggs_per_partition` aggregators per partition
+  /// (aggregator indices are global, one participant per (partition, slot)),
+  /// trainers dealt round-robin among them, and each aggregator given
+  /// `providers_per_agg` storage nodes from a pool of `num_nodes`.
+  void build_round_robin(std::size_t aggs_per_partition, std::size_t providers_per_agg,
+                         std::size_t num_nodes);
+
+  Schedule schedule;
+  ProtocolOptions options;
+
+ private:
+  std::size_t num_params_;
+  std::size_t num_trainers_;
+  std::vector<PartitionAssignment> partitions_;
+  std::vector<std::size_t> offsets_;  // partition start offsets, size = P+1
+};
+
+}  // namespace dfl::core

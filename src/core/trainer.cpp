@@ -1,0 +1,154 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/log.hpp"
+
+namespace dfl::core {
+
+sim::Task<void> Trainer::run_round(std::uint32_t iter, sim::TimeNs round_start,
+                                   RoundMetrics& metrics) {
+  co_await ctx_.sim.sleep_until(round_start);
+  TrainerRecord& rec = metrics.trainers.at(id_);
+  if (behavior_ == TrainerBehavior::kOffline) {
+    rec.offline = true;
+    rec.update_missing = true;
+    co_return;
+  }
+  const sim::TimeNs t_train_abs = round_start + ctx_.spec.schedule.t_train;
+  const sim::TimeNs t_sync_abs = round_start + ctx_.spec.schedule.t_sync;
+
+  // Local training. A slow trainer's compute overruns the training window.
+  const std::vector<std::int64_t> grad = ctx_.source.gradient(id_, iter);
+  sim::TimeNs train_time = ctx_.source.train_time(id_, iter);
+  if (behavior_ == TrainerBehavior::kSlow) {
+    train_time = ctx_.spec.schedule.t_train + sim::from_seconds(1);
+  }
+  co_await ctx_.sim.sleep(train_time);
+  if (ctx_.sim.now() > t_train_abs) {
+    // Algorithm 1 line 10: abort the iteration if training missed t_train.
+    rec.aborted = true;
+    DFL_DEBUG("trainer") << "t" << id_ << " aborted iter " << iter << " (missed t_train)";
+    co_return;
+  }
+
+  co_await upload_gradients(iter, grad, metrics, rec);
+  co_await download_updates(iter, t_sync_abs, rec);
+  if (!rec.update_missing) {
+    rec.model_ready_at = ctx_.sim.now();
+  }
+}
+
+sim::Task<void> Trainer::upload_gradients(std::uint32_t iter,
+                                          const std::vector<std::int64_t>& grad,
+                                          RoundMetrics& metrics, TrainerRecord& rec) {
+  const bool batched = ctx_.spec.options.batched_announce;
+  std::vector<directory::BatchItem> batch;
+
+  for (std::size_t p = 0; p < ctx_.spec.num_partitions(); ++p) {
+    const auto [first, last] = ctx_.spec.partition_range(p);
+    Payload payload;
+    payload.values.assign(grad.begin() + static_cast<std::ptrdiff_t>(first),
+                          grad.begin() + static_cast<std::ptrdiff_t>(last));
+    payload.values.push_back(1);  // averaging weight (Algorithm 1 line 14)
+
+    std::optional<crypto::Commitment> commitment;
+    if (ctx_.spec.options.verifiable) {
+      commitment = ctx_.key->commit(payload.values);
+      co_await ctx_.sim.sleep(ctx_.commit_cost(payload.values.size()));
+    }
+
+    // Upload to the primary provider and (optionally) replicas, so rounds
+    // survive storage-node failures (Section VI availability). A dead
+    // primary is skipped and the next target becomes the primary copy.
+    const auto targets =
+        ctx_.spec.upload_targets(p, id_, ctx_.spec.options.gradient_replicas);
+    const Bytes data = payload.serialize();
+    ipfs::Cid cid;
+    bool stored = false;
+    const sim::TimeNs upload_start = ctx_.sim.now();
+    for (const std::uint32_t target : targets) {
+      bool ok = false;
+      try {
+        const ipfs::Cid got = co_await ctx_.swarm.node(target).put(host_, data);
+        cid = got;
+        ok = true;
+      } catch (const std::exception& e) {
+        DFL_WARN("trainer") << "t" << id_ << " upload to node " << target
+                            << " failed: " << e.what();
+      }
+      if (ok && !stored) {
+        stored = true;
+        rec.upload_delay_total_s += sim::to_seconds(ctx_.sim.now() - upload_start);
+        ++rec.uploads;
+      }
+    }
+    if (!stored) {
+      DFL_WARN("trainer") << "t" << id_ << " could not store partition " << p
+                          << " on any provider";
+      continue;  // this contribution is lost; the round proceeds without it
+    }
+
+    const directory::Addr addr{id_, static_cast<std::uint32_t>(p), iter,
+                               directory::EntryType::kGradient};
+    if (batched) {
+      batch.push_back(directory::BatchItem{addr, cid, commitment});
+      continue;
+    }
+    const bool accepted = co_await ctx_.dir.announce(host_, addr, cid, commitment);
+    if (accepted) {
+      metrics.note_gradient_announce(ctx_.sim.now());
+    } else {
+      DFL_WARN("trainer") << "t" << id_ << " announce rejected for partition " << p;
+    }
+  }
+
+  if (batched && !batch.empty()) {
+    const bool accepted = co_await ctx_.dir.announce_batch(host_, std::move(batch));
+    if (accepted) {
+      metrics.note_gradient_announce(ctx_.sim.now());
+    } else {
+      DFL_WARN("trainer") << "t" << id_ << " batched announce (partially) rejected";
+    }
+  }
+}
+
+sim::Task<void> Trainer::download_updates(std::uint32_t iter, sim::TimeNs deadline,
+                                          TrainerRecord& rec) {
+  last_update_.assign(ctx_.spec.num_params(), 0.0);
+  const sim::TimeNs grace = ctx_.spec.schedule.t_sync / 2;
+  for (std::size_t p = 0; p < ctx_.spec.num_partitions(); ++p) {
+    bool got = false;
+    // Algorithm 1 lines 16-22: poll the directory until the CID appears.
+    while (!got) {
+      const auto entries = co_await ctx_.dir.poll(host_, static_cast<std::uint32_t>(p), iter,
+                                                  directory::EntryType::kGlobalUpdate);
+      if (!entries.empty()) {
+        // Only the first (verified, in verifiable mode) global update counts.
+        const Bytes data = co_await ctx_.swarm.fetch(host_, entries.front().cid);
+        const Payload payload = Payload::deserialize(data);
+        const auto avg = payload.average(ctx_.spec.options.frac_bits);
+        const auto [first, last] = ctx_.spec.partition_range(p);
+        if (avg.size() != last - first) {
+          throw std::runtime_error("trainer: global update has wrong partition size");
+        }
+        std::copy(avg.begin(), avg.end(),
+                  last_update_.begin() + static_cast<std::ptrdiff_t>(first));
+        got = true;
+        break;
+      }
+      if (ctx_.sim.now() > deadline + grace) break;
+      co_await ctx_.sim.sleep(ctx_.spec.schedule.poll_interval);
+    }
+    if (!got) {
+      rec.update_missing = true;
+      last_update_.clear();
+      DFL_DEBUG("trainer") << "t" << id_ << " missing update for partition " << p << " iter "
+                           << iter;
+      co_return;
+    }
+  }
+}
+
+}  // namespace dfl::core

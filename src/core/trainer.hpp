@@ -1,0 +1,50 @@
+// The trainer actor of Algorithm 1: trains locally, splits the gradient
+// into partitions, appends the averaging weight, uploads each partition to
+// its designated IPFS provider, registers the hashes (and commitments in
+// verifiable mode) with the directory, then polls for the globally updated
+// partitions and reassembles the model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/metrics.hpp"
+#include "sim/task.hpp"
+
+namespace dfl::core {
+
+class Trainer {
+ public:
+  Trainer(Context& ctx, std::uint32_t id, sim::Host& host,
+          TrainerBehavior behavior = TrainerBehavior::kHonest)
+      : ctx_(ctx), id_(id), host_(host), behavior_(behavior) {}
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] sim::Host& host() { return host_; }
+  [[nodiscard]] TrainerBehavior behavior() const { return behavior_; }
+  void set_behavior(TrainerBehavior b) { behavior_ = b; }
+
+  /// One full FL iteration (Algorithm 1, TRAINER). Fills metrics.trainers[id].
+  [[nodiscard]] sim::Task<void> run_round(std::uint32_t iter, sim::TimeNs round_start,
+                                          RoundMetrics& metrics);
+
+  /// The averaged update this trainer assembled in its last completed round
+  /// (empty if the round failed). Element count == spec.num_params().
+  [[nodiscard]] const std::vector<double>& last_model_update() const { return last_update_; }
+
+ private:
+  [[nodiscard]] sim::Task<void> upload_gradients(std::uint32_t iter,
+                                                 const std::vector<std::int64_t>& grad,
+                                                 RoundMetrics& metrics, TrainerRecord& rec);
+  [[nodiscard]] sim::Task<void> download_updates(std::uint32_t iter, sim::TimeNs deadline,
+                                                 TrainerRecord& rec);
+
+  Context& ctx_;
+  std::uint32_t id_;
+  sim::Host& host_;
+  TrainerBehavior behavior_;
+  std::vector<double> last_update_;
+};
+
+}  // namespace dfl::core

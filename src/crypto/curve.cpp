@@ -1,0 +1,289 @@
+#include "crypto/curve.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace dfl::crypto {
+
+Curve::Curve(CurveId id, std::string name, const U256& p, const U256& a, const U256& b,
+             const U256& n, const U256& gx, const U256& gy)
+    : id_(id),
+      name_(std::move(name)),
+      fp_(p),
+      fn_(n),
+      a_(fp_.to_mont(a)),
+      b_(fp_.to_mont(b)),
+      n_(n),
+      a_is_zero_(a.is_zero()) {
+  g_ = AffinePoint{fp_.to_mont(gx), fp_.to_mont(gy), false};
+  if (!is_on_curve(g_)) {
+    throw std::logic_error("Curve: generator not on curve (bad parameters)");
+  }
+}
+
+const Curve& Curve::secp256k1() {
+  static const Curve curve(
+      CurveId::kSecp256k1, "secp256k1",
+      U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f"),
+      U256::from_hex("0000000000000000000000000000000000000000000000000000000000000000"),
+      U256::from_hex("0000000000000000000000000000000000000000000000000000000000000007"),
+      U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141"),
+      U256::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798"),
+      U256::from_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8"));
+  return curve;
+}
+
+const Curve& Curve::secp256r1() {
+  static const Curve curve(
+      CurveId::kSecp256r1, "secp256r1",
+      U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff"),
+      U256::from_hex("ffffffff00000001000000000000000000000000fffffffffffffffffffffffc"),
+      U256::from_hex("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b"),
+      U256::from_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551"),
+      U256::from_hex("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296"),
+      U256::from_hex("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5"));
+  return curve;
+}
+
+const Curve& Curve::get(CurveId id) {
+  return id == CurveId::kSecp256k1 ? secp256k1() : secp256r1();
+}
+
+JacobianPoint Curve::infinity() const {
+  return JacobianPoint{fp_.one(), fp_.one(), fp_.zero()};
+}
+
+Fe Curve::curve_rhs(const Fe& x) const {
+  // x^3 + a x + b
+  Fe rhs = fp_.mul(fp_.sqr(x), x);
+  if (!a_is_zero_) rhs = fp_.add(rhs, fp_.mul(a_, x));
+  return fp_.add(rhs, b_);
+}
+
+bool Curve::is_on_curve(const AffinePoint& p) const {
+  if (p.infinity) return true;
+  return fp_.sqr(p.y) == curve_rhs(p.x);
+}
+
+JacobianPoint Curve::to_jacobian(const AffinePoint& p) const {
+  if (p.infinity) return infinity();
+  return JacobianPoint{p.x, p.y, fp_.one()};
+}
+
+AffinePoint Curve::to_affine(const JacobianPoint& p) const {
+  if (is_infinity(p)) return AffinePoint{};
+  const Fe zinv = fp_.inv(p.z);
+  const Fe zinv2 = fp_.sqr(zinv);
+  return AffinePoint{fp_.mul(p.x, zinv2), fp_.mul(p.y, fp_.mul(zinv2, zinv)), false};
+}
+
+std::vector<AffinePoint> Curve::batch_to_affine(const std::vector<JacobianPoint>& pts) const {
+  std::vector<AffinePoint> out(pts.size());
+  if (pts.empty()) return out;
+
+  // Montgomery batch inversion of all non-zero Z coordinates.
+  std::vector<Fe> prefix(pts.size());
+  Fe acc = fp_.one();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    prefix[i] = acc;
+    if (!is_infinity(pts[i])) acc = fp_.mul(acc, pts[i].z);
+  }
+  Fe inv_acc = fp_.inv(acc);
+  for (std::size_t i = pts.size(); i > 0; --i) {
+    const std::size_t k = i - 1;
+    if (is_infinity(pts[k])) {
+      out[k] = AffinePoint{};
+      continue;
+    }
+    const Fe zinv = fp_.mul(inv_acc, prefix[k]);
+    inv_acc = fp_.mul(inv_acc, pts[k].z);
+    const Fe zinv2 = fp_.sqr(zinv);
+    out[k] = AffinePoint{fp_.mul(pts[k].x, zinv2), fp_.mul(pts[k].y, fp_.mul(zinv2, zinv)),
+                         false};
+  }
+  return out;
+}
+
+JacobianPoint Curve::dbl(const JacobianPoint& p) const {
+  if (is_infinity(p) || fp_.is_zero(p.y)) return infinity();
+  // Standard Jacobian doubling, generic curve coefficient a.
+  const Fe y2 = fp_.sqr(p.y);
+  const Fe s = fp_.mul(fp_.from_u64(4), fp_.mul(p.x, y2));
+  Fe m = fp_.mul(fp_.from_u64(3), fp_.sqr(p.x));
+  if (!a_is_zero_) {
+    const Fe z2 = fp_.sqr(p.z);
+    m = fp_.add(m, fp_.mul(a_, fp_.sqr(z2)));
+  }
+  const Fe x3 = fp_.sub(fp_.sqr(m), fp_.add(s, s));
+  const Fe y3 = fp_.sub(fp_.mul(m, fp_.sub(s, x3)),
+                        fp_.mul(fp_.from_u64(8), fp_.sqr(y2)));
+  const Fe z3 = fp_.mul(fp_.add(p.y, p.y), p.z);
+  return JacobianPoint{x3, y3, z3};
+}
+
+JacobianPoint Curve::add(const JacobianPoint& p, const JacobianPoint& q) const {
+  if (is_infinity(p)) return q;
+  if (is_infinity(q)) return p;
+  const Fe z1z1 = fp_.sqr(p.z);
+  const Fe z2z2 = fp_.sqr(q.z);
+  const Fe u1 = fp_.mul(p.x, z2z2);
+  const Fe u2 = fp_.mul(q.x, z1z1);
+  const Fe s1 = fp_.mul(p.y, fp_.mul(z2z2, q.z));
+  const Fe s2 = fp_.mul(q.y, fp_.mul(z1z1, p.z));
+  if (u1 == u2) {
+    if (s1 == s2) return dbl(p);
+    return infinity();
+  }
+  const Fe h = fp_.sub(u2, u1);
+  const Fe r = fp_.sub(s2, s1);
+  const Fe h2 = fp_.sqr(h);
+  const Fe h3 = fp_.mul(h2, h);
+  const Fe u1h2 = fp_.mul(u1, h2);
+  const Fe x3 = fp_.sub(fp_.sub(fp_.sqr(r), h3), fp_.add(u1h2, u1h2));
+  const Fe y3 = fp_.sub(fp_.mul(r, fp_.sub(u1h2, x3)), fp_.mul(s1, h3));
+  const Fe z3 = fp_.mul(fp_.mul(p.z, q.z), h);
+  return JacobianPoint{x3, y3, z3};
+}
+
+JacobianPoint Curve::add_mixed(const JacobianPoint& p, const AffinePoint& q) const {
+  if (q.infinity) return p;
+  if (is_infinity(p)) return to_jacobian(q);
+  const Fe z1z1 = fp_.sqr(p.z);
+  const Fe u2 = fp_.mul(q.x, z1z1);
+  const Fe s2 = fp_.mul(q.y, fp_.mul(z1z1, p.z));
+  if (p.x == u2) {
+    if (p.y == s2) return dbl(p);
+    return infinity();
+  }
+  const Fe h = fp_.sub(u2, p.x);
+  const Fe r = fp_.sub(s2, p.y);
+  const Fe h2 = fp_.sqr(h);
+  const Fe h3 = fp_.mul(h2, h);
+  const Fe u1h2 = fp_.mul(p.x, h2);
+  const Fe x3 = fp_.sub(fp_.sub(fp_.sqr(r), h3), fp_.add(u1h2, u1h2));
+  const Fe y3 = fp_.sub(fp_.mul(r, fp_.sub(u1h2, x3)), fp_.mul(p.y, h3));
+  const Fe z3 = fp_.mul(p.z, h);
+  return JacobianPoint{x3, y3, z3};
+}
+
+JacobianPoint Curve::neg(const JacobianPoint& p) const {
+  return JacobianPoint{p.x, fp_.neg(p.y), p.z};
+}
+
+bool Curve::eq(const JacobianPoint& p, const JacobianPoint& q) const {
+  const bool pi = is_infinity(p);
+  const bool qi = is_infinity(q);
+  if (pi || qi) return pi == qi;
+  // Compare cross-multiplied coordinates to avoid inversions.
+  const Fe z1z1 = fp_.sqr(p.z);
+  const Fe z2z2 = fp_.sqr(q.z);
+  if (!(fp_.mul(p.x, z2z2) == fp_.mul(q.x, z1z1))) return false;
+  return fp_.mul(p.y, fp_.mul(z2z2, q.z)) == fp_.mul(q.y, fp_.mul(z1z1, p.z));
+}
+
+JacobianPoint Curve::scalar_mul(const AffinePoint& base, const U256& k) const {
+  JacobianPoint acc = infinity();
+  if (base.infinity || k.is_zero()) return acc;
+  for (int i = k.bit_length() - 1; i >= 0; --i) {
+    acc = dbl(acc);
+    if (k.bit(i)) acc = add_mixed(acc, base);
+  }
+  return acc;
+}
+
+JacobianPoint Curve::scalar_mul_wnaf(const AffinePoint& base, const U256& k) const {
+  if (base.infinity || k.is_zero()) return infinity();
+  constexpr int kWidth = 4;
+  constexpr std::uint64_t kWindow = 1ULL << kWidth;       // 16
+  constexpr std::uint64_t kHalf = kWindow / 2;            // 8
+
+  // Digit decomposition: odd digits in [-7, 7] (zero-run skipping).
+  std::array<std::int8_t, 260> digits{};
+  int len = 0;
+  U256 n = k;
+  while (!n.is_zero()) {
+    std::int8_t d = 0;
+    if (n.is_odd()) {
+      const std::uint64_t mod = n.limb[0] & (kWindow - 1);
+      if (mod >= kHalf) {
+        d = static_cast<std::int8_t>(static_cast<std::int64_t>(mod) -
+                                     static_cast<std::int64_t>(kWindow));
+        // n -= d  (d negative): n += |d|
+        n.add_assign(U256(static_cast<std::uint64_t>(-static_cast<std::int64_t>(d))));
+      } else {
+        d = static_cast<std::int8_t>(mod);
+        n.sub_assign(U256(mod));
+      }
+    }
+    digits[static_cast<std::size_t>(len++)] = d;
+    n.shr1();
+  }
+
+  // Precompute odd multiples 1P, 3P, 5P, 7P as affine (one batch inversion).
+  std::vector<JacobianPoint> odd;
+  odd.reserve(kHalf / 2);
+  const JacobianPoint p = to_jacobian(base);
+  const JacobianPoint two_p = dbl(p);
+  odd.push_back(p);
+  for (std::size_t i = 1; i < kHalf / 2; ++i) odd.push_back(add(odd.back(), two_p));
+  const std::vector<AffinePoint> table = batch_to_affine(odd);
+
+  JacobianPoint acc = infinity();
+  for (int i = len - 1; i >= 0; --i) {
+    acc = dbl(acc);
+    const std::int8_t d = digits[static_cast<std::size_t>(i)];
+    if (d > 0) {
+      acc = add_mixed(acc, table[static_cast<std::size_t>((d - 1) / 2)]);
+    } else if (d < 0) {
+      AffinePoint negp = table[static_cast<std::size_t>((-d - 1) / 2)];
+      negp.y = fp_.neg(negp.y);
+      acc = add_mixed(acc, negp);
+    }
+  }
+  return acc;
+}
+
+std::optional<Fe> Curve::sqrt(const Fe& a) const {
+  if (fp_.is_zero(a)) return fp_.zero();
+  // p ≡ 3 (mod 4) for both supported primes: sqrt = a^((p+1)/4).
+  U256 e = fp_.modulus();
+  e.add_assign(U256(1));  // cannot overflow: p < 2^256 - 1 for both curves
+  e.shr1();
+  e.shr1();
+  const Fe r = fp_.pow(a, e);
+  if (!(fp_.sqr(r) == a)) return std::nullopt;
+  return r;
+}
+
+Bytes Curve::serialize(const AffinePoint& p) const {
+  if (p.infinity) return Bytes{0x00};
+  Bytes out;
+  out.reserve(33);
+  const U256 y = fp_.from_mont(p.y);
+  out.push_back(y.is_odd() ? 0x03 : 0x02);
+  const Bytes x = fp_.from_mont(p.x).to_be_bytes();
+  out.insert(out.end(), x.begin(), x.end());
+  return out;
+}
+
+AffinePoint Curve::deserialize(BytesView bytes) const {
+  if (bytes.size() == 1 && bytes[0] == 0x00) return AffinePoint{};
+  if (bytes.size() != 33 || (bytes[0] != 0x02 && bytes[0] != 0x03)) {
+    throw std::invalid_argument("Curve::deserialize: malformed point encoding");
+  }
+  const U256 x_int = U256::from_be_bytes(bytes.subspan(1));
+  if (!(x_int < fp_.modulus())) {
+    throw std::invalid_argument("Curve::deserialize: x out of range");
+  }
+  const Fe x = fp_.to_mont(x_int);
+  const auto y = sqrt(curve_rhs(x));
+  if (!y) {
+    throw std::invalid_argument("Curve::deserialize: x not on curve");
+  }
+  Fe y_fe = *y;
+  const bool want_odd = bytes[0] == 0x03;
+  if (fp_.from_mont(y_fe).is_odd() != want_odd) y_fe = fp_.neg(y_fe);
+  return AffinePoint{x, y_fe, false};
+}
+
+}  // namespace dfl::crypto

@@ -1,0 +1,55 @@
+#include "crypto/encoding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dfl::crypto {
+
+namespace {
+
+// Saturate encoded magnitudes to 2^40 so that aggregating up to ~2^20
+// parties' values stays far from int64 overflow.
+constexpr std::int64_t kEncodedCap = std::int64_t{1} << 40;
+
+}  // namespace
+
+std::int64_t encode_fixed(double v, int frac_bits) {
+  const double scaled = std::nearbyint(v * static_cast<double>(std::int64_t{1} << frac_bits));
+  if (scaled >= static_cast<double>(kEncodedCap)) return kEncodedCap;
+  if (scaled <= -static_cast<double>(kEncodedCap)) return -kEncodedCap;
+  return static_cast<std::int64_t>(scaled);
+}
+
+double decode_fixed(std::int64_t v, int frac_bits) {
+  return static_cast<double>(v) / static_cast<double>(std::int64_t{1} << frac_bits);
+}
+
+std::vector<std::int64_t> encode_fixed_vec(const std::vector<double>& v, int frac_bits) {
+  std::vector<std::int64_t> out;
+  out.reserve(v.size());
+  for (double x : v) out.push_back(encode_fixed(x, frac_bits));
+  return out;
+}
+
+std::vector<double> decode_fixed_vec(const std::vector<std::int64_t>& v, int frac_bits) {
+  std::vector<double> out;
+  out.reserve(v.size());
+  for (std::int64_t x : v) out.push_back(decode_fixed(x, frac_bits));
+  return out;
+}
+
+U256 to_scalar(std::int64_t v, const Curve& curve) {
+  if (v >= 0) return U256(static_cast<std::uint64_t>(v));
+  U256 n = curve.order();
+  n.sub_assign(U256(static_cast<std::uint64_t>(-v)));
+  return n;
+}
+
+std::vector<U256> to_scalars(const std::vector<std::int64_t>& v, const Curve& curve) {
+  std::vector<U256> out;
+  out.reserve(v.size());
+  for (std::int64_t x : v) out.push_back(to_scalar(x, curve));
+  return out;
+}
+
+}  // namespace dfl::crypto

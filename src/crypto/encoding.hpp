@@ -1,0 +1,38 @@
+// Fixed-point encoding of real-valued gradients into signed 64-bit integers
+// and from there into scalars mod the curve order.
+//
+// Aggregation in the protocol happens over the *encoded integers*, so the
+// homomorphic sum of Pedersen commitments matches the aggregated vector
+// exactly (no float-rounding mismatch): encode(sum) == sum(encode) by
+// construction when all parties encode before summing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/curve.hpp"
+#include "crypto/u256.hpp"
+
+namespace dfl::crypto {
+
+/// Default number of fractional bits for gradient quantization.
+inline constexpr int kDefaultFracBits = 16;
+
+/// round(v * 2^frac_bits), saturating at int32 range scaled up so that sums
+/// of millions of terms cannot overflow int64.
+std::int64_t encode_fixed(double v, int frac_bits = kDefaultFracBits);
+
+/// Inverse of encode_fixed.
+double decode_fixed(std::int64_t v, int frac_bits = kDefaultFracBits);
+
+std::vector<std::int64_t> encode_fixed_vec(const std::vector<double>& v,
+                                           int frac_bits = kDefaultFracBits);
+std::vector<double> decode_fixed_vec(const std::vector<std::int64_t>& v,
+                                     int frac_bits = kDefaultFracBits);
+
+/// Maps a signed integer into the scalar field: v >= 0 -> v, v < 0 -> n - |v|.
+U256 to_scalar(std::int64_t v, const Curve& curve);
+
+std::vector<U256> to_scalars(const std::vector<std::int64_t>& v, const Curve& curve);
+
+}  // namespace dfl::crypto

@@ -1,0 +1,63 @@
+#include "crypto/hash_to_curve.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+#include "common/serde.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dfl::crypto {
+
+AffinePoint hash_to_curve(const Curve& curve, std::string_view domain, std::uint64_t index) {
+  // Try-and-increment: candidate x = H(domain || curve || index || counter);
+  // succeeds for ~half the counters, so a few iterations suffice.
+  for (std::uint32_t counter = 0; counter < 1000; ++counter) {
+    Writer w;
+    w.put_string("dfl/hash-to-curve/v1");
+    w.put_string(std::string(domain));
+    w.put_string(curve.name());
+    w.put<std::uint64_t>(index);
+    w.put<std::uint32_t>(counter);
+    const Sha256Digest digest = Sha256::hash(w.bytes());
+    const U256 x_int = U256::from_be_bytes(BytesView(digest.data(), digest.size()));
+    if (!(x_int < curve.fp().modulus())) continue;
+    const Fe x = curve.fp().to_mont(x_int);
+    const auto y = curve.sqrt(curve.curve_rhs(x));
+    if (!y) continue;
+    // Normalize the sign choice: take the even-y root for determinism.
+    Fe y_fe = *y;
+    if (curve.fp().from_mont(y_fe).is_odd()) y_fe = curve.fp().neg(y_fe);
+    const AffinePoint p{x, y_fe, false};
+    // Curves have prime order and cofactor 1, so any on-curve point != O
+    // generates the full group; no cofactor clearing needed.
+    return p;
+  }
+  throw std::runtime_error("hash_to_curve: exhausted counters (should be unreachable)");
+}
+
+std::vector<AffinePoint> derive_generators(const Curve& curve, std::string_view domain,
+                                           std::size_t count) {
+  std::vector<AffinePoint> out(count);
+  // Derivation is pure and per-index independent; fan out across cores for
+  // large commitment keys (setup cost only — commits themselves are what
+  // the paper measures).
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t workers = count >= 4096 ? std::min<std::size_t>(hw, 32) : 1;
+  if (workers == 1) {
+    for (std::size_t i = 0; i < count; ++i) out[i] = hash_to_curve(curve, domain, i);
+    return out;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = t; i < count; i += workers) {
+        out[i] = hash_to_curve(curve, domain, i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  return out;
+}
+
+}  // namespace dfl::crypto

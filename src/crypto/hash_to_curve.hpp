@@ -1,0 +1,22 @@
+// Deterministic derivation of independent group generators with unknown
+// discrete-log relations, via try-and-increment hashing. Used to build the
+// Pedersen commitment key so no party knows a trapdoor between generators.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "crypto/curve.hpp"
+
+namespace dfl::crypto {
+
+/// Hashes (domain, index) to a curve point. Deterministic: every node
+/// derives the same generator vector independently.
+AffinePoint hash_to_curve(const Curve& curve, std::string_view domain, std::uint64_t index);
+
+/// Derives `count` generators h_0 .. h_{count-1} under a common domain tag.
+std::vector<AffinePoint> derive_generators(const Curve& curve, std::string_view domain,
+                                           std::size_t count);
+
+}  // namespace dfl::crypto

@@ -1,0 +1,137 @@
+#include "crypto/mont.hpp"
+
+#include <stdexcept>
+
+namespace dfl::crypto {
+
+using u128 = unsigned __int128;
+
+namespace {
+
+// -m^{-1} mod 2^64 for odd m, via Newton iteration on the 2-adic inverse.
+std::uint64_t neg_inv64(std::uint64_t m) {
+  std::uint64_t inv = m;  // correct to 3 bits
+  for (int i = 0; i < 5; ++i) inv *= 2 - m * inv;
+  return ~inv + 1;  // -(m^{-1})
+}
+
+// 2^256 mod m via 256 modular doublings — O(1) in the modulus size, so it
+// also handles small moduli (used in tests) without degenerate looping.
+U256 r_mod(const U256& m) {
+  U256 r(1);
+  for (int i = 0; i < 256; ++i) {
+    const std::uint64_t carry = r.shl1();
+    if (carry != 0 || r >= m) r.sub_assign(m);
+  }
+  return r;
+}
+
+}  // namespace
+
+FieldCtx::FieldCtx(const U256& modulus) : m_(modulus), n0_(neg_inv64(modulus.limb[0])) {
+  if (!modulus.is_odd()) {
+    throw std::invalid_argument("FieldCtx: modulus must be odd");
+  }
+  // R mod m, then square it by doubling 256 times to get R^2 mod m.
+  const U256 r = r_mod(m_);
+  U256 r2 = r;
+  for (int i = 0; i < 256; ++i) {
+    const std::uint64_t carry = r2.shl1();
+    if (carry != 0 || r2 >= m_) r2.sub_assign(m_);
+  }
+  r2_ = Fe{r2};
+  one_ = Fe{r};
+}
+
+U256 FieldCtx::mont_mul(const U256& a, const U256& b) const {
+  // CIOS (coarsely integrated operand scanning) with 4 limbs.
+  std::uint64_t t[6] = {0, 0, 0, 0, 0, 0};
+  for (std::size_t i = 0; i < 4; ++i) {
+    // t += a[i] * b
+    u128 carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(a.limb[i]) * b.limb[j] + t[j] + carry;
+      t[j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    u128 sum = static_cast<u128>(t[4]) + carry;
+    t[4] = static_cast<std::uint64_t>(sum);
+    t[5] += static_cast<std::uint64_t>(sum >> 64);
+
+    // Reduce one limb: t += q * m with q chosen so the low limb vanishes.
+    const std::uint64_t q = t[0] * n0_;
+    u128 cur = static_cast<u128>(q) * m_.limb[0] + t[0];
+    carry = cur >> 64;
+    for (std::size_t j = 1; j < 4; ++j) {
+      cur = static_cast<u128>(q) * m_.limb[j] + t[j] + carry;
+      t[j - 1] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    sum = static_cast<u128>(t[4]) + carry;
+    t[3] = static_cast<std::uint64_t>(sum);
+    t[4] = t[5] + static_cast<std::uint64_t>(sum >> 64);
+    t[5] = 0;
+  }
+  U256 r{t[0], t[1], t[2], t[3]};
+  if (t[4] != 0 || r >= m_) r.sub_assign(m_);
+  return r;
+}
+
+Fe FieldCtx::to_mont(const U256& x) const {
+  U256 reduced = x;
+  if (reduced >= m_) {
+    // Binary long division remainder: O(256) regardless of modulus size.
+    U256 r{};
+    for (int i = x.bit_length() - 1; i >= 0; --i) {
+      const std::uint64_t carry = r.shl1();
+      if (x.bit(i)) r.add_assign(U256(1));
+      if (carry != 0 || r >= m_) r.sub_assign(m_);
+    }
+    reduced = r;
+  }
+  return Fe{mont_mul(reduced, r2_.raw)};
+}
+
+U256 FieldCtx::from_mont(const Fe& x) const {
+  return mont_mul(x.raw, U256(1));
+}
+
+Fe FieldCtx::add(const Fe& a, const Fe& b) const {
+  return Fe{add_mod(a.raw, b.raw, m_)};
+}
+
+Fe FieldCtx::sub(const Fe& a, const Fe& b) const {
+  return Fe{sub_mod(a.raw, b.raw, m_)};
+}
+
+Fe FieldCtx::neg(const Fe& a) const {
+  if (a.raw.is_zero()) return a;
+  U256 r = m_;
+  r.sub_assign(a.raw);
+  return Fe{r};
+}
+
+Fe FieldCtx::mul(const Fe& a, const Fe& b) const {
+  return Fe{mont_mul(a.raw, b.raw)};
+}
+
+Fe FieldCtx::pow(const Fe& a, const U256& e) const {
+  Fe result = one();
+  const int top = e.bit_length();
+  for (int i = top - 1; i >= 0; --i) {
+    result = sqr(result);
+    if (e.bit(i)) result = mul(result, a);
+  }
+  return result;
+}
+
+Fe FieldCtx::inv(const Fe& a) const {
+  if (a.raw.is_zero()) {
+    throw std::domain_error("FieldCtx::inv of zero");
+  }
+  U256 e = m_;
+  e.sub_assign(U256(2));
+  return pow(a, e);
+}
+
+}  // namespace dfl::crypto

@@ -1,0 +1,60 @@
+// Montgomery-form modular arithmetic over an arbitrary odd 256-bit modulus.
+// One `FieldCtx` instance exists per modulus (curve base field or scalar
+// field); field elements are plain U256 values in Montgomery representation
+// so they stay trivially copyable.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/u256.hpp"
+
+namespace dfl::crypto {
+
+/// A field element in Montgomery form. Interpreting the raw U256 requires
+/// the owning FieldCtx; the wrapper type exists purely to prevent mixing
+/// Montgomery-form and plain integers by accident.
+struct Fe {
+  U256 raw;
+  friend constexpr bool operator==(const Fe&, const Fe&) = default;
+};
+
+class FieldCtx {
+ public:
+  /// `modulus` must be odd and > 2 (true for all curve fields we use).
+  explicit FieldCtx(const U256& modulus);
+
+  [[nodiscard]] const U256& modulus() const { return m_; }
+
+  /// Conversions between plain integers (mod m) and Montgomery form.
+  [[nodiscard]] Fe to_mont(const U256& x) const;
+  [[nodiscard]] U256 from_mont(const Fe& x) const;
+
+  [[nodiscard]] Fe zero() const { return Fe{U256{}}; }
+  [[nodiscard]] Fe one() const { return one_; }
+  [[nodiscard]] bool is_zero(const Fe& x) const { return x.raw.is_zero(); }
+
+  [[nodiscard]] Fe add(const Fe& a, const Fe& b) const;
+  [[nodiscard]] Fe sub(const Fe& a, const Fe& b) const;
+  [[nodiscard]] Fe neg(const Fe& a) const;
+  [[nodiscard]] Fe mul(const Fe& a, const Fe& b) const;
+  [[nodiscard]] Fe sqr(const Fe& a) const { return mul(a, a); }
+
+  /// a^e for a plain (non-Montgomery) exponent.
+  [[nodiscard]] Fe pow(const Fe& a, const U256& e) const;
+
+  /// Multiplicative inverse via Fermat's little theorem (modulus prime).
+  [[nodiscard]] Fe inv(const Fe& a) const;
+
+  /// Small-integer constant lifted into the field.
+  [[nodiscard]] Fe from_u64(std::uint64_t v) const { return to_mont(U256(v)); }
+
+ private:
+  [[nodiscard]] U256 mont_mul(const U256& a, const U256& b) const;
+
+  U256 m_;
+  std::uint64_t n0_;  // -m^{-1} mod 2^64
+  Fe r2_;             // R^2 mod m (Montgomery form of R)
+  Fe one_;            // Montgomery form of 1 (= R mod m)
+};
+
+}  // namespace dfl::crypto

@@ -1,0 +1,90 @@
+#include "crypto/msm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dfl::crypto {
+
+namespace {
+
+void check_sizes(const std::vector<AffinePoint>& points, const std::vector<U256>& scalars) {
+  if (points.size() != scalars.size()) {
+    throw std::invalid_argument("msm: points/scalars size mismatch");
+  }
+}
+
+int max_bit_length(const std::vector<U256>& scalars) {
+  int bits = 0;
+  for (const U256& s : scalars) bits = std::max(bits, s.bit_length());
+  return bits;
+}
+
+// Window size heuristic: roughly log2(n) - 3, clamped to [2, 16].
+int pick_window(std::size_t n) {
+  int w = 2;
+  std::size_t threshold = 32;
+  while (n > threshold && w < 16) {
+    ++w;
+    threshold *= 2;
+  }
+  return w;
+}
+
+}  // namespace
+
+JacobianPoint msm_naive(const Curve& curve, const std::vector<AffinePoint>& points,
+                        const std::vector<U256>& scalars) {
+  check_sizes(points, scalars);
+  JacobianPoint acc = curve.infinity();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    acc = curve.add(acc, curve.scalar_mul(points[i], scalars[i]));
+  }
+  return acc;
+}
+
+JacobianPoint msm_pippenger(const Curve& curve, const std::vector<AffinePoint>& points,
+                            const std::vector<U256>& scalars) {
+  check_sizes(points, scalars);
+  if (points.empty()) return curve.infinity();
+
+  const int total_bits = std::max(1, max_bit_length(scalars));
+  const int c = pick_window(points.size());
+  const std::size_t num_buckets = (std::size_t{1} << c) - 1;
+  const int num_windows = (total_bits + c - 1) / c;
+
+  JacobianPoint result = curve.infinity();
+  std::vector<JacobianPoint> buckets(num_buckets);
+
+  for (int w = num_windows - 1; w >= 0; --w) {
+    // Shift the running result left by one window.
+    if (!curve.is_infinity(result)) {
+      for (int i = 0; i < c; ++i) result = curve.dbl(result);
+    }
+
+    std::fill(buckets.begin(), buckets.end(), curve.infinity());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::uint64_t digit = scalars[i].bits(w * c, c);
+      if (digit == 0 || points[i].infinity) continue;
+      buckets[digit - 1] = curve.add_mixed(buckets[digit - 1], points[i]);
+    }
+
+    // Sum of (digit * bucket[digit]) via the running-sum trick:
+    //   sum_{d=1}^{B} d * bucket_d = sum of suffix sums.
+    JacobianPoint running = curve.infinity();
+    JacobianPoint window_sum = curve.infinity();
+    for (std::size_t d = num_buckets; d > 0; --d) {
+      running = curve.add(running, buckets[d - 1]);
+      window_sum = curve.add(window_sum, running);
+    }
+    result = curve.add(result, window_sum);
+  }
+  return result;
+}
+
+JacobianPoint msm(const Curve& curve, const std::vector<AffinePoint>& points,
+                  const std::vector<U256>& scalars) {
+  if (points.size() < 8) return msm_naive(curve, points, scalars);
+  return msm_pippenger(curve, points, scalars);
+}
+
+}  // namespace dfl::crypto

@@ -1,0 +1,32 @@
+// Multi-scalar multiplication: sum_i  s_i * P_i.
+//
+// Two implementations:
+//  - `msm_naive`: independent double-and-add per term. This mirrors the
+//    paper's "rather straight-forward" Pedersen implementation (Section V).
+//  - `msm_pippenger`: bucketed windowed method (the multi-exponentiation
+//    optimization the paper cites as future work [27, 28]).
+//
+// Both scan the actual scalar bit lengths, so small scalars (fixed-point
+// gradients) are automatically cheap and nothing is ever truncated.
+#pragma once
+
+#include <vector>
+
+#include "crypto/curve.hpp"
+
+namespace dfl::crypto {
+
+/// Naive per-term scalar multiplication; cost scales with per-scalar bit
+/// length, matching what a library exponentiation loop would do.
+JacobianPoint msm_naive(const Curve& curve, const std::vector<AffinePoint>& points,
+                        const std::vector<U256>& scalars);
+
+/// Pippenger bucket method.
+JacobianPoint msm_pippenger(const Curve& curve, const std::vector<AffinePoint>& points,
+                            const std::vector<U256>& scalars);
+
+/// Dispatches to Pippenger for large inputs, naive for tiny ones.
+JacobianPoint msm(const Curve& curve, const std::vector<AffinePoint>& points,
+                  const std::vector<U256>& scalars);
+
+}  // namespace dfl::crypto

@@ -1,0 +1,161 @@
+#include "crypto/pedersen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/encoding.hpp"
+#include "crypto/hash_to_curve.hpp"
+
+namespace dfl::crypto {
+
+std::string Commitment::to_hex() const { return dfl::to_hex(point); }
+
+PedersenKey::PedersenKey(const Curve& curve, std::string domain, std::size_t dim, MsmMode mode)
+    : curve_(&curve),
+      domain_(std::move(domain)),
+      generators_(derive_generators(curve, domain_, dim)),
+      blinding_(hash_to_curve(curve, domain_ + "/blinding", 0)),
+      mode_(mode) {}
+
+JacobianPoint PedersenKey::commit_point(const std::vector<std::int64_t>& values) const {
+  if (values.size() > generators_.size()) {
+    throw std::invalid_argument("PedersenKey::commit: vector longer than key dimension");
+  }
+  // Use |v| as the scalar and fold the sign into the generator, keeping
+  // scalars short (gradient-sized) for both MSM backends.
+  std::vector<AffinePoint> points;
+  std::vector<U256> scalars;
+  points.reserve(values.size());
+  scalars.reserve(values.size());
+  const FieldCtx& fp = curve_->fp();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::int64_t v = values[i];
+    if (v == 0) continue;
+    AffinePoint base = generators_[i];
+    std::uint64_t mag;
+    if (v < 0) {
+      base.y = fp.neg(base.y);
+      mag = static_cast<std::uint64_t>(-(v + 1)) + 1;  // |v| without UB at INT64_MIN
+    } else {
+      mag = static_cast<std::uint64_t>(v);
+    }
+    points.push_back(base);
+    scalars.push_back(U256(mag));
+  }
+  switch (mode_) {
+    case MsmMode::kNaive:
+      return msm_naive(*curve_, points, scalars);
+    case MsmMode::kPippenger:
+      return msm_pippenger(*curve_, points, scalars);
+    case MsmMode::kAuto:
+      return msm(*curve_, points, scalars);
+  }
+  return curve_->infinity();
+}
+
+Commitment PedersenKey::commit(const std::vector<std::int64_t>& values) const {
+  const AffinePoint p = curve_->to_affine(commit_point(values));
+  return Commitment{curve_->id(), curve_->serialize(p)};
+}
+
+Commitment PedersenKey::identity() const {
+  return Commitment{curve_->id(), Bytes{0x00}};
+}
+
+Commitment PedersenKey::add(const Commitment& a, const Commitment& b) const {
+  if (a.curve != curve_->id() || b.curve != curve_->id()) {
+    throw std::invalid_argument("PedersenKey::add: commitment from a different curve");
+  }
+  const AffinePoint pa = curve_->deserialize(a.point);
+  const AffinePoint pb = curve_->deserialize(b.point);
+  const JacobianPoint sum = curve_->add_mixed(curve_->to_jacobian(pa), pb);
+  return Commitment{curve_->id(), curve_->serialize(curve_->to_affine(sum))};
+}
+
+Commitment PedersenKey::add_all(const std::vector<Commitment>& cs) const {
+  JacobianPoint acc = curve_->infinity();
+  for (const Commitment& c : cs) {
+    if (c.curve != curve_->id()) {
+      throw std::invalid_argument("PedersenKey::add_all: commitment from a different curve");
+    }
+    acc = curve_->add_mixed(acc, curve_->deserialize(c.point));
+  }
+  return Commitment{curve_->id(), curve_->serialize(curve_->to_affine(acc))};
+}
+
+Commitment PedersenKey::commit_blinded(const std::vector<std::int64_t>& values,
+                                       const U256& blind) const {
+  const JacobianPoint v = commit_point(values);
+  const JacobianPoint b = curve_->scalar_mul_wnaf(blinding_, blind);
+  return Commitment{curve_->id(), curve_->serialize(curve_->to_affine(curve_->add(v, b)))};
+}
+
+bool PedersenKey::verify_blinded(const Commitment& c, const std::vector<std::int64_t>& values,
+                                 const U256& blind) const {
+  return c == commit_blinded(values, blind);
+}
+
+bool PedersenKey::verify_batch(const std::vector<Commitment>& cs,
+                               const std::vector<std::vector<std::int64_t>>& values,
+                               Rng& rng) const {
+  if (cs.size() != values.size()) return false;
+  if (cs.empty()) return true;
+  const FieldCtx& fn = curve_->fn();
+
+  // Random 128-bit coefficients r_i. A single forged opening passes with
+  // probability ~2^-128.
+  std::vector<U256> r;
+  r.reserve(cs.size());
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    r.push_back(U256{rng.next(), rng.next(), 0, 0});
+  }
+
+  // LHS: sum_i r_i * C_i.
+  std::vector<AffinePoint> c_points;
+  c_points.reserve(cs.size());
+  for (const Commitment& c : cs) {
+    if (c.curve != curve_->id()) return false;
+    try {
+      c_points.push_back(curve_->deserialize(c.point));
+    } catch (const std::invalid_argument&) {
+      return false;
+    }
+  }
+  const JacobianPoint lhs = msm(*curve_, c_points, r);
+
+  // RHS: commit(sum_i r_i * v_i) with coefficients folded in the scalar
+  // field, evaluated as one MSM over the generators.
+  std::size_t dim = 0;
+  for (const auto& v : values) dim = std::max(dim, v.size());
+  if (dim > generators_.size()) return false;
+  std::vector<Fe> folded(dim, fn.zero());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const Fe ri = fn.to_mont(r[i]);
+    for (std::size_t j = 0; j < values[i].size(); ++j) {
+      const Fe vj = fn.to_mont(to_scalar(values[i][j], *curve_));
+      folded[j] = fn.add(folded[j], fn.mul(ri, vj));
+    }
+  }
+  std::vector<AffinePoint> gens(generators_.begin(),
+                                generators_.begin() + static_cast<std::ptrdiff_t>(dim));
+  std::vector<U256> scalars;
+  scalars.reserve(dim);
+  for (const Fe& f : folded) scalars.push_back(fn.from_mont(f));
+  const JacobianPoint rhs = msm(*curve_, gens, scalars);
+
+  return curve_->eq(lhs, rhs);
+}
+
+bool PedersenKey::verify(const Commitment& c, const std::vector<std::int64_t>& values) const {
+  if (c.curve != curve_->id()) return false;
+  AffinePoint claimed;
+  try {
+    claimed = curve_->deserialize(c.point);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  const JacobianPoint expected = commit_point(values);
+  return curve_->eq(curve_->to_jacobian(claimed), expected);
+}
+
+}  // namespace dfl::crypto

@@ -1,0 +1,99 @@
+// Pedersen vector commitments with homomorphic addition (Section IV of the
+// paper):
+//
+//     C(v) = prod_i  h_i ^ v_i,     C(v1) * C(v2) = C(v1 + v2)
+//
+// Generators h_i are derived by hash-to-curve under a task-specific domain,
+// so no party knows discrete-log relations between them (binding under DL).
+//
+// Values are signed fixed-point integers; a negative value v_i contributes
+// (-h_i)^|v_i|, which equals h_i^{n - |v_i|} but keeps scalars small so both
+// MSM backends stay fast on gradient-sized magnitudes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/curve.hpp"
+#include "crypto/msm.hpp"
+
+namespace dfl::crypto {
+
+/// Which multi-exponentiation backend a key uses for commit/verify.
+enum class MsmMode { kNaive, kPippenger, kAuto };
+
+/// A commitment: one compressed group element plus the curve it lives on.
+struct Commitment {
+  CurveId curve = CurveId::kSecp256k1;
+  Bytes point;  // SEC1-compressed encoding (0x00 for the identity)
+
+  friend bool operator==(const Commitment&, const Commitment&) = default;
+
+  [[nodiscard]] std::string to_hex() const;
+};
+
+/// Commitment key: an ordered vector of generators for a fixed max dimension.
+class PedersenKey {
+ public:
+  /// Derives `dim` generators under `domain` on `curve`. Deriving is
+  /// deterministic, so every participant builds an identical key locally.
+  PedersenKey(const Curve& curve, std::string domain, std::size_t dim,
+              MsmMode mode = MsmMode::kAuto);
+
+  [[nodiscard]] std::size_t dim() const { return generators_.size(); }
+  [[nodiscard]] const Curve& curve() const { return *curve_; }
+  [[nodiscard]] const std::string& domain() const { return domain_; }
+  [[nodiscard]] MsmMode mode() const { return mode_; }
+  void set_mode(MsmMode mode) { mode_ = mode; }
+
+  /// Commits to a signed-integer vector (len <= dim; shorter vectors use a
+  /// prefix of the generators). Throws std::invalid_argument if too long.
+  [[nodiscard]] Commitment commit(const std::vector<std::int64_t>& values) const;
+
+  /// The identity commitment (commitment to the all-zero vector).
+  [[nodiscard]] Commitment identity() const;
+
+  /// Homomorphic combination: C(a) * C(b) = C(a + b).
+  [[nodiscard]] Commitment add(const Commitment& a, const Commitment& b) const;
+
+  /// Folds many commitments into one.
+  [[nodiscard]] Commitment add_all(const std::vector<Commitment>& cs) const;
+
+  /// Checks that `c` opens to `values` (i.e. c == commit(values)).
+  [[nodiscard]] bool verify(const Commitment& c, const std::vector<std::int64_t>& values) const;
+
+  /// Hiding variant: commit(values) + blind * H, where H is an extra
+  /// generator with unknown discrete log to every h_i. Classic Pedersen
+  /// hiding; the protocol itself uses the deterministic form (integrity,
+  /// not privacy), this supports privacy-augmented extensions.
+  [[nodiscard]] Commitment commit_blinded(const std::vector<std::int64_t>& values,
+                                          const U256& blind) const;
+  [[nodiscard]] bool verify_blinded(const Commitment& c,
+                                    const std::vector<std::int64_t>& values,
+                                    const U256& blind) const;
+
+  /// Probabilistic batch verification via a random linear combination:
+  /// accepts iff (whp over `rng`) every c_i opens to values_i. One large
+  /// MSM instead of k separate ones — the directory's per-round cost when
+  /// checking many partial updates (Section IV-B).
+  [[nodiscard]] bool verify_batch(const std::vector<Commitment>& cs,
+                                  const std::vector<std::vector<std::int64_t>>& values,
+                                  Rng& rng) const;
+
+  /// The blinding generator H.
+  [[nodiscard]] const AffinePoint& blinding_generator() const { return blinding_; }
+
+ private:
+  [[nodiscard]] JacobianPoint commit_point(const std::vector<std::int64_t>& values) const;
+
+  const Curve* curve_;
+  std::string domain_;
+  std::vector<AffinePoint> generators_;
+  AffinePoint blinding_;
+  MsmMode mode_;
+};
+
+}  // namespace dfl::crypto

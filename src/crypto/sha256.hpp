@@ -1,0 +1,41 @@
+// FIPS 180-4 SHA-256, implemented from scratch. Used for IPFS content
+// addressing (CIDs), hash-to-curve generator derivation, and the Figure 3
+// hashing baseline.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace dfl::crypto {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(BytesView data);
+  void update(const void* data, std::size_t len);
+
+  /// Finalizes and returns the digest; the context must not be reused after.
+  Sha256Digest finalize();
+
+  /// One-shot convenience.
+  static Sha256Digest hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Digest as a Bytes buffer (for APIs that want vectors).
+Bytes sha256(BytesView data);
+
+}  // namespace dfl::crypto

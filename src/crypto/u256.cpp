@@ -1,0 +1,142 @@
+#include "crypto/u256.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace dfl::crypto {
+
+using u128 = unsigned __int128;
+
+int U256::bit_length() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limb[static_cast<std::size_t>(i)] != 0) {
+      return i * 64 + (64 - std::countl_zero(limb[static_cast<std::size_t>(i)]));
+    }
+  }
+  return 0;
+}
+
+std::uint64_t U256::bits(int pos, int width) const {
+  if (pos >= 256) return 0;
+  const int limb_idx = pos >> 6;
+  const int offset = pos & 63;
+  std::uint64_t value = limb[static_cast<std::size_t>(limb_idx)] >> offset;
+  if (offset + width > 64 && limb_idx + 1 < 4) {
+    value |= limb[static_cast<std::size_t>(limb_idx + 1)] << (64 - offset);
+  }
+  const std::uint64_t mask = (width >= 64) ? ~0ULL : ((1ULL << width) - 1);
+  return value & mask;
+}
+
+int U256::cmp(const U256& other) const {
+  for (int i = 3; i >= 0; --i) {
+    const auto a = limb[static_cast<std::size_t>(i)];
+    const auto b = other.limb[static_cast<std::size_t>(i)];
+    if (a != b) return a < b ? -1 : 1;
+  }
+  return 0;
+}
+
+std::uint64_t U256::add_assign(const U256& other) {
+  u128 carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 sum = static_cast<u128>(limb[i]) + other.limb[i] + carry;
+    limb[i] = static_cast<std::uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  return static_cast<std::uint64_t>(carry);
+}
+
+std::uint64_t U256::sub_assign(const U256& other) {
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::uint64_t d = limb[i] - other.limb[i];
+    const std::uint64_t borrow2 = (limb[i] < other.limb[i]) ? 1 : 0;
+    const std::uint64_t d2 = d - borrow;
+    const std::uint64_t borrow3 = (d < borrow) ? 1 : 0;
+    limb[i] = d2;
+    borrow = borrow2 | borrow3;
+  }
+  return borrow;
+}
+
+std::uint64_t U256::shl1() {
+  const std::uint64_t out = limb[3] >> 63;
+  limb[3] = (limb[3] << 1) | (limb[2] >> 63);
+  limb[2] = (limb[2] << 1) | (limb[1] >> 63);
+  limb[1] = (limb[1] << 1) | (limb[0] >> 63);
+  limb[0] <<= 1;
+  return out;
+}
+
+void U256::shr1() {
+  limb[0] = (limb[0] >> 1) | (limb[1] << 63);
+  limb[1] = (limb[1] >> 1) | (limb[2] << 63);
+  limb[2] = (limb[2] >> 1) | (limb[3] << 63);
+  limb[3] >>= 1;
+}
+
+Bytes U256::to_be_bytes() const {
+  Bytes out(32);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::uint64_t l = limb[3 - i];
+    for (std::size_t j = 0; j < 8; ++j) {
+      out[i * 8 + j] = static_cast<std::uint8_t>(l >> (56 - 8 * j));
+    }
+  }
+  return out;
+}
+
+U256 U256::from_be_bytes(BytesView bytes) {
+  if (bytes.size() > 32) {
+    throw std::invalid_argument("U256::from_be_bytes: more than 32 bytes");
+  }
+  U256 out;
+  // Interpret as big-endian, right-aligned.
+  std::size_t bit = 0;
+  for (std::size_t i = bytes.size(); i > 0; --i, bit += 8) {
+    out.limb[bit >> 6] |= static_cast<std::uint64_t>(bytes[i - 1]) << (bit & 63);
+  }
+  return out;
+}
+
+std::string U256::to_hex() const {
+  return dfl::to_hex(to_be_bytes());
+}
+
+U256 U256::from_hex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() >= 2 && padded[0] == '0' && (padded[1] == 'x' || padded[1] == 'X')) {
+    padded.erase(0, 2);
+  }
+  if (padded.size() % 2 != 0) padded.insert(padded.begin(), '0');
+  return from_be_bytes(dfl::from_hex(padded));
+}
+
+void mul_wide(const U256& a, const U256& b, std::uint64_t out[8]) {
+  for (int i = 0; i < 8; ++i) out[i] = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    u128 carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(a.limb[i]) * b.limb[j] + out[i + j] + carry;
+      out[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    out[i + 4] = static_cast<std::uint64_t>(carry);
+  }
+}
+
+U256 add_mod(const U256& a, const U256& b, const U256& m) {
+  U256 r = a;
+  const std::uint64_t carry = r.add_assign(b);
+  if (carry != 0 || r >= m) r.sub_assign(m);
+  return r;
+}
+
+U256 sub_mod(const U256& a, const U256& b, const U256& m) {
+  U256 r = a;
+  if (r.sub_assign(b) != 0) r.add_assign(m);
+  return r;
+}
+
+}  // namespace dfl::crypto

@@ -1,0 +1,76 @@
+// Fixed-width 256-bit unsigned integer used as the representation of field
+// elements and scalars. Little-endian limb order (limb[0] is least
+// significant). All arithmetic helpers expose carries/borrows explicitly so
+// the Montgomery code in mont.cpp can build exact wide arithmetic on top.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace dfl::crypto {
+
+struct U256 {
+  // limb[0] = least-significant 64 bits.
+  std::array<std::uint64_t, 4> limb{0, 0, 0, 0};
+
+  constexpr U256() = default;
+  constexpr explicit U256(std::uint64_t low) : limb{low, 0, 0, 0} {}
+  constexpr U256(std::uint64_t l0, std::uint64_t l1, std::uint64_t l2, std::uint64_t l3)
+      : limb{l0, l1, l2, l3} {}
+
+  [[nodiscard]] constexpr bool is_zero() const {
+    return (limb[0] | limb[1] | limb[2] | limb[3]) == 0;
+  }
+  [[nodiscard]] constexpr bool is_odd() const { return (limb[0] & 1) != 0; }
+
+  /// Index of the highest set bit (0-based); -1 for zero.
+  [[nodiscard]] int bit_length() const;
+
+  /// Value of bit i (i in [0, 256)).
+  [[nodiscard]] bool bit(int i) const {
+    return ((limb[static_cast<std::size_t>(i) >> 6] >> (i & 63)) & 1) != 0;
+  }
+
+  /// Extracts `width` bits starting at bit `pos` (width <= 63); bits beyond
+  /// 256 read as zero. Used by windowed multi-scalar multiplication.
+  [[nodiscard]] std::uint64_t bits(int pos, int width) const;
+
+  friend constexpr bool operator==(const U256&, const U256&) = default;
+
+  /// Three-way compare: -1, 0, +1.
+  [[nodiscard]] int cmp(const U256& other) const;
+  [[nodiscard]] bool operator<(const U256& o) const { return cmp(o) < 0; }
+  [[nodiscard]] bool operator>=(const U256& o) const { return cmp(o) >= 0; }
+
+  /// this += other; returns the carry out (0 or 1).
+  std::uint64_t add_assign(const U256& other);
+  /// this -= other; returns the borrow out (0 or 1).
+  std::uint64_t sub_assign(const U256& other);
+
+  /// Logical shift left/right by one bit. shl1 returns the bit shifted out.
+  std::uint64_t shl1();
+  void shr1();
+
+  /// 32-byte big-endian encodings (the standard SEC1 integer encoding).
+  [[nodiscard]] Bytes to_be_bytes() const;
+  static U256 from_be_bytes(BytesView bytes);
+
+  /// Hex helpers (big-endian, no 0x prefix in output).
+  [[nodiscard]] std::string to_hex() const;
+  static U256 from_hex(std::string_view hex);
+};
+
+/// Full 256x256 -> 512-bit product, out[0..7] little-endian limbs.
+void mul_wide(const U256& a, const U256& b, std::uint64_t out[8]);
+
+/// (a + b) mod m, assuming a, m < 2^256 and a, b < m.
+U256 add_mod(const U256& a, const U256& b, const U256& m);
+
+/// (a - b) mod m, assuming a, b < m.
+U256 sub_mod(const U256& a, const U256& b, const U256& m);
+
+}  // namespace dfl::crypto

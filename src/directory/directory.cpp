@@ -1,0 +1,240 @@
+#include "directory/directory.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace dfl::directory {
+
+DirectoryService::DirectoryService(sim::Network& net, sim::Host& host, ipfs::Swarm& swarm,
+                                   DirectoryConfig config, const crypto::PedersenKey* key,
+                                   const UpdateVerifier* verifier)
+    : net_(net), host_(host), swarm_(swarm), config_(config), key_(key), verifier_(verifier) {
+  if (config_.verifiable && (key_ == nullptr || verifier_ == nullptr)) {
+    throw std::invalid_argument(
+        "DirectoryService: verifiable mode requires a commitment key and verifier");
+  }
+}
+
+void DirectoryService::set_assignment(std::uint32_t partition_id, std::uint32_t aggregator_id,
+                                      std::uint32_t trainer_id) {
+  assignment_[{partition_id, trainer_id}] = aggregator_id;
+}
+
+crypto::Commitment DirectoryService::fold(const std::optional<crypto::Commitment>& acc,
+                                          const crypto::Commitment& c) const {
+  return acc ? key_->add(*acc, c) : c;
+}
+
+bool DirectoryService::register_gradient(const Addr& addr, const ipfs::Cid& cid,
+                                         const std::optional<crypto::Commitment>& commitment) {
+  if (config_.verifiable) {
+    if (!commitment) {
+      DFL_WARN("directory") << "gradient announce without commitment rejected (trainer "
+                            << addr.uploader_id << ")";
+      return false;
+    }
+    const auto pkey = std::make_pair(addr.partition_id, addr.iter);
+    auto pit = partition_acc_.find(pkey);
+    partition_acc_.insert_or_assign(
+        pkey, fold(pit == partition_acc_.end() ? std::nullopt
+                                               : std::optional<crypto::Commitment>(pit->second),
+                   *commitment));
+    gradient_commitments_[{addr.partition_id, addr.iter}].emplace_back(addr.uploader_id,
+                                                                       *commitment);
+    const auto ait = assignment_.find({addr.partition_id, addr.uploader_id});
+    if (ait != assignment_.end()) {
+      const auto akey = std::make_tuple(addr.partition_id, ait->second, addr.iter);
+      auto cur = aggregator_acc_.find(akey);
+      aggregator_acc_.insert_or_assign(
+          akey,
+          fold(cur == aggregator_acc_.end() ? std::nullopt
+                                            : std::optional<crypto::Commitment>(cur->second),
+               *commitment));
+    }
+  }
+  upsert_row(addr, cid);
+  return true;
+}
+
+void DirectoryService::upsert_row(const Addr& addr, const ipfs::Cid& cid) {
+  auto& list = rows_[RoundKey{addr.partition_id, addr.iter, addr.type}];
+  for (auto& e : list) {
+    if (e.uploader_id == addr.uploader_id) {
+      e.cid = cid;
+      return;
+    }
+  }
+  list.push_back(Entry{addr.uploader_id, cid});
+}
+
+sim::Task<bool> DirectoryService::announce(sim::Host& caller, Addr addr, ipfs::Cid cid,
+                                           std::optional<crypto::Commitment> commitment) {
+  std::uint64_t msg = config_.addr_bytes + config_.cid_bytes;
+  if (commitment) msg += config_.commitment_bytes;
+  co_await net_.transfer(caller, host_, msg);
+  ++stats_.announcements;
+  ++stats_.announce_messages;
+  stats_.bytes_in += msg;
+
+  if (addr.type == EntryType::kGradient) {
+    const bool ok = register_gradient(addr, cid, commitment);
+    co_await net_.transfer(host_, caller, 1);
+    co_return ok;
+  }
+
+  if (config_.verifiable) {
+    if (addr.type == EntryType::kGlobalUpdate) {
+      // Fetch the claimed update from storage and verify it opens the
+      // accumulated commitment for this (partition, iter).
+      ++stats_.verifications;
+      const auto pkey = std::make_pair(addr.partition_id, addr.iter);
+      const auto accit = partition_acc_.find(pkey);
+      bool ok = accit != partition_acc_.end();
+      if (ok) {
+        try {
+          const Bytes payload = co_await swarm_.fetch(host_, cid);
+          ok = verifier_->verify(payload, accit->second);
+        } catch (const std::exception& e) {
+          DFL_WARN("directory") << "global update fetch failed: " << e.what();
+          ok = false;
+        }
+      }
+      if (!ok) {
+        ++stats_.verifications_failed;
+        DFL_WARN("directory") << "REJECTED global update for partition " << addr.partition_id
+                              << " iter " << addr.iter << " from aggregator "
+                              << addr.uploader_id;
+        co_await net_.transfer(host_, caller, 1);
+        co_return false;
+      }
+    }
+  }
+
+  upsert_row(addr, cid);
+  co_await net_.transfer(host_, caller, 1);  // ack
+  co_return true;
+}
+
+sim::Task<bool> DirectoryService::announce_batch(sim::Host& caller,
+                                                 std::vector<BatchItem> items) {
+  std::uint64_t msg = 4;  // count prefix
+  for (const BatchItem& item : items) {
+    if (item.addr.type != EntryType::kGradient) {
+      throw std::invalid_argument("announce_batch: only gradient entries may be batched");
+    }
+    msg += config_.addr_bytes + config_.cid_bytes;
+    if (item.commitment) msg += config_.commitment_bytes;
+  }
+  co_await net_.transfer(caller, host_, msg);
+  stats_.announcements += items.size();
+  ++stats_.announce_messages;
+  stats_.bytes_in += msg;
+
+  bool all_ok = true;
+  for (const BatchItem& item : items) {
+    all_ok = register_gradient(item.addr, item.cid, item.commitment) && all_ok;
+  }
+  co_await net_.transfer(host_, caller, 1);  // ack
+  co_return all_ok;
+}
+
+sim::Task<std::vector<Entry>> DirectoryService::poll(sim::Host& caller,
+                                                     std::uint32_t partition_id,
+                                                     std::uint32_t iter, EntryType type) {
+  co_await net_.transfer(caller, host_, config_.addr_bytes);
+  ++stats_.polls;
+  stats_.bytes_in += config_.addr_bytes;
+  const auto result = rows(partition_id, iter, type);
+  const std::uint64_t reply =
+      result.size() * (config_.cid_bytes + 4) + 4;  // uploader ids + count
+  stats_.bytes_out += reply;
+  co_await net_.transfer(host_, caller, reply);
+  co_return result;
+}
+
+sim::Task<std::optional<ipfs::Cid>> DirectoryService::lookup(sim::Host& caller, Addr addr) {
+  co_await net_.transfer(caller, host_, config_.addr_bytes);
+  ++stats_.lookups;
+  stats_.bytes_in += config_.addr_bytes;
+  const auto result = find(addr);
+  const std::uint64_t reply = result ? config_.cid_bytes : 1;
+  stats_.bytes_out += reply;
+  co_await net_.transfer(host_, caller, reply);
+  co_return result;
+}
+
+sim::Task<crypto::Commitment> DirectoryService::partition_commitment(sim::Host& caller,
+                                                                     std::uint32_t partition_id,
+                                                                     std::uint32_t iter) {
+  co_await net_.transfer(caller, host_, config_.addr_bytes);
+  ++stats_.lookups;
+  const auto it = partition_acc_.find({partition_id, iter});
+  if (it == partition_acc_.end()) {
+    throw std::runtime_error("directory: no accumulated commitment for partition");
+  }
+  stats_.bytes_out += config_.commitment_bytes;
+  co_await net_.transfer(host_, caller, config_.commitment_bytes);
+  co_return it->second;
+}
+
+sim::Task<crypto::Commitment> DirectoryService::aggregator_commitment(
+    sim::Host& caller, std::uint32_t partition_id, std::uint32_t aggregator_id,
+    std::uint32_t iter) {
+  co_await net_.transfer(caller, host_, config_.addr_bytes);
+  ++stats_.lookups;
+  const auto it = aggregator_acc_.find(std::make_tuple(partition_id, aggregator_id, iter));
+  if (it == aggregator_acc_.end()) {
+    throw std::runtime_error("directory: no accumulated commitment for aggregator");
+  }
+  stats_.bytes_out += config_.commitment_bytes;
+  co_await net_.transfer(host_, caller, config_.commitment_bytes);
+  co_return it->second;
+}
+
+sim::Task<std::vector<std::pair<std::uint32_t, crypto::Commitment>>>
+DirectoryService::gradient_commitments(sim::Host& caller, std::uint32_t partition_id,
+                                       std::uint32_t iter) {
+  co_await net_.transfer(caller, host_, config_.addr_bytes);
+  ++stats_.lookups;
+  std::vector<std::pair<std::uint32_t, crypto::Commitment>> result;
+  const auto it = gradient_commitments_.find({partition_id, iter});
+  if (it != gradient_commitments_.end()) result = it->second;
+  const std::uint64_t reply = result.size() * (config_.commitment_bytes + 4) + 4;
+  stats_.bytes_out += reply;
+  co_await net_.transfer(host_, caller, reply);
+  co_return result;
+}
+
+std::vector<Entry> DirectoryService::rows(std::uint32_t partition_id, std::uint32_t iter,
+                                          EntryType type) const {
+  const auto it = rows_.find(RoundKey{partition_id, iter, type});
+  if (it == rows_.end()) return {};
+  return it->second;
+}
+
+std::optional<ipfs::Cid> DirectoryService::find(const Addr& addr) const {
+  const auto it = rows_.find(RoundKey{addr.partition_id, addr.iter, addr.type});
+  if (it == rows_.end()) return std::nullopt;
+  for (const auto& e : it->second) {
+    if (e.uploader_id == addr.uploader_id) return e.cid;
+  }
+  return std::nullopt;
+}
+
+void DirectoryService::gc_before(std::uint32_t iter) {
+  for (auto it = rows_.begin(); it != rows_.end();) {
+    it = it->first.iter < iter ? rows_.erase(it) : std::next(it);
+  }
+  for (auto it = partition_acc_.begin(); it != partition_acc_.end();) {
+    it = it->first.second < iter ? partition_acc_.erase(it) : std::next(it);
+  }
+  for (auto it = aggregator_acc_.begin(); it != aggregator_acc_.end();) {
+    it = std::get<2>(it->first) < iter ? aggregator_acc_.erase(it) : std::next(it);
+  }
+  for (auto it = gradient_commitments_.begin(); it != gradient_commitments_.end();) {
+    it = it->first.second < iter ? gradient_commitments_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace dfl::directory

@@ -1,0 +1,151 @@
+// The directory service (Section III-C): maps addressing tuples
+// (uploader, partition, iteration, type) to IPFS CIDs, and — in verifiable
+// mode (Section IV) — accumulates Pedersen commitments per partition and
+// per aggregator, and verifies registered global updates against them.
+//
+// It is run by the (trusted) bootstrapper on its own host; every operation
+// is an RPC paying small-message network costs, so the directory's load
+// (ablation A4 in DESIGN.md) is measurable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "crypto/pedersen.hpp"
+#include "directory/iface.hpp"
+#include "ipfs/cid.hpp"
+#include "ipfs/swarm.hpp"
+#include "sim/net.hpp"
+
+namespace dfl::directory {
+
+/// Application hook that checks a global-update payload against the
+/// accumulated commitment. Supplied by the FL layer (the directory does
+/// not know the payload encoding).
+class UpdateVerifier {
+ public:
+  virtual ~UpdateVerifier() = default;
+  [[nodiscard]] virtual bool verify(const Bytes& payload,
+                                    const crypto::Commitment& accumulated) const = 0;
+};
+
+struct DirectoryConfig {
+  bool verifiable = false;  // Section IV modifications on/off
+  /// Wire size estimates for control messages.
+  std::uint64_t addr_bytes = 16;
+  std::uint64_t cid_bytes = 32;
+  std::uint64_t commitment_bytes = 33;
+};
+
+class DirectoryService final : public Directory {
+ public:
+  /// `key` may be null when verifiable mode is off.
+  DirectoryService(sim::Network& net, sim::Host& host, ipfs::Swarm& swarm,
+                   DirectoryConfig config, const crypto::PedersenKey* key = nullptr,
+                   const UpdateVerifier* verifier = nullptr);
+
+  [[nodiscard]] sim::Host& host() { return host_; }
+  [[nodiscard]] const DirectoryStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_ = DirectoryStats{}; }
+
+  /// Declares that trainer `trainer_id`'s partition-`partition_id` gradients
+  /// are handled by aggregator `aggregator_id` (maintains the T_ij sets, so
+  /// per-aggregator accumulated commitments can be formed).
+  void set_assignment(std::uint32_t partition_id, std::uint32_t aggregator_id,
+                      std::uint32_t trainer_id) override;
+
+  /// Registers an uploaded object. For gradient entries in verifiable mode
+  /// the commitment is mandatory and is folded into the per-partition and
+  /// per-aggregator accumulations. For global updates in verifiable mode
+  /// the directory fetches the payload from IPFS, verifies it opens the
+  /// accumulated partition commitment, and REJECTS the registration (the
+  /// row stays absent) if verification fails.
+  [[nodiscard]] sim::Task<bool> announce(
+      sim::Host& caller, Addr addr, ipfs::Cid cid,
+      std::optional<crypto::Commitment> commitment = {}) override;
+
+  /// Registers many gradient entries in one network message — the
+  /// Section VI load reduction. Only kGradient entries may be batched
+  /// (update registrations need individual verification). Returns false
+  /// if any item was rejected.
+  [[nodiscard]] sim::Task<bool> announce_batch(sim::Host& caller,
+                                               std::vector<BatchItem> items) override;
+
+  /// Returns all rows of the given (partition, iter, type). Callers filter
+  /// out uploaders they have already fetched (Algorithm 1's poll loops).
+  [[nodiscard]] sim::Task<std::vector<Entry>> poll(sim::Host& caller,
+                                                   std::uint32_t partition_id,
+                                                   std::uint32_t iter,
+                                                   EntryType type) override;
+
+  /// Single-row lookup (trainers waiting for the global update).
+  [[nodiscard]] sim::Task<std::optional<ipfs::Cid>> lookup(sim::Host& caller,
+                                                           Addr addr) override;
+
+  /// Accumulated commitment over all gradients of (partition, iter).
+  [[nodiscard]] sim::Task<crypto::Commitment> partition_commitment(
+      sim::Host& caller, std::uint32_t partition_id, std::uint32_t iter) override;
+
+  /// Accumulated commitment over the gradients assigned to one aggregator.
+  [[nodiscard]] sim::Task<crypto::Commitment> aggregator_commitment(
+      sim::Host& caller, std::uint32_t partition_id, std::uint32_t aggregator_id,
+      std::uint32_t iter) override;
+
+  /// Individual gradient commitments of (partition, iter) — used by
+  /// aggregators to check merge-and-download results against the product
+  /// of the commitments the merged blocks claim to represent.
+  [[nodiscard]] sim::Task<std::vector<std::pair<std::uint32_t, crypto::Commitment>>>
+  gradient_commitments(sim::Host& caller, std::uint32_t partition_id,
+                       std::uint32_t iter) override;
+
+  /// Local (no-network) views, for tests and for the bootstrapper itself.
+  [[nodiscard]] std::vector<Entry> rows(std::uint32_t partition_id, std::uint32_t iter,
+                                        EntryType type) const override;
+  [[nodiscard]] std::optional<ipfs::Cid> find(const Addr& addr) const override;
+
+  /// Drops all rows of iterations older than `iter` (bounded state).
+  void gc_before(std::uint32_t iter) override;
+
+ private:
+  struct RoundKey {
+    std::uint32_t partition_id;
+    std::uint32_t iter;
+    EntryType type;
+    friend auto operator<=>(const RoundKey&, const RoundKey&) = default;
+  };
+
+  [[nodiscard]] crypto::Commitment fold(const std::optional<crypto::Commitment>& acc,
+                                        const crypto::Commitment& c) const;
+
+  /// Registers one gradient entry (no network); false if rejected.
+  bool register_gradient(const Addr& addr, const ipfs::Cid& cid,
+                         const std::optional<crypto::Commitment>& commitment);
+  void upsert_row(const Addr& addr, const ipfs::Cid& cid);
+
+  sim::Network& net_;
+  sim::Host& host_;
+  ipfs::Swarm& swarm_;
+  DirectoryConfig config_;
+  const crypto::PedersenKey* key_;
+  const UpdateVerifier* verifier_;
+  DirectoryStats stats_;
+
+  std::map<RoundKey, std::vector<Entry>> rows_;
+  // (partition, iter) -> accumulated commitment over all trainer gradients.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, crypto::Commitment> partition_acc_;
+  // (partition, aggregator, iter) -> accumulated commitment over T_ij.
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>, crypto::Commitment>
+      aggregator_acc_;
+  // (partition, iter) -> per-trainer gradient commitments, announce order.
+  std::map<std::pair<std::uint32_t, std::uint32_t>,
+           std::vector<std::pair<std::uint32_t, crypto::Commitment>>>
+      gradient_commitments_;
+  // partition -> trainer -> aggregator (the T_ij assignment).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> assignment_;
+};
+
+}  // namespace dfl::directory

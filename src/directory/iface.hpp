@@ -1,0 +1,104 @@
+// Abstract directory interface. The paper assumes the (trusted)
+// bootstrapper runs the directory, but Section VI points at distributed
+// alternatives (a blockchain-based directory [24]); protocol actors
+// therefore program against this interface so the backend can be swapped:
+// DirectoryService (single host) or ReplicatedDirectory (no single point
+// of failure).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "crypto/pedersen.hpp"
+#include "ipfs/cid.hpp"
+#include "sim/net.hpp"
+#include "sim/task.hpp"
+
+namespace dfl::directory {
+
+enum class EntryType : std::uint8_t { kGradient = 0, kPartialUpdate = 1, kGlobalUpdate = 2 };
+
+/// Addressing meta-information for a stored object.
+struct Addr {
+  std::uint32_t uploader_id = 0;
+  std::uint32_t partition_id = 0;
+  std::uint32_t iter = 0;
+  EntryType type = EntryType::kGradient;
+
+  friend auto operator<=>(const Addr&, const Addr&) = default;
+};
+
+/// One directory row returned by polls.
+struct Entry {
+  std::uint32_t uploader_id = 0;
+  ipfs::Cid cid;
+};
+
+/// One entry of a batched gradient announcement.
+struct BatchItem {
+  Addr addr;
+  ipfs::Cid cid;
+  std::optional<crypto::Commitment> commitment;
+};
+
+/// Aggregate load counters (Section VI asks how to minimize these).
+struct DirectoryStats {
+  std::uint64_t announcements = 0;      // registered entries
+  std::uint64_t announce_messages = 0;  // network messages carrying them
+  std::uint64_t polls = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t verifications = 0;
+  std::uint64_t verifications_failed = 0;
+};
+
+class Directory {
+ public:
+  virtual ~Directory() = default;
+
+  /// Declares trainer->aggregator ownership for a partition (T_ij sets).
+  virtual void set_assignment(std::uint32_t partition_id, std::uint32_t aggregator_id,
+                              std::uint32_t trainer_id) = 0;
+
+  /// Registers an uploaded object (gradient / partial / global update).
+  [[nodiscard]] virtual sim::Task<bool> announce(
+      sim::Host& caller, Addr addr, ipfs::Cid cid,
+      std::optional<crypto::Commitment> commitment = {}) = 0;
+
+  /// Registers many gradient entries in one message (Section VI).
+  [[nodiscard]] virtual sim::Task<bool> announce_batch(sim::Host& caller,
+                                                       std::vector<BatchItem> items) = 0;
+
+  [[nodiscard]] virtual sim::Task<std::vector<Entry>> poll(sim::Host& caller,
+                                                           std::uint32_t partition_id,
+                                                           std::uint32_t iter,
+                                                           EntryType type) = 0;
+
+  [[nodiscard]] virtual sim::Task<std::optional<ipfs::Cid>> lookup(sim::Host& caller,
+                                                                   Addr addr) = 0;
+
+  [[nodiscard]] virtual sim::Task<crypto::Commitment> partition_commitment(
+      sim::Host& caller, std::uint32_t partition_id, std::uint32_t iter) = 0;
+
+  [[nodiscard]] virtual sim::Task<crypto::Commitment> aggregator_commitment(
+      sim::Host& caller, std::uint32_t partition_id, std::uint32_t aggregator_id,
+      std::uint32_t iter) = 0;
+
+  [[nodiscard]] virtual sim::Task<std::vector<std::pair<std::uint32_t, crypto::Commitment>>>
+  gradient_commitments(sim::Host& caller, std::uint32_t partition_id, std::uint32_t iter) = 0;
+
+  /// Local (no-network) views, for tests and the bootstrapper itself.
+  [[nodiscard]] virtual std::vector<Entry> rows(std::uint32_t partition_id, std::uint32_t iter,
+                                                EntryType type) const = 0;
+  [[nodiscard]] virtual std::optional<ipfs::Cid> find(const Addr& addr) const = 0;
+
+  virtual void gc_before(std::uint32_t iter) = 0;
+
+  [[nodiscard]] virtual const DirectoryStats& stats() const = 0;
+  virtual void reset_stats() = 0;
+};
+
+}  // namespace dfl::directory

@@ -1,0 +1,161 @@
+#include "directory/replicated.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace dfl::directory {
+
+ReplicatedDirectory::ReplicatedDirectory(sim::Network& net,
+                                         const std::vector<sim::Host*>& hosts,
+                                         ipfs::Swarm& swarm, DirectoryConfig config,
+                                         const crypto::PedersenKey* key,
+                                         const UpdateVerifier* verifier)
+    : hosts_(hosts) {
+  if (hosts.empty()) {
+    throw std::invalid_argument("ReplicatedDirectory: need at least one replica host");
+  }
+  for (sim::Host* h : hosts) {
+    replicas_.push_back(
+        std::make_unique<DirectoryService>(net, *h, swarm, config, key, verifier));
+  }
+}
+
+std::size_t ReplicatedDirectory::first_live() const {
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i]->is_up()) return i;
+  }
+  throw std::runtime_error("ReplicatedDirectory: every replica is down");
+}
+
+void ReplicatedDirectory::set_assignment(std::uint32_t partition_id,
+                                         std::uint32_t aggregator_id,
+                                         std::uint32_t trainer_id) {
+  for (auto& r : replicas_) r->set_assignment(partition_id, aggregator_id, trainer_id);
+}
+
+sim::Task<bool> ReplicatedDirectory::announce(sim::Host& caller, Addr addr, ipfs::Cid cid,
+                                              std::optional<crypto::Commitment> commitment) {
+  // Write to every live replica; the caller's result is the first live
+  // replica's verdict (replicas are deterministic, so verdicts agree).
+  bool result = false;
+  bool have_result = false;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!hosts_[i]->is_up()) continue;
+    bool ok = false;
+    bool reachable = true;
+    try {
+      ok = co_await replicas_[i]->announce(caller, addr, cid, commitment);
+    } catch (const std::exception& e) {
+      reachable = false;
+      DFL_WARN("replicated-dir") << "announce to replica " << i << " failed: " << e.what();
+    }
+    if (reachable && !have_result) {
+      result = ok;
+      have_result = true;
+    }
+  }
+  if (!have_result) {
+    throw std::runtime_error("ReplicatedDirectory: announce reached no replica");
+  }
+  co_return result;
+}
+
+sim::Task<bool> ReplicatedDirectory::announce_batch(sim::Host& caller,
+                                                    std::vector<BatchItem> items) {
+  bool result = false;
+  bool have_result = false;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!hosts_[i]->is_up()) continue;
+    bool ok = false;
+    bool reachable = true;
+    try {
+      ok = co_await replicas_[i]->announce_batch(caller, items);
+    } catch (const std::exception& e) {
+      reachable = false;
+      DFL_WARN("replicated-dir") << "batch announce to replica " << i
+                                 << " failed: " << e.what();
+    }
+    if (reachable && !have_result) {
+      result = ok;
+      have_result = true;
+    }
+  }
+  if (!have_result) {
+    throw std::runtime_error("ReplicatedDirectory: batch announce reached no replica");
+  }
+  co_return result;
+}
+
+sim::Task<std::vector<Entry>> ReplicatedDirectory::poll(sim::Host& caller,
+                                                        std::uint32_t partition_id,
+                                                        std::uint32_t iter, EntryType type) {
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!hosts_[i]->is_up()) continue;
+    bool reachable = true;
+    std::vector<Entry> result;
+    try {
+      result = co_await replicas_[i]->poll(caller, partition_id, iter, type);
+    } catch (const std::exception&) {
+      reachable = false;
+    }
+    if (reachable) co_return result;
+  }
+  throw std::runtime_error("ReplicatedDirectory: poll reached no replica");
+}
+
+sim::Task<std::optional<ipfs::Cid>> ReplicatedDirectory::lookup(sim::Host& caller, Addr addr) {
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!hosts_[i]->is_up()) continue;
+    bool reachable = true;
+    std::optional<ipfs::Cid> result;
+    try {
+      result = co_await replicas_[i]->lookup(caller, addr);
+    } catch (const std::exception&) {
+      reachable = false;
+    }
+    if (reachable) co_return result;
+  }
+  throw std::runtime_error("ReplicatedDirectory: lookup reached no replica");
+}
+
+sim::Task<crypto::Commitment> ReplicatedDirectory::partition_commitment(
+    sim::Host& caller, std::uint32_t partition_id, std::uint32_t iter) {
+  co_return co_await replicas_[first_live()]->partition_commitment(caller, partition_id, iter);
+}
+
+sim::Task<crypto::Commitment> ReplicatedDirectory::aggregator_commitment(
+    sim::Host& caller, std::uint32_t partition_id, std::uint32_t aggregator_id,
+    std::uint32_t iter) {
+  co_return co_await replicas_[first_live()]->aggregator_commitment(caller, partition_id,
+                                                                    aggregator_id, iter);
+}
+
+sim::Task<std::vector<std::pair<std::uint32_t, crypto::Commitment>>>
+ReplicatedDirectory::gradient_commitments(sim::Host& caller, std::uint32_t partition_id,
+                                          std::uint32_t iter) {
+  co_return co_await replicas_[first_live()]->gradient_commitments(caller, partition_id, iter);
+}
+
+std::vector<Entry> ReplicatedDirectory::rows(std::uint32_t partition_id, std::uint32_t iter,
+                                             EntryType type) const {
+  return replicas_[first_live()]->rows(partition_id, iter, type);
+}
+
+std::optional<ipfs::Cid> ReplicatedDirectory::find(const Addr& addr) const {
+  return replicas_[first_live()]->find(addr);
+}
+
+void ReplicatedDirectory::gc_before(std::uint32_t iter) {
+  for (auto& r : replicas_) r->gc_before(iter);
+}
+
+const DirectoryStats& ReplicatedDirectory::stats() const {
+  return replicas_[first_live()]->stats();
+}
+
+void ReplicatedDirectory::reset_stats() {
+  for (auto& r : replicas_) r->reset_stats();
+}
+
+}  // namespace dfl::directory

@@ -1,0 +1,79 @@
+// Replicated directory: N DirectoryService replicas on independent hosts.
+// Writes fan out to every live replica; reads go to the first live one
+// (failover on the next). This removes the directory single point of
+// failure — a lightweight stand-in for the blockchain-based directory
+// Section VI points at [24] — at the cost of write amplification, which
+// is measurable through the per-replica stats.
+//
+// Consistency model: each writer's announcements reach the replicas in
+// the same order (the writer awaits each replica in turn), so any replica
+// a reader fails over to is at most "a write in flight" behind — safe for
+// this protocol, where readers poll until the row appears anyway.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "directory/directory.hpp"
+
+namespace dfl::directory {
+
+class ReplicatedDirectory final : public Directory {
+ public:
+  /// `hosts` become the replica endpoints (one DirectoryService each).
+  ReplicatedDirectory(sim::Network& net, const std::vector<sim::Host*>& hosts,
+                      ipfs::Swarm& swarm, DirectoryConfig config,
+                      const crypto::PedersenKey* key = nullptr,
+                      const UpdateVerifier* verifier = nullptr);
+
+  [[nodiscard]] std::size_t replica_count() const { return replicas_.size(); }
+  [[nodiscard]] DirectoryService& replica(std::size_t i) { return *replicas_.at(i); }
+
+  void set_assignment(std::uint32_t partition_id, std::uint32_t aggregator_id,
+                      std::uint32_t trainer_id) override;
+
+  [[nodiscard]] sim::Task<bool> announce(
+      sim::Host& caller, Addr addr, ipfs::Cid cid,
+      std::optional<crypto::Commitment> commitment = {}) override;
+
+  [[nodiscard]] sim::Task<bool> announce_batch(sim::Host& caller,
+                                               std::vector<BatchItem> items) override;
+
+  [[nodiscard]] sim::Task<std::vector<Entry>> poll(sim::Host& caller,
+                                                   std::uint32_t partition_id,
+                                                   std::uint32_t iter,
+                                                   EntryType type) override;
+
+  [[nodiscard]] sim::Task<std::optional<ipfs::Cid>> lookup(sim::Host& caller,
+                                                           Addr addr) override;
+
+  [[nodiscard]] sim::Task<crypto::Commitment> partition_commitment(
+      sim::Host& caller, std::uint32_t partition_id, std::uint32_t iter) override;
+
+  [[nodiscard]] sim::Task<crypto::Commitment> aggregator_commitment(
+      sim::Host& caller, std::uint32_t partition_id, std::uint32_t aggregator_id,
+      std::uint32_t iter) override;
+
+  [[nodiscard]] sim::Task<std::vector<std::pair<std::uint32_t, crypto::Commitment>>>
+  gradient_commitments(sim::Host& caller, std::uint32_t partition_id,
+                       std::uint32_t iter) override;
+
+  [[nodiscard]] std::vector<Entry> rows(std::uint32_t partition_id, std::uint32_t iter,
+                                        EntryType type) const override;
+  [[nodiscard]] std::optional<ipfs::Cid> find(const Addr& addr) const override;
+
+  void gc_before(std::uint32_t iter) override;
+
+  /// Stats of the first live replica (aggregate accessors are on replica(i)).
+  [[nodiscard]] const DirectoryStats& stats() const override;
+  void reset_stats() override;
+
+ private:
+  /// Index of the first replica whose host is up; throws if none.
+  [[nodiscard]] std::size_t first_live() const;
+
+  std::vector<std::unique_ptr<DirectoryService>> replicas_;
+  std::vector<sim::Host*> hosts_;
+};
+
+}  // namespace dfl::directory

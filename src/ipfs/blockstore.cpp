@@ -1,0 +1,31 @@
+#include "ipfs/blockstore.hpp"
+
+namespace dfl::ipfs {
+
+Cid BlockStore::put(Bytes data) {
+  const Cid cid = Cid::of(data);
+  auto [it, inserted] = blocks_.try_emplace(cid, std::move(data));
+  if (inserted) bytes_stored_ += it->second.size();
+  return cid;
+}
+
+std::optional<Bytes> BlockStore::get(const Cid& cid) const {
+  const auto it = blocks_.find(cid);
+  if (it == blocks_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool BlockStore::remove(const Cid& cid) {
+  const auto it = blocks_.find(cid);
+  if (it == blocks_.end()) return false;
+  bytes_stored_ -= it->second.size();
+  blocks_.erase(it);
+  return true;
+}
+
+void BlockStore::clear() {
+  blocks_.clear();
+  bytes_stored_ = 0;
+}
+
+}  // namespace dfl::ipfs

@@ -1,0 +1,37 @@
+// In-memory content-addressed block storage for one IPFS node.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "ipfs/cid.hpp"
+
+namespace dfl::ipfs {
+
+class BlockStore {
+ public:
+  /// Stores a block; returns its CID. Idempotent (same content, same CID).
+  Cid put(Bytes data);
+
+  [[nodiscard]] bool has(const Cid& cid) const { return blocks_.contains(cid); }
+
+  /// Returns the block or nullopt.
+  [[nodiscard]] std::optional<Bytes> get(const Cid& cid) const;
+
+  /// Removes a block (garbage collection between FL rounds — the paper
+  /// notes gradients are only needed briefly). Returns true if present.
+  bool remove(const Cid& cid);
+
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  [[nodiscard]] std::uint64_t bytes_stored() const { return bytes_stored_; }
+
+  void clear();
+
+ private:
+  std::unordered_map<Cid, Bytes, CidHash> blocks_;
+  std::uint64_t bytes_stored_ = 0;
+};
+
+}  // namespace dfl::ipfs

@@ -1,0 +1,37 @@
+#include "ipfs/cid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace dfl::ipfs {
+
+Cid Cid::of(BytesView data) {
+  Cid cid;
+  cid.digest_ = crypto::Sha256::hash(data);
+  return cid;
+}
+
+Cid Cid::from_digest(BytesView digest) {
+  if (digest.size() != 32) {
+    throw std::invalid_argument("Cid::from_digest: digest must be 32 bytes");
+  }
+  Cid cid;
+  std::copy(digest.begin(), digest.end(), cid.digest_.begin());
+  return cid;
+}
+
+bool Cid::is_null() const {
+  return std::all_of(digest_.begin(), digest_.end(), [](std::uint8_t b) { return b == 0; });
+}
+
+std::string Cid::to_hex() const {
+  return dfl::to_hex(BytesView(digest_.data(), digest_.size()));
+}
+
+bool Cid::matches(BytesView data) const {
+  return Cid::of(data) == *this;
+}
+
+}  // namespace dfl::ipfs

@@ -1,0 +1,50 @@
+// Content identifiers: the SHA-256 digest of a block's bytes, mirroring
+// IPFS's default content addressing (Section III-C of the paper: parties
+// locate data by Cid = Hash(data) and verify integrity by rehashing).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace dfl::ipfs {
+
+class Cid {
+ public:
+  Cid() = default;  // the null CID (all zero) — used as "not yet known"
+
+  /// Computes the CID of a data block (SHA-256 of its bytes).
+  static Cid of(BytesView data);
+
+  /// Reconstructs a CID from its 32 raw digest bytes.
+  static Cid from_digest(BytesView digest);
+
+  [[nodiscard]] bool is_null() const;
+  [[nodiscard]] const std::array<std::uint8_t, 32>& digest() const { return digest_; }
+  [[nodiscard]] std::string to_hex() const;
+
+  /// True if `data` actually hashes to this CID (retrieval verification —
+  /// the paper assumes storage nodes are not trusted for correctness).
+  [[nodiscard]] bool matches(BytesView data) const;
+
+  friend bool operator==(const Cid&, const Cid&) = default;
+  friend std::strong_ordering operator<=>(const Cid&, const Cid&) = default;
+
+ private:
+  std::array<std::uint8_t, 32> digest_{};
+};
+
+struct CidHash {
+  std::size_t operator()(const Cid& cid) const {
+    // Digest bytes are already uniform; fold the first 8.
+    std::size_t h = 0;
+    for (int i = 0; i < 8; ++i) h = (h << 8) | cid.digest()[static_cast<std::size_t>(i)];
+    return h;
+  }
+};
+
+}  // namespace dfl::ipfs

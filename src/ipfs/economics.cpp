@@ -1,0 +1,69 @@
+#include "ipfs/economics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dfl::ipfs {
+
+CreditLedger::CreditLedger(Swarm& swarm, CreditRates rates) : swarm_(swarm), rates_(rates) {
+  checkpoint();
+}
+
+void CreditLedger::checkpoint() {
+  base_sent_.assign(swarm_.node_count(), 0);
+  base_received_.assign(swarm_.node_count(), 0);
+  for (std::size_t i = 0; i < swarm_.node_count(); ++i) {
+    base_sent_[i] = swarm_.node(i).host().bytes_sent();
+    base_received_[i] = swarm_.node(i).host().bytes_received();
+  }
+}
+
+std::vector<NodeEarnings> CreditLedger::settle() const {
+  std::vector<NodeEarnings> out;
+  out.reserve(swarm_.node_count());
+  for (std::size_t i = 0; i < swarm_.node_count(); ++i) {
+    IpfsNode& node = swarm_.node(i);
+    NodeEarnings e;
+    e.node_id = node.node_id();
+    // New nodes added after the checkpoint start from zero.
+    const std::uint64_t base_s = i < base_sent_.size() ? base_sent_[i] : 0;
+    const std::uint64_t base_r = i < base_received_.size() ? base_received_[i] : 0;
+    e.bytes_served = node.host().bytes_sent() - base_s;
+    e.bytes_ingested = node.host().bytes_received() - base_r;
+    e.bytes_stored = node.store().bytes_stored();
+    e.credits = rates_.per_mb_served * static_cast<double>(e.bytes_served) / 1e6 +
+                rates_.per_mb_ingested * static_cast<double>(e.bytes_ingested) / 1e6 +
+                rates_.per_mb_stored * static_cast<double>(e.bytes_stored) / 1e6;
+    out.push_back(e);
+  }
+  return out;
+}
+
+double CreditLedger::total_credits() const {
+  double total = 0;
+  for (const NodeEarnings& e : settle()) total += e.credits;
+  return total;
+}
+
+double CreditLedger::earnings_imbalance() const {
+  const auto earnings = settle();
+  if (earnings.size() < 2) return 0.0;
+  // Gini coefficient over per-node credits.
+  std::vector<double> c;
+  c.reserve(earnings.size());
+  double sum = 0;
+  for (const NodeEarnings& e : earnings) {
+    c.push_back(e.credits);
+    sum += e.credits;
+  }
+  if (sum <= 0) return 0.0;
+  std::sort(c.begin(), c.end());
+  const double n = static_cast<double>(c.size());
+  double weighted = 0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    weighted += (2.0 * (static_cast<double>(i) + 1) - n - 1) * c[i];
+  }
+  return weighted / (n * sum);
+}
+
+}  // namespace dfl::ipfs

@@ -1,0 +1,56 @@
+// Storage-economics accounting for the swarm — the Section VI direction of
+// incentivized storage (Filecoin [23]): the task owner compensates storage
+// nodes for bytes they served and bytes they held, so availability can be
+// paid for rather than assumed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ipfs/swarm.hpp"
+
+namespace dfl::ipfs {
+
+/// Per-MB compensation rates (arbitrary credit units).
+struct CreditRates {
+  double per_mb_served = 1.0;   // egress: gradients/updates shipped to peers
+  double per_mb_ingested = 0.2; // ingress: accepting uploads
+  double per_mb_stored = 0.5;   // at-rest: blocks currently held
+};
+
+struct NodeEarnings {
+  std::uint32_t node_id = 0;
+  std::uint64_t bytes_served = 0;
+  std::uint64_t bytes_ingested = 0;
+  std::uint64_t bytes_stored = 0;
+  double credits = 0.0;
+};
+
+/// Ledger over a swarm's host counters. settle() computes each node's
+/// earnings since the last checkpoint() — typically once per FL round.
+class CreditLedger {
+ public:
+  explicit CreditLedger(Swarm& swarm, CreditRates rates = {});
+
+  /// Snapshots current counters as the new baseline.
+  void checkpoint();
+
+  /// Earnings since the last checkpoint (does not move the baseline).
+  [[nodiscard]] std::vector<NodeEarnings> settle() const;
+
+  /// Sum of credits across nodes since the last checkpoint.
+  [[nodiscard]] double total_credits() const;
+
+  /// Gini-style imbalance in [0, 1]: 0 = perfectly even earnings. Used to
+  /// compare provider-allocation policies (Section VI asks for uniform
+  /// allocation to reduce collusion value and hot-spotting).
+  [[nodiscard]] double earnings_imbalance() const;
+
+ private:
+  Swarm& swarm_;
+  CreditRates rates_;
+  std::vector<std::uint64_t> base_sent_;
+  std::vector<std::uint64_t> base_received_;
+};
+
+}  // namespace dfl::ipfs

@@ -1,0 +1,55 @@
+#include "ipfs/node.hpp"
+
+#include "ipfs/swarm.hpp"
+
+namespace dfl::ipfs {
+
+sim::Task<Cid> IpfsNode::put(sim::Host& caller, Bytes data) {
+  // Payload travels caller -> node, then a small ack travels back.
+  co_await net_.transfer(caller, host_, data.size());
+  const Cid cid = put_local(std::move(data));
+  co_await net_.transfer(host_, caller, 0);  // ack (framing overhead only)
+  co_return cid;
+}
+
+sim::Task<Bytes> IpfsNode::get(sim::Host& caller, Cid cid) {
+  co_await net_.transfer(caller, host_, 0);  // request
+  const auto block = store_.get(cid);
+  if (!block) throw NotFoundError(cid);
+  co_await net_.transfer(host_, caller, block->size());
+  // Retrieval verification: content addressing means the caller re-hashes.
+  if (!cid.matches(*block)) {
+    throw std::runtime_error("ipfs get: block failed content verification");
+  }
+  co_return *block;
+}
+
+sim::Task<Bytes> IpfsNode::merge_get(sim::Host& caller, std::vector<Cid> cids,
+                                     const BlockMerger& merger) {
+  // Request carries the hash list (32 bytes per CID).
+  co_await net_.transfer(caller, host_, cids.size() * 32);
+  std::vector<Bytes> blocks;
+  blocks.reserve(cids.size());
+  std::uint64_t input_bytes = 0;
+  for (const Cid& cid : cids) {
+    auto block = store_.get(cid);
+    if (!block) throw NotFoundError(cid);
+    input_bytes += block->size();
+    blocks.push_back(std::move(*block));
+  }
+  // Pre-aggregation compute time on the storage node.
+  const auto compute =
+      static_cast<sim::TimeNs>(static_cast<double>(input_bytes) / config_.merge_bytes_per_sec * 1e9);
+  co_await net_.simulator().sleep(compute);
+  Bytes merged = merger.merge(blocks);
+  co_await net_.transfer(host_, caller, merged.size());
+  co_return merged;
+}
+
+Cid IpfsNode::put_local(Bytes data) {
+  const Cid cid = store_.put(std::move(data));
+  if (swarm_ != nullptr) swarm_->add_provider(cid, node_id_);
+  return cid;
+}
+
+}  // namespace dfl::ipfs

@@ -1,0 +1,82 @@
+// A single IPFS storage node: a network host plus a content-addressed
+// block store, exposing put/get RPCs over the simulated network and the
+// paper's merge-and-download extension (Section III-E).
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "ipfs/blockstore.hpp"
+#include "ipfs/cid.hpp"
+#include "sim/net.hpp"
+
+namespace dfl::ipfs {
+
+/// Thrown by get/merge_get when a block is not on the node.
+struct NotFoundError : std::runtime_error {
+  explicit NotFoundError(const Cid& cid)
+      : std::runtime_error("block not found: " + cid.to_hex()) {}
+};
+
+/// Application-supplied block semantics for merge-and-download: the storage
+/// node itself has no idea blocks are gradient vectors; the FL layer
+/// registers a merger that sums payloads.
+class BlockMerger {
+ public:
+  virtual ~BlockMerger() = default;
+
+  /// Combines blocks into a single block (e.g. element-wise vector sum).
+  /// Must be associative and order-independent for the protocol to be
+  /// correct regardless of provider assignment.
+  [[nodiscard]] virtual Bytes merge(const std::vector<Bytes>& blocks) const = 0;
+};
+
+struct IpfsNodeConfig {
+  /// Throughput of the node's merge computation, bytes of input per second.
+  /// Pre-aggregation is cheap vector addition; default 400 MB/s.
+  double merge_bytes_per_sec = 400e6;
+};
+
+class Swarm;
+
+class IpfsNode {
+ public:
+  IpfsNode(sim::Network& net, sim::Host& host, IpfsNodeConfig config, Swarm* swarm,
+           std::uint32_t node_id)
+      : net_(net), host_(host), config_(config), swarm_(swarm), node_id_(node_id) {}
+
+  [[nodiscard]] sim::Host& host() { return host_; }
+  [[nodiscard]] const sim::Host& host() const { return host_; }
+  [[nodiscard]] std::uint32_t node_id() const { return node_id_; }
+  [[nodiscard]] BlockStore& store() { return store_; }
+  [[nodiscard]] const BlockStore& store() const { return store_; }
+
+  /// Uploads `data` from `caller` to this node, stores it, and acknowledges.
+  /// Completes when the caller has the ack (paper's upload-delay endpoint).
+  [[nodiscard]] sim::Task<Cid> put(sim::Host& caller, Bytes data);
+
+  /// Downloads the block for `cid` to `caller`. The received bytes are
+  /// verified against the CID (storage is not trusted for correctness).
+  [[nodiscard]] sim::Task<Bytes> get(sim::Host& caller, Cid cid);
+
+  /// Merge-and-download: the node pre-aggregates the named blocks with
+  /// `merger` and ships only the merged result. All CIDs must be local.
+  [[nodiscard]] sim::Task<Bytes> merge_get(sim::Host& caller, std::vector<Cid> cids,
+                                           const BlockMerger& merger);
+
+  /// Local (zero-network-cost) store access, used by the replication engine
+  /// and by tests.
+  Cid put_local(Bytes data);
+
+ private:
+  sim::Network& net_;
+  sim::Host& host_;
+  IpfsNodeConfig config_;
+  Swarm* swarm_;
+  std::uint32_t node_id_;
+  BlockStore store_;
+};
+
+}  // namespace dfl::ipfs

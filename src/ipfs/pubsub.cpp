@@ -1,0 +1,51 @@
+#include "ipfs/pubsub.hpp"
+
+#include <algorithm>
+
+namespace dfl::ipfs {
+
+sim::Channel<Bytes>& PubSub::subscribe(const std::string& topic, sim::Host& subscriber) {
+  auto& subs = topics_[topic];
+  for (auto& s : subs) {
+    if (s.host == &subscriber) return *s.mailbox;
+  }
+  subs.push_back(Subscription{&subscriber,
+                              std::make_unique<sim::Channel<Bytes>>(net_.simulator())});
+  return *subs.back().mailbox;
+}
+
+void PubSub::unsubscribe(const std::string& topic, sim::Host& subscriber) {
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return;
+  auto& subs = it->second;
+  subs.erase(std::remove_if(subs.begin(), subs.end(),
+                            [&](const Subscription& s) { return s.host == &subscriber; }),
+             subs.end());
+}
+
+sim::Task<void> PubSub::publish(sim::Host& from, std::string topic, Bytes message) {
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) co_return;
+  // Snapshot targets: subscription changes during delivery must not
+  // invalidate iteration.
+  std::vector<Subscription*> targets;
+  for (auto& s : it->second) {
+    if (s.host != &from) targets.push_back(&s);
+  }
+  for (Subscription* s : targets) {
+    if (!s->host->is_up()) continue;  // best-effort delivery
+    try {
+      co_await net_.transfer(from, *s->host, message.size());
+    } catch (const sim::NetworkError&) {
+      continue;  // subscriber (or we) went down mid-delivery; skip
+    }
+    s->mailbox->send(message);
+  }
+}
+
+std::size_t PubSub::subscriber_count(const std::string& topic) const {
+  const auto it = topics_.find(topic);
+  return it == topics_.end() ? 0 : it->second.size();
+}
+
+}  // namespace dfl::ipfs

@@ -1,0 +1,48 @@
+// Topic-based publish/subscribe over the simulated network, mirroring
+// IPFS pub/sub. The paper's aggregators use it to announce the hashes of
+// their partial updates during the synchronization phase (Section IV-B).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "sim/net.hpp"
+#include "sim/sync.hpp"
+
+namespace dfl::ipfs {
+
+class PubSub {
+ public:
+  explicit PubSub(sim::Network& net) : net_(net) {}
+  PubSub(const PubSub&) = delete;
+  PubSub& operator=(const PubSub&) = delete;
+
+  /// Subscribes `subscriber` to `topic`; returns the mailbox messages will
+  /// arrive on. Subscribing twice returns the same mailbox.
+  sim::Channel<Bytes>& subscribe(const std::string& topic, sim::Host& subscriber);
+
+  void unsubscribe(const std::string& topic, sim::Host& subscriber);
+
+  /// Delivers `message` to every subscriber of `topic` (except the sender
+  /// itself). Fan-out is sequential on the publisher's uplink, as real
+  /// gossip initiation would be. Subscribers whose host is down simply
+  /// miss the message (pubsub is best-effort).
+  [[nodiscard]] sim::Task<void> publish(sim::Host& from, std::string topic, Bytes message);
+
+  [[nodiscard]] std::size_t subscriber_count(const std::string& topic) const;
+
+ private:
+  struct Subscription {
+    sim::Host* host;
+    std::unique_ptr<sim::Channel<Bytes>> mailbox;
+  };
+
+  sim::Network& net_;
+  std::map<std::string, std::vector<Subscription>> topics_;
+};
+
+}  // namespace dfl::ipfs

@@ -1,0 +1,65 @@
+#include "ipfs/swarm.hpp"
+
+#include <algorithm>
+
+namespace dfl::ipfs {
+
+IpfsNode& Swarm::add_node(const std::string& name, const sim::HostConfig& host_config) {
+  sim::Host& host = net_.add_host(name, host_config);
+  nodes_.push_back(std::make_unique<IpfsNode>(net_, host, config_.node_config, this,
+                                              static_cast<std::uint32_t>(nodes_.size())));
+  return *nodes_.back();
+}
+
+void Swarm::add_provider(const Cid& cid, std::uint32_t node_id) {
+  auto& list = provider_records_[cid];
+  if (std::find(list.begin(), list.end(), node_id) == list.end()) {
+    list.push_back(node_id);
+  }
+}
+
+std::vector<std::uint32_t> Swarm::providers(const Cid& cid) const {
+  const auto it = provider_records_.find(cid);
+  if (it == provider_records_.end()) return {};
+  return it->second;
+}
+
+sim::Task<Bytes> Swarm::fetch(sim::Host& caller, Cid cid) {
+  co_await net_.simulator().sleep(config_.lookup_latency);
+  // Spread load across live replicas (IPFS swarming fetches from whichever
+  // peer serves the block; we pick deterministically by caller identity).
+  std::vector<IpfsNode*> live;
+  for (const std::uint32_t id : providers(cid)) {
+    IpfsNode& provider = *nodes_.at(id);
+    if (provider.host().is_up()) live.push_back(&provider);
+  }
+  if (live.empty()) throw NotFoundError(cid);
+  const std::size_t start = caller.id() % live.size();
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    IpfsNode& provider = *live[(start + k) % live.size()];
+    if (!provider.host().is_up()) continue;
+    co_return co_await provider.get(caller, cid);
+  }
+  throw NotFoundError(cid);
+}
+
+sim::Task<void> Swarm::replicate(Cid cid, std::size_t copies) {
+  const auto holders = providers(cid);
+  if (holders.empty()) throw NotFoundError(cid);
+  IpfsNode& source = *nodes_.at(holders.front());
+  const auto block = source.store().get(cid);
+  if (!block) throw NotFoundError(cid);
+
+  std::size_t have = holders.size();
+  for (std::size_t i = 0; i < nodes_.size() && have < copies; ++i) {
+    const auto id = static_cast<std::uint32_t>(i);
+    if (std::find(holders.begin(), holders.end(), id) != holders.end()) continue;
+    IpfsNode& target = *nodes_[i];
+    if (!target.host().is_up()) continue;
+    co_await net_.transfer(source.host(), target.host(), block->size());
+    target.put_local(*block);
+    ++have;
+  }
+}
+
+}  // namespace dfl::ipfs

@@ -1,0 +1,59 @@
+// The storage network as a whole: node registry, provider records
+// (a DHT-lite: who has which CID) and replication. Provider lookups pay a
+// configurable routing latency, standing in for IPFS's DHT walks.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ipfs/node.hpp"
+#include "sim/net.hpp"
+
+namespace dfl::ipfs {
+
+struct SwarmConfig {
+  /// Routing latency of one provider lookup (DHT walk).
+  sim::TimeNs lookup_latency = sim::from_millis(20);
+  IpfsNodeConfig node_config{};
+};
+
+class Swarm {
+ public:
+  explicit Swarm(sim::Network& net, SwarmConfig config = {}) : net_(net), config_(config) {}
+  Swarm(const Swarm&) = delete;
+  Swarm& operator=(const Swarm&) = delete;
+
+  /// Creates a storage node backed by a new host with the given link config.
+  IpfsNode& add_node(const std::string& name, const sim::HostConfig& host_config);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] IpfsNode& node(std::size_t i) { return *nodes_.at(i); }
+
+  /// Records that `node_id` holds `cid` (called by IpfsNode on put).
+  void add_provider(const Cid& cid, std::uint32_t node_id);
+
+  /// Provider set for a CID (no latency; see `fetch` for the routed path).
+  [[nodiscard]] std::vector<std::uint32_t> providers(const Cid& cid) const;
+
+  /// Resolves the CID through the routing layer (pays lookup_latency) and
+  /// downloads from the first live provider. Throws NotFoundError if no
+  /// live provider holds the block.
+  [[nodiscard]] sim::Task<Bytes> fetch(sim::Host& caller, Cid cid);
+
+  /// Replicates `cid` onto `copies` distinct nodes (including existing
+  /// holders), moving bytes node-to-node. Supports the paper's
+  /// data-availability future-work direction (Section VI).
+  [[nodiscard]] sim::Task<void> replicate(Cid cid, std::size_t copies);
+
+  [[nodiscard]] sim::Network& network() { return net_; }
+  [[nodiscard]] const SwarmConfig& config() const { return config_; }
+
+ private:
+  sim::Network& net_;
+  SwarmConfig config_;
+  std::vector<std::unique_ptr<IpfsNode>> nodes_;
+  std::unordered_map<Cid, std::vector<std::uint32_t>, CidHash> provider_records_;
+};
+
+}  // namespace dfl::ipfs

@@ -1,0 +1,70 @@
+#include "ml/dataset.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace dfl::ml {
+
+Dataset make_gaussian_blobs(Rng& rng, std::size_t n, std::size_t num_features, int num_classes,
+                            double separation) {
+  Dataset ds;
+  ds.num_features = num_features;
+  ds.num_classes = num_classes;
+  ds.examples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(num_classes)));
+    const double angle = 2.0 * std::numbers::pi * label / num_classes;
+    Example ex;
+    ex.label = label;
+    ex.x.resize(num_features);
+    for (std::size_t f = 0; f < num_features; ++f) ex.x[f] = rng.normal(0.0, 1.0);
+    if (num_features >= 1) ex.x[0] += separation * std::cos(angle);
+    if (num_features >= 2) ex.x[1] += separation * std::sin(angle);
+    ds.examples.push_back(std::move(ex));
+  }
+  return ds;
+}
+
+Dataset make_two_spirals(Rng& rng, std::size_t n, double noise, double turns) {
+  Dataset ds;
+  ds.num_features = 2;
+  ds.num_classes = 2;
+  ds.examples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(rng.uniform(2));
+    const double t = 0.25 + 2.0 * rng.uniform01();  // radial parameter
+    const double angle =
+        t * turns * std::numbers::pi + (label == 0 ? 0.0 : std::numbers::pi);
+    Example ex;
+    ex.label = label;
+    ex.x = {t * std::cos(angle) + rng.normal(0.0, noise),
+            t * std::sin(angle) + rng.normal(0.0, noise)};
+    ds.examples.push_back(std::move(ex));
+  }
+  return ds;
+}
+
+Dataset make_linear_teacher(Rng& rng, std::size_t n, std::size_t num_features,
+                            double label_noise) {
+  std::vector<double> w(num_features);
+  for (auto& wi : w) wi = rng.normal(0.0, 1.0);
+  Dataset ds;
+  ds.num_features = num_features;
+  ds.num_classes = 2;
+  ds.examples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Example ex;
+    ex.x.resize(num_features);
+    double dot = 0;
+    for (std::size_t f = 0; f < num_features; ++f) {
+      ex.x[f] = rng.normal(0.0, 1.0);
+      dot += ex.x[f] * w[f];
+    }
+    ex.label = dot >= 0 ? 1 : 0;
+    if (label_noise > 0 && rng.uniform01() < label_noise) ex.label = 1 - ex.label;
+    ds.examples.push_back(std::move(ex));
+  }
+  return ds;
+}
+
+}  // namespace dfl::ml

@@ -1,0 +1,40 @@
+// Synthetic labelled datasets for exercising the FL pipeline end-to-end.
+// The paper omits accuracy measurements (aggregation is exact, so
+// convergence equals centralized FL); we generate data so that equivalence
+// can be demonstrated rather than asserted.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dfl::ml {
+
+struct Example {
+  std::vector<double> x;
+  int label = 0;
+};
+
+struct Dataset {
+  std::vector<Example> examples;
+  std::size_t num_features = 0;
+  int num_classes = 0;
+
+  [[nodiscard]] std::size_t size() const { return examples.size(); }
+};
+
+/// Two Gaussian blobs per class, `num_classes` classes placed on a ring of
+/// radius `separation` in the first two dimensions (rest is noise).
+Dataset make_gaussian_blobs(Rng& rng, std::size_t n, std::size_t num_features, int num_classes,
+                            double separation = 3.0);
+
+/// Two interleaved spirals (2 features, 2 classes) — not linearly separable,
+/// exercises the MLP. `turns` controls difficulty (arms wind turns×2π).
+Dataset make_two_spirals(Rng& rng, std::size_t n, double noise = 0.1, double turns = 1.0);
+
+/// Linear teacher: labels from a random hyperplane with label noise.
+Dataset make_linear_teacher(Rng& rng, std::size_t n, std::size_t num_features,
+                            double label_noise = 0.0);
+
+}  // namespace dfl::ml

@@ -1,0 +1,106 @@
+#include "ml/federated.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace dfl::ml {
+
+std::vector<Dataset> split_iid(const Dataset& data, std::size_t num_parts, Rng& rng) {
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::vector<Dataset> parts(num_parts);
+  for (auto& p : parts) {
+    p.num_features = data.num_features;
+    p.num_classes = data.num_classes;
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    parts[i % num_parts].examples.push_back(data.examples[order[i]]);
+  }
+  return parts;
+}
+
+std::vector<Dataset> split_label_skew(const Dataset& data, std::size_t num_parts, double alpha,
+                                      Rng& rng) {
+  if (num_parts == 0) throw std::invalid_argument("split_label_skew: zero parts");
+  const auto num_classes = static_cast<std::size_t>(data.num_classes);
+  // Per-shard class preference: sample gamma-like weights (sum of `alpha`
+  // exponentials approximates the Dirichlet concentration behaviour well
+  // enough for workload generation).
+  std::vector<std::vector<double>> pref(num_parts, std::vector<double>(num_classes));
+  for (auto& shard_pref : pref) {
+    double sum = 0;
+    for (double& w : shard_pref) {
+      // Gamma(alpha, 1) via sum of exponentials for integer part + jitter.
+      double g = 0;
+      const int whole = static_cast<int>(alpha);
+      for (int k = 0; k < whole; ++k) g += rng.exponential(1.0);
+      g += (alpha - whole) * rng.exponential(1.0);
+      g = std::max(g, 1e-9);
+      w = g;
+      sum += g;
+    }
+    for (double& w : shard_pref) w /= sum;
+  }
+
+  std::vector<Dataset> parts(num_parts);
+  for (auto& p : parts) {
+    p.num_features = data.num_features;
+    p.num_classes = data.num_classes;
+  }
+  for (const Example& ex : data.examples) {
+    // Choose the shard proportionally to its preference for this label.
+    const auto label = static_cast<std::size_t>(ex.label);
+    double total = 0;
+    for (std::size_t s = 0; s < num_parts; ++s) total += pref[s][label];
+    double r = rng.uniform01() * total;
+    std::size_t chosen = num_parts - 1;
+    for (std::size_t s = 0; s < num_parts; ++s) {
+      r -= pref[s][label];
+      if (r <= 0) {
+        chosen = s;
+        break;
+      }
+    }
+    parts[chosen].examples.push_back(ex);
+  }
+  return parts;
+}
+
+void train_sgd(Model& model, const Dataset& data, const SgdConfig& config, Rng& rng) {
+  for (int r = 0; r < config.rounds; ++r) {
+    const auto batch = draw_batch(data.size(), config.batch_size, rng);
+    model.apply_gradient(model.gradient(data, batch), config.learning_rate);
+  }
+}
+
+std::vector<std::size_t> draw_batch(std::size_t dataset_size, std::size_t batch_size, Rng& rng) {
+  if (batch_size == 0 || batch_size >= dataset_size) return {};
+  std::vector<std::size_t> idx;
+  idx.reserve(batch_size);
+  for (std::size_t i = 0; i < batch_size; ++i) idx.push_back(rng.uniform(dataset_size));
+  return idx;
+}
+
+std::vector<double> weighted_average(const std::vector<std::vector<double>>& grads,
+                                     const std::vector<double>& weights) {
+  if (grads.empty()) return {};
+  if (grads.size() != weights.size()) {
+    throw std::invalid_argument("weighted_average: size mismatch");
+  }
+  std::vector<double> out(grads.front().size(), 0.0);
+  double total_w = 0;
+  for (std::size_t i = 0; i < grads.size(); ++i) {
+    if (grads[i].size() != out.size()) {
+      throw std::invalid_argument("weighted_average: inconsistent gradient sizes");
+    }
+    for (std::size_t j = 0; j < out.size(); ++j) out[j] += weights[i] * grads[i][j];
+    total_w += weights[i];
+  }
+  if (total_w <= 0) throw std::invalid_argument("weighted_average: nonpositive total weight");
+  for (double& v : out) v /= total_w;
+  return out;
+}
+
+}  // namespace dfl::ml

@@ -1,0 +1,40 @@
+// Federated data partitioning and round-level helpers: IID and label-skewed
+// (non-IID) splits across trainers, plus centralized SGD used by the
+// centralized-FL baseline.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+#include "ml/model.hpp"
+
+namespace dfl::ml {
+
+/// Uniformly random assignment of examples to `num_parts` shards.
+std::vector<Dataset> split_iid(const Dataset& data, std::size_t num_parts, Rng& rng);
+
+/// Label-skewed split: each shard draws from a Dirichlet-like preference
+/// over classes controlled by `alpha` (smaller = more skewed; alpha >= 100
+/// approaches IID).
+std::vector<Dataset> split_label_skew(const Dataset& data, std::size_t num_parts, double alpha,
+                                      Rng& rng);
+
+struct SgdConfig {
+  double learning_rate = 0.5;
+  std::size_t batch_size = 0;  // 0 = full batch
+  int rounds = 50;
+};
+
+/// Plain centralized SGD (the convergence-equivalence reference).
+void train_sgd(Model& model, const Dataset& data, const SgdConfig& config, Rng& rng);
+
+/// Draws a minibatch of indices (or empty = full batch if batch_size == 0).
+std::vector<std::size_t> draw_batch(std::size_t dataset_size, std::size_t batch_size, Rng& rng);
+
+/// sum_i w_i * grads_i / sum_i w_i — the FedSGD aggregation rule the
+/// protocol computes in a distributed fashion.
+std::vector<double> weighted_average(const std::vector<std::vector<double>>& grads,
+                                     const std::vector<double>& weights);
+
+}  // namespace dfl::ml

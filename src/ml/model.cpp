@@ -1,0 +1,210 @@
+#include "ml/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dfl::ml {
+
+namespace {
+
+// Iterates either the whole dataset or just the batch indices.
+template <typename Fn>
+void for_each_example(const Dataset& data, const std::vector<std::size_t>& batch, Fn&& fn) {
+  if (batch.empty()) {
+    for (const Example& ex : data.examples) fn(ex);
+  } else {
+    for (const std::size_t i : batch) fn(data.examples.at(i));
+  }
+}
+
+std::size_t effective_count(const Dataset& data, const std::vector<std::size_t>& batch) {
+  return batch.empty() ? data.size() : batch.size();
+}
+
+}  // namespace
+
+std::vector<double> softmax(std::vector<double> logits) {
+  const double mx = *std::max_element(logits.begin(), logits.end());
+  double sum = 0;
+  for (double& v : logits) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  for (double& v : logits) v /= sum;
+  return logits;
+}
+
+double Model::accuracy(const Dataset& data) const {
+  if (data.examples.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const Example& ex : data.examples) {
+    if (predict(ex.x) == ex.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+void Model::apply_gradient(const std::vector<double>& grad, double lr) {
+  std::vector<double> p = params();
+  if (grad.size() != p.size()) {
+    throw std::invalid_argument("apply_gradient: size mismatch");
+  }
+  for (std::size_t i = 0; i < p.size(); ++i) p[i] -= lr * grad[i];
+  set_params(std::move(p));
+}
+
+// ---------------------------------------------------------------------------
+// LogisticRegression
+
+LogisticRegression::LogisticRegression(std::size_t num_features, int num_classes, Rng& rng)
+    : f_(num_features), c_(num_classes) {
+  params_.resize(static_cast<std::size_t>(c_) * f_ + static_cast<std::size_t>(c_));
+  const double scale = 1.0 / std::sqrt(static_cast<double>(f_));
+  for (std::size_t i = 0; i < static_cast<std::size_t>(c_) * f_; ++i) {
+    params_[i] = rng.normal(0.0, scale);
+  }
+}
+
+void LogisticRegression::set_params(std::vector<double> p) {
+  if (p.size() != params_.size()) {
+    throw std::invalid_argument("LogisticRegression::set_params: size mismatch");
+  }
+  params_ = std::move(p);
+}
+
+std::vector<double> LogisticRegression::logits(const std::vector<double>& x) const {
+  std::vector<double> out(static_cast<std::size_t>(c_));
+  for (int k = 0; k < c_; ++k) {
+    double z = params_[static_cast<std::size_t>(c_) * f_ + static_cast<std::size_t>(k)];  // bias
+    const std::size_t row = static_cast<std::size_t>(k) * f_;
+    for (std::size_t j = 0; j < f_; ++j) z += params_[row + j] * x[j];
+    out[static_cast<std::size_t>(k)] = z;
+  }
+  return out;
+}
+
+double LogisticRegression::loss(const Dataset& data) const {
+  if (data.examples.empty()) return 0.0;
+  double total = 0;
+  for (const Example& ex : data.examples) {
+    const auto p = softmax(logits(ex.x));
+    total += -std::log(std::max(p[static_cast<std::size_t>(ex.label)], 1e-15));
+  }
+  return total / static_cast<double>(data.size());
+}
+
+std::vector<double> LogisticRegression::gradient(const Dataset& data,
+                                                 const std::vector<std::size_t>& batch) const {
+  std::vector<double> grad(params_.size(), 0.0);
+  const std::size_t n = effective_count(data, batch);
+  if (n == 0) return grad;
+  for_each_example(data, batch, [&](const Example& ex) {
+    auto p = softmax(logits(ex.x));
+    p[static_cast<std::size_t>(ex.label)] -= 1.0;  // dL/dz
+    for (int k = 0; k < c_; ++k) {
+      const double d = p[static_cast<std::size_t>(k)];
+      const std::size_t row = static_cast<std::size_t>(k) * f_;
+      for (std::size_t j = 0; j < f_; ++j) grad[row + j] += d * ex.x[j];
+      grad[static_cast<std::size_t>(c_) * f_ + static_cast<std::size_t>(k)] += d;
+    }
+  });
+  for (double& g : grad) g /= static_cast<double>(n);
+  return grad;
+}
+
+int LogisticRegression::predict(const std::vector<double>& x) const {
+  const auto z = logits(x);
+  return static_cast<int>(std::max_element(z.begin(), z.end()) - z.begin());
+}
+
+std::unique_ptr<Model> LogisticRegression::clone() const {
+  return std::make_unique<LogisticRegression>(*this);
+}
+
+// ---------------------------------------------------------------------------
+// Mlp
+
+Mlp::Mlp(std::size_t num_features, std::size_t hidden, int num_classes, Rng& rng)
+    : f_(num_features), h_(hidden), c_(num_classes) {
+  params_.resize(h_ * f_ + h_ + static_cast<std::size_t>(c_) * h_ + static_cast<std::size_t>(c_));
+  const double s1 = 1.0 / std::sqrt(static_cast<double>(f_));
+  const double s2 = 1.0 / std::sqrt(static_cast<double>(h_));
+  for (std::size_t i = 0; i < h_ * f_; ++i) params_[i] = rng.normal(0.0, s1);
+  for (std::size_t k = 0; k < static_cast<std::size_t>(c_) * h_; ++k) {
+    params_[h_ * f_ + h_ + k] = rng.normal(0.0, s2);
+  }
+}
+
+void Mlp::set_params(std::vector<double> p) {
+  if (p.size() != params_.size()) {
+    throw std::invalid_argument("Mlp::set_params: size mismatch");
+  }
+  params_ = std::move(p);
+}
+
+Mlp::Forward Mlp::forward(const std::vector<double>& x) const {
+  Forward fw;
+  fw.hidden.resize(h_);
+  for (std::size_t i = 0; i < h_; ++i) {
+    double z = params_[b1(i)];
+    for (std::size_t j = 0; j < f_; ++j) z += params_[w1(i, j)] * x[j];
+    fw.hidden[i] = std::tanh(z);
+  }
+  std::vector<double> logits(static_cast<std::size_t>(c_));
+  for (std::size_t k = 0; k < static_cast<std::size_t>(c_); ++k) {
+    double z = params_[b2(k)];
+    for (std::size_t i = 0; i < h_; ++i) z += params_[w2(k, i)] * fw.hidden[i];
+    logits[k] = z;
+  }
+  fw.probs = softmax(std::move(logits));
+  return fw;
+}
+
+double Mlp::loss(const Dataset& data) const {
+  if (data.examples.empty()) return 0.0;
+  double total = 0;
+  for (const Example& ex : data.examples) {
+    const auto fw = forward(ex.x);
+    total += -std::log(std::max(fw.probs[static_cast<std::size_t>(ex.label)], 1e-15));
+  }
+  return total / static_cast<double>(data.size());
+}
+
+std::vector<double> Mlp::gradient(const Dataset& data,
+                                  const std::vector<std::size_t>& batch) const {
+  std::vector<double> grad(params_.size(), 0.0);
+  const std::size_t n = effective_count(data, batch);
+  if (n == 0) return grad;
+  for_each_example(data, batch, [&](const Example& ex) {
+    const auto fw = forward(ex.x);
+    std::vector<double> dz2(fw.probs);
+    dz2[static_cast<std::size_t>(ex.label)] -= 1.0;
+    // Output layer.
+    for (std::size_t k = 0; k < static_cast<std::size_t>(c_); ++k) {
+      for (std::size_t i = 0; i < h_; ++i) grad[w2(k, i)] += dz2[k] * fw.hidden[i];
+      grad[b2(k)] += dz2[k];
+    }
+    // Hidden layer: dh = W2^T dz2, dz1 = dh * (1 - h^2).
+    for (std::size_t i = 0; i < h_; ++i) {
+      double dh = 0;
+      for (std::size_t k = 0; k < static_cast<std::size_t>(c_); ++k) {
+        dh += params_[w2(k, i)] * dz2[k];
+      }
+      const double dz1 = dh * (1.0 - fw.hidden[i] * fw.hidden[i]);
+      for (std::size_t j = 0; j < f_; ++j) grad[w1(i, j)] += dz1 * ex.x[j];
+      grad[b1(i)] += dz1;
+    }
+  });
+  for (double& g : grad) g /= static_cast<double>(n);
+  return grad;
+}
+
+int Mlp::predict(const std::vector<double>& x) const {
+  const auto fw = forward(x);
+  return static_cast<int>(std::max_element(fw.probs.begin(), fw.probs.end()) -
+                          fw.probs.begin());
+}
+
+std::unique_ptr<Model> Mlp::clone() const { return std::make_unique<Mlp>(*this); }
+
+}  // namespace dfl::ml

@@ -1,0 +1,102 @@
+// Small differentiable models with flat parameter vectors — the FL payload.
+// Parameters live in one contiguous std::vector<double> so the IPLS layer
+// can slice them into partitions without knowing model structure.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+
+namespace dfl::ml {
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  [[nodiscard]] virtual std::size_t num_params() const = 0;
+  [[nodiscard]] virtual const std::vector<double>& params() const = 0;
+  virtual void set_params(std::vector<double> p) = 0;
+
+  /// Mean cross-entropy loss over the examples.
+  [[nodiscard]] virtual double loss(const Dataset& data) const = 0;
+
+  /// Gradient of the mean loss at the current parameters, flat layout
+  /// matching params(). `batch` optionally restricts to given indices.
+  [[nodiscard]] virtual std::vector<double> gradient(
+      const Dataset& data, const std::vector<std::size_t>& batch = {}) const = 0;
+
+  [[nodiscard]] virtual int predict(const std::vector<double>& x) const = 0;
+
+  /// Fraction of correctly classified examples.
+  [[nodiscard]] double accuracy(const Dataset& data) const;
+
+  /// In-place SGD update: params -= lr * grad.
+  void apply_gradient(const std::vector<double>& grad, double lr);
+
+  /// Deep copy (same architecture and parameters).
+  [[nodiscard]] virtual std::unique_ptr<Model> clone() const = 0;
+};
+
+/// Multiclass softmax regression: W (C x F) and b (C), C*(F+1) parameters.
+class LogisticRegression final : public Model {
+ public:
+  LogisticRegression(std::size_t num_features, int num_classes, Rng& rng);
+
+  [[nodiscard]] std::size_t num_params() const override { return params_.size(); }
+  [[nodiscard]] const std::vector<double>& params() const override { return params_; }
+  void set_params(std::vector<double> p) override;
+  [[nodiscard]] double loss(const Dataset& data) const override;
+  [[nodiscard]] std::vector<double> gradient(
+      const Dataset& data, const std::vector<std::size_t>& batch = {}) const override;
+  [[nodiscard]] int predict(const std::vector<double>& x) const override;
+  [[nodiscard]] std::unique_ptr<Model> clone() const override;
+
+ private:
+  [[nodiscard]] std::vector<double> logits(const std::vector<double>& x) const;
+
+  std::size_t f_;
+  int c_;
+  std::vector<double> params_;  // [W row-major (c*f), then b (c)]
+};
+
+/// One-hidden-layer tanh MLP with softmax output.
+class Mlp final : public Model {
+ public:
+  Mlp(std::size_t num_features, std::size_t hidden, int num_classes, Rng& rng);
+
+  [[nodiscard]] std::size_t num_params() const override { return params_.size(); }
+  [[nodiscard]] const std::vector<double>& params() const override { return params_; }
+  void set_params(std::vector<double> p) override;
+  [[nodiscard]] double loss(const Dataset& data) const override;
+  [[nodiscard]] std::vector<double> gradient(
+      const Dataset& data, const std::vector<std::size_t>& batch = {}) const override;
+  [[nodiscard]] int predict(const std::vector<double>& x) const override;
+  [[nodiscard]] std::unique_ptr<Model> clone() const override;
+
+ private:
+  struct Forward {
+    std::vector<double> hidden;  // tanh activations
+    std::vector<double> probs;   // softmax outputs
+  };
+  [[nodiscard]] Forward forward(const std::vector<double>& x) const;
+
+  // Flat layout: W1 (h*f), b1 (h), W2 (c*h), b2 (c).
+  std::size_t f_, h_;
+  int c_;
+  std::vector<double> params_;
+  [[nodiscard]] std::size_t w1(std::size_t i, std::size_t j) const { return i * f_ + j; }
+  [[nodiscard]] std::size_t b1(std::size_t i) const { return h_ * f_ + i; }
+  [[nodiscard]] std::size_t w2(std::size_t k, std::size_t i) const {
+    return h_ * f_ + h_ + k * h_ + i;
+  }
+  [[nodiscard]] std::size_t b2(std::size_t k) const {
+    return h_ * f_ + h_ + static_cast<std::size_t>(c_) * h_ + k;
+  }
+};
+
+/// Softmax of logits, numerically stabilized.
+std::vector<double> softmax(std::vector<double> logits);
+
+}  // namespace dfl::ml

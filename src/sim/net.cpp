@@ -1,0 +1,42 @@
+#include "sim/net.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace dfl::sim {
+
+Host& Network::add_host(const std::string& name, const HostConfig& config) {
+  hosts_.push_back(std::make_unique<Host>(name, static_cast<std::uint32_t>(hosts_.size()), config));
+  return *hosts_.back();
+}
+
+Task<void> Network::transfer(Host& from, Host& to, std::uint64_t bytes) {
+  if (!from.is_up() || !to.is_up()) {
+    throw NetworkError("transfer " + from.name() + " -> " + to.name() + ": endpoint down");
+  }
+  const std::uint64_t wire_bytes = bytes + overhead_bytes_;
+  const double bps = std::min(from.config().up_bps, to.config().down_bps);
+  const auto duration = static_cast<TimeNs>(static_cast<double>(wire_bytes) * 8.0 * 1e9 / bps);
+
+  // Reserve both pipes FIFO: start when the later of the two frees up.
+  const TimeNs start = std::max({sim_.now(), from.uplink_free_at_, to.downlink_free_at_});
+  const TimeNs pipe_end = start + duration;
+  from.uplink_free_at_ = pipe_end;
+  to.downlink_free_at_ = pipe_end;
+
+  from.bytes_sent_ += wire_bytes;
+  to.bytes_received_ += wire_bytes;
+  total_bytes_ += wire_bytes;
+
+  const TimeNs arrival = pipe_end + from.config().latency + to.config().latency;
+  if (tracing_) {
+    trace_.push_back(TransferRecord{sim_.now(), start, arrival, from.id(), to.id(), wire_bytes});
+  }
+  co_await sim_.sleep_until(arrival);
+  // Loss of the receiving endpoint mid-flight: model as failure at delivery.
+  if (!to.is_up()) {
+    throw NetworkError("transfer " + from.name() + " -> " + to.name() + ": receiver went down");
+  }
+}
+
+}  // namespace dfl::sim

@@ -1,0 +1,118 @@
+// Simulated network: named hosts with uplink/downlink capacity and
+// propagation latency. Replaces the paper's mininet emulation.
+//
+// Transfer model ("circuit" / store-and-forward FIFO): a transfer of S
+// bytes from A to B reserves A's uplink and B's downlink for the same
+// interval of length S*8/min(A.up, B.down), starting when both pipes are
+// free (FIFO in issue order), and delivers one propagation latency later.
+// Congestion at a busy storage node therefore serializes exactly as the
+// paper's analysis in Section III-E assumes (τ = S·(T/(dP) + P/b)).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace dfl::sim {
+
+struct HostConfig {
+  double up_bps = 10e6;    // uplink capacity, bits per second
+  double down_bps = 10e6;  // downlink capacity, bits per second
+  TimeNs latency = from_millis(1);  // one-way propagation delay
+};
+
+/// A network endpoint. Created and owned by Network; identified by id.
+class Host {
+ public:
+  Host(std::string name, std::uint32_t id, const HostConfig& config)
+      : name_(std::move(name)), id_(id), config_(config) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] const HostConfig& config() const { return config_; }
+
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t bytes_received() const { return bytes_received_; }
+  void reset_counters() { bytes_sent_ = bytes_received_ = 0; }
+
+  /// Simulated failure switch: while down, transfers throw NetworkError.
+  [[nodiscard]] bool is_up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+
+ private:
+  friend class Network;
+  std::string name_;
+  std::uint32_t id_;
+  HostConfig config_;
+  TimeNs uplink_free_at_ = 0;
+  TimeNs downlink_free_at_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  bool up_ = true;
+};
+
+/// Thrown by transfer() when either endpoint is marked down.
+struct NetworkError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// One completed transfer, for offline analysis of a simulation run.
+struct TransferRecord {
+  TimeNs issued_at;
+  TimeNs start;      // when the pipes were actually acquired
+  TimeNs delivered;  // last byte + latency
+  std::uint32_t from;
+  std::uint32_t to;
+  std::uint64_t wire_bytes;
+};
+
+class Network {
+ public:
+  explicit Network(Simulator& sim) : sim_(sim) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+
+  /// Creates a host; the reference stays valid for the Network's lifetime.
+  Host& add_host(const std::string& name, const HostConfig& config);
+
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+  [[nodiscard]] Host& host(std::uint32_t id) { return *hosts_.at(id); }
+
+  /// Moves `bytes` from `from` to `to`; completes (resumes the caller) at
+  /// the simulated time the last byte arrives. Throws NetworkError if
+  /// either endpoint is down at issue time.
+  [[nodiscard]] Task<void> transfer(Host& from, Host& to, std::uint64_t bytes);
+
+  /// Total payload bytes moved since construction.
+  [[nodiscard]] std::uint64_t total_bytes_transferred() const { return total_bytes_; }
+
+  /// Overhead applied to every transfer (protocol framing); default 256
+  /// bytes, negligible for MB payloads but keeps tiny control messages from
+  /// being free.
+  void set_per_message_overhead(std::uint64_t bytes) { overhead_bytes_ = bytes; }
+  [[nodiscard]] std::uint64_t per_message_overhead() const { return overhead_bytes_; }
+
+  /// When enabled, every transfer is appended to trace() (observability;
+  /// off by default — long runs would accumulate a large log).
+  void set_tracing(bool on) { tracing_ = on; }
+  [[nodiscard]] bool tracing() const { return tracing_; }
+  [[nodiscard]] const std::vector<TransferRecord>& trace() const { return trace_; }
+  void clear_trace() { trace_.clear(); }
+
+ private:
+  Simulator& sim_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t overhead_bytes_ = 256;
+  bool tracing_ = false;
+  std::vector<TransferRecord> trace_;
+};
+
+}  // namespace dfl::sim

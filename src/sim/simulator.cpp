@@ -1,0 +1,46 @@
+#include "sim/simulator.hpp"
+
+namespace dfl::sim {
+
+void Simulator::schedule_at(TimeNs at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Simulator::spawn(Task<void> task) {
+  roots_.push_back(std::move(task));
+  // Start the root inside an event so spawning during another coroutine's
+  // execution keeps FIFO ordering.
+  Task<void>* t = &roots_.back();
+  schedule_at(now_, [t] { t->start(); });
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the function object must be moved
+  // out before pop. const_cast is safe: the element is removed immediately.
+  auto& top = const_cast<Event&>(queue_.top());
+  now_ = top.at;
+  auto fn = std::move(top.fn);
+  queue_.pop();
+  ++events_processed_;
+  fn();
+  return true;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+}
+
+void Simulator::run_until(TimeNs until) {
+  while (!queue_.empty() && queue_.top().at <= until) step();
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::reset() {
+  while (!queue_.empty()) queue_.pop();
+  roots_.clear();
+}
+
+}  // namespace dfl::sim

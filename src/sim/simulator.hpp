@@ -1,0 +1,95 @@
+// Deterministic discrete-event simulator: a virtual clock plus a
+// time-ordered event queue. Stands in for the paper's mininet testbed —
+// all protocol delays (Figures 1 and 2) are measured on this clock.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace dfl::sim {
+
+/// Simulated time in nanoseconds (integer, so event ordering is exact).
+using TimeNs = std::int64_t;
+
+constexpr TimeNs from_seconds(double s) { return static_cast<TimeNs>(s * 1e9); }
+constexpr double to_seconds(TimeNs t) { return static_cast<double>(t) * 1e-9; }
+constexpr TimeNs from_millis(double ms) { return static_cast<TimeNs>(ms * 1e6); }
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimeNs now() const { return now_; }
+  [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Schedules a callback at absolute simulated time `at` (clamped to now).
+  /// Events at equal times run in scheduling (FIFO) order — deterministic.
+  void schedule_at(TimeNs at, std::function<void()> fn);
+  void schedule_after(TimeNs delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Starts a coroutine as a detached root process. The simulator owns the
+  /// frame; it is released when the simulator is destroyed (or reset()).
+  void spawn(Task<void> task);
+
+  /// Awaitable: suspends the calling coroutine until the given time.
+  struct SleepAwaiter {
+    Simulator& sim;
+    TimeNs wake_at;
+    bool await_ready() const noexcept { return wake_at <= sim.now_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim.schedule_at(wake_at, [h] { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+  };
+
+  [[nodiscard]] SleepAwaiter sleep(TimeNs duration) {
+    return SleepAwaiter{*this, now_ + (duration < 0 ? 0 : duration)};
+  }
+  [[nodiscard]] SleepAwaiter sleep_until(TimeNs at) { return SleepAwaiter{*this, at}; }
+
+  /// Runs one event; returns false if the queue is empty.
+  bool step();
+
+  /// Runs until the event queue drains (all processes finished or parked
+  /// forever). `max_events` guards against accidental livelock in tests.
+  void run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Runs until simulated time would exceed `until`; pending later events
+  /// remain queued.
+  void run_until(TimeNs until);
+
+  /// Drops all pending events and root tasks; clock keeps its value.
+  void reset();
+
+ private:
+  struct Event {
+    TimeNs at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  // deque: spawn keeps a pointer to the element until its start event runs,
+  // so container growth must not invalidate references.
+  std::deque<Task<void>> roots_;
+};
+
+}  // namespace dfl::sim

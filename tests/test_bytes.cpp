@@ -1,0 +1,59 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dfl {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data{0x00, 0x01, 0xab, 0xff, 0x10};
+  EXPECT_EQ(to_hex(data), "0001abff10");
+  EXPECT_EQ(from_hex("0001abff10"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexAcceptsPrefixAndUppercase) {
+  const Bytes expected{0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(from_hex("0xDEADBEEF"), expected);
+  EXPECT_EQ(from_hex("DeAdBeEf"), expected);
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRejectsInvalidDigits) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(Bytes, BytesOfString) {
+  const Bytes b = bytes_of("abc");
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 'a');
+  EXPECT_EQ(b[2], 'c');
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a{1, 2, 3};
+  const Bytes b{1, 2, 3};
+  const Bytes c{1, 2, 4};
+  const Bytes d{1, 2};
+  EXPECT_TRUE(equal_constant_time(a, b));
+  EXPECT_FALSE(equal_constant_time(a, c));
+  EXPECT_FALSE(equal_constant_time(a, d));
+  EXPECT_TRUE(equal_constant_time(Bytes{}, Bytes{}));
+}
+
+TEST(Bytes, HexRoundTripAllByteValues) {
+  Bytes all(256);
+  for (int i = 0; i < 256; ++i) all[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(from_hex(to_hex(all)), all);
+}
+
+}  // namespace
+}  // namespace dfl

@@ -1,0 +1,191 @@
+// Tests for the optimization/extension layer of the crypto substrate:
+// wNAF scalar multiplication, blinded (hiding) Pedersen commitments, and
+// probabilistic batch verification.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/encoding.hpp"
+#include "crypto/pedersen.hpp"
+
+namespace dfl::crypto {
+namespace {
+
+U256 random_scalar(Rng& rng, const Curve& c) {
+  for (;;) {
+    U256 v{rng.next(), rng.next(), rng.next(), rng.next()};
+    if (v < c.order()) return v;
+  }
+}
+
+class WnafBothCurves : public ::testing::TestWithParam<CurveId> {
+ protected:
+  const Curve& c() const { return Curve::get(GetParam()); }
+};
+
+TEST_P(WnafBothCurves, MatchesDoubleAndAddOnRandomScalars) {
+  Rng rng(41);
+  for (int i = 0; i < 20; ++i) {
+    const U256 k = random_scalar(rng, c());
+    EXPECT_TRUE(c().eq(c().scalar_mul_wnaf(c().generator(), k),
+                       c().scalar_mul(c().generator(), k)));
+  }
+}
+
+TEST_P(WnafBothCurves, SmallScalars) {
+  for (std::uint64_t k = 0; k <= 64; ++k) {
+    EXPECT_TRUE(c().eq(c().scalar_mul_wnaf(c().generator(), U256(k)),
+                       c().scalar_mul(c().generator(), U256(k))))
+        << "k=" << k;
+  }
+}
+
+TEST_P(WnafBothCurves, EdgeScalars) {
+  // Order-adjacent and all-ones patterns exercise digit-carry paths.
+  U256 nm1 = c().order();
+  nm1.sub_assign(U256(1));
+  const U256 all_ones{~0ULL, ~0ULL, ~0ULL, 0x7fffffffffffffffULL};
+  for (const U256& k : {nm1, all_ones, U256(0xffffffffffffffffULL)}) {
+    EXPECT_TRUE(c().eq(c().scalar_mul_wnaf(c().generator(), k),
+                       c().scalar_mul(c().generator(), k)));
+  }
+  EXPECT_TRUE(c().is_infinity(c().scalar_mul_wnaf(c().generator(), c().order())));
+  EXPECT_TRUE(c().is_infinity(c().scalar_mul_wnaf(c().generator(), U256(0))));
+  EXPECT_TRUE(c().is_infinity(c().scalar_mul_wnaf(AffinePoint{}, U256(5))));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothCurves, WnafBothCurves,
+                         ::testing::Values(CurveId::kSecp256k1, CurveId::kSecp256r1),
+                         [](const ::testing::TestParamInfo<CurveId>& info) {
+                           return info.param == CurveId::kSecp256k1 ? "secp256k1"
+                                                                    : "secp256r1";
+                         });
+
+struct BlindedFixture : ::testing::Test {
+  const Curve& curve = Curve::secp256k1();
+  PedersenKey key{curve, "blinded", 8};
+  Rng rng{99};
+};
+
+TEST_F(BlindedFixture, BlindingGeneratorIndependentOfMessageGenerators) {
+  // H must differ from every h_i (no known relation by construction).
+  const AffinePoint& h = key.blinding_generator();
+  EXPECT_TRUE(curve.is_on_curve(h));
+  EXPECT_FALSE(h.infinity);
+}
+
+TEST_F(BlindedFixture, VerifyAcceptsAndRejects) {
+  const std::vector<std::int64_t> v{1, -2, 3, 4};
+  const U256 blind = random_scalar(rng, curve);
+  const Commitment c = key.commit_blinded(v, blind);
+  EXPECT_TRUE(key.verify_blinded(c, v, blind));
+  // Wrong blind, wrong vector -> reject.
+  EXPECT_FALSE(key.verify_blinded(c, v, U256(123)));
+  auto v2 = v;
+  v2[0] += 1;
+  EXPECT_FALSE(key.verify_blinded(c, v2, blind));
+}
+
+TEST_F(BlindedFixture, DifferentBlindsHideTheSameVector) {
+  const std::vector<std::int64_t> v{7, 7, 7};
+  const Commitment a = key.commit_blinded(v, random_scalar(rng, curve));
+  const Commitment b = key.commit_blinded(v, random_scalar(rng, curve));
+  EXPECT_NE(a, b);  // hiding: same message, different commitments
+}
+
+TEST_F(BlindedFixture, ZeroBlindEqualsPlainCommit) {
+  const std::vector<std::int64_t> v{5, -6};
+  EXPECT_EQ(key.commit_blinded(v, U256(0)), key.commit(v));
+}
+
+TEST_F(BlindedFixture, BlindsAddHomomorphically) {
+  // C(v1, r1) * C(v2, r2) = C(v1+v2, r1+r2) when r1+r2 doesn't wrap n.
+  const std::vector<std::int64_t> v1{1, 2};
+  const std::vector<std::int64_t> v2{10, 20};
+  const U256 r1(1000), r2(2000);
+  const Commitment sum = key.add(key.commit_blinded(v1, r1), key.commit_blinded(v2, r2));
+  EXPECT_TRUE(key.verify_blinded(sum, {11, 22}, U256(3000)));
+}
+
+struct BatchVerifyFixture : ::testing::Test {
+  const Curve& curve = Curve::secp256r1();
+  PedersenKey key{curve, "batch", 16};
+  Rng rng{7};
+
+  std::vector<std::vector<std::int64_t>> vectors;
+  std::vector<Commitment> commitments;
+
+  void make(std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      std::vector<std::int64_t> v;
+      for (int j = 0; j < 16; ++j) v.push_back(rng.uniform_int(-(1 << 20), 1 << 20));
+      commitments.push_back(key.commit(v));
+      vectors.push_back(std::move(v));
+    }
+  }
+};
+
+TEST_F(BatchVerifyFixture, AcceptsAllValid) {
+  make(10);
+  EXPECT_TRUE(key.verify_batch(commitments, vectors, rng));
+}
+
+TEST_F(BatchVerifyFixture, RejectsSingleTamperedOpening) {
+  make(10);
+  vectors[6][3] += 1;
+  EXPECT_FALSE(key.verify_batch(commitments, vectors, rng));
+}
+
+TEST_F(BatchVerifyFixture, RejectsSingleTamperedCommitment) {
+  make(5);
+  commitments[2] = key.commit({9, 9, 9});
+  EXPECT_FALSE(key.verify_batch(commitments, vectors, rng));
+}
+
+TEST_F(BatchVerifyFixture, RejectsSwappedPair) {
+  // Swapping two openings keeps the SUM valid; the random coefficients
+  // must still catch it (this is what a naive "check the sum" would miss).
+  make(4);
+  std::swap(vectors[0], vectors[1]);
+  EXPECT_FALSE(key.verify_batch(commitments, vectors, rng));
+}
+
+TEST_F(BatchVerifyFixture, EmptyBatchAccepted) {
+  EXPECT_TRUE(key.verify_batch({}, {}, rng));
+}
+
+TEST_F(BatchVerifyFixture, SizeMismatchRejected) {
+  make(3);
+  vectors.pop_back();
+  EXPECT_FALSE(key.verify_batch(commitments, vectors, rng));
+}
+
+TEST_F(BatchVerifyFixture, MalformedCommitmentRejected) {
+  make(2);
+  commitments[1].point = Bytes(33, 0xee);
+  EXPECT_FALSE(key.verify_batch(commitments, vectors, rng));
+}
+
+TEST_F(BatchVerifyFixture, CrossCurveRejected) {
+  make(2);
+  commitments[0].curve = CurveId::kSecp256k1;
+  EXPECT_FALSE(key.verify_batch(commitments, vectors, rng));
+}
+
+TEST_F(BatchVerifyFixture, SingleElementBatchMatchesPlainVerify) {
+  make(1);
+  EXPECT_TRUE(key.verify_batch(commitments, vectors, rng));
+  EXPECT_TRUE(key.verify(commitments[0], vectors[0]));
+}
+
+TEST_F(BatchVerifyFixture, MixedLengthVectors) {
+  vectors.push_back({1, 2, 3});
+  commitments.push_back(key.commit(vectors.back()));
+  vectors.push_back({4});
+  commitments.push_back(key.commit(vectors.back()));
+  EXPECT_TRUE(key.verify_batch(commitments, vectors, rng));
+  vectors[1][0] = 5;
+  EXPECT_FALSE(key.verify_batch(commitments, vectors, rng));
+}
+
+}  // namespace
+}  // namespace dfl::crypto

@@ -1,0 +1,259 @@
+#include "crypto/curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/hash_to_curve.hpp"
+
+namespace dfl::crypto {
+namespace {
+
+U256 random_scalar(Rng& rng, const Curve& c) {
+  for (;;) {
+    U256 v{rng.next(), rng.next(), rng.next(), rng.next()};
+    if (v < c.order()) return v;
+  }
+}
+
+class CurveGroup : public ::testing::TestWithParam<CurveId> {
+ protected:
+  const Curve& c() const { return Curve::get(GetParam()); }
+};
+
+TEST_P(CurveGroup, GeneratorOnCurve) {
+  EXPECT_TRUE(c().is_on_curve(c().generator()));
+  EXPECT_FALSE(c().generator().infinity);
+}
+
+TEST_P(CurveGroup, GeneratorHasGroupOrder) {
+  // n * G == O — validates the order constant against the group law.
+  const JacobianPoint nG = c().scalar_mul(c().generator(), c().order());
+  EXPECT_TRUE(c().is_infinity(nG));
+}
+
+TEST_P(CurveGroup, OrderMinusOneIsNegation) {
+  U256 nm1 = c().order();
+  nm1.sub_assign(U256(1));
+  const JacobianPoint p = c().scalar_mul(c().generator(), nm1);
+  const JacobianPoint g = c().to_jacobian(c().generator());
+  EXPECT_TRUE(c().eq(p, c().neg(g)));
+}
+
+TEST_P(CurveGroup, AffineJacobianRoundTrip) {
+  Rng rng(21);
+  for (int i = 0; i < 10; ++i) {
+    const JacobianPoint p = c().scalar_mul(c().generator(), random_scalar(rng, c()));
+    const AffinePoint a = c().to_affine(p);
+    EXPECT_TRUE(c().is_on_curve(a));
+    EXPECT_TRUE(c().eq(c().to_jacobian(a), p));
+  }
+}
+
+TEST_P(CurveGroup, DoubleMatchesAdd) {
+  Rng rng(22);
+  for (int i = 0; i < 10; ++i) {
+    const JacobianPoint p = c().scalar_mul(c().generator(), random_scalar(rng, c()));
+    EXPECT_TRUE(c().eq(c().dbl(p), c().add(p, p)));
+  }
+}
+
+TEST_P(CurveGroup, AdditionCommutes) {
+  Rng rng(23);
+  for (int i = 0; i < 10; ++i) {
+    const JacobianPoint p = c().scalar_mul(c().generator(), random_scalar(rng, c()));
+    const JacobianPoint q = c().scalar_mul(c().generator(), random_scalar(rng, c()));
+    EXPECT_TRUE(c().eq(c().add(p, q), c().add(q, p)));
+  }
+}
+
+TEST_P(CurveGroup, AdditionAssociates) {
+  Rng rng(24);
+  for (int i = 0; i < 5; ++i) {
+    const JacobianPoint p = c().scalar_mul(c().generator(), random_scalar(rng, c()));
+    const JacobianPoint q = c().scalar_mul(c().generator(), random_scalar(rng, c()));
+    const JacobianPoint r = c().scalar_mul(c().generator(), random_scalar(rng, c()));
+    EXPECT_TRUE(c().eq(c().add(c().add(p, q), r), c().add(p, c().add(q, r))));
+  }
+}
+
+TEST_P(CurveGroup, InfinityIsIdentity) {
+  Rng rng(25);
+  const JacobianPoint p = c().scalar_mul(c().generator(), random_scalar(rng, c()));
+  EXPECT_TRUE(c().eq(c().add(p, c().infinity()), p));
+  EXPECT_TRUE(c().eq(c().add(c().infinity(), p), p));
+  EXPECT_TRUE(c().is_infinity(c().dbl(c().infinity())));
+}
+
+TEST_P(CurveGroup, AddOppositeGivesInfinity) {
+  Rng rng(26);
+  const JacobianPoint p = c().scalar_mul(c().generator(), random_scalar(rng, c()));
+  EXPECT_TRUE(c().is_infinity(c().add(p, c().neg(p))));
+}
+
+TEST_P(CurveGroup, MixedAddMatchesFullAdd) {
+  Rng rng(27);
+  for (int i = 0; i < 10; ++i) {
+    const JacobianPoint p = c().scalar_mul(c().generator(), random_scalar(rng, c()));
+    const JacobianPoint q = c().scalar_mul(c().generator(), random_scalar(rng, c()));
+    const AffinePoint qa = c().to_affine(q);
+    EXPECT_TRUE(c().eq(c().add_mixed(p, qa), c().add(p, q)));
+  }
+  // Degenerate operands.
+  const AffinePoint ga = c().generator();
+  EXPECT_TRUE(c().eq(c().add_mixed(c().infinity(), ga), c().to_jacobian(ga)));
+  const JacobianPoint g = c().to_jacobian(ga);
+  EXPECT_TRUE(c().eq(c().add_mixed(g, AffinePoint{}), g));
+  EXPECT_TRUE(c().eq(c().add_mixed(g, ga), c().dbl(g)));  // P + P branch
+}
+
+TEST_P(CurveGroup, ScalarMulDistributesOverScalarAddition) {
+  Rng rng(28);
+  for (int i = 0; i < 5; ++i) {
+    const U256 a = random_scalar(rng, c());
+    const U256 b = random_scalar(rng, c());
+    const U256 ab = add_mod(a, b, c().order());
+    const JacobianPoint lhs = c().scalar_mul(c().generator(), ab);
+    const JacobianPoint rhs =
+        c().add(c().scalar_mul(c().generator(), a), c().scalar_mul(c().generator(), b));
+    EXPECT_TRUE(c().eq(lhs, rhs));
+  }
+}
+
+TEST_P(CurveGroup, ScalarMulSmallMultiples) {
+  JacobianPoint acc = c().infinity();
+  for (std::uint64_t k = 0; k <= 20; ++k) {
+    EXPECT_TRUE(c().eq(c().scalar_mul(c().generator(), U256(k)), acc)) << "k=" << k;
+    acc = c().add_mixed(acc, c().generator());
+  }
+}
+
+TEST_P(CurveGroup, ScalarMulOfInfinityBase) {
+  EXPECT_TRUE(c().is_infinity(c().scalar_mul(AffinePoint{}, U256(12345))));
+  EXPECT_TRUE(c().is_infinity(c().scalar_mul(c().generator(), U256(0))));
+}
+
+TEST_P(CurveGroup, BatchToAffineMatchesScalarConversion) {
+  Rng rng(29);
+  std::vector<JacobianPoint> pts;
+  for (int i = 0; i < 9; ++i) {
+    pts.push_back(c().scalar_mul(c().generator(), random_scalar(rng, c())));
+  }
+  pts.push_back(c().infinity());  // include an infinity in the batch
+  pts.push_back(c().scalar_mul(c().generator(), U256(5)));
+  const auto affine = c().batch_to_affine(pts);
+  ASSERT_EQ(affine.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const AffinePoint direct = c().to_affine(pts[i]);
+    EXPECT_EQ(affine[i].infinity, direct.infinity);
+    if (!direct.infinity) {
+      EXPECT_EQ(affine[i].x, direct.x);
+      EXPECT_EQ(affine[i].y, direct.y);
+    }
+  }
+}
+
+TEST_P(CurveGroup, SerializeRoundTrip) {
+  Rng rng(30);
+  for (int i = 0; i < 10; ++i) {
+    const AffinePoint p = c().to_affine(c().scalar_mul(c().generator(), random_scalar(rng, c())));
+    const Bytes enc = c().serialize(p);
+    ASSERT_EQ(enc.size(), 33u);
+    const AffinePoint q = c().deserialize(enc);
+    EXPECT_EQ(p.x, q.x);
+    EXPECT_EQ(p.y, q.y);
+  }
+}
+
+TEST_P(CurveGroup, SerializeInfinity) {
+  const Bytes enc = c().serialize(AffinePoint{});
+  EXPECT_EQ(enc, Bytes{0x00});
+  EXPECT_TRUE(c().deserialize(enc).infinity);
+}
+
+TEST_P(CurveGroup, DeserializeRejectsGarbage) {
+  EXPECT_THROW((void)c().deserialize(Bytes{}), std::invalid_argument);
+  EXPECT_THROW((void)c().deserialize(Bytes{0x05}), std::invalid_argument);
+  Bytes bad(33, 0xff);
+  bad[0] = 0x02;
+  EXPECT_THROW((void)c().deserialize(bad), std::invalid_argument);  // x >= p
+}
+
+TEST_P(CurveGroup, SqrtOfSquares) {
+  Rng rng(31);
+  const FieldCtx& fp = c().fp();
+  for (int i = 0; i < 20; ++i) {
+    U256 raw{rng.next(), rng.next(), rng.next(), rng.next()};
+    while (!(raw < fp.modulus())) raw.sub_assign(fp.modulus());
+    const Fe x = fp.to_mont(raw);
+    const Fe x2 = fp.sqr(x);
+    const auto r = c().sqrt(x2);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(*r == x || *r == fp.neg(x));
+  }
+}
+
+TEST_P(CurveGroup, SqrtRejectsNonResidue) {
+  // x and -x^... : for a residue r, -r is a non-residue iff -1 is a
+  // non-residue, which holds for p ≡ 3 (mod 4). So sqrt(neg(square)) fails.
+  const FieldCtx& fp = c().fp();
+  const Fe x = fp.from_u64(123456789);
+  const Fe x2 = fp.sqr(x);
+  EXPECT_FALSE(c().sqrt(fp.neg(x2)).has_value());
+}
+
+TEST_P(CurveGroup, HashToCurveDeterministicAndOnCurve) {
+  const AffinePoint p1 = hash_to_curve(c(), "test-domain", 0);
+  const AffinePoint p2 = hash_to_curve(c(), "test-domain", 0);
+  EXPECT_TRUE(c().is_on_curve(p1));
+  EXPECT_FALSE(p1.infinity);
+  EXPECT_EQ(p1.x, p2.x);
+  EXPECT_EQ(p1.y, p2.y);
+}
+
+TEST_P(CurveGroup, HashToCurveSeparatesDomainsAndIndices) {
+  const AffinePoint a = hash_to_curve(c(), "domain-a", 0);
+  const AffinePoint b = hash_to_curve(c(), "domain-b", 0);
+  const AffinePoint a1 = hash_to_curve(c(), "domain-a", 1);
+  EXPECT_FALSE(a.x == b.x);
+  EXPECT_FALSE(a.x == a1.x);
+}
+
+TEST_P(CurveGroup, DeriveGeneratorsParallelMatchesSerial) {
+  // Above the parallel threshold the result must be identical to the
+  // serial derivation (same indices, just different thread interleaving).
+  const auto gens = derive_generators(c(), "par-check", 5000);
+  ASSERT_EQ(gens.size(), 5000u);
+  for (std::size_t i : {std::size_t{0}, std::size_t{1234}, std::size_t{4999}}) {
+    const AffinePoint direct = hash_to_curve(c(), "par-check", i);
+    EXPECT_EQ(gens[i].x, direct.x) << i;
+    EXPECT_EQ(gens[i].y, direct.y) << i;
+    EXPECT_TRUE(c().is_on_curve(gens[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothCurves, CurveGroup,
+                         ::testing::Values(CurveId::kSecp256k1, CurveId::kSecp256r1),
+                         [](const ::testing::TestParamInfo<CurveId>& info) {
+                           return info.param == CurveId::kSecp256k1 ? "secp256k1"
+                                                                    : "secp256r1";
+                         });
+
+TEST(Curve, KnownScalarMultipleSecp256k1) {
+  // 2G on secp256k1 (well-known constant).
+  const Curve& c = Curve::secp256k1();
+  const AffinePoint two_g = c.to_affine(c.dbl(c.to_jacobian(c.generator())));
+  EXPECT_EQ(c.fp().from_mont(two_g.x).to_hex(),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  EXPECT_EQ(c.fp().from_mont(two_g.y).to_hex(),
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a");
+}
+
+TEST(Curve, CurvesAreDistinct) {
+  EXPECT_NE(&Curve::secp256k1(), &Curve::secp256r1());
+  EXPECT_FALSE(Curve::secp256k1().order() == Curve::secp256r1().order());
+  EXPECT_EQ(Curve::get(CurveId::kSecp256k1).name(), "secp256k1");
+  EXPECT_EQ(Curve::get(CurveId::kSecp256r1).name(), "secp256r1");
+}
+
+}  // namespace
+}  // namespace dfl::crypto

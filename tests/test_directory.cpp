@@ -1,0 +1,197 @@
+#include "directory/directory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bootstrapper.hpp"
+#include "core/payload.hpp"
+
+namespace dfl::directory {
+namespace {
+
+struct DirFixture : ::testing::Test {
+  sim::Simulator sim;
+  sim::Network net{sim};
+  ipfs::Swarm swarm{net};
+  sim::Host& dir_host = net.add_host("dir", sim::HostConfig{100e6, 100e6, 0});
+  sim::Host& client = net.add_host("client", sim::HostConfig{10e6, 10e6, 0});
+
+  template <typename T>
+  T run(sim::Task<T> task) {
+    std::optional<T> out;
+    sim.spawn([](sim::Task<T> t, std::optional<T>& o) -> sim::Task<void> {
+      o = co_await std::move(t);
+    }(std::move(task), out));
+    sim.run();
+    if (!out) throw std::runtime_error("task did not complete");
+    return *out;
+  }
+};
+
+TEST_F(DirFixture, AnnounceThenLookup) {
+  DirectoryService dir(net, dir_host, swarm, DirectoryConfig{});
+  const Addr addr{3, 1, 0, EntryType::kGradient};
+  const ipfs::Cid cid = ipfs::Cid::of(dfl::bytes_of("g"));
+  EXPECT_TRUE(run(dir.announce(client, addr, cid)));
+  EXPECT_EQ(run(dir.lookup(client, addr)), std::optional<ipfs::Cid>(cid));
+  // Different uploader: not found.
+  EXPECT_EQ(run(dir.lookup(client, Addr{4, 1, 0, EntryType::kGradient})), std::nullopt);
+}
+
+TEST_F(DirFixture, PollReturnsAllRows) {
+  DirectoryService dir(net, dir_host, swarm, DirectoryConfig{});
+  for (std::uint32_t t = 0; t < 5; ++t) {
+    (void)run(dir.announce(client, Addr{t, 0, 0, EntryType::kGradient},
+                           ipfs::Cid::of(Bytes{static_cast<std::uint8_t>(t)})));
+  }
+  const auto rows = run(dir.poll(client, 0, 0, EntryType::kGradient));
+  EXPECT_EQ(rows.size(), 5u);
+  // Type and iteration are part of the key.
+  EXPECT_TRUE(run(dir.poll(client, 0, 0, EntryType::kPartialUpdate)).empty());
+  EXPECT_TRUE(run(dir.poll(client, 0, 1, EntryType::kGradient)).empty());
+  EXPECT_TRUE(run(dir.poll(client, 1, 0, EntryType::kGradient)).empty());
+}
+
+TEST_F(DirFixture, ReAnnounceReplacesRow) {
+  DirectoryService dir(net, dir_host, swarm, DirectoryConfig{});
+  const Addr addr{1, 0, 0, EntryType::kGradient};
+  const ipfs::Cid c1 = ipfs::Cid::of(dfl::bytes_of("v1"));
+  const ipfs::Cid c2 = ipfs::Cid::of(dfl::bytes_of("v2"));
+  (void)run(dir.announce(client, addr, c1));
+  (void)run(dir.announce(client, addr, c2));
+  const auto rows = run(dir.poll(client, 0, 0, EntryType::kGradient));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].cid, c2);
+}
+
+TEST_F(DirFixture, StatsCountTraffic) {
+  DirectoryService dir(net, dir_host, swarm, DirectoryConfig{});
+  (void)run(dir.announce(client, Addr{0, 0, 0, EntryType::kGradient},
+                         ipfs::Cid::of(dfl::bytes_of("x"))));
+  (void)run(dir.poll(client, 0, 0, EntryType::kGradient));
+  (void)run(dir.lookup(client, Addr{0, 0, 0, EntryType::kGradient}));
+  EXPECT_EQ(dir.stats().announcements, 1u);
+  EXPECT_EQ(dir.stats().polls, 1u);
+  EXPECT_EQ(dir.stats().lookups, 1u);
+  EXPECT_GT(dir.stats().bytes_in, 0u);
+  EXPECT_GT(dir.stats().bytes_out, 0u);
+  dir.reset_stats();
+  EXPECT_EQ(dir.stats().announcements, 0u);
+}
+
+TEST_F(DirFixture, GcDropsOldIterations) {
+  DirectoryService dir(net, dir_host, swarm, DirectoryConfig{});
+  (void)run(dir.announce(client, Addr{0, 0, 0, EntryType::kGradient},
+                         ipfs::Cid::of(dfl::bytes_of("old"))));
+  (void)run(dir.announce(client, Addr{0, 0, 5, EntryType::kGradient},
+                         ipfs::Cid::of(dfl::bytes_of("new"))));
+  dir.gc_before(5);
+  EXPECT_TRUE(dir.rows(0, 0, EntryType::kGradient).empty());
+  EXPECT_EQ(dir.rows(0, 5, EntryType::kGradient).size(), 1u);
+}
+
+TEST_F(DirFixture, VerifiableModeRequiresKey) {
+  DirectoryConfig cfg;
+  cfg.verifiable = true;
+  EXPECT_THROW(DirectoryService(net, dir_host, swarm, cfg), std::invalid_argument);
+}
+
+struct VerifiableDirFixture : DirFixture {
+  crypto::PedersenKey key{crypto::Curve::secp256k1(), "dir-test", 9};
+  core::PayloadVerifier verifier{key};
+  DirectoryConfig cfg{true, 16, 32, 33};
+  DirectoryService dir{net, dir_host, swarm, cfg, &key, &verifier};
+  ipfs::IpfsNode& node = swarm.add_node("n0", sim::HostConfig{100e6, 100e6, 0});
+
+  core::Payload payload_of(std::vector<std::int64_t> v) { return core::Payload{std::move(v)}; }
+
+  /// Announces a trainer gradient with its commitment.
+  void announce_gradient(std::uint32_t trainer, const core::Payload& p) {
+    const ipfs::Cid cid = node.put_local(p.serialize());
+    ASSERT_TRUE(run(dir.announce(client, Addr{trainer, 0, 0, EntryType::kGradient}, cid,
+                                 key.commit(p.values))));
+  }
+};
+
+TEST_F(VerifiableDirFixture, GradientWithoutCommitmentRejected) {
+  EXPECT_FALSE(run(dir.announce(client, Addr{0, 0, 0, EntryType::kGradient},
+                                ipfs::Cid::of(dfl::bytes_of("g")))));
+  EXPECT_TRUE(dir.rows(0, 0, EntryType::kGradient).empty());
+}
+
+TEST_F(VerifiableDirFixture, HonestGlobalUpdateAccepted) {
+  const auto g1 = payload_of({1, 2, 3, 1});
+  const auto g2 = payload_of({10, 20, 30, 1});
+  announce_gradient(0, g1);
+  announce_gradient(1, g2);
+  const core::Payload sum = core::Payload::add(g1, g2);
+  const ipfs::Cid cid = node.put_local(sum.serialize());
+  EXPECT_TRUE(run(dir.announce(client, Addr{100, 0, 0, EntryType::kGlobalUpdate}, cid)));
+  EXPECT_EQ(dir.rows(0, 0, EntryType::kGlobalUpdate).size(), 1u);
+  EXPECT_EQ(dir.stats().verifications, 1u);
+  EXPECT_EQ(dir.stats().verifications_failed, 0u);
+}
+
+TEST_F(VerifiableDirFixture, DroppedGradientRejected) {
+  const auto g1 = payload_of({1, 2, 3, 1});
+  const auto g2 = payload_of({10, 20, 30, 1});
+  announce_gradient(0, g1);
+  announce_gradient(1, g2);
+  // Malicious aggregator drops g2: uploads only g1 as the "global" update.
+  const ipfs::Cid cid = node.put_local(g1.serialize());
+  EXPECT_FALSE(run(dir.announce(client, Addr{100, 0, 0, EntryType::kGlobalUpdate}, cid)));
+  EXPECT_TRUE(dir.rows(0, 0, EntryType::kGlobalUpdate).empty());
+  EXPECT_EQ(dir.stats().verifications_failed, 1u);
+}
+
+TEST_F(VerifiableDirFixture, AlteredUpdateRejected) {
+  const auto g1 = payload_of({5, 5, 5, 1});
+  announce_gradient(0, g1);
+  auto altered = g1;
+  altered.values[1] += 1;
+  const ipfs::Cid cid = node.put_local(altered.serialize());
+  EXPECT_FALSE(run(dir.announce(client, Addr{100, 0, 0, EntryType::kGlobalUpdate}, cid)));
+}
+
+TEST_F(VerifiableDirFixture, UnfetchableUpdateRejected) {
+  announce_gradient(0, payload_of({1, 1}));
+  // CID that no node stores.
+  EXPECT_FALSE(run(dir.announce(client, Addr{100, 0, 0, EntryType::kGlobalUpdate},
+                                ipfs::Cid::of(dfl::bytes_of("nowhere")))));
+}
+
+TEST_F(VerifiableDirFixture, AccumulatedCommitments) {
+  dir.set_assignment(0, 100, 0);
+  dir.set_assignment(0, 100, 1);
+  dir.set_assignment(0, 101, 2);
+  const auto g0 = payload_of({1, 0, 0, 1});
+  const auto g1 = payload_of({0, 2, 0, 1});
+  const auto g2 = payload_of({0, 0, 3, 1});
+  announce_gradient(0, g0);
+  announce_gradient(1, g1);
+  announce_gradient(2, g2);
+
+  // Partition accumulation covers all three.
+  const auto part = run(dir.partition_commitment(client, 0, 0));
+  EXPECT_TRUE(key.verify(part, {1, 2, 3, 3}));
+
+  // Aggregator 100's accumulation covers trainers 0 and 1 only.
+  const auto agg100 = run(dir.aggregator_commitment(client, 0, 100, 0));
+  EXPECT_TRUE(key.verify(agg100, {1, 2, 0, 2}));
+  const auto agg101 = run(dir.aggregator_commitment(client, 0, 101, 0));
+  EXPECT_TRUE(key.verify(agg101, {0, 0, 3, 1}));
+}
+
+TEST_F(VerifiableDirFixture, GradientCommitmentsListed) {
+  const auto g0 = payload_of({7, 1});
+  const auto g1 = payload_of({9, 1});
+  announce_gradient(0, g0);
+  announce_gradient(1, g1);
+  const auto list = run(dir.gradient_commitments(client, 0, 0));
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].first, 0u);
+  EXPECT_TRUE(key.verify(list[0].second, {7, 1}));
+  EXPECT_TRUE(key.verify(list[1].second, {9, 1}));
+}
+
+}  // namespace
+}  // namespace dfl::directory

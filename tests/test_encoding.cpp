@@ -1,0 +1,95 @@
+#include "crypto/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace dfl::crypto {
+namespace {
+
+TEST(Encoding, RoundTripExactForRepresentableValues) {
+  // Values that are multiples of 2^-frac round-trip exactly.
+  for (double v : {0.0, 1.0, -1.0, 0.5, -0.25, 123.0625, -4096.5}) {
+    EXPECT_DOUBLE_EQ(decode_fixed(encode_fixed(v)), v);
+  }
+}
+
+TEST(Encoding, QuantizationErrorBounded) {
+  Rng rng(1);
+  const double step = 1.0 / static_cast<double>(1 << kDefaultFracBits);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(-100.0, 100.0);
+    EXPECT_NEAR(decode_fixed(encode_fixed(v)), v, step / 2 + 1e-12);
+  }
+}
+
+TEST(Encoding, SaturatesAtCap) {
+  const std::int64_t cap = std::int64_t{1} << 40;
+  EXPECT_EQ(encode_fixed(1e30), cap);
+  EXPECT_EQ(encode_fixed(-1e30), -cap);
+}
+
+TEST(Encoding, CustomFracBits) {
+  EXPECT_EQ(encode_fixed(1.5, 1), 3);
+  EXPECT_EQ(encode_fixed(1.5, 0), 2);  // nearbyint: ties to even
+  EXPECT_DOUBLE_EQ(decode_fixed(3, 1), 1.5);
+}
+
+TEST(Encoding, EncodeIsAdditiveOnRepresentables) {
+  // Central protocol property: sums of encodings equal encoding of sums for
+  // values already on the fixed-point grid, so homomorphic commitment
+  // verification matches integer aggregation exactly.
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const double a = decode_fixed(rng.uniform_int(-(1 << 24), 1 << 24));
+    const double b = decode_fixed(rng.uniform_int(-(1 << 24), 1 << 24));
+    EXPECT_EQ(encode_fixed(a) + encode_fixed(b), encode_fixed(a + b));
+  }
+}
+
+TEST(Encoding, VectorHelpers) {
+  const std::vector<double> v{0.5, -1.25, 3.0};
+  const auto enc = encode_fixed_vec(v);
+  ASSERT_EQ(enc.size(), 3u);
+  const auto dec = decode_fixed_vec(enc);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(dec[i], v[i]);
+}
+
+TEST(Encoding, ToScalarNonNegative) {
+  const Curve& c = Curve::secp256k1();
+  EXPECT_EQ(to_scalar(0, c), U256(0));
+  EXPECT_EQ(to_scalar(42, c), U256(42));
+}
+
+TEST(Encoding, ToScalarNegativeWrapsModOrder) {
+  const Curve& c = Curve::secp256k1();
+  const U256 s = to_scalar(-1, c);
+  // s + 1 == n
+  U256 t = s;
+  t.add_assign(U256(1));
+  EXPECT_EQ(t, c.order());
+}
+
+TEST(Encoding, ToScalarNegativeIsAdditiveInverse) {
+  // In the scalar field: to_scalar(v) + to_scalar(-v) == 0 (mod n).
+  const Curve& c = Curve::secp256r1();
+  const FieldCtx& fn = c.fn();
+  for (std::int64_t v : {1LL, 7LL, 123456789LL}) {
+    const Fe a = fn.to_mont(to_scalar(v, c));
+    const Fe b = fn.to_mont(to_scalar(-v, c));
+    EXPECT_TRUE(fn.is_zero(fn.add(a, b)));
+  }
+}
+
+TEST(Encoding, ToScalarsVector) {
+  const Curve& c = Curve::secp256k1();
+  const auto s = to_scalars({1, -1, 0}, c);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], U256(1));
+  EXPECT_EQ(s[2], U256(0));
+}
+
+}  // namespace
+}  // namespace dfl::crypto

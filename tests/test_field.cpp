@@ -1,0 +1,210 @@
+#include "crypto/mont.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/curve.hpp"
+
+namespace dfl::crypto {
+namespace {
+
+U256 random_mod(Rng& rng, const U256& m) {
+  for (;;) {
+    U256 v{rng.next(), rng.next(), rng.next(), rng.next()};
+    if (v < m) return v;
+  }
+}
+
+// Parameterized over both curve base fields and both scalar fields.
+class FieldAxioms : public ::testing::TestWithParam<const FieldCtx*> {
+ protected:
+  const FieldCtx& f() const { return *GetParam(); }
+};
+
+TEST_P(FieldAxioms, ToFromMontRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const U256 x = random_mod(rng, f().modulus());
+    EXPECT_EQ(f().from_mont(f().to_mont(x)), x);
+  }
+}
+
+TEST_P(FieldAxioms, OneIsMultiplicativeIdentity) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const Fe a = f().to_mont(random_mod(rng, f().modulus()));
+    EXPECT_EQ(f().mul(a, f().one()), a);
+    EXPECT_EQ(f().mul(f().one(), a), a);
+  }
+}
+
+TEST_P(FieldAxioms, ZeroIsAdditiveIdentityAndAbsorbs) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Fe a = f().to_mont(random_mod(rng, f().modulus()));
+    EXPECT_EQ(f().add(a, f().zero()), a);
+    EXPECT_TRUE(f().is_zero(f().mul(a, f().zero())));
+  }
+}
+
+TEST_P(FieldAxioms, AdditionCommutesAndAssociates) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const Fe a = f().to_mont(random_mod(rng, f().modulus()));
+    const Fe b = f().to_mont(random_mod(rng, f().modulus()));
+    const Fe c = f().to_mont(random_mod(rng, f().modulus()));
+    EXPECT_EQ(f().add(a, b), f().add(b, a));
+    EXPECT_EQ(f().add(f().add(a, b), c), f().add(a, f().add(b, c)));
+  }
+}
+
+TEST_P(FieldAxioms, MultiplicationCommutesAndAssociates) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const Fe a = f().to_mont(random_mod(rng, f().modulus()));
+    const Fe b = f().to_mont(random_mod(rng, f().modulus()));
+    const Fe c = f().to_mont(random_mod(rng, f().modulus()));
+    EXPECT_EQ(f().mul(a, b), f().mul(b, a));
+    EXPECT_EQ(f().mul(f().mul(a, b), c), f().mul(a, f().mul(b, c)));
+  }
+}
+
+TEST_P(FieldAxioms, Distributivity) {
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const Fe a = f().to_mont(random_mod(rng, f().modulus()));
+    const Fe b = f().to_mont(random_mod(rng, f().modulus()));
+    const Fe c = f().to_mont(random_mod(rng, f().modulus()));
+    EXPECT_EQ(f().mul(a, f().add(b, c)), f().add(f().mul(a, b), f().mul(a, c)));
+  }
+}
+
+TEST_P(FieldAxioms, SubIsInverseOfAdd) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const Fe a = f().to_mont(random_mod(rng, f().modulus()));
+    const Fe b = f().to_mont(random_mod(rng, f().modulus()));
+    EXPECT_EQ(f().sub(f().add(a, b), b), a);
+  }
+}
+
+TEST_P(FieldAxioms, NegGivesAdditiveInverse) {
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    const Fe a = f().to_mont(random_mod(rng, f().modulus()));
+    EXPECT_TRUE(f().is_zero(f().add(a, f().neg(a))));
+  }
+  EXPECT_TRUE(f().is_zero(f().neg(f().zero())));
+}
+
+TEST_P(FieldAxioms, InverseMultipliesToOne) {
+  Rng rng(9);
+  for (int i = 0; i < 25; ++i) {
+    U256 x = random_mod(rng, f().modulus());
+    if (x.is_zero()) x = U256(1);
+    const Fe a = f().to_mont(x);
+    EXPECT_EQ(f().mul(a, f().inv(a)), f().one());
+  }
+}
+
+TEST_P(FieldAxioms, InverseOfZeroThrows) {
+  EXPECT_THROW((void)f().inv(f().zero()), std::domain_error);
+}
+
+TEST_P(FieldAxioms, PowMatchesRepeatedMul) {
+  Rng rng(10);
+  const Fe a = f().to_mont(random_mod(rng, f().modulus()));
+  Fe expected = f().one();
+  for (std::uint64_t e = 0; e <= 16; ++e) {
+    EXPECT_EQ(f().pow(a, U256(e)), expected) << "exponent " << e;
+    expected = f().mul(expected, a);
+  }
+}
+
+TEST_P(FieldAxioms, FermatLittleTheorem) {
+  // a^(p-1) == 1 for a != 0 (modulus is prime for all our fields).
+  Rng rng(11);
+  U256 e = f().modulus();
+  e.sub_assign(U256(1));
+  for (int i = 0; i < 5; ++i) {
+    U256 x = random_mod(rng, f().modulus());
+    if (x.is_zero()) x = U256(7);
+    EXPECT_EQ(f().pow(f().to_mont(x), e), f().one());
+  }
+}
+
+TEST_P(FieldAxioms, FromU64SmallConstants) {
+  EXPECT_EQ(f().from_u64(0), f().zero());
+  EXPECT_EQ(f().from_u64(1), f().one());
+  EXPECT_EQ(f().add(f().from_u64(2), f().from_u64(3)), f().from_u64(5));
+  EXPECT_EQ(f().mul(f().from_u64(6), f().from_u64(7)), f().from_u64(42));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFields, FieldAxioms,
+    ::testing::Values(&Curve::secp256k1().fp(), &Curve::secp256k1().fn(),
+                      &Curve::secp256r1().fp(), &Curve::secp256r1().fn()),
+    [](const ::testing::TestParamInfo<const FieldCtx*>& info) {
+      switch (info.index) {
+        case 0: return std::string("secp256k1_base");
+        case 1: return std::string("secp256k1_scalar");
+        case 2: return std::string("secp256r1_base");
+        default: return std::string("secp256r1_scalar");
+      }
+    });
+
+TEST(Field, SmallPrimeSanity) {
+  // Cross-check Montgomery arithmetic against plain integers mod 2^61-1
+  // (a Mersenne prime, odd, fits one limb).
+  const U256 p((1ULL << 61) - 1);
+  const FieldCtx f(p);
+  Rng rng(12);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.uniform((1ULL << 61) - 1);
+    const std::uint64_t b = rng.uniform((1ULL << 61) - 1);
+    const auto expected =
+        static_cast<std::uint64_t>(static_cast<unsigned __int128>(a) * b % ((1ULL << 61) - 1));
+    const U256 got = f.from_mont(f.mul(f.to_mont(U256(a)), f.to_mont(U256(b))));
+    EXPECT_EQ(got, U256(expected));
+  }
+}
+
+TEST(Field, EvenModulusRejected) {
+  EXPECT_THROW(FieldCtx(U256(100)), std::invalid_argument);
+}
+
+// Reference implementation: (a * b) mod m via 512-bit product and binary
+// long division. Slow but obviously correct; cross-checks Montgomery
+// multiplication at full 256-bit width on the real curve moduli.
+U256 reference_mulmod(const U256& a, const U256& b, const U256& m) {
+  std::uint64_t wide[8];
+  mul_wide(a, b, wide);
+  // Binary long division over the 512-bit product, MSB first.
+  U256 r{};
+  for (int bit = 511; bit >= 0; --bit) {
+    const std::uint64_t carry = r.shl1();
+    const int limb = bit >> 6;
+    if ((wide[limb] >> (bit & 63)) & 1) r.add_assign(U256(1));
+    if (carry != 0 || r >= m) r.sub_assign(m);
+  }
+  return r;
+}
+
+TEST(Field, MontgomeryMatchesReferenceMulmod) {
+  Rng rng(77);
+  for (const CurveId id : {CurveId::kSecp256k1, CurveId::kSecp256r1}) {
+    const Curve& c = Curve::get(id);
+    for (const FieldCtx* f : {&c.fp(), &c.fn()}) {
+      for (int i = 0; i < 50; ++i) {
+        const U256 a = random_mod(rng, f->modulus());
+        const U256 b = random_mod(rng, f->modulus());
+        const U256 expected = reference_mulmod(a, b, f->modulus());
+        const U256 got = f->from_mont(f->mul(f->to_mont(a), f->to_mont(b)));
+        ASSERT_EQ(got, expected) << "a=" << a.to_hex() << " b=" << b.to_hex();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dfl::crypto

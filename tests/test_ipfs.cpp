@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "core/payload.hpp"
+#include "ipfs/blockstore.hpp"
+#include "ipfs/cid.hpp"
+#include "ipfs/node.hpp"
+#include "ipfs/pubsub.hpp"
+#include "ipfs/swarm.hpp"
+
+namespace dfl::ipfs {
+namespace {
+
+TEST(Cid, DeterministicAndContentBound) {
+  const Bytes a = dfl::bytes_of("hello");
+  const Bytes b = dfl::bytes_of("world");
+  EXPECT_EQ(Cid::of(a), Cid::of(a));
+  EXPECT_NE(Cid::of(a), Cid::of(b));
+  EXPECT_TRUE(Cid::of(a).matches(a));
+  EXPECT_FALSE(Cid::of(a).matches(b));
+}
+
+TEST(Cid, NullCid) {
+  EXPECT_TRUE(Cid{}.is_null());
+  EXPECT_FALSE(Cid::of(dfl::bytes_of("x")).is_null());
+}
+
+TEST(Cid, DigestRoundTrip) {
+  const Cid c = Cid::of(dfl::bytes_of("data"));
+  const Cid c2 = Cid::from_digest(BytesView(c.digest().data(), c.digest().size()));
+  EXPECT_EQ(c, c2);
+  EXPECT_EQ(c.to_hex().size(), 64u);
+}
+
+TEST(Cid, FromDigestRejectsWrongLength) {
+  EXPECT_THROW((void)Cid::from_digest(Bytes(31, 0)), std::invalid_argument);
+}
+
+TEST(BlockStoreTest, PutGetRemove) {
+  BlockStore store;
+  const Bytes data = dfl::bytes_of("block-content");
+  const Cid cid = store.put(data);
+  EXPECT_TRUE(store.has(cid));
+  EXPECT_EQ(store.get(cid), data);
+  EXPECT_EQ(store.block_count(), 1u);
+  EXPECT_EQ(store.bytes_stored(), data.size());
+  EXPECT_TRUE(store.remove(cid));
+  EXPECT_FALSE(store.has(cid));
+  EXPECT_EQ(store.bytes_stored(), 0u);
+  EXPECT_FALSE(store.remove(cid));
+}
+
+TEST(BlockStoreTest, PutIsIdempotent) {
+  BlockStore store;
+  const Bytes data = dfl::bytes_of("same");
+  const Cid a = store.put(data);
+  const Cid b = store.put(data);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(store.block_count(), 1u);
+  EXPECT_EQ(store.bytes_stored(), data.size());
+}
+
+TEST(BlockStoreTest, GetMissingReturnsNullopt) {
+  BlockStore store;
+  EXPECT_FALSE(store.get(Cid::of(dfl::bytes_of("nope"))).has_value());
+}
+
+struct IpfsFixture : ::testing::Test {
+  sim::Simulator sim;
+  sim::Network net{sim};
+  Swarm swarm{net, SwarmConfig{sim::from_millis(10), IpfsNodeConfig{}}};
+  sim::Host& client = net.add_host("client", sim::HostConfig{10e6, 10e6, 0});
+
+  template <typename T>
+  T run(sim::Task<T> task, bool* threw = nullptr) {
+    std::optional<T> out;
+    sim.spawn([](sim::Task<T> t, std::optional<T>& o, bool* flag) -> sim::Task<void> {
+      try {
+        o = co_await std::move(t);
+      } catch (const std::exception&) {
+        if (flag != nullptr) *flag = true;
+      }
+    }(std::move(task), out, threw));
+    sim.run();
+    if (!out.has_value()) {
+      if (threw != nullptr && *threw) return T{};
+      throw std::runtime_error("task did not complete");
+    }
+    return *out;
+  }
+
+  void run_void(sim::Task<void> task) {
+    bool done = false;
+    sim.spawn([](sim::Task<void> t, bool& d) -> sim::Task<void> {
+      co_await std::move(t);
+      d = true;
+    }(std::move(task), done));
+    sim.run();
+    ASSERT_TRUE(done);
+  }
+};
+
+TEST_F(IpfsFixture, PutThenGetRoundTrip) {
+  IpfsNode& node = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  const Bytes data = dfl::bytes_of("gradient bytes");
+  const Cid cid = run(node.put(client, data));
+  EXPECT_TRUE(node.store().has(cid));
+  EXPECT_EQ(run(node.get(client, cid)), data);
+}
+
+TEST_F(IpfsFixture, PutRegistersProvider) {
+  IpfsNode& n0 = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  (void)swarm.add_node("n1", sim::HostConfig{10e6, 10e6, 0});
+  const Cid cid = run(n0.put(client, dfl::bytes_of("x")));
+  EXPECT_EQ(swarm.providers(cid), std::vector<std::uint32_t>{0});
+}
+
+TEST_F(IpfsFixture, GetMissingThrows) {
+  IpfsNode& node = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  bool threw = false;
+  (void)run(node.get(client, Cid::of(dfl::bytes_of("missing"))), &threw);
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(IpfsFixture, FetchResolvesThroughProviders) {
+  IpfsNode& n0 = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  (void)swarm.add_node("n1", sim::HostConfig{10e6, 10e6, 0});
+  const Bytes data = dfl::bytes_of("replicated");
+  const Cid cid = n0.put_local(data);
+  EXPECT_EQ(run(swarm.fetch(client, cid)), data);
+}
+
+TEST_F(IpfsFixture, FetchSkipsDeadProviders) {
+  IpfsNode& n0 = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  IpfsNode& n1 = swarm.add_node("n1", sim::HostConfig{10e6, 10e6, 0});
+  const Bytes data = dfl::bytes_of("ha");
+  const Cid cid = n0.put_local(data);
+  n1.put_local(data);
+  n0.host().set_up(false);
+  EXPECT_EQ(run(swarm.fetch(client, cid)), data);  // falls through to n1
+}
+
+TEST_F(IpfsFixture, FetchFailsWhenNoLiveProvider) {
+  IpfsNode& n0 = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  const Cid cid = n0.put_local(dfl::bytes_of("gone"));
+  n0.host().set_up(false);
+  bool threw = false;
+  (void)run(swarm.fetch(client, cid), &threw);
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(IpfsFixture, ReplicateSpreadsBlocks) {
+  IpfsNode& n0 = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  (void)swarm.add_node("n1", sim::HostConfig{10e6, 10e6, 0});
+  (void)swarm.add_node("n2", sim::HostConfig{10e6, 10e6, 0});
+  const Cid cid = n0.put_local(dfl::bytes_of("replica-me"));
+  run_void(swarm.replicate(cid, 3));
+  EXPECT_EQ(swarm.providers(cid).size(), 3u);
+  EXPECT_TRUE(swarm.node(1).store().has(cid));
+  EXPECT_TRUE(swarm.node(2).store().has(cid));
+}
+
+TEST_F(IpfsFixture, MergeGetSumsPayloads) {
+  IpfsNode& node = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  core::Payload p1{{1, 2, 3, 1}};
+  core::Payload p2{{10, 20, 30, 1}};
+  const Cid c1 = node.put_local(p1.serialize());
+  const Cid c2 = node.put_local(p2.serialize());
+  core::PayloadMerger merger;
+  const Bytes merged = run(node.merge_get(client, {c1, c2}, merger));
+  const core::Payload result = core::Payload::deserialize(merged);
+  EXPECT_EQ(result.values, (std::vector<std::int64_t>{11, 22, 33, 2}));
+}
+
+TEST_F(IpfsFixture, MergeGetShipsOnlyMergedBytes) {
+  net.set_per_message_overhead(0);
+  IpfsNode& node = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  core::Payload big;
+  big.values.assign(10000, 7);
+  core::Payload big2;
+  big2.values.assign(10000, 9);
+  const Cid c1 = node.put_local(big.serialize());
+  const Cid c2 = node.put_local(big2.serialize());
+  const std::uint64_t before = client.bytes_received();
+  core::PayloadMerger merger;
+  (void)run(node.merge_get(client, {c1, c2}, merger));
+  const std::uint64_t received = client.bytes_received() - before;
+  // One payload's worth (~80KB), not two.
+  EXPECT_LT(received, big.serialize().size() + 1000);
+}
+
+TEST_F(IpfsFixture, MergeGetMissingBlockThrows) {
+  IpfsNode& node = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  const Cid present = node.put_local(core::Payload{{1, 1}}.serialize());
+  const Cid absent = Cid::of(dfl::bytes_of("absent"));
+  core::PayloadMerger merger;
+  bool threw = false;
+  (void)run(node.merge_get(client, {present, absent}, merger), &threw);
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(IpfsFixture, MergeComputeTimeChargesSimClock) {
+  net.set_per_message_overhead(0);
+  // A node that merges at 1 MB/s: pre-aggregating ~160 KB of payloads must
+  // take ~0.16 s of simulated time on top of the transfers.
+  Swarm slow_swarm{net, SwarmConfig{0, IpfsNodeConfig{1e6}}};
+  IpfsNode& node = slow_swarm.add_node("slow", sim::HostConfig{1e9, 1e9, 0});
+  core::Payload big;
+  big.values.assign(10'000, 3);
+  const Cid c1 = node.put_local(big.serialize());
+  core::Payload big2;
+  big2.values.assign(10'000, 4);
+  const Cid c2 = node.put_local(big2.serialize());
+  core::PayloadMerger merger;
+  const sim::TimeNs start = sim.now();
+  (void)run(node.merge_get(client, {c1, c2}, merger));
+  const double elapsed = sim::to_seconds(sim.now() - start);
+  EXPECT_GT(elapsed, 0.15);  // ~160 KB / 1 MB/s of merge compute
+  EXPECT_LT(elapsed, 0.5);
+}
+
+TEST_F(IpfsFixture, PubSubDeliversToSubscribers) {
+  PubSub ps(net);
+  sim::Host& sub1 = net.add_host("s1", sim::HostConfig{10e6, 10e6, 0});
+  sim::Host& sub2 = net.add_host("s2", sim::HostConfig{10e6, 10e6, 0});
+  auto& mb1 = ps.subscribe("topic", sub1);
+  auto& mb2 = ps.subscribe("topic", sub2);
+  EXPECT_EQ(ps.subscriber_count("topic"), 2u);
+  run_void(ps.publish(client, "topic", dfl::bytes_of("msg")));
+  ASSERT_EQ(mb1.size(), 1u);
+  ASSERT_EQ(mb2.size(), 1u);
+}
+
+TEST_F(IpfsFixture, PubSubSkipsSenderAndOtherTopics) {
+  PubSub ps(net);
+  auto& own = ps.subscribe("topic", client);
+  sim::Host& other = net.add_host("o", sim::HostConfig{10e6, 10e6, 0});
+  auto& other_mb = ps.subscribe("other-topic", other);
+  run_void(ps.publish(client, "topic", dfl::bytes_of("m")));
+  EXPECT_TRUE(own.empty());       // no self-delivery
+  EXPECT_TRUE(other_mb.empty());  // different topic
+}
+
+TEST_F(IpfsFixture, PubSubBestEffortWithDeadSubscriber) {
+  PubSub ps(net);
+  sim::Host& dead = net.add_host("dead", sim::HostConfig{10e6, 10e6, 0});
+  sim::Host& live = net.add_host("live", sim::HostConfig{10e6, 10e6, 0});
+  auto& dead_mb = ps.subscribe("t", dead);
+  auto& live_mb = ps.subscribe("t", live);
+  dead.set_up(false);
+  run_void(ps.publish(client, "t", dfl::bytes_of("m")));
+  EXPECT_TRUE(dead_mb.empty());
+  EXPECT_EQ(live_mb.size(), 1u);
+}
+
+TEST_F(IpfsFixture, PubSubUnsubscribe) {
+  PubSub ps(net);
+  sim::Host& s = net.add_host("s", sim::HostConfig{10e6, 10e6, 0});
+  auto& mb = ps.subscribe("t", s);
+  ps.unsubscribe("t", s);
+  EXPECT_EQ(ps.subscriber_count("t"), 0u);
+  run_void(ps.publish(client, "t", dfl::bytes_of("m")));
+  EXPECT_TRUE(mb.empty());
+}
+
+TEST_F(IpfsFixture, SubscribeTwiceReturnsSameMailbox) {
+  PubSub ps(net);
+  sim::Host& s = net.add_host("s", sim::HostConfig{10e6, 10e6, 0});
+  EXPECT_EQ(&ps.subscribe("t", s), &ps.subscribe("t", s));
+  EXPECT_EQ(ps.subscriber_count("t"), 1u);
+}
+
+}  // namespace
+}  // namespace dfl::ipfs

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/dataset.hpp"
+#include "ml/federated.hpp"
+#include "ml/model.hpp"
+
+namespace dfl::ml {
+namespace {
+
+TEST(Dataset, GaussianBlobsShape) {
+  Rng rng(1);
+  const Dataset ds = make_gaussian_blobs(rng, 500, 4, 3);
+  EXPECT_EQ(ds.size(), 500u);
+  EXPECT_EQ(ds.num_features, 4u);
+  EXPECT_EQ(ds.num_classes, 3);
+  for (const Example& ex : ds.examples) {
+    EXPECT_EQ(ex.x.size(), 4u);
+    EXPECT_GE(ex.label, 0);
+    EXPECT_LT(ex.label, 3);
+  }
+}
+
+TEST(Dataset, BlobsAreLearnableByCentroid) {
+  // With large separation, class 0's first coordinate is near +sep.
+  Rng rng(2);
+  const Dataset ds = make_gaussian_blobs(rng, 2000, 2, 2, 6.0);
+  double mean0 = 0, mean1 = 0;
+  int n0 = 0, n1 = 0;
+  for (const Example& ex : ds.examples) {
+    if (ex.label == 0) {
+      mean0 += ex.x[0];
+      ++n0;
+    } else {
+      mean1 += ex.x[0];
+      ++n1;
+    }
+  }
+  EXPECT_GT(mean0 / n0, 4.0);
+  EXPECT_LT(mean1 / n1, -4.0);
+}
+
+TEST(Dataset, SpiralsAndTeacher) {
+  Rng rng(3);
+  const Dataset sp = make_two_spirals(rng, 300);
+  EXPECT_EQ(sp.num_features, 2u);
+  EXPECT_EQ(sp.num_classes, 2);
+  const Dataset lin = make_linear_teacher(rng, 300, 5);
+  EXPECT_EQ(lin.num_features, 5u);
+  int pos = 0;
+  for (const Example& ex : lin.examples) pos += ex.label;
+  EXPECT_GT(pos, 50);  // both classes present
+  EXPECT_LT(pos, 250);
+}
+
+// Finite-difference gradient check — the strongest correctness test for
+// the differentiable models.
+template <typename ModelT>
+void check_gradient(ModelT& model, const Dataset& data) {
+  const auto analytic = model.gradient(data);
+  const std::vector<double> p0 = model.params();
+  const double eps = 1e-6;
+  // Spot-check a spread of parameter indices.
+  for (std::size_t i = 0; i < p0.size(); i += std::max<std::size_t>(1, p0.size() / 17)) {
+    auto pp = p0;
+    pp[i] += eps;
+    model.set_params(pp);
+    const double up = model.loss(data);
+    pp[i] -= 2 * eps;
+    model.set_params(pp);
+    const double down = model.loss(data);
+    model.set_params(p0);
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic[i], numeric, 1e-5 + 1e-3 * std::abs(numeric)) << "param " << i;
+  }
+}
+
+TEST(LogisticRegressionTest, GradientMatchesFiniteDifference) {
+  Rng rng(4);
+  const Dataset ds = make_gaussian_blobs(rng, 50, 3, 3);
+  LogisticRegression model(3, 3, rng);
+  check_gradient(model, ds);
+}
+
+TEST(MlpTest, GradientMatchesFiniteDifference) {
+  Rng rng(5);
+  const Dataset ds = make_two_spirals(rng, 40);
+  Mlp model(2, 8, 2, rng);
+  check_gradient(model, ds);
+}
+
+TEST(LogisticRegressionTest, LearnsSeparableData) {
+  Rng rng(6);
+  const Dataset train = make_gaussian_blobs(rng, 1000, 2, 2, 4.0);
+  const Dataset test = make_gaussian_blobs(rng, 500, 2, 2, 4.0);
+  LogisticRegression model(2, 2, rng);
+  train_sgd(model, train, SgdConfig{0.5, 0, 100}, rng);
+  EXPECT_GT(model.accuracy(test), 0.95);
+}
+
+TEST(MlpTest, LearnsNonlinearData) {
+  Rng rng(7);
+  const Dataset train = make_two_spirals(rng, 600, 0.05);
+  Mlp model(2, 24, 2, rng);
+  train_sgd(model, train, SgdConfig{0.8, 0, 1500}, rng);
+  EXPECT_GT(model.accuracy(train), 0.9);
+}
+
+TEST(ModelTest, SgdReducesLoss) {
+  Rng rng(8);
+  const Dataset ds = make_gaussian_blobs(rng, 500, 3, 3);
+  LogisticRegression model(3, 3, rng);
+  const double before = model.loss(ds);
+  train_sgd(model, ds, SgdConfig{0.3, 0, 50}, rng);
+  EXPECT_LT(model.loss(ds), before);
+}
+
+TEST(ModelTest, CloneIsIndependent) {
+  Rng rng(9);
+  LogisticRegression model(2, 2, rng);
+  auto copy = model.clone();
+  EXPECT_EQ(copy->params(), model.params());
+  model.apply_gradient(std::vector<double>(model.num_params(), 1.0), 0.1);
+  EXPECT_NE(copy->params(), model.params());
+}
+
+TEST(ModelTest, SetParamsRejectsWrongSize) {
+  Rng rng(10);
+  LogisticRegression model(2, 2, rng);
+  EXPECT_THROW(model.set_params(std::vector<double>(3)), std::invalid_argument);
+  Mlp mlp(2, 4, 2, rng);
+  EXPECT_THROW(mlp.set_params(std::vector<double>(1)), std::invalid_argument);
+}
+
+TEST(ModelTest, ApplyGradientRejectsWrongSize) {
+  Rng rng(11);
+  LogisticRegression model(2, 2, rng);
+  EXPECT_THROW(model.apply_gradient(std::vector<double>(1), 0.1), std::invalid_argument);
+}
+
+TEST(ModelTest, BatchGradientUsesSubset) {
+  Rng rng(12);
+  const Dataset ds = make_gaussian_blobs(rng, 100, 2, 2);
+  LogisticRegression model(2, 2, rng);
+  // Full-batch gradient should equal the average of the two half batches.
+  std::vector<std::size_t> first_half, second_half;
+  for (std::size_t i = 0; i < 50; ++i) first_half.push_back(i);
+  for (std::size_t i = 50; i < 100; ++i) second_half.push_back(i);
+  const auto full = model.gradient(ds);
+  const auto g1 = model.gradient(ds, first_half);
+  const auto g2 = model.gradient(ds, second_half);
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_NEAR(full[i], (g1[i] + g2[i]) / 2, 1e-12);
+  }
+}
+
+TEST(Softmax, SumsToOneAndOrders) {
+  const auto p = softmax({1.0, 2.0, 3.0});
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+  EXPECT_LT(p[0], p[1]);
+  EXPECT_LT(p[1], p[2]);
+  // Stability with huge logits.
+  const auto q = softmax({1000.0, 1000.0});
+  EXPECT_NEAR(q[0], 0.5, 1e-12);
+}
+
+TEST(Federated, IidSplitPreservesExamples) {
+  Rng rng(13);
+  const Dataset ds = make_gaussian_blobs(rng, 100, 2, 2);
+  const auto parts = split_iid(ds, 8, rng);
+  EXPECT_EQ(parts.size(), 8u);
+  std::size_t total = 0;
+  for (const auto& p : parts) {
+    total += p.size();
+    EXPECT_GE(p.size(), 12u);  // 100/8 = 12.5
+    EXPECT_LE(p.size(), 13u);
+    EXPECT_EQ(p.num_classes, 2);
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(Federated, LabelSkewSplitIsSkewed) {
+  Rng rng(14);
+  const Dataset ds = make_gaussian_blobs(rng, 4000, 2, 4);
+  const auto parts = split_label_skew(ds, 4, 0.3, rng);
+  std::size_t total = 0;
+  double max_frac = 0;
+  for (const auto& p : parts) {
+    total += p.size();
+    if (p.size() < 40) continue;
+    std::vector<int> counts(4, 0);
+    for (const Example& ex : p.examples) ++counts[static_cast<std::size_t>(ex.label)];
+    const int mx = *std::max_element(counts.begin(), counts.end());
+    max_frac = std::max(max_frac, static_cast<double>(mx) / static_cast<double>(p.size()));
+  }
+  EXPECT_EQ(total, 4000u);
+  EXPECT_GT(max_frac, 0.4);  // some shard is visibly label-skewed
+}
+
+TEST(Federated, WeightedAverage) {
+  const std::vector<std::vector<double>> grads{{1.0, 2.0}, {3.0, 6.0}};
+  const auto avg = weighted_average(grads, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(avg[0], 2.0);
+  EXPECT_DOUBLE_EQ(avg[1], 4.0);
+  const auto weighted = weighted_average(grads, {3.0, 1.0});
+  EXPECT_DOUBLE_EQ(weighted[0], 1.5);
+  EXPECT_THROW((void)weighted_average(grads, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)weighted_average(grads, {0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Federated, FedSgdEqualsCentralizedSgdOnIidFullBatch) {
+  // The core convergence-equivalence claim: averaging full-batch shard
+  // gradients (equal shard sizes) equals the full-batch gradient of the
+  // union, so FedSGD steps match centralized steps exactly.
+  Rng rng(15);
+  Dataset ds = make_gaussian_blobs(rng, 128, 2, 2);
+  const auto parts = split_iid(ds, 4, rng);
+  Rng model_rng(100);
+  LogisticRegression fed(2, 2, model_rng);
+  Rng model_rng2(100);
+  LogisticRegression central(2, 2, model_rng2);
+  ASSERT_EQ(fed.params(), central.params());
+
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::vector<double>> grads;
+    std::vector<double> weights;
+    for (const auto& p : parts) {
+      grads.push_back(fed.gradient(p));
+      weights.push_back(static_cast<double>(p.size()));
+    }
+    fed.apply_gradient(weighted_average(grads, weights), 0.5);
+    central.apply_gradient(central.gradient(ds), 0.5);
+    for (std::size_t i = 0; i < fed.num_params(); ++i) {
+      ASSERT_NEAR(fed.params()[i], central.params()[i], 1e-10) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dfl::ml

@@ -1,0 +1,125 @@
+#include "crypto/msm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/hash_to_curve.hpp"
+
+namespace dfl::crypto {
+namespace {
+
+struct MsmCase {
+  CurveId curve;
+  std::size_t size;
+  int scalar_bits;  // magnitude of scalars to draw
+};
+
+class MsmEquivalence : public ::testing::TestWithParam<MsmCase> {};
+
+TEST_P(MsmEquivalence, PippengerMatchesNaive) {
+  const auto& [curve_id, size, scalar_bits] = GetParam();
+  const Curve& c = Curve::get(curve_id);
+  Rng rng(777 + static_cast<std::uint64_t>(size) * 31 + static_cast<std::uint64_t>(scalar_bits));
+
+  const auto points = derive_generators(c, "msm-test", size);
+  std::vector<U256> scalars;
+  scalars.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    U256 s{rng.next(), rng.next(), rng.next(), rng.next()};
+    // Mask down to the requested bit width.
+    for (int limb = 0; limb < 4; ++limb) {
+      const int lo = limb * 64;
+      if (scalar_bits <= lo) {
+        s.limb[static_cast<std::size_t>(limb)] = 0;
+      } else if (scalar_bits < lo + 64) {
+        s.limb[static_cast<std::size_t>(limb)] &= (1ULL << (scalar_bits - lo)) - 1;
+      }
+    }
+    while (!(s < c.order())) s.shr1();
+    scalars.push_back(s);
+  }
+
+  const JacobianPoint a = msm_naive(c, points, scalars);
+  const JacobianPoint b = msm_pippenger(c, points, scalars);
+  const JacobianPoint d = msm(c, points, scalars);
+  EXPECT_TRUE(c.eq(a, b));
+  EXPECT_TRUE(c.eq(a, d));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MsmEquivalence,
+    ::testing::Values(MsmCase{CurveId::kSecp256k1, 1, 256}, MsmCase{CurveId::kSecp256k1, 2, 256},
+                      MsmCase{CurveId::kSecp256k1, 7, 64},
+                      MsmCase{CurveId::kSecp256k1, 33, 256},
+                      MsmCase{CurveId::kSecp256k1, 100, 17},
+                      MsmCase{CurveId::kSecp256k1, 257, 32},
+                      MsmCase{CurveId::kSecp256r1, 33, 256},
+                      MsmCase{CurveId::kSecp256r1, 100, 17},
+                      MsmCase{CurveId::kSecp256r1, 64, 1}),
+    [](const ::testing::TestParamInfo<MsmCase>& info) {
+      return (info.param.curve == CurveId::kSecp256k1 ? std::string("k1_") : std::string("r1_")) +
+             "n" + std::to_string(info.param.size) + "_b" +
+             std::to_string(info.param.scalar_bits);
+    });
+
+TEST(Msm, EmptyInputGivesInfinity) {
+  const Curve& c = Curve::secp256k1();
+  EXPECT_TRUE(c.is_infinity(msm_naive(c, {}, {})));
+  EXPECT_TRUE(c.is_infinity(msm_pippenger(c, {}, {})));
+}
+
+TEST(Msm, SizeMismatchThrows) {
+  const Curve& c = Curve::secp256k1();
+  const auto pts = derive_generators(c, "msm-mismatch", 2);
+  EXPECT_THROW((void)msm_naive(c, pts, {U256(1)}), std::invalid_argument);
+  EXPECT_THROW((void)msm_pippenger(c, pts, {U256(1)}), std::invalid_argument);
+}
+
+TEST(Msm, AllZeroScalars) {
+  const Curve& c = Curve::secp256k1();
+  const auto pts = derive_generators(c, "msm-zeros", 20);
+  const std::vector<U256> zeros(20, U256{});
+  EXPECT_TRUE(c.is_infinity(msm_pippenger(c, pts, zeros)));
+}
+
+TEST(Msm, InfinityPointsAreSkipped) {
+  const Curve& c = Curve::secp256k1();
+  auto pts = derive_generators(c, "msm-inf", 10);
+  pts[3] = AffinePoint{};  // infinity
+  pts[7] = AffinePoint{};
+  std::vector<U256> scalars;
+  for (std::uint64_t i = 0; i < 10; ++i) scalars.push_back(U256(i + 1));
+  const JacobianPoint a = msm_naive(c, pts, scalars);
+  const JacobianPoint b = msm_pippenger(c, pts, scalars);
+  EXPECT_TRUE(c.eq(a, b));
+}
+
+TEST(Msm, SingleTermMatchesScalarMul) {
+  const Curve& c = Curve::secp256r1();
+  const AffinePoint g = c.generator();
+  const U256 k = U256::from_hex("123456789abcdef0fedcba9876543210");
+  const JacobianPoint expected = c.scalar_mul(g, k);
+  EXPECT_TRUE(c.eq(msm_naive(c, {g}, {k}), expected));
+  EXPECT_TRUE(c.eq(msm_pippenger(c, {g}, {k}), expected));
+}
+
+TEST(Msm, LinearityInScalars) {
+  // msm(P, s) + msm(P, t) == msm(P, s + t) elementwise (no order overflow).
+  const Curve& c = Curve::secp256k1();
+  const auto pts = derive_generators(c, "msm-linear", 16);
+  Rng rng(99);
+  std::vector<U256> s, t, st;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t a = rng.uniform(1ULL << 40);
+    const std::uint64_t b = rng.uniform(1ULL << 40);
+    s.push_back(U256(a));
+    t.push_back(U256(b));
+    st.push_back(U256(a + b));
+  }
+  const JacobianPoint lhs = c.add(msm_pippenger(c, pts, s), msm_pippenger(c, pts, t));
+  const JacobianPoint rhs = msm_pippenger(c, pts, st);
+  EXPECT_TRUE(c.eq(lhs, rhs));
+}
+
+}  // namespace
+}  // namespace dfl::crypto

@@ -1,0 +1,245 @@
+#include "sim/net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/task.hpp"
+
+namespace dfl::sim {
+namespace {
+
+constexpr double kMbps = 1e6;
+
+struct NetFixture : ::testing::Test {
+  Simulator sim;
+  Network net{sim};
+
+  Host& make_host(const std::string& name, double up_mbps, double down_mbps,
+                  TimeNs latency = 0) {
+    return net.add_host(name, HostConfig{up_mbps * kMbps, down_mbps * kMbps, latency});
+  }
+
+  // Runs one transfer and reports the completion time.
+  TimeNs timed_transfer(Host& from, Host& to, std::uint64_t bytes) {
+    TimeNs done = -1;
+    sim.spawn([](Network& n, Host& f, Host& t, std::uint64_t b, Simulator& s,
+                 TimeNs& out) -> Task<void> {
+      co_await n.transfer(f, t, b);
+      out = s.now();
+    }(net, from, to, bytes, sim, done));
+    sim.run();
+    return done;
+  }
+};
+
+TEST_F(NetFixture, TransferTimeMatchesBandwidth) {
+  net.set_per_message_overhead(0);
+  Host& a = make_host("a", 10, 10);
+  Host& b = make_host("b", 10, 10);
+  // 10 Mbps, 1.25 MB = 10 Mbit -> 1 second.
+  const TimeNs done = timed_transfer(a, b, 1'250'000);
+  EXPECT_NEAR(to_seconds(done), 1.0, 1e-9);
+}
+
+TEST_F(NetFixture, BottleneckIsMinOfUpAndDown) {
+  net.set_per_message_overhead(0);
+  Host& fast_up = make_host("fast_up", 100, 10);
+  Host& slow_down = make_host("slow_down", 100, 5);
+  // min(100 up, 5 down) = 5 Mbps; 1.25 MB -> 2 seconds.
+  const TimeNs done = timed_transfer(fast_up, slow_down, 1'250'000);
+  EXPECT_NEAR(to_seconds(done), 2.0, 1e-9);
+}
+
+TEST_F(NetFixture, LatencyAddsToCompletion) {
+  net.set_per_message_overhead(0);
+  Host& a = make_host("a", 10, 10, from_millis(30));
+  Host& b = make_host("b", 10, 10, from_millis(20));
+  const TimeNs done = timed_transfer(a, b, 1'250'000);
+  EXPECT_NEAR(to_seconds(done), 1.05, 1e-9);  // 1s + 30ms + 20ms
+}
+
+TEST_F(NetFixture, OverheadCountsOnWire) {
+  net.set_per_message_overhead(1'250'000);  // pathological, for visibility
+  Host& a = make_host("a", 10, 10);
+  Host& b = make_host("b", 10, 10);
+  const TimeNs done = timed_transfer(a, b, 1'250'000);
+  EXPECT_NEAR(to_seconds(done), 2.0, 1e-9);
+}
+
+TEST_F(NetFixture, ConcurrentUploadsSerializeAtReceiverDownlink) {
+  net.set_per_message_overhead(0);
+  Host& node = make_host("node", 10, 10);
+  std::vector<Host*> trainers;
+  for (int i = 0; i < 4; ++i) trainers.push_back(&make_host("t" + std::to_string(i), 10, 10));
+
+  std::vector<TimeNs> done(4, -1);
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn([](Network& n, Host& f, Host& t, Simulator& s, TimeNs& out) -> Task<void> {
+      co_await n.transfer(f, t, 1'250'000);
+      out = s.now();
+    }(net, *trainers[static_cast<std::size_t>(i)], node, sim, done[static_cast<std::size_t>(i)]));
+  }
+  sim.run();
+  // The node's 10 Mbps downlink admits one 1-second transfer at a time.
+  std::sort(done.begin(), done.end());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(to_seconds(done[static_cast<std::size_t>(i)]), i + 1.0, 1e-9);
+  }
+}
+
+TEST_F(NetFixture, ParallelDisjointPathsDoNotInterfere) {
+  net.set_per_message_overhead(0);
+  Host& a1 = make_host("a1", 10, 10);
+  Host& b1 = make_host("b1", 10, 10);
+  Host& a2 = make_host("a2", 10, 10);
+  Host& b2 = make_host("b2", 10, 10);
+  TimeNs d1 = -1, d2 = -1;
+  sim.spawn([](Network& n, Host& f, Host& t, Simulator& s, TimeNs& out) -> Task<void> {
+    co_await n.transfer(f, t, 1'250'000);
+    out = s.now();
+  }(net, a1, b1, sim, d1));
+  sim.spawn([](Network& n, Host& f, Host& t, Simulator& s, TimeNs& out) -> Task<void> {
+    co_await n.transfer(f, t, 1'250'000);
+    out = s.now();
+  }(net, a2, b2, sim, d2));
+  sim.run();
+  EXPECT_NEAR(to_seconds(d1), 1.0, 1e-9);
+  EXPECT_NEAR(to_seconds(d2), 1.0, 1e-9);
+}
+
+TEST_F(NetFixture, SenderUplinkAlsoSerializes) {
+  net.set_per_message_overhead(0);
+  Host& src = make_host("src", 10, 10);
+  Host& d1 = make_host("d1", 100, 100);
+  Host& d2 = make_host("d2", 100, 100);
+  TimeNs t1 = -1, t2 = -1;
+  sim.spawn([](Network& n, Host& f, Host& t, Simulator& s, TimeNs& out) -> Task<void> {
+    co_await n.transfer(f, t, 1'250'000);
+    out = s.now();
+  }(net, src, d1, sim, t1));
+  sim.spawn([](Network& n, Host& f, Host& t, Simulator& s, TimeNs& out) -> Task<void> {
+    co_await n.transfer(f, t, 1'250'000);
+    out = s.now();
+  }(net, src, d2, sim, t2));
+  sim.run();
+  std::vector<double> times{to_seconds(t1), to_seconds(t2)};
+  std::sort(times.begin(), times.end());
+  EXPECT_NEAR(times[0], 1.0, 1e-9);
+  EXPECT_NEAR(times[1], 2.0, 1e-9);
+}
+
+TEST_F(NetFixture, ByteCountersTrackTraffic) {
+  net.set_per_message_overhead(0);
+  Host& a = make_host("a", 10, 10);
+  Host& b = make_host("b", 10, 10);
+  (void)timed_transfer(a, b, 1000);
+  EXPECT_EQ(a.bytes_sent(), 1000u);
+  EXPECT_EQ(b.bytes_received(), 1000u);
+  EXPECT_EQ(a.bytes_received(), 0u);
+  EXPECT_EQ(net.total_bytes_transferred(), 1000u);
+  a.reset_counters();
+  EXPECT_EQ(a.bytes_sent(), 0u);
+}
+
+TEST_F(NetFixture, DownedEndpointThrows) {
+  Host& a = make_host("a", 10, 10);
+  Host& b = make_host("b", 10, 10);
+  b.set_up(false);
+  bool threw = false;
+  sim.spawn([](Network& n, Host& f, Host& t, bool& out) -> Task<void> {
+    try {
+      co_await n.transfer(f, t, 100);
+    } catch (const NetworkError&) {
+      out = true;
+    }
+  }(net, a, b, threw));
+  sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(NetFixture, ReceiverDyingMidFlightThrowsAtDelivery) {
+  net.set_per_message_overhead(0);
+  Host& a = make_host("a", 10, 10);
+  Host& b = make_host("b", 10, 10);
+  bool threw = false;
+  sim.spawn([](Network& n, Host& f, Host& t, bool& out) -> Task<void> {
+    try {
+      co_await n.transfer(f, t, 1'250'000);  // takes 1 s
+    } catch (const NetworkError&) {
+      out = true;
+    }
+  }(net, a, b, threw));
+  sim.schedule_at(from_seconds(0.5), [&] { b.set_up(false); });
+  sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(NetFixture, HostRegistry) {
+  Host& a = make_host("alpha", 1, 1);
+  Host& b = make_host("beta", 1, 1);
+  EXPECT_EQ(net.host_count(), 2u);
+  EXPECT_EQ(a.id(), 0u);
+  EXPECT_EQ(b.id(), 1u);
+  EXPECT_EQ(net.host(0).name(), "alpha");
+  EXPECT_EQ(net.host(1).name(), "beta");
+}
+
+TEST_F(NetFixture, TraceRecordsTransfers) {
+  net.set_per_message_overhead(0);
+  net.set_tracing(true);
+  Host& a = make_host("a", 10, 10);
+  Host& b = make_host("b", 10, 10);
+  (void)timed_transfer(a, b, 1'250'000);
+  (void)timed_transfer(b, a, 2'500'000);
+  ASSERT_EQ(net.trace().size(), 2u);
+  const auto& r0 = net.trace()[0];
+  EXPECT_EQ(r0.from, a.id());
+  EXPECT_EQ(r0.to, b.id());
+  EXPECT_EQ(r0.wire_bytes, 1'250'000u);
+  EXPECT_NEAR(to_seconds(r0.delivered - r0.start), 1.0, 1e-9);
+  EXPECT_EQ(net.trace()[1].wire_bytes, 2'500'000u);
+  net.clear_trace();
+  EXPECT_TRUE(net.trace().empty());
+}
+
+TEST_F(NetFixture, TracingOffByDefault) {
+  Host& a = make_host("a", 10, 10);
+  Host& b = make_host("b", 10, 10);
+  (void)timed_transfer(a, b, 100);
+  EXPECT_TRUE(net.trace().empty());
+}
+
+TEST_F(NetFixture, TraceShowsQueueingDelay) {
+  net.set_per_message_overhead(0);
+  net.set_tracing(true);
+  Host& node = make_host("node", 10, 10);
+  Host& t1 = make_host("t1", 10, 10);
+  Host& t2 = make_host("t2", 10, 10);
+  sim.spawn([](Network& n, Host& f, Host& t) -> Task<void> {
+    co_await n.transfer(f, t, 1'250'000);
+  }(net, t1, node));
+  sim.spawn([](Network& n, Host& f, Host& t) -> Task<void> {
+    co_await n.transfer(f, t, 1'250'000);
+  }(net, t2, node));
+  sim.run();
+  ASSERT_EQ(net.trace().size(), 2u);
+  // The second transfer queued behind the first on the node's downlink.
+  EXPECT_EQ(net.trace()[1].issued_at, 0);
+  EXPECT_NEAR(to_seconds(net.trace()[1].start), 1.0, 1e-9);
+}
+
+TEST_F(NetFixture, AsymmetricLinksUseDirectionalCapacity) {
+  net.set_per_message_overhead(0);
+  Host& a = make_host("a", 20, 5);  // fast up, slow down
+  Host& b = make_host("b", 5, 20);  // slow up, fast down
+  // a->b: min(20 up, 20 down) = 20 Mbps -> 0.5s for 1.25MB.
+  EXPECT_NEAR(to_seconds(timed_transfer(a, b, 1'250'000)), 0.5, 1e-9);
+  // b->a: min(5, 5) = 5 Mbps -> 2s (starting from current now).
+  const TimeNs start = sim.now();
+  const TimeNs done = timed_transfer(b, a, 1'250'000);
+  EXPECT_NEAR(to_seconds(done - start), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dfl::sim

@@ -1,0 +1,210 @@
+#include "crypto/pedersen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace dfl::crypto {
+namespace {
+
+std::vector<std::int64_t> random_values(Rng& rng, std::size_t n, std::int64_t bound) {
+  std::vector<std::int64_t> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(rng.uniform_int(-bound, bound));
+  return v;
+}
+
+class PedersenBothCurves : public ::testing::TestWithParam<CurveId> {
+ protected:
+  const Curve& curve() const { return Curve::get(GetParam()); }
+};
+
+TEST_P(PedersenBothCurves, CommitIsDeterministic) {
+  const PedersenKey key(curve(), "task-1", 16);
+  const PedersenKey key2(curve(), "task-1", 16);
+  Rng rng(1);
+  const auto v = random_values(rng, 16, 1 << 20);
+  EXPECT_EQ(key.commit(v), key2.commit(v));
+}
+
+TEST_P(PedersenBothCurves, DifferentDomainsGiveDifferentCommitments) {
+  const PedersenKey a(curve(), "task-1", 8);
+  const PedersenKey b(curve(), "task-2", 8);
+  const std::vector<std::int64_t> v{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_NE(a.commit(v), b.commit(v));
+}
+
+TEST_P(PedersenBothCurves, VerifyAcceptsCorrectOpening) {
+  const PedersenKey key(curve(), "verify", 32);
+  Rng rng(2);
+  for (int i = 0; i < 5; ++i) {
+    const auto v = random_values(rng, 32, 1 << 24);
+    EXPECT_TRUE(key.verify(key.commit(v), v));
+  }
+}
+
+TEST_P(PedersenBothCurves, VerifyRejectsTamperedVector) {
+  const PedersenKey key(curve(), "verify", 32);
+  Rng rng(3);
+  auto v = random_values(rng, 32, 1 << 24);
+  const Commitment c = key.commit(v);
+  v[7] += 1;
+  EXPECT_FALSE(key.verify(c, v));
+}
+
+TEST_P(PedersenBothCurves, VerifyRejectsDroppedContribution) {
+  // The attack the paper defends against: an aggregator omitting one
+  // trainer's gradient. The accumulated commitment must not verify.
+  const PedersenKey key(curve(), "drop", 8);
+  Rng rng(4);
+  const auto g1 = random_values(rng, 8, 1 << 20);
+  const auto g2 = random_values(rng, 8, 1 << 20);
+  const auto g3 = random_values(rng, 8, 1 << 20);
+  const Commitment total = key.add_all({key.commit(g1), key.commit(g2), key.commit(g3)});
+
+  std::vector<std::int64_t> sum_without_g2(8);
+  for (int i = 0; i < 8; ++i) sum_without_g2[static_cast<std::size_t>(i)] = g1[static_cast<std::size_t>(i)] + g3[static_cast<std::size_t>(i)];
+  EXPECT_FALSE(key.verify(total, sum_without_g2));
+
+  std::vector<std::int64_t> full_sum(8);
+  for (int i = 0; i < 8; ++i) full_sum[static_cast<std::size_t>(i)] = g1[static_cast<std::size_t>(i)] + g2[static_cast<std::size_t>(i)] + g3[static_cast<std::size_t>(i)];
+  EXPECT_TRUE(key.verify(total, full_sum));
+}
+
+TEST_P(PedersenBothCurves, HomomorphicAddition) {
+  const PedersenKey key(curve(), "homo", 16);
+  Rng rng(5);
+  const auto a = random_values(rng, 16, 1 << 30);
+  const auto b = random_values(rng, 16, 1 << 30);
+  std::vector<std::int64_t> sum(16);
+  for (std::size_t i = 0; i < 16; ++i) sum[i] = a[i] + b[i];
+  EXPECT_EQ(key.add(key.commit(a), key.commit(b)), key.commit(sum));
+}
+
+TEST_P(PedersenBothCurves, HomomorphismWithCancellation) {
+  // a + (-a) = 0 must give the identity commitment.
+  const PedersenKey key(curve(), "cancel", 8);
+  Rng rng(6);
+  const auto a = random_values(rng, 8, 1 << 20);
+  std::vector<std::int64_t> neg(8);
+  for (std::size_t i = 0; i < 8; ++i) neg[i] = -a[i];
+  EXPECT_EQ(key.add(key.commit(a), key.commit(neg)), key.identity());
+}
+
+TEST_P(PedersenBothCurves, AddAllMatchesSequentialAdd) {
+  const PedersenKey key(curve(), "fold", 8);
+  Rng rng(7);
+  std::vector<Commitment> cs;
+  Commitment acc = key.identity();
+  for (int i = 0; i < 6; ++i) {
+    const auto v = random_values(rng, 8, 1 << 16);
+    cs.push_back(key.commit(v));
+    acc = key.add(acc, cs.back());
+  }
+  EXPECT_EQ(key.add_all(cs), acc);
+}
+
+TEST_P(PedersenBothCurves, IdentityIsNeutral) {
+  const PedersenKey key(curve(), "id", 4);
+  const Commitment c = key.commit({1, -2, 3, -4});
+  EXPECT_EQ(key.add(c, key.identity()), c);
+  EXPECT_EQ(key.add(key.identity(), c), c);
+  EXPECT_TRUE(key.verify(key.identity(), {0, 0, 0, 0}));
+  EXPECT_TRUE(key.verify(key.identity(), {}));
+}
+
+TEST_P(PedersenBothCurves, ShorterVectorUsesGeneratorPrefix) {
+  const PedersenKey key(curve(), "prefix", 8);
+  // Committing [a, b] must equal committing [a, b, 0, ..., 0].
+  EXPECT_EQ(key.commit({5, -9}), key.commit({5, -9, 0, 0, 0, 0, 0, 0}));
+}
+
+TEST_P(PedersenBothCurves, TooLongVectorThrows) {
+  const PedersenKey key(curve(), "len", 4);
+  EXPECT_THROW((void)key.commit({1, 2, 3, 4, 5}), std::invalid_argument);
+}
+
+TEST_P(PedersenBothCurves, NaiveAndPippengerModesAgree) {
+  PedersenKey key(curve(), "modes", 64);
+  Rng rng(8);
+  const auto v = random_values(rng, 64, 1 << 17);
+  key.set_mode(MsmMode::kNaive);
+  const Commitment naive = key.commit(v);
+  key.set_mode(MsmMode::kPippenger);
+  const Commitment pip = key.commit(v);
+  key.set_mode(MsmMode::kAuto);
+  const Commitment aut = key.commit(v);
+  EXPECT_EQ(naive, pip);
+  EXPECT_EQ(naive, aut);
+}
+
+TEST_P(PedersenBothCurves, ExtremeValues) {
+  const PedersenKey key(curve(), "extreme", 4);
+  const std::vector<std::int64_t> v{std::numeric_limits<std::int64_t>::min(),
+                                    std::numeric_limits<std::int64_t>::max(), 0, -1};
+  const Commitment c = key.commit(v);
+  EXPECT_TRUE(key.verify(c, v));
+  auto v2 = v;
+  v2[3] = 1;
+  EXPECT_FALSE(key.verify(c, v2));
+}
+
+TEST_P(PedersenBothCurves, VerifyRejectsMalformedCommitment) {
+  const PedersenKey key(curve(), "malformed", 4);
+  Commitment bogus{curve().id(), Bytes(33, 0xee)};
+  EXPECT_FALSE(key.verify(bogus, {1, 2, 3, 4}));
+}
+
+TEST_P(PedersenBothCurves, CrossCurveCommitmentRejected) {
+  const Curve& other =
+      GetParam() == CurveId::kSecp256k1 ? Curve::secp256r1() : Curve::secp256k1();
+  const PedersenKey key(curve(), "cross", 4);
+  const PedersenKey okey(other, "cross", 4);
+  const Commitment c = okey.commit({1, 2, 3, 4});
+  EXPECT_FALSE(key.verify(c, {1, 2, 3, 4}));
+  EXPECT_THROW((void)key.add(c, c), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothCurves, PedersenBothCurves,
+                         ::testing::Values(CurveId::kSecp256k1, CurveId::kSecp256r1),
+                         [](const ::testing::TestParamInfo<CurveId>& info) {
+                           return info.param == CurveId::kSecp256k1 ? "secp256k1"
+                                                                    : "secp256r1";
+                         });
+
+TEST(Pedersen, ManyPartyAggregationScenario) {
+  // End-to-end shape of the paper's verification: N trainers commit,
+  // directory accumulates, aggregator's sum must open the accumulation.
+  const Curve& c = Curve::secp256k1();
+  const PedersenKey key(c, "fl-round", 33);  // 32 gradients + weight slot
+  Rng rng(9);
+  constexpr int kTrainers = 16;
+
+  std::vector<std::int64_t> aggregate(33, 0);
+  Commitment accumulated = key.identity();
+  for (int t = 0; t < kTrainers; ++t) {
+    auto grad = random_values(rng, 32, 1 << 16);
+    grad.push_back(1);  // the appended averaging weight from Algorithm 1
+    for (std::size_t i = 0; i < 33; ++i) aggregate[i] += grad[i];
+    accumulated = key.add(accumulated, key.commit(grad));
+  }
+  EXPECT_TRUE(key.verify(accumulated, aggregate));
+  EXPECT_EQ(aggregate[32], kTrainers);  // weight column counts contributions
+
+  // A poisoned aggregate (altered single gradient element) must fail.
+  auto poisoned = aggregate;
+  poisoned[11] += 7;
+  EXPECT_FALSE(key.verify(accumulated, poisoned));
+}
+
+TEST(Pedersen, CommitmentHexEncoding) {
+  const PedersenKey key(Curve::secp256k1(), "hex", 2);
+  const Commitment c = key.commit({3, 4});
+  EXPECT_EQ(c.to_hex().size(), 66u);  // 33 bytes compressed
+  EXPECT_EQ(key.identity().to_hex(), "00");
+}
+
+}  // namespace
+}  // namespace dfl::crypto

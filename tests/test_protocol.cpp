@@ -1,0 +1,345 @@
+// End-to-end protocol tests: whole FL rounds over the simulated storage
+// network, exercising Algorithm 1, merge-and-download, multi-aggregator
+// synchronization, verifiable aggregation and fault injection.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "crypto/encoding.hpp"
+
+namespace dfl::core {
+namespace {
+
+DeploymentConfig small_config() {
+  DeploymentConfig cfg;
+  cfg.num_trainers = 4;
+  cfg.num_partitions = 2;
+  cfg.partition_elements = 32;
+  cfg.aggs_per_partition = 1;
+  cfg.num_ipfs_nodes = 2;
+  cfg.providers_per_agg = 1;
+  cfg.schedule = Schedule{sim::from_seconds(60), sim::from_seconds(120), sim::from_millis(50)};
+  cfg.train_time = sim::from_millis(200);
+  return cfg;
+}
+
+/// The exact average the protocol must reproduce: mean over trainers of
+/// their encoded gradients, decoded.
+std::vector<double> expected_average(Deployment& d, std::uint32_t iter) {
+  const auto& cfg = d.config();
+  const std::size_t n = cfg.partition_elements * cfg.num_partitions;
+  std::vector<std::int64_t> sum(n, 0);
+  for (std::uint32_t t = 0; t < cfg.num_trainers; ++t) {
+    const auto g = d.source().gradient(t, iter);
+    for (std::size_t i = 0; i < n; ++i) sum[i] += g[i];
+  }
+  std::vector<double> avg(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    avg[i] = crypto::decode_fixed(sum[i], cfg.options.frac_bits) /
+             static_cast<double>(cfg.num_trainers);
+  }
+  return avg;
+}
+
+void expect_round_complete(const RoundMetrics& m) {
+  for (const auto& t : m.trainers) {
+    EXPECT_FALSE(t.aborted);
+    EXPECT_FALSE(t.update_missing);
+    EXPECT_GE(t.model_ready_at, 0);
+  }
+  EXPECT_GE(m.first_gradient_announce, 0);
+  EXPECT_GE(m.round_done, 0);
+}
+
+void expect_update_matches(Deployment& d, std::uint32_t iter) {
+  const auto expected = expected_average(d, iter);
+  const auto& got = d.last_global_update();
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], expected[i], 1e-9) << "element " << i;
+  }
+}
+
+TEST(Protocol, SingleRoundCompletes) {
+  Deployment d(small_config());
+  const RoundMetrics m = d.run_round(0);
+  expect_round_complete(m);
+  expect_update_matches(d, 0);
+  EXPECT_EQ(m.rejected_updates, 0);
+}
+
+TEST(Protocol, AggregationIsExactAcrossRounds) {
+  Deployment d(small_config());
+  for (std::uint32_t iter = 0; iter < 3; ++iter) {
+    const RoundMetrics m = d.run_round(iter);
+    expect_round_complete(m);
+    expect_update_matches(d, iter);
+  }
+}
+
+TEST(Protocol, EachAggregatorOnlySeesItsPartition) {
+  auto cfg = small_config();
+  cfg.num_partitions = 3;
+  Deployment d(cfg);
+  const RoundMetrics m = d.run_round(0);
+  expect_round_complete(m);
+  // 3 aggregators, one per partition, each downloaded 4 gradients of ~one
+  // partition's size.
+  ASSERT_EQ(m.aggregators.size(), 3u);
+  const auto payload_bytes = Payload::wire_size(cfg.partition_elements + 1);
+  for (const auto& a : m.aggregators) {
+    EXPECT_EQ(a.gradients_aggregated, cfg.num_trainers);
+    EXPECT_EQ(a.bytes_received, cfg.num_trainers * payload_bytes);
+  }
+}
+
+TEST(Protocol, MergeAndDownloadProducesIdenticalUpdate) {
+  auto plain_cfg = small_config();
+  Deployment plain(plain_cfg);
+  (void)plain.run_round(0);
+
+  auto merge_cfg = small_config();
+  merge_cfg.options.merge_and_download = true;
+  merge_cfg.providers_per_agg = 2;
+  Deployment merged(merge_cfg);
+  const RoundMetrics m = merged.run_round(0);
+  expect_round_complete(m);
+
+  // Same gradients (same seed) => byte-identical averaged update.
+  ASSERT_EQ(plain.last_global_update().size(), merged.last_global_update().size());
+  for (std::size_t i = 0; i < plain.last_global_update().size(); ++i) {
+    ASSERT_DOUBLE_EQ(plain.last_global_update()[i], merged.last_global_update()[i]);
+  }
+  // And the aggregators issued merge requests instead of per-gradient gets.
+  for (const auto& a : m.aggregators) {
+    EXPECT_GT(a.merge_requests, 0u);
+    EXPECT_LE(a.merge_requests, 2u);  // at most one per provider
+  }
+}
+
+TEST(Protocol, MergeAndDownloadReducesAggregatorTraffic) {
+  auto plain_cfg = small_config();
+  plain_cfg.num_trainers = 8;
+  Deployment plain(plain_cfg);
+  const RoundMetrics mp = plain.run_round(0);
+
+  auto merge_cfg = plain_cfg;
+  merge_cfg.options.merge_and_download = true;
+  Deployment merged(merge_cfg);
+  const RoundMetrics mm = merged.run_round(0);
+
+  EXPECT_LT(mm.mean_aggregator_bytes(), mp.mean_aggregator_bytes() / 4.0);
+}
+
+TEST(Protocol, MultiAggregatorSyncProducesCorrectGlobalUpdate) {
+  auto cfg = small_config();
+  cfg.num_trainers = 8;
+  cfg.aggs_per_partition = 2;
+  Deployment d(cfg);
+  const RoundMetrics m = d.run_round(0);
+  expect_round_complete(m);
+  expect_update_matches(d, 0);
+  // Each aggregator gathered only its half of the trainers.
+  for (const auto& a : m.aggregators) {
+    EXPECT_EQ(a.gradients_aggregated, 4u);
+    EXPECT_GE(a.sync_done_at, a.gather_done_at);
+  }
+}
+
+TEST(Protocol, FourAggregatorsPerPartition) {
+  auto cfg = small_config();
+  cfg.num_trainers = 8;
+  cfg.num_partitions = 1;
+  cfg.aggs_per_partition = 4;
+  cfg.num_ipfs_nodes = 4;
+  Deployment d(cfg);
+  const RoundMetrics m = d.run_round(0);
+  expect_round_complete(m);
+  expect_update_matches(d, 0);
+}
+
+TEST(Protocol, VerifiableModeAcceptsHonestRound) {
+  auto cfg = small_config();
+  cfg.options.verifiable = true;
+  Deployment d(cfg);
+  const RoundMetrics m = d.run_round(0);
+  expect_round_complete(m);
+  expect_update_matches(d, 0);
+  EXPECT_EQ(m.rejected_updates, 0);
+  EXPECT_EQ(d.directory().stats().verifications_failed, 0u);
+  EXPECT_GT(d.directory().stats().verifications, 0u);
+}
+
+TEST(Protocol, VerifiableModeRejectsDroppingAggregator) {
+  auto cfg = small_config();
+  cfg.options.verifiable = true;
+  cfg.behaviors[0] = AggBehavior::kDropsGradients;  // aggregator of partition 0
+  Deployment d(cfg);
+  const RoundMetrics m = d.run_round(0);
+  // The directory must refuse the incomplete update for partition 0 ...
+  EXPECT_GT(d.directory().stats().verifications_failed, 0u);
+  EXPECT_GT(m.rejected_updates, 0);
+  EXPECT_TRUE(m.aggregators[0].rejected_by_directory);
+  // ... so trainers never see a poisoned model: the round simply fails.
+  EXPECT_TRUE(d.last_global_update().empty());
+  for (const auto& t : m.trainers) EXPECT_TRUE(t.update_missing);
+}
+
+TEST(Protocol, VerifiableModeRejectsAlteringAggregator) {
+  auto cfg = small_config();
+  cfg.options.verifiable = true;
+  cfg.behaviors[1] = AggBehavior::kAltersGradients;  // partition 1's aggregator
+  Deployment d(cfg);
+  const RoundMetrics m = d.run_round(0);
+  EXPECT_TRUE(m.aggregators[1].rejected_by_directory);
+  EXPECT_FALSE(m.aggregators[0].rejected_by_directory);  // honest one fine
+  EXPECT_TRUE(d.last_global_update().empty());
+}
+
+TEST(Protocol, WithoutVerifiabilityDropGoesUndetected) {
+  // The motivation for Section IV: the same attack passes silently when
+  // commitments are off.
+  auto cfg = small_config();
+  cfg.behaviors[0] = AggBehavior::kDropsGradients;
+  Deployment d(cfg);
+  const RoundMetrics m = d.run_round(0);
+  EXPECT_EQ(m.rejected_updates, 0);
+  EXPECT_FALSE(d.last_global_update().empty());
+  // And the update is NOT the honest average (one gradient missing).
+  const auto expected = expected_average(d, 0);
+  const auto& got = d.last_global_update();
+  double max_diff = 0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(got[i] - expected[i]));
+  }
+  EXPECT_GT(max_diff, 1e-3);
+}
+
+TEST(Protocol, PeersDetectMaliciousPartialAndCover) {
+  // |A_i| = 2, one aggregator alters its partial: the honest peer must
+  // reject it via the per-aggregator commitment and re-aggregate that
+  // trainer set itself, producing the correct global update.
+  auto cfg = small_config();
+  cfg.num_trainers = 6;
+  cfg.num_partitions = 1;
+  cfg.aggs_per_partition = 2;
+  cfg.options.verifiable = true;
+  cfg.behaviors[1] = AggBehavior::kAltersGradients;
+  Deployment d(cfg);
+  const RoundMetrics m = d.run_round(0);
+  EXPECT_GT(m.rejected_updates, 0);           // partial rejected by the peer
+  EXPECT_TRUE(m.aggregators[0].covered_for_peer);
+  expect_update_matches(d, 0);                // final update still honest
+  for (const auto& t : m.trainers) EXPECT_FALSE(t.update_missing);
+}
+
+TEST(Protocol, OfflineAggregatorIsCoveredByPeer) {
+  auto cfg = small_config();
+  cfg.num_trainers = 6;
+  cfg.num_partitions = 1;
+  cfg.aggs_per_partition = 2;
+  cfg.behaviors[1] = AggBehavior::kOffline;
+  Deployment d(cfg);
+  const RoundMetrics m = d.run_round(0);
+  EXPECT_TRUE(m.aggregators[0].covered_for_peer);
+  expect_update_matches(d, 0);
+  for (const auto& t : m.trainers) EXPECT_FALSE(t.update_missing);
+}
+
+TEST(Protocol, AllAggregatorsOfflineFailsRoundGracefully) {
+  auto cfg = small_config();
+  cfg.num_partitions = 1;
+  cfg.behaviors[0] = AggBehavior::kOffline;
+  // Make deadlines short so the test completes quickly.
+  cfg.schedule = Schedule{sim::from_seconds(10), sim::from_seconds(20), sim::from_millis(50)};
+  Deployment d(cfg);
+  const RoundMetrics m = d.run_round(0);
+  EXPECT_TRUE(d.last_global_update().empty());
+  for (const auto& t : m.trainers) EXPECT_TRUE(t.update_missing);
+}
+
+TEST(Protocol, UploadDelayAndAggregationDelayArePositive) {
+  Deployment d(small_config());
+  const RoundMetrics m = d.run_round(0);
+  EXPECT_GT(m.mean_upload_delay_s(), 0.0);
+  EXPECT_GT(m.mean_aggregation_delay_s(), 0.0);
+  EXPECT_GT(m.total_aggregation_delay_s(), 0.0);
+  EXPECT_GE(m.total_aggregation_delay_s(), m.mean_aggregation_delay_s() - 1e-9);
+}
+
+TEST(Protocol, DirectoryStatsAccumulateLoad) {
+  Deployment d(small_config());
+  (void)d.run_round(0);
+  const auto& stats = d.directory().stats();
+  // 4 trainers x 2 partitions gradient announces + aggregator announces.
+  EXPECT_GE(stats.announcements, 10u);
+  EXPECT_GT(stats.polls, 0u);
+  EXPECT_GT(stats.bytes_in, 0u);
+}
+
+TEST(Protocol, MoreProvidersReduceUploadDelay) {
+  auto cfg1 = small_config();
+  cfg1.num_trainers = 8;
+  cfg1.num_partitions = 1;
+  cfg1.partition_elements = 4096;
+  cfg1.num_ipfs_nodes = 8;
+  cfg1.providers_per_agg = 1;
+  cfg1.options.merge_and_download = true;
+  Deployment d1(cfg1);
+  const double delay1 = d1.run_round(0).mean_upload_delay_s();
+
+  auto cfg8 = cfg1;
+  cfg8.providers_per_agg = 8;
+  Deployment d8(cfg8);
+  const double delay8 = d8.run_round(0).mean_upload_delay_s();
+
+  EXPECT_LT(delay8, delay1 / 2.0);  // uploads parallelize across providers
+}
+
+TEST(Protocol, MoreAggregatorsReduceGatherDelay) {
+  auto cfg1 = small_config();
+  cfg1.num_trainers = 8;
+  cfg1.num_partitions = 1;
+  cfg1.partition_elements = 4096;
+  cfg1.num_ipfs_nodes = 8;
+  Deployment d1(cfg1);
+  const double t1 = d1.run_round(0).mean_aggregation_delay_s();
+
+  auto cfg2 = cfg1;
+  cfg2.aggs_per_partition = 2;
+  Deployment d2(cfg2);
+  const double t2 = d2.run_round(0).mean_aggregation_delay_s();
+
+  EXPECT_LT(t2, t1);  // each downloads half the gradients
+}
+
+TEST(Protocol, MultiRoundVerifiableMergeDeployment) {
+  // The heaviest combination, run for several rounds on one timeline:
+  // merge-and-download + verifiability + multi-aggregator sync.
+  auto cfg = small_config();
+  cfg.num_trainers = 6;
+  cfg.aggs_per_partition = 2;
+  cfg.options.merge_and_download = true;
+  cfg.options.verifiable = true;
+  cfg.providers_per_agg = 2;
+  Deployment d(cfg);
+  for (std::uint32_t iter = 0; iter < 3; ++iter) {
+    const RoundMetrics m = d.run_round(iter);
+    expect_round_complete(m);
+    EXPECT_EQ(m.rejected_updates, 0) << "iter " << iter;
+    expect_update_matches(d, iter);
+  }
+  EXPECT_EQ(d.directory().stats().verifications_failed, 0u);
+}
+
+TEST(Protocol, SecondCurveWorksEndToEnd) {
+  auto cfg = small_config();
+  cfg.options.verifiable = true;
+  cfg.options.curve = crypto::CurveId::kSecp256r1;
+  Deployment d(cfg);
+  const RoundMetrics m = d.run_round(0);
+  expect_round_complete(m);
+  expect_update_matches(d, 0);
+}
+
+}  // namespace
+}  // namespace dfl::core

@@ -1,0 +1,259 @@
+// Fault-injection and extension tests for the full protocol: unreliable
+// trainers, storage-node failures with gradient replication, hashed
+// provider allocation, and batched directory announcements.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "crypto/encoding.hpp"
+
+namespace dfl::core {
+namespace {
+
+DeploymentConfig base_config() {
+  DeploymentConfig cfg;
+  cfg.num_trainers = 6;
+  cfg.num_partitions = 2;
+  cfg.partition_elements = 32;
+  cfg.num_ipfs_nodes = 3;
+  // Short deadlines keep straggler tests quick.
+  cfg.schedule = Schedule{sim::from_seconds(15), sim::from_seconds(40), sim::from_millis(50)};
+  cfg.train_time = sim::from_millis(200);
+  return cfg;
+}
+
+/// Average over the given participants' gradients.
+std::vector<double> average_of(Deployment& d, const std::vector<std::uint32_t>& participants,
+                               std::uint32_t iter) {
+  const auto& cfg = d.config();
+  const std::size_t n = cfg.partition_elements * cfg.num_partitions;
+  std::vector<std::int64_t> sum(n, 0);
+  for (const std::uint32_t t : participants) {
+    const auto g = d.source().gradient(t, iter);
+    for (std::size_t i = 0; i < n; ++i) sum[i] += g[i];
+  }
+  std::vector<double> avg(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    avg[i] = crypto::decode_fixed(sum[i], cfg.options.frac_bits) /
+             static_cast<double>(participants.size());
+  }
+  return avg;
+}
+
+void expect_update_equals(Deployment& d, const std::vector<std::uint32_t>& participants) {
+  const auto expected = average_of(d, participants, 0);
+  const auto& got = d.last_global_update();
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], expected[i], 1e-9) << "element " << i;
+  }
+}
+
+TEST(ProtocolFaults, OfflineTrainerExcludedFromAverage) {
+  auto cfg = base_config();
+  cfg.trainer_behaviors[2] = TrainerBehavior::kOffline;
+  Deployment d(cfg);
+  const RoundMetrics m = d.run_round(0);
+  EXPECT_TRUE(m.trainers[2].offline);
+  // The round completes over the 5 participants; weight counts only them.
+  expect_update_equals(d, {0, 1, 3, 4, 5});
+  for (std::uint32_t t : {0u, 1u, 3u, 4u, 5u}) {
+    EXPECT_FALSE(m.trainers[t].update_missing) << t;
+  }
+}
+
+TEST(ProtocolFaults, SlowTrainerAbortsAndIsExcluded) {
+  auto cfg = base_config();
+  cfg.trainer_behaviors[0] = TrainerBehavior::kSlow;
+  Deployment d(cfg);
+  const RoundMetrics m = d.run_round(0);
+  EXPECT_TRUE(m.trainers[0].aborted);  // Algorithm 1 line 10
+  EXPECT_EQ(m.trainers[0].uploads, 0);
+  expect_update_equals(d, {1, 2, 3, 4, 5});
+}
+
+TEST(ProtocolFaults, MultipleUnreliableTrainers) {
+  auto cfg = base_config();
+  cfg.trainer_behaviors[1] = TrainerBehavior::kOffline;
+  cfg.trainer_behaviors[4] = TrainerBehavior::kSlow;
+  Deployment d(cfg);
+  const RoundMetrics m = d.run_round(0);
+  expect_update_equals(d, {0, 2, 3, 5});
+  EXPECT_EQ(m.aggregators[0].gradients_aggregated, 4u);
+}
+
+TEST(ProtocolFaults, AllTrainersOfflineFailsGracefully) {
+  auto cfg = base_config();
+  for (std::uint32_t t = 0; t < cfg.num_trainers; ++t) {
+    cfg.trainer_behaviors[t] = TrainerBehavior::kOffline;
+  }
+  Deployment d(cfg);
+  (void)d.run_round(0);
+  EXPECT_TRUE(d.last_global_update().empty());
+}
+
+TEST(ProtocolFaults, GradientReplicasSurviveNodeFailure) {
+  auto cfg = base_config();
+  cfg.num_ipfs_nodes = 3;
+  cfg.providers_per_agg = 3;
+  cfg.options.gradient_replicas = 2;
+  Deployment d(cfg);
+  // Storage node 0 is dead for the whole round: trainers whose primary
+  // provider it is fail over to their replica target.
+  d.swarm().node(0).host().set_up(false);
+  const RoundMetrics m = d.run_round(0);
+  // Every gradient reached a live replica, so the round aggregates all 6.
+  for (const auto& a : m.aggregators) {
+    EXPECT_EQ(a.gradients_aggregated, 6u);
+  }
+  EXPECT_FALSE(d.last_global_update().empty());
+}
+
+TEST(ProtocolFaults, WithoutReplicasNodeFailureLosesGradients) {
+  auto cfg = base_config();
+  cfg.num_ipfs_nodes = 3;
+  cfg.providers_per_agg = 3;
+  cfg.options.gradient_replicas = 1;
+  Deployment d(cfg);
+  d.swarm().node(0).host().set_up(false);
+  const RoundMetrics m = d.run_round(0);
+  // Single-copy gradients destined for node 0 are lost; aggregation
+  // proceeds with a subset (exactly the failure mode Section VI warns of).
+  std::uint64_t total = 0;
+  for (const auto& a : m.aggregators) total += a.gradients_aggregated;
+  EXPECT_LT(total, 12u);  // 6 trainers x 2 partitions when healthy
+}
+
+TEST(ProtocolFaults, MergeFallbackWhenProviderDies) {
+  auto cfg = base_config();
+  cfg.num_ipfs_nodes = 4;
+  cfg.providers_per_agg = 4;
+  cfg.options.merge_and_download = true;
+  cfg.options.gradient_replicas = 2;
+  Deployment d(cfg);
+  d.swarm().node(1).host().set_up(false);
+  const RoundMetrics m = d.run_round(0);
+  for (const auto& a : m.aggregators) {
+    EXPECT_EQ(a.gradients_aggregated, 6u);
+  }
+  EXPECT_FALSE(d.last_global_update().empty());
+}
+
+TEST(ProtocolFaults, HashedProviderPolicyRoundCompletes) {
+  auto cfg = base_config();
+  cfg.num_ipfs_nodes = 4;
+  cfg.providers_per_agg = 4;
+  cfg.options.provider_policy = ProviderPolicy::kHashed;
+  cfg.options.merge_and_download = true;
+  Deployment d(cfg);
+  const RoundMetrics m = d.run_round(0);
+  for (const auto& t : m.trainers) EXPECT_FALSE(t.update_missing);
+  expect_update_equals(d, {0, 1, 2, 3, 4, 5});
+}
+
+TEST(ProtocolFaults, HashedPolicySpreadsLoad) {
+  TaskSpec spec(1024, 4, 64);
+  spec.build_round_robin(1, 8, 8);
+  spec.options.provider_policy = ProviderPolicy::kHashed;
+  // Count assignments per node across partitions and trainers.
+  std::vector<int> count(8, 0);
+  for (std::size_t p = 0; p < 4; ++p) {
+    for (std::uint32_t t = 0; t < 64; ++t) ++count[spec.provider_for(p, t)];
+  }
+  // 256 assignments over 8 nodes: expect every node used, none hoarding.
+  for (int c : count) {
+    EXPECT_GT(c, 10);
+    EXPECT_LT(c, 64);
+  }
+  // And hashed differs from round-robin for at least some trainers.
+  TaskSpec rr(1024, 4, 64);
+  rr.build_round_robin(1, 8, 8);
+  int differs = 0;
+  for (std::uint32_t t = 0; t < 64; ++t) {
+    if (spec.provider_for(0, t) != rr.provider_for(0, t)) ++differs;
+  }
+  EXPECT_GT(differs, 0);
+}
+
+TEST(ProtocolFaults, BatchedAnnounceProducesSameResult) {
+  auto plain = base_config();
+  Deployment d1(plain);
+  (void)d1.run_round(0);
+
+  auto batched = base_config();
+  batched.options.batched_announce = true;
+  Deployment d2(batched);
+  (void)d2.run_round(0);
+
+  ASSERT_EQ(d1.last_global_update().size(), d2.last_global_update().size());
+  for (std::size_t i = 0; i < d1.last_global_update().size(); ++i) {
+    ASSERT_DOUBLE_EQ(d1.last_global_update()[i], d2.last_global_update()[i]);
+  }
+}
+
+TEST(ProtocolFaults, BatchedAnnounceReducesDirectoryMessages) {
+  auto plain = base_config();
+  Deployment d1(plain);
+  (void)d1.run_round(0);
+  const auto& s1 = d1.directory().stats();
+
+  auto batched = base_config();
+  batched.options.batched_announce = true;
+  Deployment d2(batched);
+  (void)d2.run_round(0);
+  const auto& s2 = d2.directory().stats();
+
+  // Same number of registered entries, fewer messages.
+  EXPECT_EQ(s1.announcements, s2.announcements);
+  EXPECT_LT(s2.announce_messages, s1.announce_messages);
+  // 6 trainers -> 6 batched gradient messages (+ aggregator announcements).
+  EXPECT_LE(s2.announce_messages, 6u + 2u * plain.num_partitions);
+}
+
+TEST(ProtocolFaults, BatchedAnnounceWithVerifiability) {
+  auto cfg = base_config();
+  cfg.options.batched_announce = true;
+  cfg.options.verifiable = true;
+  Deployment d(cfg);
+  const RoundMetrics m = d.run_round(0);
+  EXPECT_EQ(m.rejected_updates, 0);
+  expect_update_equals(d, {0, 1, 2, 3, 4, 5});
+}
+
+TEST(ProtocolFaults, BatchedAnnounceCatchesMaliciousAggregator) {
+  auto cfg = base_config();
+  cfg.options.batched_announce = true;
+  cfg.options.verifiable = true;
+  cfg.behaviors[0] = AggBehavior::kDropsGradients;
+  Deployment d(cfg);
+  const RoundMetrics m = d.run_round(0);
+  EXPECT_GT(m.rejected_updates, 0);
+  EXPECT_TRUE(d.last_global_update().empty());
+}
+
+TEST(ProtocolFaults, RecoveryAcrossRounds) {
+  // A trainer is offline in round 0 and healthy in round 1; the system
+  // must include it again (the paper's partially-asynchronous setting).
+  auto cfg = base_config();
+  cfg.trainer_behaviors[3] = TrainerBehavior::kOffline;
+  Deployment d(cfg);
+  (void)d.run_round(0);
+  expect_update_equals(d, {0, 1, 2, 4, 5});
+  d.trainer(3).set_behavior(TrainerBehavior::kHonest);
+  const RoundMetrics m1 = d.run_round(1);
+  EXPECT_EQ(m1.aggregators[0].gradients_aggregated, 6u);
+}
+
+TEST(ProtocolFaults, UpdateReplicasAreRegisteredAsProviders) {
+  auto cfg = base_config();
+  cfg.num_ipfs_nodes = 4;
+  cfg.providers_per_agg = 4;
+  cfg.options.update_replicas = 3;
+  Deployment d(cfg);
+  (void)d.run_round(0);
+  const auto rows = d.directory().rows(0, 0, directory::EntryType::kGlobalUpdate);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_GE(d.swarm().providers(rows.front().cid).size(), 3u);
+}
+
+}  // namespace
+}  // namespace dfl::core

@@ -1,0 +1,125 @@
+// Property-style sweep: across a grid of deployment shapes and protocol
+// options, one invariant must hold — the registered global update equals
+// the exact average of all participating trainers' gradients, and every
+// trainer assembles the full model.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "crypto/encoding.hpp"
+
+namespace dfl::core {
+namespace {
+
+struct SweepCase {
+  std::size_t trainers;
+  std::size_t partitions;
+  std::size_t aggs;
+  std::size_t nodes;
+  std::size_t providers;
+  bool merge;
+  bool verifiable;
+  bool batched;
+  ProviderPolicy policy;
+};
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  const SweepCase& c = info.param;
+  std::string s = "t" + std::to_string(c.trainers) + "_p" + std::to_string(c.partitions) +
+                  "_a" + std::to_string(c.aggs) + "_n" + std::to_string(c.nodes) + "_pr" +
+                  std::to_string(c.providers);
+  if (c.merge) s += "_merge";
+  if (c.verifiable) s += "_verif";
+  if (c.batched) s += "_batch";
+  if (c.policy == ProviderPolicy::kHashed) s += "_hashed";
+  return s;
+}
+
+class ProtocolSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ProtocolSweep, ExactAggregationInvariant) {
+  const SweepCase& sc = GetParam();
+  DeploymentConfig cfg;
+  cfg.num_trainers = sc.trainers;
+  cfg.num_partitions = sc.partitions;
+  cfg.partition_elements = 24;
+  cfg.aggs_per_partition = sc.aggs;
+  cfg.num_ipfs_nodes = sc.nodes;
+  cfg.providers_per_agg = sc.providers;
+  cfg.options.merge_and_download = sc.merge;
+  cfg.options.verifiable = sc.verifiable;
+  cfg.options.batched_announce = sc.batched;
+  cfg.options.provider_policy = sc.policy;
+  cfg.train_time = sim::from_millis(100);
+  cfg.schedule = Schedule{sim::from_seconds(30), sim::from_seconds(60), sim::from_millis(50)};
+  cfg.seed = 17 * sc.trainers + sc.partitions;
+
+  Deployment d(cfg);
+  const RoundMetrics m = d.run_round(0);
+
+  // Every trainer completed.
+  for (const auto& t : m.trainers) {
+    ASSERT_FALSE(t.aborted);
+    ASSERT_FALSE(t.update_missing);
+  }
+  ASSERT_EQ(m.rejected_updates, 0);
+
+  // Exact average invariant.
+  const std::size_t n = cfg.partition_elements * cfg.num_partitions;
+  std::vector<std::int64_t> sum(n, 0);
+  for (std::uint32_t t = 0; t < cfg.num_trainers; ++t) {
+    const auto g = d.source().gradient(t, 0);
+    for (std::size_t i = 0; i < n; ++i) sum[i] += g[i];
+  }
+  const auto& got = d.last_global_update();
+  ASSERT_EQ(got.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double expected = crypto::decode_fixed(sum[i], cfg.options.frac_bits) /
+                            static_cast<double>(cfg.num_trainers);
+    ASSERT_NEAR(got[i], expected, 1e-9) << "element " << i;
+  }
+
+  // Trainer-side reassembly agrees with the directory-side view.
+  for (std::uint32_t t = 0; t < cfg.num_trainers; ++t) {
+    const auto& local = d.trainer(t).last_model_update();
+    ASSERT_EQ(local.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_DOUBLE_EQ(local[i], got[i]) << "trainer " << t << " element " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ProtocolSweep,
+    ::testing::Values(
+        // Scale sweep, plain protocol.
+        SweepCase{1, 1, 1, 1, 1, false, false, false, ProviderPolicy::kRoundRobin},
+        SweepCase{2, 1, 1, 1, 1, false, false, false, ProviderPolicy::kRoundRobin},
+        SweepCase{5, 3, 1, 2, 2, false, false, false, ProviderPolicy::kRoundRobin},
+        SweepCase{8, 2, 1, 4, 2, false, false, false, ProviderPolicy::kRoundRobin},
+        SweepCase{16, 4, 1, 8, 4, false, false, false, ProviderPolicy::kRoundRobin},
+        // Multi-aggregator.
+        SweepCase{8, 2, 2, 4, 2, false, false, false, ProviderPolicy::kRoundRobin},
+        SweepCase{12, 3, 3, 4, 2, false, false, false, ProviderPolicy::kRoundRobin},
+        SweepCase{8, 1, 4, 4, 4, false, false, false, ProviderPolicy::kRoundRobin},
+        // Merge-and-download.
+        SweepCase{8, 2, 1, 4, 4, true, false, false, ProviderPolicy::kRoundRobin},
+        SweepCase{16, 1, 1, 4, 4, true, false, false, ProviderPolicy::kRoundRobin},
+        SweepCase{9, 3, 3, 3, 3, true, false, false, ProviderPolicy::kRoundRobin},
+        // Verifiable.
+        SweepCase{4, 2, 1, 2, 2, false, true, false, ProviderPolicy::kRoundRobin},
+        SweepCase{6, 1, 2, 3, 3, false, true, false, ProviderPolicy::kRoundRobin},
+        SweepCase{6, 2, 1, 3, 3, true, true, false, ProviderPolicy::kRoundRobin},
+        SweepCase{6, 2, 2, 3, 3, true, true, false, ProviderPolicy::kRoundRobin},
+        // Batched announcements.
+        SweepCase{8, 4, 1, 4, 2, false, false, true, ProviderPolicy::kRoundRobin},
+        SweepCase{6, 2, 2, 3, 3, true, true, true, ProviderPolicy::kRoundRobin},
+        // Hashed provider policy.
+        SweepCase{8, 2, 1, 4, 4, true, false, false, ProviderPolicy::kHashed},
+        SweepCase{12, 2, 2, 6, 3, true, true, true, ProviderPolicy::kHashed},
+        // Odd, non-divisible shapes.
+        SweepCase{7, 3, 2, 5, 2, false, false, false, ProviderPolicy::kRoundRobin},
+        SweepCase{11, 5, 3, 7, 3, true, false, true, ProviderPolicy::kHashed}),
+    case_name);
+
+}  // namespace
+}  // namespace dfl::core

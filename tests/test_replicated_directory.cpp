@@ -1,0 +1,165 @@
+// Replicated-directory tests: write fan-out, read failover, and whole FL
+// rounds surviving the loss of the primary directory host.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "directory/replicated.hpp"
+
+namespace dfl::directory {
+namespace {
+
+struct ReplicatedFixture : ::testing::Test {
+  sim::Simulator sim;
+  sim::Network net{sim};
+  ipfs::Swarm swarm{net};
+  std::vector<sim::Host*> hosts{
+      &net.add_host("dir0", sim::HostConfig{100e6, 100e6, 0}),
+      &net.add_host("dir1", sim::HostConfig{100e6, 100e6, 0}),
+      &net.add_host("dir2", sim::HostConfig{100e6, 100e6, 0})};
+  sim::Host& client = net.add_host("client", sim::HostConfig{10e6, 10e6, 0});
+  ReplicatedDirectory dir{net, hosts, swarm, DirectoryConfig{}};
+
+  template <typename T>
+  T run(sim::Task<T> task) {
+    std::optional<T> out;
+    sim.spawn([](sim::Task<T> t, std::optional<T>& o) -> sim::Task<void> {
+      o = co_await std::move(t);
+    }(std::move(task), out));
+    sim.run();
+    if (!out) throw std::runtime_error("task did not complete");
+    return *out;
+  }
+};
+
+TEST_F(ReplicatedFixture, WritesReachEveryReplica) {
+  const Addr addr{1, 0, 0, EntryType::kGradient};
+  const ipfs::Cid cid = ipfs::Cid::of(dfl::bytes_of("g"));
+  EXPECT_TRUE(run(dir.announce(client, addr, cid)));
+  for (std::size_t i = 0; i < dir.replica_count(); ++i) {
+    EXPECT_EQ(dir.replica(i).find(addr), std::optional<ipfs::Cid>(cid)) << "replica " << i;
+  }
+}
+
+TEST_F(ReplicatedFixture, ReadsFailOverWhenPrimaryDies) {
+  const Addr addr{1, 0, 0, EntryType::kGradient};
+  const ipfs::Cid cid = ipfs::Cid::of(dfl::bytes_of("g"));
+  (void)run(dir.announce(client, addr, cid));
+  hosts[0]->set_up(false);
+  EXPECT_EQ(run(dir.lookup(client, addr)), std::optional<ipfs::Cid>(cid));
+  const auto rows = run(dir.poll(client, 0, 0, EntryType::kGradient));
+  EXPECT_EQ(rows.size(), 1u);
+}
+
+TEST_F(ReplicatedFixture, WritesSkipDeadReplicasAndCatchUpIsVisible) {
+  hosts[1]->set_up(false);
+  const Addr addr{2, 0, 0, EntryType::kGradient};
+  const ipfs::Cid cid = ipfs::Cid::of(dfl::bytes_of("h"));
+  EXPECT_TRUE(run(dir.announce(client, addr, cid)));
+  EXPECT_EQ(dir.replica(0).find(addr), std::optional<ipfs::Cid>(cid));
+  EXPECT_EQ(dir.replica(1).find(addr), std::nullopt);  // missed the write
+  EXPECT_EQ(dir.replica(2).find(addr), std::optional<ipfs::Cid>(cid));
+}
+
+TEST_F(ReplicatedFixture, AllReplicasDownThrows) {
+  for (sim::Host* h : hosts) h->set_up(false);
+  bool threw = false;
+  sim.spawn([](ReplicatedDirectory& d, sim::Host& c, bool& out) -> sim::Task<void> {
+    try {
+      (void)co_await d.poll(c, 0, 0, EntryType::kGradient);
+    } catch (const std::exception&) {
+      out = true;
+    }
+  }(dir, client, threw));
+  sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(ReplicatedFixture, GcAndStatsFanOut) {
+  const Addr addr{1, 0, 0, EntryType::kGradient};
+  (void)run(dir.announce(client, addr, ipfs::Cid::of(dfl::bytes_of("x"))));
+  EXPECT_EQ(dir.stats().announcements, 1u);
+  dir.gc_before(1);
+  for (std::size_t i = 0; i < dir.replica_count(); ++i) {
+    EXPECT_TRUE(dir.replica(i).rows(0, 0, EntryType::kGradient).empty());
+  }
+  dir.reset_stats();
+  EXPECT_EQ(dir.stats().announcements, 0u);
+}
+
+TEST(ReplicatedProtocol, RoundCompletesWithReplicatedDirectory) {
+  core::DeploymentConfig cfg;
+  cfg.num_trainers = 6;
+  cfg.num_partitions = 2;
+  cfg.partition_elements = 32;
+  cfg.num_ipfs_nodes = 2;
+  cfg.directory_replicas = 3;
+  cfg.train_time = sim::from_millis(200);
+  cfg.schedule =
+      core::Schedule{sim::from_seconds(20), sim::from_seconds(40), sim::from_millis(50)};
+  core::Deployment d(cfg);
+  const core::RoundMetrics m = d.run_round(0);
+  for (const auto& t : m.trainers) EXPECT_FALSE(t.update_missing);
+  EXPECT_FALSE(d.last_global_update().empty());
+  EXPECT_EQ(d.directory_hosts().size(), 3u);
+}
+
+TEST(ReplicatedProtocol, RoundSurvivesPrimaryDirectoryFailure) {
+  core::DeploymentConfig cfg;
+  cfg.num_trainers = 6;
+  cfg.num_partitions = 2;
+  cfg.partition_elements = 4096;  // big enough that the round spans seconds
+  cfg.num_ipfs_nodes = 2;
+  cfg.directory_replicas = 2;
+  cfg.train_time = sim::from_millis(500);
+  cfg.schedule =
+      core::Schedule{sim::from_seconds(30), sim::from_seconds(60), sim::from_millis(50)};
+  core::Deployment d(cfg);
+  // Primary directory dies mid-round; the standby has every prior write.
+  d.simulator().schedule_at(sim::from_millis(900), [&] {
+    d.directory_hosts()[0]->set_up(false);
+  });
+  const core::RoundMetrics m = d.run_round(0);
+  for (const auto& t : m.trainers) EXPECT_FALSE(t.update_missing);
+  EXPECT_FALSE(d.last_global_update().empty());
+}
+
+TEST(ReplicatedProtocol, SingleReplicaFailureKillsUnreplicatedRound) {
+  // Control: without replication, losing the directory stalls the round.
+  core::DeploymentConfig cfg;
+  cfg.num_trainers = 4;
+  cfg.num_partitions = 1;
+  cfg.partition_elements = 4096;
+  cfg.num_ipfs_nodes = 2;
+  cfg.directory_replicas = 1;
+  cfg.train_time = sim::from_millis(500);
+  cfg.schedule =
+      core::Schedule{sim::from_seconds(10), sim::from_seconds(20), sim::from_millis(50)};
+  core::Deployment d(cfg);
+  d.simulator().schedule_at(sim::from_millis(600), [&] {
+    d.directory_hosts()[0]->set_up(false);
+  });
+  (void)d.run_round(0);
+  EXPECT_TRUE(d.last_global_update().empty());
+}
+
+TEST(ReplicatedProtocol, VerifiableModeWithReplicatedDirectory) {
+  core::DeploymentConfig cfg;
+  cfg.num_trainers = 4;
+  cfg.num_partitions = 1;
+  cfg.partition_elements = 32;
+  cfg.num_ipfs_nodes = 2;
+  cfg.directory_replicas = 2;
+  cfg.options.verifiable = true;
+  cfg.behaviors[0] = core::AggBehavior::kDropsGradients;
+  cfg.train_time = sim::from_millis(200);
+  cfg.schedule =
+      core::Schedule{sim::from_seconds(10), sim::from_seconds(20), sim::from_millis(50)};
+  core::Deployment d(cfg);
+  const core::RoundMetrics m = d.run_round(0);
+  // Every replica independently rejects the incomplete update.
+  EXPECT_GT(m.rejected_updates, 0);
+  EXPECT_TRUE(d.last_global_update().empty());
+}
+
+}  // namespace
+}  // namespace dfl::directory

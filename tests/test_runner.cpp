@@ -1,0 +1,103 @@
+// Deployment-level tests: the multi-round run() API, ML integration with
+// accuracy tracking, deterministic replays, and directory garbage
+// collection between rounds.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/runner.hpp"
+#include "ml/federated.hpp"
+
+namespace dfl::core {
+namespace {
+
+DeploymentConfig tiny() {
+  DeploymentConfig cfg;
+  cfg.num_trainers = 4;
+  cfg.num_partitions = 2;
+  cfg.partition_elements = 16;
+  cfg.num_ipfs_nodes = 2;
+  cfg.train_time = sim::from_millis(100);
+  cfg.schedule = Schedule{sim::from_seconds(20), sim::from_seconds(40), sim::from_millis(50)};
+  return cfg;
+}
+
+TEST(Runner, MultiRoundRunCollectsMetrics) {
+  Deployment d(tiny());
+  const RunSummary s = d.run(4);
+  ASSERT_EQ(s.rounds.size(), 4u);
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(s.rounds[r].iter, r);
+    EXPECT_GE(s.rounds[r].round_done, s.rounds[r].round_start);
+  }
+  // Rounds proceed on a single simulated timeline.
+  EXPECT_GT(s.rounds[3].round_start, s.rounds[0].round_start);
+}
+
+TEST(Runner, DeterministicAcrossIdenticalDeployments) {
+  auto cfg = tiny();
+  cfg.seed = 1234;
+  Deployment a(cfg);
+  Deployment b(cfg);
+  const RoundMetrics ma = a.run_round(0);
+  const RoundMetrics mb = b.run_round(0);
+  EXPECT_EQ(ma.round_done, mb.round_done);
+  EXPECT_EQ(ma.first_gradient_announce, mb.first_gradient_announce);
+  ASSERT_EQ(a.last_global_update().size(), b.last_global_update().size());
+  for (std::size_t i = 0; i < a.last_global_update().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.last_global_update()[i], b.last_global_update()[i]);
+  }
+}
+
+TEST(Runner, MlRunTracksAccuracyAndImproves) {
+  Rng rng(5);
+  const ml::Dataset data = ml::make_gaussian_blobs(rng, 600, 4, 2, 4.0);
+  const ml::Dataset eval = ml::make_gaussian_blobs(rng, 300, 4, 2, 4.0);
+  const auto shards = ml::split_iid(data, 4, rng);
+  Rng model_rng(3);
+  auto model = std::make_unique<ml::LogisticRegression>(4, 2, model_rng);
+  const std::size_t params = model->num_params();
+  auto source = std::make_unique<MlGradientSource>(std::move(model), shards, 0.5,
+                                                   sim::from_millis(100));
+
+  auto cfg = tiny();
+  cfg.num_partitions = 2;
+  cfg.partition_elements = params / 2;
+  Deployment d(cfg, std::move(source));
+  const RunSummary s = d.run(10, &eval);
+  ASSERT_EQ(s.accuracy.size(), 10u);
+  ASSERT_EQ(s.loss.size(), 10u);
+  EXPECT_GT(s.accuracy.back(), 0.9);
+  EXPECT_LT(s.loss.back(), s.loss.front());
+  EXPECT_DOUBLE_EQ(s.rounds.back().post_round_accuracy, s.accuracy.back());
+}
+
+TEST(Runner, DirectoryGcBoundsState) {
+  Deployment d(tiny());
+  (void)d.run(3);
+  // run() garbage-collects everything before the latest round.
+  EXPECT_TRUE(d.directory().rows(0, 0, directory::EntryType::kGradient).empty());
+  EXPECT_FALSE(d.directory().rows(0, 2, directory::EntryType::kGradient).empty());
+}
+
+TEST(Runner, AccessorsExposeTopology) {
+  auto cfg = tiny();
+  cfg.aggs_per_partition = 2;
+  Deployment d(cfg);
+  EXPECT_EQ(d.num_aggregators(), 4u);  // 2 partitions x 2 slots
+  EXPECT_EQ(d.swarm().node_count(), 2u);
+  EXPECT_EQ(d.trainer(0).id(), 0u);
+  EXPECT_EQ(d.aggregator(3).partition(), 1u);
+  EXPECT_EQ(d.config().num_trainers, 4u);
+}
+
+TEST(Runner, SyntheticSourceRecordsLastUpdate) {
+  Deployment d(tiny());
+  (void)d.run_round(0);
+  auto* src = dynamic_cast<SyntheticGradientSource*>(&d.source());
+  ASSERT_NE(src, nullptr);
+  EXPECT_EQ(src->last_update().size(), d.last_global_update().size());
+}
+
+}  // namespace
+}  // namespace dfl::core

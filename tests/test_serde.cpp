@@ -1,0 +1,93 @@
+#include "common/serde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace dfl {
+namespace {
+
+TEST(Serde, IntegerRoundTrip) {
+  Writer w;
+  w.put<std::uint8_t>(0xab);
+  w.put<std::uint16_t>(0x1234);
+  w.put<std::uint32_t>(0xdeadbeef);
+  w.put<std::uint64_t>(0x0123456789abcdefULL);
+  w.put<std::int32_t>(-42);
+  w.put<std::int64_t>(std::numeric_limits<std::int64_t>::min());
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get<std::uint8_t>(), 0xab);
+  EXPECT_EQ(r.get<std::uint16_t>(), 0x1234);
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xdeadbeefu);
+  EXPECT_EQ(r.get<std::uint64_t>(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.get<std::int32_t>(), -42);
+  EXPECT_EQ(r.get<std::int64_t>(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, DoubleRoundTrip) {
+  Writer w;
+  w.put_double(3.14159265358979);
+  w.put_double(-0.0);
+  w.put_double(std::numeric_limits<double>::infinity());
+  Reader r(w.bytes());
+  EXPECT_DOUBLE_EQ(r.get_double(), 3.14159265358979);
+  EXPECT_DOUBLE_EQ(r.get_double(), -0.0);
+  EXPECT_EQ(r.get_double(), std::numeric_limits<double>::infinity());
+}
+
+TEST(Serde, BytesAndStringRoundTrip) {
+  Writer w;
+  w.put_bytes(Bytes{9, 8, 7});
+  w.put_string("hello world");
+  w.put_bytes(Bytes{});
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get_bytes(), (Bytes{9, 8, 7}));
+  EXPECT_EQ(r.get_string(), "hello world");
+  EXPECT_TRUE(r.get_bytes().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, DoublesVectorRoundTrip) {
+  Writer w;
+  w.put_doubles({1.5, -2.5, 1e-9});
+  Reader r(w.bytes());
+  const auto v = r.get_doubles();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[1], -2.5);
+}
+
+TEST(Serde, TruncatedBufferThrows) {
+  Writer w;
+  w.put<std::uint32_t>(7);
+  Reader r(w.bytes());
+  EXPECT_THROW(r.get<std::uint64_t>(), std::out_of_range);
+}
+
+TEST(Serde, TruncatedLengthPrefixThrows) {
+  Writer w;
+  w.put<std::uint32_t>(100);  // claims 100 bytes follow; none do
+  Reader r(w.bytes());
+  EXPECT_THROW(r.get_bytes(), std::out_of_range);
+}
+
+TEST(Serde, RemainingTracksPosition) {
+  Writer w;
+  w.put<std::uint32_t>(1);
+  w.put<std::uint32_t>(2);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.get<std::uint32_t>();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+TEST(Serde, RawBytesHaveNoPrefix) {
+  Writer w;
+  w.put_raw(Bytes{1, 2, 3});
+  EXPECT_EQ(w.size(), 3u);
+}
+
+}  // namespace
+}  // namespace dfl

@@ -1,0 +1,80 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace dfl::crypto {
+namespace {
+
+std::string hex_of(const Sha256Digest& d) {
+  return dfl::to_hex(BytesView(d.data(), d.size()));
+}
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_of(Sha256::hash(Bytes{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_of(Sha256::hash(dfl::bytes_of("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_of(Sha256::hash(dfl::bytes_of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 ctx;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(hex_of(ctx.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes msg = dfl::bytes_of("the quick brown fox jumps over the lazy dog");
+  const auto oneshot = Sha256::hash(msg);
+  // Split at every possible boundary.
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 ctx;
+    ctx.update(BytesView(msg.data(), split));
+    ctx.update(BytesView(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(ctx.finalize(), oneshot) << "split at " << split;
+  }
+}
+
+TEST(Sha256, BlockBoundaryLengths) {
+  // Lengths around the 64-byte block and 56-byte padding boundaries are the
+  // classic off-by-one territory; verify self-consistency and distinctness.
+  Sha256Digest prev{};
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 127u, 128u, 129u}) {
+    const Bytes msg(len, 0x5a);
+    const auto d1 = Sha256::hash(msg);
+    Sha256 ctx;
+    for (std::size_t i = 0; i < len; ++i) ctx.update(&msg[i], 1);
+    EXPECT_EQ(ctx.finalize(), d1) << "len " << len;
+    EXPECT_NE(d1, prev);
+    prev = d1;
+  }
+}
+
+TEST(Sha256, DifferentInputsDiffer) {
+  EXPECT_NE(Sha256::hash(dfl::bytes_of("abc")), Sha256::hash(dfl::bytes_of("abd")));
+  EXPECT_NE(Sha256::hash(dfl::bytes_of("")), Sha256::hash(Bytes{0x00}));
+}
+
+TEST(Sha256, VectorConvenienceMatches) {
+  const Bytes msg = dfl::bytes_of("abc");
+  const Bytes digest = sha256(msg);
+  ASSERT_EQ(digest.size(), 32u);
+  EXPECT_EQ(dfl::to_hex(digest),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+}  // namespace
+}  // namespace dfl::crypto

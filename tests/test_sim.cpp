@@ -1,0 +1,275 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace dfl::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.events_processed(), 0u);
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(from_seconds(3.0), [&] { order.push_back(3); });
+  s.schedule_at(from_seconds(1.0), [&] { order.push_back(1); });
+  s.schedule_at(from_seconds(2.0), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), from_seconds(3.0));
+}
+
+TEST(Simulator, TiesBreakFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator s;
+  s.schedule_at(1000, [] {});
+  s.run();
+  bool ran = false;
+  s.schedule_at(5, [&] { ran = true; });  // in the past
+  s.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.now(), 1000);  // clock never goes backwards
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule_after(10, recurse);
+  };
+  s.schedule_at(0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), 40);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsQueued) {
+  Simulator s;
+  int count = 0;
+  s.schedule_at(10, [&] { ++count; });
+  s.schedule_at(20, [&] { ++count; });
+  s.schedule_at(30, [&] { ++count; });
+  s.run_until(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now(), 20);
+  s.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator s;
+  s.run_until(from_seconds(5));
+  EXPECT_EQ(s.now(), from_seconds(5));
+}
+
+TEST(Simulator, MaxEventsGuard) {
+  Simulator s;
+  std::function<void()> forever = [&] { s.schedule_after(1, forever); };
+  s.schedule_at(0, forever);
+  s.run(100);
+  EXPECT_EQ(s.events_processed(), 100u);
+}
+
+TEST(Simulator, TimeConversions) {
+  EXPECT_EQ(from_seconds(1.5), 1'500'000'000);
+  EXPECT_EQ(from_millis(2.5), 2'500'000);
+  EXPECT_DOUBLE_EQ(to_seconds(2'000'000'000), 2.0);
+}
+
+Task<void> sleeper(Simulator& s, TimeNs d, std::vector<TimeNs>& log) {
+  co_await s.sleep(d);
+  log.push_back(s.now());
+  co_await s.sleep(d);
+  log.push_back(s.now());
+}
+
+TEST(SimulatorCoro, SleepAdvancesClock) {
+  Simulator s;
+  std::vector<TimeNs> log;
+  s.spawn(sleeper(s, 100, log));
+  s.run();
+  EXPECT_EQ(log, (std::vector<TimeNs>{100, 200}));
+}
+
+TEST(SimulatorCoro, ZeroAndNegativeSleepCompletes) {
+  Simulator s;
+  std::vector<TimeNs> log;
+  s.spawn(sleeper(s, 0, log));
+  s.run();
+  EXPECT_EQ(log, (std::vector<TimeNs>{0, 0}));
+}
+
+Task<int> answer(Simulator& s) {
+  co_await s.sleep(10);
+  co_return 42;
+}
+
+Task<void> awaits_child(Simulator& s, int& out) {
+  out = co_await answer(s);
+}
+
+TEST(SimulatorCoro, ChildTaskReturnsValue) {
+  Simulator s;
+  int out = 0;
+  s.spawn(awaits_child(s, out));
+  s.run();
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(s.now(), 10);
+}
+
+Task<int> thrower(Simulator& s) {
+  co_await s.sleep(5);
+  throw std::runtime_error("boom");
+}
+
+Task<void> catches_child(Simulator& s, bool& caught) {
+  try {
+    (void)co_await thrower(s);
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+}
+
+TEST(SimulatorCoro, ExceptionPropagatesToAwaiter) {
+  Simulator s;
+  bool caught = false;
+  s.spawn(catches_child(s, caught));
+  s.run();
+  EXPECT_TRUE(caught);
+}
+
+Task<void> chained(Simulator& s, int depth, int& leaf_count) {
+  if (depth == 0) {
+    ++leaf_count;
+    co_return;
+  }
+  co_await chained(s, depth - 1, leaf_count);
+  co_await chained(s, depth - 1, leaf_count);
+}
+
+TEST(SimulatorCoro, DeepTaskChains) {
+  Simulator s;
+  int leaves = 0;
+  s.spawn(chained(s, 10, leaves));
+  s.run();
+  EXPECT_EQ(leaves, 1024);
+}
+
+TEST(SimulatorCoro, ManyConcurrentProcesses) {
+  Simulator s;
+  std::vector<TimeNs> log;
+  for (int i = 0; i < 100; ++i) s.spawn(sleeper(s, (i + 1) * 10, log));
+  s.run();
+  EXPECT_EQ(log.size(), 200u);
+  // Log must be sorted (each process finishes in time order).
+  EXPECT_TRUE(std::is_sorted(log.begin(), log.end()));
+}
+
+Task<void> wait_event(SyncEvent& ev, Simulator& s, std::vector<TimeNs>& log) {
+  co_await ev.wait();
+  log.push_back(s.now());
+}
+
+TEST(SyncEventTest, BroadcastWakesAllWaiters) {
+  Simulator s;
+  SyncEvent ev(s);
+  std::vector<TimeNs> log;
+  for (int i = 0; i < 5; ++i) s.spawn(wait_event(ev, s, log));
+  s.schedule_at(500, [&] { ev.set(); });
+  s.run();
+  ASSERT_EQ(log.size(), 5u);
+  for (TimeNs t : log) EXPECT_EQ(t, 500);
+}
+
+TEST(SyncEventTest, WaitAfterSetCompletesImmediately) {
+  Simulator s;
+  SyncEvent ev(s);
+  ev.set();
+  std::vector<TimeNs> log;
+  s.schedule_at(100, [&] { s.spawn(wait_event(ev, s, log)); });
+  s.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 100);
+}
+
+TEST(SyncEventTest, ClearRearmsEvent) {
+  Simulator s;
+  SyncEvent ev(s);
+  ev.set();
+  EXPECT_TRUE(ev.is_set());
+  ev.clear();
+  EXPECT_FALSE(ev.is_set());
+}
+
+Task<void> consume(Channel<int>& ch, std::vector<int>& out, int n) {
+  for (int i = 0; i < n; ++i) {
+    out.push_back(co_await ch.receive());
+  }
+}
+
+TEST(ChannelTest, DeliversInFifoOrder) {
+  Simulator s;
+  Channel<int> ch(s);
+  std::vector<int> out;
+  s.spawn(consume(ch, out, 3));
+  s.schedule_at(10, [&] { ch.send(1); });
+  s.schedule_at(20, [&] {
+    ch.send(2);
+    ch.send(3);
+  });
+  s.run();
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ChannelTest, ReceiveBeforeSendParks) {
+  Simulator s;
+  Channel<int> ch(s);
+  std::vector<int> out;
+  s.spawn(consume(ch, out, 1));
+  s.run();
+  EXPECT_TRUE(out.empty());  // parked, no sender — simulation drained
+  ch.send(9);
+  s.run();
+  EXPECT_EQ(out, std::vector<int>{9});
+}
+
+TEST(ChannelTest, BufferedSendsConsumedLater) {
+  Simulator s;
+  Channel<int> ch(s);
+  for (int i = 0; i < 5; ++i) ch.send(i);
+  EXPECT_EQ(ch.size(), 5u);
+  std::vector<int> out;
+  s.spawn(consume(ch, out, 5));
+  s.run();
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(Simulator, ResetDropsPendingWork) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(100, [&] { ++fired; });
+  s.reset();
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace dfl::sim

@@ -1,0 +1,54 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dfl {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428571, 1e-9);  // sample variance (n-1)
+}
+
+TEST(Stats, MinMax) {
+  Summary s;
+  s.add(3.0);
+  s.add(-1.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 1e-9);
+}
+
+TEST(Stats, PercentileSingleSample) {
+  Summary s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, PercentileOnEmptyThrows) {
+  Summary s;
+  EXPECT_THROW((void)s.percentile(50), std::logic_error);
+}
+
+TEST(Stats, VarianceOfConstantIsZero) {
+  Summary s;
+  for (int i = 0; i < 10; ++i) s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+}
+
+}  // namespace
+}  // namespace dfl

@@ -1,0 +1,100 @@
+#include "core/task_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dfl::core {
+namespace {
+
+TEST(TaskSpecTest, PartitionRangesCoverAllParams) {
+  const TaskSpec spec(103, 4, 8);  // deliberately non-divisible
+  EXPECT_EQ(spec.num_partitions(), 4u);
+  std::size_t covered = 0;
+  std::size_t prev_end = 0;
+  for (std::size_t p = 0; p < 4; ++p) {
+    const auto [first, last] = spec.partition_range(p);
+    EXPECT_EQ(first, prev_end);  // contiguous
+    EXPECT_GT(last, first);
+    covered += last - first;
+    prev_end = last;
+  }
+  EXPECT_EQ(covered, 103u);
+  EXPECT_EQ(spec.max_partition_size(), 26u);
+}
+
+TEST(TaskSpecTest, EqualPartitionsWhenDivisible) {
+  const TaskSpec spec(100, 4, 8);
+  for (std::size_t p = 0; p < 4; ++p) EXPECT_EQ(spec.partition_size(p), 25u);
+}
+
+TEST(TaskSpecTest, RejectsDegenerateShapes) {
+  EXPECT_THROW(TaskSpec(10, 0, 4), std::invalid_argument);
+  EXPECT_THROW(TaskSpec(3, 4, 4), std::invalid_argument);
+}
+
+TEST(TaskSpecTest, RoundRobinPartitionsTrainerSets) {
+  TaskSpec spec(64, 2, 10);
+  spec.build_round_robin(/*aggs_per_partition=*/3, /*providers_per_agg=*/2, /*num_nodes=*/4);
+  for (std::size_t p = 0; p < 2; ++p) {
+    const auto& pa = spec.assignment(p);
+    ASSERT_EQ(pa.aggregators.size(), 3u);
+    // Every trainer appears in exactly one T_ij (the paper's invariant).
+    std::set<std::uint32_t> all;
+    std::size_t total = 0;
+    for (const auto& ts : pa.trainers) {
+      all.insert(ts.begin(), ts.end());
+      total += ts.size();
+    }
+    EXPECT_EQ(all.size(), 10u);
+    EXPECT_EQ(total, 10u);
+    // Every aggregator has the requested provider count.
+    for (const auto& provs : pa.providers) {
+      EXPECT_EQ(provs.size(), 2u);
+      for (const auto node : provs) EXPECT_LT(node, 4u);
+    }
+  }
+}
+
+TEST(TaskSpecTest, AggregatorIdsAreGloballyUnique) {
+  TaskSpec spec(64, 4, 8);
+  spec.build_round_robin(2, 1, 4);
+  std::set<std::uint32_t> ids;
+  for (std::size_t p = 0; p < 4; ++p) {
+    for (const auto a : spec.assignment(p).aggregators) ids.insert(a);
+  }
+  EXPECT_EQ(ids.size(), 8u);  // 4 partitions x 2 slots
+}
+
+TEST(TaskSpecTest, AggregatorOfAndProviderForAreConsistent) {
+  TaskSpec spec(64, 1, 6);
+  spec.build_round_robin(2, 2, 8);
+  const auto& pa = spec.assignment(0);
+  for (std::uint32_t t = 0; t < 6; ++t) {
+    const std::uint32_t slot = spec.aggregator_of(0, t);
+    const auto& ts = pa.trainers.at(slot);
+    EXPECT_NE(std::find(ts.begin(), ts.end(), t), ts.end());
+    const std::uint32_t node = spec.provider_for(0, t);
+    const auto& provs = pa.providers.at(slot);
+    EXPECT_NE(std::find(provs.begin(), provs.end(), node), provs.end());
+  }
+  EXPECT_THROW((void)spec.aggregator_of(0, 99), std::out_of_range);
+}
+
+TEST(TaskSpecTest, ProvidersSpreadAcrossNodes) {
+  TaskSpec spec(64, 1, 16);
+  spec.build_round_robin(1, 4, 8);
+  const auto& provs = spec.assignment(0).providers[0];
+  const std::set<std::uint32_t> unique(provs.begin(), provs.end());
+  EXPECT_EQ(unique.size(), 4u);  // distinct nodes while the pool allows
+}
+
+TEST(TaskSpecTest, BuildRejectsZeroSizes) {
+  TaskSpec spec(64, 1, 4);
+  EXPECT_THROW(spec.build_round_robin(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(spec.build_round_robin(1, 0, 1), std::invalid_argument);
+  EXPECT_THROW(spec.build_round_robin(1, 1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dfl::core

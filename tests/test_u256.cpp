@@ -1,0 +1,205 @@
+#include "crypto/u256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dfl::crypto {
+namespace {
+
+U256 random_u256(Rng& rng) {
+  return U256{rng.next(), rng.next(), rng.next(), rng.next()};
+}
+
+TEST(U256, ZeroAndParity) {
+  EXPECT_TRUE(U256{}.is_zero());
+  EXPECT_FALSE(U256(1).is_zero());
+  EXPECT_TRUE(U256(1).is_odd());
+  EXPECT_FALSE(U256(2).is_odd());
+}
+
+TEST(U256, BitLength) {
+  EXPECT_EQ(U256{}.bit_length(), 0);
+  EXPECT_EQ(U256(1).bit_length(), 1);
+  EXPECT_EQ(U256(0xff).bit_length(), 8);
+  EXPECT_EQ((U256{0, 1, 0, 0}).bit_length(), 65);
+  EXPECT_EQ((U256{0, 0, 0, 1ULL << 63}).bit_length(), 256);
+}
+
+TEST(U256, BitAccess) {
+  const U256 v{0b1010, 0, 1, 0};
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(2));
+  EXPECT_TRUE(v.bit(3));
+  EXPECT_TRUE(v.bit(128));
+  EXPECT_FALSE(v.bit(129));
+}
+
+TEST(U256, BitsWindowAcrossLimbBoundary) {
+  // Set bits 62..66 to 1: limb0 top two bits, limb1 bottom three bits.
+  const U256 v{0xc000000000000000ULL, 0x7, 0, 0};
+  EXPECT_EQ(v.bits(62, 5), 0b11111u);
+  EXPECT_EQ(v.bits(61, 5), 0b11110u);
+  EXPECT_EQ(v.bits(63, 5), 0b01111u);
+  EXPECT_EQ(v.bits(300, 5), 0u);  // beyond 256 reads as zero
+}
+
+TEST(U256, Compare) {
+  const U256 a(5);
+  const U256 b{0, 1, 0, 0};  // 2^64
+  EXPECT_LT(a.cmp(b), 0);
+  EXPECT_GT(b.cmp(a), 0);
+  EXPECT_EQ(a.cmp(U256(5)), 0);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b >= a);
+}
+
+TEST(U256, AddCarryPropagation) {
+  U256 a{~0ULL, ~0ULL, ~0ULL, 0};
+  EXPECT_EQ(a.add_assign(U256(1)), 0u);
+  EXPECT_EQ(a, (U256{0, 0, 0, 1}));
+}
+
+TEST(U256, AddOverflowReturnsCarry) {
+  U256 a{~0ULL, ~0ULL, ~0ULL, ~0ULL};
+  EXPECT_EQ(a.add_assign(U256(1)), 1u);
+  EXPECT_TRUE(a.is_zero());
+}
+
+TEST(U256, SubBorrowPropagation) {
+  U256 a{0, 0, 0, 1};
+  EXPECT_EQ(a.sub_assign(U256(1)), 0u);
+  EXPECT_EQ(a, (U256{~0ULL, ~0ULL, ~0ULL, 0}));
+}
+
+TEST(U256, SubUnderflowReturnsBorrow) {
+  U256 a{};
+  EXPECT_EQ(a.sub_assign(U256(1)), 1u);
+  EXPECT_EQ(a, (U256{~0ULL, ~0ULL, ~0ULL, ~0ULL}));
+}
+
+TEST(U256, AddSubRoundTripRandom) {
+  Rng rng(101);
+  for (int i = 0; i < 200; ++i) {
+    const U256 a = random_u256(rng);
+    const U256 b = random_u256(rng);
+    U256 s = a;
+    const auto carry = s.add_assign(b);
+    U256 back = s;
+    const auto borrow = back.sub_assign(b);
+    EXPECT_EQ(back, a);
+    EXPECT_EQ(carry, borrow);  // overflow in add implies wraparound in sub
+  }
+}
+
+TEST(U256, ShiftRoundTrip) {
+  Rng rng(102);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = random_u256(rng);
+    a.limb[3] &= ~(1ULL << 63);  // clear top bit so shl1 is lossless
+    U256 b = a;
+    EXPECT_EQ(b.shl1(), 0u);
+    b.shr1();
+    EXPECT_EQ(b, a);
+  }
+}
+
+TEST(U256, MulWideSmallValues) {
+  std::uint64_t out[8];
+  mul_wide(U256(7), U256(6), out);
+  EXPECT_EQ(out[0], 42u);
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(out[i], 0u);
+}
+
+TEST(U256, MulWideMaxValues) {
+  // (2^256 - 1)^2 = 2^512 - 2^257 + 1
+  const U256 max{~0ULL, ~0ULL, ~0ULL, ~0ULL};
+  std::uint64_t out[8];
+  mul_wide(max, max, out);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 0u);
+  EXPECT_EQ(out[2], 0u);
+  EXPECT_EQ(out[3], 0u);
+  EXPECT_EQ(out[4], ~0ULL - 1);
+  EXPECT_EQ(out[5], ~0ULL);
+  EXPECT_EQ(out[6], ~0ULL);
+  EXPECT_EQ(out[7], ~0ULL);
+}
+
+TEST(U256, MulWideCommutes) {
+  Rng rng(103);
+  for (int i = 0; i < 100; ++i) {
+    const U256 a = random_u256(rng);
+    const U256 b = random_u256(rng);
+    std::uint64_t ab[8], ba[8];
+    mul_wide(a, b, ab);
+    mul_wide(b, a, ba);
+    for (int k = 0; k < 8; ++k) EXPECT_EQ(ab[k], ba[k]);
+  }
+}
+
+TEST(U256, BytesRoundTrip) {
+  Rng rng(104);
+  for (int i = 0; i < 100; ++i) {
+    const U256 a = random_u256(rng);
+    EXPECT_EQ(U256::from_be_bytes(a.to_be_bytes()), a);
+  }
+}
+
+TEST(U256, BytesBigEndianLayout) {
+  const U256 v(0x0102);
+  const Bytes b = v.to_be_bytes();
+  ASSERT_EQ(b.size(), 32u);
+  EXPECT_EQ(b[30], 0x01);
+  EXPECT_EQ(b[31], 0x02);
+  EXPECT_EQ(b[0], 0x00);
+}
+
+TEST(U256, FromBeBytesShortInput) {
+  const Bytes b{0x01, 0x02};
+  EXPECT_EQ(U256::from_be_bytes(b), U256(0x0102));
+}
+
+TEST(U256, FromBeBytesTooLongThrows) {
+  EXPECT_THROW(U256::from_be_bytes(Bytes(33, 0)), std::invalid_argument);
+}
+
+TEST(U256, HexRoundTrip) {
+  const U256 v = U256::from_hex("deadbeef00000000000000000000000000000000000000000000000012345678");
+  EXPECT_EQ(v.limb[0], 0x12345678u);
+  EXPECT_EQ(v.limb[3], 0xdeadbeef00000000ULL);
+  EXPECT_EQ(v.to_hex(), "deadbeef00000000000000000000000000000000000000000000000012345678");
+}
+
+TEST(U256, HexOddLengthPadsLeft) {
+  EXPECT_EQ(U256::from_hex("f"), U256(0xf));
+  EXPECT_EQ(U256::from_hex("0x123"), U256(0x123));
+}
+
+TEST(U256, AddModWrapsCorrectly) {
+  const U256 m(97);
+  EXPECT_EQ(add_mod(U256(50), U256(60), m), U256(13));
+  EXPECT_EQ(add_mod(U256(0), U256(0), m), U256(0));
+  EXPECT_EQ(add_mod(U256(96), U256(1), m), U256(0));
+}
+
+TEST(U256, SubModWrapsCorrectly) {
+  const U256 m(97);
+  EXPECT_EQ(sub_mod(U256(10), U256(20), m), U256(87));
+  EXPECT_EQ(sub_mod(U256(20), U256(10), m), U256(10));
+  EXPECT_EQ(sub_mod(U256(0), U256(1), m), U256(96));
+}
+
+TEST(U256, AddModNearFullWidthModulus) {
+  // Modulus just below 2^256: the carry-out path must be exercised.
+  U256 m{~0ULL, ~0ULL, ~0ULL, ~0ULL};
+  m.sub_assign(U256(4));  // m = 2^256 - 5
+  U256 a = m;
+  a.sub_assign(U256(1));  // a = m - 1
+  // (m-1) + 2 = m + 1 ≡ 1 (mod m)
+  EXPECT_EQ(add_mod(a, U256(2), m), U256(1));
+}
+
+}  // namespace
+}  // namespace dfl::crypto

@@ -1,0 +1,203 @@
+// dflsim — command-line experiment runner for the decentralized FL system.
+//
+// Runs a configurable deployment for N rounds and prints per-round delay,
+// traffic, and directory-load metrics. Covers the common knobs so that new
+// scenarios don't require writing C++.
+//
+//   dflsim --trainers 16 --partitions 4 --aggs 2 --nodes 8 --rounds 3
+//   dflsim --merge --providers 4 --partition-kb 1300
+//   dflsim --verifiable --malicious-agg 0:drop
+//   dflsim --help
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/log.hpp"
+#include "core/runner.hpp"
+
+namespace {
+
+using namespace dfl;
+
+void usage() {
+  std::printf(
+      "dflsim — decentralized FL experiment runner\n\n"
+      "scale:\n"
+      "  --trainers N        FL trainers (default 16)\n"
+      "  --partitions N      model partitions (default 2)\n"
+      "  --aggs N            aggregators per partition, |A_i| (default 1)\n"
+      "  --nodes N           IPFS storage nodes (default 4)\n"
+      "  --providers N       providers per aggregator, |P_ij| (default = nodes)\n"
+      "  --partition-kb K    partition wire size in KB (default 128)\n"
+      "  --rounds N          FL iterations to run (default 1)\n"
+      "network:\n"
+      "  --mbps X            participant & node bandwidth (default 10)\n"
+      "  --latency-ms X      one-way link latency (default 5)\n"
+      "protocol:\n"
+      "  --merge             enable merge-and-download\n"
+      "  --verifiable        enable Pedersen-commitment verification\n"
+      "  --batch             batch gradient announcements\n"
+      "  --hashed-providers  hashed (uniform) provider allocation\n"
+      "  --replicas N        global-update replicas (default 2)\n"
+      "  --gradient-replicas N  gradient replicas (default 1)\n"
+      "  --directory-replicas N directory service replicas (default 1)\n"
+      "faults:\n"
+      "  --malicious-agg I:B aggregator I behaves B in {drop, alter, offline}\n"
+      "  --faulty-trainer I:B trainer I behaves B in {slow, offline}\n"
+      "misc:\n"
+      "  --seed N            RNG seed (default 1)\n"
+      "  --verbose           protocol-level logging\n");
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_behavior_pair(const std::string& arg, std::uint32_t& id, std::string& kind) {
+  const auto colon = arg.find(':');
+  if (colon == std::string::npos) return false;
+  std::uint64_t v;
+  if (!parse_u64(arg.substr(0, colon).c_str(), v)) return false;
+  id = static_cast<std::uint32_t>(v);
+  kind = arg.substr(colon + 1);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::DeploymentConfig cfg;
+  cfg.num_trainers = 16;
+  cfg.num_partitions = 2;
+  cfg.num_ipfs_nodes = 4;
+  cfg.partition_elements = 128 * 1024 / 8;
+  cfg.train_time = sim::from_seconds(1);
+  std::size_t providers = 0;  // 0 = all nodes
+  int rounds = 1;
+  double mbps = 10.0;
+  double latency_ms = 5.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    std::uint64_t v = 0;
+    if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else if (a == "--trainers" && parse_u64(next(), v)) {
+      cfg.num_trainers = v;
+    } else if (a == "--partitions" && parse_u64(next(), v)) {
+      cfg.num_partitions = v;
+    } else if (a == "--aggs" && parse_u64(next(), v)) {
+      cfg.aggs_per_partition = v;
+    } else if (a == "--nodes" && parse_u64(next(), v)) {
+      cfg.num_ipfs_nodes = v;
+    } else if (a == "--providers" && parse_u64(next(), v)) {
+      providers = v;
+    } else if (a == "--partition-kb" && parse_u64(next(), v)) {
+      cfg.partition_elements = v * 1024 / 8;
+    } else if (a == "--rounds" && parse_u64(next(), v)) {
+      rounds = static_cast<int>(v);
+    } else if (a == "--mbps") {
+      mbps = std::atof(next());
+    } else if (a == "--latency-ms") {
+      latency_ms = std::atof(next());
+    } else if (a == "--merge") {
+      cfg.options.merge_and_download = true;
+    } else if (a == "--verifiable") {
+      cfg.options.verifiable = true;
+    } else if (a == "--batch") {
+      cfg.options.batched_announce = true;
+    } else if (a == "--hashed-providers") {
+      cfg.options.provider_policy = core::ProviderPolicy::kHashed;
+    } else if (a == "--replicas" && parse_u64(next(), v)) {
+      cfg.options.update_replicas = v;
+    } else if (a == "--gradient-replicas" && parse_u64(next(), v)) {
+      cfg.options.gradient_replicas = v;
+    } else if (a == "--directory-replicas" && parse_u64(next(), v)) {
+      cfg.directory_replicas = v;
+    } else if (a == "--seed" && parse_u64(next(), v)) {
+      cfg.seed = v;
+    } else if (a == "--verbose") {
+      set_log_level(LogLevel::kInfo);
+    } else if (a == "--malicious-agg") {
+      std::uint32_t id;
+      std::string kind;
+      if (!parse_behavior_pair(next(), id, kind)) {
+        std::fprintf(stderr, "bad --malicious-agg value (want I:drop|alter|offline)\n");
+        return 2;
+      }
+      if (kind == "drop") cfg.behaviors[id] = core::AggBehavior::kDropsGradients;
+      else if (kind == "alter") cfg.behaviors[id] = core::AggBehavior::kAltersGradients;
+      else if (kind == "offline") cfg.behaviors[id] = core::AggBehavior::kOffline;
+      else {
+        std::fprintf(stderr, "unknown aggregator behaviour '%s'\n", kind.c_str());
+        return 2;
+      }
+    } else if (a == "--faulty-trainer") {
+      std::uint32_t id;
+      std::string kind;
+      if (!parse_behavior_pair(next(), id, kind)) {
+        std::fprintf(stderr, "bad --faulty-trainer value (want I:slow|offline)\n");
+        return 2;
+      }
+      if (kind == "slow") cfg.trainer_behaviors[id] = core::TrainerBehavior::kSlow;
+      else if (kind == "offline") cfg.trainer_behaviors[id] = core::TrainerBehavior::kOffline;
+      else {
+        std::fprintf(stderr, "unknown trainer behaviour '%s'\n", kind.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown or malformed argument: %s (try --help)\n", a.c_str());
+      return 2;
+    }
+  }
+
+  cfg.participant_mbps = mbps;
+  cfg.node_mbps = mbps;
+  cfg.link_latency = sim::from_millis(latency_ms);
+  cfg.providers_per_agg = providers == 0 ? cfg.num_ipfs_nodes : providers;
+
+  std::printf("deployment: %zu trainers, %zu partitions x %.0f KB, |A_i|=%zu, %zu nodes, "
+              "|P_ij|=%zu, %.0f Mbps%s%s%s\n\n",
+              cfg.num_trainers, cfg.num_partitions,
+              static_cast<double>(core::Payload::wire_size(cfg.partition_elements + 1)) / 1024,
+              cfg.aggs_per_partition, cfg.num_ipfs_nodes, cfg.providers_per_agg, mbps,
+              cfg.options.merge_and_download ? ", merge-and-download" : "",
+              cfg.options.verifiable ? ", verifiable" : "",
+              cfg.options.batched_announce ? ", batched announce" : "");
+
+  core::Deployment d(cfg);
+  std::printf("%-7s %14s %14s %12s %14s %12s %10s\n", "round", "upload_s", "aggregation_s",
+              "sync_s", "round_time_s", "agg_MB", "rejected");
+  for (int r = 0; r < rounds; ++r) {
+    const core::RoundMetrics m = d.run_round(static_cast<std::uint32_t>(r));
+    const double round_s =
+        m.round_done >= 0 ? sim::to_seconds(m.round_done - m.round_start) : -1.0;
+    std::printf("%-7d %14.2f %14.2f %12.2f %14.2f %12.2f %10d\n", r, m.mean_upload_delay_s(),
+                m.mean_aggregation_delay_s(), m.mean_sync_delay_s(), round_s,
+                m.mean_aggregator_bytes() / 1e6, m.rejected_updates);
+  }
+
+  const auto& s = d.directory().stats();
+  std::printf("\ndirectory: %llu entries in %llu messages, %llu polls, %.1f KB in / %.1f KB out",
+              static_cast<unsigned long long>(s.announcements),
+              static_cast<unsigned long long>(s.announce_messages),
+              static_cast<unsigned long long>(s.polls), s.bytes_in / 1e3, s.bytes_out / 1e3);
+  if (cfg.options.verifiable) {
+    std::printf(", %llu verifications (%llu failed)",
+                static_cast<unsigned long long>(s.verifications),
+                static_cast<unsigned long long>(s.verifications_failed));
+  }
+  std::printf("\n");
+  return 0;
+}

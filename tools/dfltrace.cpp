@@ -1,0 +1,95 @@
+// dfltrace — runs one FL round with network tracing enabled and prints a
+// per-host utilization report: bytes moved, busy time, and utilization of
+// each endpoint. Answers "where is the bottleneck?" for any deployment
+// shape without touching a debugger.
+//
+//   dfltrace --trainers 16 --providers 4 --merge
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+
+namespace {
+
+using namespace dfl;
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::DeploymentConfig cfg;
+  cfg.num_trainers = 16;
+  cfg.num_partitions = 1;
+  cfg.partition_elements = 64 * 1024;
+  cfg.num_ipfs_nodes = 4;
+  cfg.providers_per_agg = 4;
+  cfg.train_time = sim::from_seconds(1);
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) std::exit(2);
+      return argv[++i];
+    };
+    std::uint64_t v = 0;
+    if (a == "--trainers" && parse_u64(next(), v)) cfg.num_trainers = v;
+    else if (a == "--partitions" && parse_u64(next(), v)) cfg.num_partitions = v;
+    else if (a == "--aggs" && parse_u64(next(), v)) cfg.aggs_per_partition = v;
+    else if (a == "--nodes" && parse_u64(next(), v)) cfg.num_ipfs_nodes = v;
+    else if (a == "--providers" && parse_u64(next(), v)) cfg.providers_per_agg = v;
+    else if (a == "--partition-kb" && parse_u64(next(), v)) cfg.partition_elements = v * 128;
+    else if (a == "--merge") cfg.options.merge_and_download = true;
+    else if (a == "--verifiable") cfg.options.verifiable = true;
+    else {
+      std::fprintf(stderr, "unknown argument %s\n", a.c_str());
+      return 2;
+    }
+  }
+
+  core::Deployment d(cfg);
+  d.context().net.set_tracing(true);
+  const core::RoundMetrics m = d.run_round(0);
+  const auto& trace = d.context().net.trace();
+  const double round_s = sim::to_seconds(m.round_done - m.round_start);
+
+  struct HostUse {
+    std::uint64_t bytes_out = 0, bytes_in = 0;
+    sim::TimeNs busy_out = 0, busy_in = 0;
+    std::uint64_t transfers = 0;
+  };
+  std::map<std::uint32_t, HostUse> use;
+  for (const auto& r : trace) {
+    auto& from = use[r.from];
+    auto& to = use[r.to];
+    from.bytes_out += r.wire_bytes;
+    to.bytes_in += r.wire_bytes;
+    // Pipe occupancy equals the transfer window at both endpoints.
+    from.busy_out += r.delivered - r.start;
+    to.busy_in += r.delivered - r.start;
+    ++from.transfers;
+  }
+
+  std::printf("round: %.2f s, %zu transfers, %.2f MB on the wire\n\n", round_s, trace.size(),
+              static_cast<double>(d.context().net.total_bytes_transferred()) / 1e6);
+  std::printf("%-14s %10s %10s %10s %10s %8s\n", "host", "out_MB", "in_MB", "up_util%",
+              "down_util%", "sends");
+  for (const auto& [id, u] : use) {
+    std::printf("%-14s %10.2f %10.2f %10.1f %10.1f %8llu\n",
+                d.context().net.host(id).name().c_str(),
+                static_cast<double>(u.bytes_out) / 1e6, static_cast<double>(u.bytes_in) / 1e6,
+                100.0 * sim::to_seconds(u.busy_out) / round_s,
+                100.0 * sim::to_seconds(u.busy_in) / round_s,
+                static_cast<unsigned long long>(u.transfers));
+  }
+  std::printf("\nhighest down_util%% marks the bottleneck pipe of this deployment\n");
+  return 0;
+}
