@@ -98,8 +98,8 @@ sim::Task<void> Aggregator::run_round(std::uint32_t iter, sim::TimeNs round_star
                                                  directory::EntryType::kGlobalUpdate);
     if (!existing.empty()) co_return;
   }
-  const bool ok =
-      co_await upload_and_announce(iter, *global, directory::EntryType::kGlobalUpdate, nullptr);
+  const bool ok = co_await upload_and_announce(iter, *global,
+                                               directory::EntryType::kGlobalUpdate, rec, nullptr);
   if (ok) {
     rec.global_written_at = ctx_.sim.now();
   } else {
@@ -144,24 +144,21 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
       cids.push_back(cid);
       from.insert(t);
     }
-    ipfs::IpfsNode& node = ctx_.swarm.node(provider_id);
-    Bytes merged;
-    bool merge_failed = false;
-    try {
-      merged = co_await node.merge_get(host_, cids, ctx_.merger);
-    } catch (const std::exception& e) {
-      // Provider down or block missing: fall back to fetching each gradient
-      // through the routing layer (replicas on other nodes still serve it).
+    const auto merged = co_await ctx_.swarm.merge_get_with_retry(
+        provider_id, host_, cids, ctx_.merger, ctx_.spec.options.retry, deadline, &rec.rpc);
+    if (!merged) {
+      // Provider down or block missing after retries: degrade gracefully to
+      // fetching each gradient through the routing layer (replicas on other
+      // nodes still serve it).
       DFL_WARN("aggregator") << "a" << global_id_ << " merge at node " << provider_id
-                             << " failed (" << e.what() << "); fetching individually";
-      merge_failed = true;
-    }
-    if (merge_failed) {
+                             << " failed; fetching individually";
+      ++rec.merge_fallbacks;
       for (const auto& [t, cid] : list) {
         bool fetched = false;
         Bytes data;
         try {
-          data = co_await ctx_.swarm.fetch(host_, cid);
+          data = co_await ctx_.swarm.fetch_with_retry(host_, cid, ctx_.spec.options.retry,
+                                                      deadline, &rec.rpc);
           fetched = true;
         } catch (const std::exception&) {
           DFL_WARN("aggregator") << "a" << global_id_ << " gradient of t" << t
@@ -177,8 +174,8 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
       co_return;
     }
     ++rec.merge_requests;
-    rec.bytes_received += merged.size();
-    Payload payload = Payload::deserialize(merged);
+    rec.bytes_received += merged->size();
+    Payload payload = Payload::deserialize(*merged);
 
     bool accept = true;
     if (ctx_.spec.options.verifiable) {
@@ -207,9 +204,15 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
                                << provider_id;
         // Un-merged fallback: fetch each gradient directly.
         for (const auto& [t, cid] : list) {
-          const Bytes data = co_await ctx_.swarm.fetch(host_, cid);
-          rec.bytes_received += data.size();
-          absorb(Payload::deserialize(data), {t});
+          try {
+            const Bytes data = co_await ctx_.swarm.fetch_with_retry(
+                host_, cid, ctx_.spec.options.retry, deadline, &rec.rpc);
+            rec.bytes_received += data.size();
+            absorb(Payload::deserialize(data), {t});
+          } catch (const std::exception&) {
+            DFL_WARN("aggregator") << "a" << global_id_ << " gradient of t" << t
+                                   << " unavailable for the unmerged fallback";
+          }
         }
       }
     }
@@ -228,11 +231,14 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
         ready[ctx_.spec.provider_for(partition_, e.uploader_id)].emplace_back(e.uploader_id,
                                                                               e.cid);
       } else {
-        // Plain path: download each gradient as it appears.
+        // Plain path: download each gradient as it appears, bounded by the
+        // gather deadline (straggler tolerance: a dead provider costs
+        // retries, never the whole round).
         bool fetched = false;
         Bytes data;
         try {
-          data = co_await ctx_.swarm.fetch(host_, e.cid);
+          data = co_await ctx_.swarm.fetch_with_retry(host_, e.cid, ctx_.spec.options.retry,
+                                                      deadline, &rec.rpc);
           fetched = true;
         } catch (const std::exception& ex) {
           DFL_WARN("aggregator") << "a" << global_id_ << " failed to fetch gradient of t"
@@ -282,7 +288,7 @@ sim::Task<std::optional<Payload>> Aggregator::synchronize(std::uint32_t iter,
   // Upload own partial, register it, and announce the hash over pub/sub.
   ipfs::Cid own_cid;
   (void)co_await upload_and_announce(iter, own_partial, directory::EntryType::kPartialUpdate,
-                                     &own_cid);
+                                     rec, &own_cid);
   co_await ctx_.pubsub.publish(host_, sync_topic(iter), encode_sync_message(global_id_, own_cid));
 
   std::map<std::uint32_t, Payload> partials;  // by aggregator global id
@@ -298,7 +304,8 @@ sim::Task<std::optional<Payload>> Aggregator::synchronize(std::uint32_t iter,
     if (partials.contains(peer_id)) continue;
     Bytes data;
     try {
-      data = co_await ctx_.swarm.fetch(host_, cid);
+      data = co_await ctx_.swarm.fetch_with_retry(host_, cid, ctx_.spec.options.retry,
+                                                  t_sync_abs, &rec.rpc);
     } catch (const std::exception& e) {
       DFL_WARN("aggregator") << "a" << global_id_ << " failed to fetch partial of a" << peer_id
                              << ": " << e.what();
@@ -350,11 +357,13 @@ sim::Task<std::optional<Payload>> Aggregator::synchronize(std::uint32_t iter,
 
 sim::Task<bool> Aggregator::upload_and_announce(std::uint32_t iter, const Payload& payload,
                                                 directory::EntryType type,
-                                                ipfs::Cid* out_cid) {
+                                                AggregatorRecord& rec, ipfs::Cid* out_cid) {
   const PartitionAssignment& pa = ctx_.spec.assignment(partition_);
   // Spread update uploads across this aggregator's provider set so partial
   // exchange in the sync phase doesn't funnel through one storage node.
-  // Dead providers are skipped (failover to the next in the set).
+  // Dead providers are retried, then skipped (failover to the next in the
+  // set). Not bounded by t_sync: publishing a late global update still
+  // beats losing the round.
   const auto& provs = pa.providers.at(slot_);
   const Bytes data = payload.serialize();
   const std::size_t want_copies =
@@ -365,16 +374,16 @@ sim::Task<bool> Aggregator::upload_and_announce(std::uint32_t iter, const Payloa
   std::size_t copies = 0;
   for (std::size_t k = 0; k < provs.size() && copies < want_copies; ++k) {
     const std::uint32_t node_id = provs[(global_id_ + k) % provs.size()];
-    bool ok = false;
-    try {
-      const ipfs::Cid got = co_await ctx_.swarm.node(node_id).put(host_, data);
-      cid = got;
-      ok = true;
-    } catch (const std::exception& e) {
+    const auto got = co_await ctx_.swarm.put_with_retry(node_id, host_, data,
+                                                        ctx_.spec.options.retry, -1, &rec.rpc);
+    if (!got) {
       DFL_WARN("aggregator") << "a" << global_id_ << " update upload to node " << node_id
-                             << " failed: " << e.what();
+                             << " failed after retries";
+      if (copies == 0) ++rec.rpc.failovers;
+      continue;
     }
-    if (ok) ++copies;
+    cid = *got;
+    ++copies;
   }
   if (copies == 0) {
     DFL_WARN("aggregator") << "a" << global_id_ << " could not store its update anywhere";

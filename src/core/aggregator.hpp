@@ -61,10 +61,11 @@ class Aggregator {
                                                               AggregatorRecord& rec);
 
   /// Uploads `payload` to our first provider and announces it; stores the
-  /// resulting CID through `out_cid` when non-null.
+  /// resulting CID through `out_cid` when non-null. Retries/failovers are
+  /// recorded in `rec.rpc`.
   [[nodiscard]] sim::Task<bool> upload_and_announce(std::uint32_t iter, const Payload& payload,
                                                     directory::EntryType type,
-                                                    ipfs::Cid* out_cid);
+                                                    AggregatorRecord& rec, ipfs::Cid* out_cid);
 
   /// Applies this aggregator's malicious behaviour to a formed partial.
   void corrupt(Payload& partial, const std::vector<std::uint32_t>& trainers,

@@ -53,6 +53,13 @@ double RoundMetrics::mean_sync_delay_s() const {
   return n == 0 ? 0.0 : total / n;
 }
 
+ipfs::RetryStats RoundMetrics::rpc_totals() const {
+  ipfs::RetryStats total;
+  for (const TrainerRecord& t : trainers) total += t.rpc;
+  for (const AggregatorRecord& a : aggregators) total += a.rpc;
+  return total;
+}
+
 double RoundMetrics::mean_aggregator_bytes() const {
   if (aggregators.empty()) return 0.0;
   double total = 0;

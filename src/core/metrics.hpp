@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ipfs/retry.hpp"
 #include "sim/simulator.hpp"
 
 namespace dfl::core {
@@ -17,6 +18,7 @@ struct TrainerRecord {
   bool aborted = false;             // missed t_train
   bool offline = false;             // skipped the round entirely
   bool update_missing = false;      // some partition never appeared by deadline
+  ipfs::RetryStats rpc;             // storage-RPC attempts/retries/timeouts/failovers
 };
 
 struct AggregatorRecord {
@@ -27,8 +29,10 @@ struct AggregatorRecord {
   std::uint64_t bytes_received = 0;    // gradient + partial-update payload bytes
   std::uint64_t gradients_aggregated = 0;
   std::uint64_t merge_requests = 0;
+  std::uint64_t merge_fallbacks = 0;  // merge_get degraded to individual fetches
   bool covered_for_peer = false;  // downloaded an offline peer's gradients
   bool rejected_by_directory = false;
+  ipfs::RetryStats rpc;  // storage-RPC attempts/retries/timeouts/failovers
 };
 
 struct RoundMetrics {
@@ -59,6 +63,9 @@ struct RoundMetrics {
   [[nodiscard]] double mean_sync_delay_s() const;
   /// Mean bytes received per aggregator.
   [[nodiscard]] double mean_aggregator_bytes() const;
+  /// Storage-RPC resilience counters summed over every trainer and
+  /// aggregator this round (chaos observability).
+  [[nodiscard]] ipfs::RetryStats rpc_totals() const;
 };
 
 }  // namespace dfl::core

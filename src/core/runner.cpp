@@ -76,6 +76,14 @@ Deployment::Deployment(DeploymentConfig config, std::unique_ptr<GradientSource> 
     aggregators_.push_back(
         std::make_unique<Aggregator>(*ctx_, a, partition, slot, h, behavior));
   }
+
+  // Arm the chaos schedule last, once every host referenced by the plan
+  // exists (storage nodes are hosts 0..num_ipfs_nodes-1, then directory
+  // replicas, trainers, and aggregators, in that order).
+  if (!config_.fault_plan.empty()) {
+    fault_ = std::make_unique<sim::FaultInjector>(*net_, config_.fault_plan);
+    fault_->arm();
+  }
 }
 
 Deployment::~Deployment() = default;

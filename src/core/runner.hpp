@@ -20,6 +20,7 @@
 #include "core/context.hpp"
 #include "core/trainer.hpp"
 #include "ml/dataset.hpp"
+#include "sim/fault.hpp"
 
 namespace dfl::core {
 
@@ -54,6 +55,11 @@ struct DeploymentConfig {
 
   std::uint64_t seed = 1;
   std::string task_domain = "dfl/task/v1";
+  /// Chaos schedule applied to the deployment (leave empty for a fault-free
+  /// run). Host ids are raw network ids; storage nodes are created first,
+  /// so storage node i is host id i (0 <= i < num_ipfs_nodes). Identical
+  /// (config, plan) pairs reproduce bit-identical runs.
+  sim::FaultPlan fault_plan;
   /// Directory replicas (>1 uses ReplicatedDirectory: no single point of
   /// failure, at the cost of write amplification).
   std::size_t directory_replicas = 1;
@@ -92,6 +98,8 @@ class Deployment {
     return directory_hosts_;
   }
   [[nodiscard]] GradientSource& source() { return *source_; }
+  /// Null when no fault plan was configured.
+  [[nodiscard]] const sim::FaultInjector* fault_injector() const { return fault_.get(); }
   [[nodiscard]] Trainer& trainer(std::size_t i) { return *trainers_.at(i); }
   [[nodiscard]] Aggregator& aggregator(std::size_t i) { return *aggregators_.at(i); }
   [[nodiscard]] std::size_t num_aggregators() const { return aggregators_.size(); }
@@ -108,6 +116,7 @@ class Deployment {
   DeploymentConfig config_;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<sim::FaultInjector> fault_;
   std::unique_ptr<ipfs::Swarm> swarm_;
   std::unique_ptr<ipfs::PubSub> pubsub_;
   std::unique_ptr<GradientSource> source_;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "crypto/pedersen.hpp"
+#include "ipfs/retry.hpp"
 #include "sim/simulator.hpp"
 
 namespace dfl::core {
@@ -67,6 +68,12 @@ struct ProtocolOptions {
   bool batched_announce = false;
   /// Provider selection within P_ij.
   ProviderPolicy provider_policy = ProviderPolicy::kRoundRobin;
+  /// Storage-RPC resilience: per-attempt deadlines, bounded retries,
+  /// exponential backoff with deterministic jitter. All trainer and
+  /// aggregator put/get/merge_get/fetch traffic goes through this policy;
+  /// downloads are additionally bounded by the round's t_sync deadline
+  /// (straggler tolerance: proceed with whatever arrived).
+  ipfs::RetryPolicy retry;
 };
 
 /// Role assignment for one partition.

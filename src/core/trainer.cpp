@@ -33,7 +33,7 @@ sim::Task<void> Trainer::run_round(std::uint32_t iter, sim::TimeNs round_start,
     co_return;
   }
 
-  co_await upload_gradients(iter, grad, metrics, rec);
+  co_await upload_gradients(iter, grad, t_sync_abs, metrics, rec);
   co_await download_updates(iter, t_sync_abs, rec);
   if (!rec.update_missing) {
     rec.model_ready_at = ctx_.sim.now();
@@ -42,7 +42,8 @@ sim::Task<void> Trainer::run_round(std::uint32_t iter, sim::TimeNs round_start,
 
 sim::Task<void> Trainer::upload_gradients(std::uint32_t iter,
                                           const std::vector<std::int64_t>& grad,
-                                          RoundMetrics& metrics, TrainerRecord& rec) {
+                                          sim::TimeNs deadline, RoundMetrics& metrics,
+                                          TrainerRecord& rec) {
   const bool batched = ctx_.spec.options.batched_announce;
   std::vector<directory::BatchItem> batch;
 
@@ -69,16 +70,18 @@ sim::Task<void> Trainer::upload_gradients(std::uint32_t iter,
     bool stored = false;
     const sim::TimeNs upload_start = ctx_.sim.now();
     for (const std::uint32_t target : targets) {
-      bool ok = false;
-      try {
-        const ipfs::Cid got = co_await ctx_.swarm.node(target).put(host_, data);
-        cid = got;
-        ok = true;
-      } catch (const std::exception& e) {
+      const auto got = co_await ctx_.swarm.put_with_retry(target, host_, data,
+                                                          ctx_.spec.options.retry, deadline,
+                                                          &rec.rpc);
+      if (!got) {
         DFL_WARN("trainer") << "t" << id_ << " upload to node " << target
-                            << " failed: " << e.what();
+                            << " failed after retries";
+        // A failed primary target means the next replica becomes primary.
+        if (!stored) ++rec.rpc.failovers;
+        continue;
       }
-      if (ok && !stored) {
+      cid = *got;
+      if (!stored) {
         stored = true;
         rec.upload_delay_total_s += sim::to_seconds(ctx_.sim.now() - upload_start);
         ++rec.uploads;
@@ -118,27 +121,44 @@ sim::Task<void> Trainer::download_updates(std::uint32_t iter, sim::TimeNs deadli
                                           TrainerRecord& rec) {
   last_update_.assign(ctx_.spec.num_params(), 0.0);
   const sim::TimeNs grace = ctx_.spec.schedule.t_sync / 2;
+  const sim::TimeNs cutoff = deadline + grace;
   for (std::size_t p = 0; p < ctx_.spec.num_partitions(); ++p) {
     bool got = false;
     // Algorithm 1 lines 16-22: poll the directory until the CID appears.
+    // Every download is bounded by the round cutoff: a straggling or dead
+    // provider costs retries, never a hung round.
     while (!got) {
       const auto entries = co_await ctx_.dir.poll(host_, static_cast<std::uint32_t>(p), iter,
                                                   directory::EntryType::kGlobalUpdate);
       if (!entries.empty()) {
         // Only the first (verified, in verifiable mode) global update counts.
-        const Bytes data = co_await ctx_.swarm.fetch(host_, entries.front().cid);
-        const Payload payload = Payload::deserialize(data);
-        const auto avg = payload.average(ctx_.spec.options.frac_bits);
-        const auto [first, last] = ctx_.spec.partition_range(p);
-        if (avg.size() != last - first) {
-          throw std::runtime_error("trainer: global update has wrong partition size");
+        Bytes data;
+        bool fetched = false;
+        try {
+          data = co_await ctx_.swarm.fetch_with_retry(host_, entries.front().cid,
+                                                      ctx_.spec.options.retry, cutoff,
+                                                      &rec.rpc);
+          fetched = true;
+        } catch (const std::exception& e) {
+          DFL_WARN("trainer") << "t" << id_ << " failed to fetch global update of partition "
+                              << p << ": " << e.what();
         }
-        std::copy(avg.begin(), avg.end(),
-                  last_update_.begin() + static_cast<std::ptrdiff_t>(first));
-        got = true;
-        break;
+        if (fetched) {
+          const Payload payload = Payload::deserialize(data);
+          const auto avg = payload.average(ctx_.spec.options.frac_bits);
+          const auto [first, last] = ctx_.spec.partition_range(p);
+          if (avg.size() != last - first) {
+            throw std::runtime_error("trainer: global update has wrong partition size");
+          }
+          std::copy(avg.begin(), avg.end(),
+                    last_update_.begin() + static_cast<std::ptrdiff_t>(first));
+          got = true;
+          break;
+        }
+        // Fetch failed for now; keep polling — a replica may come back or a
+        // covering aggregator may re-publish before the cutoff.
       }
-      if (ctx_.sim.now() > deadline + grace) break;
+      if (ctx_.sim.now() > cutoff) break;
       co_await ctx_.sim.sleep(ctx_.spec.schedule.poll_interval);
     }
     if (!got) {

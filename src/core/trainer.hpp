@@ -36,7 +36,8 @@ class Trainer {
  private:
   [[nodiscard]] sim::Task<void> upload_gradients(std::uint32_t iter,
                                                  const std::vector<std::int64_t>& grad,
-                                                 RoundMetrics& metrics, TrainerRecord& rec);
+                                                 sim::TimeNs deadline, RoundMetrics& metrics,
+                                                 TrainerRecord& rec);
   [[nodiscard]] sim::Task<void> download_updates(std::uint32_t iter, sim::TimeNs deadline,
                                                  TrainerRecord& rec);
 

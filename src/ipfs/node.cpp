@@ -14,9 +14,14 @@ sim::Task<Cid> IpfsNode::put(sim::Host& caller, Bytes data) {
 
 sim::Task<Bytes> IpfsNode::get(sim::Host& caller, Cid cid) {
   co_await net_.transfer(caller, host_, 0);  // request
-  const auto block = store_.get(cid);
+  auto block = store_.get(cid);
   if (!block) throw NotFoundError(cid);
   co_await net_.transfer(host_, caller, block->size());
+  // Chaos hook: a faulty node (or link) may corrupt the served bytes.
+  if (auto* hook = net_.fault_hook();
+      hook != nullptr && !block->empty() && hook->should_corrupt_payload(host_)) {
+    (*block)[0] ^= 0xff;
+  }
   // Retrieval verification: content addressing means the caller re-hashes.
   if (!cid.matches(*block)) {
     throw std::runtime_error("ipfs get: block failed content verification");

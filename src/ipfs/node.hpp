@@ -14,10 +14,19 @@
 
 namespace dfl::ipfs {
 
-/// Thrown by get/merge_get when a block is not on the node.
+/// Thrown by get/merge_get when a block is not on the node, and by
+/// Swarm::fetch when no provider record exists at all: the block never
+/// existed (or was garbage-collected). Fatal — retrying cannot help.
 struct NotFoundError : std::runtime_error {
   explicit NotFoundError(const Cid& cid)
       : std::runtime_error("block not found: " + cid.to_hex()) {}
+};
+
+/// Thrown by Swarm::fetch/replicate when the block *is* recorded with
+/// providers but none of them is live (or every live one failed) right
+/// now. Retryable — a provider may restart; distinguish from NotFoundError.
+struct UnavailableError : std::runtime_error {
+  using std::runtime_error::runtime_error;
 };
 
 /// Application-supplied block semantics for merge-and-download: the storage

@@ -1,0 +1,61 @@
+// Resilience policy for storage RPCs: per-attempt deadlines, bounded
+// retries, and exponential backoff with deterministic jitter. Used by the
+// Swarm's *_with_retry wrappers (swarm.hpp) and tunable per deployment
+// through core::ProtocolOptions::retry.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace dfl::ipfs {
+
+struct RetryPolicy {
+  /// Total tries per operation (first attempt included). <= 1 disables
+  /// retrying.
+  int max_attempts = 4;
+  /// Deadline of a single attempt; 0 = unbounded (wait for the RPC).
+  sim::TimeNs attempt_timeout = sim::from_seconds(60);
+  /// Backoff before retry k (1-based) is base * multiplier^(k-1), capped at
+  /// max_backoff, then jittered by ±jitter_frac deterministically.
+  sim::TimeNs base_backoff = sim::from_millis(250);
+  double backoff_multiplier = 2.0;
+  sim::TimeNs max_backoff = sim::from_seconds(8);
+  double jitter_frac = 0.25;
+
+  /// The pause before retry number `retry` (1-based). Deterministic given
+  /// the rng state.
+  [[nodiscard]] sim::TimeNs backoff(int retry, Rng& rng) const {
+    double d = static_cast<double>(base_backoff);
+    for (int i = 1; i < retry; ++i) d *= backoff_multiplier;
+    d = std::min(d, static_cast<double>(max_backoff));
+    if (jitter_frac > 0) {
+      d *= 1.0 + rng.uniform_real(-jitter_frac, jitter_frac);
+    }
+    return std::max<sim::TimeNs>(0, static_cast<sim::TimeNs>(d));
+  }
+};
+
+/// Counters produced by the retry wrappers; aggregated per protocol actor
+/// into core::RoundMetrics.
+struct RetryStats {
+  std::uint64_t attempts = 0;   // RPC attempts issued
+  std::uint64_t retries = 0;    // attempts beyond the first, per operation
+  std::uint64_t timeouts = 0;   // attempts abandoned at their deadline
+  std::uint64_t failovers = 0;  // switched provider/replica after a failure
+  std::uint64_t giveups = 0;    // operations abandoned entirely
+
+  RetryStats& operator+=(const RetryStats& o) {
+    attempts += o.attempts;
+    retries += o.retries;
+    timeouts += o.timeouts;
+    failovers += o.failovers;
+    giveups += o.giveups;
+    return *this;
+  }
+  [[nodiscard]] bool operator==(const RetryStats& o) const = default;
+};
+
+}  // namespace dfl::ipfs

@@ -2,13 +2,42 @@
 
 #include <algorithm>
 
+#include "common/log.hpp"
+#include "sim/timeout.hpp"
+
 namespace dfl::ipfs {
+
+namespace {
+
+/// Deadline budget of one attempt: the policy's per-attempt timeout capped
+/// by the time remaining to the absolute deadline (0 = unbounded). A call
+/// issued at or past the deadline still gets one attempt (the deadline
+/// bounds retries, not the mandatory first try), budgeted by the policy's
+/// per-attempt timeout alone.
+sim::TimeNs attempt_budget(const RetryPolicy& policy, sim::TimeNs deadline, sim::TimeNs now) {
+  sim::TimeNs budget = policy.attempt_timeout;
+  if (deadline >= 0) {
+    const sim::TimeNs remaining = deadline - now;
+    if (remaining > 0) budget = budget > 0 ? std::min(budget, remaining) : remaining;
+  }
+  return budget;
+}
+
+}  // namespace
 
 IpfsNode& Swarm::add_node(const std::string& name, const sim::HostConfig& host_config) {
   sim::Host& host = net_.add_host(name, host_config);
   nodes_.push_back(std::make_unique<IpfsNode>(net_, host, config_.node_config, this,
                                               static_cast<std::uint32_t>(nodes_.size())));
   return *nodes_.back();
+}
+
+std::size_t Swarm::live_node_count() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node->host().is_up()) ++n;
+  }
+  return n;
 }
 
 void Swarm::add_provider(const Cid& cid, std::uint32_t node_id) {
@@ -24,42 +53,191 @@ std::vector<std::uint32_t> Swarm::providers(const Cid& cid) const {
   return it->second;
 }
 
-sim::Task<Bytes> Swarm::fetch(sim::Host& caller, Cid cid) {
+sim::Task<Bytes> Swarm::fetch(sim::Host& caller, Cid cid, RetryStats* stats) {
   co_await net_.simulator().sleep(config_.lookup_latency);
+  const auto it = provider_records_.find(cid);
+  if (it == provider_records_.end() || it->second.empty()) {
+    // No record at all: the block never existed (fatal, do not retry).
+    throw NotFoundError(cid);
+  }
   // Spread load across live replicas (IPFS swarming fetches from whichever
   // peer serves the block; we pick deterministically by caller identity).
   std::vector<IpfsNode*> live;
-  for (const std::uint32_t id : providers(cid)) {
+  for (const std::uint32_t id : it->second) {
     IpfsNode& provider = *nodes_.at(id);
     if (provider.host().is_up()) live.push_back(&provider);
   }
-  if (live.empty()) throw NotFoundError(cid);
+  if (live.empty()) {
+    throw UnavailableError("fetch " + cid.to_hex() + ": no live provider");
+  }
   const std::size_t start = caller.id() % live.size();
   for (std::size_t k = 0; k < live.size(); ++k) {
     IpfsNode& provider = *live[(start + k) % live.size()];
-    if (!provider.host().is_up()) continue;
-    co_return co_await provider.get(caller, cid);
+    if (!provider.host().is_up()) continue;  // crashed since the lookup
+    try {
+      co_return co_await provider.get(caller, cid);
+    } catch (const std::exception& e) {
+      // Stale record, mid-transfer crash, corruption: fail over in place.
+      DFL_DEBUG("swarm") << "fetch from " << provider.host().name() << " failed (" << e.what()
+                         << "); trying next replica";
+    }
+    if (stats != nullptr && k + 1 < live.size()) ++stats->failovers;
   }
-  throw NotFoundError(cid);
+  throw UnavailableError("fetch " + cid.to_hex() + ": every live provider failed");
 }
 
-sim::Task<void> Swarm::replicate(Cid cid, std::size_t copies) {
+sim::Task<Bytes> Swarm::fetch_with_retry(sim::Host& caller, Cid cid, const RetryPolicy& policy,
+                                         sim::TimeNs deadline, RetryStats* stats) {
+  RetryStats local;
+  RetryStats& s = stats != nullptr ? *stats : local;
+  sim::Simulator& sim = net_.simulator();
+  std::exception_ptr last;
+  const int max_attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++s.retries;
+      sim::TimeNs pause = policy.backoff(attempt, retry_rng_);
+      if (deadline >= 0) pause = std::min(pause, deadline - sim.now());
+      if (pause > 0) co_await sim.sleep(pause);
+    }
+    if (attempt > 0 && deadline >= 0 && sim.now() >= deadline) break;
+    ++s.attempts;
+    const sim::TimeNs budget = attempt_budget(policy, deadline, sim.now());
+    try {
+      if (budget > 0) {
+        auto result = co_await sim::with_timeout(sim, fetch(caller, cid, stats), budget);
+        if (result) co_return std::move(*result);
+        ++s.timeouts;
+      } else {
+        co_return co_await fetch(caller, cid, stats);
+      }
+    } catch (const NotFoundError&) {
+      ++s.giveups;
+      throw;  // the block never existed; retrying cannot help
+    } catch (const std::exception&) {
+      last = std::current_exception();
+    }
+  }
+  ++s.giveups;
+  if (last) std::rethrow_exception(last);
+  throw UnavailableError("fetch " + cid.to_hex() + ": deadline/attempts exhausted");
+}
+
+sim::Task<std::optional<Cid>> Swarm::put_with_retry(std::uint32_t node_id, sim::Host& caller,
+                                                    Bytes data, const RetryPolicy& policy,
+                                                    sim::TimeNs deadline, RetryStats* stats) {
+  RetryStats local;
+  RetryStats& s = stats != nullptr ? *stats : local;
+  sim::Simulator& sim = net_.simulator();
+  IpfsNode& target = *nodes_.at(node_id);
+  const int max_attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++s.retries;
+      sim::TimeNs pause = policy.backoff(attempt, retry_rng_);
+      if (deadline >= 0) pause = std::min(pause, deadline - sim.now());
+      if (pause > 0) co_await sim.sleep(pause);
+    }
+    if (attempt > 0 && deadline >= 0 && sim.now() >= deadline) break;
+    ++s.attempts;
+    const sim::TimeNs budget = attempt_budget(policy, deadline, sim.now());
+    try {
+      if (budget > 0) {
+        // put() copies `data` into the attempt, so an attempt abandoned at
+        // its deadline can complete (or not) without touching our frame —
+        // exactly an RPC whose ack was lost; content addressing dedupes.
+        auto result = co_await sim::with_timeout(sim, target.put(caller, data), budget);
+        if (result) co_return *result;
+        ++s.timeouts;
+      } else {
+        co_return co_await target.put(caller, data);
+      }
+    } catch (const std::exception& e) {
+      DFL_DEBUG("swarm") << "put to " << target.host().name() << " failed: " << e.what();
+    }
+  }
+  ++s.giveups;
+  co_return std::nullopt;
+}
+
+sim::Task<std::optional<Bytes>> Swarm::merge_get_with_retry(std::uint32_t node_id,
+                                                            sim::Host& caller,
+                                                            std::vector<Cid> cids,
+                                                            const BlockMerger& merger,
+                                                            const RetryPolicy& policy,
+                                                            sim::TimeNs deadline,
+                                                            RetryStats* stats) {
+  RetryStats local;
+  RetryStats& s = stats != nullptr ? *stats : local;
+  sim::Simulator& sim = net_.simulator();
+  IpfsNode& provider = *nodes_.at(node_id);
+  const int max_attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++s.retries;
+      sim::TimeNs pause = policy.backoff(attempt, retry_rng_);
+      if (deadline >= 0) pause = std::min(pause, deadline - sim.now());
+      if (pause > 0) co_await sim.sleep(pause);
+    }
+    if (attempt > 0 && deadline >= 0 && sim.now() >= deadline) break;
+    ++s.attempts;
+    const sim::TimeNs budget = attempt_budget(policy, deadline, sim.now());
+    try {
+      if (budget > 0) {
+        auto result =
+            co_await sim::with_timeout(sim, provider.merge_get(caller, cids, merger), budget);
+        if (result) co_return std::move(*result);
+        ++s.timeouts;
+      } else {
+        co_return co_await provider.merge_get(caller, cids, merger);
+      }
+    } catch (const NotFoundError&) {
+      // The provider is missing one of the blocks: merging there can never
+      // succeed — degrade gracefully to individual fetches.
+      break;
+    } catch (const std::exception& e) {
+      DFL_DEBUG("swarm") << "merge_get at " << provider.host().name() << " failed: " << e.what();
+    }
+  }
+  ++s.giveups;
+  co_return std::nullopt;
+}
+
+sim::Task<std::size_t> Swarm::replicate(Cid cid, std::size_t copies) {
   const auto holders = providers(cid);
   if (holders.empty()) throw NotFoundError(cid);
-  IpfsNode& source = *nodes_.at(holders.front());
-  const auto block = source.store().get(cid);
-  if (!block) throw NotFoundError(cid);
+  IpfsNode* source = nullptr;
+  for (const std::uint32_t id : holders) {
+    IpfsNode& n = *nodes_.at(id);
+    if (n.host().is_up() && n.store().has(cid)) {
+      source = &n;
+      break;
+    }
+  }
+  if (source == nullptr) {
+    throw UnavailableError("replicate " + cid.to_hex() + ": no live holder");
+  }
+  const auto block = source->store().get(cid);
 
+  // Best effort: cover as many distinct live nodes as available; when the
+  // swarm has fewer live nodes than requested copies, that is the achieved
+  // count (never throw, never loop waiting for capacity).
   std::size_t have = holders.size();
   for (std::size_t i = 0; i < nodes_.size() && have < copies; ++i) {
     const auto id = static_cast<std::uint32_t>(i);
     if (std::find(holders.begin(), holders.end(), id) != holders.end()) continue;
     IpfsNode& target = *nodes_[i];
     if (!target.host().is_up()) continue;
-    co_await net_.transfer(source.host(), target.host(), block->size());
+    try {
+      co_await net_.transfer(source->host(), target.host(), block->size());
+    } catch (const std::exception& e) {
+      DFL_DEBUG("swarm") << "replicate to " << target.host().name() << " failed: " << e.what();
+      continue;
+    }
     target.put_local(*block);
     ++have;
   }
+  co_return have;
 }
 
 }  // namespace dfl::ipfs

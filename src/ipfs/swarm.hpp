@@ -1,13 +1,21 @@
 // The storage network as a whole: node registry, provider records
 // (a DHT-lite: who has which CID) and replication. Provider lookups pay a
 // configurable routing latency, standing in for IPFS's DHT walks.
+//
+// Two RPC surfaces:
+//  - raw:      fetch / IpfsNode::put/get/merge_get — one attempt, throws.
+//  - reliable: *_with_retry — deadline-bounded attempts, exponential
+//    backoff with deterministic jitter, provider failover; the chaos-layer
+//    entry points the protocol actors use (see retry.hpp).
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "ipfs/node.hpp"
+#include "ipfs/retry.hpp"
 #include "sim/net.hpp"
 
 namespace dfl::ipfs {
@@ -16,11 +24,14 @@ struct SwarmConfig {
   /// Routing latency of one provider lookup (DHT walk).
   sim::TimeNs lookup_latency = sim::from_millis(20);
   IpfsNodeConfig node_config{};
+  /// Seed of the retry-jitter RNG stream (deterministic backoff).
+  std::uint64_t retry_seed = 0x5eed5eedULL;
 };
 
 class Swarm {
  public:
-  explicit Swarm(sim::Network& net, SwarmConfig config = {}) : net_(net), config_(config) {}
+  explicit Swarm(sim::Network& net, SwarmConfig config = {})
+      : net_(net), config_(config), retry_rng_(config.retry_seed) {}
   Swarm(const Swarm&) = delete;
   Swarm& operator=(const Swarm&) = delete;
 
@@ -29,6 +40,7 @@ class Swarm {
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] IpfsNode& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] std::size_t live_node_count() const;
 
   /// Records that `node_id` holds `cid` (called by IpfsNode on put).
   void add_provider(const Cid& cid, std::uint32_t node_id);
@@ -37,14 +49,45 @@ class Swarm {
   [[nodiscard]] std::vector<std::uint32_t> providers(const Cid& cid) const;
 
   /// Resolves the CID through the routing layer (pays lookup_latency) and
-  /// downloads from the first live provider. Throws NotFoundError if no
-  /// live provider holds the block.
-  [[nodiscard]] sim::Task<Bytes> fetch(sim::Host& caller, Cid cid);
+  /// downloads from the live providers, failing over to the next replica
+  /// when one errors. Throws NotFoundError when no provider record exists
+  /// (the block never existed) and UnavailableError when providers are
+  /// recorded but none could serve the block right now (retryable).
+  /// `stats`, when given, counts the provider failovers taken.
+  [[nodiscard]] sim::Task<Bytes> fetch(sim::Host& caller, Cid cid, RetryStats* stats = nullptr);
 
-  /// Replicates `cid` onto `copies` distinct nodes (including existing
-  /// holders), moving bytes node-to-node. Supports the paper's
+  /// `fetch` under the retry policy: deadline-bounded attempts with backoff
+  /// until `deadline` (absolute simulated time; < 0 = unbounded) or the
+  /// policy's attempt budget runs out. NotFoundError aborts immediately;
+  /// exhaustion rethrows the last retryable error.
+  [[nodiscard]] sim::Task<Bytes> fetch_with_retry(sim::Host& caller, Cid cid,
+                                                  const RetryPolicy& policy,
+                                                  sim::TimeNs deadline = -1,
+                                                  RetryStats* stats = nullptr);
+
+  /// Uploads `data` to node `node_id` under the retry policy. Returns the
+  /// CID, or nullopt when every attempt failed or `deadline` passed (the
+  /// caller typically fails over to the next replica target).
+  [[nodiscard]] sim::Task<std::optional<Cid>> put_with_retry(std::uint32_t node_id,
+                                                             sim::Host& caller, Bytes data,
+                                                             const RetryPolicy& policy,
+                                                             sim::TimeNs deadline = -1,
+                                                             RetryStats* stats = nullptr);
+
+  /// merge_get on node `node_id` under the retry policy. Returns nullopt —
+  /// *graceful degradation*, not an exception — when the provider cannot
+  /// serve the merge (down, missing block, repeated timeouts); the caller
+  /// then falls back to fetching the blocks individually.
+  [[nodiscard]] sim::Task<std::optional<Bytes>> merge_get_with_retry(
+      std::uint32_t node_id, sim::Host& caller, std::vector<Cid> cids, const BlockMerger& merger,
+      const RetryPolicy& policy, sim::TimeNs deadline = -1, RetryStats* stats = nullptr);
+
+  /// Replicates `cid` onto up to `copies` distinct nodes (including
+  /// existing holders), moving bytes node-to-node. When fewer live nodes
+  /// exist than requested, replicates to all of them; returns the number
+  /// of copies that exist after the call. Supports the paper's
   /// data-availability future-work direction (Section VI).
-  [[nodiscard]] sim::Task<void> replicate(Cid cid, std::size_t copies);
+  [[nodiscard]] sim::Task<std::size_t> replicate(Cid cid, std::size_t copies);
 
   [[nodiscard]] sim::Network& network() { return net_; }
   [[nodiscard]] const SwarmConfig& config() const { return config_; }
@@ -52,6 +95,7 @@ class Swarm {
  private:
   sim::Network& net_;
   SwarmConfig config_;
+  Rng retry_rng_;
   std::vector<std::unique_ptr<IpfsNode>> nodes_;
   std::unordered_map<Cid, std::vector<std::uint32_t>, CidHash> provider_records_;
 };

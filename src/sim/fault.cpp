@@ -1,0 +1,84 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace dfl::sim {
+
+FaultPlan FaultPlan::periodic_churn(const std::vector<std::uint32_t>& host_ids, TimeNs horizon,
+                                    TimeNs period, TimeNs downtime, double churn_prob,
+                                    std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (period <= 0 || churn_prob <= 0) return plan;
+  // A private stream so drawing the schedule never perturbs the injector's
+  // own per-transfer RNG.
+  Rng rng(seed ^ 0xc3a5c85c97cb3127ULL);
+  for (TimeNs slot = 0; slot < horizon; slot += period) {
+    for (const std::uint32_t id : host_ids) {
+      if (rng.uniform01() >= churn_prob) continue;
+      // Crash somewhere inside the slot, not always at its edge.
+      const TimeNs down_at = slot + static_cast<TimeNs>(rng.uniform01() * 0.5 * static_cast<double>(period));
+      plan.crashes.push_back(CrashWindow{id, down_at, down_at + downtime});
+    }
+  }
+  return plan;
+}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  Simulator& sim = net_.simulator();
+  for (const CrashWindow& w : plan_.crashes) {
+    if (w.host_id >= net_.host_count()) {
+      DFL_WARN("fault") << "crash window names unknown host " << w.host_id << "; skipped";
+      continue;
+    }
+    sim.schedule_at(w.down_at, [this, id = w.host_id] {
+      Host& h = net_.host(id);
+      if (!h.is_up()) return;  // overlapping windows: already down
+      ++stats_.crashes;
+      DFL_DEBUG("fault") << "crash host " << h.name() << " at " << to_seconds(net_.simulator().now()) << "s";
+      h.set_up(false);
+    });
+    if (w.up_at > w.down_at) {
+      sim.schedule_at(w.up_at, [this, id = w.host_id] {
+        Host& h = net_.host(id);
+        if (h.is_up()) return;
+        ++stats_.restarts;
+        DFL_DEBUG("fault") << "restart host " << h.name() << " at "
+                           << to_seconds(net_.simulator().now()) << "s";
+        h.set_up(true);
+      });
+    }
+  }
+  net_.set_fault_hook(this);
+}
+
+bool FaultInjector::should_drop_transfer(const Host&, const Host&) {
+  if (plan_.transfer_failure_prob <= 0) return false;
+  const bool drop = rng_.uniform01() < plan_.transfer_failure_prob;
+  if (drop) ++stats_.transfers_dropped;
+  return drop;
+}
+
+double FaultInjector::bandwidth_factor(const Host& from, const Host& to) {
+  double factor = 1.0;
+  const TimeNs now = net_.simulator().now();
+  for (const DegradeWindow& w : plan_.degradations) {
+    if (now < w.start || now >= w.end) continue;
+    if (w.host_id != from.id() && w.host_id != to.id()) continue;
+    factor *= std::clamp(w.factor, 1e-6, 1.0);
+  }
+  return factor;
+}
+
+bool FaultInjector::should_corrupt_payload(const Host&) {
+  if (plan_.corruption_prob <= 0) return false;
+  const bool corrupt = rng_.uniform01() < plan_.corruption_prob;
+  if (corrupt) ++stats_.payloads_corrupted;
+  return corrupt;
+}
+
+}  // namespace dfl::sim

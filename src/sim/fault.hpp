@@ -1,0 +1,101 @@
+// Deterministic chaos engineering for the simulator: a FaultPlan describes
+// *what* goes wrong (scheduled crash/restart windows, probabilistic
+// per-transfer faults, link degradation, payload corruption) and a
+// FaultInjector makes it happen on a Network. All randomness flows through
+// dfl::Rng seeded from the plan, so a given (plan, seed) pair reproduces
+// the exact same fault sequence bit-for-bit — chaos runs are regressions,
+// not flakes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/net.hpp"
+#include "sim/simulator.hpp"
+
+namespace dfl::sim {
+
+/// One scheduled outage: the host goes down at `down_at` (failing every
+/// in-flight transfer touching it) and restarts at `up_at`. `up_at <=
+/// down_at` means the host never comes back.
+struct CrashWindow {
+  std::uint32_t host_id = 0;
+  TimeNs down_at = 0;
+  TimeNs up_at = 0;
+};
+
+/// Bandwidth degradation: while active, every transfer touching `host_id`
+/// runs at `factor` (in (0, 1]) of the normal path capacity.
+struct DegradeWindow {
+  std::uint32_t host_id = 0;
+  TimeNs start = 0;
+  TimeNs end = 0;
+  double factor = 1.0;
+};
+
+struct FaultPlan {
+  std::vector<CrashWindow> crashes;
+  std::vector<DegradeWindow> degradations;
+  /// Probability that any single transfer fails at issue time.
+  double transfer_failure_prob = 0.0;
+  /// Probability that a block served by a storage node is corrupted in
+  /// flight (detected by the caller's CID re-verification).
+  double corruption_prob = 0.0;
+  /// Seed of the injector's private RNG stream.
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool empty() const {
+    return crashes.empty() && degradations.empty() && transfer_failure_prob <= 0 &&
+           corruption_prob <= 0;
+  }
+
+  /// Deterministic churn generator: in every `period`-long slot up to
+  /// `horizon`, each host in `host_ids` independently crashes with
+  /// probability `churn_prob` and stays down for `downtime`. The schedule
+  /// depends only on the arguments (an Rng is forked from `seed`).
+  static FaultPlan periodic_churn(const std::vector<std::uint32_t>& host_ids, TimeNs horizon,
+                                  TimeNs period, TimeNs downtime, double churn_prob,
+                                  std::uint64_t seed);
+};
+
+/// What the injector actually did (observability; compare against the plan).
+struct FaultStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t transfers_dropped = 0;
+  std::uint64_t payloads_corrupted = 0;
+};
+
+/// Executes a FaultPlan against a Network. Construct, then arm() once; the
+/// injector must outlive the network (or the hook must be cleared first).
+class FaultInjector : public FaultHook {
+ public:
+  FaultInjector(Network& net, FaultPlan plan)
+      : net_(net), plan_(std::move(plan)), rng_(plan_.seed) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every crash/restart window on the simulator (relative times
+  /// in the plan are interpreted as absolute simulated times) and installs
+  /// this injector as the network's fault hook. Windows naming unknown
+  /// hosts are ignored.
+  void arm();
+
+  // FaultHook:
+  bool should_drop_transfer(const Host& from, const Host& to) override;
+  double bandwidth_factor(const Host& from, const Host& to) override;
+  bool should_corrupt_payload(const Host& server) override;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+ private:
+  Network& net_;
+  FaultPlan plan_;
+  Rng rng_;
+  FaultStats stats_;
+  bool armed_ = false;
+};
+
+}  // namespace dfl::sim

@@ -5,17 +5,52 @@
 
 namespace dfl::sim {
 
+void Host::set_up(bool up) {
+  const bool was_up = up_;
+  up_ = up;
+  if (was_up && !up && net_ != nullptr) net_->on_host_down(*this);
+}
+
 Host& Network::add_host(const std::string& name, const HostConfig& config) {
   hosts_.push_back(std::make_unique<Host>(name, static_cast<std::uint32_t>(hosts_.size()), config));
+  hosts_.back()->net_ = this;
   return *hosts_.back();
+}
+
+void Network::InflightAwaiter::await_suspend(std::coroutine_handle<> h) {
+  rec->handle = h;
+  net.sim_.schedule_at(arrival, [rec = rec] {
+    if (rec->woken) return;  // already failed by a crash
+    rec->woken = true;
+    rec->handle.resume();
+  });
+}
+
+void Network::on_host_down(const Host& h) {
+  for (auto& rec : inflight_) {
+    if (rec->woken || (rec->from != h.id() && rec->to != h.id())) continue;
+    rec->woken = true;
+    rec->failed = true;
+    ++mid_transfer_failures_;
+    // Resume through the event queue (never inline) so the crash handler
+    // returns before the failed transfer unwinds.
+    sim_.schedule_at(sim_.now(), [rec] { rec->handle.resume(); });
+  }
 }
 
 Task<void> Network::transfer(Host& from, Host& to, std::uint64_t bytes) {
   if (!from.is_up() || !to.is_up()) {
     throw NetworkError("transfer " + from.name() + " -> " + to.name() + ": endpoint down");
   }
+  if (fault_hook_ != nullptr && fault_hook_->should_drop_transfer(from, to)) {
+    ++transfers_dropped_;
+    throw NetworkError("transfer " + from.name() + " -> " + to.name() + ": injected fault");
+  }
   const std::uint64_t wire_bytes = bytes + overhead_bytes_;
-  const double bps = std::min(from.config().up_bps, to.config().down_bps);
+  double bps = std::min(from.config().up_bps, to.config().down_bps);
+  if (fault_hook_ != nullptr) {
+    bps *= std::clamp(fault_hook_->bandwidth_factor(from, to), 1e-6, 1.0);
+  }
   const auto duration = static_cast<TimeNs>(static_cast<double>(wire_bytes) * 8.0 * 1e9 / bps);
 
   // Reserve both pipes FIFO: start when the later of the two frees up.
@@ -32,8 +67,16 @@ Task<void> Network::transfer(Host& from, Host& to, std::uint64_t bytes) {
   if (tracing_) {
     trace_.push_back(TransferRecord{sim_.now(), start, arrival, from.id(), to.id(), wire_bytes});
   }
-  co_await sim_.sleep_until(arrival);
-  // Loss of the receiving endpoint mid-flight: model as failure at delivery.
+  auto rec = std::make_shared<Inflight>(Inflight{from.id(), to.id(), {}, false, false});
+  inflight_.push_back(rec);
+  co_await InflightAwaiter{*this, rec, arrival};
+  std::erase(inflight_, rec);
+  if (rec->failed) {
+    throw NetworkError("transfer " + from.name() + " -> " + to.name() +
+                       ": endpoint crashed mid-transfer");
+  }
+  // Endpoint taken down without crash notification (e.g. a host of another
+  // network sharing the simulator): model as failure at delivery.
   if (!to.is_up()) {
     throw NetworkError("transfer " + from.name() + " -> " + to.name() + ": receiver went down");
   }

@@ -7,8 +7,15 @@
 // free (FIFO in issue order), and delivers one propagation latency later.
 // Congestion at a busy storage node therefore serializes exactly as the
 // paper's analysis in Section III-E assumes (τ = S·(T/(dP) + P/b)).
+//
+// Fault surface: a host that goes down (Host::set_up(false)) fails every
+// in-flight transfer touching it *at the instant of the crash*, not at
+// delivery time; an optional FaultHook lets an injector drop transfers
+// probabilistically, degrade path bandwidth, and corrupt served payloads
+// (see sim/fault.hpp).
 #pragma once
 
+#include <coroutine>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
@@ -26,6 +33,8 @@ struct HostConfig {
   TimeNs latency = from_millis(1);  // one-way propagation delay
 };
 
+class Network;
+
 /// A network endpoint. Created and owned by Network; identified by id.
 class Host {
  public:
@@ -40,15 +49,17 @@ class Host {
   [[nodiscard]] std::uint64_t bytes_received() const { return bytes_received_; }
   void reset_counters() { bytes_sent_ = bytes_received_ = 0; }
 
-  /// Simulated failure switch: while down, transfers throw NetworkError.
+  /// Simulated failure switch: while down, new transfers throw NetworkError
+  /// and every in-flight transfer touching the host fails at crash time.
   [[nodiscard]] bool is_up() const { return up_; }
-  void set_up(bool up) { up_ = up; }
+  void set_up(bool up);
 
  private:
   friend class Network;
   std::string name_;
   std::uint32_t id_;
   HostConfig config_;
+  Network* net_ = nullptr;  // set by Network::add_host
   TimeNs uplink_free_at_ = 0;
   TimeNs downlink_free_at_ = 0;
   std::uint64_t bytes_sent_ = 0;
@@ -56,9 +67,24 @@ class Host {
   bool up_ = true;
 };
 
-/// Thrown by transfer() when either endpoint is marked down.
+/// Thrown by transfer() when either endpoint is down (at issue time or
+/// mid-transfer) or when a fault hook drops the transfer.
 struct NetworkError : std::runtime_error {
   using std::runtime_error::runtime_error;
+};
+
+/// Chaos hook consulted by the network on every transfer. Implemented by
+/// sim::FaultInjector; the default (no hook) is a fault-free network.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  /// True to fail this transfer at issue time (random packet-level fault).
+  virtual bool should_drop_transfer(const Host& from, const Host& to) = 0;
+  /// Multiplier in (0, 1] applied to the path bandwidth right now.
+  virtual double bandwidth_factor(const Host& from, const Host& to) = 0;
+  /// True to corrupt a payload served by `server` (storage-layer fault;
+  /// consulted by IpfsNode::get, detected by CID re-verification).
+  virtual bool should_corrupt_payload(const Host& server) = 0;
 };
 
 /// One completed transfer, for offline analysis of a simulation run.
@@ -87,11 +113,23 @@ class Network {
 
   /// Moves `bytes` from `from` to `to`; completes (resumes the caller) at
   /// the simulated time the last byte arrives. Throws NetworkError if
-  /// either endpoint is down at issue time.
+  /// either endpoint is down at issue time, if the fault hook drops the
+  /// transfer, or if an endpoint crashes while the transfer is in flight
+  /// (the failure fires at crash time, not at the would-be delivery).
   [[nodiscard]] Task<void> transfer(Host& from, Host& to, std::uint64_t bytes);
 
   /// Total payload bytes moved since construction.
   [[nodiscard]] std::uint64_t total_bytes_transferred() const { return total_bytes_; }
+
+  /// Installs (or clears, with nullptr) the chaos hook. The hook must
+  /// outlive the network or be cleared before destruction.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  [[nodiscard]] FaultHook* fault_hook() const { return fault_hook_; }
+
+  /// In-flight transfers failed by endpoint crashes (observability).
+  [[nodiscard]] std::uint64_t mid_transfer_failures() const { return mid_transfer_failures_; }
+  /// Transfers dropped at issue time by the fault hook.
+  [[nodiscard]] std::uint64_t transfers_dropped() const { return transfers_dropped_; }
 
   /// Overhead applied to every transfer (protocol framing); default 256
   /// bytes, negligible for MB payloads but keeps tiny control messages from
@@ -107,10 +145,43 @@ class Network {
   void clear_trace() { trace_.clear(); }
 
  private:
+  friend class Host;
+
+  /// Bookkeeping for one suspended transfer so a crash can fail it early.
+  struct Inflight {
+    std::uint32_t from;
+    std::uint32_t to;
+    std::coroutine_handle<> handle;
+    bool woken = false;   // a resume (delivery or failure) is already scheduled
+    bool failed = false;  // an endpoint crashed while in flight
+  };
+
+  struct InflightAwaiter {
+    // Reference, not a copy: awaiter temporaries must stay trivially
+    // destructible (a non-trivial member is destroyed once per co_await
+    // *plus* once at frame teardown under GCC 12 — double release). The
+    // referenced shared_ptr is the transfer frame's local, which outlives
+    // the suspension.
+    Network& net;
+    const std::shared_ptr<Inflight>& rec;
+    TimeNs arrival;
+    bool await_ready() const noexcept { return arrival <= net.sim_.now(); }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+
+  /// Called by Host::set_up(false): fails every in-flight transfer that
+  /// touches the host, resuming it (with failure) at the current time.
+  void on_host_down(const Host& h);
+
   Simulator& sim_;
   std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::shared_ptr<Inflight>> inflight_;
+  FaultHook* fault_hook_ = nullptr;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t overhead_bytes_ = 256;
+  std::uint64_t mid_transfer_failures_ = 0;
+  std::uint64_t transfers_dropped_ = 0;
   bool tracing_ = false;
   std::vector<TransferRecord> trace_;
 };

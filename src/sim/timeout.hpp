@@ -1,0 +1,118 @@
+// Deadline primitives over simulated time: race a Task against the clock.
+//
+//   auto r = co_await with_timeout(sim, node.get(host, cid), from_seconds(5));
+//   if (!r) { /* timed out; the RPC keeps running detached */ }
+//
+// Timing out does NOT cancel the inner task — coroutines cannot be torn
+// down mid-await safely — it detaches it: the task runs to completion on
+// the simulator (as a real abandoned RPC would) and its result or
+// exception is discarded. Exceptions thrown by the task *before* the
+// deadline propagate to the awaiter.
+#pragma once
+
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace dfl::sim {
+
+namespace detail {
+
+template <typename T>
+struct RaceState {
+  std::optional<T> value;
+  std::exception_ptr error;
+  bool done = false;            // the inner task finished (value or error)
+  bool waiter_resumed = false;  // the outer coroutine is (being) resumed
+  std::coroutine_handle<> waiter;
+};
+
+template <>
+struct RaceState<void> {
+  std::exception_ptr error;
+  bool done = false;
+  bool waiter_resumed = false;
+  std::coroutine_handle<> waiter;
+};
+
+template <typename T>
+void signal_done(Simulator& sim, const std::shared_ptr<RaceState<T>>& st) {
+  st->done = true;
+  if (st->waiter && !st->waiter_resumed) {
+    st->waiter_resumed = true;
+    sim.schedule_at(sim.now(), [h = st->waiter] { h.resume(); });
+  }
+}
+
+template <typename T>
+Task<void> drive(Task<T> task, std::shared_ptr<RaceState<T>> st, Simulator& sim) {
+  try {
+    if constexpr (std::is_void_v<T>) {
+      co_await std::move(task);
+    } else {
+      st->value = co_await std::move(task);
+    }
+  } catch (...) {
+    st->error = std::current_exception();
+  }
+  signal_done(sim, st);
+}
+
+template <typename T>
+struct DeadlineAwaiter {
+  // Reference, not a copy: awaiter temporaries must stay trivially
+  // destructible (see InflightAwaiter). `st` is the with_timeout frame's
+  // local, which outlives the suspension.
+  Simulator& sim;
+  const std::shared_ptr<RaceState<T>>& st;
+  TimeNs deadline;
+  bool await_ready() const noexcept { return st->done || deadline <= sim.now(); }
+  void await_suspend(std::coroutine_handle<> h) {
+    st->waiter = h;
+    sim.schedule_at(deadline, [s = st] {
+      if (s->waiter_resumed) return;  // the task finished first
+      s->waiter_resumed = true;
+      s->waiter.resume();
+    });
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace detail
+
+/// Awaits `task` for at most `timeout` of simulated time. Returns the
+/// task's value, or nullopt if the deadline fired first (the task is then
+/// detached — see file comment). Task exceptions before the deadline
+/// rethrow here.
+template <typename T>
+[[nodiscard]] Task<std::optional<T>> with_timeout(Simulator& sim, Task<T> task, TimeNs timeout) {
+  auto st = std::make_shared<detail::RaceState<T>>();
+  sim.spawn(detail::drive<T>(std::move(task), st, sim));
+  const TimeNs deadline = sim.now() + (timeout < 0 ? 0 : timeout);
+  if (!st->done) {
+    co_await detail::DeadlineAwaiter<T>{sim, st, deadline};
+  }
+  if (st->done) {
+    if (st->error) std::rethrow_exception(st->error);
+    co_return std::move(st->value);
+  }
+  co_return std::nullopt;
+}
+
+/// void overload: true if the task completed before the deadline.
+[[nodiscard]] inline Task<bool> with_timeout(Simulator& sim, Task<void> task, TimeNs timeout) {
+  auto st = std::make_shared<detail::RaceState<void>>();
+  sim.spawn(detail::drive<void>(std::move(task), st, sim));
+  const TimeNs deadline = sim.now() + (timeout < 0 ? 0 : timeout);
+  if (!st->done) {
+    co_await detail::DeadlineAwaiter<void>{sim, st, deadline};
+  }
+  if (st->done && st->error) std::rethrow_exception(st->error);
+  co_return st->done;
+}
+
+}  // namespace dfl::sim

@@ -1,0 +1,238 @@
+// Seeded chaos sweeps: whole FL rounds under scheduled storage-node churn,
+// transfer faults and payload corruption. The protocol must (a) survive —
+// rounds complete without throwing, (b) stay correct — the aggregate the
+// directory publishes matches the fault-free run, and (c) stay
+// deterministic — identical (config, plan, seed) reproduces bit-identical
+// metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/runner.hpp"
+#include "crypto/encoding.hpp"
+
+namespace dfl::core {
+namespace {
+
+DeploymentConfig chaos_config() {
+  DeploymentConfig cfg;
+  cfg.num_trainers = 4;
+  cfg.num_partitions = 2;
+  cfg.partition_elements = 32;
+  cfg.aggs_per_partition = 1;
+  cfg.num_ipfs_nodes = 4;
+  // Two providers per aggregator: partition 0 stores on nodes {0,1},
+  // partition 1 on {2,3} (round-robin), so crashing {1,2} takes out one
+  // replica of each partition while a live copy survives.
+  cfg.providers_per_agg = 2;
+  cfg.options.gradient_replicas = 2;
+  cfg.options.update_replicas = 2;
+  // Fast retries so chaos rounds converge quickly in simulated time.
+  cfg.options.retry.max_attempts = 6;
+  cfg.options.retry.attempt_timeout = sim::from_seconds(10);
+  cfg.options.retry.base_backoff = sim::from_millis(100);
+  cfg.options.retry.max_backoff = sim::from_seconds(2);
+  cfg.schedule = Schedule{sim::from_seconds(60), sim::from_seconds(120), sim::from_millis(50)};
+  cfg.train_time = sim::from_millis(200);
+  return cfg;
+}
+
+/// Crash the given storage nodes (host ids = node ids) at `at`, restarting
+/// `restart_after` later (0 = never). Rounds of chaos_config complete in
+/// roughly a second of simulated time, so `at` must be a few hundred ms to
+/// land mid-round.
+sim::FaultPlan crash_nodes(const std::vector<std::uint32_t>& ids, sim::TimeNs at,
+                           sim::TimeNs restart_after) {
+  sim::FaultPlan plan;
+  for (const std::uint32_t id : ids) {
+    plan.crashes.push_back(
+        sim::CrashWindow{id, at, restart_after > 0 ? at + restart_after : at});
+  }
+  return plan;
+}
+
+std::vector<double> run_rounds(const DeploymentConfig& cfg, int rounds,
+                               std::vector<RoundMetrics>* out = nullptr) {
+  Deployment d(cfg);
+  std::vector<double> last;
+  for (int r = 0; r < rounds; ++r) {
+    RoundMetrics m = d.run_round(static_cast<std::uint32_t>(r));
+    if (!d.last_global_update().empty()) last = d.last_global_update();
+    if (out != nullptr) out->push_back(std::move(m));
+  }
+  return last;
+}
+
+void expect_trainer_records_identical(const RoundMetrics& a, const RoundMetrics& b) {
+  ASSERT_EQ(a.trainers.size(), b.trainers.size());
+  for (std::size_t i = 0; i < a.trainers.size(); ++i) {
+    const TrainerRecord& x = a.trainers[i];
+    const TrainerRecord& y = b.trainers[i];
+    EXPECT_EQ(x.model_ready_at, y.model_ready_at) << "trainer " << i;
+    EXPECT_EQ(x.uploads, y.uploads) << "trainer " << i;
+    EXPECT_EQ(x.update_missing, y.update_missing) << "trainer " << i;
+    EXPECT_EQ(x.rpc, y.rpc) << "trainer " << i;
+  }
+}
+
+void expect_aggregator_records_identical(const RoundMetrics& a, const RoundMetrics& b) {
+  ASSERT_EQ(a.aggregators.size(), b.aggregators.size());
+  for (std::size_t i = 0; i < a.aggregators.size(); ++i) {
+    const AggregatorRecord& x = a.aggregators[i];
+    const AggregatorRecord& y = b.aggregators[i];
+    EXPECT_EQ(x.gather_done_at, y.gather_done_at) << "aggregator " << i;
+    EXPECT_EQ(x.sync_done_at, y.sync_done_at) << "aggregator " << i;
+    EXPECT_EQ(x.global_written_at, y.global_written_at) << "aggregator " << i;
+    EXPECT_EQ(x.bytes_received, y.bytes_received) << "aggregator " << i;
+    EXPECT_EQ(x.merge_fallbacks, y.merge_fallbacks) << "aggregator " << i;
+    EXPECT_EQ(x.rpc, y.rpc) << "aggregator " << i;
+  }
+}
+
+TEST(Chaos, RoundSurvivesHalfTheStorageNodesCrashingMidRound) {
+  // 2 of 4 storage nodes crash 300 ms into the round (mid-aggregation) and
+  // never come back. Replicas on the surviving nodes must carry the round.
+  auto cfg = chaos_config();
+  cfg.fault_plan = crash_nodes({1, 2}, sim::from_millis(300), 0);
+
+  Deployment d(cfg);
+  const RoundMetrics m = d.run_round(0);
+  ASSERT_FALSE(d.last_global_update().empty());
+  for (const auto& t : m.trainers) {
+    EXPECT_FALSE(t.aborted);
+    EXPECT_FALSE(t.update_missing);
+  }
+  const auto* inj = d.fault_injector();
+  ASSERT_NE(inj, nullptr);
+  EXPECT_EQ(inj->stats().crashes, 2u);
+  EXPECT_EQ(inj->stats().restarts, 0u);
+}
+
+TEST(Chaos, ChurnedRunMatchesFaultFreeModel) {
+  // The protocol is exact (encoded-integer sums): a run under churn that
+  // completes must publish the same global update as the fault-free run —
+  // not merely close, identical to the last bit of the decoded average.
+  auto cfg = chaos_config();
+  const auto clean = run_rounds(cfg, 2);
+  ASSERT_FALSE(clean.empty());
+
+  auto chaotic_cfg = chaos_config();
+  chaotic_cfg.fault_plan = crash_nodes({1, 2}, sim::from_millis(300), sim::from_seconds(3));
+  const auto chaotic = run_rounds(chaotic_cfg, 2);
+  ASSERT_EQ(chaotic.size(), clean.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(chaotic[i], clean[i]) << "element " << i;
+  }
+}
+
+TEST(Chaos, RetryCountersAreConsistentWithThePlan) {
+  // Faults leave fingerprints: a run with crashes must show retries or
+  // failovers; a fault-free run must show none.
+  auto clean_cfg = chaos_config();
+  std::vector<RoundMetrics> clean_rounds;
+  (void)run_rounds(clean_cfg, 1, &clean_rounds);
+  const ipfs::RetryStats clean = clean_rounds.at(0).rpc_totals();
+  EXPECT_EQ(clean.retries, 0u);
+  EXPECT_EQ(clean.timeouts, 0u);
+  EXPECT_GT(clean.attempts, 0u);  // every RPC counts one attempt
+
+  auto chaos_cfg = chaos_config();
+  chaos_cfg.fault_plan = crash_nodes({1, 2}, sim::from_millis(300), sim::from_seconds(3));
+  std::vector<RoundMetrics> chaos_rounds;
+  (void)run_rounds(chaos_cfg, 1, &chaos_rounds);
+  const ipfs::RetryStats stressed = chaos_rounds.at(0).rpc_totals();
+  EXPECT_GT(stressed.attempts, clean.attempts);
+  EXPECT_GT(stressed.retries + stressed.failovers, 0u);
+}
+
+TEST(Chaos, IdenticalPlanAndSeedGiveBitIdenticalMetrics) {
+  auto cfg = chaos_config();
+  cfg.fault_plan = sim::FaultPlan::periodic_churn(
+      {0, 1, 2, 3}, sim::from_seconds(240), sim::from_seconds(40), sim::from_seconds(15),
+      0.5, 99);
+  cfg.fault_plan.transfer_failure_prob = 0.05;
+
+  std::vector<RoundMetrics> a_rounds, b_rounds;
+  const auto a = run_rounds(cfg, 2, &a_rounds);
+  const auto b = run_rounds(cfg, 2, &b_rounds);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  ASSERT_EQ(a_rounds.size(), b_rounds.size());
+  for (std::size_t r = 0; r < a_rounds.size(); ++r) {
+    EXPECT_EQ(a_rounds[r].round_done, b_rounds[r].round_done) << "round " << r;
+    EXPECT_EQ(a_rounds[r].rpc_totals(), b_rounds[r].rpc_totals()) << "round " << r;
+    expect_trainer_records_identical(a_rounds[r], b_rounds[r]);
+    expect_aggregator_records_identical(a_rounds[r], b_rounds[r]);
+  }
+}
+
+TEST(Chaos, VerifiableModeSurvivesChurnAndCorruption) {
+  // Verifiable aggregation under churn + corrupted blocks: corruption is
+  // caught by CID re-verification (a retry), never by the commitment layer
+  // (which would reject the round), and the published update stays exact.
+  auto cfg = chaos_config();
+  cfg.options.verifiable = true;
+  const auto clean = run_rounds(cfg, 1);
+  ASSERT_FALSE(clean.empty());
+
+  auto chaotic_cfg = chaos_config();
+  chaotic_cfg.options.verifiable = true;
+  chaotic_cfg.fault_plan = crash_nodes({1}, sim::from_millis(300), sim::from_seconds(3));
+  chaotic_cfg.fault_plan.corruption_prob = 0.1;
+  std::vector<RoundMetrics> rounds;
+  const auto chaotic = run_rounds(chaotic_cfg, 1, &rounds);
+  ASSERT_EQ(chaotic.size(), clean.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(chaotic[i], clean[i]) << "element " << i;
+  }
+  EXPECT_EQ(rounds.at(0).rejected_updates, 0);
+}
+
+TEST(Chaos, MergeModeDegradesGracefullyUnderChurn) {
+  // merge-and-download with the merge provider crashing: aggregators fall
+  // back to individual fetches and the round still completes exactly.
+  auto cfg = chaos_config();
+  cfg.options.merge_and_download = true;
+  cfg.providers_per_agg = 2;
+  const auto clean = run_rounds(cfg, 1);
+  ASSERT_FALSE(clean.empty());
+
+  auto chaotic_cfg = chaos_config();
+  chaotic_cfg.options.merge_and_download = true;
+  chaotic_cfg.providers_per_agg = 2;
+  chaotic_cfg.fault_plan = crash_nodes({1, 2}, sim::from_millis(300), 0);
+  const auto chaotic = run_rounds(chaotic_cfg, 1);
+  ASSERT_EQ(chaotic.size(), clean.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(chaotic[i], clean[i]) << "element " << i;
+  }
+}
+
+TEST(Chaos, PeriodicChurnPlanIsDeterministic) {
+  const auto a = sim::FaultPlan::periodic_churn({0, 1, 2}, sim::from_seconds(300),
+                                                sim::from_seconds(60), sim::from_seconds(20),
+                                                0.4, 7);
+  const auto b = sim::FaultPlan::periodic_churn({0, 1, 2}, sim::from_seconds(300),
+                                                sim::from_seconds(60), sim::from_seconds(20),
+                                                0.4, 7);
+  ASSERT_EQ(a.crashes.size(), b.crashes.size());
+  for (std::size_t i = 0; i < a.crashes.size(); ++i) {
+    EXPECT_EQ(a.crashes[i].host_id, b.crashes[i].host_id);
+    EXPECT_EQ(a.crashes[i].down_at, b.crashes[i].down_at);
+    EXPECT_EQ(a.crashes[i].up_at, b.crashes[i].up_at);
+  }
+  // A different seed reshuffles the schedule.
+  const auto c = sim::FaultPlan::periodic_churn({0, 1, 2}, sim::from_seconds(300),
+                                                sim::from_seconds(60), sim::from_seconds(20),
+                                                0.4, 8);
+  bool differs = c.crashes.size() != a.crashes.size();
+  for (std::size_t i = 0; !differs && i < a.crashes.size(); ++i) {
+    differs = a.crashes[i].host_id != c.crashes[i].host_id ||
+              a.crashes[i].down_at != c.crashes[i].down_at;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace dfl::core

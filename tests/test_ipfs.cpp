@@ -153,10 +153,131 @@ TEST_F(IpfsFixture, ReplicateSpreadsBlocks) {
   (void)swarm.add_node("n1", sim::HostConfig{10e6, 10e6, 0});
   (void)swarm.add_node("n2", sim::HostConfig{10e6, 10e6, 0});
   const Cid cid = n0.put_local(dfl::bytes_of("replica-me"));
-  run_void(swarm.replicate(cid, 3));
+  EXPECT_EQ(run(swarm.replicate(cid, 3)), 3u);
   EXPECT_EQ(swarm.providers(cid).size(), 3u);
   EXPECT_TRUE(swarm.node(1).store().has(cid));
   EXPECT_TRUE(swarm.node(2).store().has(cid));
+}
+
+TEST_F(IpfsFixture, ReplicateShortOfNodesAchievesWhatItCan) {
+  // 3 nodes, one of them down: asking for 5 copies must not throw or loop —
+  // it replicates to every live node and reports the achieved count.
+  IpfsNode& n0 = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  (void)swarm.add_node("n1", sim::HostConfig{10e6, 10e6, 0});
+  IpfsNode& n2 = swarm.add_node("n2", sim::HostConfig{10e6, 10e6, 0});
+  n2.host().set_up(false);
+  const Cid cid = n0.put_local(dfl::bytes_of("scarce"));
+  EXPECT_EQ(run(swarm.replicate(cid, 5)), 2u);
+  EXPECT_TRUE(swarm.node(1).store().has(cid));
+  EXPECT_FALSE(swarm.node(2).store().has(cid));
+}
+
+TEST_F(IpfsFixture, ReplicateWithNoLiveHolderIsUnavailable) {
+  IpfsNode& n0 = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  (void)swarm.add_node("n1", sim::HostConfig{10e6, 10e6, 0});
+  const Cid cid = n0.put_local(dfl::bytes_of("orphaned"));
+  n0.host().set_up(false);
+  bool threw = false;
+  sim.spawn([](Swarm& s, Cid c, bool& out) -> sim::Task<void> {
+    try {
+      (void)co_await s.replicate(c, 2);
+    } catch (const UnavailableError&) {
+      out = true;
+    }
+  }(swarm, cid, threw));
+  sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(IpfsFixture, FetchDistinguishesNotFoundFromUnavailable) {
+  IpfsNode& n0 = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  const Cid never_existed = Cid::of(dfl::bytes_of("never-put"));
+  const Cid parked = n0.put_local(dfl::bytes_of("parked"));
+  n0.host().set_up(false);
+
+  bool not_found = false;
+  bool unavailable = false;
+  sim.spawn([](Swarm& s, sim::Host& c, Cid missing, Cid down, bool& nf,
+               bool& ua) -> sim::Task<void> {
+    try {
+      (void)co_await s.fetch(c, missing);
+    } catch (const NotFoundError&) {
+      nf = true;
+    }
+    try {
+      (void)co_await s.fetch(c, down);
+    } catch (const UnavailableError&) {
+      ua = true;
+    }
+  }(swarm, client, never_existed, parked, not_found, unavailable));
+  sim.run();
+  EXPECT_TRUE(not_found);    // no provider record: block never existed
+  EXPECT_TRUE(unavailable);  // record exists, every provider is down
+}
+
+TEST_F(IpfsFixture, FetchWithRetrySurvivesProviderRestart) {
+  IpfsNode& n0 = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  const Bytes data = dfl::bytes_of("come-back");
+  const Cid cid = n0.put_local(data);
+  n0.host().set_up(false);
+  // The node restarts 2 s in; a policy with enough attempts rides it out.
+  sim.schedule_at(sim::from_seconds(2), [&] { n0.host().set_up(true); });
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.base_backoff = sim::from_millis(500);
+  policy.jitter_frac = 0.0;
+  RetryStats stats;
+  EXPECT_EQ(run(swarm.fetch_with_retry(client, cid, policy, -1, &stats)), data);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(stats.giveups, 0u);
+}
+
+TEST_F(IpfsFixture, FetchWithRetryRespectsDeadline) {
+  IpfsNode& n0 = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  const Cid cid = n0.put_local(dfl::bytes_of("too-late"));
+  n0.host().set_up(false);  // never restarts
+  RetryPolicy policy;
+  policy.max_attempts = 1000;
+  policy.base_backoff = sim::from_millis(100);
+  policy.backoff_multiplier = 1.0;
+  const sim::TimeNs deadline = sim.now() + sim::from_seconds(3);
+  RetryStats stats;
+  bool threw = false;
+  (void)run(swarm.fetch_with_retry(client, cid, policy, deadline, &stats), &threw);
+  EXPECT_TRUE(threw);
+  // May overshoot by at most one in-flight attempt (the lookup latency).
+  EXPECT_LE(sim.now(), deadline + sim::from_millis(100));
+  EXPECT_EQ(stats.giveups, 1u);
+}
+
+TEST_F(IpfsFixture, PutWithRetryTimesOutOnSlowNode) {
+  // A severely degraded path: the attempt deadline fires before the
+  // transfer lands, the attempt is abandoned, and the op reports timeouts.
+  IpfsNode& node = swarm.add_node("n0", sim::HostConfig{8e3, 8e3, 0});  // 8 kbps
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.attempt_timeout = sim::from_seconds(1);
+  policy.base_backoff = sim::from_millis(10);
+  policy.jitter_frac = 0.0;
+  RetryStats stats;
+  const auto got = run(swarm.put_with_retry(node.node_id(), client, Bytes(4096, 1), policy,
+                                            -1, &stats));
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(stats.timeouts, 2u);
+  EXPECT_EQ(stats.giveups, 1u);
+}
+
+TEST_F(IpfsFixture, MergeGetWithRetryDegradesOnMissingBlock) {
+  IpfsNode& node = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  const Cid present = node.put_local(core::Payload{{1, 1}}.serialize());
+  const Cid absent = Cid::of(dfl::bytes_of("absent"));
+  core::PayloadMerger merger;
+  RetryPolicy policy;
+  RetryStats stats;
+  const auto merged = run(swarm.merge_get_with_retry(node.node_id(), client, {present, absent},
+                                                     merger, policy, -1, &stats));
+  EXPECT_FALSE(merged.has_value());  // graceful degradation, not an exception
+  EXPECT_EQ(stats.attempts, 1u);     // NotFoundError is not retried
 }
 
 TEST_F(IpfsFixture, MergeGetSumsPayloads) {
@@ -255,11 +376,13 @@ TEST_F(IpfsFixture, PubSubBestEffortWithDeadSubscriber) {
 TEST_F(IpfsFixture, PubSubUnsubscribe) {
   PubSub ps(net);
   sim::Host& s = net.add_host("s", sim::HostConfig{10e6, 10e6, 0});
-  auto& mb = ps.subscribe("t", s);
-  ps.unsubscribe("t", s);
+  ps.subscribe("t", s);
+  ps.unsubscribe("t", s);  // destroys the mailbox; don't hold a reference
   EXPECT_EQ(ps.subscriber_count("t"), 0u);
   run_void(ps.publish(client, "t", dfl::bytes_of("m")));
-  EXPECT_TRUE(mb.empty());
+  // A fresh subscription is empty: the message published while
+  // unsubscribed was never delivered anywhere.
+  EXPECT_TRUE(ps.subscribe("t", s).empty());
 }
 
 TEST_F(IpfsFixture, SubscribeTwiceReturnsSameMailbox) {

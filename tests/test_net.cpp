@@ -4,7 +4,9 @@
 
 #include <cmath>
 
+#include "sim/fault.hpp"
 #include "sim/task.hpp"
+#include "sim/timeout.hpp"
 
 namespace dfl::sim {
 namespace {
@@ -158,21 +160,190 @@ TEST_F(NetFixture, DownedEndpointThrows) {
   EXPECT_TRUE(threw);
 }
 
-TEST_F(NetFixture, ReceiverDyingMidFlightThrowsAtDelivery) {
+TEST_F(NetFixture, ReceiverDyingMidFlightFailsAtCrashTime) {
+  net.set_per_message_overhead(0);
+  Host& a = make_host("a", 10, 10);
+  Host& b = make_host("b", 10, 10);
+  bool threw = false;
+  TimeNs failed_at = -1;
+  sim.spawn([](Network& n, Host& f, Host& t, Simulator& s, bool& out,
+               TimeNs& at) -> Task<void> {
+    try {
+      co_await n.transfer(f, t, 1'250'000);  // takes 1 s
+    } catch (const NetworkError&) {
+      out = true;
+      at = s.now();
+    }
+  }(net, a, b, sim, threw, failed_at));
+  sim.schedule_at(from_seconds(0.5), [&] { b.set_up(false); });
+  sim.run();
+  EXPECT_TRUE(threw);
+  // The failure fires when the endpoint crashes, not at would-be delivery.
+  EXPECT_NEAR(to_seconds(failed_at), 0.5, 1e-9);
+  EXPECT_EQ(net.mid_transfer_failures(), 1u);
+}
+
+TEST_F(NetFixture, SenderDyingMidFlightAlsoFails) {
   net.set_per_message_overhead(0);
   Host& a = make_host("a", 10, 10);
   Host& b = make_host("b", 10, 10);
   bool threw = false;
   sim.spawn([](Network& n, Host& f, Host& t, bool& out) -> Task<void> {
     try {
-      co_await n.transfer(f, t, 1'250'000);  // takes 1 s
+      co_await n.transfer(f, t, 1'250'000);
     } catch (const NetworkError&) {
       out = true;
     }
   }(net, a, b, threw));
-  sim.schedule_at(from_seconds(0.5), [&] { b.set_up(false); });
+  sim.schedule_at(from_seconds(0.25), [&] { a.set_up(false); });
   sim.run();
   EXPECT_TRUE(threw);
+}
+
+TEST_F(NetFixture, CrashOnlyFailsTransfersTouchingTheHost) {
+  net.set_per_message_overhead(0);
+  Host& a1 = make_host("a1", 10, 10);
+  Host& b1 = make_host("b1", 10, 10);
+  Host& a2 = make_host("a2", 10, 10);
+  Host& b2 = make_host("b2", 10, 10);
+  bool failed1 = false, ok2 = false;
+  sim.spawn([](Network& n, Host& f, Host& t, bool& out) -> Task<void> {
+    try {
+      co_await n.transfer(f, t, 1'250'000);
+    } catch (const NetworkError&) {
+      out = true;
+    }
+  }(net, a1, b1, failed1));
+  sim.spawn([](Network& n, Host& f, Host& t, bool& out) -> Task<void> {
+    co_await n.transfer(f, t, 1'250'000);
+    out = true;
+  }(net, a2, b2, ok2));
+  sim.schedule_at(from_seconds(0.5), [&] { b1.set_up(false); });
+  sim.run();
+  EXPECT_TRUE(failed1);
+  EXPECT_TRUE(ok2);
+}
+
+TEST_F(NetFixture, WithTimeoutCompletesFastTask) {
+  net.set_per_message_overhead(0);
+  Host& a = make_host("a", 10, 10);
+  Host& b = make_host("b", 10, 10);
+  bool completed = false;
+  TimeNs done_at = -1;
+  sim.spawn([](Network& n, Host& f, Host& t, Simulator& s, bool& out,
+               TimeNs& at) -> Task<void> {
+    out = co_await with_timeout(s, n.transfer(f, t, 1'250'000), from_seconds(5));
+    at = s.now();
+  }(net, a, b, sim, completed, done_at));
+  sim.run();  // drains the (stale) deadline event too; check the recorded time
+  EXPECT_TRUE(completed);
+  EXPECT_NEAR(to_seconds(done_at), 1.0, 1e-9);
+}
+
+TEST_F(NetFixture, WithTimeoutAbandonsSlowTask) {
+  net.set_per_message_overhead(0);
+  Host& a = make_host("a", 10, 10);
+  Host& b = make_host("b", 10, 10);
+  bool completed = true;
+  TimeNs resumed_at = -1;
+  sim.spawn([](Network& n, Host& f, Host& t, Simulator& s, bool& out,
+               TimeNs& at) -> Task<void> {
+    out = co_await with_timeout(s, n.transfer(f, t, 12'500'000), from_seconds(2));  // 10 s
+    at = s.now();
+  }(net, a, b, sim, completed, resumed_at));
+  sim.run();
+  EXPECT_FALSE(completed);
+  EXPECT_NEAR(to_seconds(resumed_at), 2.0, 1e-9);  // resumed at the deadline
+}
+
+TEST_F(NetFixture, WithTimeoutPropagatesTaskError) {
+  Host& a = make_host("a", 10, 10);
+  Host& b = make_host("b", 10, 10);
+  b.set_up(false);
+  bool threw = false;
+  sim.spawn([](Network& n, Host& f, Host& t, Simulator& s, bool& out) -> Task<void> {
+    try {
+      (void)co_await with_timeout(s, n.transfer(f, t, 100), from_seconds(5));
+    } catch (const NetworkError&) {
+      out = true;
+    }
+  }(net, a, b, sim, threw));
+  sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(NetFixture, WithTimeoutValueTask) {
+  auto make_value = [](Simulator& s, TimeNs delay) -> Task<int> {
+    co_await s.sleep(delay);
+    co_return 42;
+  };
+  std::optional<int> fast, slow;
+  sim.spawn([](Simulator& s, Task<int> t, std::optional<int>& out) -> Task<void> {
+    out = co_await with_timeout(s, std::move(t), from_seconds(1));
+  }(sim, make_value(sim, from_millis(100)), fast));
+  sim.run();
+  sim.spawn([](Simulator& s, Task<int> t, std::optional<int>& out) -> Task<void> {
+    out = co_await with_timeout(s, std::move(t), from_seconds(1));
+  }(sim, make_value(sim, from_seconds(10)), slow));
+  sim.run();
+  EXPECT_EQ(fast, 42);
+  EXPECT_FALSE(slow.has_value());
+}
+
+TEST_F(NetFixture, FaultInjectorCrashWindowsFollowThePlan) {
+  net.set_per_message_overhead(0);
+  Host& a = make_host("a", 10, 10);
+  Host& b = make_host("b", 10, 10);
+  FaultPlan plan;
+  plan.crashes.push_back(CrashWindow{b.id(), from_seconds(1), from_seconds(3)});
+  FaultInjector injector(net, plan);
+  injector.arm();
+  sim.run_until(from_seconds(2));
+  EXPECT_TRUE(a.is_up());
+  EXPECT_FALSE(b.is_up());
+  sim.run_until(from_seconds(4));
+  EXPECT_TRUE(b.is_up());
+  EXPECT_EQ(injector.stats().crashes, 1u);
+  EXPECT_EQ(injector.stats().restarts, 1u);
+}
+
+TEST_F(NetFixture, FaultInjectorDropsTransfersDeterministically) {
+  Host& a = make_host("a", 10, 10);
+  Host& b = make_host("b", 10, 10);
+  FaultPlan plan;
+  plan.transfer_failure_prob = 0.5;
+  plan.seed = 7;
+  FaultInjector injector(net, plan);
+  injector.arm();
+  int failures = 0;
+  for (int i = 0; i < 50; ++i) {
+    sim.spawn([](Network& n, Host& f, Host& t, int& out) -> Task<void> {
+      try {
+        co_await n.transfer(f, t, 100);
+      } catch (const NetworkError&) {
+        ++out;
+      }
+    }(net, a, b, failures));
+    sim.run();
+  }
+  EXPECT_GT(failures, 10);
+  EXPECT_LT(failures, 40);
+  EXPECT_EQ(static_cast<std::uint64_t>(failures), injector.stats().transfers_dropped);
+  EXPECT_EQ(net.transfers_dropped(), injector.stats().transfers_dropped);
+}
+
+TEST_F(NetFixture, DegradationWindowSlowsTransfers) {
+  net.set_per_message_overhead(0);
+  Host& a = make_host("a", 10, 10);
+  Host& b = make_host("b", 10, 10);
+  FaultPlan plan;
+  // Quarter bandwidth on b for the first minute.
+  plan.degradations.push_back(DegradeWindow{b.id(), 0, from_seconds(60), 0.25});
+  FaultInjector injector(net, plan);
+  injector.arm();
+  // 1.25 MB at 2.5 Mbps effective -> 4 s instead of 1 s.
+  const TimeNs done = timed_transfer(a, b, 1'250'000);
+  EXPECT_NEAR(to_seconds(done), 4.0, 1e-9);
 }
 
 TEST_F(NetFixture, HostRegistry) {
