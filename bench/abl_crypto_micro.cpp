@@ -1,10 +1,20 @@
 // Ablation A5: crypto micro-operations, via google-benchmark.
-// Grounds the Figure 3 macro numbers in per-operation costs.
+// Grounds the Figure 3 macro numbers in per-operation costs. Every run is
+// also captured into BENCH_crypto.json (op, size, backend, threads,
+// ns_per_op) for machine consumption.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/pool.hpp"
 #include "common/rng.hpp"
 #include "crypto/curve.hpp"
 #include "crypto/hash_to_curve.hpp"
+#include "crypto/msm.hpp"
 #include "crypto/sha256.hpp"
 
 namespace {
@@ -105,6 +115,105 @@ void BM_Sha256PerMB(benchmark::State& state) {
 }
 BENCHMARK(BM_Sha256PerMB);
 
+/// Shared MSM fixture: n generators, 20-bit gradient-sized scalars.
+struct MsmInput {
+  std::vector<AffinePoint> points;
+  std::vector<U256> scalars;
+};
+
+const MsmInput& msm_input(std::size_t n) {
+  static std::map<std::size_t, MsmInput> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    MsmInput in;
+    in.points = derive_generators(Curve::secp256k1(), "micro-msm", n);
+    dfl::Rng rng(5);
+    for (std::size_t i = 0; i < n; ++i) in.scalars.push_back(U256(rng.next() & 0xfffff));
+    it = cache.emplace(n, std::move(in)).first;
+  }
+  return it->second;
+}
+
+void BM_MsmPippenger(benchmark::State& state) {
+  const Curve& c = Curve::secp256k1();
+  const MsmInput& in = msm_input(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(msm_pippenger(c, in.points, in.scalars));
+  }
+}
+BENCHMARK(BM_MsmPippenger)->Arg(1024)->Arg(8192);
+
+void BM_MsmParallel(benchmark::State& state) {
+  const Curve& c = Curve::secp256k1();
+  const MsmInput& in = msm_input(static_cast<std::size_t>(state.range(0)));
+  dfl::ThreadPool& pool = dfl::ThreadPool::shared();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(msm_parallel(c, in.points, in.scalars, pool));
+  }
+}
+BENCHMARK(BM_MsmParallel)->Arg(8192);
+
+void BM_MsmFixedBase(benchmark::State& state) {
+  const Curve& c = Curve::secp256k1();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const MsmInput& in = msm_input(n);
+  const int w = pick_fixed_base_window(n, 20);
+  const FixedBaseTables tables = FixedBaseTables::build(c, in.points, w, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(msm_fixed_base(c, tables, in.scalars));
+  }
+}
+BENCHMARK(BM_MsmFixedBase)->Arg(1024)->Arg(8192);
+
+void BM_PoolParallelForOverhead(benchmark::State& state) {
+  // Fork/join cost of an (empty) parallel_for — the floor under which
+  // parallelizing an MSM cannot pay off.
+  dfl::ThreadPool& pool = dfl::ThreadPool::shared();
+  for (auto _ : state) {
+    pool.parallel_for(0, pool.concurrency(), [](std::size_t, std::size_t) {}, 1);
+  }
+}
+BENCHMARK(BM_PoolParallelForOverhead);
+
+/// Console output as usual, plus a BENCH_crypto.json row per run.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      dfl::bench::BenchRecord rec;
+      const std::string name = run.benchmark_name();
+      const std::size_t slash = name.find('/');
+      rec.op = name.substr(0, slash);
+      rec.size = 0;
+      rec.backend = "micro";
+      if (slash != std::string::npos) {
+        rec.size = static_cast<std::size_t>(
+            std::strtoull(name.substr(slash + 1).c_str(), nullptr, 10));
+      }
+      rec.threads = run.threads > 0 ? static_cast<std::size_t>(run.threads) : std::size_t{1};
+      rec.ns_per_op = run.GetAdjustedRealTime();  // default unit: ns/iteration
+      records_.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<dfl::bench::BenchRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  std::vector<dfl::bench::BenchRecord> records_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  dfl::bench::write_bench_json(reporter.records());
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Ablation: fixed-base window size w vs commit speedup over Pippenger.
+//
+// For a fixed commitment dimension n, sweeps the per-generator window width
+// and reports table build time, table memory, commit time, and the speedup
+// against the single-thread Pippenger baseline on the same generators and
+// scalars. This grounds the cost model behind pick_fixed_base_window():
+// lookups shrink as ceil(covered/w) while bucket count grows as 2^(w+1).
+//
+// Default n is 32768; DFL_BENCH_FULL=1 raises it to 100000 (the acceptance
+// scale). Records go to BENCH_crypto.json with backend "fixed_base_w<w>".
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "crypto/curve.hpp"
+#include "crypto/encoding.hpp"
+#include "crypto/hash_to_curve.hpp"
+#include "crypto/msm.hpp"
+
+namespace {
+
+using namespace dfl;
+using namespace dfl::crypto;
+
+constexpr int kCoveredBits = 34;  // matches PedersenKey::configure_fixed_base
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation: fixed-base window width vs commit speedup");
+
+  const std::size_t n = bench::full_sweep_requested() ? 100'000 : 32'768;
+  if (!bench::full_sweep_requested()) {
+    bench::print_note("set DFL_BENCH_FULL=1 for the 100k acceptance scale");
+  }
+
+  const Curve& curve = Curve::secp256k1();
+  bench::print_note("deriving generators...");
+  const std::vector<AffinePoint> bases = derive_generators(curve, "abl-fb", n);
+
+  // Gradient-shaped scalars: fixed-point encodings of values in [-1, 1],
+  // signs folded into a negate mask exactly as PedersenKey does.
+  Rng rng(11);
+  std::vector<U256> scalars;
+  std::vector<std::uint8_t> negate(n, 0);
+  scalars.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t v = encode_fixed(rng.uniform_real(-1.0, 1.0));
+    if (v < 0) {
+      negate[i] = 1;
+      scalars.push_back(U256(static_cast<std::uint64_t>(-v)));
+    } else {
+      scalars.push_back(U256(static_cast<std::uint64_t>(v)));
+    }
+  }
+
+  // Single-thread Pippenger baseline: fold signs into copied bases.
+  std::vector<AffinePoint> signed_bases = bases;
+  const FieldCtx& fp = curve.fp();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (negate[i] != 0) signed_bases[i].y = fp.neg(signed_bases[i].y);
+  }
+  bench::WallTimer tpip;
+  const JacobianPoint ref = msm_pippenger(curve, signed_bases, scalars);
+  const double pip_s = tpip.seconds();
+
+  std::vector<bench::BenchRecord> records;
+  records.push_back(bench::BenchRecord{"commit", n, "pippenger", 1, pip_s * 1e9});
+
+  const int recommended = pick_fixed_base_window(n, kCoveredBits);
+  std::printf("n=%zu  pippenger baseline: %.3f s  (recommended w=%d)\n", n, pip_s, recommended);
+  std::printf("%4s %12s %12s %12s %9s\n", "w", "build_s", "table_MB", "commit_s", "speedup");
+
+  for (const int w : {4, 6, 8, 10, 12, 14, 16}) {
+    bench::WallTimer tbuild;
+    const FixedBaseTables tables = FixedBaseTables::build(curve, bases, w, kCoveredBits);
+    const double build_s = tbuild.seconds();
+
+    bench::WallTimer tcommit;
+    const JacobianPoint got = msm_fixed_base(curve, tables, scalars, &negate);
+    const double commit_s = tcommit.seconds();
+
+    if (!curve.eq(got, ref)) {
+      std::printf("  !! w=%d disagrees with Pippenger baseline\n", w);
+      return 1;
+    }
+
+    const double mb = static_cast<double>(tables.memory_bytes()) / 1e6;
+    std::printf("%4d %12.3f %12.1f %12.3f %8.2fx%s\n", w, build_s, mb, commit_s,
+                pip_s / commit_s, w == recommended ? "  <- pick" : "");
+
+    const std::string backend = "fixed_base_w" + std::to_string(w);
+    records.push_back(bench::BenchRecord{"commit", n, backend, 1, commit_s * 1e9});
+    records.push_back(bench::BenchRecord{"table_build", n, backend, 1, build_s * 1e9});
+  }
+
+  bench::write_bench_json(records);
+  bench::print_note("expected shape: commit time falls with w until table build/cache");
+  bench::print_note("pressure dominates; pick_fixed_base_window sits near the knee");
+  return 0;
+}

@@ -1,9 +1,11 @@
 // Ablation A3: naive per-element exponentiation (the paper's
 // implementation) vs Pippenger multi-exponentiation (the future-work
-// optimization the paper cites [27, 28]). Gradient-sized 17-bit scalars.
+// optimization the paper cites [27, 28]), plus the pool-parallel MSM the
+// crypto engine uses. Gradient-sized 17-bit scalars.
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "common/pool.hpp"
 #include "common/rng.hpp"
 #include "crypto/encoding.hpp"
 #include "crypto/hash_to_curve.hpp"
@@ -17,9 +19,12 @@ using crypto::Curve;
 }  // namespace
 
 int main() {
-  bench::print_header("Ablation A3: naive vs Pippenger multi-exponentiation");
-  std::printf("%-12s %-12s %12s %14s %10s\n", "curve", "n", "naive_s", "pippenger_s",
-              "speedup");
+  bench::print_header("Ablation A3: naive vs Pippenger vs parallel multi-exponentiation");
+  ThreadPool& pool = ThreadPool::shared();
+  std::printf("  # %zu threads (DFL_THREADS to override)\n", pool.concurrency());
+  std::vector<bench::BenchRecord> records;
+  std::printf("%-12s %-12s %12s %14s %10s %12s\n", "curve", "n", "naive_s", "pippenger_s",
+              "speedup", "parallel_s");
 
   for (const auto* curve : {&Curve::secp256k1(), &Curve::secp256r1()}) {
     const std::size_t max_n = 100'000;
@@ -44,14 +49,25 @@ int main() {
       bench::WallTimer tp;
       const auto b = crypto::msm_pippenger(*curve, pts, sc);
       const double pip_s = tp.seconds();
-      if (!curve->eq(a, b)) {
+      bench::WallTimer tpar;
+      const auto c = crypto::msm_parallel(*curve, pts, sc, pool);
+      const double par_s = tpar.seconds();
+      if (!curve->eq(a, b) || !curve->eq(a, c)) {
         std::printf("  !! MSM mismatch at n=%zu\n", n);
         return 1;
       }
-      std::printf("%-12s %-12zu %12.4f %14.4f %9.1fx\n", curve->name().c_str(), n, naive_s,
-                  pip_s, naive_s / pip_s);
+      std::printf("%-12s %-12zu %12.4f %14.4f %9.1fx %12.4f\n", curve->name().c_str(), n,
+                  naive_s, pip_s, naive_s / pip_s, par_s);
+      const bool k1 = curve == &Curve::secp256k1();
+      if (k1) {
+        records.push_back(bench::BenchRecord{"msm", n, "naive", 1, naive_s * 1e9});
+        records.push_back(bench::BenchRecord{"msm", n, "pippenger", 1, pip_s * 1e9});
+        records.push_back(
+            bench::BenchRecord{"msm", n, "parallel", pool.concurrency(), par_s * 1e9});
+      }
     }
   }
+  bench::write_bench_json(records);
   bench::print_note("the speedup is what Section VI's 'plenty of room for optimization'");
   bench::print_note("buys: it directly shrinks the Figure 3 bottleneck");
   return 0;

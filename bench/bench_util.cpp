@@ -2,12 +2,99 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 
 namespace dfl::bench {
 
 bool full_sweep_requested() {
   const char* v = std::getenv("DFL_BENCH_FULL");
   return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+std::string bench_json_path() {
+  const char* v = std::getenv("DFL_BENCH_JSON");
+  return v != nullptr && *v != '\0' ? std::string(v) : std::string("BENCH_crypto.json");
+}
+
+namespace {
+
+/// Extracts the value of `"key": ...` from one record line. Only parses the
+/// line-oriented format emitted below — not a general JSON parser.
+std::string field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return {};
+  std::size_t start = pos + needle.size();
+  std::size_t end = start;
+  if (line[start] == '"') {
+    ++start;
+    end = line.find('"', start);
+  } else {
+    end = line.find_first_of(",}", start);
+  }
+  return end == std::string::npos ? std::string{} : line.substr(start, end - start);
+}
+
+std::string record_key(const BenchRecord& r) {
+  return r.op + "|" + std::to_string(r.size) + "|" + r.backend + "|" +
+         std::to_string(r.threads);
+}
+
+std::string render(const BenchRecord& r) {
+  std::ostringstream os;
+  os << "  {\"op\": \"" << r.op << "\", \"size\": " << r.size << ", \"backend\": \""
+     << r.backend << "\", \"threads\": " << r.threads << ", \"ns_per_op\": " << r.ns_per_op
+     << "}";
+  return os.str();
+}
+
+}  // namespace
+
+void write_bench_json(const std::vector<BenchRecord>& records) {
+  const std::string path = bench_json_path();
+
+  // Load what previous bench binaries wrote, keyed for replacement.
+  std::vector<std::pair<std::string, std::string>> rows;  // key -> rendered line
+  if (std::ifstream in(path); in) {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find("\"op\"") == std::string::npos) continue;
+      BenchRecord r;
+      r.op = field(line, "op");
+      r.size = static_cast<std::size_t>(std::strtoull(field(line, "size").c_str(), nullptr, 10));
+      r.backend = field(line, "backend");
+      r.threads =
+          static_cast<std::size_t>(std::strtoull(field(line, "threads").c_str(), nullptr, 10));
+      r.ns_per_op = std::strtod(field(line, "ns_per_op").c_str(), nullptr);
+      if (!r.op.empty()) rows.emplace_back(record_key(r), render(r));
+    }
+  }
+
+  for (const BenchRecord& r : records) {
+    const std::string key = record_key(r);
+    bool replaced = false;
+    for (auto& [k, line] : rows) {
+      if (k == key) {
+        line = render(r);
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) rows.emplace_back(key, render(r));
+  }
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << rows[i].second << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+  std::printf("  # wrote %zu records to %s\n", records.size(), path.c_str());
 }
 
 }  // namespace dfl::bench

@@ -1,10 +1,11 @@
-// Shared helpers for the figure-reproduction benches: wall-clock timing and
-// uniform table printing.
+// Shared helpers for the figure-reproduction benches: wall-clock timing,
+// uniform table printing, and machine-readable result emission.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace dfl::bench {
 
@@ -29,5 +30,22 @@ inline void print_note(const std::string& note) {
 
 /// True when the caller asked for the full (slow) parameter sweep.
 bool full_sweep_requested();
+
+/// One machine-readable measurement row.
+struct BenchRecord {
+  std::string op;       // e.g. "commit", "verify", "BM_FieldMul"
+  std::size_t size = 0; // elements / range argument
+  std::string backend;  // e.g. "naive", "pippenger", "fixed_base"
+  std::size_t threads = 1;
+  double ns_per_op = 0; // whole-operation wall time in ns
+};
+
+/// Output path: $DFL_BENCH_JSON, or "BENCH_crypto.json" in the cwd.
+std::string bench_json_path();
+
+/// Merges `records` into the JSON file at bench_json_path(): existing rows
+/// with the same (op, size, backend, threads) key are replaced, everything
+/// else is kept, so several bench binaries can contribute to one file.
+void write_bench_json(const std::vector<BenchRecord>& records);
 
 }  // namespace dfl::bench

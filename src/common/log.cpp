@@ -2,12 +2,18 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace dfl {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serializes formatted writes: thread-pool workers (crypto engine,
+// generator derivation) log concurrently with the single-threaded
+// simulator, and interleaved fprintf halves are not acceptable output.
+std::mutex g_write_mu;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,6 +34,7 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& component, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_write_mu);
   std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(), message.c_str());
 }
 

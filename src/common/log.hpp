@@ -13,8 +13,10 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits one formatted line to stderr (thread-safe enough for our use:
-/// the simulator is single-threaded, benches log rarely).
+/// Emits one formatted line to stderr. Thread-safe: the level check is
+/// atomic and the write is serialized by a mutex, so thread-pool workers
+/// (crypto engine, generator derivation) can log alongside the simulator
+/// without interleaving lines.
 void log_line(LogLevel level, const std::string& component, const std::string& message);
 
 namespace detail {

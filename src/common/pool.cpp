@@ -1,0 +1,179 @@
+#include "common/pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace dfl {
+
+namespace {
+
+std::size_t resolve_concurrency(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t concurrency) {
+  const std::size_t total = resolve_concurrency(concurrency);
+  workers_.reserve(total - 1);
+  for (std::size_t i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> fut = task->get_future();
+  if (workers_.empty()) {
+    (*task)();
+    return fut;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back([task] { (*task)(); });
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+namespace {
+
+/// Shared state of one parallel_for call. Kept alive by shared_ptr until
+/// the last queued helper observed completion; `fn` stays valid because the
+/// caller cannot leave parallel_for while any chunk body is running.
+struct ForState {
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::size_t chunks = 0;
+  std::size_t begin = 0, end = 0, grain = 0;
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;
+};
+
+/// Claims and runs chunks until none remain. After a failure, remaining
+/// chunks are still claimed and counted (so `done` always reaches `chunks`)
+/// but their bodies are skipped.
+void drain_chunks(ForState& s) {
+  for (;;) {
+    const std::size_t c = s.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= s.chunks) return;
+    if (!s.failed.load(std::memory_order_relaxed)) {
+      try {
+        const std::size_t lo = s.begin + c * s.grain;
+        const std::size_t hi = std::min(s.end, lo + s.grain);
+        (*s.fn)(lo, hi);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(s.mu);
+          if (!s.error) s.error = std::current_exception();
+        }
+        s.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (s.done.fetch_add(1, std::memory_order_acq_rel) + 1 == s.chunks) {
+      {
+        std::lock_guard<std::mutex> lock(s.mu);  // pairs with the cv wait
+      }
+      s.cv.notify_all();
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t, std::size_t)>& chunk_fn,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (grain == 0) {
+    // ~4 chunks per thread bounds scheduling overhead while keeping the
+    // tail balanced. Callers that fold per-chunk results and need the
+    // partition itself to be thread-count-independent pass an explicit
+    // grain (the chunk *results* of associative folds don't need this).
+    grain = std::max<std::size_t>(1, n / (4 * concurrency()));
+  }
+  const std::size_t chunks = (n + grain - 1) / grain;
+  if (chunks == 1) {
+    chunk_fn(begin, end);
+    return;
+  }
+  if (workers_.empty()) {
+    // Same chunk boundaries as the threaded path — the (begin, end, grain)
+    // partition is part of the determinism contract, not a detail of how
+    // many threads happen to exist.
+    for (std::size_t lo = begin; lo < end; lo += grain) {
+      chunk_fn(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  auto st = std::make_shared<ForState>();
+  st->chunks = chunks;
+  st->begin = begin;
+  st->end = end;
+  st->grain = grain;
+  st->fn = &chunk_fn;
+
+  const std::size_t helpers = std::min(workers_.size(), chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < helpers; ++i) {
+      queue_.emplace_back([st] { drain_chunks(*st); });
+    }
+  }
+  cv_.notify_all();
+
+  drain_chunks(*st);
+
+  {
+    std::unique_lock<std::mutex> lock(st->mu);
+    st->cv.wait(lock,
+                [&] { return st->done.load(std::memory_order_acquire) == st->chunks; });
+  }
+  if (st->error) std::rethrow_exception(st->error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool([] {
+    if (const char* v = std::getenv("DFL_THREADS")) {
+      const long n = std::strtol(v, nullptr, 10);
+      if (n >= 1) return static_cast<std::size_t>(n);
+    }
+    return std::size_t{0};
+  }());
+  return pool;
+}
+
+}  // namespace dfl

@@ -1,0 +1,65 @@
+// Fixed-size thread pool (no work stealing) for CPU-bound crypto fan-out.
+//
+// Design constraints, in order:
+//  - Determinism: `parallel_for` partitions work by a grain that does NOT
+//    depend on how many threads happen to exist, so callers that combine
+//    per-chunk results in chunk order get bit-identical output at any
+//    concurrency (including 1).
+//  - No deadlocks under nesting: the calling thread always participates in
+//    draining its own chunk queue, so a `parallel_for` issued from inside a
+//    worker completes even when every other worker is busy.
+//  - Zero threads is a valid configuration: `ThreadPool(1)` spawns no
+//    workers and runs everything inline on the caller.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dfl {
+
+class ThreadPool {
+ public:
+  /// `concurrency` counts the caller: a pool of concurrency c spawns c - 1
+  /// worker threads. 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t concurrency = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency during parallel_for (workers + the calling thread).
+  [[nodiscard]] std::size_t concurrency() const { return workers_.size() + 1; }
+
+  /// Enqueues one task; runs inline when the pool has no workers.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Runs `chunk_fn(chunk_begin, chunk_end)` over [begin, end) split into
+  /// grain-sized chunks, blocking until every chunk ran. Chunk boundaries
+  /// depend only on (begin, end, grain), never on the thread count; the
+  /// calling thread participates. The first exception thrown by a chunk is
+  /// rethrown here after all chunks finish or are skipped.
+  /// grain == 0 picks one that keeps every thread busy several times over.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& chunk_fn,
+                    std::size_t grain = 0);
+
+  /// Process-wide pool at hardware concurrency, created on first use.
+  /// Honors DFL_THREADS (>=1) when set in the environment.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace dfl

@@ -196,7 +196,7 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
         parts.push_back(it->second);
       }
       co_await ctx_.sim.sleep(ctx_.commit_cost(payload.values.size()));
-      accept = accept && ctx_.key->verify(ctx_.key->add_all(parts), payload.values);
+      accept = accept && ctx_.verify(ctx_.key->add_all(parts), payload.values);
       if (!accept) {
         DFL_WARN("aggregator") << "a" << global_id_
                                << " merge result failed verification; falling back to "
@@ -294,6 +294,15 @@ sim::Task<std::optional<Payload>> Aggregator::synchronize(std::uint32_t iter,
   std::map<std::uint32_t, Payload> partials;  // by aggregator global id
   partials.emplace(global_id_, std::move(own_partial));
 
+  // Batched verification (options.batch_verify): peer partials are accepted
+  // provisionally and the whole round is checked in one random-linear-
+  // combination MSM after the gather loop; only on failure do we pay for
+  // per-partial checks to identify the culprits.
+  const bool batched = ctx_.spec.options.verifiable && ctx_.spec.options.batch_verify &&
+                       ctx_.engine != nullptr;
+  std::vector<std::uint32_t> pending_ids;
+  std::vector<crypto::Commitment> pending_cs;
+
   while (partials.size() < pa.aggregators.size() && ctx_.sim.now() < t_sync_abs) {
     if (mailbox.empty()) {
       co_await ctx_.sim.sleep(ctx_.spec.schedule.poll_interval);
@@ -317,15 +326,46 @@ sim::Task<std::optional<Payload>> Aggregator::synchronize(std::uint32_t iter,
       // A partial must open the accumulated commitment of that peer's T_ij.
       const crypto::Commitment acc =
           co_await ctx_.dir.aggregator_commitment(host_, partition_, peer_id, iter);
-      co_await ctx_.sim.sleep(ctx_.commit_cost(payload.values.size()));
-      if (!ctx_.key->verify(acc, payload.values)) {
-        ++metrics.rejected_updates;
-        DFL_WARN("aggregator") << "a" << global_id_ << " REJECTED partial from a" << peer_id
-                               << " (commitment mismatch)";
-        continue;  // treat as missing; covered below if we are responsible
+      if (batched) {
+        pending_ids.push_back(peer_id);
+        pending_cs.push_back(acc);
+      } else {
+        co_await ctx_.sim.sleep(ctx_.commit_cost(payload.values.size()));
+        if (!ctx_.verify(acc, payload.values)) {
+          ++metrics.rejected_updates;
+          DFL_WARN("aggregator") << "a" << global_id_ << " REJECTED partial from a" << peer_id
+                                 << " (commitment mismatch)";
+          continue;  // treat as missing; covered below if we are responsible
+        }
       }
     }
     partials.emplace(peer_id, std::move(payload));
+  }
+
+  if (batched && !pending_ids.empty()) {
+    std::vector<std::vector<std::int64_t>> openings;
+    openings.reserve(pending_ids.size());
+    std::size_t batch_elements = 0;
+    for (const std::uint32_t peer : pending_ids) {
+      openings.push_back(partials.at(peer).values);
+      batch_elements = std::max(batch_elements, openings.back().size());
+    }
+    // Simulated cost of the folded check: one generator MSM over the
+    // largest opening plus one small per-commitment MSM — against k full
+    // verifications on the per-partial path.
+    co_await ctx_.sim.sleep(ctx_.commit_cost(batch_elements + pending_ids.size()));
+    if (!ctx_.engine->verify_batch(pending_cs, openings)) {
+      // Someone cheated: identify the culprits individually and drop them.
+      for (std::size_t i = 0; i < pending_ids.size(); ++i) {
+        co_await ctx_.sim.sleep(ctx_.commit_cost(openings[i].size()));
+        if (!ctx_.verify(pending_cs[i], openings[i])) {
+          partials.erase(pending_ids[i]);
+          ++metrics.rejected_updates;
+          DFL_WARN("aggregator") << "a" << global_id_ << " REJECTED partial from a"
+                                 << pending_ids[i] << " (batched commitment mismatch)";
+        }
+      }
+    }
   }
 
   // Cover for peers whose (valid) partial never arrived: the live

@@ -46,6 +46,9 @@ class Bootstrapper {
   [[nodiscard]] TaskSpec& spec() { return spec_; }
   [[nodiscard]] directory::Directory& directory() { return *directory_; }
   [[nodiscard]] const crypto::PedersenKey* key() const { return key_.get(); }
+  /// Mutable access for the crypto engine, which attaches its thread pool
+  /// and fixed-base configuration to the key (null unless verifiable).
+  [[nodiscard]] crypto::PedersenKey* mutable_key() { return key_.get(); }
   [[nodiscard]] sim::Host& host() { return *hosts_.front(); }
 
   /// Registers the T_ij assignment with the directory (required before

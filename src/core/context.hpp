@@ -6,6 +6,7 @@
 #include "core/gradient_source.hpp"
 #include "core/payload.hpp"
 #include "core/task_spec.hpp"
+#include "crypto/engine.hpp"
 #include "directory/directory.hpp"
 #include "ipfs/pubsub.hpp"
 #include "ipfs/swarm.hpp"
@@ -25,12 +26,26 @@ struct Context {
   /// Non-null iff spec.options.verifiable.
   const crypto::PedersenKey* key = nullptr;
   PayloadMerger merger;
+  /// Non-null iff spec.options.verifiable; wraps `key` with the thread
+  /// pool, fixed-base tables and deterministic batch verification. Actors
+  /// go through the engine so per-round crypto stats are collected in one
+  /// place. (Assigned by the Deployment after construction.)
+  crypto::Engine* engine = nullptr;
 
   /// Simulated compute cost of committing/verifying an `elements`-long
-  /// vector (spec.options.commit_ns_per_element scaling).
+  /// vector. Uses the calibrated rate when calibration ran (the runner
+  /// overwrites commit_ns_per_element), otherwise the configured constant.
   [[nodiscard]] sim::TimeNs commit_cost(std::size_t elements) const {
     return static_cast<sim::TimeNs>(spec.options.commit_ns_per_element *
                                     static_cast<double>(elements));
+  }
+
+  [[nodiscard]] crypto::Commitment commit(const std::vector<std::int64_t>& values) const {
+    return engine != nullptr ? engine->commit(values) : key->commit(values);
+  }
+  [[nodiscard]] bool verify(const crypto::Commitment& c,
+                            const std::vector<std::int64_t>& values) const {
+    return engine != nullptr ? engine->verify(c, values) : key->verify(c, values);
   }
 };
 

@@ -18,6 +18,7 @@ struct TrainerRecord {
   bool aborted = false;             // missed t_train
   bool offline = false;             // skipped the round entirely
   bool update_missing = false;      // some partition never appeared by deadline
+  bool audit_failed = false;        // downloaded update did not open its commitment
   ipfs::RetryStats rpc;             // storage-RPC attempts/retries/timeouts/failovers
 };
 
@@ -35,6 +36,21 @@ struct AggregatorRecord {
   ipfs::RetryStats rpc;  // storage-RPC attempts/retries/timeouts/failovers
 };
 
+/// Crypto-engine activity during one round (delta of the engine's
+/// monotonic counters). Wall times are real (measurement) ns, not simulated
+/// time; `calibrated_ns_per_element` is nonzero only when calibration ran.
+struct CryptoRecord {
+  std::uint64_t commits = 0;
+  std::uint64_t verifies = 0;
+  std::uint64_t batch_verifies = 0;
+  std::uint64_t committed_elements = 0;
+  std::uint64_t commit_wall_ns = 0;
+  std::uint64_t verify_wall_ns = 0;
+  std::size_t threads = 0;
+  double calibrated_ns_per_element = 0;
+  double parallel_speedup = 0;
+};
+
 struct RoundMetrics {
   std::uint32_t iter = 0;
   sim::TimeNs round_start = 0;
@@ -45,6 +61,7 @@ struct RoundMetrics {
   int rejected_updates = 0;  // directory refusals (verifiable mode)
   double post_round_accuracy = -1;
   double post_round_loss = -1;
+  CryptoRecord crypto;  // zeros when not verifiable
 
   void note_gradient_announce(sim::TimeNs at) {
     if (first_gradient_announce < 0 || at < first_gradient_announce) {

@@ -55,6 +55,21 @@ Deployment::Deployment(DeploymentConfig config, std::unique_ptr<GradientSource> 
   ctx_.reset(new Context{*sim_, *net_, *swarm_, *pubsub_, boot_->directory(), boot_->spec(),
                          *source_, boot_->key(), PayloadMerger{}});
 
+  if (boot_->mutable_key() != nullptr) {
+    crypto::EngineConfig ecfg;
+    ecfg.threads = config_.options.crypto_threads;
+    ecfg.fixed_base_window = config_.options.fixed_base_window;
+    engine_ = std::make_unique<crypto::Engine>(*boot_->mutable_key(), ecfg);
+    ctx_->engine = engine_.get();
+    if (config_.options.calibrate_crypto) {
+      // Ground the modeled per-element commit delay in this machine's
+      // measured throughput (opt-in: simulated timings become
+      // hardware-dependent, results stay exact).
+      calibration_ = engine_->calibrate(0);
+      boot_->spec().options.commit_ns_per_element = calibration_.ns_per_element;
+    }
+  }
+
   for (std::uint32_t t = 0; t < config_.num_trainers; ++t) {
     sim::Host& h = net_->add_host("trainer" + std::to_string(t), participant_link(config_));
     TrainerBehavior behavior = TrainerBehavior::kHonest;
@@ -94,6 +109,8 @@ RoundMetrics Deployment::run_round(std::uint32_t iter) {
   metrics.round_start = sim_->now();
   metrics.trainers.resize(trainers_.size());
   metrics.aggregators.resize(aggregators_.size());
+  const crypto::EngineStats crypto_before =
+      engine_ ? engine_->stats() : crypto::EngineStats{};
 
   for (auto& t : trainers_) {
     sim_->spawn(t->run_round(iter, metrics.round_start, metrics));
@@ -109,6 +126,20 @@ RoundMetrics Deployment::run_round(std::uint32_t iter) {
     done = std::max(done, t.model_ready_at);
   }
   metrics.round_done = done;
+
+  if (engine_) {
+    const crypto::EngineStats after = engine_->stats();
+    metrics.crypto.commits = after.commits - crypto_before.commits;
+    metrics.crypto.verifies = after.verifies - crypto_before.verifies;
+    metrics.crypto.batch_verifies = after.batch_verifies - crypto_before.batch_verifies;
+    metrics.crypto.committed_elements =
+        after.committed_elements - crypto_before.committed_elements;
+    metrics.crypto.commit_wall_ns = after.commit_wall_ns - crypto_before.commit_wall_ns;
+    metrics.crypto.verify_wall_ns = after.verify_wall_ns - crypto_before.verify_wall_ns;
+    metrics.crypto.threads = engine_->threads();
+    metrics.crypto.calibrated_ns_per_element = calibration_.ns_per_element;
+    metrics.crypto.parallel_speedup = calibration_.parallel_speedup;
+  }
 
   collect_global_update(iter);
   if (!last_global_update_.empty()) {

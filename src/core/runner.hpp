@@ -98,6 +98,10 @@ class Deployment {
     return directory_hosts_;
   }
   [[nodiscard]] GradientSource& source() { return *source_; }
+  /// Null unless options.verifiable.
+  [[nodiscard]] crypto::Engine* engine() { return engine_.get(); }
+  /// Calibration result (zeros unless options.calibrate_crypto ran).
+  [[nodiscard]] const crypto::Calibration& calibration() const { return calibration_; }
   /// Null when no fault plan was configured.
   [[nodiscard]] const sim::FaultInjector* fault_injector() const { return fault_.get(); }
   [[nodiscard]] Trainer& trainer(std::size_t i) { return *trainers_.at(i); }
@@ -122,6 +126,8 @@ class Deployment {
   std::unique_ptr<GradientSource> source_;
   std::unique_ptr<Bootstrapper> boot_;
   std::unique_ptr<Context> ctx_;
+  std::unique_ptr<crypto::Engine> engine_;
+  crypto::Calibration calibration_;
   std::vector<std::unique_ptr<Trainer>> trainers_;
   std::vector<std::unique_ptr<Aggregator>> aggregators_;
   std::vector<sim::Host*> directory_hosts_;

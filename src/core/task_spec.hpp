@@ -54,6 +54,28 @@ struct ProtocolOptions {
   /// Simulated compute cost of commitment/verification per vector element
   /// (0 = free; set from measured Figure 3 rates for end-to-end realism).
   double commit_ns_per_element = 0.0;
+  /// Crypto engine concurrency (counting the calling thread); 0 = all
+  /// hardware cores, 1 = no worker threads. Commitments and verdicts are
+  /// bit-identical at any setting — only real wall-clock changes.
+  std::size_t crypto_threads = 1;
+  /// Fixed-base precomputation for the Pedersen generators: 0 = off,
+  /// 1 = auto-pick the window width from the cost model, 2..16 = forced
+  /// window width. Tables build lazily on the first commit.
+  int fixed_base_window = 0;
+  /// Aggregators accept trainer commitments provisionally and check the
+  /// whole round in one random-linear-combination MSM during synchronize;
+  /// on failure they fall back to per-commitment checks to identify the
+  /// culprits. Requires `verifiable`.
+  bool batch_verify = false;
+  /// Trainers audit the aggregator outputs they download against the
+  /// directory's announced commitments (batched when batch_verify is on).
+  /// Requires `verifiable`.
+  bool audit_updates = false;
+  /// Measure real commit throughput at startup and overwrite
+  /// commit_ns_per_element with the calibrated rate, grounding the
+  /// simulated compute delay in this machine's measured speed. Opt-in:
+  /// makes simulated timings hardware-dependent (results stay exact).
+  bool calibrate_crypto = false;
   /// How many storage nodes each global update is uploaded to. Hot objects
   /// (every trainer downloads them) need replicas or the single holder's
   /// uplink becomes the bottleneck — the availability knob Section VI

@@ -56,7 +56,7 @@ sim::Task<void> Trainer::upload_gradients(std::uint32_t iter,
 
     std::optional<crypto::Commitment> commitment;
     if (ctx_.spec.options.verifiable) {
-      commitment = ctx_.key->commit(payload.values);
+      commitment = ctx_.commit(payload.values);
       co_await ctx_.sim.sleep(ctx_.commit_cost(payload.values.size()));
     }
 
@@ -122,6 +122,12 @@ sim::Task<void> Trainer::download_updates(std::uint32_t iter, sim::TimeNs deadli
   last_update_.assign(ctx_.spec.num_params(), 0.0);
   const sim::TimeNs grace = ctx_.spec.schedule.t_sync / 2;
   const sim::TimeNs cutoff = deadline + grace;
+  const bool audit = ctx_.spec.options.verifiable && ctx_.spec.options.audit_updates;
+  // Audit trail: the downloaded openings and the commitments the directory
+  // accumulated for them, checked after the fetch loop (in one batched MSM
+  // when batch_verify is on).
+  std::vector<crypto::Commitment> audit_cs;
+  std::vector<std::vector<std::int64_t>> audit_values;
   for (std::size_t p = 0; p < ctx_.spec.num_partitions(); ++p) {
     bool got = false;
     // Algorithm 1 lines 16-22: poll the directory until the CID appears.
@@ -144,7 +150,7 @@ sim::Task<void> Trainer::download_updates(std::uint32_t iter, sim::TimeNs deadli
                               << p << ": " << e.what();
         }
         if (fetched) {
-          const Payload payload = Payload::deserialize(data);
+          Payload payload = Payload::deserialize(data);
           const auto avg = payload.average(ctx_.spec.options.frac_bits);
           const auto [first, last] = ctx_.spec.partition_range(p);
           if (avg.size() != last - first) {
@@ -152,6 +158,14 @@ sim::Task<void> Trainer::download_updates(std::uint32_t iter, sim::TimeNs deadli
           }
           std::copy(avg.begin(), avg.end(),
                     last_update_.begin() + static_cast<std::ptrdiff_t>(first));
+          if (audit) {
+            // Don't take the directory's word for it: re-check the payload
+            // against the accumulated partition commitment locally.
+            audit_cs.push_back(co_await ctx_.dir.partition_commitment(
+                host_, static_cast<std::uint32_t>(p), iter));
+            audit_values.push_back(std::move(payload.values));
+            co_await ctx_.sim.sleep(ctx_.commit_cost(audit_values.back().size()));
+          }
           got = true;
           break;
         }
@@ -167,6 +181,26 @@ sim::Task<void> Trainer::download_updates(std::uint32_t iter, sim::TimeNs deadli
       DFL_DEBUG("trainer") << "t" << id_ << " missing update for partition " << p << " iter "
                            << iter;
       co_return;
+    }
+  }
+  if (audit && !audit_cs.empty()) {
+    bool ok = true;
+    if (ctx_.spec.options.batch_verify && ctx_.engine != nullptr && audit_cs.size() > 1) {
+      // All partitions in one random-linear-combination MSM.
+      ok = ctx_.engine->verify_batch(audit_cs, audit_values);
+    } else {
+      for (std::size_t i = 0; i < audit_cs.size(); ++i) {
+        if (!ctx_.verify(audit_cs[i], audit_values[i])) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) {
+      rec.audit_failed = true;
+      rec.update_missing = true;  // a bad opening is no usable update
+      last_update_.clear();
+      DFL_WARN("trainer") << "t" << id_ << " update audit FAILED at iter " << iter;
     }
   }
 }

@@ -1,0 +1,104 @@
+// Crypto engine: the verifiable-aggregation hot path behind one object.
+//
+// Wraps a PedersenKey with (1) a fixed-size thread pool shared by every
+// commit/verify, (2) optional fixed-base window tables for the task's
+// generators, (3) deterministic batched verification, and (4) a calibration
+// probe that measures real commit throughput so the simulator's modeled
+// compute delay (`commit_ns_per_element`) can be grounded in measured time.
+//
+// Determinism contract: commitments and verdicts are bit-identical at any
+// `threads` setting. Parallel MSMs combine chunk partials in chunk order
+// (group-law associativity), and batch-verification coefficients are derived
+// by hashing the inputs (Fiat–Shamir style) rather than drawn from shared
+// mutable RNG state, so concurrency never reorders randomness. Only wall
+// clock — reported through stats and calibration — varies with threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/pool.hpp"
+#include "crypto/pedersen.hpp"
+
+namespace dfl::crypto {
+
+struct EngineConfig {
+  /// Total concurrency (counting the calling thread); 0 = hardware.
+  std::size_t threads = 0;
+  /// Fixed-base precomputation: 0 disables, 1 auto-picks the window from
+  /// the cost model, 2..16 forces that window width.
+  int fixed_base_window = 0;
+  /// Scalar bits the tables cover; larger scalars take the (exact, slower)
+  /// overflow path. 0 defaults to 34 — fixed-point gradient magnitudes.
+  int fixed_base_bits = 0;
+};
+
+/// Monotonic operation counters; wall times are real (not simulated) ns.
+struct EngineStats {
+  std::uint64_t commits = 0;
+  std::uint64_t verifies = 0;
+  std::uint64_t batch_verifies = 0;
+  std::uint64_t committed_elements = 0;
+  std::uint64_t commit_wall_ns = 0;
+  std::uint64_t verify_wall_ns = 0;
+};
+
+/// Result of a calibration probe.
+struct Calibration {
+  double ns_per_element = 0.0;   // measured commit cost at configured threads
+  double parallel_speedup = 1.0; // single-thread time / configured-threads time
+  std::size_t threads = 1;
+};
+
+class Engine {
+ public:
+  /// The key must outlive the engine. The engine attaches its pool to the
+  /// key (and detaches it on destruction) and configures the fixed-base
+  /// path per `cfg`; tables build lazily on the first commit.
+  Engine(PedersenKey& key, EngineConfig cfg = {});
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] PedersenKey& key() { return key_; }
+  [[nodiscard]] const EngineConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t threads() const { return pool_->concurrency(); }
+
+  [[nodiscard]] Commitment commit(const std::vector<std::int64_t>& values);
+  [[nodiscard]] bool verify(const Commitment& c, const std::vector<std::int64_t>& values);
+
+  /// Batched verification with deterministic (Fiat–Shamir) coefficients:
+  /// the random linear combination is seeded from a hash of the
+  /// commitments and claimed openings, so the verdict is reproducible
+  /// across runs and thread counts yet unpredictable to a prover who must
+  /// fix its commitments first. Accepts iff every c_i opens to values_i
+  /// (soundness error ~2^-128 per forged opening).
+  [[nodiscard]] bool verify_batch(const std::vector<Commitment>& cs,
+                                  const std::vector<std::vector<std::int64_t>>& values);
+
+  /// Measures real commit throughput on a synthetic `elements`-sized vector
+  /// (averaged over `iters` runs) at the configured concurrency and at 1
+  /// thread, returning ns/element and the realized parallel speedup. The
+  /// result is meant to feed the simulator's commit_ns_per_element so the
+  /// modeled delay tracks this machine. Wall-clock measurement — opt-in
+  /// only, never on the default simulated path.
+  [[nodiscard]] Calibration calibrate(std::size_t elements, int iters = 3);
+
+  [[nodiscard]] EngineStats stats() const;
+
+ private:
+  PedersenKey& key_;
+  EngineConfig cfg_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::atomic<std::uint64_t> commits_{0};
+  std::atomic<std::uint64_t> verifies_{0};
+  std::atomic<std::uint64_t> batch_verifies_{0};
+  std::atomic<std::uint64_t> committed_elements_{0};
+  std::atomic<std::uint64_t> commit_wall_ns_{0};
+  std::atomic<std::uint64_t> verify_wall_ns_{0};
+};
+
+}  // namespace dfl::crypto

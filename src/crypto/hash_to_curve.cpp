@@ -1,8 +1,8 @@
 #include "crypto/hash_to_curve.hpp"
 
 #include <stdexcept>
-#include <thread>
 
+#include "common/pool.hpp"
 #include "common/serde.hpp"
 #include "crypto/sha256.hpp"
 
@@ -38,25 +38,18 @@ AffinePoint hash_to_curve(const Curve& curve, std::string_view domain, std::uint
 std::vector<AffinePoint> derive_generators(const Curve& curve, std::string_view domain,
                                            std::size_t count) {
   std::vector<AffinePoint> out(count);
-  // Derivation is pure and per-index independent; fan out across cores for
-  // large commitment keys (setup cost only — commits themselves are what
-  // the paper measures).
-  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
-  const std::size_t workers = count >= 4096 ? std::min<std::size_t>(hw, 32) : 1;
-  if (workers == 1) {
-    for (std::size_t i = 0; i < count; ++i) out[i] = hash_to_curve(curve, domain, i);
-    return out;
-  }
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (std::size_t t = 0; t < workers; ++t) {
-    threads.emplace_back([&, t] {
-      for (std::size_t i = t; i < count; i += workers) {
-        out[i] = hash_to_curve(curve, domain, i);
-      }
+  // Derivation is pure and per-index independent; fan out on the shared
+  // pool for large commitment keys (setup cost only — commits themselves
+  // are what the paper measures). Each index writes its own slot, so the
+  // result does not depend on how the range is chunked.
+  ThreadPool& pool = ThreadPool::shared();
+  if (count >= 4096 && pool.concurrency() > 1) {
+    pool.parallel_for(0, count, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) out[i] = hash_to_curve(curve, domain, i);
     });
+  } else {
+    for (std::size_t i = 0; i < count; ++i) out[i] = hash_to_curve(curve, domain, i);
   }
-  for (auto& th : threads) th.join();
   return out;
 }
 

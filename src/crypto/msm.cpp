@@ -30,6 +30,34 @@ int pick_window(std::size_t n) {
   return w;
 }
 
+/// v >> bits, bits in [0, 256).
+U256 shift_right(const U256& v, int bits) {
+  U256 out{};
+  const int limb_shift = bits >> 6;
+  const int bit_shift = bits & 63;
+  for (int i = 0; i + limb_shift < 4; ++i) {
+    const std::size_t src = static_cast<std::size_t>(i + limb_shift);
+    std::uint64_t word = v.limb[src] >> bit_shift;
+    if (bit_shift != 0 && src + 1 < 4) {
+      word |= v.limb[src + 1] << (64 - bit_shift);
+    }
+    out.limb[static_cast<std::size_t>(i)] = word;
+  }
+  return out;
+}
+
+/// Sum of (digit * bucket[digit]) via the running-sum trick:
+///   sum_{d=1}^{B} d * bucket_d = sum of suffix sums.
+JacobianPoint fold_buckets(const Curve& curve, const std::vector<JacobianPoint>& buckets) {
+  JacobianPoint running = curve.infinity();
+  JacobianPoint sum = curve.infinity();
+  for (std::size_t d = buckets.size(); d > 0; --d) {
+    running = curve.add(running, buckets[d - 1]);
+    sum = curve.add(sum, running);
+  }
+  return sum;
+}
+
 }  // namespace
 
 JacobianPoint msm_naive(const Curve& curve, const std::vector<AffinePoint>& points,
@@ -68,15 +96,7 @@ JacobianPoint msm_pippenger(const Curve& curve, const std::vector<AffinePoint>& 
       buckets[digit - 1] = curve.add_mixed(buckets[digit - 1], points[i]);
     }
 
-    // Sum of (digit * bucket[digit]) via the running-sum trick:
-    //   sum_{d=1}^{B} d * bucket_d = sum of suffix sums.
-    JacobianPoint running = curve.infinity();
-    JacobianPoint window_sum = curve.infinity();
-    for (std::size_t d = num_buckets; d > 0; --d) {
-      running = curve.add(running, buckets[d - 1]);
-      window_sum = curve.add(window_sum, running);
-    }
-    result = curve.add(result, window_sum);
+    result = curve.add(result, fold_buckets(curve, buckets));
   }
   return result;
 }
@@ -85,6 +105,158 @@ JacobianPoint msm(const Curve& curve, const std::vector<AffinePoint>& points,
                   const std::vector<U256>& scalars) {
   if (points.size() < 8) return msm_naive(curve, points, scalars);
   return msm_pippenger(curve, points, scalars);
+}
+
+JacobianPoint msm_parallel(const Curve& curve, const std::vector<AffinePoint>& points,
+                           const std::vector<U256>& scalars, ThreadPool& pool) {
+  check_sizes(points, scalars);
+  const std::size_t n = points.size();
+  const std::size_t threads = pool.concurrency();
+  if (threads == 1 || n < 1024) return msm(curve, points, scalars);
+
+  // One chunk per thread; each runs an independent Pippenger over its
+  // slice. The partial sums are combined in chunk order, and the group law
+  // is associative, so the folded point — and therefore its affine
+  // serialization — is identical at any thread count.
+  const std::size_t grain = (n + threads - 1) / threads;
+  const std::size_t chunks = (n + grain - 1) / grain;
+  std::vector<JacobianPoint> partial(chunks, curve.infinity());
+  pool.parallel_for(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        const std::vector<AffinePoint> pts(points.begin() + static_cast<std::ptrdiff_t>(lo),
+                                           points.begin() + static_cast<std::ptrdiff_t>(hi));
+        const std::vector<U256> sc(scalars.begin() + static_cast<std::ptrdiff_t>(lo),
+                                   scalars.begin() + static_cast<std::ptrdiff_t>(hi));
+        partial[lo / grain] = msm(curve, pts, sc);
+      },
+      grain);
+  JacobianPoint acc = curve.infinity();
+  for (const JacobianPoint& p : partial) acc = curve.add(acc, p);
+  return acc;
+}
+
+int pick_fixed_base_window(std::size_t n, int covered_bits) {
+  int best = 2;
+  double best_cost = 0;
+  for (int c = 2; c <= 16; ++c) {
+    const int windows = (covered_bits + c - 1) / c;
+    const double cost =
+        static_cast<double>(n) * windows + static_cast<double>(std::size_t{1} << (c + 1));
+    if (c == 2 || cost < best_cost) {
+      best = c;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+FixedBaseTables FixedBaseTables::build(const Curve& curve,
+                                       const std::vector<AffinePoint>& bases, int window_bits,
+                                       int covered_bits, ThreadPool* pool) {
+  if (window_bits < 2 || window_bits > 16) {
+    throw std::invalid_argument("FixedBaseTables: window_bits must be in [2, 16]");
+  }
+  if (covered_bits < window_bits) covered_bits = window_bits;
+
+  FixedBaseTables t;
+  t.window_bits_ = window_bits;
+  t.windows_ = (covered_bits + window_bits - 1) / window_bits;
+  t.curve_ = curve.id();
+  const std::size_t windows = static_cast<std::size_t>(t.windows_);
+  t.entries_.resize(bases.size() * windows);
+
+  auto build_range = [&](std::size_t lo, std::size_t hi) {
+    // One doubling chain per base, then a single batch inversion for the
+    // whole chunk's Jacobian points.
+    std::vector<JacobianPoint> chunk((hi - lo) * windows);
+    for (std::size_t i = lo; i < hi; ++i) {
+      JacobianPoint p = curve.to_jacobian(bases[i]);
+      chunk[(i - lo) * windows] = p;
+      for (std::size_t j = 1; j < windows; ++j) {
+        for (int d = 0; d < window_bits; ++d) p = curve.dbl(p);
+        chunk[(i - lo) * windows + j] = p;
+      }
+    }
+    const std::vector<AffinePoint> affine = curve.batch_to_affine(chunk);
+    std::copy(affine.begin(), affine.end(),
+              t.entries_.begin() + static_cast<std::ptrdiff_t>(lo * windows));
+  };
+
+  if (pool != nullptr && pool->concurrency() > 1 && bases.size() >= 256) {
+    pool->parallel_for(0, bases.size(), build_range);
+  } else {
+    build_range(0, bases.size());
+  }
+  return t;
+}
+
+JacobianPoint msm_fixed_base(const Curve& curve, const FixedBaseTables& tables,
+                             const std::vector<U256>& scalars,
+                             const std::vector<std::uint8_t>* negate, ThreadPool* pool) {
+  if (tables.curve() != curve.id()) {
+    throw std::invalid_argument("msm_fixed_base: tables built for a different curve");
+  }
+  if (scalars.size() > tables.bases()) {
+    throw std::invalid_argument("msm_fixed_base: more scalars than precomputed bases");
+  }
+  if (negate != nullptr && negate->size() != scalars.size()) {
+    throw std::invalid_argument("msm_fixed_base: negate mask size mismatch");
+  }
+  const std::size_t n = scalars.size();
+  if (n == 0) return curve.infinity();
+
+  const int c = tables.window_bits();
+  const int windows = tables.windows();
+  const int covered = c * windows;
+  const std::size_t num_buckets = (std::size_t{1} << c) - 1;
+  const FieldCtx& fp = curve.fp();
+
+  // Single bucket pass over all (base, window) digit pairs: each digit
+  // selects the precomputed 2^(c*j) * base_i entry, so there are no
+  // doublings and the bucket aggregation runs exactly once.
+  auto msm_range = [&](std::size_t lo, std::size_t hi) -> JacobianPoint {
+    std::vector<JacobianPoint> buckets(num_buckets, curve.infinity());
+    JacobianPoint overflow = curve.infinity();
+    for (std::size_t i = lo; i < hi; ++i) {
+      const U256& s = scalars[i];
+      if (s.is_zero()) continue;
+      const bool neg = negate != nullptr && (*negate)[i] != 0;
+      for (int j = 0; j < windows; ++j) {
+        const std::uint64_t digit = s.bits(j * c, c);
+        if (digit == 0) continue;
+        AffinePoint pt = tables.entry(i, j);
+        if (pt.infinity) continue;
+        if (neg) pt.y = fp.neg(pt.y);
+        buckets[digit - 1] = curve.add_mixed(buckets[digit - 1], pt);
+      }
+      if (s.bit_length() > covered) {
+        // Rare fallback for scalars beyond the covered range: the excess
+        // (s >> covered) * 2^covered * base equals the top table entry
+        // times the excess, shifted up by one window.
+        const U256 high = shift_right(s, covered);
+        JacobianPoint top = curve.scalar_mul_wnaf(tables.entry(i, windows - 1), high);
+        for (int d = 0; d < c; ++d) top = curve.dbl(top);
+        if (neg) top = curve.neg(top);
+        overflow = curve.add(overflow, top);
+      }
+    }
+    return curve.add(fold_buckets(curve, buckets), overflow);
+  };
+
+  if (pool == nullptr || pool->concurrency() == 1 || n < 1024) {
+    return msm_range(0, n);
+  }
+  const std::size_t threads = pool->concurrency();
+  const std::size_t grain = (n + threads - 1) / threads;
+  const std::size_t chunks = (n + grain - 1) / grain;
+  std::vector<JacobianPoint> partial(chunks, curve.infinity());
+  pool->parallel_for(
+      0, n, [&](std::size_t lo, std::size_t hi) { partial[lo / grain] = msm_range(lo, hi); },
+      grain);
+  JacobianPoint acc = curve.infinity();
+  for (const JacobianPoint& p : partial) acc = curve.add(acc, p);
+  return acc;
 }
 
 }  // namespace dfl::crypto

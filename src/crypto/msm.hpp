@@ -1,17 +1,26 @@
 // Multi-scalar multiplication: sum_i  s_i * P_i.
 //
-// Two implementations:
+// Backends:
 //  - `msm_naive`: independent double-and-add per term. This mirrors the
 //    paper's "rather straight-forward" Pedersen implementation (Section V).
 //  - `msm_pippenger`: bucketed windowed method (the multi-exponentiation
 //    optimization the paper cites as future work [27, 28]).
+//  - `msm_parallel`: Pippenger over thread-pool chunks; the group law is
+//    associative, so the combined point is identical at any concurrency.
+//  - `msm_fixed_base`: single bucket pass over per-generator precomputed
+//    shifted multiples (`FixedBaseTables`) — no doublings at all. For keys
+//    whose generators are fixed per task (Pedersen), this trades a one-time
+//    table build for a cheaper per-commit cost.
 //
-// Both scan the actual scalar bit lengths, so small scalars (fixed-point
-// gradients) are automatically cheap and nothing is ever truncated.
+// All backends scan the actual scalar bit lengths, so small scalars
+// (fixed-point gradients) are automatically cheap and nothing is ever
+// truncated; every backend computes the exact same group element.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "common/pool.hpp"
 #include "crypto/curve.hpp"
 
 namespace dfl::crypto {
@@ -28,5 +37,64 @@ JacobianPoint msm_pippenger(const Curve& curve, const std::vector<AffinePoint>& 
 /// Dispatches to Pippenger for large inputs, naive for tiny ones.
 JacobianPoint msm(const Curve& curve, const std::vector<AffinePoint>& points,
                   const std::vector<U256>& scalars);
+
+/// Pippenger over pool chunks, partial sums combined in chunk order.
+/// Bit-identical to `msm` at any pool size (group-law associativity); falls
+/// back to single-threaded `msm` for small inputs.
+JacobianPoint msm_parallel(const Curve& curve, const std::vector<AffinePoint>& points,
+                           const std::vector<U256>& scalars, ThreadPool& pool);
+
+/// Per-generator fixed-base precomputation: entry(i, j) = 2^(w*j) * base_i
+/// for j in [0, windows). A scalar is split into w-bit digits; each digit
+/// indexes one bucket pass over the matching shifted base, so an MSM costs
+/// `windows` mixed additions per nonzero digit and zero doublings. Scalar
+/// bits beyond w*windows (rare for gradient magnitudes) are folded back
+/// through a variable-base multiply of the top entry, so nothing is ever
+/// truncated. Memory: windows points per generator.
+class FixedBaseTables {
+ public:
+  FixedBaseTables() = default;
+
+  /// Builds tables covering `covered_bits` scalar bits with `window_bits`-
+  /// wide digits. window_bits in [2, 16]; covered_bits >= window_bits.
+  /// The build (windows-1 doubling chains per base plus one batch
+  /// inversion per chunk) is parallelized over `pool` when given.
+  static FixedBaseTables build(const Curve& curve, const std::vector<AffinePoint>& bases,
+                               int window_bits, int covered_bits, ThreadPool* pool = nullptr);
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t bases() const { return windows_ == 0 ? 0 : entries_.size() / windows_; }
+  [[nodiscard]] int window_bits() const { return window_bits_; }
+  [[nodiscard]] int windows() const { return windows_; }
+  [[nodiscard]] CurveId curve() const { return curve_; }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return entries_.size() * sizeof(AffinePoint);
+  }
+  [[nodiscard]] const AffinePoint& entry(std::size_t base, int window) const {
+    return entries_[base * static_cast<std::size_t>(windows_) +
+                    static_cast<std::size_t>(window)];
+  }
+
+ private:
+  std::vector<AffinePoint> entries_;  // base-major: [i * windows + j]
+  int window_bits_ = 0;
+  int windows_ = 0;
+  CurveId curve_ = CurveId::kSecp256k1;
+};
+
+/// MSM over precomputed tables; uses the first `scalars.size()` bases.
+/// `negate`, when given (same length as scalars), subtracts that term
+/// instead of adding it — the Pedersen signed-magnitude encoding without
+/// materializing negated copies of the generators. Parallelized over base
+/// chunks when `pool` is given; identical result at any concurrency.
+JacobianPoint msm_fixed_base(const Curve& curve, const FixedBaseTables& tables,
+                             const std::vector<U256>& scalars,
+                             const std::vector<std::uint8_t>* negate = nullptr,
+                             ThreadPool* pool = nullptr);
+
+/// Cost-model window pick for a fixed-base MSM of `n` bases covering
+/// `covered_bits` scalar bits: argmin over c of the point-addition count
+/// n * ceil(covered_bits / c) + 2^(c+1)  (bucket inserts + bucket folding).
+int pick_fixed_base_window(std::size_t n, int covered_bits);
 
 }  // namespace dfl::crypto

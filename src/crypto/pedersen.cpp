@@ -17,9 +17,51 @@ PedersenKey::PedersenKey(const Curve& curve, std::string domain, std::size_t dim
       blinding_(hash_to_curve(curve, domain_ + "/blinding", 0)),
       mode_(mode) {}
 
+void PedersenKey::configure_fixed_base(int window_bits, int covered_bits) {
+  if (covered_bits <= 0) covered_bits = 34;  // fixed-point gradient magnitudes
+  if (window_bits <= 0) window_bits = pick_fixed_base_window(generators_.size(), covered_bits);
+  const std::lock_guard<std::mutex> lock(fb_mu_);
+  fb_window_bits_ = window_bits;
+  fb_covered_bits_ = covered_bits;
+  fb_tables_.reset();  // reconfigure invalidates any previously built tables
+}
+
+const FixedBaseTables* PedersenKey::fixed_base_tables() const {
+  const std::lock_guard<std::mutex> lock(fb_mu_);
+  return fb_tables_.get();
+}
+
+const FixedBaseTables& PedersenKey::ensure_fixed_base() const {
+  const std::lock_guard<std::mutex> lock(fb_mu_);
+  if (!fb_tables_) {
+    fb_tables_ = std::make_unique<FixedBaseTables>(
+        FixedBaseTables::build(*curve_, generators_, fb_window_bits_, fb_covered_bits_, pool_));
+  }
+  return *fb_tables_;
+}
+
 JacobianPoint PedersenKey::commit_point(const std::vector<std::int64_t>& values) const {
   if (values.size() > generators_.size()) {
     throw std::invalid_argument("PedersenKey::commit: vector longer than key dimension");
+  }
+  // The fixed-base path only serves kAuto: the forced kNaive/kPippenger
+  // modes stay exact baselines for tests and benchmarks.
+  if (mode_ == MsmMode::kAuto && fixed_base_enabled()) {
+    // Index-aligned scalars (zeros are skipped inside the MSM) with the
+    // sign carried as a negate mask, so no generator copies are made.
+    const FixedBaseTables& tables = ensure_fixed_base();
+    std::vector<U256> scalars(values.size());
+    std::vector<std::uint8_t> negate(values.size(), 0);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const std::int64_t v = values[i];
+      if (v < 0) {
+        negate[i] = 1;
+        scalars[i] = U256(static_cast<std::uint64_t>(-(v + 1)) + 1);
+      } else {
+        scalars[i] = U256(static_cast<std::uint64_t>(v));
+      }
+    }
+    return msm_fixed_base(*curve_, tables, scalars, &negate, pool_);
   }
   // Use |v| as the scalar and fold the sign into the generator, keeping
   // scalars short (gradient-sized) for both MSM backends.
@@ -48,6 +90,7 @@ JacobianPoint PedersenKey::commit_point(const std::vector<std::int64_t>& values)
     case MsmMode::kPippenger:
       return msm_pippenger(*curve_, points, scalars);
     case MsmMode::kAuto:
+      if (pool_ != nullptr) return msm_parallel(*curve_, points, scalars, *pool_);
       return msm(*curve_, points, scalars);
   }
   return curve_->infinity();
@@ -121,7 +164,8 @@ bool PedersenKey::verify_batch(const std::vector<Commitment>& cs,
       return false;
     }
   }
-  const JacobianPoint lhs = msm(*curve_, c_points, r);
+  const JacobianPoint lhs =
+      pool_ != nullptr ? msm_parallel(*curve_, c_points, r, *pool_) : msm(*curve_, c_points, r);
 
   // RHS: commit(sum_i r_i * v_i) with coefficients folded in the scalar
   // field, evaluated as one MSM over the generators.
@@ -141,7 +185,11 @@ bool PedersenKey::verify_batch(const std::vector<Commitment>& cs,
   std::vector<U256> scalars;
   scalars.reserve(dim);
   for (const Fe& f : folded) scalars.push_back(fn.from_mont(f));
-  const JacobianPoint rhs = msm(*curve_, gens, scalars);
+  // The folded coefficients are full-width scalars, so the fixed-base
+  // tables (sized for gradient magnitudes) would mostly hit the overflow
+  // path here — the variable-base backends are the right tool.
+  const JacobianPoint rhs =
+      pool_ != nullptr ? msm_parallel(*curve_, gens, scalars, *pool_) : msm(*curve_, gens, scalars);
 
   return curve_->eq(lhs, rhs);
 }

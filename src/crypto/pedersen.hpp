@@ -12,10 +12,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/pool.hpp"
 #include "common/rng.hpp"
 #include "crypto/curve.hpp"
 #include "crypto/msm.hpp"
@@ -48,6 +51,27 @@ class PedersenKey {
   [[nodiscard]] const std::string& domain() const { return domain_; }
   [[nodiscard]] MsmMode mode() const { return mode_; }
   void set_mode(MsmMode mode) { mode_ = mode; }
+
+  /// Attaches a thread pool used to parallelize large commits/verifies (and
+  /// the lazy fixed-base table build). Null detaches. Results are identical
+  /// at any concurrency; only wall-clock changes. The pool must outlive the
+  /// key (or be detached first).
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+  [[nodiscard]] ThreadPool* pool() const { return pool_; }
+
+  /// Enables the fixed-base commit path (kAuto mode only — the forced
+  /// kNaive/kPippenger modes stay exact baselines): per-generator window
+  /// tables are built lazily (once, thread-safe) on first use, then commits
+  /// become digit-indexed table lookups with zero doublings. `window_bits` 0 picks
+  /// the cost-model argmin for this key's dimension; `covered_bits` 0
+  /// defaults to 34 bits, enough for fixed-point gradient magnitudes
+  /// (larger scalars still work through the overflow fallback).
+  void configure_fixed_base(int window_bits = 0, int covered_bits = 0);
+  [[nodiscard]] bool fixed_base_enabled() const { return fb_window_bits_ != 0; }
+
+  /// The tables, or nullptr before the first fixed-base commit forces the
+  /// build. Exposed for benchmarks reporting table memory.
+  [[nodiscard]] const FixedBaseTables* fixed_base_tables() const;
 
   /// Commits to a signed-integer vector (len <= dim; shorter vectors use a
   /// prefix of the generators). Throws std::invalid_argument if too long.
@@ -88,12 +112,20 @@ class PedersenKey {
 
  private:
   [[nodiscard]] JacobianPoint commit_point(const std::vector<std::int64_t>& values) const;
+  [[nodiscard]] const FixedBaseTables& ensure_fixed_base() const;
 
   const Curve* curve_;
   std::string domain_;
   std::vector<AffinePoint> generators_;
   AffinePoint blinding_;
   MsmMode mode_;
+  ThreadPool* pool_ = nullptr;
+  int fb_window_bits_ = 0;  // 0 = fixed-base path disabled
+  int fb_covered_bits_ = 0;
+  // Lazy table build guarded by a mutex (which also makes the key
+  // non-copyable — keys are shared by reference everywhere).
+  mutable std::mutex fb_mu_;
+  mutable std::unique_ptr<FixedBaseTables> fb_tables_;
 };
 
 }  // namespace dfl::crypto

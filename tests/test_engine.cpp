@@ -1,0 +1,143 @@
+#include "crypto/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dfl::crypto {
+namespace {
+
+std::vector<std::int64_t> sample_gradient(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = rng.uniform_int(-(1 << 20), 1 << 20);
+  return v;
+}
+
+TEST(Engine, CommitMatchesPlainKey) {
+  const Curve& c = Curve::secp256k1();
+  PedersenKey plain(c, "engine-test", 64);
+  PedersenKey engined(c, "engine-test", 64);
+  Engine engine(engined, EngineConfig{.threads = 2, .fixed_base_window = 1});
+
+  const auto v = sample_gradient(64, 7);
+  EXPECT_EQ(plain.commit(v), engine.commit(v));
+  EXPECT_TRUE(engine.verify(engine.commit(v), v));
+}
+
+TEST(Engine, CommitmentsBitIdenticalAcrossThreadCounts) {
+  // The acceptance criterion: identical serialized commitments at any
+  // concurrency, fixed-base on or off.
+  const Curve& c = Curve::secp256k1();
+  const auto v = sample_gradient(300, 21);
+  std::vector<Commitment> seen;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    for (const int fb : {0, 1}) {
+      PedersenKey key(c, "engine-det", 300);
+      Engine engine(key, EngineConfig{.threads = threads, .fixed_base_window = fb});
+      seen.push_back(engine.commit(v));
+    }
+  }
+  for (std::size_t i = 1; i < seen.size(); ++i) EXPECT_EQ(seen[0], seen[i]);
+}
+
+TEST(Engine, BatchVerifyAcceptsHonestAndRejectsForged) {
+  const Curve& c = Curve::secp256k1();
+  PedersenKey key(c, "engine-batch", 32);
+  Engine engine(key, EngineConfig{.threads = 2});
+
+  std::vector<Commitment> cs;
+  std::vector<std::vector<std::int64_t>> values;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    values.push_back(sample_gradient(32, 100 + i));
+    cs.push_back(engine.commit(values.back()));
+  }
+  EXPECT_TRUE(engine.verify_batch(cs, values));
+
+  auto forged = values;
+  forged[3][10] += 1;
+  EXPECT_FALSE(engine.verify_batch(cs, forged));
+  EXPECT_TRUE(engine.verify_batch({}, {}));
+  EXPECT_FALSE(engine.verify_batch(cs, {}));  // size mismatch
+}
+
+TEST(Engine, BatchVerifyVerdictDeterministicAcrossEngines) {
+  // Fiat–Shamir coefficients depend only on the transcript, so two engines
+  // (different thread counts) agree — and repeated calls are stable.
+  const Curve& c = Curve::secp256r1();
+  PedersenKey k1(c, "engine-fs", 16);
+  PedersenKey k2(c, "engine-fs", 16);
+  Engine e1(k1, EngineConfig{.threads = 1});
+  Engine e2(k2, EngineConfig{.threads = 4});
+
+  std::vector<Commitment> cs;
+  std::vector<std::vector<std::int64_t>> values;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    values.push_back(sample_gradient(16, 55 + i));
+    cs.push_back(e1.commit(values[i]));
+  }
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_TRUE(e1.verify_batch(cs, values));
+    EXPECT_TRUE(e2.verify_batch(cs, values));
+  }
+}
+
+TEST(Engine, StatsCountOperations) {
+  const Curve& c = Curve::secp256k1();
+  PedersenKey key(c, "engine-stats", 16);
+  Engine engine(key, EngineConfig{.threads = 1});
+
+  const auto v = sample_gradient(16, 3);
+  const Commitment cm = engine.commit(v);
+  EXPECT_TRUE(engine.verify(cm, v));
+  EXPECT_TRUE(engine.verify_batch({cm}, {v}));
+
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.commits, 1u);
+  EXPECT_EQ(s.verifies, 1u);
+  EXPECT_EQ(s.batch_verifies, 1u);
+  EXPECT_EQ(s.committed_elements, 16u);
+}
+
+TEST(Engine, CalibrateReportsPositiveRate) {
+  const Curve& c = Curve::secp256k1();
+  PedersenKey key(c, "engine-cal", 128);
+  Engine engine(key, EngineConfig{.threads = 2, .fixed_base_window = 1});
+  const Calibration cal = engine.calibrate(128, 1);
+  EXPECT_GT(cal.ns_per_element, 0.0);
+  EXPECT_GT(cal.parallel_speedup, 0.0);
+  EXPECT_EQ(cal.threads, 2u);
+  // Calibration must leave the engine fully functional.
+  const auto v = sample_gradient(128, 9);
+  EXPECT_TRUE(engine.verify(engine.commit(v), v));
+}
+
+TEST(Engine, FixedBaseTablesBuildLazilyAndReportMemory) {
+  const Curve& c = Curve::secp256k1();
+  PedersenKey key(c, "engine-lazy", 32);
+  Engine engine(key, EngineConfig{.threads = 1, .fixed_base_window = 8});
+  EXPECT_TRUE(key.fixed_base_enabled());
+  EXPECT_EQ(key.fixed_base_tables(), nullptr);  // not built yet
+  (void)engine.commit(sample_gradient(32, 1));
+  const FixedBaseTables* tables = key.fixed_base_tables();
+  ASSERT_NE(tables, nullptr);
+  EXPECT_EQ(tables->bases(), 32u);
+  EXPECT_EQ(tables->window_bits(), 8);
+  EXPECT_GT(tables->memory_bytes(), 0u);
+}
+
+TEST(Engine, DetachesPoolOnDestruction) {
+  const Curve& c = Curve::secp256k1();
+  PedersenKey key(c, "engine-detach", 8);
+  {
+    Engine engine(key, EngineConfig{.threads = 2});
+    EXPECT_NE(key.pool(), nullptr);
+  }
+  EXPECT_EQ(key.pool(), nullptr);
+  // Key still works standalone after the engine is gone.
+  const auto v = sample_gradient(8, 2);
+  EXPECT_TRUE(key.verify(key.commit(v), v));
+}
+
+}  // namespace
+}  // namespace dfl::crypto

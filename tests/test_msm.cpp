@@ -103,6 +103,163 @@ TEST(Msm, SingleTermMatchesScalarMul) {
   EXPECT_TRUE(c.eq(msm_pippenger(c, {g}, {k}), expected));
 }
 
+TEST(Msm, DuplicatePointsAccumulate) {
+  // The same point appearing many times (with equal and different scalars)
+  // must behave exactly like the sum of scalars on one point.
+  const Curve& c = Curve::secp256k1();
+  const auto gens = derive_generators(c, "msm-dup", 2);
+  const std::vector<AffinePoint> pts = {gens[0], gens[1], gens[0], gens[0], gens[1]};
+  const std::vector<U256> scalars = {U256(5), U256(7), U256(5), U256(11), U256(2)};
+  const JacobianPoint a = msm_naive(c, pts, scalars);
+  const JacobianPoint b = msm_pippenger(c, pts, scalars);
+  const JacobianPoint expected = c.add(c.scalar_mul(gens[0], U256(5 + 5 + 11)),
+                                       c.scalar_mul(gens[1], U256(7 + 2)));
+  EXPECT_TRUE(c.eq(a, expected));
+  EXPECT_TRUE(c.eq(b, expected));
+}
+
+TEST(Msm, MixedScalarBitLengthsInOneCall) {
+  // One MSM mixing tiny, mid-size, and near-order scalars: the windowed
+  // backends must scan the full range without truncating the large ones.
+  const Curve& c = Curve::secp256k1();
+  const auto pts = derive_generators(c, "msm-mixed", 6);
+  U256 near_order = c.order();
+  near_order.sub_assign(U256(1));
+  const std::vector<U256> scalars = {
+      U256(0), U256(1), U256(0xffff), U256(0, 1, 0, 0),  // 2^64
+      U256::from_hex("123456789abcdef0123456789abcdef0"), near_order};
+  const JacobianPoint a = msm_naive(c, pts, scalars);
+  const JacobianPoint b = msm_pippenger(c, pts, scalars);
+  EXPECT_TRUE(c.eq(a, b));
+}
+
+TEST(Msm, ParallelMatchesSerialAtAnyPoolSize) {
+  const Curve& c = Curve::secp256k1();
+  const std::size_t n = 2048;  // above the parallel threshold
+  const auto pts = derive_generators(c, "msm-par", n);
+  Rng rng(4242);
+  std::vector<U256> scalars;
+  scalars.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) scalars.push_back(U256(rng.next() >> 20));
+
+  const JacobianPoint serial = msm(c, pts, scalars);
+  for (const std::size_t threads : {1u, 2u, 5u}) {
+    ThreadPool pool(threads);
+    EXPECT_TRUE(c.eq(serial, msm_parallel(c, pts, scalars, pool)))
+        << "mismatch at " << threads << " threads";
+  }
+}
+
+class FixedBase : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedBase, MatchesPippengerAcrossWindows) {
+  const int w = GetParam();
+  const Curve& c = Curve::secp256k1();
+  const std::size_t n = 64;
+  const auto pts = derive_generators(c, "msm-fb", n);
+  const auto tables = FixedBaseTables::build(c, pts, w, 34);
+  EXPECT_EQ(tables.bases(), n);
+  EXPECT_EQ(tables.window_bits(), w);
+
+  Rng rng(1000 + static_cast<std::uint64_t>(w));
+  std::vector<U256> scalars;
+  for (std::size_t i = 0; i < n; ++i) scalars.push_back(U256(rng.next() & 0x3ffffffffULL));
+  scalars[0] = U256{};  // zero scalar
+  scalars[1] = U256(1);
+
+  const JacobianPoint expected = msm_pippenger(c, pts, scalars);
+  EXPECT_TRUE(c.eq(expected, msm_fixed_base(c, tables, scalars)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, FixedBase, ::testing::Values(2, 3, 8, 13),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+TEST(Msm, FixedBaseNegateMaskSubtracts) {
+  const Curve& c = Curve::secp256k1();
+  const auto pts = derive_generators(c, "msm-fb-neg", 4);
+  const auto tables = FixedBaseTables::build(c, pts, 4, 16);
+  const std::vector<U256> scalars = {U256(3), U256(5), U256(0), U256(9)};
+  const std::vector<std::uint8_t> negate = {0, 1, 0, 1};
+
+  // 3*P0 - 5*P1 - 9*P3.
+  JacobianPoint expected = c.scalar_mul(pts[0], U256(3));
+  expected = c.add(expected, c.neg(c.scalar_mul(pts[1], U256(5))));
+  expected = c.add(expected, c.neg(c.scalar_mul(pts[3], U256(9))));
+  EXPECT_TRUE(c.eq(expected, msm_fixed_base(c, tables, scalars, &negate)));
+}
+
+TEST(Msm, FixedBaseOverflowBeyondCoveredBitsIsExact) {
+  // Tables cover only 8 bits; scalars far beyond that must still be exact
+  // through the overflow fallback (nothing is ever truncated).
+  const Curve& c = Curve::secp256r1();
+  const auto pts = derive_generators(c, "msm-fb-ovf", 3);
+  const auto tables = FixedBaseTables::build(c, pts, 4, 8);
+  const std::vector<U256> scalars = {U256(0xdeadbeefULL),
+                                     U256::from_hex("ffffffffffffffffffffffff"), U256(255)};
+  const JacobianPoint expected = msm_naive(c, pts, scalars);
+  EXPECT_TRUE(c.eq(expected, msm_fixed_base(c, tables, scalars)));
+
+  // And with a negate mask on the overflowing term.
+  const std::vector<std::uint8_t> negate = {1, 0, 0};
+  JacobianPoint exp2 = c.neg(c.scalar_mul(pts[0], scalars[0]));
+  exp2 = c.add(exp2, c.scalar_mul(pts[1], scalars[1]));
+  exp2 = c.add(exp2, c.scalar_mul(pts[2], scalars[2]));
+  EXPECT_TRUE(c.eq(exp2, msm_fixed_base(c, tables, scalars, &negate)));
+}
+
+TEST(Msm, FixedBaseParallelBuildAndRunMatchSerial) {
+  const Curve& c = Curve::secp256k1();
+  const std::size_t n = 1500;  // above both parallel thresholds
+  const auto pts = derive_generators(c, "msm-fb-par", n);
+  ThreadPool pool(3);
+  const auto serial_tables = FixedBaseTables::build(c, pts, 6, 34);
+  const auto parallel_tables = FixedBaseTables::build(c, pts, 6, 34, &pool);
+  Rng rng(31337);
+  std::vector<U256> scalars;
+  std::vector<std::uint8_t> negate;
+  for (std::size_t i = 0; i < n; ++i) {
+    scalars.push_back(U256(rng.next() & 0xffffffffULL));
+    negate.push_back(static_cast<std::uint8_t>(rng.next() & 1));
+  }
+  const JacobianPoint serial = msm_fixed_base(c, serial_tables, scalars, &negate);
+  const JacobianPoint parallel = msm_fixed_base(c, parallel_tables, scalars, &negate, &pool);
+  EXPECT_TRUE(c.eq(serial, parallel));
+}
+
+TEST(Msm, FixedBasePrefixOfBases) {
+  // Fewer scalars than precomputed bases: uses the generator prefix.
+  const Curve& c = Curve::secp256k1();
+  const auto pts = derive_generators(c, "msm-fb-prefix", 10);
+  const auto tables = FixedBaseTables::build(c, pts, 4, 20);
+  const std::vector<U256> scalars = {U256(123), U256(456)};
+  const std::vector<AffinePoint> prefix(pts.begin(), pts.begin() + 2);
+  EXPECT_TRUE(c.eq(msm_naive(c, prefix, scalars), msm_fixed_base(c, tables, scalars)));
+  EXPECT_TRUE(c.is_infinity(msm_fixed_base(c, tables, {})));
+}
+
+TEST(Msm, FixedBaseRejectsBadInputs) {
+  const Curve& k1 = Curve::secp256k1();
+  const auto pts = derive_generators(k1, "msm-fb-bad", 2);
+  EXPECT_THROW((void)FixedBaseTables::build(k1, pts, 1, 8), std::invalid_argument);
+  EXPECT_THROW((void)FixedBaseTables::build(k1, pts, 17, 8), std::invalid_argument);
+  const auto tables = FixedBaseTables::build(k1, pts, 4, 8);
+  const std::vector<U256> three(3, U256(1));
+  EXPECT_THROW((void)msm_fixed_base(k1, tables, three), std::invalid_argument);
+  const std::vector<U256> two(2, U256(1));
+  const std::vector<std::uint8_t> short_mask(1, 0);
+  EXPECT_THROW((void)msm_fixed_base(k1, tables, two, &short_mask), std::invalid_argument);
+  EXPECT_THROW((void)msm_fixed_base(Curve::secp256r1(), tables, two), std::invalid_argument);
+}
+
+TEST(Msm, PickFixedBaseWindowIsSane) {
+  EXPECT_GE(pick_fixed_base_window(1, 34), 2);
+  EXPECT_LE(pick_fixed_base_window(1, 34), 16);
+  // Larger inputs justify wider windows (monotone non-decreasing).
+  EXPECT_LE(pick_fixed_base_window(100, 34), pick_fixed_base_window(100000, 34));
+}
+
 TEST(Msm, LinearityInScalars) {
   // msm(P, s) + msm(P, t) == msm(P, s + t) elementwise (no order overflow).
   const Curve& c = Curve::secp256k1();

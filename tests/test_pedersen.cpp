@@ -199,6 +199,67 @@ TEST(Pedersen, ManyPartyAggregationScenario) {
   EXPECT_FALSE(key.verify(accumulated, poisoned));
 }
 
+TEST_P(PedersenBothCurves, FixedBaseModeAgreesWithDefault) {
+  const PedersenKey plain(curve(), "fb-agree", 48);
+  PedersenKey fb(curve(), "fb-agree", 48);
+  fb.configure_fixed_base();  // auto window, default covered bits
+  Rng rng(11);
+  for (int i = 0; i < 3; ++i) {
+    const auto v = random_values(rng, 48, 1 << 24);
+    EXPECT_EQ(plain.commit(v), fb.commit(v));
+    EXPECT_TRUE(fb.verify(fb.commit(v), v));
+  }
+  // Extreme signed values exercise the overflow path (64-bit magnitudes
+  // against 34-bit tables) and INT64_MIN negation.
+  const std::vector<std::int64_t> extremes = {std::numeric_limits<std::int64_t>::min(),
+                                              std::numeric_limits<std::int64_t>::max(), -1, 0, 1};
+  EXPECT_EQ(plain.commit(extremes), fb.commit(extremes));
+}
+
+TEST(Pedersen, FixedBaseWithPoolMatchesSerial) {
+  PedersenKey serial(Curve::secp256k1(), "fb-pool", 40);
+  PedersenKey pooled(Curve::secp256k1(), "fb-pool", 40);
+  ThreadPool pool(3);
+  pooled.set_pool(&pool);
+  pooled.configure_fixed_base(6);
+  Rng rng(12);
+  const auto v = random_values(rng, 40, 1 << 20);
+  EXPECT_EQ(serial.commit(v), pooled.commit(v));
+  pooled.set_pool(nullptr);
+  EXPECT_EQ(serial.commit(v), pooled.commit(v));
+}
+
+TEST(Pedersen, ReconfigureFixedBaseRebuildsTables) {
+  PedersenKey key(Curve::secp256k1(), "fb-reconf", 8);
+  key.configure_fixed_base(4);
+  const std::vector<std::int64_t> v{1, -2, 3, -4, 5, -6, 7, -8};
+  const Commitment first = key.commit(v);
+  ASSERT_NE(key.fixed_base_tables(), nullptr);
+  EXPECT_EQ(key.fixed_base_tables()->window_bits(), 4);
+  key.configure_fixed_base(7);
+  EXPECT_EQ(key.fixed_base_tables(), nullptr);  // invalidated
+  EXPECT_EQ(key.commit(v), first);
+  EXPECT_EQ(key.fixed_base_tables()->window_bits(), 7);
+}
+
+TEST(Pedersen, BatchVerifyUsesPoolConsistently) {
+  PedersenKey key(Curve::secp256k1(), "batch-pool", 16);
+  Rng vals_rng(13);
+  std::vector<Commitment> cs;
+  std::vector<std::vector<std::int64_t>> values;
+  for (int i = 0; i < 4; ++i) {
+    values.push_back(random_values(vals_rng, 16, 1 << 20));
+    cs.push_back(key.commit(values.back()));
+  }
+  ThreadPool pool(4);
+  key.set_pool(&pool);
+  Rng r1(77);
+  EXPECT_TRUE(key.verify_batch(cs, values, r1));
+  key.set_pool(nullptr);
+  Rng r2(77);
+  EXPECT_TRUE(key.verify_batch(cs, values, r2));
+}
+
 TEST(Pedersen, CommitmentHexEncoding) {
   const PedersenKey key(Curve::secp256k1(), "hex", 2);
   const Commitment c = key.commit({3, 4});

@@ -1,0 +1,136 @@
+#include "common/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace dfl {
+namespace {
+
+TEST(ThreadPool, ConcurrencyCountsCaller) {
+  ThreadPool solo(1);
+  EXPECT_EQ(solo.concurrency(), 1u);
+  ThreadPool four(4);
+  EXPECT_EQ(four.concurrency(), 4u);
+  ThreadPool hw(0);
+  EXPECT_GE(hw.concurrency(), 1u);
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  auto f1 = pool.submit([&] { ran.fetch_add(1); });
+  auto f2 = pool.submit([&] { ran.fetch_add(1); });
+  f1.get();
+  f2.get();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, SubmitRunsInlineWithoutWorkers) {
+  ThreadPool pool(1);
+  bool ran = false;
+  pool.submit([&] { ran = true; }).get();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ChunkBoundariesIndependentOfThreadCount) {
+  // Chunk boundaries must depend only on (begin, end, grain) so per-chunk
+  // results combined in chunk order are identical at any concurrency.
+  auto boundaries = [](ThreadPool& pool) {
+    std::vector<std::pair<std::size_t, std::size_t>> chunks(100);
+    pool.parallel_for(
+        0, 337,
+        [&](std::size_t lo, std::size_t hi) { chunks[lo / 10] = {lo, hi}; }, 10);
+    return chunks;
+  };
+  ThreadPool one(1);
+  ThreadPool many(7);
+  EXPECT_EQ(boundaries(one), boundaries(many));
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t lo, std::size_t) {
+                                   if (lo >= 50) throw std::runtime_error("chunk failed");
+                                 },
+                                 10),
+               std::runtime_error);
+  // The pool must stay usable after a failed parallel_for.
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 10, [&](std::size_t lo, std::size_t hi) {
+    sum.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(sum.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // A chunk issuing its own parallel_for must complete even when all
+  // workers are busy: the caller participates in draining its chunks.
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(0, 8, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      pool.parallel_for(0, 16, [&](std::size_t l2, std::size_t h2) {
+        inner_total.fetch_add(static_cast<int>(h2 - l2));
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, SharedPoolIsSingleton) {
+  ThreadPool& a = ThreadPool::shared();
+  ThreadPool& b = ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.concurrency(), 1u);
+}
+
+TEST(ThreadPool, ParallelForComputesSameSumAsSerial) {
+  const std::size_t n = 4096;
+  std::vector<std::uint64_t> data(n);
+  std::iota(data.begin(), data.end(), 1);
+  const std::uint64_t expected = std::accumulate(data.begin(), data.end(), std::uint64_t{0});
+
+  ThreadPool pool(3);
+  // Deterministic combination: per-chunk partials summed in chunk order.
+  const std::size_t grain = 100;
+  std::vector<std::uint64_t> partial((n + grain - 1) / grain, 0);
+  pool.parallel_for(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        std::uint64_t s = 0;
+        for (std::size_t i = lo; i < hi; ++i) s += data[i];
+        partial[lo / grain] = s;
+      },
+      grain);
+  EXPECT_EQ(std::accumulate(partial.begin(), partial.end(), std::uint64_t{0}), expected);
+}
+
+}  // namespace
+}  // namespace dfl

@@ -42,6 +42,12 @@ void usage() {
       "  --replicas N        global-update replicas (default 2)\n"
       "  --gradient-replicas N  gradient replicas (default 1)\n"
       "  --directory-replicas N directory service replicas (default 1)\n"
+      "crypto engine (with --verifiable):\n"
+      "  --crypto-threads N  commit/verify worker threads, 0 = all cores (default 1)\n"
+      "  --fixed-base W      fixed-base tables, W = window bits, 1 = auto-pick\n"
+      "  --batch-verify      fold aggregator checks into one batched verification\n"
+      "  --audit             trainers audit downloaded global updates\n"
+      "  --calibrate         measure real crypto speed and feed the simulated cost\n"
       "faults:\n"
       "  --malicious-agg I:B aggregator I behaves B in {drop, alter, offline}\n"
       "  --faulty-trainer I:B trainer I behaves B in {slow, offline}\n"
@@ -125,6 +131,16 @@ int main(int argc, char** argv) {
       cfg.options.gradient_replicas = v;
     } else if (a == "--directory-replicas" && parse_u64(next(), v)) {
       cfg.directory_replicas = v;
+    } else if (a == "--crypto-threads" && parse_u64(next(), v)) {
+      cfg.options.crypto_threads = v;
+    } else if (a == "--fixed-base" && parse_u64(next(), v)) {
+      cfg.options.fixed_base_window = static_cast<int>(v);
+    } else if (a == "--batch-verify") {
+      cfg.options.batch_verify = true;
+    } else if (a == "--audit") {
+      cfg.options.audit_updates = true;
+    } else if (a == "--calibrate") {
+      cfg.options.calibrate_crypto = true;
     } else if (a == "--seed" && parse_u64(next(), v)) {
       cfg.seed = v;
     } else if (a == "--verbose") {
@@ -179,6 +195,7 @@ int main(int argc, char** argv) {
   core::Deployment d(cfg);
   std::printf("%-7s %14s %14s %12s %14s %12s %10s\n", "round", "upload_s", "aggregation_s",
               "sync_s", "round_time_s", "agg_MB", "rejected");
+  core::CryptoRecord crypto_total;
   for (int r = 0; r < rounds; ++r) {
     const core::RoundMetrics m = d.run_round(static_cast<std::uint32_t>(r));
     const double round_s =
@@ -186,6 +203,18 @@ int main(int argc, char** argv) {
     std::printf("%-7d %14.2f %14.2f %12.2f %14.2f %12.2f %10d\n", r, m.mean_upload_delay_s(),
                 m.mean_aggregation_delay_s(), m.mean_sync_delay_s(), round_s,
                 m.mean_aggregator_bytes() / 1e6, m.rejected_updates);
+    crypto_total.commits += m.crypto.commits;
+    crypto_total.verifies += m.crypto.verifies;
+    crypto_total.batch_verifies += m.crypto.batch_verifies;
+    crypto_total.committed_elements += m.crypto.committed_elements;
+  }
+  if (crypto_total.commits + crypto_total.verifies + crypto_total.batch_verifies > 0) {
+    std::printf("\ncrypto engine: %llu commits (%llu elements), %llu verifies, "
+                "%llu batched verifications\n",
+                static_cast<unsigned long long>(crypto_total.commits),
+                static_cast<unsigned long long>(crypto_total.committed_elements),
+                static_cast<unsigned long long>(crypto_total.verifies),
+                static_cast<unsigned long long>(crypto_total.batch_verifies));
   }
 
   const auto& s = d.directory().stats();
