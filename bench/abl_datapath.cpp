@@ -1,0 +1,190 @@
+// Ablation A9: the zero-copy data plane. Runs the same fixed-seed FL
+// workload twice — once with sim::DataPathMode::kDeepCopy (faithful
+// emulation of the legacy copy-per-hop / hash-per-op plane) and once with
+// the zero-copy plane — and reports:
+//   * host-side memcpy'd payload bytes in each mode (the headline: the
+//     zero-copy plane must cut them by >= 5x on the 4 MB-model workload),
+//   * hash work (blocks hashed vs CID cache hits),
+//   * wall-clock per mode and the resulting simulator events/sec,
+//   * proof that *simulated* results are bit-identical across modes.
+// Results land in BENCH_sim.json ($DFL_BENCH_SIM_JSON overrides the path).
+//
+//   abl_datapath            # full workload: 50 trainers, 5 rounds, 4 MB model
+//   DFL_DATAPATH_SMOKE=1 abl_datapath   # CI-sized: 8 trainers, 2 rounds
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/runner.hpp"
+#include "sim/datapath.hpp"
+
+namespace {
+
+using namespace dfl;
+
+struct Workload {
+  std::size_t trainers = 50;
+  std::size_t partitions = 2;
+  std::size_t partition_elements = 262144;  // 2 x 262144 x 8 B ~= 4 MB model
+  int rounds = 5;
+  bool smoke = false;
+};
+
+struct ModeResult {
+  sim::DataPathStats stats;
+  double wall_seconds = 0;
+  std::uint64_t sim_events = 0;
+  // Simulated fingerprint: per-round completion time and cumulative wire
+  // bytes — these must not depend on the host-side data plane.
+  std::vector<sim::TimeNs> round_done;
+  std::vector<std::uint64_t> wire_bytes;
+
+  [[nodiscard]] double events_per_sec() const {
+    return wall_seconds <= 0 ? 0 : static_cast<double>(sim_events) / wall_seconds;
+  }
+};
+
+core::DeploymentConfig make_config(const Workload& w) {
+  core::DeploymentConfig cfg;
+  cfg.num_trainers = w.trainers;
+  cfg.num_partitions = w.partitions;
+  cfg.partition_elements = w.partition_elements;
+  cfg.aggs_per_partition = 2;
+  cfg.num_ipfs_nodes = 8;
+  cfg.providers_per_agg = 2;
+  cfg.options.gradient_replicas = 2;  // replica puts share one buffer
+  cfg.train_time = sim::from_millis(500);
+  cfg.seed = 42;
+  return cfg;
+}
+
+ModeResult run_mode(sim::DataPathMode mode, const Workload& w) {
+  sim::set_datapath_mode(mode);
+  sim::reset_datapath_stats();
+  const sim::DataPathStats before = sim::datapath_stats();
+
+  core::Deployment d(make_config(w));
+  ModeResult out;
+  const bench::WallTimer timer;
+  for (int r = 0; r < w.rounds; ++r) {
+    const core::RoundMetrics m = d.run_round(static_cast<std::uint32_t>(r));
+    out.sim_events += m.datapath.sim_events;
+    out.round_done.push_back(m.round_done);
+    out.wire_bytes.push_back(d.context().net.total_bytes_transferred());
+  }
+  out.wall_seconds = timer.seconds();
+  out.stats = sim::datapath_stats().since(before);
+  sim::set_datapath_mode(sim::DataPathMode::kZeroCopy);
+  return out;
+}
+
+const char* mode_json(const char* name, const ModeResult& r, std::string& buf) {
+  char line[1024];
+  std::snprintf(line, sizeof(line),
+                "  \"%s\": {\"bytes_copied\": %llu, \"bytes_shared\": %llu, "
+                "\"blocks_hashed\": %llu, \"bytes_hashed\": %llu, \"cid_cache_hits\": %llu, "
+                "\"blocks_created\": %llu, \"peak_resident_block_bytes\": %llu, "
+                "\"wall_seconds\": %.6f, \"sim_events\": %llu, \"events_per_sec\": %.1f}",
+                name, static_cast<unsigned long long>(r.stats.bytes_copied),
+                static_cast<unsigned long long>(r.stats.bytes_shared),
+                static_cast<unsigned long long>(r.stats.blocks_hashed),
+                static_cast<unsigned long long>(r.stats.bytes_hashed),
+                static_cast<unsigned long long>(r.stats.cid_cache_hits),
+                static_cast<unsigned long long>(r.stats.blocks_created),
+                static_cast<unsigned long long>(r.stats.peak_resident_block_bytes),
+                r.wall_seconds, static_cast<unsigned long long>(r.sim_events),
+                r.events_per_sec());
+  buf = line;
+  return buf.c_str();
+}
+
+}  // namespace
+
+int main() {
+  Workload w;
+  if (const char* v = std::getenv("DFL_DATAPATH_SMOKE");
+      v != nullptr && std::strcmp(v, "0") != 0) {
+    w = Workload{8, 2, 8192, 2, true};
+  }
+  const std::size_t model_bytes = w.partitions * (w.partition_elements + 1) * 8;
+
+  bench::print_header("Ablation A9: zero-copy data plane vs legacy deep-copy plane");
+  std::printf("  workload: %zu trainers, %zu partitions, %.1f MB model, %d rounds%s\n",
+              w.trainers, w.partitions, static_cast<double>(model_bytes) / 1e6, w.rounds,
+              w.smoke ? " (smoke)" : "");
+
+  const ModeResult deep = run_mode(sim::DataPathMode::kDeepCopy, w);
+  const ModeResult zero = run_mode(sim::DataPathMode::kZeroCopy, w);
+
+  const bool sim_identical =
+      deep.round_done == zero.round_done && deep.wire_bytes == zero.wire_bytes;
+  const double copy_reduction =
+      static_cast<double>(deep.stats.bytes_copied) /
+      static_cast<double>(zero.stats.bytes_copied == 0 ? 1 : zero.stats.bytes_copied);
+  const double wall_speedup = zero.wall_seconds <= 0
+                                  ? 0
+                                  : deep.wall_seconds / zero.wall_seconds;
+
+  std::printf("  %-28s %15s %15s\n", "", "deep_copy", "zero_copy");
+  std::printf("  %-28s %15.1f %15.1f\n", "payload MB memcpy'd",
+              static_cast<double>(deep.stats.bytes_copied) / 1e6,
+              static_cast<double>(zero.stats.bytes_copied) / 1e6);
+  std::printf("  %-28s %15llu %15llu\n", "blocks hashed",
+              static_cast<unsigned long long>(deep.stats.blocks_hashed),
+              static_cast<unsigned long long>(zero.stats.blocks_hashed));
+  std::printf("  %-28s %15llu %15llu\n", "CID cache hits",
+              static_cast<unsigned long long>(deep.stats.cid_cache_hits),
+              static_cast<unsigned long long>(zero.stats.cid_cache_hits));
+  std::printf("  %-28s %15.1f %15.1f\n", "peak resident block MB",
+              static_cast<double>(deep.stats.peak_resident_block_bytes) / 1e6,
+              static_cast<double>(zero.stats.peak_resident_block_bytes) / 1e6);
+  std::printf("  %-28s %15.3f %15.3f\n", "wall seconds", deep.wall_seconds,
+              zero.wall_seconds);
+  std::printf("  %-28s %15.0f %15.0f\n", "events/sec", deep.events_per_sec(),
+              zero.events_per_sec());
+  std::printf("  copy reduction: %.1fx | wall speedup: %.2fx | sim results identical: %s\n",
+              copy_reduction, wall_speedup, sim_identical ? "yes" : "NO");
+  bench::print_note("deep_copy emulates the pre-zero-copy plane in the same binary, so the");
+  bench::print_note("comparison is apples-to-apples and the bit-identity check is exact");
+
+  const char* env_path = std::getenv("DFL_BENCH_SIM_JSON");
+  const std::string path =
+      env_path != nullptr && *env_path != '\0' ? env_path : "BENCH_sim.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "abl_datapath: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::string deep_buf;
+  std::string zero_buf;
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"bench\": \"abl_datapath\",\n"
+               "  \"workload\": {\"trainers\": %zu, \"partitions\": %zu, "
+               "\"partition_elements\": %zu, \"model_bytes\": %zu, \"rounds\": %d, "
+               "\"smoke\": %s},\n",
+               w.trainers, w.partitions, w.partition_elements, model_bytes, w.rounds,
+               w.smoke ? "true" : "false");
+  std::fprintf(f, "%s,\n", mode_json("baseline", deep, deep_buf));
+  std::fprintf(f, "%s,\n", mode_json("zero_copy", zero, zero_buf));
+  std::fprintf(f, "  \"copy_reduction_factor\": %.2f,\n", copy_reduction);
+  std::fprintf(f, "  \"wall_speedup\": %.3f,\n", wall_speedup);
+  std::fprintf(f, "  \"sim_time_identical\": %s,\n", sim_identical ? "true" : "false");
+  std::fprintf(f, "  \"sim_round_done_ns\": [");
+  for (std::size_t i = 0; i < zero.round_done.size(); ++i) {
+    std::fprintf(f, "%s%lld", i == 0 ? "" : ", ",
+                 static_cast<long long>(zero.round_done[i]));
+  }
+  std::fprintf(f, "]\n}\n");
+  std::fclose(f);
+  std::printf("  # wrote %s\n", path.c_str());
+
+  if (!sim_identical) {
+    std::fprintf(stderr, "abl_datapath: simulated results diverged between modes\n");
+    return 1;
+  }
+  return 0;
+}

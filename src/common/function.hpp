@@ -1,0 +1,106 @@
+// Small-buffer move-only callable for the simulator's event queue.
+//
+// std::function heap-allocates any capture larger than ~2 pointers; the
+// simulator schedules millions of tiny closures per run (a coroutine handle,
+// a shared_ptr to an in-flight transfer record), so every event paid a
+// malloc/free round trip. InlineFn stores captures up to kInlineBytes in
+// place and only falls back to the heap for oversized ones.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dfl {
+
+/// Move-only `void()` callable with inline storage for small captures.
+/// Unlike std::function it never copies the target and never allocates for
+/// captures of up to `kInlineBytes` (with no stricter alignment than
+/// std::max_align_t).
+template <std::size_t kInlineBytes = 48>
+class InlineFn {
+ public:
+  InlineFn() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, InlineFn> && std::is_invocable_r_v<void, F&>)
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): callable adapter
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      on_heap_ = false;
+      invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+      destroy_ = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+      relocate_ = [](void* src, void* dst) {
+        auto* s = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      };
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      on_heap_ = true;
+      invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+      destroy_ = [](void* p) { delete static_cast<Fn*>(p); };
+      relocate_ = nullptr;  // heap targets move by pointer
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  void operator()() { invoke_(target()); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  /// True when the target lives in the inline buffer (observability/tests).
+  [[nodiscard]] bool is_inline() const noexcept { return invoke_ != nullptr && !on_heap_; }
+
+ private:
+  void* target() noexcept { return on_heap_ ? heap_ : static_cast<void*>(buf_); }
+
+  void reset() noexcept {
+    if (invoke_ != nullptr) destroy_(target());
+    invoke_ = nullptr;
+  }
+
+  void move_from(InlineFn& other) noexcept {
+    invoke_ = other.invoke_;
+    destroy_ = other.destroy_;
+    relocate_ = other.relocate_;
+    on_heap_ = other.on_heap_;
+    if (other.invoke_ != nullptr) {
+      if (other.on_heap_) {
+        heap_ = other.heap_;
+      } else {
+        relocate_(other.buf_, buf_);
+      }
+      other.invoke_ = nullptr;
+    }
+  }
+
+  union {
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    void* heap_;
+  };
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+  void (*relocate_)(void*, void*) = nullptr;
+  bool on_heap_ = false;
+};
+
+}  // namespace dfl

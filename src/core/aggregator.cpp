@@ -155,7 +155,7 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
       ++rec.merge_fallbacks;
       for (const auto& [t, cid] : list) {
         bool fetched = false;
-        Bytes data;
+        Block data;
         try {
           data = co_await ctx_.swarm.fetch_with_retry(host_, cid, ctx_.spec.options.retry,
                                                       deadline, &rec.rpc);
@@ -205,7 +205,7 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
         // Un-merged fallback: fetch each gradient directly.
         for (const auto& [t, cid] : list) {
           try {
-            const Bytes data = co_await ctx_.swarm.fetch_with_retry(
+            const Block data = co_await ctx_.swarm.fetch_with_retry(
                 host_, cid, ctx_.spec.options.retry, deadline, &rec.rpc);
             rec.bytes_received += data.size();
             absorb(Payload::deserialize(data), {t});
@@ -235,7 +235,7 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
         // gather deadline (straggler tolerance: a dead provider costs
         // retries, never the whole round).
         bool fetched = false;
-        Bytes data;
+        Block data;
         try {
           data = co_await ctx_.swarm.fetch_with_retry(host_, e.cid, ctx_.spec.options.retry,
                                                       deadline, &rec.rpc);
@@ -308,10 +308,10 @@ sim::Task<std::optional<Payload>> Aggregator::synchronize(std::uint32_t iter,
       co_await ctx_.sim.sleep(ctx_.spec.schedule.poll_interval);
       continue;
     }
-    const Bytes msg = co_await mailbox.receive();
+    const Block msg = co_await mailbox.receive();
     const auto [peer_id, cid] = decode_sync_message(msg);
     if (partials.contains(peer_id)) continue;
-    Bytes data;
+    Block data;
     try {
       data = co_await ctx_.swarm.fetch_with_retry(host_, cid, ctx_.spec.options.retry,
                                                   t_sync_abs, &rec.rpc);
@@ -405,7 +405,8 @@ sim::Task<bool> Aggregator::upload_and_announce(std::uint32_t iter, const Payloa
   // set). Not bounded by t_sync: publishing a late global update still
   // beats losing the round.
   const auto& provs = pa.providers.at(slot_);
-  const Bytes data = payload.serialize();
+  // Serialize once; replicas and retries below share the buffer.
+  const Block data(payload.serialize());
   const std::size_t want_copies =
       type == directory::EntryType::kGlobalUpdate
           ? std::min(ctx_.spec.options.update_replicas, provs.size())

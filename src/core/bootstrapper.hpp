@@ -20,7 +20,7 @@ class PayloadVerifier final : public directory::UpdateVerifier {
  public:
   explicit PayloadVerifier(const crypto::PedersenKey& key) : key_(key) {}
 
-  [[nodiscard]] bool verify(const Bytes& payload,
+  [[nodiscard]] bool verify(BytesView payload,
                             const crypto::Commitment& accumulated) const override {
     try {
       return key_.verify(accumulated, Payload::deserialize(payload).values);

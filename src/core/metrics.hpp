@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ipfs/retry.hpp"
+#include "sim/datapath.hpp"
 #include "sim/simulator.hpp"
 
 namespace dfl::core {
@@ -51,6 +52,20 @@ struct CryptoRecord {
   double parallel_speedup = 0;
 };
 
+/// Host-side data-plane activity during one round: the delta of the
+/// process-wide sim::DataPathStats counters plus simulator throughput.
+/// Measurement only — none of this feeds back into simulated time.
+struct DataPathRecord {
+  sim::DataPathStats stats;             // copies vs shares, hashes vs cache hits
+  std::uint64_t sim_events = 0;         // simulator events this round
+  std::uint64_t wall_ns = 0;            // real time spent running the round
+  [[nodiscard]] double events_per_sec() const {
+    return wall_ns == 0 ? 0.0
+                        : static_cast<double>(sim_events) /
+                              (static_cast<double>(wall_ns) * 1e-9);
+  }
+};
+
 struct RoundMetrics {
   std::uint32_t iter = 0;
   sim::TimeNs round_start = 0;
@@ -61,7 +76,8 @@ struct RoundMetrics {
   int rejected_updates = 0;  // directory refusals (verifiable mode)
   double post_round_accuracy = -1;
   double post_round_loss = -1;
-  CryptoRecord crypto;  // zeros when not verifiable
+  CryptoRecord crypto;      // zeros when not verifiable
+  DataPathRecord datapath;  // host-side data-plane observability
 
   void note_gradient_announce(sim::TimeNs at) {
     if (first_gradient_announce < 0 || at < first_gradient_announce) {

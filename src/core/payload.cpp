@@ -48,7 +48,7 @@ std::vector<double> Payload::average(int frac_bits) const {
   return out;
 }
 
-Bytes PayloadMerger::merge(const std::vector<Bytes>& blocks) const {
+Bytes PayloadMerger::merge(const std::vector<BytesView>& blocks) const {
   if (blocks.empty()) return Payload{}.serialize();
   Payload acc = Payload::deserialize(blocks.front());
   for (std::size_t i = 1; i < blocks.size(); ++i) {

@@ -38,7 +38,7 @@ struct Payload {
 /// Sums payload blocks on a storage node — the merge-and-download merger.
 class PayloadMerger final : public ipfs::BlockMerger {
  public:
-  [[nodiscard]] Bytes merge(const std::vector<Bytes>& blocks) const override;
+  [[nodiscard]] Bytes merge(const std::vector<BytesView>& blocks) const override;
 };
 
 }  // namespace dfl::core

@@ -1,10 +1,12 @@
 #include "core/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "common/log.hpp"
 #include "crypto/encoding.hpp"
+#include "sim/datapath.hpp"
 
 namespace dfl::core {
 
@@ -111,6 +113,9 @@ RoundMetrics Deployment::run_round(std::uint32_t iter) {
   metrics.aggregators.resize(aggregators_.size());
   const crypto::EngineStats crypto_before =
       engine_ ? engine_->stats() : crypto::EngineStats{};
+  const sim::DataPathStats dp_before = sim::datapath_stats();
+  const std::uint64_t events_before = sim_->events_processed();
+  const auto wall_start = std::chrono::steady_clock::now();
 
   for (auto& t : trainers_) {
     sim_->spawn(t->run_round(iter, metrics.round_start, metrics));
@@ -120,6 +125,13 @@ RoundMetrics Deployment::run_round(std::uint32_t iter) {
   }
   // Run to quiescence: every actor either finished or timed out by t_sync.
   sim_->run();
+
+  metrics.datapath.stats = sim::datapath_stats().since(dp_before);
+  metrics.datapath.sim_events = sim_->events_processed() - events_before;
+  metrics.datapath.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
 
   sim::TimeNs done = -1;
   for (const TrainerRecord& t : metrics.trainers) {
@@ -160,10 +172,11 @@ void Deployment::collect_global_update(std::uint32_t iter) {
       last_global_update_.clear();
       return;
     }
-    Bytes data;
+    Block data;
     bool found = false;
     for (const std::uint32_t node_id : swarm_->providers(rows.front().cid)) {
-      if (auto block = swarm_->node(node_id).store().get(rows.front().cid)) {
+      // peek: measurement read, kept out of the data-plane accounting.
+      if (auto block = swarm_->node(node_id).store().peek(rows.front().cid)) {
         data = std::move(*block);
         found = true;
         break;

@@ -65,7 +65,9 @@ sim::Task<void> Trainer::upload_gradients(std::uint32_t iter,
     // primary is skipped and the next target becomes the primary copy.
     const auto targets =
         ctx_.spec.upload_targets(p, id_, ctx_.spec.options.gradient_replicas);
-    const Bytes data = payload.serialize();
+    // One allocation per logical payload: every target and every retry
+    // below shares this immutable buffer.
+    const Block data(payload.serialize());
     ipfs::Cid cid;
     bool stored = false;
     const sim::TimeNs upload_start = ctx_.sim.now();
@@ -138,7 +140,7 @@ sim::Task<void> Trainer::download_updates(std::uint32_t iter, sim::TimeNs deadli
                                                   directory::EntryType::kGlobalUpdate);
       if (!entries.empty()) {
         // Only the first (verified, in verifiable mode) global update counts.
-        Bytes data;
+        Block data;
         bool fetched = false;
         try {
           data = co_await ctx_.swarm.fetch_with_retry(host_, entries.front().cid,

@@ -93,7 +93,7 @@ sim::Task<bool> DirectoryService::announce(sim::Host& caller, Addr addr, ipfs::C
       bool ok = accit != partition_acc_.end();
       if (ok) {
         try {
-          const Bytes payload = co_await swarm_.fetch(host_, cid);
+          const Block payload = co_await swarm_.fetch(host_, cid);
           ok = verifier_->verify(payload, accit->second);
         } catch (const std::exception& e) {
           DFL_WARN("directory") << "global update fetch failed: " << e.what();

@@ -29,7 +29,7 @@ namespace dfl::directory {
 class UpdateVerifier {
  public:
   virtual ~UpdateVerifier() = default;
-  [[nodiscard]] virtual bool verify(const Bytes& payload,
+  [[nodiscard]] virtual bool verify(BytesView payload,
                                     const crypto::Commitment& accumulated) const = 0;
 };
 

@@ -1,0 +1,76 @@
+#include "ipfs/block.hpp"
+
+#include "sim/datapath.hpp"
+
+namespace dfl {
+
+namespace {
+const Bytes kEmptyBytes{};
+const ipfs::Cid kNullCid{};
+}  // namespace
+
+Block::Rep::Rep(Bytes d) : data(std::move(d)) { sim::note_block_alloc(data.size()); }
+
+Block::Rep::~Rep() { sim::note_block_free(data.size()); }
+
+Block::Block(Bytes data) : rep_(std::make_shared<Rep>(std::move(data))) {}
+
+Block::Block(Bytes data, ipfs::Cid known_cid) : rep_(std::make_shared<Rep>(std::move(data))) {
+  rep_->cid = known_cid;
+  rep_->cid_known = true;
+}
+
+Block Block::copy_of(BytesView data) {
+  sim::note_bytes_copied(data.size());
+  return Block(Bytes(data.begin(), data.end()));
+}
+
+const Bytes& Block::bytes() const { return rep_ == nullptr ? kEmptyBytes : rep_->data; }
+
+const ipfs::Cid& Block::cid() const {
+  if (rep_ == nullptr) return kNullCid;
+  if (sim::datapath_mode() == sim::DataPathMode::kZeroCopy && rep_->cid_known) {
+    sim::note_cid_cache_hit();
+    return rep_->cid;
+  }
+  sim::note_block_hashed(rep_->data.size());
+  rep_->cid = ipfs::Cid::of(rep_->data);
+  rep_->cid_known = true;
+  return rep_->cid;
+}
+
+bool Block::verify(const ipfs::Cid& expected) const {
+  if (rep_ == nullptr) return expected.is_null();
+  if (sim::datapath_mode() == sim::DataPathMode::kZeroCopy && rep_->cid_known) {
+    sim::note_cid_cache_hit();
+    return rep_->cid == expected;
+  }
+  sim::note_block_hashed(rep_->data.size());
+  const bool ok = expected.matches(rep_->data);
+  if (ok) {
+    rep_->cid = expected;
+    rep_->cid_known = true;
+  }
+  return ok;
+}
+
+Block Block::mutate_copy(const std::function<void(Bytes&)>& mutator) const {
+  Bytes copy = bytes();
+  sim::note_bytes_copied(copy.size());
+  mutator(copy);
+  return Block(std::move(copy));
+}
+
+Block Block::deep_copy() const {
+  sim::note_bytes_copied(size());
+  return Block(Bytes(bytes()));
+}
+
+Block Block::serve_copy() const {
+  if (rep_ == nullptr) return Block{};
+  if (sim::datapath_mode() == sim::DataPathMode::kDeepCopy) return deep_copy();
+  sim::note_bytes_shared(size());
+  return *this;
+}
+
+}  // namespace dfl

@@ -1,0 +1,109 @@
+// Immutable, ref-counted content block — the unit of the zero-copy data
+// plane. A Block owns its bytes exactly once; every hop (block store, node
+// RPC, swarm retry/replication, pub/sub delivery) passes the same backing
+// buffer around by reference, and the CID is computed at most once and
+// cached on the buffer (real IPFS computes it at add time; re-hashing a
+// multi-MB model update on every hop dominated host-side cost).
+//
+// Mutation is explicit: `mutate_copy` materializes a private copy (CoW), so
+// the chaos layer can corrupt a *served* payload without touching the
+// stored replica or any concurrent reader. The fresh copy has no cached
+// CID — verification against the original CID re-hashes and fails, exactly
+// as content addressing demands.
+//
+// sim::DataPathMode::kDeepCopy switches `serve_copy` (the hop primitive)
+// and the CID cache off, faithfully emulating the pre-zero-copy plane for
+// A/B benchmarking; simulated time is identical in both modes.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "ipfs/cid.hpp"
+
+namespace dfl {
+
+class Block {
+ public:
+  /// The null block: empty, size 0, null CID.
+  Block() = default;
+
+  /// Takes ownership of `data` (one allocation, shared from here on).
+  /// Implicit so call sites can hand over a serialized buffer directly.
+  Block(Bytes data);  // NOLINT(google-explicit-constructor)
+
+  /// Wraps `data` with a CID already known to match it (trusted caller).
+  Block(Bytes data, ipfs::Cid known_cid);
+
+  /// Materializes a block from borrowed bytes (counted as a copy).
+  [[nodiscard]] static Block copy_of(BytesView data);
+
+  [[nodiscard]] bool is_null() const { return rep_ == nullptr; }
+  [[nodiscard]] std::size_t size() const { return rep_ == nullptr ? 0 : rep_->data.size(); }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  [[nodiscard]] BytesView view() const {
+    return rep_ == nullptr ? BytesView{} : BytesView(rep_->data);
+  }
+  operator BytesView() const { return view(); }  // NOLINT(google-explicit-constructor)
+
+  /// The owned buffer (valid while any handle to this block lives).
+  [[nodiscard]] const Bytes& bytes() const;
+
+  /// The content identifier — computed lazily, cached on the shared buffer.
+  /// In kDeepCopy mode the cache is bypassed (legacy hash-per-call).
+  [[nodiscard]] const ipfs::Cid& cid() const;
+
+  /// True when cid() would be answered from the cache.
+  [[nodiscard]] bool has_cached_cid() const { return rep_ != nullptr && rep_->cid_known; }
+
+  /// Content verification against `expected`. Answered from the cached CID
+  /// when available (zero-copy mode); otherwise re-hashes. A successful
+  /// re-hash populates the cache.
+  [[nodiscard]] bool verify(const ipfs::Cid& expected) const;
+
+  /// Copy-on-write: returns a new block holding a private, mutated copy of
+  /// the bytes; this block (and every other reader) is untouched. The copy
+  /// has no cached CID.
+  [[nodiscard]] Block mutate_copy(const std::function<void(Bytes&)>& mutator) const;
+
+  /// An unconditional private copy of the bytes (no cached CID).
+  [[nodiscard]] Block deep_copy() const;
+
+  /// The hop primitive: hand this payload to another actor. Zero-copy mode
+  /// bumps the refcount and counts the bytes as shared; kDeepCopy mode
+  /// returns (and counts) a physical copy.
+  [[nodiscard]] Block serve_copy() const;
+
+  /// Readers currently sharing the backing buffer (tests/observability).
+  [[nodiscard]] long use_count() const { return rep_ == nullptr ? 0 : rep_.use_count(); }
+
+  /// True when `other` shares this block's backing buffer.
+  [[nodiscard]] bool aliases(const Block& other) const {
+    return rep_ != nullptr && rep_ == other.rep_;
+  }
+
+  /// Content equality (cheap when the buffers alias).
+  friend bool operator==(const Block& a, const Block& b) {
+    if (a.rep_ == b.rep_) return true;
+    return a.bytes() == b.bytes();
+  }
+  friend bool operator==(const Block& a, const Bytes& b) { return a.bytes() == b; }
+
+ private:
+  struct Rep {
+    explicit Rep(Bytes d);
+    ~Rep();
+    Rep(const Rep&) = delete;
+    Rep& operator=(const Rep&) = delete;
+
+    const Bytes data;
+    mutable ipfs::Cid cid;  // meaningful only when cid_known
+    mutable bool cid_known = false;
+  };
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace dfl

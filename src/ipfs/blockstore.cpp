@@ -2,14 +2,22 @@
 
 namespace dfl::ipfs {
 
-Cid BlockStore::put(Bytes data) {
-  const Cid cid = Cid::of(data);
-  auto [it, inserted] = blocks_.try_emplace(cid, std::move(data));
+Cid BlockStore::put(Block block) {
+  // cid() hashes once and caches on the shared buffer; replica puts of the
+  // same handle are cache hits.
+  const Cid cid = block.cid();
+  auto [it, inserted] = blocks_.try_emplace(cid, std::move(block));
   if (inserted) bytes_stored_ += it->second.size();
   return cid;
 }
 
-std::optional<Bytes> BlockStore::get(const Cid& cid) const {
+std::optional<Block> BlockStore::get(const Cid& cid) const {
+  const auto it = blocks_.find(cid);
+  if (it == blocks_.end()) return std::nullopt;
+  return it->second.serve_copy();
+}
+
+std::optional<Block> BlockStore::peek(const Cid& cid) const {
   const auto it = blocks_.find(cid);
   if (it == blocks_.end()) return std::nullopt;
   return it->second;

@@ -1,4 +1,6 @@
-// In-memory content-addressed block storage for one IPFS node.
+// In-memory content-addressed block storage for one IPFS node. Stores
+// immutable ref-counted Blocks: a get is a refcount bump, not a copy, and
+// the CID is taken from the block's cache (computed once at first put).
 #pragma once
 
 #include <cstdint>
@@ -6,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/bytes.hpp"
+#include "ipfs/block.hpp"
 #include "ipfs/cid.hpp"
 
 namespace dfl::ipfs {
@@ -13,12 +16,20 @@ namespace dfl::ipfs {
 class BlockStore {
  public:
   /// Stores a block; returns its CID. Idempotent (same content, same CID).
-  Cid put(Bytes data);
+  /// Accepts a Bytes buffer implicitly (wrapped into a Block, one move).
+  Cid put(Block block);
 
   [[nodiscard]] bool has(const Cid& cid) const { return blocks_.contains(cid); }
 
-  /// Returns the block or nullopt.
-  [[nodiscard]] std::optional<Bytes> get(const Cid& cid) const;
+  /// Returns the block or nullopt. Zero-copy: the returned handle shares
+  /// the stored buffer (counted in sim::datapath_stats; kDeepCopy mode
+  /// returns a physical copy instead).
+  [[nodiscard]] std::optional<Block> get(const Cid& cid) const;
+
+  /// Like get, but without the data-plane accounting or deep-copy
+  /// emulation: for measurement/bookkeeping reads that are not protocol
+  /// traffic (runner's omniscient collection, tests).
+  [[nodiscard]] std::optional<Block> peek(const Cid& cid) const;
 
   /// Removes a block (garbage collection between FL rounds — the paper
   /// notes gradients are only needed briefly). Returns true if present.
@@ -30,7 +41,7 @@ class BlockStore {
   void clear();
 
  private:
-  std::unordered_map<Cid, Bytes, CidHash> blocks_;
+  std::unordered_map<Cid, Block, CidHash> blocks_;
   std::uint64_t bytes_stored_ = 0;
 };
 

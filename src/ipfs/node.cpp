@@ -4,7 +4,7 @@
 
 namespace dfl::ipfs {
 
-sim::Task<Cid> IpfsNode::put(sim::Host& caller, Bytes data) {
+sim::Task<Cid> IpfsNode::put(sim::Host& caller, Block data) {
   // Payload travels caller -> node, then a small ack travels back.
   co_await net_.transfer(caller, host_, data.size());
   const Cid cid = put_local(std::move(data));
@@ -12,46 +12,53 @@ sim::Task<Cid> IpfsNode::put(sim::Host& caller, Bytes data) {
   co_return cid;
 }
 
-sim::Task<Bytes> IpfsNode::get(sim::Host& caller, Cid cid) {
+sim::Task<Block> IpfsNode::get(sim::Host& caller, Cid cid) {
   co_await net_.transfer(caller, host_, 0);  // request
   auto block = store_.get(cid);
   if (!block) throw NotFoundError(cid);
   co_await net_.transfer(host_, caller, block->size());
   // Chaos hook: a faulty node (or link) may corrupt the served bytes.
+  // mutate_copy is the explicit CoW path: the stored replica (and any other
+  // readers sharing the buffer) stay pristine; only this delivery is bad.
   if (auto* hook = net_.fault_hook();
       hook != nullptr && !block->empty() && hook->should_corrupt_payload(host_)) {
-    (*block)[0] ^= 0xff;
+    block = block->mutate_copy([](Bytes& b) { b[0] ^= 0xff; });
   }
-  // Retrieval verification: content addressing means the caller re-hashes.
-  if (!cid.matches(*block)) {
+  // Retrieval verification: content addressing means the caller checks the
+  // hash. A pristine shared block verifies from the CID cache; a mutated
+  // copy has no cached CID and re-hashes (and fails).
+  if (!block->verify(cid)) {
     throw std::runtime_error("ipfs get: block failed content verification");
   }
-  co_return *block;
+  co_return *std::move(block);
 }
 
-sim::Task<Bytes> IpfsNode::merge_get(sim::Host& caller, std::vector<Cid> cids,
+sim::Task<Block> IpfsNode::merge_get(sim::Host& caller, std::vector<Cid> cids,
                                      const BlockMerger& merger) {
   // Request carries the hash list (32 bytes per CID).
   co_await net_.transfer(caller, host_, cids.size() * 32);
-  std::vector<Bytes> blocks;
+  std::vector<Block> blocks;
+  std::vector<BytesView> views;
   blocks.reserve(cids.size());
+  views.reserve(cids.size());
   std::uint64_t input_bytes = 0;
   for (const Cid& cid : cids) {
     auto block = store_.get(cid);
     if (!block) throw NotFoundError(cid);
     input_bytes += block->size();
     blocks.push_back(std::move(*block));
+    views.push_back(blocks.back().view());
   }
   // Pre-aggregation compute time on the storage node.
   const auto compute =
       static_cast<sim::TimeNs>(static_cast<double>(input_bytes) / config_.merge_bytes_per_sec * 1e9);
   co_await net_.simulator().sleep(compute);
-  Bytes merged = merger.merge(blocks);
+  Block merged(merger.merge(views));
   co_await net_.transfer(host_, caller, merged.size());
   co_return merged;
 }
 
-Cid IpfsNode::put_local(Bytes data) {
+Cid IpfsNode::put_local(Block data) {
   const Cid cid = store_.put(std::move(data));
   if (swarm_ != nullptr) swarm_->add_provider(cid, node_id_);
   return cid;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "ipfs/block.hpp"
 #include "ipfs/blockstore.hpp"
 #include "ipfs/cid.hpp"
 #include "sim/net.hpp"
@@ -38,8 +39,9 @@ class BlockMerger {
 
   /// Combines blocks into a single block (e.g. element-wise vector sum).
   /// Must be associative and order-independent for the protocol to be
-  /// correct regardless of provider assignment.
-  [[nodiscard]] virtual Bytes merge(const std::vector<Bytes>& blocks) const = 0;
+  /// correct regardless of provider assignment. Inputs are views into the
+  /// stored (shared) blocks — no copies are made to merge.
+  [[nodiscard]] virtual Bytes merge(const std::vector<BytesView>& blocks) const = 0;
 };
 
 struct IpfsNodeConfig {
@@ -64,20 +66,24 @@ class IpfsNode {
 
   /// Uploads `data` from `caller` to this node, stores it, and acknowledges.
   /// Completes when the caller has the ack (paper's upload-delay endpoint).
-  [[nodiscard]] sim::Task<Cid> put(sim::Host& caller, Bytes data);
+  /// The block is stored by reference: retries and replicas of the same
+  /// logical payload share one buffer.
+  [[nodiscard]] sim::Task<Cid> put(sim::Host& caller, Block data);
 
-  /// Downloads the block for `cid` to `caller`. The received bytes are
-  /// verified against the CID (storage is not trusted for correctness).
-  [[nodiscard]] sim::Task<Bytes> get(sim::Host& caller, Cid cid);
+  /// Downloads the block for `cid` to `caller`. The served handle shares
+  /// the stored buffer; content is verified against the CID (cache-aware —
+  /// storage is still not trusted: the chaos corruption path produces a
+  /// private mutated copy whose verification re-hashes and fails).
+  [[nodiscard]] sim::Task<Block> get(sim::Host& caller, Cid cid);
 
   /// Merge-and-download: the node pre-aggregates the named blocks with
   /// `merger` and ships only the merged result. All CIDs must be local.
-  [[nodiscard]] sim::Task<Bytes> merge_get(sim::Host& caller, std::vector<Cid> cids,
+  [[nodiscard]] sim::Task<Block> merge_get(sim::Host& caller, std::vector<Cid> cids,
                                            const BlockMerger& merger);
 
   /// Local (zero-network-cost) store access, used by the replication engine
   /// and by tests.
-  Cid put_local(Bytes data);
+  Cid put_local(Block data);
 
  private:
   sim::Network& net_;

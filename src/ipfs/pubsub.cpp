@@ -4,13 +4,13 @@
 
 namespace dfl::ipfs {
 
-sim::Channel<Bytes>& PubSub::subscribe(const std::string& topic, sim::Host& subscriber) {
+sim::Channel<Block>& PubSub::subscribe(const std::string& topic, sim::Host& subscriber) {
   auto& subs = topics_[topic];
   for (auto& s : subs) {
     if (s.host == &subscriber) return *s.mailbox;
   }
   subs.push_back(Subscription{&subscriber,
-                              std::make_unique<sim::Channel<Bytes>>(net_.simulator())});
+                              std::make_unique<sim::Channel<Block>>(net_.simulator())});
   return *subs.back().mailbox;
 }
 
@@ -23,7 +23,7 @@ void PubSub::unsubscribe(const std::string& topic, sim::Host& subscriber) {
              subs.end());
 }
 
-sim::Task<void> PubSub::publish(sim::Host& from, std::string topic, Bytes message) {
+sim::Task<void> PubSub::publish(sim::Host& from, std::string topic, Block message) {
   const auto it = topics_.find(topic);
   if (it == topics_.end()) co_return;
   // Snapshot targets: subscription changes during delivery must not
@@ -39,7 +39,7 @@ sim::Task<void> PubSub::publish(sim::Host& from, std::string topic, Bytes messag
     } catch (const sim::NetworkError&) {
       continue;  // subscriber (or we) went down mid-delivery; skip
     }
-    s->mailbox->send(message);
+    s->mailbox->send(message.serve_copy());
   }
 }
 

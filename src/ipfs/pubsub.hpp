@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "ipfs/block.hpp"
 #include "sim/net.hpp"
 #include "sim/sync.hpp"
 
@@ -23,22 +24,23 @@ class PubSub {
 
   /// Subscribes `subscriber` to `topic`; returns the mailbox messages will
   /// arrive on. Subscribing twice returns the same mailbox.
-  sim::Channel<Bytes>& subscribe(const std::string& topic, sim::Host& subscriber);
+  sim::Channel<Block>& subscribe(const std::string& topic, sim::Host& subscriber);
 
   void unsubscribe(const std::string& topic, sim::Host& subscriber);
 
   /// Delivers `message` to every subscriber of `topic` (except the sender
   /// itself). Fan-out is sequential on the publisher's uplink, as real
   /// gossip initiation would be. Subscribers whose host is down simply
-  /// miss the message (pubsub is best-effort).
-  [[nodiscard]] sim::Task<void> publish(sim::Host& from, std::string topic, Bytes message);
+  /// miss the message (pubsub is best-effort). Every delivery shares the
+  /// one published buffer (per-subscriber serve accounting applies).
+  [[nodiscard]] sim::Task<void> publish(sim::Host& from, std::string topic, Block message);
 
   [[nodiscard]] std::size_t subscriber_count(const std::string& topic) const;
 
  private:
   struct Subscription {
     sim::Host* host;
-    std::unique_ptr<sim::Channel<Bytes>> mailbox;
+    std::unique_ptr<sim::Channel<Block>> mailbox;
   };
 
   sim::Network& net_;

@@ -53,7 +53,7 @@ std::vector<std::uint32_t> Swarm::providers(const Cid& cid) const {
   return it->second;
 }
 
-sim::Task<Bytes> Swarm::fetch(sim::Host& caller, Cid cid, RetryStats* stats) {
+sim::Task<Block> Swarm::fetch(sim::Host& caller, Cid cid, RetryStats* stats) {
   co_await net_.simulator().sleep(config_.lookup_latency);
   const auto it = provider_records_.find(cid);
   if (it == provider_records_.end() || it->second.empty()) {
@@ -86,7 +86,7 @@ sim::Task<Bytes> Swarm::fetch(sim::Host& caller, Cid cid, RetryStats* stats) {
   throw UnavailableError("fetch " + cid.to_hex() + ": every live provider failed");
 }
 
-sim::Task<Bytes> Swarm::fetch_with_retry(sim::Host& caller, Cid cid, const RetryPolicy& policy,
+sim::Task<Block> Swarm::fetch_with_retry(sim::Host& caller, Cid cid, const RetryPolicy& policy,
                                          sim::TimeNs deadline, RetryStats* stats) {
   RetryStats local;
   RetryStats& s = stats != nullptr ? *stats : local;
@@ -124,7 +124,7 @@ sim::Task<Bytes> Swarm::fetch_with_retry(sim::Host& caller, Cid cid, const Retry
 }
 
 sim::Task<std::optional<Cid>> Swarm::put_with_retry(std::uint32_t node_id, sim::Host& caller,
-                                                    Bytes data, const RetryPolicy& policy,
+                                                    Block data, const RetryPolicy& policy,
                                                     sim::TimeNs deadline, RetryStats* stats) {
   RetryStats local;
   RetryStats& s = stats != nullptr ? *stats : local;
@@ -143,14 +143,15 @@ sim::Task<std::optional<Cid>> Swarm::put_with_retry(std::uint32_t node_id, sim::
     const sim::TimeNs budget = attempt_budget(policy, deadline, sim.now());
     try {
       if (budget > 0) {
-        // put() copies `data` into the attempt, so an attempt abandoned at
+        // serve_copy hands the attempt its own handle to the shared buffer
+        // (a refcount bump, not a byte copy), so an attempt abandoned at
         // its deadline can complete (or not) without touching our frame —
         // exactly an RPC whose ack was lost; content addressing dedupes.
-        auto result = co_await sim::with_timeout(sim, target.put(caller, data), budget);
+        auto result = co_await sim::with_timeout(sim, target.put(caller, data.serve_copy()), budget);
         if (result) co_return *result;
         ++s.timeouts;
       } else {
-        co_return co_await target.put(caller, data);
+        co_return co_await target.put(caller, data.serve_copy());
       }
     } catch (const std::exception& e) {
       DFL_DEBUG("swarm") << "put to " << target.host().name() << " failed: " << e.what();
@@ -160,7 +161,7 @@ sim::Task<std::optional<Cid>> Swarm::put_with_retry(std::uint32_t node_id, sim::
   co_return std::nullopt;
 }
 
-sim::Task<std::optional<Bytes>> Swarm::merge_get_with_retry(std::uint32_t node_id,
+sim::Task<std::optional<Block>> Swarm::merge_get_with_retry(std::uint32_t node_id,
                                                             sim::Host& caller,
                                                             std::vector<Cid> cids,
                                                             const BlockMerger& merger,
@@ -217,6 +218,7 @@ sim::Task<std::size_t> Swarm::replicate(Cid cid, std::size_t copies) {
   if (source == nullptr) {
     throw UnavailableError("replicate " + cid.to_hex() + ": no live holder");
   }
+  // One handle to the stored buffer; every replica target below shares it.
   const auto block = source->store().get(cid);
 
   // Best effort: cover as many distinct live nodes as available; when the
@@ -234,7 +236,7 @@ sim::Task<std::size_t> Swarm::replicate(Cid cid, std::size_t copies) {
       DFL_DEBUG("swarm") << "replicate to " << target.host().name() << " failed: " << e.what();
       continue;
     }
-    target.put_local(*block);
+    target.put_local(block->serve_copy());
     ++have;
   }
   co_return have;

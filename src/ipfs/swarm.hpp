@@ -54,22 +54,24 @@ class Swarm {
   /// (the block never existed) and UnavailableError when providers are
   /// recorded but none could serve the block right now (retryable).
   /// `stats`, when given, counts the provider failovers taken.
-  [[nodiscard]] sim::Task<Bytes> fetch(sim::Host& caller, Cid cid, RetryStats* stats = nullptr);
+  [[nodiscard]] sim::Task<Block> fetch(sim::Host& caller, Cid cid, RetryStats* stats = nullptr);
 
   /// `fetch` under the retry policy: deadline-bounded attempts with backoff
   /// until `deadline` (absolute simulated time; < 0 = unbounded) or the
   /// policy's attempt budget runs out. NotFoundError aborts immediately;
   /// exhaustion rethrows the last retryable error.
-  [[nodiscard]] sim::Task<Bytes> fetch_with_retry(sim::Host& caller, Cid cid,
+  [[nodiscard]] sim::Task<Block> fetch_with_retry(sim::Host& caller, Cid cid,
                                                   const RetryPolicy& policy,
                                                   sim::TimeNs deadline = -1,
                                                   RetryStats* stats = nullptr);
 
   /// Uploads `data` to node `node_id` under the retry policy. Returns the
   /// CID, or nullopt when every attempt failed or `deadline` passed (the
-  /// caller typically fails over to the next replica target).
+  /// caller typically fails over to the next replica target). All attempts
+  /// (and all replica targets the caller tries) share `data`'s one
+  /// immutable buffer — a retry is a refcount bump, not a reallocation.
   [[nodiscard]] sim::Task<std::optional<Cid>> put_with_retry(std::uint32_t node_id,
-                                                             sim::Host& caller, Bytes data,
+                                                             sim::Host& caller, Block data,
                                                              const RetryPolicy& policy,
                                                              sim::TimeNs deadline = -1,
                                                              RetryStats* stats = nullptr);
@@ -78,7 +80,7 @@ class Swarm {
   /// *graceful degradation*, not an exception — when the provider cannot
   /// serve the merge (down, missing block, repeated timeouts); the caller
   /// then falls back to fetching the blocks individually.
-  [[nodiscard]] sim::Task<std::optional<Bytes>> merge_get_with_retry(
+  [[nodiscard]] sim::Task<std::optional<Block>> merge_get_with_retry(
       std::uint32_t node_id, sim::Host& caller, std::vector<Cid> cids, const BlockMerger& merger,
       const RetryPolicy& policy, sim::TimeNs deadline = -1, RetryStats* stats = nullptr);
 

@@ -1,0 +1,45 @@
+#include "sim/datapath.hpp"
+
+#include <algorithm>
+
+namespace dfl::sim {
+
+namespace {
+DataPathStats g_stats;
+DataPathMode g_mode = DataPathMode::kZeroCopy;
+}  // namespace
+
+DataPathStats& datapath_stats() { return g_stats; }
+
+void reset_datapath_stats() {
+  const std::uint64_t resident = g_stats.resident_block_bytes;
+  g_stats = DataPathStats{};
+  g_stats.resident_block_bytes = resident;
+  g_stats.peak_resident_block_bytes = resident;
+}
+
+DataPathMode datapath_mode() { return g_mode; }
+
+void set_datapath_mode(DataPathMode mode) { g_mode = mode; }
+
+void note_block_alloc(std::uint64_t bytes) {
+  ++g_stats.blocks_created;
+  g_stats.resident_block_bytes += bytes;
+  g_stats.peak_resident_block_bytes =
+      std::max(g_stats.peak_resident_block_bytes, g_stats.resident_block_bytes);
+}
+
+void note_block_free(std::uint64_t bytes) { g_stats.resident_block_bytes -= bytes; }
+
+void note_bytes_copied(std::uint64_t bytes) { g_stats.bytes_copied += bytes; }
+
+void note_bytes_shared(std::uint64_t bytes) { g_stats.bytes_shared += bytes; }
+
+void note_block_hashed(std::uint64_t bytes) {
+  ++g_stats.blocks_hashed;
+  g_stats.bytes_hashed += bytes;
+}
+
+void note_cid_cache_hit() { ++g_stats.cid_cache_hits; }
+
+}  // namespace dfl::sim

@@ -1,0 +1,84 @@
+// Host-side data-plane observability: how many payload bytes the process
+// actually memcpy'd versus served by reference (refcount bump), and how
+// often content was re-hashed versus answered from a block's cached CID.
+//
+// These are *measurement* counters for the machine running the simulation —
+// they never influence simulated time, so enabling/resetting them cannot
+// perturb protocol results. The data plane is single-threaded (everything
+// runs on the simulator thread), so plain counters suffice.
+//
+// DataPathMode::kDeepCopy re-enables the pre-zero-copy behaviour (every
+// store read, put attempt, replica write and pub/sub delivery deep-copies,
+// every verification re-hashes). bench/abl_datapath uses it to A/B the two
+// planes in one binary and to prove simulated results are bit-identical.
+#pragma once
+
+#include <cstdint>
+
+namespace dfl::sim {
+
+enum class DataPathMode : std::uint8_t {
+  kZeroCopy,  // immutable shared blocks, cached CIDs (default)
+  kDeepCopy,  // legacy copy-per-hop emulation, for A/B benchmarking
+};
+
+struct DataPathStats {
+  /// Payload bytes physically copied on this host (memcpy'd buffers).
+  std::uint64_t bytes_copied = 0;
+  /// Payload bytes handed over by reference instead of copying — exactly
+  /// the bytes the deep-copy plane would have memcpy'd.
+  std::uint64_t bytes_shared = 0;
+  /// Full content hashes computed (SHA-256 over a block's bytes).
+  std::uint64_t blocks_hashed = 0;
+  /// Bytes fed through the hash function for those computations.
+  std::uint64_t bytes_hashed = 0;
+  /// CID requests answered from a block's cached digest.
+  std::uint64_t cid_cache_hits = 0;
+  /// Block buffers materialized (allocations of backing storage).
+  std::uint64_t blocks_created = 0;
+  /// Backing-store bytes currently alive across all blocks.
+  std::uint64_t resident_block_bytes = 0;
+  /// High-water mark of resident_block_bytes.
+  std::uint64_t peak_resident_block_bytes = 0;
+
+  /// Copy-traffic reduction versus the deep-copy plane: bytes the old plane
+  /// would have copied divided by the bytes this plane copied. Returns 1
+  /// when nothing was shared (e.g. in kDeepCopy mode).
+  [[nodiscard]] double copy_reduction_factor() const {
+    const double would_copy = static_cast<double>(bytes_copied + bytes_shared);
+    return bytes_copied == 0 ? (bytes_shared == 0 ? 1.0 : would_copy)
+                             : would_copy / static_cast<double>(bytes_copied);
+  }
+
+  /// Counter-wise difference (for per-round deltas). Resident/peak gauges
+  /// are not differenced: the later snapshot's values are kept.
+  [[nodiscard]] DataPathStats since(const DataPathStats& earlier) const {
+    DataPathStats d = *this;
+    d.bytes_copied -= earlier.bytes_copied;
+    d.bytes_shared -= earlier.bytes_shared;
+    d.blocks_hashed -= earlier.blocks_hashed;
+    d.bytes_hashed -= earlier.bytes_hashed;
+    d.cid_cache_hits -= earlier.cid_cache_hits;
+    d.blocks_created -= earlier.blocks_created;
+    return d;
+  }
+};
+
+/// The process-wide counter set (single-threaded data plane).
+[[nodiscard]] DataPathStats& datapath_stats();
+
+/// Zeroes all counters and gauges (peak restarts from current residency).
+void reset_datapath_stats();
+
+[[nodiscard]] DataPathMode datapath_mode();
+void set_datapath_mode(DataPathMode mode);
+
+/// Counter helpers used by the block/data-plane layer.
+void note_block_alloc(std::uint64_t bytes);
+void note_block_free(std::uint64_t bytes);
+void note_bytes_copied(std::uint64_t bytes);
+void note_bytes_shared(std::uint64_t bytes);
+void note_block_hashed(std::uint64_t bytes);
+void note_cid_cache_hit();
+
+}  // namespace dfl::sim

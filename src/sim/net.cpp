@@ -5,6 +5,35 @@
 
 namespace dfl::sim {
 
+void TraceBuffer::set_capacity(std::size_t cap) {
+  if (cap != 0 && records_.size() > cap) {
+    // Keep the newest `cap` records, re-based so head_ = 0.
+    std::vector<TransferRecord> kept;
+    kept.reserve(cap);
+    for (std::size_t i = records_.size() - cap; i < records_.size(); ++i) {
+      kept.push_back((*this)[i]);
+    }
+    dropped_ += records_.size() - cap;
+    records_ = std::move(kept);
+    head_ = 0;
+  } else if (head_ != 0) {
+    // Re-base a wrapped ring so future pushes append behind the newest.
+    std::vector<TransferRecord> kept;
+    kept.reserve(records_.size());
+    for (const TransferRecord& r : *this) kept.push_back(r);
+    records_ = std::move(kept);
+    head_ = 0;
+  }
+  capacity_ = cap;
+}
+
+std::vector<TransferRecord> TraceBuffer::snapshot() const {
+  std::vector<TransferRecord> out;
+  out.reserve(records_.size());
+  for (const TransferRecord& r : *this) out.push_back(r);
+  return out;
+}
+
 void Host::set_up(bool up) {
   const bool was_up = up_;
   up_ = up;
@@ -65,7 +94,7 @@ Task<void> Network::transfer(Host& from, Host& to, std::uint64_t bytes) {
 
   const TimeNs arrival = pipe_end + from.config().latency + to.config().latency;
   if (tracing_) {
-    trace_.push_back(TransferRecord{sim_.now(), start, arrival, from.id(), to.id(), wire_bytes});
+    trace_.push(TransferRecord{sim_.now(), start, arrival, from.id(), to.id(), wire_bytes});
   }
   auto rec = std::make_shared<Inflight>(Inflight{from.id(), to.id(), {}, false, false});
   inflight_.push_back(rec);

@@ -15,6 +15,7 @@
 // (see sim/fault.hpp).
 #pragma once
 
+#include <algorithm>
 #include <coroutine>
 #include <cstdint>
 #include <memory>
@@ -97,6 +98,73 @@ struct TransferRecord {
   std::uint64_t wire_bytes;
 };
 
+/// Bounded transfer log. Unlimited by default; with a capacity set it is a
+/// ring buffer that keeps the most recent records and counts the dropped
+/// ones, so tracing can stay enabled on long runs without unbounded growth.
+/// Indexing is chronological over the retained window (0 = oldest kept).
+class TraceBuffer {
+ public:
+  void push(const TransferRecord& rec) {
+    if (capacity_ == 0) {
+      records_.push_back(rec);
+      return;
+    }
+    if (records_.size() < capacity_) {
+      records_.push_back(rec);
+      return;
+    }
+    records_[head_] = rec;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  [[nodiscard]] const TransferRecord& operator[](std::size_t i) const {
+    return records_[(head_ + i) % records_.size()];
+  }
+
+  /// 0 = unlimited. Shrinking an over-full buffer keeps the newest records.
+  void set_capacity(std::size_t cap);
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Records overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  void reserve(std::size_t n) { records_.reserve(capacity_ == 0 ? n : std::min(n, capacity_)); }
+  void clear() {
+    records_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+  /// Chronological copy of the retained window (offline analysis).
+  [[nodiscard]] std::vector<TransferRecord> snapshot() const;
+
+  // Range-for support (chronological).
+  class const_iterator {
+   public:
+    const_iterator(const TraceBuffer* buf, std::size_t i) : buf_(buf), i_(i) {}
+    const TransferRecord& operator*() const { return (*buf_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const TraceBuffer* buf_;
+    std::size_t i_;
+  };
+  [[nodiscard]] const_iterator begin() const { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const { return {this, records_.size()}; }
+
+ private:
+  std::vector<TransferRecord> records_;
+  std::size_t capacity_ = 0;  // 0 = unlimited
+  std::size_t head_ = 0;      // oldest retained record when the ring wrapped
+  std::uint64_t dropped_ = 0;
+};
+
 class Network {
  public:
   explicit Network(Simulator& sim) : sim_(sim) {}
@@ -138,10 +206,16 @@ class Network {
   [[nodiscard]] std::uint64_t per_message_overhead() const { return overhead_bytes_; }
 
   /// When enabled, every transfer is appended to trace() (observability;
-  /// off by default — long runs would accumulate a large log).
-  void set_tracing(bool on) { tracing_ = on; }
+  /// off by default). Bound the log with set_trace_limit for long runs.
+  void set_tracing(bool on) {
+    tracing_ = on;
+    if (on) trace_.reserve(kTraceReserveOnEnable);
+  }
   [[nodiscard]] bool tracing() const { return tracing_; }
-  [[nodiscard]] const std::vector<TransferRecord>& trace() const { return trace_; }
+  /// Caps the trace at the most recent `cap` records (ring buffer);
+  /// 0 restores the default unlimited log.
+  void set_trace_limit(std::size_t cap) { trace_.set_capacity(cap); }
+  [[nodiscard]] const TraceBuffer& trace() const { return trace_; }
   void clear_trace() { trace_.clear(); }
 
  private:
@@ -182,8 +256,10 @@ class Network {
   std::uint64_t overhead_bytes_ = 256;
   std::uint64_t mid_transfer_failures_ = 0;
   std::uint64_t transfers_dropped_ = 0;
+  static constexpr std::size_t kTraceReserveOnEnable = 4096;
+
   bool tracing_ = false;
-  std::vector<TransferRecord> trace_;
+  TraceBuffer trace_;
 };
 
 }  // namespace dfl::sim

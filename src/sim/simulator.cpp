@@ -1,10 +1,13 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 namespace dfl::sim {
 
-void Simulator::schedule_at(TimeNs at, std::function<void()> fn) {
+void Simulator::schedule_at(TimeNs at, EventFn fn) {
   if (at < now_) at = now_;
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  events_.push_back(Event{at, next_seq_++, std::move(fn)});
+  std::push_heap(events_.begin(), events_.end(), EventLater{});
 }
 
 void Simulator::spawn(Task<void> task) {
@@ -16,15 +19,13 @@ void Simulator::spawn(Task<void> task) {
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top returns const&; the function object must be moved
-  // out before pop. const_cast is safe: the element is removed immediately.
-  auto& top = const_cast<Event&>(queue_.top());
-  now_ = top.at;
-  auto fn = std::move(top.fn);
-  queue_.pop();
+  if (events_.empty()) return false;
+  std::pop_heap(events_.begin(), events_.end(), EventLater{});
+  Event ev = std::move(events_.back());
+  events_.pop_back();
+  now_ = ev.at;
   ++events_processed_;
-  fn();
+  ev.fn();
   return true;
 }
 
@@ -34,12 +35,12 @@ void Simulator::run(std::uint64_t max_events) {
 }
 
 void Simulator::run_until(TimeNs until) {
-  while (!queue_.empty() && queue_.top().at <= until) step();
+  while (!events_.empty() && events_.front().at <= until) step();
   if (now_ < until) now_ = until;
 }
 
 void Simulator::reset() {
-  while (!queue_.empty()) queue_.pop();
+  events_.clear();
   roots_.clear();
 }
 

@@ -5,10 +5,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "common/function.hpp"
 #include "sim/task.hpp"
 
 namespace dfl::sim {
@@ -20,21 +19,29 @@ constexpr TimeNs from_seconds(double s) { return static_cast<TimeNs>(s * 1e9); }
 constexpr double to_seconds(TimeNs t) { return static_cast<double>(t) * 1e-9; }
 constexpr TimeNs from_millis(double ms) { return static_cast<TimeNs>(ms * 1e6); }
 
+/// Event callable: small-buffer storage sized for the common captures (a
+/// coroutine handle, a shared_ptr transfer record, a couple of pointers) so
+/// the per-event heap allocation std::function paid is gone.
+using EventFn = InlineFn<48>;
+
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() { events_.reserve(kInitialEventCapacity); }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   [[nodiscard]] TimeNs now() const { return now_; }
   [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
+  [[nodiscard]] std::size_t events_pending() const { return events_.size(); }
+
+  /// Pre-sizes the event heap (hot-path hint for large deployments; growth
+  /// is still automatic).
+  void reserve_events(std::size_t n) { events_.reserve(n); }
 
   /// Schedules a callback at absolute simulated time `at` (clamped to now).
   /// Events at equal times run in scheduling (FIFO) order — deterministic.
-  void schedule_at(TimeNs at, std::function<void()> fn);
-  void schedule_after(TimeNs delay, std::function<void()> fn) {
-    schedule_at(now_ + delay, std::move(fn));
-  }
+  void schedule_at(TimeNs at, EventFn fn);
+  void schedule_after(TimeNs delay, EventFn fn) { schedule_at(now_ + delay, std::move(fn)); }
 
   /// Starts a coroutine as a detached root process. The simulator owns the
   /// frame; it is released when the simulator is destroyed (or reset()).
@@ -71,11 +78,15 @@ class Simulator {
   void reset();
 
  private:
+  static constexpr std::size_t kInitialEventCapacity = 1024;
+
   struct Event {
     TimeNs at;
     std::uint64_t seq;
-    std::function<void()> fn;
+    EventFn fn;
   };
+  /// Min-heap order: the (at, seq) pair decides; seq makes ordering total,
+  /// so heap reshuffles cannot perturb determinism.
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
       if (a.at != b.at) return a.at > b.at;
@@ -86,7 +97,10 @@ class Simulator {
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  // Binary heap managed via std::push_heap/pop_heap over a plain vector:
+  // unlike priority_queue this allows reserve() and moving the top element
+  // out without const_cast.
+  std::vector<Event> events_;
   // deque: spawn keeps a pointer to the element until its start event runs,
   // so container growth must not invalidate references.
   std::deque<Task<void>> roots_;

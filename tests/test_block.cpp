@@ -1,0 +1,216 @@
+// Block semantics: aliasing (a served block shares the stored buffer),
+// copy-on-write (chaos corruption never touches the stored replica or
+// concurrent readers), CID caching, and the kDeepCopy emulation mode.
+#include <gtest/gtest.h>
+
+#include "ipfs/block.hpp"
+#include "ipfs/blockstore.hpp"
+#include "ipfs/node.hpp"
+#include "ipfs/swarm.hpp"
+#include "sim/datapath.hpp"
+#include "sim/fault.hpp"
+
+namespace dfl {
+namespace {
+
+/// Restores the process-global data-path mode and zeroes the counters so
+/// tests cannot leak state into each other.
+struct BlockFixture : ::testing::Test {
+  void SetUp() override {
+    sim::set_datapath_mode(sim::DataPathMode::kZeroCopy);
+    sim::reset_datapath_stats();
+  }
+  void TearDown() override { sim::set_datapath_mode(sim::DataPathMode::kZeroCopy); }
+};
+
+TEST_F(BlockFixture, NullBlock) {
+  const Block b;
+  EXPECT_TRUE(b.is_null());
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.cid().is_null());
+  EXPECT_EQ(b.use_count(), 0);
+}
+
+TEST_F(BlockFixture, HandleCopyAliasesBuffer) {
+  const Block a(bytes_of("shared-gradient"));
+  const Block b = a;  // handle copy: refcount bump, no byte copy
+  EXPECT_TRUE(a.aliases(b));
+  EXPECT_EQ(a.use_count(), 2);
+  EXPECT_EQ(b.view().data(), a.view().data());
+  EXPECT_EQ(sim::datapath_stats().bytes_copied, 0u);
+}
+
+TEST_F(BlockFixture, CidIsComputedOnceAndCached) {
+  const Block a(bytes_of("hash-me-once"));
+  EXPECT_FALSE(a.has_cached_cid());
+  const ipfs::Cid& c1 = a.cid();
+  EXPECT_TRUE(a.has_cached_cid());
+  const ipfs::Cid& c2 = a.cid();
+  EXPECT_EQ(c1, c2);
+  const auto s = sim::datapath_stats();
+  EXPECT_EQ(s.blocks_hashed, 1u);
+  EXPECT_EQ(s.cid_cache_hits, 1u);
+  // The cache lives on the shared buffer: an aliasing handle sees it too.
+  const Block b = a;
+  EXPECT_TRUE(b.has_cached_cid());
+  (void)b.cid();
+  EXPECT_EQ(sim::datapath_stats().cid_cache_hits, 2u);
+}
+
+TEST_F(BlockFixture, VerifyUsesCacheAndPopulatesIt) {
+  const Bytes data = bytes_of("verify-me");
+  const ipfs::Cid cid = ipfs::Cid::of(data);
+  const Block fresh(data);
+  EXPECT_TRUE(fresh.verify(cid));  // re-hash (no cache yet), then cache
+  EXPECT_TRUE(fresh.has_cached_cid());
+  EXPECT_EQ(sim::datapath_stats().blocks_hashed, 1u);
+  EXPECT_TRUE(fresh.verify(cid));  // answered from the cache
+  EXPECT_EQ(sim::datapath_stats().blocks_hashed, 1u);
+  EXPECT_EQ(sim::datapath_stats().cid_cache_hits, 1u);
+  EXPECT_FALSE(fresh.verify(ipfs::Cid::of(bytes_of("other"))));
+}
+
+TEST_F(BlockFixture, MutateCopyLeavesOriginalAndReadersPristine) {
+  const Bytes original = bytes_of("pristine-payload");
+  const Block stored(original);
+  const Block reader = stored;  // a concurrent consumer of the same buffer
+  const ipfs::Cid good_cid = stored.cid();
+
+  const Block corrupted = stored.mutate_copy([](Bytes& b) { b[0] ^= 0xff; });
+
+  // CoW: the mutation produced a private buffer; nobody else moved.
+  EXPECT_FALSE(corrupted.aliases(stored));
+  EXPECT_EQ(stored, original);
+  EXPECT_EQ(reader, original);
+  EXPECT_NE(corrupted.bytes(), original);
+
+  // The copy has no cached CID; verification re-hashes and fails while the
+  // pristine block still verifies from its cache.
+  EXPECT_FALSE(corrupted.has_cached_cid());
+  EXPECT_FALSE(corrupted.verify(good_cid));
+  EXPECT_TRUE(stored.verify(good_cid));
+  // The failed verification must not have poisoned the copy's cache.
+  EXPECT_FALSE(corrupted.has_cached_cid());
+  EXPECT_EQ(corrupted.cid(), ipfs::Cid::of(corrupted.bytes()));
+}
+
+TEST_F(BlockFixture, ServeCopySharesInZeroCopyMode) {
+  const Block a(Bytes(1024, 7));
+  const Block served = a.serve_copy();
+  EXPECT_TRUE(served.aliases(a));
+  const auto s = sim::datapath_stats();
+  EXPECT_EQ(s.bytes_shared, 1024u);
+  EXPECT_EQ(s.bytes_copied, 0u);
+}
+
+TEST_F(BlockFixture, ServeCopyDeepCopiesInDeepCopyMode) {
+  const Block a(Bytes(1024, 7));
+  sim::set_datapath_mode(sim::DataPathMode::kDeepCopy);
+  const Block served = a.serve_copy();
+  EXPECT_FALSE(served.aliases(a));
+  EXPECT_EQ(served, a);
+  const auto s = sim::datapath_stats();
+  EXPECT_EQ(s.bytes_copied, 1024u);
+  EXPECT_EQ(s.bytes_shared, 0u);
+}
+
+TEST_F(BlockFixture, ResidentBytesTrackAllocAndFree) {
+  sim::reset_datapath_stats();
+  const std::uint64_t base = sim::datapath_stats().resident_block_bytes;
+  {
+    const Block a(Bytes(4096, 1));
+    EXPECT_EQ(sim::datapath_stats().resident_block_bytes, base + 4096);
+    const Block alias = a;  // no new allocation
+    EXPECT_EQ(sim::datapath_stats().resident_block_bytes, base + 4096);
+    EXPECT_GE(sim::datapath_stats().peak_resident_block_bytes, base + 4096);
+  }
+  EXPECT_EQ(sim::datapath_stats().resident_block_bytes, base);
+}
+
+TEST_F(BlockFixture, BlockStoreGetAliasesStoredBlock) {
+  ipfs::BlockStore store;
+  const Block block(bytes_of("stored-once"));
+  const ipfs::Cid cid = store.put(block);
+  const auto got = store.get(cid);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->aliases(block));
+  EXPECT_TRUE(got->has_cached_cid());  // put computed and cached the CID
+  // peek shares too, but stays out of the accounting.
+  const auto before = sim::datapath_stats().bytes_shared;
+  const auto peeked = store.peek(cid);
+  ASSERT_TRUE(peeked.has_value());
+  EXPECT_TRUE(peeked->aliases(block));
+  EXPECT_EQ(sim::datapath_stats().bytes_shared, before);
+}
+
+/// End-to-end CoW: chaos corruption of a served block must leave the
+/// stored replica intact, so a retry (or a second consumer) still gets the
+/// correct bytes.
+TEST_F(BlockFixture, ChaosCorruptionDoesNotDamageStoredReplica) {
+  sim::Simulator sim;
+  sim::Network net(sim);
+  ipfs::Swarm swarm(net, ipfs::SwarmConfig{0, ipfs::IpfsNodeConfig{}});
+  ipfs::IpfsNode& node = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  sim::Host& client = net.add_host("client", sim::HostConfig{10e6, 10e6, 0});
+
+  const Bytes data = bytes_of("payload-to-corrupt");
+  const ipfs::Cid cid = node.put_local(data);
+
+  // A fault hook that corrupts exactly the first served payload.
+  struct OneShotCorruptor final : sim::FaultHook {
+    int remaining = 1;
+    bool should_drop_transfer(const sim::Host&, const sim::Host&) override { return false; }
+    double bandwidth_factor(const sim::Host&, const sim::Host&) override { return 1.0; }
+    bool should_corrupt_payload(const sim::Host&) override {
+      if (remaining == 0) return false;
+      --remaining;
+      return true;
+    }
+  } hook;
+  net.set_fault_hook(&hook);
+
+  int failures = 0;
+  Block second;
+  sim.spawn([](ipfs::IpfsNode& n, sim::Host& c, ipfs::Cid id, int& fails,
+               Block& out) -> sim::Task<void> {
+    try {
+      (void)co_await n.get(c, id);  // corrupted delivery: must throw
+    } catch (const std::runtime_error&) {
+      ++fails;
+    }
+    out = co_await n.get(c, id);  // replica pristine: must succeed
+  }(node, client, cid, failures, second));
+  sim.run();
+  net.set_fault_hook(nullptr);
+
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(second, data);
+  // And the stored block still verifies (its buffer was never mutated).
+  const auto stored = node.store().peek(cid);
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_EQ(*stored, data);
+}
+
+TEST_F(BlockFixture, DeepCopyModeBypassesCidCache) {
+  sim::set_datapath_mode(sim::DataPathMode::kDeepCopy);
+  sim::reset_datapath_stats();
+  const Block a(bytes_of("legacy-hashing"));
+  (void)a.cid();
+  (void)a.cid();  // hashes again: the legacy plane re-hashed per op
+  const auto s = sim::datapath_stats();
+  EXPECT_EQ(s.blocks_hashed, 2u);
+  EXPECT_EQ(s.cid_cache_hits, 0u);
+}
+
+TEST_F(BlockFixture, CopyReductionFactor) {
+  sim::DataPathStats s;
+  s.bytes_copied = 100;
+  s.bytes_shared = 900;
+  EXPECT_DOUBLE_EQ(s.copy_reduction_factor(), 10.0);
+  s.bytes_copied = 0;
+  EXPECT_DOUBLE_EQ(s.copy_reduction_factor(), 900.0);  // all sharing, no copies
+}
+
+}  // namespace
+}  // namespace dfl

@@ -287,7 +287,7 @@ TEST_F(IpfsFixture, MergeGetSumsPayloads) {
   const Cid c1 = node.put_local(p1.serialize());
   const Cid c2 = node.put_local(p2.serialize());
   core::PayloadMerger merger;
-  const Bytes merged = run(node.merge_get(client, {c1, c2}, merger));
+  const Block merged = run(node.merge_get(client, {c1, c2}, merger));
   const core::Payload result = core::Payload::deserialize(merged);
   EXPECT_EQ(result.values, (std::vector<std::int64_t>{11, 22, 33, 2}));
 }

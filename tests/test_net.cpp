@@ -374,6 +374,50 @@ TEST_F(NetFixture, TraceRecordsTransfers) {
   EXPECT_TRUE(net.trace().empty());
 }
 
+TEST_F(NetFixture, TraceRingBufferCapsGrowth) {
+  net.set_per_message_overhead(0);
+  net.set_tracing(true);
+  net.set_trace_limit(3);
+  Host& a = make_host("a", 10, 10);
+  Host& b = make_host("b", 10, 10);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    (void)timed_transfer(a, b, 1000 * i);
+  }
+  // Only the newest 3 records are retained; the 2 oldest were overwritten.
+  ASSERT_EQ(net.trace().size(), 3u);
+  EXPECT_EQ(net.trace().dropped(), 2u);
+  EXPECT_EQ(net.trace()[0].wire_bytes, 3000u);  // chronological indexing
+  EXPECT_EQ(net.trace()[1].wire_bytes, 4000u);
+  EXPECT_EQ(net.trace()[2].wire_bytes, 5000u);
+  // Range-for iterates the same chronological window.
+  std::uint64_t expect = 3000;
+  for (const auto& r : net.trace()) {
+    EXPECT_EQ(r.wire_bytes, expect);
+    expect += 1000;
+  }
+}
+
+TEST_F(NetFixture, TraceLimitShrinkKeepsNewestRecords) {
+  net.set_per_message_overhead(0);
+  net.set_tracing(true);  // unlimited by default
+  Host& a = make_host("a", 10, 10);
+  Host& b = make_host("b", 10, 10);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    (void)timed_transfer(a, b, 1000 * i);
+  }
+  EXPECT_EQ(net.trace().size(), 5u);
+  net.set_trace_limit(2);  // shrink below current size
+  ASSERT_EQ(net.trace().size(), 2u);
+  EXPECT_EQ(net.trace().dropped(), 3u);
+  EXPECT_EQ(net.trace()[0].wire_bytes, 4000u);
+  EXPECT_EQ(net.trace()[1].wire_bytes, 5000u);
+  // The shrunk ring keeps rolling correctly.
+  (void)timed_transfer(a, b, 6000);
+  ASSERT_EQ(net.trace().size(), 2u);
+  EXPECT_EQ(net.trace()[0].wire_bytes, 5000u);
+  EXPECT_EQ(net.trace()[1].wire_bytes, 6000u);
+}
+
 TEST_F(NetFixture, TracingOffByDefault) {
   Host& a = make_host("a", 10, 10);
   Host& b = make_host("b", 10, 10);

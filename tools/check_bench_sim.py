@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_sim.json produced by bench/abl_datapath.
+
+Checks the schema (required keys and types) and the invariants the data
+plane guarantees regardless of workload size:
+  * simulated results are bit-identical across the two modes,
+  * the zero-copy plane copies strictly fewer bytes than the baseline,
+  * stat counters are internally consistent.
+
+Usage: check_bench_sim.py [path-to-BENCH_sim.json]
+Exits non-zero with a message on the first violation.
+"""
+import json
+import sys
+
+MODE_KEYS = {
+    "bytes_copied": int,
+    "bytes_shared": int,
+    "blocks_hashed": int,
+    "bytes_hashed": int,
+    "cid_cache_hits": int,
+    "blocks_created": int,
+    "peak_resident_block_bytes": int,
+    "wall_seconds": float,
+    "sim_events": int,
+    "events_per_sec": float,
+}
+
+WORKLOAD_KEYS = {
+    "trainers": int,
+    "partitions": int,
+    "partition_elements": int,
+    "model_bytes": int,
+    "rounds": int,
+    "smoke": bool,
+}
+
+
+def fail(msg):
+    print(f"check_bench_sim: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_keys(obj, spec, where):
+    for key, typ in spec.items():
+        if key not in obj:
+            fail(f"{where}: missing key '{key}'")
+        val = obj[key]
+        # ints satisfy float fields, bools must not satisfy int fields
+        ok = (
+            isinstance(val, bool)
+            if typ is bool
+            else isinstance(val, (int, float))
+            if typ is float
+            else isinstance(val, int) and not isinstance(val, bool)
+        )
+        if not ok:
+            fail(f"{where}.{key}: expected {typ.__name__}, got {type(val).__name__}")
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_sim.json"
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+    if doc.get("bench") != "abl_datapath":
+        fail(f"bench != abl_datapath (got {doc.get('bench')!r})")
+    check_keys(doc.get("workload", {}), WORKLOAD_KEYS, "workload")
+    for mode in ("baseline", "zero_copy"):
+        if mode not in doc:
+            fail(f"missing '{mode}' block")
+        check_keys(doc[mode], MODE_KEYS, mode)
+
+    base, zero = doc["baseline"], doc["zero_copy"]
+    if doc.get("sim_time_identical") is not True:
+        fail("sim_time_identical is not true: modes diverged in simulated time")
+    if base["sim_events"] != zero["sim_events"]:
+        fail("sim_events differ between modes")
+    if zero["bytes_copied"] >= base["bytes_copied"]:
+        fail("zero_copy plane did not reduce copied bytes")
+    if zero["bytes_shared"] == 0:
+        fail("zero_copy plane shared no bytes (sharing never engaged)")
+    # The shared+copied total must equal what the baseline physically copied:
+    # bytes_shared counts exactly the bytes the legacy plane memcpy'd.
+    if zero["bytes_copied"] + zero["bytes_shared"] != base["bytes_copied"] + base["bytes_shared"]:
+        fail("copied+shared totals differ between modes")
+    if zero["blocks_hashed"] > base["blocks_hashed"]:
+        fail("zero_copy plane hashed more blocks than the baseline")
+    if zero["cid_cache_hits"] == 0:
+        fail("CID cache never hit in zero_copy mode")
+    if not isinstance(doc.get("copy_reduction_factor"), (int, float)):
+        fail("copy_reduction_factor missing or non-numeric")
+    if doc["copy_reduction_factor"] < 5.0:
+        fail(f"copy_reduction_factor {doc['copy_reduction_factor']} < 5.0")
+    rounds = doc["workload"]["rounds"]
+    times = doc.get("sim_round_done_ns")
+    if not isinstance(times, list) or len(times) != rounds:
+        fail(f"sim_round_done_ns must list all {rounds} rounds")
+    if any(b <= a for a, b in zip(times, times[1:])):
+        fail("sim_round_done_ns is not strictly increasing")
+
+    print(
+        f"check_bench_sim: OK ({path}): "
+        f"copy_reduction={doc['copy_reduction_factor']:.1f}x, "
+        f"wall_speedup={doc.get('wall_speedup', 0):.2f}x, sim identical"
+    )
+
+
+if __name__ == "__main__":
+    main()
