@@ -1,0 +1,220 @@
+// Ablation A10: the chunked Merkle-DAG transfer plane. Runs the same
+// fixed-seed merge-and-download workload (4 trainers, one 1 MiB partition,
+// Fig-1-style 10 Mbps symmetric links) over a grid of
+//   chunk setting x providers-per-aggregator:
+//     {64 KiB, 256 KiB, 1 MiB, monolithic} x P in {1, 2, 4}
+// and reports the simulated first-round completion time of every cell.
+// The contract the checker enforces:
+//   * the headline cell — 256 KiB chunks, P = 2 — finishes the round
+//     >= 1.5x faster than the monolithic plane at the same P,
+//   * the aggregated global update is bit-identical across every chunk
+//     setting (the plane changes *when* bytes move, never *what* they sum
+//     to), per provider count,
+//   * the headline cell is deterministic across a full re-run.
+// Results land in BENCH_sim.json ($DFL_BENCH_SIM_JSON overrides the path).
+//
+//   abl_chunking            # full grid: 4 chunk settings x 3 provider counts
+//   DFL_CHUNKING_SMOKE=1 abl_chunking   # CI-sized: {256 KiB, monolithic} x {1, 2}
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/runner.hpp"
+#include "ipfs/chunker.hpp"
+
+namespace {
+
+using namespace dfl;
+
+struct Workload {
+  std::size_t trainers = 4;
+  std::size_t partitions = 1;
+  std::size_t partition_elements = 131072;  // 1 MiB partition on the wire
+  sim::TimeNs train_time = sim::from_millis(200);
+  bool smoke = false;
+};
+
+/// One grid cell: a chunk setting at a provider count. chunk_size == 0
+/// encodes the monolithic (whole-blob) plane.
+struct Cell {
+  std::size_t providers = 1;
+  std::size_t chunk_size = 0;
+  double round_seconds = 0;
+  std::uint64_t fingerprint = 0;  // FNV-1a over the aggregated update
+  sim::TimeNs round_done = 0;
+};
+
+core::DeploymentConfig make_config(const Workload& w, std::size_t providers,
+                                   std::size_t chunk_size) {
+  core::DeploymentConfig cfg;
+  cfg.num_trainers = w.trainers;
+  cfg.num_partitions = w.partitions;
+  cfg.partition_elements = w.partition_elements;
+  cfg.aggs_per_partition = 1;
+  cfg.num_ipfs_nodes = 4;
+  cfg.providers_per_agg = providers;
+  cfg.options.merge_and_download = true;
+  cfg.options.update_replicas = providers;
+  cfg.train_time = w.train_time;
+  cfg.seed = 42;
+  if (chunk_size != 0) {
+    cfg.options.chunking = ipfs::ChunkingMode::kDag;
+    cfg.options.chunk_size = chunk_size;
+  }
+  return cfg;
+}
+
+std::uint64_t fnv1a(const std::vector<double>& v) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const double d : v) {
+    unsigned char bytes[sizeof(double)];
+    std::memcpy(bytes, &d, sizeof(double));
+    for (const unsigned char b : bytes) {
+      h ^= b;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+Cell run_cell(const Workload& w, std::size_t providers, std::size_t chunk_size) {
+  core::Deployment d(make_config(w, providers, chunk_size));
+  const core::RoundMetrics m = d.run_round(0);
+  Cell out;
+  out.providers = providers;
+  out.chunk_size = chunk_size;
+  out.round_done = m.round_done;
+  out.round_seconds = static_cast<double>(m.round_done - m.round_start) / 1e9;
+  out.fingerprint = fnv1a(d.last_global_update());
+  return out;
+}
+
+const char* cell_label(std::size_t chunk_size, char* buf, std::size_t n) {
+  if (chunk_size == 0) {
+    std::snprintf(buf, n, "monolithic");
+  } else {
+    std::snprintf(buf, n, "%zu KiB", chunk_size / 1024);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  Workload w;
+  std::vector<std::size_t> chunk_sizes = {64 * 1024, 256 * 1024, 1024 * 1024, 0};
+  std::vector<std::size_t> provider_counts = {1, 2, 4};
+  if (const char* v = std::getenv("DFL_CHUNKING_SMOKE");
+      v != nullptr && std::strcmp(v, "0") != 0) {
+    w.smoke = true;
+    chunk_sizes = {256 * 1024, 0};
+    provider_counts = {1, 2};
+  }
+  const std::size_t partition_bytes = (w.partition_elements + 1) * 8;
+
+  bench::print_header("Ablation A10: chunked Merkle-DAG plane vs monolithic transfers");
+  std::printf("  workload: %zu trainers, %zu partition(s) x %.0f KiB, merge-and-download%s\n",
+              w.trainers, w.partitions, static_cast<double>(partition_bytes) / 1024.0,
+              w.smoke ? " (smoke)" : "");
+
+  const bench::WallTimer timer;
+  std::vector<Cell> cells;
+  std::printf("  %-12s", "round s");
+  for (const std::size_t p : provider_counts) std::printf(" %9s=%zu", "P", p);
+  std::printf("\n");
+  for (const std::size_t cs : chunk_sizes) {
+    char label[32];
+    std::printf("  %-12s", cell_label(cs, label, sizeof(label)));
+    for (const std::size_t p : provider_counts) {
+      cells.push_back(run_cell(w, p, cs));
+      std::printf(" %11.2f", cells.back().round_seconds);
+    }
+    std::printf("\n");
+  }
+
+  // Invariants: bit-identical aggregate across chunk settings (per provider
+  // count), a deterministic headline cell, and the >= 1.5x headline speedup.
+  auto find_cell = [&](std::size_t providers, std::size_t chunk_size) -> const Cell* {
+    for (const Cell& c : cells) {
+      if (c.providers == providers && c.chunk_size == chunk_size) return &c;
+    }
+    return nullptr;
+  };
+
+  bool fingerprints_identical = true;
+  for (const std::size_t p : provider_counts) {
+    const std::uint64_t want = find_cell(p, chunk_sizes.front())->fingerprint;
+    for (const std::size_t cs : chunk_sizes) {
+      if (find_cell(p, cs)->fingerprint != want) fingerprints_identical = false;
+    }
+  }
+
+  const Cell* headline = find_cell(2, 256 * 1024);
+  const Cell* baseline = find_cell(2, 0);
+  const double speedup =
+      headline != nullptr && baseline != nullptr && headline->round_seconds > 0
+          ? baseline->round_seconds / headline->round_seconds
+          : 0;
+
+  const Cell rerun = headline != nullptr ? run_cell(w, 2, 256 * 1024) : Cell{};
+  const bool deterministic = headline != nullptr &&
+                             rerun.round_done == headline->round_done &&
+                             rerun.fingerprint == headline->fingerprint;
+  const double wall_seconds = timer.seconds();
+
+  std::printf("  headline (256 KiB, P=2): %.2fx over monolithic | aggregates identical: %s"
+              " | deterministic: %s\n",
+              speedup, fingerprints_identical ? "yes" : "NO", deterministic ? "yes" : "NO");
+  bench::print_note("monolithic runs the legacy whole-blob plane in the same binary, so the");
+  bench::print_note("comparison is apples-to-apples and the bit-identity check is exact");
+
+  const char* env_path = std::getenv("DFL_BENCH_SIM_JSON");
+  const std::string path =
+      env_path != nullptr && *env_path != '\0' ? env_path : "BENCH_sim.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "abl_chunking: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"bench\": \"abl_chunking\",\n"
+               "  \"workload\": {\"trainers\": %zu, \"partitions\": %zu, "
+               "\"partition_elements\": %zu, \"partition_bytes\": %zu, "
+               "\"train_time_ms\": %lld, \"smoke\": %s},\n",
+               w.trainers, w.partitions, w.partition_elements, partition_bytes,
+               static_cast<long long>(w.train_time / 1000000), w.smoke ? "true" : "false");
+  std::fprintf(f, "  \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(f,
+                 "    {\"providers\": %zu, \"chunk_bytes\": %zu, \"round_seconds\": %.6f, "
+                 "\"round_done_ns\": %lld, \"fingerprint\": \"%016llx\"}%s\n",
+                 c.providers, c.chunk_size, c.round_seconds,
+                 static_cast<long long>(c.round_done),
+                 static_cast<unsigned long long>(c.fingerprint),
+                 i + 1 == cells.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"speedup_256k_p2\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"fingerprints_identical\": %s,\n",
+               fingerprints_identical ? "true" : "false");
+  std::fprintf(f, "  \"deterministic\": %s,\n", deterministic ? "true" : "false");
+  std::fprintf(f, "  \"wall_seconds\": %.3f\n}\n", wall_seconds);
+  std::fclose(f);
+  std::printf("  # wrote %s\n", path.c_str());
+
+  if (!fingerprints_identical) {
+    std::fprintf(stderr, "abl_chunking: aggregates diverged across chunk settings\n");
+    return 1;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr, "abl_chunking: headline cell not deterministic across reruns\n");
+    return 1;
+  }
+  return 0;
+}

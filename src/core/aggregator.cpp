@@ -134,6 +134,23 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
     g.received.insert(from.begin(), from.end());
   };
 
+  // One gradient through the routing layer, absorbed on arrival. Both
+  // degradation paths below fan these out concurrently — a dead replica's
+  // retries overlap the healthy downloads instead of serializing after
+  // them. Integer sums are order-independent, so concurrent completion
+  // order cannot change the aggregate.
+  auto fetch_gradient = [&](std::uint32_t t, ipfs::Cid cid) -> sim::Task<void> {
+    try {
+      const Block data = co_await ctx_.swarm.fetch_with_retry(host_, cid, ctx_.spec.options.retry,
+                                                              deadline, &rec.rpc);
+      rec.bytes_received += data.size();
+      absorb(Payload::deserialize(data), {t});
+    } catch (const std::exception&) {
+      DFL_WARN("aggregator") << "a" << global_id_ << " gradient of t" << t
+                             << " unavailable on every replica";
+    }
+  };
+
   auto merge_group = [&](std::uint32_t provider_id)
       -> sim::Task<void> {
     auto& list = ready[provider_id];
@@ -153,22 +170,9 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
       DFL_WARN("aggregator") << "a" << global_id_ << " merge at node " << provider_id
                              << " failed; fetching individually";
       ++rec.merge_fallbacks;
-      for (const auto& [t, cid] : list) {
-        bool fetched = false;
-        Block data;
-        try {
-          data = co_await ctx_.swarm.fetch_with_retry(host_, cid, ctx_.spec.options.retry,
-                                                      deadline, &rec.rpc);
-          fetched = true;
-        } catch (const std::exception&) {
-          DFL_WARN("aggregator") << "a" << global_id_ << " gradient of t" << t
-                                 << " unavailable on every replica";
-        }
-        if (fetched) {
-          rec.bytes_received += data.size();
-          absorb(Payload::deserialize(data), {t});
-        }
-      }
+      sim::TaskGroup fetches(ctx_.sim);
+      for (const auto& [t, cid] : list) fetches.spawn(fetch_gradient(t, cid));
+      co_await fetches.join();
       list.clear();
       merged_providers.insert(provider_id);
       co_return;
@@ -181,9 +185,21 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
     if (ctx_.spec.options.verifiable) {
       // Check the pre-aggregation against the product of the commitments
       // of the gradients it claims to contain (Section IV-B, last ¶).
-      if (!grad_commitments) {
-        grad_commitments.emplace();
+      // Groups merge concurrently, so the cached commitment list may have
+      // been fetched before this group's trainers registered theirs:
+      // refetch whenever a needed commitment is absent.
+      bool have_all = grad_commitments.has_value();
+      if (have_all) {
+        for (const std::uint32_t t : from) {
+          if (!grad_commitments->contains(t)) {
+            have_all = false;
+            break;
+          }
+        }
+      }
+      if (!have_all) {
         const auto list2 = co_await ctx_.dir.gradient_commitments(host_, partition_, iter);
+        grad_commitments.emplace();
         for (const auto& [t, c] : list2) grad_commitments->emplace(t, c);
       }
       std::vector<crypto::Commitment> parts;
@@ -202,18 +218,11 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
                                << " merge result failed verification; falling back to "
                                   "individual downloads from node "
                                << provider_id;
-        // Un-merged fallback: fetch each gradient directly.
-        for (const auto& [t, cid] : list) {
-          try {
-            const Block data = co_await ctx_.swarm.fetch_with_retry(
-                host_, cid, ctx_.spec.options.retry, deadline, &rec.rpc);
-            rec.bytes_received += data.size();
-            absorb(Payload::deserialize(data), {t});
-          } catch (const std::exception&) {
-            DFL_WARN("aggregator") << "a" << global_id_ << " gradient of t" << t
-                                   << " unavailable for the unmerged fallback";
-          }
-        }
+        // Un-merged fallback: fetch each gradient directly, concurrently.
+        ++rec.merge_fallbacks;
+        sim::TaskGroup fetches(ctx_.sim);
+        for (const auto& [t, cid] : list) fetches.spawn(fetch_gradient(t, cid));
+        co_await fetches.join();
       }
     }
     if (accept) absorb(payload, from);
@@ -221,58 +230,62 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
     merged_providers.insert(provider_id);
   };
 
-  for (;;) {
-    const auto entries =
-        co_await ctx_.dir.poll(host_, partition_, iter, directory::EntryType::kGradient);
-    for (const auto& e : entries) {
-      if (!expected.contains(e.uploader_id) || seen.contains(e.uploader_id)) continue;
-      seen.insert(e.uploader_id);
-      if (merge_mode) {
-        ready[ctx_.spec.provider_for(partition_, e.uploader_id)].emplace_back(e.uploader_id,
-                                                                              e.cid);
-      } else {
-        // Plain path: download each gradient as it appears, bounded by the
-        // gather deadline (straggler tolerance: a dead provider costs
-        // retries, never the whole round).
-        bool fetched = false;
-        Block data;
-        try {
-          data = co_await ctx_.swarm.fetch_with_retry(host_, e.cid, ctx_.spec.options.retry,
-                                                      deadline, &rec.rpc);
-          fetched = true;
-        } catch (const std::exception& ex) {
-          DFL_WARN("aggregator") << "a" << global_id_ << " failed to fetch gradient of t"
-                                 << e.uploader_id << ": " << ex.what();
-        }
-        if (fetched) {
-          rec.bytes_received += data.size();
-          absorb(Payload::deserialize(data), {e.uploader_id});
+  // Merge groups (and plain-path downloads under the DAG plane) run
+  // concurrently with the polling loop: a slow provider's merge overlaps
+  // the next group's announcement instead of serializing behind it. The
+  // group is always joined before gather returns — the lambdas above live
+  // in this frame.
+  sim::TaskGroup inflight(ctx_.sim);
+  std::exception_ptr gather_error;
+  try {
+    for (;;) {
+      const auto entries =
+          co_await ctx_.dir.poll(host_, partition_, iter, directory::EntryType::kGradient);
+      for (const auto& e : entries) {
+        if (!expected.contains(e.uploader_id) || seen.contains(e.uploader_id)) continue;
+        seen.insert(e.uploader_id);
+        if (merge_mode) {
+          ready[ctx_.spec.provider_for(partition_, e.uploader_id)].emplace_back(e.uploader_id,
+                                                                                e.cid);
+        } else {
+          // Plain path: download each gradient as it appears, bounded by the
+          // gather deadline (straggler tolerance: a dead provider costs
+          // retries, never the whole round). Concurrent: the next announced
+          // gradient starts downloading while this one is still in flight.
+          inflight.spawn(fetch_gradient(e.uploader_id, e.cid));
         }
       }
-    }
-    if (merge_mode) {
-      // Merge a provider's batch as soon as all its trainers have announced.
-      for (auto& [prov, group] : groups) {
-        if (merged_providers.contains(prov)) continue;
-        if (ready[prov].size() == group.size()) {
-          co_await merge_group(prov);
-        }
-      }
-    }
-    if (g.received.size() == expected.size()) break;
-    if (ctx_.sim.now() > deadline) {
       if (merge_mode) {
-        // Deadline: merge whatever partial groups are available.
-        for (auto& [prov, list] : ready) {
-          if (!merged_providers.contains(prov) && !list.empty()) {
-            co_await merge_group(prov);
+        // Merge a provider's batch as soon as all its trainers have announced.
+        for (auto& [prov, group] : groups) {
+          if (merged_providers.contains(prov)) continue;
+          if (ready[prov].size() == group.size()) {
+            merged_providers.insert(prov);
+            inflight.spawn(merge_group(prov));
           }
         }
       }
-      break;
+      if (g.received.size() == expected.size()) break;
+      if (ctx_.sim.now() > deadline) {
+        if (merge_mode) {
+          // Deadline: merge whatever partial groups are available.
+          for (auto& [prov, list] : ready) {
+            if (!merged_providers.contains(prov) && !list.empty()) {
+              merged_providers.insert(prov);
+              inflight.spawn(merge_group(prov));
+            }
+          }
+        }
+        break;
+      }
+      co_await ctx_.sim.sleep(ctx_.spec.schedule.poll_interval);
     }
-    co_await ctx_.sim.sleep(ctx_.spec.schedule.poll_interval);
+  } catch (...) {
+    // co_await is illegal inside a catch block: capture, drain, rethrow.
+    gather_error = std::current_exception();
   }
+  co_await inflight.join();
+  if (gather_error != nullptr) std::rethrow_exception(gather_error);
   co_return g;
 }
 
@@ -411,6 +424,59 @@ sim::Task<bool> Aggregator::upload_and_announce(std::uint32_t iter, const Payloa
       type == directory::EntryType::kGlobalUpdate
           ? std::min(ctx_.spec.options.update_replicas, provs.size())
           : 1;  // partial updates are fetched a few times only
+  const directory::Addr addr{global_id_, partition_, iter, type};
+
+  if (ctx_.spec.options.chunking == ipfs::ChunkingMode::kDag) {
+    // Chunked plane: the root CID is computable locally, so announce FIRST
+    // — downloaders discover the update and stream its leaves while the
+    // upload is still on our uplink (announce-before-upload overlap). One
+    // primary copy goes out synchronously; further replicas spread
+    // node-to-node in the background, off this writer's uplink.
+    //
+    // Exception: a verifiable directory fetches a global update at announce
+    // time to check it opens the accumulated commitment, so the announce
+    // must wait until a copy is actually fetchable.
+    const bool announce_early =
+        !(ctx_.spec.options.verifiable && type == directory::EntryType::kGlobalUpdate);
+    const ipfs::Cid root = ipfs::Chunker(ctx_.spec.options.chunk_size).root_cid(data);
+    if (out_cid != nullptr) *out_cid = root;
+    if (announce_early && !co_await ctx_.dir.announce(host_, addr, root)) co_return false;
+    // All replica uploads launch together: their leaves queue FIFO on our
+    // uplink, so the first copy lands exactly as fast as a lone upload and
+    // the rest trail right behind it — no idle uplink between replicas, and
+    // downloaders stripe across copies as each leaf's record appears.
+    std::size_t copies = 0;
+    sim::TaskGroup puts(ctx_.sim);
+    auto put_replica = [this, &data, &root, &rec, &copies](std::uint32_t node_id)
+        -> sim::Task<void> {
+      const auto got = co_await ctx_.swarm.put_with_retry(node_id, host_, data,
+                                                          ctx_.spec.options.retry, -1, &rec.rpc);
+      if (!got) {
+        DFL_WARN("aggregator") << "a" << global_id_ << " update upload to node " << node_id
+                               << " failed after retries";
+        ++rec.rpc.failovers;
+        co_return;
+      }
+      if (*got != root) {
+        DFL_WARN("aggregator") << "a" << global_id_
+                               << " announced root does not match stored root";
+      }
+      ++copies;
+    };
+    for (std::size_t k = 0; k < provs.size() && k < want_copies; ++k) {
+      puts.spawn(put_replica(provs[(global_id_ + k) % provs.size()]));
+    }
+    co_await puts.join();
+    if (copies == 0) {
+      DFL_WARN("aggregator") << "a" << global_id_ << " could not store its update anywhere";
+      co_return false;
+    }
+    // A failed target leaves us short a replica: spread node-to-node.
+    if (copies < want_copies) ctx_.swarm.replicate_background(root, want_copies);
+    if (!announce_early) co_return co_await ctx_.dir.announce(host_, addr, root);
+    co_return true;
+  }
+
   ipfs::Cid cid;
   std::size_t copies = 0;
   for (std::size_t k = 0; k < provs.size() && copies < want_copies; ++k) {
@@ -431,7 +497,6 @@ sim::Task<bool> Aggregator::upload_and_announce(std::uint32_t iter, const Payloa
     co_return false;
   }
   if (out_cid != nullptr) *out_cid = cid;
-  const directory::Addr addr{global_id_, partition_, iter, type};
   co_return co_await ctx_.dir.announce(host_, addr, cid);
 }
 

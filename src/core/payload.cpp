@@ -1,5 +1,6 @@
 #include "core/payload.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/serde.hpp"
@@ -55,6 +56,51 @@ Bytes PayloadMerger::merge(const std::vector<BytesView>& blocks) const {
     acc = Payload::add(acc, Payload::deserialize(blocks[i]));
   }
   return acc.serialize();
+}
+
+namespace {
+
+constexpr std::uint64_t kHeader = 4;  // uint32 element count
+
+std::int64_t load_i64(const std::uint8_t* p) {
+  std::uint64_t u = 0;
+  for (std::size_t i = 0; i < 8; ++i) u |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return static_cast<std::int64_t>(u);
+}
+
+void append_i64(Bytes& out, std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  for (std::size_t i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(u >> (8 * i)));
+}
+
+}  // namespace
+
+std::uint64_t PayloadMerger::merge_boundary(std::uint64_t limit, std::uint64_t total) const {
+  if (limit >= total) return total;
+  if (limit < kHeader) return 0;
+  return std::min(total, kHeader + 8 * ((limit - kHeader) / 8));
+}
+
+Bytes PayloadMerger::merge_range(const std::vector<BytesView>& parts, std::uint64_t from,
+                                 std::uint64_t to) const {
+  if (parts.empty() || to <= from) return {};
+  Bytes out;
+  out.reserve(to - from);
+  // Header range: all inputs must agree on the element count; emit it once.
+  for (std::uint64_t pos = from; pos < std::min(to, kHeader); ++pos) {
+    const std::uint8_t b = parts.front()[pos];
+    for (const BytesView& p : parts) {
+      if (p[pos] != b) throw std::invalid_argument("PayloadMerger: header mismatch");
+    }
+    out.push_back(b);
+  }
+  // Element range: position-aligned int64 sums, exactly Payload::add.
+  for (std::uint64_t pos = std::max(from, kHeader); pos < to; pos += 8) {
+    std::int64_t sum = 0;
+    for (const BytesView& p : parts) sum += load_i64(p.data() + pos);
+    append_i64(out, sum);
+  }
+  return out;
 }
 
 }  // namespace dfl::core

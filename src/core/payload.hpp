@@ -36,9 +36,20 @@ struct Payload {
 };
 
 /// Sums payload blocks on a storage node — the merge-and-download merger.
+///
+/// Streaming-capable: the wire format is a 4-byte count header followed by
+/// little-endian int64 elements, so any prefix ending on an element
+/// boundary (offset 4 + 8k) merges independently of the rest — that is
+/// what lets merge_get ship partial sums while later chunks are still
+/// downloading. Concatenating merge_range over those boundaries is
+/// bit-identical to merge() on the whole blocks.
 class PayloadMerger final : public ipfs::BlockMerger {
  public:
   [[nodiscard]] Bytes merge(const std::vector<BytesView>& blocks) const override;
+  [[nodiscard]] std::uint64_t merge_boundary(std::uint64_t limit,
+                                             std::uint64_t total) const override;
+  [[nodiscard]] Bytes merge_range(const std::vector<BytesView>& parts, std::uint64_t from,
+                                  std::uint64_t to) const override;
 };
 
 }  // namespace dfl::core

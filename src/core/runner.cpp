@@ -23,7 +23,11 @@ Deployment::Deployment(DeploymentConfig config, std::unique_ptr<GradientSource> 
     : config_(std::move(config)) {
   sim_ = std::make_unique<sim::Simulator>();
   net_ = std::make_unique<sim::Network>(*sim_);
-  swarm_ = std::make_unique<ipfs::Swarm>(*net_);
+  ipfs::SwarmConfig swarm_cfg;
+  swarm_cfg.node_config.chunking.mode = config_.options.chunking;
+  swarm_cfg.node_config.chunking.chunk_size = config_.options.chunk_size;
+  swarm_cfg.node_config.chunking.pipeline_depth = config_.options.chunk_pipeline;
+  swarm_ = std::make_unique<ipfs::Swarm>(*net_, swarm_cfg);
   pubsub_ = std::make_unique<ipfs::PubSub>(*net_);
 
   for (std::size_t i = 0; i < config_.num_ipfs_nodes; ++i) {
@@ -176,7 +180,8 @@ void Deployment::collect_global_update(std::uint32_t iter) {
     bool found = false;
     for (const std::uint32_t node_id : swarm_->providers(rows.front().cid)) {
       // peek: measurement read, kept out of the data-plane accounting.
-      if (auto block = swarm_->node(node_id).store().peek(rows.front().cid)) {
+      // peek_content reassembles DAG roots from their stored leaves.
+      if (auto block = swarm_->node(node_id).peek_content(rows.front().cid)) {
         data = std::move(*block);
         found = true;
         break;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "crypto/pedersen.hpp"
+#include "ipfs/chunker.hpp"
 #include "ipfs/retry.hpp"
 #include "sim/simulator.hpp"
 
@@ -90,6 +91,17 @@ struct ProtocolOptions {
   bool batched_announce = false;
   /// Provider selection within P_ij.
   ProviderPolicy provider_policy = ProviderPolicy::kRoundRobin;
+  /// Transfer plane: kDag chunks every stored object into a Merkle DAG of
+  /// `chunk_size` leaves — uploads pipeline hop-to-hop per chunk, fetches
+  /// stripe leaves across providers, and merge-and-download streams partial
+  /// sums while later chunks are still arriving. kMonolithic is the legacy
+  /// whole-blob plane (same binary, A/B comparable, bit-identical results).
+  ipfs::ChunkingMode chunking = ipfs::ChunkingMode::kMonolithic;
+  /// Leaf payload size in bytes for the kDag plane.
+  std::size_t chunk_size = ipfs::kDefaultChunkSize;
+  /// Pipe reservation horizon of one bulk DAG operation, in leaves
+  /// (0 = unbounded; see ChunkingConfig::pipeline_depth).
+  std::size_t chunk_pipeline = 1;
   /// Storage-RPC resilience: per-attempt deadlines, bounded retries,
   /// exponential backoff with deterministic jitter. All trainer and
   /// aggregator put/get/merge_get/fetch traffic goes through this policy;

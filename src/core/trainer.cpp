@@ -68,7 +68,25 @@ sim::Task<void> Trainer::upload_gradients(std::uint32_t iter,
     // One allocation per logical payload: every target and every retry
     // below shares this immutable buffer.
     const Block data(payload.serialize());
+    const directory::Addr addr{id_, static_cast<std::uint32_t>(p), iter,
+                               directory::EntryType::kGradient};
+    const bool dag = ctx_.spec.options.chunking == ipfs::ChunkingMode::kDag;
     ipfs::Cid cid;
+    bool announced_early = false;
+    if (dag) {
+      // Chunked plane: the root CID is computable before a single byte moves,
+      // so announce FIRST — the aggregator discovers the gradient and starts
+      // streaming leaves off the provider while the tail of the upload is
+      // still on our uplink. This supersedes batched_announce for gradients
+      // (per-partition early announces buy overlap that batching can't).
+      cid = ipfs::Chunker(ctx_.spec.options.chunk_size).root_cid(data);
+      announced_early = co_await ctx_.dir.announce(host_, addr, cid, commitment);
+      if (announced_early) {
+        metrics.note_gradient_announce(ctx_.sim.now());
+      } else {
+        DFL_WARN("trainer") << "t" << id_ << " announce rejected for partition " << p;
+      }
+    }
     bool stored = false;
     const sim::TimeNs upload_start = ctx_.sim.now();
     for (const std::uint32_t target : targets) {
@@ -87,6 +105,7 @@ sim::Task<void> Trainer::upload_gradients(std::uint32_t iter,
         stored = true;
         rec.upload_delay_total_s += sim::to_seconds(ctx_.sim.now() - upload_start);
         ++rec.uploads;
+        if (dag) break;  // replicas spread node-to-node, off our uplink
       }
     }
     if (!stored) {
@@ -94,9 +113,13 @@ sim::Task<void> Trainer::upload_gradients(std::uint32_t iter,
                           << " on any provider";
       continue;  // this contribution is lost; the round proceeds without it
     }
+    if (dag) {
+      if (ctx_.spec.options.gradient_replicas > 1) {
+        ctx_.swarm.replicate_background(cid, ctx_.spec.options.gradient_replicas);
+      }
+      continue;  // announced before the upload (or rejected — final either way)
+    }
 
-    const directory::Addr addr{id_, static_cast<std::uint32_t>(p), iter,
-                               directory::EntryType::kGradient};
     if (batched) {
       batch.push_back(directory::BatchItem{addr, cid, commitment});
       continue;

@@ -1,0 +1,121 @@
+#include "ipfs/chunker.hpp"
+
+#include <stdexcept>
+
+#include "common/serde.hpp"
+
+namespace dfl::ipfs {
+
+namespace {
+
+// Manifest wire magic ("DAG1"): guards decode against plain content blocks.
+constexpr std::uint32_t kManifestMagic = 0x31474144;
+
+}  // namespace
+
+std::pair<std::uint64_t, std::uint64_t> DagManifest::leaf_range(std::size_t i) const {
+  const std::uint64_t first = static_cast<std::uint64_t>(i) * chunk_size;
+  const std::uint64_t last = std::min(total_size, first + chunk_size);
+  return {first, last};
+}
+
+Bytes DagManifest::encode() const {
+  Writer w;
+  w.put<std::uint32_t>(kManifestMagic);
+  w.put<std::uint64_t>(total_size);
+  w.put<std::uint32_t>(chunk_size);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(leaves.size()));
+  for (const Cid& leaf : leaves) {
+    w.put_raw(BytesView(leaf.digest().data(), leaf.digest().size()));
+  }
+  return w.take();
+}
+
+std::optional<DagManifest> DagManifest::decode(BytesView data) {
+  try {
+    Reader r(data);
+    if (r.get<std::uint32_t>() != kManifestMagic) return std::nullopt;
+    DagManifest m;
+    m.total_size = r.get<std::uint64_t>();
+    m.chunk_size = r.get<std::uint32_t>();
+    const auto n = r.get<std::uint32_t>();
+    m.leaves.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Bytes digest(32);
+      for (auto& b : digest) b = r.get<std::uint8_t>();
+      m.leaves.push_back(Cid::from_digest(digest));
+    }
+    if (!r.done()) return std::nullopt;
+    // Layout consistency: n chunks of chunk_size must cover total_size.
+    if (m.chunk_size == 0 && m.total_size != 0) return std::nullopt;
+    const std::uint64_t cs = m.chunk_size;
+    const std::uint64_t expect =
+        m.total_size == 0 ? 0 : (m.total_size + cs - 1) / cs;
+    if (expect != m.leaves.size()) return std::nullopt;
+    return m;
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+Block DagBlock::reassemble() const { return Chunker::reassemble(index, leaves); }
+
+Chunker::Chunker(std::size_t chunk_size) : chunk_size_(chunk_size) {
+  if (chunk_size_ == 0) throw std::invalid_argument("Chunker: chunk size must be > 0");
+}
+
+DagBlock Chunker::build(const Block& data) const {
+  DagBlock out;
+  out.index.total_size = data.size();
+  out.index.chunk_size = static_cast<std::uint32_t>(chunk_size_);
+  const BytesView bytes = data.view();
+  for (std::size_t off = 0; off < bytes.size(); off += chunk_size_) {
+    const std::size_t len = std::min(chunk_size_, bytes.size() - off);
+    Block leaf = Block::copy_of(bytes.subspan(off, len));
+    out.index.leaves.push_back(leaf.cid());
+    out.leaves.push_back(std::move(leaf));
+  }
+  out.manifest = Block(out.index.encode());
+  out.root = out.manifest.cid();
+  return out;
+}
+
+Cid Chunker::root_cid(const Block& data) const {
+  DagManifest m;
+  m.total_size = data.size();
+  m.chunk_size = static_cast<std::uint32_t>(chunk_size_);
+  const BytesView bytes = data.view();
+  for (std::size_t off = 0; off < bytes.size(); off += chunk_size_) {
+    const std::size_t len = std::min(chunk_size_, bytes.size() - off);
+    m.leaves.push_back(Cid::of(bytes.subspan(off, len)));
+  }
+  return Cid::of(m.encode());
+}
+
+Block Chunker::reassemble(const DagManifest& manifest, const std::vector<Block>& leaves) {
+  if (leaves.size() != manifest.leaf_count()) {
+    throw std::invalid_argument("Chunker::reassemble: leaf count mismatch");
+  }
+  Bytes out;
+  out.reserve(manifest.total_size);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    const auto [first, last] = manifest.leaf_range(i);
+    if (leaves[i].size() != last - first) {
+      throw std::invalid_argument("Chunker::reassemble: leaf size mismatch");
+    }
+    const BytesView v = leaves[i].view();
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  if (out.size() != manifest.total_size) {
+    throw std::invalid_argument("Chunker::reassemble: total size mismatch");
+  }
+  return Block(std::move(out));
+}
+
+std::uint64_t cid_prefix64(const Cid& cid) {
+  std::uint64_t h = 0;
+  for (int i = 0; i < 8; ++i) h = (h << 8) | cid.digest()[static_cast<std::size_t>(i)];
+  return h;
+}
+
+}  // namespace dfl::ipfs

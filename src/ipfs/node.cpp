@@ -1,10 +1,52 @@
 #include "ipfs/node.hpp"
 
+#include <algorithm>
+
 #include "ipfs/swarm.hpp"
+#include "sim/datapath.hpp"
+#include "sim/sync.hpp"
 
 namespace dfl::ipfs {
 
+Bytes BlockMerger::merge_range(const std::vector<BytesView>& parts, std::uint64_t from,
+                               std::uint64_t to) const {
+  // Default: the merger declared no interior boundaries, so the only legal
+  // range is the whole block.
+  if (from != 0) {
+    throw std::logic_error("BlockMerger::merge_range: merger only merges whole blocks");
+  }
+  std::vector<BytesView> whole;
+  whole.reserve(parts.size());
+  for (const BytesView& p : parts) whole.push_back(p.first(to));
+  return merge(whole);
+}
+
 sim::Task<Cid> IpfsNode::put(sim::Host& caller, Block data) {
+  if (config_.chunking.mode == ChunkingMode::kDag) {
+    // Client-side chunking: the caller splits the content, then streams the
+    // manifest (first — it unlocks downstream fetches) and every leaf as
+    // independent transfers. Each piece is stored the moment it arrives, so
+    // a concurrent fetch/merge can start forwarding leaf i while leaf i+1
+    // is still on the caller's uplink (cut-through).
+    Chunker chunker(config_.chunking.chunk_size);
+    DagBlock dag = chunker.build(data);
+    const std::uint64_t tag = cid_prefix64(dag.root);
+    const Cid root = dag.root;
+    // Manifest first (its arrival registers the root provider record), then
+    // the leaves through a bounded pipeline window: the FIFO pipes are
+    // reserved ~pipeline_depth chunks ahead, never for the whole blob, so
+    // concurrent traffic interleaves at chunk granularity (cut-through).
+    co_await receive_block(caller, std::move(dag.manifest), tag,
+                           sim::TransferRecord::kManifestLeaf);
+    co_await sim::for_each_windowed(
+        net_.simulator(), dag.leaves.size(), config_.chunking.pipeline_depth,
+        [&](std::size_t i) {
+          return receive_block(caller, std::move(dag.leaves[i]), tag,
+                               static_cast<std::int32_t>(i));
+        });
+    co_await net_.transfer(host_, caller, 0);  // ack (framing overhead only)
+    co_return root;
+  }
   // Payload travels caller -> node, then a small ack travels back.
   co_await net_.transfer(caller, host_, data.size());
   const Cid cid = put_local(std::move(data));
@@ -12,8 +54,19 @@ sim::Task<Cid> IpfsNode::put(sim::Host& caller, Block data) {
   co_return cid;
 }
 
+sim::Task<void> IpfsNode::receive_block(sim::Host& caller, Block block, std::uint64_t tag,
+                                        std::int32_t leaf_index) {
+  co_await net_.transfer(caller, host_, block.size(), tag, leaf_index);
+  put_local(std::move(block));
+}
+
 sim::Task<Block> IpfsNode::get(sim::Host& caller, Cid cid) {
   co_await net_.transfer(caller, host_, 0);  // request
+  if (config_.chunking.mode == ChunkingMode::kDag) {
+    if (auto manifest = dag_manifest(cid)) {
+      co_return co_await get_dag(caller, cid, std::move(*manifest));
+    }
+  }
   auto block = store_.get(cid);
   if (!block) throw NotFoundError(cid);
   co_await net_.transfer(host_, caller, block->size());
@@ -33,10 +86,134 @@ sim::Task<Block> IpfsNode::get(sim::Host& caller, Cid cid) {
   co_return *std::move(block);
 }
 
+sim::Task<Block> IpfsNode::get_dag(sim::Host& caller, Cid root, DagManifest manifest) {
+  const std::uint64_t tag = cid_prefix64(root);
+  sim::Simulator& sim = net_.simulator();
+  const sim::TimeNs t0 = sim.now();
+  const sim::TimeNs deadline = t0 + config_.chunking.leaf_wait;
+  const std::size_t n = manifest.leaf_count();
+  if (n == 0) {
+    co_await net_.transfer(host_, caller, 0, tag, -1);
+    co_return Block(Bytes{});
+  }
+  // Leaves go out through a bounded pipeline window (per-chunk pipe
+  // occupancy, not per-blob), and each leaf that is still in flight *to*
+  // this node is forwarded as soon as it lands (serve_leaf waits per leaf).
+  std::vector<Block> leaves(n);
+  sim::TimeNs first = -1;
+  sim::TimeNs last = 0;
+  co_await sim::for_each_windowed(sim, n, config_.chunking.pipeline_depth, [&](std::size_t i) {
+    return serve_leaf(caller, manifest.leaves[i], tag, static_cast<std::int32_t>(i), deadline,
+                      &leaves[i], &first, &last);
+  });
+  sim::note_chunked_transfer(static_cast<std::uint64_t>(first < 0 ? 0 : first - t0),
+                             static_cast<std::uint64_t>(last - t0), n);
+  co_return Chunker::reassemble(manifest, leaves);
+}
+
+sim::Task<void> IpfsNode::serve_leaf(sim::Host& caller, Cid leaf, std::uint64_t tag,
+                                     std::int32_t leaf_index, sim::TimeNs deadline, Block* out,
+                                     sim::TimeNs* first, sim::TimeNs* last) {
+  if (!co_await await_block(leaf, deadline)) {
+    throw UnavailableError("ipfs get: leaf " + leaf.to_hex() + " never arrived");
+  }
+  auto block = store_.get(leaf);
+  if (!block) throw NotFoundError(leaf);
+  co_await net_.transfer(host_, caller, block->size(), tag, leaf_index);
+  const sim::TimeNs now = net_.simulator().now();
+  if (*first < 0) *first = now;
+  *last = std::max(*last, now);
+  if (auto* hook = net_.fault_hook();
+      hook != nullptr && !block->empty() && hook->should_corrupt_payload(host_)) {
+    block = block->mutate_copy([](Bytes& b) { b[0] ^= 0xff; });
+  }
+  if (!block->verify(leaf)) {
+    throw std::runtime_error("ipfs get: leaf failed content verification");
+  }
+  *out = *std::move(block);
+}
+
+sim::Task<Block> IpfsNode::get_manifest(sim::Host& caller, Cid root) {
+  co_await net_.transfer(caller, host_, 0);  // request
+  const sim::TimeNs deadline = net_.simulator().now() + config_.chunking.leaf_wait;
+  if (!co_await await_block(root, deadline)) {
+    throw UnavailableError("ipfs get_manifest: " + root.to_hex() + " not available");
+  }
+  auto block = store_.get(root);
+  if (!block) throw NotFoundError(root);
+  co_await net_.transfer(host_, caller, block->size(), cid_prefix64(root),
+                         sim::TransferRecord::kManifestLeaf);
+  if (!block->verify(root)) {
+    throw std::runtime_error("ipfs get_manifest: block failed content verification");
+  }
+  co_return *std::move(block);
+}
+
+sim::Task<Block> IpfsNode::get_leaf(sim::Host& caller, Cid cid, std::uint64_t root_tag,
+                                    std::int32_t leaf_index, std::uint64_t claim_ticket) {
+  co_await net_.transfer(caller, host_, 0);  // request
+  auto block = store_.get(cid);
+  if (!block) throw NotFoundError(cid);
+  // The serve reserves the uplink below; from here the pipe itself carries
+  // the load signal, so retire the scheduler's demand claim.
+  if (claim_ticket != 0 && swarm_ != nullptr) swarm_->stripe_release(claim_ticket);
+  co_await net_.transfer(host_, caller, block->size(), root_tag, leaf_index);
+  if (auto* hook = net_.fault_hook();
+      hook != nullptr && !block->empty() && hook->should_corrupt_payload(host_)) {
+    block = block->mutate_copy([](Bytes& b) { b[0] ^= 0xff; });
+  }
+  if (!block->verify(cid)) {
+    throw std::runtime_error("ipfs get: leaf failed content verification");
+  }
+  co_return *std::move(block);
+}
+
+sim::Task<bool> IpfsNode::await_block(Cid cid, sim::TimeNs deadline) {
+  sim::Simulator& sim = net_.simulator();
+  while (!store_.has(cid)) {
+    if (!host_.is_up() || sim.now() >= deadline) co_return false;
+    co_await sim.sleep(std::min(config_.chunking.leaf_poll, deadline - sim.now()));
+  }
+  co_return true;
+}
+
+std::optional<DagManifest> IpfsNode::dag_manifest(const Cid& root) {
+  const auto it = dag_index_.find(root);
+  if (it != dag_index_.end()) return it->second;
+  const auto block = store_.peek(root);
+  if (!block) return std::nullopt;
+  auto manifest = DagManifest::decode(block->view());
+  if (manifest) dag_index_.emplace(root, *manifest);
+  return manifest;
+}
+
+void IpfsNode::adopt_manifest(const Cid& root, DagManifest manifest) {
+  dag_index_.insert_or_assign(root, std::move(manifest));
+}
+
+std::optional<Block> IpfsNode::peek_content(const Cid& cid) {
+  if (config_.chunking.mode == ChunkingMode::kDag) {
+    if (auto manifest = dag_manifest(cid)) {
+      std::vector<Block> leaves;
+      leaves.reserve(manifest->leaf_count());
+      for (const Cid& leaf : manifest->leaves) {
+        auto block = store_.peek(leaf);
+        if (!block) return std::nullopt;
+        leaves.push_back(std::move(*block));
+      }
+      return Chunker::reassemble(*manifest, leaves);
+    }
+  }
+  return store_.peek(cid);
+}
+
 sim::Task<Block> IpfsNode::merge_get(sim::Host& caller, std::vector<Cid> cids,
                                      const BlockMerger& merger) {
   // Request carries the hash list (32 bytes per CID).
   co_await net_.transfer(caller, host_, cids.size() * 32);
+  if (config_.chunking.mode == ChunkingMode::kDag && !cids.empty()) {
+    co_return co_await merge_get_streaming(caller, cids, merger);
+  }
   std::vector<Block> blocks;
   std::vector<BytesView> views;
   blocks.reserve(cids.size());
@@ -56,6 +233,101 @@ sim::Task<Block> IpfsNode::merge_get(sim::Host& caller, std::vector<Cid> cids,
   Block merged(merger.merge(views));
   co_await net_.transfer(host_, caller, merged.size());
   co_return merged;
+}
+
+sim::Task<Block> IpfsNode::merge_get_streaming(sim::Host& caller, const std::vector<Cid>& roots,
+                                               const BlockMerger& merger) {
+  sim::Simulator& sim = net_.simulator();
+  const ChunkingConfig& ck = config_.chunking;
+  const sim::TimeNs t0 = sim.now();
+  const sim::TimeNs deadline = t0 + ck.leaf_wait;
+
+  // The inputs may still be uploading (roots are announced before their
+  // leaves finish): wait for every manifest, then stream the leaves.
+  std::vector<DagManifest> manifests;
+  manifests.reserve(roots.size());
+  for (const Cid& root : roots) {
+    if (!co_await await_block(root, deadline)) throw NotFoundError(root);
+    auto manifest = dag_manifest(root);
+    if (!manifest) {
+      throw std::runtime_error("ipfs merge_get: input is not a DAG root in DAG mode");
+    }
+    manifests.push_back(std::move(*manifest));
+  }
+  const std::uint64_t total = manifests.front().total_size;
+  for (const DagManifest& m : manifests) {
+    if (m.total_size != total) {
+      throw std::invalid_argument("ipfs merge_get: input sizes differ");
+    }
+  }
+  if (total == 0) {
+    const std::vector<BytesView> empty_views(roots.size());
+    Block merged(merger.merge(empty_views));
+    co_await net_.transfer(host_, caller, merged.size());
+    co_return merged;
+  }
+
+  // Streaming merge: append each root's leaves into a flat buffer as they
+  // land, and whenever every input covers a new merger boundary, sum that
+  // range and ship it — summation and the outbound wire overlap the
+  // still-arriving downloads. Assembly is a physical copy; charge it.
+  std::vector<Bytes> bufs(roots.size());
+  std::vector<std::size_t> next_leaf(roots.size(), 0);
+  for (auto& b : bufs) b.reserve(total);
+  Bytes out;
+  out.reserve(total);
+  std::uint64_t shipped = 0;
+  std::uint64_t ranges = 0;
+  sim::TimeNs first = -1;
+  sim::TaskGroup sends(sim);
+  while (shipped < total) {
+    std::uint64_t avail = total;
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      const DagManifest& m = manifests[i];
+      while (next_leaf[i] < m.leaf_count() && store_.has(m.leaves[next_leaf[i]])) {
+        const auto leaf = store_.get(m.leaves[next_leaf[i]]);
+        if (!leaf) throw NotFoundError(m.leaves[next_leaf[i]]);
+        const BytesView v = leaf->view();
+        bufs[i].insert(bufs[i].end(), v.begin(), v.end());
+        sim::note_bytes_copied(v.size());
+        ++next_leaf[i];
+      }
+      avail = std::min(avail, static_cast<std::uint64_t>(bufs[i].size()));
+    }
+    const std::uint64_t boundary = merger.merge_boundary(avail, total);
+    if (boundary > shipped) {
+      std::vector<BytesView> parts;
+      parts.reserve(bufs.size());
+      for (const Bytes& b : bufs) parts.emplace_back(b.data(), b.size());
+      Bytes piece = merger.merge_range(parts, shipped, boundary);
+      const auto compute = static_cast<sim::TimeNs>(
+          static_cast<double>((boundary - shipped) * roots.size()) / config_.merge_bytes_per_sec *
+          1e9);
+      co_await sim.sleep(compute);
+      sends.spawn(ship_range(&caller, piece.size(), &first));
+      ++ranges;
+      out.insert(out.end(), piece.begin(), piece.end());
+      shipped = boundary;
+    } else {
+      if (sim.now() >= deadline) {
+        // Drain in-flight range sends before failing so their frames never
+        // outlive this one.
+        co_await sends.join();
+        throw UnavailableError("ipfs merge_get: leaves stalled before " +
+                               std::to_string(shipped) + "/" + std::to_string(total));
+      }
+      co_await sim.sleep(ck.leaf_poll);
+    }
+  }
+  co_await sends.join();
+  sim::note_chunked_transfer(static_cast<std::uint64_t>(first < 0 ? 0 : first - t0),
+                             static_cast<std::uint64_t>(sim.now() - t0), ranges);
+  co_return Block(std::move(out));
+}
+
+sim::Task<void> IpfsNode::ship_range(sim::Host* caller, std::uint64_t bytes, sim::TimeNs* first) {
+  co_await net_.transfer(host_, *caller, bytes);
+  if (*first < 0) *first = net_.simulator().now();
 }
 
 Cid IpfsNode::put_local(Block data) {

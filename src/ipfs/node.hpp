@@ -4,12 +4,15 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "ipfs/block.hpp"
 #include "ipfs/blockstore.hpp"
+#include "ipfs/chunker.hpp"
 #include "ipfs/cid.hpp"
 #include "sim/net.hpp"
 
@@ -42,12 +45,34 @@ class BlockMerger {
   /// correct regardless of provider assignment. Inputs are views into the
   /// stored (shared) blocks — no copies are made to merge.
   [[nodiscard]] virtual Bytes merge(const std::vector<BytesView>& blocks) const = 0;
+
+  // Streaming extension (chunked plane). A merger that can combine byte
+  // ranges independently declares its valid split points via
+  // merge_boundary and implements merge_range; concatenating merge_range
+  // over consecutive boundaries MUST be bit-identical to merge() on the
+  // whole blocks. The defaults stream nothing (only the full block is a
+  // boundary), which keeps existing mergers correct unchanged.
+
+  /// Largest valid split point that is <= `limit` for blocks of `total`
+  /// bytes (0 = no prefix can be merged yet; `total` = everything).
+  [[nodiscard]] virtual std::uint64_t merge_boundary(std::uint64_t limit,
+                                                     std::uint64_t total) const {
+    return limit >= total ? total : 0;
+  }
+
+  /// Merges byte range [from, to) of each input. `parts` are views of at
+  /// least the first `to` bytes of each (whole) block; `from`/`to` must be
+  /// consecutive merge_boundary outputs. Returns exactly to-from bytes.
+  [[nodiscard]] virtual Bytes merge_range(const std::vector<BytesView>& parts,
+                                          std::uint64_t from, std::uint64_t to) const;
 };
 
 struct IpfsNodeConfig {
   /// Throughput of the node's merge computation, bytes of input per second.
   /// Pre-aggregation is cheap vector addition; default 400 MB/s.
   double merge_bytes_per_sec = 400e6;
+  /// Transfer plane: monolithic blobs (legacy) or chunked Merkle DAGs.
+  ChunkingConfig chunking{};
 };
 
 class Swarm;
@@ -85,13 +110,64 @@ class IpfsNode {
   /// and by tests.
   Cid put_local(Block data);
 
+  // --- chunked (DAG) plane ------------------------------------------------
+
+  /// Downloads the root block of `root` (the manifest in DAG mode, or the
+  /// content itself when `root` addresses a plain block). Tagged in the
+  /// network trace as the manifest transfer of the DAG.
+  [[nodiscard]] sim::Task<Block> get_manifest(sim::Host& caller, Cid root);
+
+  /// Downloads one block, tagging the transfer with (dag_root prefix, leaf
+  /// index) for the trace. The caller verifies content addressing per leaf.
+  /// Used by the swarm's striped fetch path; a nonzero `claim_ticket` is
+  /// released (Swarm::stripe_release) the moment the serve hits the wire,
+  /// so the scheduler's demand look-ahead never double-counts pipe load.
+  [[nodiscard]] sim::Task<Block> get_leaf(sim::Host& caller, Cid cid, std::uint64_t root_tag,
+                                          std::int32_t leaf_index,
+                                          std::uint64_t claim_ticket = 0);
+
+  /// Polls the local store until `cid` is present (cut-through: the block
+  /// may still be in flight to this node). False when `deadline` passes or
+  /// the host goes down first.
+  [[nodiscard]] sim::Task<bool> await_block(Cid cid, sim::TimeNs deadline);
+
+  /// The decoded manifest for `root`, if this node knows `root` is a DAG
+  /// (from a put, a replication, or a lazily decoded stored manifest).
+  [[nodiscard]] std::optional<DagManifest> dag_manifest(const Cid& root);
+
+  /// Registers a manifest in the node's DAG index (used by replication).
+  void adopt_manifest(const Cid& root, DagManifest manifest);
+
+  /// Omniscient content read for measurement code (no network, no copy
+  /// accounting): reassembles a DAG root from local leaves, or returns the
+  /// plain stored block. nullopt when any piece is missing.
+  [[nodiscard]] std::optional<Block> peek_content(const Cid& cid);
+
  private:
+  /// Receives one block of an in-progress DAG put and stores it on arrival
+  /// (cut-through: later hops can start shipping it immediately).
+  [[nodiscard]] sim::Task<void> receive_block(sim::Host& caller, Block block, std::uint64_t tag,
+                                              std::int32_t leaf_index);
+  /// Serves one leaf of a DAG get, waiting for it to land if still in
+  /// flight; records delivery into the shared first/last timestamps.
+  [[nodiscard]] sim::Task<void> serve_leaf(sim::Host& caller, Cid leaf, std::uint64_t tag,
+                                           std::int32_t leaf_index, sim::TimeNs deadline,
+                                           Block* out, sim::TimeNs* first, sim::TimeNs* last);
+  [[nodiscard]] sim::Task<Block> get_dag(sim::Host& caller, Cid root, DagManifest manifest);
+  [[nodiscard]] sim::Task<Block> merge_get_streaming(sim::Host& caller,
+                                                     const std::vector<Cid>& roots,
+                                                     const BlockMerger& merger);
+  /// Ships one merged range to the caller; records the first-byte time.
+  [[nodiscard]] sim::Task<void> ship_range(sim::Host* caller, std::uint64_t bytes,
+                                           sim::TimeNs* first);
+
   sim::Network& net_;
   sim::Host& host_;
   IpfsNodeConfig config_;
   Swarm* swarm_;
   std::uint32_t node_id_;
   BlockStore store_;
+  std::unordered_map<Cid, DagManifest, CidHash> dag_index_;
 };
 
 }  // namespace dfl::ipfs

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "sim/datapath.hpp"
+#include "sim/sync.hpp"
 #include "sim/timeout.hpp"
 
 namespace dfl::ipfs {
@@ -55,6 +57,9 @@ std::vector<std::uint32_t> Swarm::providers(const Cid& cid) const {
 
 sim::Task<Block> Swarm::fetch(sim::Host& caller, Cid cid, RetryStats* stats) {
   co_await net_.simulator().sleep(config_.lookup_latency);
+  if (config_.node_config.chunking.mode == ChunkingMode::kDag) {
+    co_return co_await fetch_dag(caller, cid, stats);
+  }
   const auto it = provider_records_.find(cid);
   if (it == provider_records_.end() || it->second.empty()) {
     // No record at all: the block never existed (fatal, do not retry).
@@ -84,6 +89,168 @@ sim::Task<Block> Swarm::fetch(sim::Host& caller, Cid cid, RetryStats* stats) {
     if (stats != nullptr && k + 1 < live.size()) ++stats->failovers;
   }
   throw UnavailableError("fetch " + cid.to_hex() + ": every live provider failed");
+}
+
+sim::Task<Block> Swarm::fetch_dag(sim::Host& caller, Cid root, RetryStats* stats) {
+  sim::Simulator& sim = net_.simulator();
+  const ChunkingConfig& ck = config_.node_config.chunking;
+  const sim::TimeNs t0 = sim.now();
+  const sim::TimeNs deadline = t0 + ck.leaf_wait;
+
+  // Resolve the root. In the chunked plane the CID is announced before the
+  // upload finishes, so "no record yet" usually means "still in flight":
+  // poll up to the leaf-wait budget before declaring it nonexistent.
+  while (providers(root).empty()) {
+    if (sim.now() >= deadline) throw NotFoundError(root);
+    co_await sim.sleep(ck.leaf_poll);
+  }
+
+  // Manifest from the holder whose pipes drain first (rotation breaks
+  // ties), failing over across the rest; re-poll while every holder is
+  // down (one may restart before the deadline).
+  std::optional<Block> root_block;
+  std::size_t live_count = 1;
+  for (;;) {
+    std::vector<std::uint32_t> live;
+    for (const std::uint32_t id : providers(root)) {
+      if (nodes_.at(id)->host().is_up()) live.push_back(id);
+    }
+    if (!live.empty()) {
+      live_count = live.size();
+      std::rotate(live.begin(), live.begin() + caller.id() % live.size(), live.end());
+      std::stable_sort(live.begin(), live.end(), [this](std::uint32_t a, std::uint32_t b) {
+        return node_drain_time(a) < node_drain_time(b);
+      });
+      for (std::size_t k = 0; k < live.size() && !root_block; ++k) {
+        IpfsNode& provider = *nodes_.at(live[k]);
+        try {
+          root_block = co_await provider.get_manifest(caller, root);
+        } catch (const std::exception& e) {
+          DFL_DEBUG("swarm") << "manifest from " << provider.host().name() << " failed ("
+                             << e.what() << "); trying next replica";
+          if (stats != nullptr) ++stats->failovers;
+        }
+      }
+    }
+    if (root_block) break;
+    if (sim.now() >= deadline) {
+      throw UnavailableError("fetch " + root.to_hex() + ": no live provider");
+    }
+    co_await sim.sleep(ck.leaf_poll);
+  }
+
+  auto manifest = DagManifest::decode(root_block->view());
+  if (!manifest) {
+    // Not a DAG: the root block *is* the content (stored pre-chunking, e.g.
+    // directly via put_local). It verified against its CID; hand it over.
+    co_return *std::move(root_block);
+  }
+  const std::size_t n = manifest->leaf_count();
+  if (n == 0) co_return Block(Bytes{});
+
+  // Stripe leaf downloads across providers: a shared claim counter feeds a
+  // small pool of lanes, so up to `workers` leaves are on the wire at once,
+  // each from the provider its rotation picks.
+  std::vector<Block> leaves(n);
+  std::size_t next = 0;
+  sim::TimeNs first = -1;
+  sim::TimeNs last = 0;
+  const std::uint64_t tag = cid_prefix64(root);
+  const std::size_t workers = std::min(n, std::min<std::size_t>(2 * live_count, 8));
+  sim::TaskGroup group(sim);
+  for (std::size_t w = 0; w < workers; ++w) {
+    group.spawn(stripe_worker(caller, root, &*manifest, tag, deadline, &next, &leaves, stats,
+                              &first, &last));
+  }
+  co_await group.join();
+  sim::note_chunked_transfer(static_cast<std::uint64_t>(first < 0 ? 0 : first - t0),
+                             static_cast<std::uint64_t>(last - t0), n);
+  co_return Chunker::reassemble(*manifest, leaves);
+}
+
+sim::Task<void> Swarm::stripe_worker(sim::Host& caller, Cid root, const DagManifest* manifest,
+                                     std::uint64_t tag, sim::TimeNs deadline, std::size_t* next,
+                                     std::vector<Block>* out, RetryStats* stats,
+                                     sim::TimeNs* first, sim::TimeNs* last) {
+  sim::Simulator& sim = net_.simulator();
+  const sim::TimeNs poll = config_.node_config.chunking.leaf_poll;
+  while (*next < manifest->leaf_count()) {
+    const std::size_t k = (*next)++;
+    const Cid& leaf = manifest->leaves[k];
+    for (;;) {
+      // A leaf's provider record appears the instant the leaf is stored
+      // (put_local), so a record always means the node can serve it now —
+      // polling records is how the fetch streams behind the upload.
+      std::vector<std::uint32_t> live;
+      for (const std::uint32_t id : providers(leaf)) {
+        if (nodes_.at(id)->host().is_up()) live.push_back(id);
+      }
+      bool done = false;
+      if (!live.empty()) {
+        // Load-aware pick: serve from the replica that would get to us
+        // first, counting both its pipe backlog and the bytes other stripe
+        // lanes have claimed from it but not yet put on the wire (without
+        // that look-ahead every concurrent fetcher herds onto the same
+        // momentarily-idle node). Rotation by (leaf, caller) breaks ties,
+        // so cold-start load still spreads deterministically.
+        std::rotate(live.begin(), live.begin() + (k + caller.id()) % live.size(), live.end());
+        std::stable_sort(live.begin(), live.end(), [this](std::uint32_t a, std::uint32_t b) {
+          return node_drain_time(a) < node_drain_time(b);
+        });
+        const auto [lo, hi] = manifest->leaf_range(k);
+        const std::uint64_t leaf_bytes = hi - lo;
+        // Patience: when a fetch streams behind the upload, each leaf's
+        // record appears on the first replica one copy-slot before the
+        // others — committing on sight herds every downloader onto that
+        // replica while the rest of the swarm holds the same bytes moments
+        // later. So if some live root holder is still missing this leaf
+        // (its copy is materializing) and even the best current holder
+        // could not start serving within one chunk-serve time, wait: the
+        // backed-up queue would not have served us sooner, and the lagging
+        // replica becomes an idle server for this very leaf.
+        bool replica_pending = false;
+        for (const std::uint32_t id : providers(root)) {
+          if (nodes_.at(id)->host().is_up() &&
+              std::find(live.begin(), live.end(), id) == live.end()) {
+            replica_pending = true;
+            break;
+          }
+        }
+        if (replica_pending) {
+          const sim::Host& best = nodes_.at(live.front())->host();
+          const auto serve_ns = static_cast<sim::TimeNs>(static_cast<double>(leaf_bytes) * 8.0 /
+                                                         best.config().up_bps * 1e9);
+          if (node_drain_time(live.front()) > sim.now() + serve_ns && sim.now() < deadline) {
+            co_await sim.sleep(poll);
+            continue;
+          }
+        }
+        for (std::size_t j = 0; j < live.size() && !done; ++j) {
+          IpfsNode& provider = *nodes_.at(live[j]);
+          const std::uint64_t claim = stripe_claim(live[j], leaf_bytes);
+          try {
+            (*out)[k] = co_await provider.get_leaf(caller, leaf, tag,
+                                                   static_cast<std::int32_t>(k), claim);
+            stripe_release(claim);  // no-op if the serve already released it
+            const sim::TimeNs now = sim.now();
+            if (*first < 0) *first = now;
+            *last = std::max(*last, now);
+            done = true;
+          } catch (const std::exception& e) {
+            stripe_release(claim);
+            DFL_DEBUG("swarm") << "leaf " << k << " from " << provider.host().name()
+                               << " failed (" << e.what() << "); failing over";
+            if (stats != nullptr) ++stats->failovers;
+          }
+        }
+      }
+      if (done) break;
+      if (sim.now() >= deadline) {
+        throw UnavailableError("fetch: leaf " + std::to_string(k) + " unavailable");
+      }
+      co_await sim.sleep(poll);
+    }
+  }
 }
 
 sim::Task<Block> Swarm::fetch_with_retry(sim::Host& caller, Cid cid, const RetryPolicy& policy,
@@ -204,6 +371,34 @@ sim::Task<std::optional<Block>> Swarm::merge_get_with_retry(std::uint32_t node_i
   co_return std::nullopt;
 }
 
+std::uint64_t Swarm::stripe_claim(std::uint32_t node_id, std::uint64_t bytes) {
+  const std::uint64_t ticket = next_stripe_ticket_++;
+  stripe_claims_.emplace(ticket, std::make_pair(node_id, bytes));
+  stripe_pending_[node_id] += bytes;
+  return ticket;
+}
+
+void Swarm::stripe_release(std::uint64_t ticket) {
+  const auto it = stripe_claims_.find(ticket);
+  if (it == stripe_claims_.end()) return;
+  stripe_pending_[it->second.first] -= it->second.second;
+  stripe_claims_.erase(it);
+}
+
+sim::TimeNs Swarm::node_drain_time(std::uint32_t node_id) const {
+  // Uplink-centric: serves leave on the uplink, and the request that
+  // triggers one is a control frame that never queues behind the node's
+  // inbound bulk, so downlink backlog does not delay a download.
+  const sim::Host& h = nodes_.at(node_id)->host();
+  sim::TimeNs t = std::max(net_.simulator().now(), h.uplink_busy_until());
+  if (const auto it = stripe_pending_.find(node_id);
+      it != stripe_pending_.end() && it->second > 0) {
+    t += static_cast<sim::TimeNs>(static_cast<double>(it->second) * 8.0 /
+                                  h.config().up_bps * 1e9);
+  }
+  return t;
+}
+
 sim::Task<std::size_t> Swarm::replicate(Cid cid, std::size_t copies) {
   const auto holders = providers(cid);
   if (holders.empty()) throw NotFoundError(cid);
@@ -220,6 +415,11 @@ sim::Task<std::size_t> Swarm::replicate(Cid cid, std::size_t copies) {
   }
   // One handle to the stored buffer; every replica target below shares it.
   const auto block = source->store().get(cid);
+  // In the chunked plane a stored root is a manifest: replicate the DAG
+  // (manifest plus every leaf) so the new holder can serve stripes too.
+  const auto manifest = config_.node_config.chunking.mode == ChunkingMode::kDag
+                            ? source->dag_manifest(cid)
+                            : std::nullopt;
 
   // Best effort: cover as many distinct live nodes as available; when the
   // swarm has fewer live nodes than requested copies, that is the achieved
@@ -231,15 +431,48 @@ sim::Task<std::size_t> Swarm::replicate(Cid cid, std::size_t copies) {
     IpfsNode& target = *nodes_[i];
     if (!target.host().is_up()) continue;
     try {
-      co_await net_.transfer(source->host(), target.host(), block->size());
+      if (manifest) {
+        const std::uint64_t tag = cid_prefix64(cid);
+        co_await copy_block(source, &target, cid, tag, sim::TransferRecord::kManifestLeaf);
+        // Bounded window: replication shares the source's uplink with live
+        // serving traffic, so never reserve it more than a few chunks ahead.
+        co_await sim::for_each_windowed(
+            net_.simulator(), manifest->leaf_count(), config_.node_config.chunking.pipeline_depth,
+            [&](std::size_t l) {
+              return copy_block(source, &target, manifest->leaves[l], tag,
+                                static_cast<std::int32_t>(l));
+            });
+      } else {
+        co_await net_.transfer(source->host(), target.host(), block->size());
+        target.put_local(block->serve_copy());
+      }
     } catch (const std::exception& e) {
       DFL_DEBUG("swarm") << "replicate to " << target.host().name() << " failed: " << e.what();
       continue;
     }
-    target.put_local(block->serve_copy());
     ++have;
   }
   co_return have;
+}
+
+sim::Task<void> Swarm::copy_block(IpfsNode* source, IpfsNode* target, Cid cid, std::uint64_t tag,
+                                  std::int32_t leaf_index) {
+  auto block = source->store().get(cid);
+  if (!block) throw NotFoundError(cid);
+  co_await net_.transfer(source->host(), target->host(), block->size(), tag, leaf_index);
+  target->put_local(*std::move(block));
+}
+
+void Swarm::replicate_background(Cid cid, std::size_t copies) {
+  net_.simulator().spawn(replicate_task(std::move(cid), copies));
+}
+
+sim::Task<void> Swarm::replicate_task(Cid cid, std::size_t copies) {
+  try {
+    (void)co_await replicate(cid, copies);
+  } catch (const std::exception& e) {
+    DFL_DEBUG("swarm") << "background replicate " << cid.to_hex() << " failed: " << e.what();
+  }
 }
 
 }  // namespace dfl::ipfs

@@ -91,15 +91,62 @@ class Swarm {
   /// data-availability future-work direction (Section VI).
   [[nodiscard]] sim::Task<std::size_t> replicate(Cid cid, std::size_t copies);
 
+  /// Fire-and-forget replication: runs replicate(cid, copies) as a detached
+  /// simulator root and swallows failures. Chain replication off the
+  /// writer's uplink — the writer announces, uploads one primary copy, and
+  /// durability spreads node-to-node off its critical path.
+  void replicate_background(Cid cid, std::size_t copies);
+
   [[nodiscard]] sim::Network& network() { return net_; }
   [[nodiscard]] const SwarmConfig& config() const { return config_; }
 
+  /// Registers striped-fetch demand against `node_id`: `bytes` claimed by a
+  /// lane but not yet on the wire. Returns a ticket for stripe_release.
+  std::uint64_t stripe_claim(std::uint32_t node_id, std::uint64_t bytes);
+  /// Drops a claim (idempotent). The serving node calls this the moment the
+  /// leaf transfer is issued — from then on the pipe reservation itself
+  /// carries the load signal and keeping the claim would double-count it.
+  void stripe_release(std::uint64_t ticket);
+
  private:
+  /// Chunked fetch: resolve the root (polling — the root may be announced
+  /// before its manifest lands anywhere), download the manifest from any
+  /// live holder, then stripe leaf downloads across every node that holds
+  /// each leaf, failing over per-chunk instead of restarting the blob.
+  [[nodiscard]] sim::Task<Block> fetch_dag(sim::Host& caller, Cid root, RetryStats* stats);
+  /// One striping lane: claims leaf indices from the shared counter and
+  /// downloads each from the least-loaded live holder (deterministic
+  /// rotation by leaf index + caller id breaks ties), re-polling until the
+  /// deadline when none can serve — or when every current holder is backed
+  /// up while another root replica is still materializing (its copy of the
+  /// leaf will land soon and serve faster than the hot holder's queue).
+  [[nodiscard]] sim::Task<void> stripe_worker(sim::Host& caller, Cid root,
+                                              const DagManifest* manifest, std::uint64_t tag,
+                                              sim::TimeNs deadline, std::size_t* next,
+                                              std::vector<Block>* out, RetryStats* stats,
+                                              sim::TimeNs* first, sim::TimeNs* last);
+  /// Copies one stored block node-to-node (replication data path).
+  [[nodiscard]] sim::Task<void> copy_block(IpfsNode* source, IpfsNode* target, Cid cid,
+                                           std::uint64_t tag, std::int32_t leaf_index);
+  [[nodiscard]] sim::Task<void> replicate_task(Cid cid, std::size_t copies);
+
+  /// Scheduling score for routing one request to `node`: when its pipes
+  /// would serve us, counting bytes other stripe lanes already claimed
+  /// from it but whose transfers have not reserved the pipes yet.
+  [[nodiscard]] sim::TimeNs node_drain_time(std::uint32_t node_id) const;
+
   sim::Network& net_;
   SwarmConfig config_;
   Rng retry_rng_;
   std::vector<std::unique_ptr<IpfsNode>> nodes_;
   std::unordered_map<Cid, std::vector<std::uint32_t>, CidHash> provider_records_;
+  /// In-flight striped-fetch demand per node (bytes claimed, not yet on
+  /// the wire) — the look-ahead the pipe reservations can't see.
+  std::unordered_map<std::uint32_t, std::uint64_t> stripe_pending_;
+  /// Open claims: ticket -> (node, bytes). Released at serve start (by the
+  /// node) or on failure (by the claiming lane); release is idempotent.
+  std::unordered_map<std::uint64_t, std::pair<std::uint32_t, std::uint64_t>> stripe_claims_;
+  std::uint64_t next_stripe_ticket_ = 1;
 };
 
 }  // namespace dfl::ipfs

@@ -42,4 +42,12 @@ void note_block_hashed(std::uint64_t bytes) {
 
 void note_cid_cache_hit() { ++g_stats.cid_cache_hits; }
 
+void note_chunked_transfer(std::uint64_t first_byte_ns, std::uint64_t last_byte_ns,
+                           std::uint64_t chunks) {
+  ++g_stats.chunked_transfers;
+  g_stats.chunks_delivered += chunks;
+  g_stats.first_byte_ns_total += first_byte_ns;
+  g_stats.last_byte_ns_total += last_byte_ns;
+}
+
 }  // namespace dfl::sim

@@ -41,6 +41,32 @@ struct DataPathStats {
   /// High-water mark of resident_block_bytes.
   std::uint64_t peak_resident_block_bytes = 0;
 
+  // Chunked (DAG) transfer-plane observability. Unlike the counters above,
+  // the latency sums are *simulated* nanoseconds: first-byte is when the
+  // first chunk of a streamed transfer landed, last-byte when the final
+  // chunk did, both measured from the moment the transfer was issued.
+  /// Streamed (chunked) fetch/merge transfers completed.
+  std::uint64_t chunked_transfers = 0;
+  /// Leaf/range chunks delivered across those transfers.
+  std::uint64_t chunks_delivered = 0;
+  /// Σ first-byte latency over chunked transfers (simulated ns).
+  std::uint64_t first_byte_ns_total = 0;
+  /// Σ last-byte latency over chunked transfers (simulated ns).
+  std::uint64_t last_byte_ns_total = 0;
+
+  /// Mean first-byte latency of streamed transfers, seconds (0 when none).
+  [[nodiscard]] double mean_first_byte_s() const {
+    return chunked_transfers == 0 ? 0.0
+                                  : static_cast<double>(first_byte_ns_total) * 1e-9 /
+                                        static_cast<double>(chunked_transfers);
+  }
+  /// Mean last-byte latency of streamed transfers, seconds (0 when none).
+  [[nodiscard]] double mean_last_byte_s() const {
+    return chunked_transfers == 0 ? 0.0
+                                  : static_cast<double>(last_byte_ns_total) * 1e-9 /
+                                        static_cast<double>(chunked_transfers);
+  }
+
   /// Copy-traffic reduction versus the deep-copy plane: bytes the old plane
   /// would have copied divided by the bytes this plane copied. Returns 1
   /// when nothing was shared (e.g. in kDeepCopy mode).
@@ -60,6 +86,10 @@ struct DataPathStats {
     d.bytes_hashed -= earlier.bytes_hashed;
     d.cid_cache_hits -= earlier.cid_cache_hits;
     d.blocks_created -= earlier.blocks_created;
+    d.chunked_transfers -= earlier.chunked_transfers;
+    d.chunks_delivered -= earlier.chunks_delivered;
+    d.first_byte_ns_total -= earlier.first_byte_ns_total;
+    d.last_byte_ns_total -= earlier.last_byte_ns_total;
     return d;
   }
 };
@@ -80,5 +110,9 @@ void note_bytes_copied(std::uint64_t bytes);
 void note_bytes_shared(std::uint64_t bytes);
 void note_block_hashed(std::uint64_t bytes);
 void note_cid_cache_hit();
+/// Records one completed streamed (chunked) transfer: its first-byte and
+/// last-byte latency in simulated ns and how many chunks it moved.
+void note_chunked_transfer(std::uint64_t first_byte_ns, std::uint64_t last_byte_ns,
+                           std::uint64_t chunks);
 
 }  // namespace dfl::sim

@@ -68,6 +68,11 @@ void Network::on_host_down(const Host& h) {
 }
 
 Task<void> Network::transfer(Host& from, Host& to, std::uint64_t bytes) {
+  return transfer(from, to, bytes, 0, -1);
+}
+
+Task<void> Network::transfer(Host& from, Host& to, std::uint64_t bytes, std::uint64_t dag_root,
+                             std::int32_t dag_leaf) {
   if (!from.is_up() || !to.is_up()) {
     throw NetworkError("transfer " + from.name() + " -> " + to.name() + ": endpoint down");
   }
@@ -83,10 +88,17 @@ Task<void> Network::transfer(Host& from, Host& to, std::uint64_t bytes) {
   const auto duration = static_cast<TimeNs>(static_cast<double>(wire_bytes) * 8.0 * 1e9 / bps);
 
   // Reserve both pipes FIFO: start when the later of the two frees up.
-  const TimeNs start = std::max({sim_.now(), from.uplink_free_at_, to.downlink_free_at_});
-  const TimeNs pipe_end = start + duration;
-  from.uplink_free_at_ = pipe_end;
-  to.downlink_free_at_ = pipe_end;
+  // Zero-payload control frames (requests, acks) multiplex into the bulk
+  // streams instead — they pay their own serialization and latency but
+  // neither wait for nor extend the pipe reservations.
+  TimeNs start = sim_.now();
+  TimeNs pipe_end = start + duration;
+  if (bytes > 0) {
+    start = std::max({sim_.now(), from.uplink_free_at_, to.downlink_free_at_});
+    pipe_end = start + duration;
+    from.uplink_free_at_ = pipe_end;
+    to.downlink_free_at_ = pipe_end;
+  }
 
   from.bytes_sent_ += wire_bytes;
   to.bytes_received_ += wire_bytes;
@@ -94,7 +106,8 @@ Task<void> Network::transfer(Host& from, Host& to, std::uint64_t bytes) {
 
   const TimeNs arrival = pipe_end + from.config().latency + to.config().latency;
   if (tracing_) {
-    trace_.push(TransferRecord{sim_.now(), start, arrival, from.id(), to.id(), wire_bytes});
+    trace_.push(TransferRecord{sim_.now(), start, arrival, from.id(), to.id(), wire_bytes,
+                               dag_root, dag_leaf});
   }
   auto rec = std::make_shared<Inflight>(Inflight{from.id(), to.id(), {}, false, false});
   inflight_.push_back(rec);

@@ -8,6 +8,12 @@
 // Congestion at a busy storage node therefore serializes exactly as the
 // paper's analysis in Section III-E assumes (τ = S·(T/(dP) + P/b)).
 //
+// Control frames — zero-payload transfers (requests, acks) — do not
+// reserve the pipes: a few hundred bytes of framing multiplex into bulk
+// streams packet-by-packet on a real link, so they pay their own
+// serialization plus path latency but never queue behind a reserved bulk
+// transfer (nor delay one measurably).
+//
 // Fault surface: a host that goes down (Host::set_up(false)) fails every
 // in-flight transfer touching it *at the instant of the crash*, not at
 // delivery time; an optional FaultHook lets an injector drop transfers
@@ -55,6 +61,12 @@ class Host {
   [[nodiscard]] bool is_up() const { return up_; }
   void set_up(bool up);
 
+  /// Time the uplink's/downlink's FIFO reservation queue drains (<= now
+  /// means idle). Schedulers use these to route work to the least-loaded
+  /// replica instead of piling onto a hot one.
+  [[nodiscard]] TimeNs uplink_busy_until() const { return uplink_free_at_; }
+  [[nodiscard]] TimeNs downlink_busy_until() const { return downlink_free_at_; }
+
  private:
   friend class Network;
   std::string name_;
@@ -96,6 +108,13 @@ struct TransferRecord {
   std::uint32_t from;
   std::uint32_t to;
   std::uint64_t wire_bytes;
+  /// Chunked-plane tag: first 8 digest bytes of the DAG root this transfer
+  /// belongs to (0 = untagged / monolithic), and the leaf index within the
+  /// DAG (kManifestLeaf for the manifest itself).
+  std::uint64_t dag_root = 0;
+  std::int32_t dag_leaf = -1;
+
+  static constexpr std::int32_t kManifestLeaf = -2;
 };
 
 /// Bounded transfer log. Unlimited by default; with a capacity set it is a
@@ -185,6 +204,12 @@ class Network {
   /// transfer, or if an endpoint crashes while the transfer is in flight
   /// (the failure fires at crash time, not at the would-be delivery).
   [[nodiscard]] Task<void> transfer(Host& from, Host& to, std::uint64_t bytes);
+
+  /// Same transfer, tagged for the trace with the DAG root prefix and leaf
+  /// index it carries (see TransferRecord). Timing is identical to the
+  /// untagged overload — the tag is observability only.
+  [[nodiscard]] Task<void> transfer(Host& from, Host& to, std::uint64_t bytes,
+                                    std::uint64_t dag_root, std::int32_t dag_leaf);
 
   /// Total payload bytes moved since construction.
   [[nodiscard]] std::uint64_t total_bytes_transferred() const { return total_bytes_; }

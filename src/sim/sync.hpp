@@ -5,6 +5,7 @@
 
 #include <coroutine>
 #include <deque>
+#include <exception>
 #include <utility>
 #include <vector>
 
@@ -89,5 +90,80 @@ class Channel {
   std::deque<T> queue_;
   std::deque<std::coroutine_handle<>> waiters_;
 };
+
+/// Structured fan-out: spawn() starts child tasks as simulator roots (so
+/// they run concurrently over simulated time) and join() waits for all of
+/// them, rethrowing the first child exception after the group drains.
+///
+/// The group must be joined before it is destroyed — in-flight children
+/// hold a reference to it. Children spawned in one expression start in
+/// spawn order (the simulator's FIFO event queue), so fan-out is exactly
+/// as deterministic as sequential code.
+///
+/// Lifetime caveat (coroutine lambdas): a child created from a lambda
+/// keeps its captures in the *lambda object*, not the coroutine frame.
+/// Keep the lambda alive until join() returns, or pass state by value to
+/// a named coroutine function.
+class TaskGroup {
+ public:
+  explicit TaskGroup(Simulator& sim) : sim_(sim), done_(sim) {}
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void spawn(Task<void> task) {
+    ++outstanding_;
+    done_.clear();
+    sim_.spawn(run(std::move(task)));
+  }
+
+  [[nodiscard]] std::size_t outstanding() const { return outstanding_; }
+
+  /// Completes when every spawned child has finished. Rethrows the first
+  /// exception any child threw (later ones are dropped — children are
+  /// peers; one failure diagnosis suffices).
+  [[nodiscard]] Task<void> join() {
+    while (outstanding_ > 0) co_await done_.wait();
+    if (first_error_ != nullptr) {
+      std::rethrow_exception(std::exchange(first_error_, nullptr));
+    }
+  }
+
+ private:
+  Task<void> run(Task<void> task) {
+    try {
+      co_await std::move(task);
+    } catch (...) {
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
+    if (--outstanding_ == 0) done_.set();
+  }
+
+  Simulator& sim_;
+  SyncEvent done_;
+  std::size_t outstanding_ = 0;
+  std::exception_ptr first_error_ = nullptr;
+};
+
+/// Windowed fan-out: runs fn(0) .. fn(count-1) across `window` lanes, lane
+/// j handling indices j, j+window, j+2*window, ... sequentially (window 0 =
+/// one lane per item, i.e. unbounded). Use this instead of spawning all
+/// items at once when fn issues network transfers: the pipe model reserves
+/// FIFO slots at issue time, so an unbounded spawn occupies the pipes for
+/// the whole batch up front and any later traffic (even a tiny control RPC)
+/// queues behind it. A small window keeps the pipes saturated while
+/// bounding the reservation horizon to ~window items — per-chunk occupancy,
+/// the cut-through property of the chunked plane.
+template <typename Fn>
+[[nodiscard]] Task<void> for_each_windowed(Simulator& sim, std::size_t count, std::size_t window,
+                                           Fn fn) {
+  if (count == 0) co_return;
+  TaskGroup group(sim);
+  const std::size_t lanes = std::min(window == 0 ? count : window, count);
+  auto lane = [&fn, count, lanes](std::size_t j) -> Task<void> {
+    for (std::size_t k = j; k < count; k += lanes) co_await fn(k);
+  };
+  for (std::size_t j = 0; j < lanes; ++j) group.spawn(lane(j));
+  co_await group.join();
+}
 
 }  // namespace dfl::sim

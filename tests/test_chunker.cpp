@@ -1,0 +1,337 @@
+// Chunked Merkle-DAG plane: Chunker/DagManifest edge cases, streaming
+// PayloadMerger range consistency, DAG put/fetch bit-identity, striping
+// and per-chunk failover, streaming merge_get, and end-to-end A/B
+// equivalence of the chunked vs monolithic transfer planes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <numeric>
+
+#include "core/payload.hpp"
+#include "core/runner.hpp"
+#include "ipfs/chunker.hpp"
+#include "ipfs/node.hpp"
+#include "ipfs/swarm.hpp"
+
+namespace dfl::ipfs {
+namespace {
+
+Bytes to_bytes(BytesView v) { return Bytes(v.begin(), v.end()); }
+
+Bytes pattern_bytes(std::size_t n, std::uint8_t seed = 7) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>(seed + i * 31 + (i >> 8));
+  }
+  return b;
+}
+
+TEST(Chunker, EmptyPayloadIsSingleEmptyDag) {
+  const Chunker ck(256);
+  const DagBlock dag = ck.build(Block(Bytes{}));
+  EXPECT_EQ(dag.index.total_size, 0u);
+  EXPECT_TRUE(dag.leaves.empty());
+  EXPECT_EQ(dag.root, Cid::of(dag.manifest.view()));
+  EXPECT_EQ(dag.reassemble().size(), 0u);
+}
+
+TEST(Chunker, SubChunkPayloadYieldsOneLeaf) {
+  const Chunker ck(1024);
+  const Bytes data = pattern_bytes(100);
+  const DagBlock dag = ck.build(Block(data));
+  ASSERT_EQ(dag.leaves.size(), 1u);
+  EXPECT_EQ(dag.leaves[0].size(), 100u);
+  EXPECT_EQ(to_bytes(dag.reassemble().view()), data);
+}
+
+TEST(Chunker, ExactMultipleHasNoRunt) {
+  const Chunker ck(64);
+  const DagBlock dag = ck.build(Block(pattern_bytes(64 * 4)));
+  ASSERT_EQ(dag.leaves.size(), 4u);
+  for (const Block& leaf : dag.leaves) EXPECT_EQ(leaf.size(), 64u);
+}
+
+TEST(Chunker, OneBytechunksRoundTrip) {
+  const Chunker ck(1);
+  const Bytes data = pattern_bytes(9);
+  const DagBlock dag = ck.build(Block(data));
+  ASSERT_EQ(dag.leaves.size(), 9u);
+  EXPECT_EQ(to_bytes(dag.reassemble().view()), data);
+}
+
+TEST(Chunker, RootMatchesBuildAndIsChunkSizeBound) {
+  const Bytes data = pattern_bytes(1000);
+  const Chunker a(256);
+  const Chunker b(512);
+  EXPECT_EQ(a.root_cid(Block(data)), a.build(Block(data)).root);
+  // Same bytes, different geometry => different root (the manifest
+  // records the chunk size and the leaf set changes).
+  EXPECT_NE(a.root_cid(Block(data)), b.root_cid(Block(data)));
+  // Deterministic for the same geometry.
+  EXPECT_EQ(b.root_cid(Block(data)), b.root_cid(Block(data)));
+}
+
+TEST(Chunker, ManifestEncodeDecodeRoundTrip) {
+  const DagBlock dag = Chunker(128).build(Block(pattern_bytes(1000)));
+  const auto decoded = DagManifest::decode(dag.manifest.view());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, dag.index);
+}
+
+TEST(Chunker, DecodeRejectsNonManifests) {
+  EXPECT_FALSE(DagManifest::decode(BytesView(pattern_bytes(64))).has_value());
+  EXPECT_FALSE(DagManifest::decode(BytesView(Bytes{})).has_value());
+  // Truncated real manifest.
+  const DagBlock dag = Chunker(128).build(Block(pattern_bytes(1000)));
+  Bytes cut(dag.manifest.view().begin(), dag.manifest.view().end() - 5);
+  EXPECT_FALSE(DagManifest::decode(BytesView(cut)).has_value());
+}
+
+TEST(Chunker, ReassembleRejectsMismatchedPieces) {
+  const Chunker ck(64);
+  const DagBlock dag = ck.build(Block(pattern_bytes(200)));
+  std::vector<Block> wrong = dag.leaves;
+  wrong.pop_back();
+  EXPECT_THROW((void)Chunker::reassemble(dag.index, wrong), std::invalid_argument);
+}
+
+TEST(Chunker, LeafRangesTileTheContent) {
+  const DagBlock dag = Chunker(96).build(Block(pattern_bytes(1000)));
+  std::uint64_t expect_lo = 0;
+  for (std::size_t i = 0; i < dag.index.leaf_count(); ++i) {
+    const auto [lo, hi] = dag.index.leaf_range(i);
+    EXPECT_EQ(lo, expect_lo);
+    EXPECT_EQ(hi - lo, dag.leaves[i].size());
+    expect_lo = hi;
+  }
+  EXPECT_EQ(expect_lo, dag.index.total_size);
+}
+
+// --- streaming merger consistency ------------------------------------------
+
+TEST(PayloadMergerStreaming, RangeMergeMatchesWholeMerge) {
+  core::Payload a{{10, -3, 1 << 20, 7, 5}};
+  core::Payload b{{-2, 9, 42, -1, 5}};
+  const Bytes wa = a.serialize();
+  const Bytes wb = b.serialize();
+  const core::PayloadMerger merger;
+  const Bytes whole = merger.merge({BytesView(wa), BytesView(wb)});
+
+  const std::uint64_t total = wa.size();
+  Bytes streamed;
+  std::uint64_t from = 0;
+  while (from < total) {
+    // Advance one element at a time through the declared boundaries.
+    const std::uint64_t to = merger.merge_boundary(from + 8, total);
+    ASSERT_GT(to, from);
+    const Bytes part = merger.merge_range({BytesView(wa), BytesView(wb)}, from, to);
+    ASSERT_EQ(part.size(), to - from);
+    streamed.insert(streamed.end(), part.begin(), part.end());
+    from = to;
+  }
+  EXPECT_EQ(streamed, whole);
+}
+
+TEST(PayloadMergerStreaming, BoundaryRespectsHeaderAndTail) {
+  const core::PayloadMerger merger;
+  const std::uint64_t total = core::Payload::wire_size(3);  // 4 + 24
+  EXPECT_EQ(merger.merge_boundary(0, total), 0u);
+  EXPECT_EQ(merger.merge_boundary(3, total), 0u);    // inside the header
+  EXPECT_EQ(merger.merge_boundary(11, total), 4u);   // header only
+  EXPECT_EQ(merger.merge_boundary(12, total), 12u);  // header + one element
+  EXPECT_EQ(merger.merge_boundary(total + 100, total), total);
+}
+
+// --- networked DAG plane ----------------------------------------------------
+
+SwarmConfig dag_config(std::size_t chunk_size = 256) {
+  SwarmConfig cfg{sim::from_millis(10), IpfsNodeConfig{}};
+  cfg.node_config.chunking.mode = ChunkingMode::kDag;
+  cfg.node_config.chunking.chunk_size = chunk_size;
+  cfg.node_config.chunking.leaf_wait = sim::from_seconds(30);
+  return cfg;
+}
+
+struct DagSwarmFixture : ::testing::Test {
+  sim::Simulator sim;
+  sim::Network net{sim};
+  Swarm swarm{net, dag_config()};
+  sim::Host& client = net.add_host("client", sim::HostConfig{10e6, 10e6, 0});
+
+  template <typename T>
+  T run(sim::Task<T> task, bool* threw = nullptr) {
+    std::optional<T> out;
+    sim.spawn([](sim::Task<T> t, std::optional<T>& o, bool* flag) -> sim::Task<void> {
+      try {
+        o = co_await std::move(t);
+      } catch (const std::exception&) {
+        if (flag != nullptr) *flag = true;
+      }
+    }(std::move(task), out, threw));
+    sim.run();
+    if (!out.has_value()) {
+      if (threw != nullptr && *threw) return T{};
+      throw std::runtime_error("task did not complete");
+    }
+    return *out;
+  }
+};
+
+TEST_F(DagSwarmFixture, PutStoresManifestAndLeaves) {
+  IpfsNode& node = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  const Bytes data = pattern_bytes(1000);
+  const Cid root = run(node.put(client, data));
+  EXPECT_EQ(root, Chunker(256).root_cid(Block(data)));
+  const auto manifest = node.dag_manifest(root);
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->leaf_count(), 4u);
+  for (const Cid& leaf : manifest->leaves) {
+    EXPECT_TRUE(node.store().has(leaf));
+    EXPECT_EQ(swarm.providers(leaf), std::vector<std::uint32_t>{0});
+  }
+  // The root provider record points at the manifest holder.
+  EXPECT_EQ(swarm.providers(root), std::vector<std::uint32_t>{0});
+}
+
+TEST_F(DagSwarmFixture, FetchReassemblesBitIdentical) {
+  IpfsNode& node = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  const Bytes data = pattern_bytes(1500, 99);
+  const Cid root = run(node.put(client, data));
+  const Block got = run(swarm.fetch(client, root));
+  EXPECT_EQ(to_bytes(got.view()), data);
+}
+
+TEST_F(DagSwarmFixture, FetchStripesAcrossProviders) {
+  IpfsNode& n0 = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  (void)swarm.add_node("n1", sim::HostConfig{10e6, 10e6, 0});
+  const Bytes data = pattern_bytes(2048, 3);
+  const Cid root = run(n0.put(client, data));
+  ASSERT_EQ(run(swarm.replicate(root, 2)), 2u);
+
+  net.set_tracing(true);
+  const Block got = run(swarm.fetch(client, root));
+  EXPECT_EQ(to_bytes(got.view()), data);
+  // Both replicas served at least one leaf of the striped fetch.
+  std::set<std::uint32_t> served;
+  for (const auto& rec : net.trace()) {
+    if (rec.dag_leaf >= 0 && rec.to == client.id()) served.insert(rec.from);
+  }
+  EXPECT_TRUE(served.count(n0.host().id()) != 0);
+  EXPECT_TRUE(served.count(swarm.node(1).host().id()) != 0);
+}
+
+TEST_F(DagSwarmFixture, FetchFailsOverPerChunk) {
+  IpfsNode& n0 = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  IpfsNode& n1 = swarm.add_node("n1", sim::HostConfig{10e6, 10e6, 0});
+  const Bytes data = pattern_bytes(2048, 11);
+  const Cid root = run(n0.put(client, data));
+  ASSERT_EQ(run(swarm.replicate(root, 2)), 2u);
+  // Wipe half the leaves from n0: records still point there, but only n1
+  // can serve them — the fetch must fail over per-chunk, not restart.
+  const auto manifest = n0.dag_manifest(root);
+  ASSERT_TRUE(manifest.has_value());
+  for (std::size_t i = 0; i < manifest->leaf_count(); i += 2) {
+    (void)n0.store().remove(manifest->leaves[i]);
+  }
+  RetryStats stats;
+  const Block got = run(swarm.fetch(client, root, &stats));
+  EXPECT_EQ(to_bytes(got.view()), data);
+  EXPECT_GE(stats.failovers, 1u);
+  (void)n1;
+}
+
+TEST_F(DagSwarmFixture, FetchPlainBlockUnderDagModeStillWorks) {
+  // A block stored pre-chunking (put_local) has no manifest: the root block
+  // IS the content and fetch must hand it over unchanged.
+  IpfsNode& n0 = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  const Bytes data = pattern_bytes(300, 42);
+  const Cid cid = n0.put_local(data);
+  EXPECT_EQ(to_bytes(run(swarm.fetch(client, cid)).view()), data);
+}
+
+TEST_F(DagSwarmFixture, StreamingMergeGetMatchesWholeBlockMerge) {
+  IpfsNode& node = swarm.add_node("n0", sim::HostConfig{10e6, 10e6, 0});
+  core::Payload a{{1, 2, 3, 1000, 1}};
+  core::Payload b{{-1, 7, -3, 12, 1}};
+  const Bytes wa = a.serialize();
+  const Bytes wb = b.serialize();
+  const Cid ca = run(node.put(client, wa));
+  const Cid cb = run(node.put(client, wb));
+  const core::PayloadMerger merger;
+  const Block merged = run(node.merge_get(client, {ca, cb}, merger));
+  EXPECT_EQ(to_bytes(merged.view()), merger.merge({BytesView(wa), BytesView(wb)}));
+}
+
+// --- end-to-end A/B equivalence --------------------------------------------
+
+core::DeploymentConfig ab_config(ChunkingMode mode, std::size_t chunk_size) {
+  core::DeploymentConfig cfg;
+  cfg.num_trainers = 6;
+  cfg.num_partitions = 2;
+  cfg.partition_elements = 4096;  // ~32 KiB partitions: several leaves each
+  cfg.aggs_per_partition = 1;
+  cfg.num_ipfs_nodes = 4;
+  cfg.providers_per_agg = 2;
+  cfg.options.merge_and_download = true;
+  cfg.options.chunking = mode;
+  cfg.options.chunk_size = chunk_size;
+  cfg.train_time = sim::from_millis(100);
+  cfg.schedule =
+      core::Schedule{sim::from_seconds(30), sim::from_seconds(60), sim::from_millis(50)};
+  cfg.seed = 1234;
+  return cfg;
+}
+
+std::vector<double> run_ab_round(ChunkingMode mode, std::size_t chunk_size,
+                                 sim::TimeNs* round_done = nullptr) {
+  core::Deployment d(ab_config(mode, chunk_size));
+  const core::RoundMetrics m = d.run_round(0);
+  for (const auto& t : m.trainers) {
+    EXPECT_FALSE(t.aborted);
+    EXPECT_FALSE(t.update_missing);
+  }
+  if (round_done != nullptr) *round_done = m.round_done;
+  return d.last_global_update();
+}
+
+TEST(ChunkedPlaneAB, AggregatesBitIdenticalAcrossModes) {
+  const auto mono = run_ab_round(ChunkingMode::kMonolithic, kDefaultChunkSize);
+  const auto dag_8k = run_ab_round(ChunkingMode::kDag, 8 * 1024);
+  const auto dag_2k = run_ab_round(ChunkingMode::kDag, 2 * 1024);
+  ASSERT_FALSE(mono.empty());
+  EXPECT_EQ(mono, dag_8k);  // exact double equality: bit-identical aggregates
+  EXPECT_EQ(mono, dag_2k);  // chunk geometry must not leak into results
+}
+
+TEST(ChunkedPlaneAB, VerifiableDirectoryAcceptsDagAnnounces) {
+  // A verifiable directory fetches every announced global update to check
+  // it opens the accumulated commitment, so the DAG plane must not announce
+  // a root before a copy is fetchable (no announce-before-upload overlap
+  // for global updates in verifiable mode).
+  auto run_verifiable = [](ChunkingMode mode) {
+    auto cfg = ab_config(mode, 8 * 1024);
+    cfg.options.verifiable = true;
+    core::Deployment d(cfg);
+    const core::RoundMetrics m = d.run_round(0);
+    EXPECT_GE(m.round_done, 0) << "round never completed";
+    EXPECT_EQ(m.rejected_updates, 0);
+    return d.last_global_update();
+  };
+  const auto mono = run_verifiable(ChunkingMode::kMonolithic);
+  const auto dag = run_verifiable(ChunkingMode::kDag);
+  ASSERT_FALSE(mono.empty());
+  EXPECT_EQ(mono, dag);
+}
+
+TEST(ChunkedPlaneAB, DagPlaneIsDeterministicAcrossReruns) {
+  sim::TimeNs done_a = 0;
+  sim::TimeNs done_b = 0;
+  const auto a = run_ab_round(ChunkingMode::kDag, 8 * 1024, &done_a);
+  const auto b = run_ab_round(ChunkingMode::kDag, 8 * 1024, &done_b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(done_a, done_b);  // same simulated finish time, event for event
+}
+
+}  // namespace
+}  // namespace dfl::ipfs

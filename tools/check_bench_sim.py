@@ -1,11 +1,21 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_sim.json produced by bench/abl_datapath.
+"""Validate a BENCH_sim.json produced by bench/abl_datapath or bench/abl_chunking.
 
-Checks the schema (required keys and types) and the invariants the data
-plane guarantees regardless of workload size:
+Dispatches on the document's "bench" field and checks the schema (required
+keys and types) plus the invariants each bench guarantees regardless of
+workload size:
+
+abl_datapath (A9, zero-copy data plane):
   * simulated results are bit-identical across the two modes,
   * the zero-copy plane copies strictly fewer bytes than the baseline,
   * stat counters are internally consistent.
+
+abl_chunking (A10, chunked Merkle-DAG transfer plane):
+  * the aggregated global update is bit-identical across chunk settings,
+  * the headline cell (256 KiB chunks, 2 providers) is >= 1.5x faster
+    than the monolithic plane at the same provider count,
+  * chunking at 256 KiB never loses to monolithic at any provider count,
+  * the headline cell is deterministic across a full re-run.
 
 Usage: check_bench_sim.py [path-to-BENCH_sim.json]
 Exits non-zero with a message on the first violation.
@@ -26,7 +36,7 @@ MODE_KEYS = {
     "events_per_sec": float,
 }
 
-WORKLOAD_KEYS = {
+DATAPATH_WORKLOAD_KEYS = {
     "trainers": int,
     "partitions": int,
     "partition_elements": int,
@@ -34,6 +44,27 @@ WORKLOAD_KEYS = {
     "rounds": int,
     "smoke": bool,
 }
+
+CHUNKING_WORKLOAD_KEYS = {
+    "trainers": int,
+    "partitions": int,
+    "partition_elements": int,
+    "partition_bytes": int,
+    "train_time_ms": int,
+    "smoke": bool,
+}
+
+CHUNKING_CELL_KEYS = {
+    "providers": int,
+    "chunk_bytes": int,
+    "round_seconds": float,
+    "round_done_ns": int,
+    "fingerprint": str,
+}
+
+HEADLINE_CHUNK = 262144  # 256 KiB
+HEADLINE_PROVIDERS = 2
+MIN_HEADLINE_SPEEDUP = 1.5
 
 
 def fail(msg):
@@ -47,28 +78,20 @@ def check_keys(obj, spec, where):
             fail(f"{where}: missing key '{key}'")
         val = obj[key]
         # ints satisfy float fields, bools must not satisfy int fields
-        ok = (
-            isinstance(val, bool)
-            if typ is bool
-            else isinstance(val, (int, float))
-            if typ is float
-            else isinstance(val, int) and not isinstance(val, bool)
-        )
+        if typ is bool:
+            ok = isinstance(val, bool)
+        elif typ is float:
+            ok = isinstance(val, (int, float))
+        elif typ is str:
+            ok = isinstance(val, str)
+        else:
+            ok = isinstance(val, int) and not isinstance(val, bool)
         if not ok:
             fail(f"{where}.{key}: expected {typ.__name__}, got {type(val).__name__}")
 
 
-def main():
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_sim.json"
-    try:
-        with open(path) as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot load {path}: {e}")
-
-    if doc.get("bench") != "abl_datapath":
-        fail(f"bench != abl_datapath (got {doc.get('bench')!r})")
-    check_keys(doc.get("workload", {}), WORKLOAD_KEYS, "workload")
+def check_datapath(doc, path):
+    check_keys(doc.get("workload", {}), DATAPATH_WORKLOAD_KEYS, "workload")
     for mode in ("baseline", "zero_copy"):
         if mode not in doc:
             fail(f"missing '{mode}' block")
@@ -107,6 +130,81 @@ def main():
         f"copy_reduction={doc['copy_reduction_factor']:.1f}x, "
         f"wall_speedup={doc.get('wall_speedup', 0):.2f}x, sim identical"
     )
+
+
+def check_chunking(doc, path):
+    check_keys(doc.get("workload", {}), CHUNKING_WORKLOAD_KEYS, "workload")
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        fail("cells missing or empty")
+    for i, cell in enumerate(cells):
+        check_keys(cell, CHUNKING_CELL_KEYS, f"cells[{i}]")
+        if cell["round_seconds"] <= 0:
+            fail(f"cells[{i}]: non-positive round_seconds")
+
+    def cell_at(providers, chunk_bytes):
+        for c in cells:
+            if c["providers"] == providers and c["chunk_bytes"] == chunk_bytes:
+                return c
+        return None
+
+    # Bit-identical aggregates across chunk settings at each provider count.
+    if doc.get("fingerprints_identical") is not True:
+        fail("fingerprints_identical is not true: aggregates diverged across chunk settings")
+    by_providers = {}
+    for c in cells:
+        by_providers.setdefault(c["providers"], set()).add(c["fingerprint"])
+    for p, prints in sorted(by_providers.items()):
+        if len(prints) != 1:
+            fail(f"cells disagree on the aggregate fingerprint at providers={p}")
+
+    if doc.get("deterministic") is not True:
+        fail("deterministic is not true: headline cell diverged across reruns")
+
+    # Headline: 256 KiB chunks with 2 providers beat monolithic >= 1.5x.
+    headline = cell_at(HEADLINE_PROVIDERS, HEADLINE_CHUNK)
+    baseline = cell_at(HEADLINE_PROVIDERS, 0)
+    if headline is None or baseline is None:
+        fail("grid is missing the headline (256 KiB, P=2) or monolithic baseline cell")
+    speedup = doc.get("speedup_256k_p2")
+    if not isinstance(speedup, (int, float)):
+        fail("speedup_256k_p2 missing or non-numeric")
+    measured = baseline["round_seconds"] / headline["round_seconds"]
+    if abs(measured - speedup) > 0.05:
+        fail(f"speedup_256k_p2 {speedup} does not match the cells ({measured:.3f})")
+    if speedup < MIN_HEADLINE_SPEEDUP:
+        fail(f"speedup_256k_p2 {speedup} < {MIN_HEADLINE_SPEEDUP}")
+
+    # 256 KiB chunking must never lose to monolithic at any provider count.
+    for p in sorted(by_providers):
+        chunked, mono = cell_at(p, HEADLINE_CHUNK), cell_at(p, 0)
+        if chunked is None or mono is None:
+            continue
+        if chunked["round_seconds"] > mono["round_seconds"]:
+            fail(f"256 KiB chunking is slower than monolithic at providers={p}")
+
+    print(
+        f"check_bench_sim: OK ({path}): "
+        f"speedup_256k_p2={speedup:.2f}x over {len(cells)} cells, "
+        f"aggregates identical, deterministic"
+    )
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_sim.json"
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+    bench = doc.get("bench")
+    if bench == "abl_datapath":
+        check_datapath(doc, path)
+    elif bench == "abl_chunking":
+        check_chunking(doc, path)
+    else:
+        fail(f"unknown bench {bench!r} (want abl_datapath or abl_chunking)")
 
 
 if __name__ == "__main__":

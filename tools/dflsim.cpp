@@ -42,6 +42,9 @@ void usage() {
       "  --replicas N        global-update replicas (default 2)\n"
       "  --gradient-replicas N  gradient replicas (default 1)\n"
       "  --directory-replicas N directory service replicas (default 1)\n"
+      "  --chunking MODE     transfer plane: dag | monolithic (default monolithic)\n"
+      "  --chunk-size K      DAG leaf size in KiB (default 256)\n"
+      "  --pipeline N        DAG bulk-transfer window, leaves (0 = unbounded, default 1)\n"
       "crypto engine (with --verifiable):\n"
       "  --crypto-threads N  commit/verify worker threads, 0 = all cores (default 1)\n"
       "  --fixed-base W      fixed-base tables, W = window bits, 1 = auto-pick\n"
@@ -131,6 +134,22 @@ int main(int argc, char** argv) {
       cfg.options.gradient_replicas = v;
     } else if (a == "--directory-replicas" && parse_u64(next(), v)) {
       cfg.directory_replicas = v;
+    } else if (a == "--chunking") {
+      const std::string mode = next();
+      if (mode == "dag") cfg.options.chunking = ipfs::ChunkingMode::kDag;
+      else if (mode == "monolithic") cfg.options.chunking = ipfs::ChunkingMode::kMonolithic;
+      else {
+        std::fprintf(stderr, "unknown chunking mode '%s' (want dag|monolithic)\n", mode.c_str());
+        return 2;
+      }
+    } else if (a == "--chunk-size" && parse_u64(next(), v)) {
+      if (v == 0) {
+        std::fprintf(stderr, "--chunk-size must be positive (KiB)\n");
+        return 2;
+      }
+      cfg.options.chunk_size = v * 1024;
+    } else if (a == "--pipeline" && parse_u64(next(), v)) {
+      cfg.options.chunk_pipeline = v;
     } else if (a == "--crypto-threads" && parse_u64(next(), v)) {
       cfg.options.crypto_threads = v;
     } else if (a == "--fixed-base" && parse_u64(next(), v)) {
@@ -191,6 +210,9 @@ int main(int argc, char** argv) {
               cfg.options.merge_and_download ? ", merge-and-download" : "",
               cfg.options.verifiable ? ", verifiable" : "",
               cfg.options.batched_announce ? ", batched announce" : "");
+  if (cfg.options.chunking == ipfs::ChunkingMode::kDag) {
+    std::printf("transfer plane: merkle-dag, %zu KiB chunks\n\n", cfg.options.chunk_size / 1024);
+  }
 
   core::Deployment d(cfg);
   std::printf("%-7s %14s %14s %12s %14s %12s %10s\n", "round", "upload_s", "aggregation_s",

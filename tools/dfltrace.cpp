@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   cfg.num_ipfs_nodes = 4;
   cfg.providers_per_agg = 4;
   cfg.train_time = sim::from_seconds(1);
+  std::string dump_host;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -49,7 +50,19 @@ int main(int argc, char** argv) {
     else if (a == "--partition-kb" && parse_u64(next(), v)) cfg.partition_elements = v * 128;
     else if (a == "--merge") cfg.options.merge_and_download = true;
     else if (a == "--verifiable") cfg.options.verifiable = true;
-    else {
+    else if (a == "--chunking") {
+      const std::string mode = next();
+      if (mode == "dag") cfg.options.chunking = ipfs::ChunkingMode::kDag;
+      else if (mode == "monolithic") cfg.options.chunking = ipfs::ChunkingMode::kMonolithic;
+      else {
+        std::fprintf(stderr, "unknown chunking mode %s\n", mode.c_str());
+        return 2;
+      }
+    } else if (a == "--chunk-size" && parse_u64(next(), v) && v > 0) {
+      cfg.options.chunk_size = v * 1024;
+    } else if (a == "--dump") {
+      dump_host = next();
+    } else {
       std::fprintf(stderr, "unknown argument %s\n", a.c_str());
       return 2;
     }
@@ -89,6 +102,61 @@ int main(int argc, char** argv) {
                 100.0 * sim::to_seconds(u.busy_out) / round_s,
                 100.0 * sim::to_seconds(u.busy_in) / round_s,
                 static_cast<unsigned long long>(u.transfers));
+  }
+  // Chunk-level decode: transfers tagged with a DAG root carry the root's
+  // CID prefix and leaf index — group them per object and show how the
+  // striped plane actually moved each blob.
+  struct DagUse {
+    std::uint64_t leaf_transfers = 0, manifest_transfers = 0, bytes = 0;
+    sim::TimeNs first_start = -1, last_delivered = 0;
+    std::int32_t max_leaf = -1;
+    std::map<std::uint32_t, std::uint64_t> sources;
+  };
+  std::map<std::uint64_t, DagUse> dags;
+  for (const auto& r : trace) {
+    if (r.dag_root == 0) continue;
+    auto& du = dags[r.dag_root];
+    if (r.dag_leaf == sim::TransferRecord::kManifestLeaf) ++du.manifest_transfers;
+    else {
+      ++du.leaf_transfers;
+      du.max_leaf = std::max(du.max_leaf, r.dag_leaf);
+    }
+    du.bytes += r.wire_bytes;
+    if (du.first_start < 0 || r.start < du.first_start) du.first_start = r.start;
+    du.last_delivered = std::max(du.last_delivered, r.delivered);
+    ++du.sources[r.from];
+  }
+  if (!dags.empty()) {
+    std::printf("\nchunked objects (%zu DAG roots):\n", dags.size());
+    std::printf("%-18s %7s %7s %9s %8s %9s %9s\n", "root", "leaves", "xfers", "bytes_KB",
+                "sources", "start_s", "done_s");
+    for (const auto& [root, du] : dags) {
+      std::printf("%016llx %7d %7llu %9.1f %8zu %9.3f %9.3f\n",
+                  static_cast<unsigned long long>(root), du.max_leaf + 1,
+                  static_cast<unsigned long long>(du.leaf_transfers + du.manifest_transfers),
+                  static_cast<double>(du.bytes) / 1e3, du.sources.size(),
+                  sim::to_seconds(du.first_start - m.round_start),
+                  sim::to_seconds(du.last_delivered - m.round_start));
+    }
+  }
+  if (!dump_host.empty()) {
+    std::printf("\ntransfers touching %s:\n", dump_host.c_str());
+    std::printf("%9s %9s %-14s %-14s %10s %-18s %5s\n", "start_s", "done_s", "from", "to",
+                "bytes_KB", "root", "leaf");
+    for (const auto& r : trace) {
+      const std::string& fn = d.context().net.host(r.from).name();
+      const std::string& tn = d.context().net.host(r.to).name();
+      if (fn != dump_host && tn != dump_host) continue;
+      char root[20] = "-";
+      if (r.dag_root != 0) {
+        std::snprintf(root, sizeof root, "%016llx",
+                      static_cast<unsigned long long>(r.dag_root));
+      }
+      std::printf("%9.3f %9.3f %-14s %-14s %10.1f %-18s %5d\n",
+                  sim::to_seconds(r.start - m.round_start),
+                  sim::to_seconds(r.delivered - m.round_start), fn.c_str(), tn.c_str(),
+                  static_cast<double>(r.wire_bytes) / 1e3, root, r.dag_leaf);
+    }
   }
   std::printf("\nhighest down_util%% marks the bottleneck pipe of this deployment\n");
   return 0;
