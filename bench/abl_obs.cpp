@@ -1,0 +1,104 @@
+// Ablation: observability overhead. The span tracer promises that
+// instrumentation left in the hot path is effectively free while tracing
+// is disabled (one relaxed atomic load per site) and cheap when enabled
+// (a vector push_back per span). This bench puts numbers on both claims:
+//   * micro: ns per begin/end pair and per ambient set/take, disabled vs
+//     enabled;
+//   * macro: the same fixed-seed FL workload with tracing off vs on —
+//     simulator events/sec must not regress measurably with tracing off
+//     (the acceptance bar lives in abl_datapath vs BENCH_sim.json; this
+//     shows the obs share directly).
+//
+//   abl_obs                 # default: 1M micro iterations, 8x2 macro run
+//   DFL_OBS_SMOKE=1 abl_obs # CI-sized
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "core/runner.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace dfl;
+
+double micro_begin_end(std::size_t iters) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  std::uint64_t sink = 0;
+  const bench::WallTimer timer;
+  for (std::size_t i = 0; i < iters; ++i) {
+    obs::SpanToken t = tracer.begin("bench", 0, static_cast<std::int64_t>(i));
+    sink += t.id;
+    tracer.end(t, static_cast<std::int64_t>(i) + 1);
+  }
+  const double ns = timer.seconds() * 1e9 / static_cast<double>(iters);
+  // Keep the loop observable so the compiler cannot delete it.
+  if (sink == 0xdeadbeef) std::printf("impossible\n");
+  return ns;
+}
+
+double micro_ambient(std::size_t iters) {
+  std::uint64_t sink = 0;
+  const bench::WallTimer timer;
+  for (std::size_t i = 0; i < iters; ++i) {
+    obs::set_ambient_span(i + 1);
+    sink += obs::take_ambient_span();
+  }
+  const double ns = timer.seconds() * 1e9 / static_cast<double>(iters);
+  if (sink == 0xdeadbeef) std::printf("impossible\n");
+  return ns;
+}
+
+double macro_events_per_sec(bool tracing, int rounds) {
+  obs::set_tracing(tracing);
+  core::DeploymentConfig cfg;
+  cfg.num_trainers = 8;
+  cfg.num_partitions = 2;
+  cfg.partition_elements = 32768;
+  cfg.aggs_per_partition = 2;
+  cfg.num_ipfs_nodes = 4;
+  cfg.train_time = sim::from_millis(500);
+  cfg.seed = 42;
+  core::Deployment d(cfg);
+  if (tracing) d.context().net.set_tracing(true);
+  std::uint64_t events = 0;
+  const bench::WallTimer timer;
+  for (int r = 0; r < rounds; ++r) {
+    events += d.run_round(static_cast<std::uint32_t>(r)).datapath.sim_events;
+  }
+  const double wall = timer.seconds();
+  obs::set_tracing(false);
+  obs::Tracer::instance().clear();
+  return wall <= 0 ? 0 : static_cast<double>(events) / wall;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("DFL_OBS_SMOKE") != nullptr;
+  const std::size_t iters = smoke ? 100'000 : 1'000'000;
+  const int rounds = smoke ? 1 : 3;
+
+  bench::print_header("observability overhead");
+
+  obs::set_tracing(false);
+  const double off_ns = micro_begin_end(iters);
+  obs::set_tracing(true);
+  const double on_ns = micro_begin_end(iters);
+  obs::set_tracing(false);
+  obs::Tracer::instance().clear();
+  const double ambient_ns = micro_ambient(iters);
+
+  std::printf("  begin/end pair, tracing off: %7.2f ns\n", off_ns);
+  std::printf("  begin/end pair, tracing on:  %7.2f ns\n", on_ns);
+  std::printf("  ambient set+take:            %7.2f ns\n", ambient_ns);
+  bench::print_note("'off' is the cost left in every instrumented hot path");
+
+  const double off_eps = macro_events_per_sec(false, rounds);
+  const double on_eps = macro_events_per_sec(true, rounds);
+  std::printf("  macro events/sec, tracing off: %10.0f\n", off_eps);
+  std::printf("  macro events/sec, tracing on:  %10.0f (%+.1f%%)\n", on_eps,
+              off_eps <= 0 ? 0.0 : 100.0 * (on_eps - off_eps) / off_eps);
+  bench::print_note("macro numbers are noisy at this size; the contract is the micro 'off' path");
+  return 0;
+}

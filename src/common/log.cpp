@@ -1,14 +1,20 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace dfl {
 
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+LogLevel startup_level() {
+  return parse_log_level(std::getenv("DFL_LOG_LEVEL"), LogLevel::kWarn);
+}
+
+std::atomic<LogLevel> g_level{startup_level()};
 
 // Serializes formatted writes: thread-pool workers (crypto engine,
 // generator derivation) log concurrently with the single-threaded
@@ -32,6 +38,21 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+LogLevel parse_log_level(const char* name, LogLevel fallback) {
+  if (name == nullptr) return fallback;
+  std::string lower;
+  for (const char* p = name; *p != '\0'; ++p) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return fallback;
+}
 
 void log_line(LogLevel level, const std::string& component, const std::string& message) {
   const std::lock_guard<std::mutex> lock(g_write_mu);

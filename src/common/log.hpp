@@ -1,5 +1,7 @@
 // Tiny leveled logger. Defaults to WARN so tests and benches stay quiet;
-// examples raise the level to narrate protocol progress.
+// examples raise the level to narrate protocol progress. The startup
+// default can be overridden without recompiling by setting DFL_LOG_LEVEL
+// to trace|debug|info|warn|error|off in the environment.
 #pragma once
 
 #include <sstream>
@@ -12,6 +14,10 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 /// Global log threshold; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parses a level name ("trace".."off", case-insensitive); returns
+/// `fallback` on null/unknown input. Used for DFL_LOG_LEVEL at startup.
+LogLevel parse_log_level(const char* name, LogLevel fallback);
 
 /// Emits one formatted line to stderr. Thread-safe: the level check is
 /// atomic and the write is serialized by a mutex, so thread-pool workers

@@ -46,4 +46,116 @@ double Summary::percentile(double p) const {
   return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
 }
 
+namespace {
+int bit_width_u64(std::uint64_t v) {
+  int w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+}  // namespace
+
+LogHistogram::LogHistogram(int sub_bucket_bits) : sub_bits_(sub_bucket_bits) {
+  if (sub_bits_ < 0 || sub_bits_ > 8) {
+    throw std::logic_error("LogHistogram: sub_bucket_bits must be in [0, 8]");
+  }
+  // Exact buckets cover [0, 2^(sub+1)); each further octave (there are
+  // 63 - sub of them) contributes 2^sub sub-buckets.
+  const std::size_t exact = std::size_t{1} << (sub_bits_ + 1);
+  const std::size_t octaves = static_cast<std::size_t>(63 - sub_bits_);
+  buckets_.assign(exact + octaves * (std::size_t{1} << sub_bits_), 0);
+}
+
+std::size_t LogHistogram::bucket_index(std::uint64_t v) const {
+  const std::uint64_t exact = std::uint64_t{1} << (sub_bits_ + 1);
+  if (v < exact) return static_cast<std::size_t>(v);
+  const int b = bit_width_u64(v);               // >= sub_bits_ + 2
+  const int shift = b - sub_bits_ - 1;          // >= 1
+  const std::uint64_t mantissa = v >> shift;    // in [2^sub, 2^(sub+1))
+  const std::uint64_t sub_count = std::uint64_t{1} << sub_bits_;
+  return static_cast<std::size_t>(exact + static_cast<std::uint64_t>(shift - 1) * sub_count +
+                                  (mantissa - sub_count));
+}
+
+std::uint64_t LogHistogram::bucket_lo(std::size_t idx) const {
+  const std::uint64_t exact = std::uint64_t{1} << (sub_bits_ + 1);
+  if (idx < exact) return idx;
+  const std::uint64_t sub_count = std::uint64_t{1} << sub_bits_;
+  const std::uint64_t rel = idx - exact;
+  const int shift = static_cast<int>(rel / sub_count) + 1;
+  const std::uint64_t mantissa = sub_count + rel % sub_count;
+  return mantissa << shift;
+}
+
+std::uint64_t LogHistogram::bucket_hi(std::size_t idx) const {
+  const std::uint64_t exact = std::uint64_t{1} << (sub_bits_ + 1);
+  if (idx < exact) return idx;
+  const std::uint64_t sub_count = std::uint64_t{1} << sub_bits_;
+  const std::uint64_t rel = idx - exact;
+  const int shift = static_cast<int>(rel / sub_count) + 1;
+  const std::uint64_t mantissa = sub_count + rel % sub_count;
+  return ((mantissa + 1) << shift) - 1;
+}
+
+void LogHistogram::record(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  buckets_[bucket_index(value)] += count;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_ += count;
+  sum_ += value * count;
+}
+
+double LogHistogram::mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t LogHistogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max_;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      return std::min(bucket_hi(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<LogHistogram::Bucket> LogHistogram::nonzero_buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    out.push_back(Bucket{bucket_lo(i), bucket_hi(i), buckets_[i]});
+  }
+  return out;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.sub_bits_ != sub_bits_) {
+    throw std::logic_error("LogHistogram::merge: sub_bucket_bits mismatch");
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ != 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LogHistogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
 }  // namespace dfl

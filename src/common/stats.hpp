@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace dfl {
@@ -29,6 +30,58 @@ class Summary {
   std::vector<double> samples_;
   double mean_ = 0.0;
   double m2_ = 0.0;
+};
+
+/// HDR-style log-bucket histogram over non-negative 64-bit values.
+///
+/// Values below 2^(sub_bucket_bits+1) land in exact unit buckets; above
+/// that, each power-of-two octave is split into 2^sub_bucket_bits
+/// sub-buckets, bounding the relative recording error by
+/// 2^-sub_bucket_bits (12.5% at the default of 3) while keeping the
+/// bucket array small (~500 entries) and O(1) to record into. Unlike
+/// `Summary` it never stores samples, so it is safe to feed from hot
+/// paths that record millions of values.
+class LogHistogram {
+ public:
+  explicit LogHistogram(int sub_bucket_bits = 3);
+
+  void record(std::uint64_t value, std::uint64_t count = 1);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  /// 0 when empty.
+  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const;
+
+  /// Upper bound of the bucket holding the p-th percentile (p in
+  /// [0, 100]), clamped to the recorded max. 0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+
+  struct Bucket {
+    std::uint64_t lo = 0;     // inclusive
+    std::uint64_t hi = 0;     // inclusive
+    std::uint64_t count = 0;
+  };
+  /// Non-empty buckets in ascending value order.
+  [[nodiscard]] std::vector<Bucket> nonzero_buckets() const;
+
+  void merge(const LogHistogram& other);
+  void reset();
+
+  [[nodiscard]] int sub_bucket_bits() const { return sub_bits_; }
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(std::uint64_t v) const;
+  [[nodiscard]] std::uint64_t bucket_lo(std::size_t idx) const;
+  [[nodiscard]] std::uint64_t bucket_hi(std::size_t idx) const;
+
+  int sub_bits_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
 };
 
 }  // namespace dfl

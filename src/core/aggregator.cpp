@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "common/serde.hpp"
+#include "sim/span.hpp"
 
 namespace dfl::core {
 
@@ -46,6 +47,10 @@ sim::Task<void> Aggregator::run_round(std::uint32_t iter, sim::TimeNs round_star
   }
   AggregatorRecord& rec = metrics.aggregators.at(global_id_);
   rec.partition = partition_;
+  sim::ScopedSpan round_span(ctx_.sim, "round", host_.id(), ctx_.round_span);
+  round_span.attr("aggregator", static_cast<std::int64_t>(global_id_));
+  round_span.attr("partition", static_cast<std::int64_t>(partition_));
+  round_span.attr("iter", static_cast<std::int64_t>(iter));
 
   const PartitionAssignment& pa = ctx_.spec.assignment(partition_);
   const bool multi = pa.aggregators.size() > 1;
@@ -65,7 +70,12 @@ sim::Task<void> Aggregator::run_round(std::uint32_t iter, sim::TimeNs round_star
     wanted.erase(wanted.begin());
   }
 
-  GatherResult g = co_await gather(iter, wanted, gather_deadline, rec);
+  GatherResult g;
+  {
+    sim::ScopedSpan gather_span(ctx_.sim, "gather", host_.id(), round_span.id());
+    g = co_await gather(iter, wanted, gather_deadline, rec, gather_span.id());
+    gather_span.attr("gradients", static_cast<std::int64_t>(g.received.size()));
+  }
   Payload partial =
       g.sum ? std::move(*g.sum) : zero_payload(ctx_.spec.partition_size(partition_));
   corrupt(partial, wanted, iter);
@@ -74,7 +84,8 @@ sim::Task<void> Aggregator::run_round(std::uint32_t iter, sim::TimeNs round_star
 
   std::optional<Payload> global;
   if (multi) {
-    global = co_await synchronize(iter, round_start, std::move(partial), metrics, rec);
+    global = co_await synchronize(iter, round_start, std::move(partial), metrics, rec,
+                                  round_span.id());
     rec.sync_done_at = ctx_.sim.now();
   } else {
     global = std::move(partial);
@@ -92,14 +103,17 @@ sim::Task<void> Aggregator::run_round(std::uint32_t iter, sim::TimeNs round_star
   // Only the first aggregator to register the (verified) global update
   // writes back; later slots back off progressively so the common case has
   // exactly one writer, while a failed writer is still covered.
+  sim::ScopedSpan write_span(ctx_.sim, "global_write", host_.id(), round_span.id());
   if (multi) {
     co_await ctx_.sim.sleep(static_cast<sim::TimeNs>(slot_) * sim::from_seconds(2));
+    obs::set_ambient_span(write_span.id());
     const auto existing = co_await ctx_.dir.poll(host_, partition_, iter,
                                                  directory::EntryType::kGlobalUpdate);
     if (!existing.empty()) co_return;
   }
   const bool ok = co_await upload_and_announce(iter, *global,
-                                               directory::EntryType::kGlobalUpdate, rec, nullptr);
+                                               directory::EntryType::kGlobalUpdate, rec, nullptr,
+                                               write_span.id());
   if (ok) {
     rec.global_written_at = ctx_.sim.now();
   } else {
@@ -110,7 +124,7 @@ sim::Task<void> Aggregator::run_round(std::uint32_t iter, sim::TimeNs round_star
 
 sim::Task<Aggregator::GatherResult> Aggregator::gather(
     std::uint32_t iter, const std::vector<std::uint32_t>& trainers, sim::TimeNs deadline,
-    AggregatorRecord& rec) {
+    AggregatorRecord& rec, obs::SpanId span) {
   GatherResult g;
   const std::set<std::uint32_t> expected(trainers.begin(), trainers.end());
   if (expected.empty()) co_return g;
@@ -141,6 +155,8 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
   // order cannot change the aggregate.
   auto fetch_gradient = [&](std::uint32_t t, ipfs::Cid cid) -> sim::Task<void> {
     try {
+      // Spawned: re-arm the gather span explicitly for each attempt.
+      obs::set_ambient_span(span);
       const Block data = co_await ctx_.swarm.fetch_with_retry(host_, cid, ctx_.spec.options.retry,
                                                               deadline, &rec.rpc);
       rec.bytes_received += data.size();
@@ -155,12 +171,16 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
       -> sim::Task<void> {
     auto& list = ready[provider_id];
     if (list.empty()) co_return;
+    sim::ScopedSpan merge_span(ctx_.sim, "merge_get", host_.id(), span);
+    merge_span.attr("provider", static_cast<std::int64_t>(provider_id));
+    merge_span.attr("gradients", static_cast<std::int64_t>(list.size()));
     std::vector<ipfs::Cid> cids;
     std::set<std::uint32_t> from;
     for (const auto& [t, cid] : list) {
       cids.push_back(cid);
       from.insert(t);
     }
+    obs::set_ambient_span(merge_span.id());
     const auto merged = co_await ctx_.swarm.merge_get_with_retry(
         provider_id, host_, cids, ctx_.merger, ctx_.spec.options.retry, deadline, &rec.rpc);
     if (!merged) {
@@ -198,6 +218,7 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
         }
       }
       if (!have_all) {
+        obs::set_ambient_span(merge_span.id());
         const auto list2 = co_await ctx_.dir.gradient_commitments(host_, partition_, iter);
         grad_commitments.emplace();
         for (const auto& [t, c] : list2) grad_commitments->emplace(t, c);
@@ -239,6 +260,7 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
   std::exception_ptr gather_error;
   try {
     for (;;) {
+      obs::set_ambient_span(span);
       const auto entries =
           co_await ctx_.dir.poll(host_, partition_, iter, directory::EntryType::kGradient);
       for (const auto& e : entries) {
@@ -293,15 +315,18 @@ sim::Task<std::optional<Payload>> Aggregator::synchronize(std::uint32_t iter,
                                                           sim::TimeNs round_start,
                                                           Payload own_partial,
                                                           RoundMetrics& metrics,
-                                                          AggregatorRecord& rec) {
+                                                          AggregatorRecord& rec,
+                                                          obs::SpanId parent_span) {
   const PartitionAssignment& pa = ctx_.spec.assignment(partition_);
   const sim::TimeNs t_sync_abs = round_start + ctx_.spec.schedule.t_sync;
   auto& mailbox = ctx_.pubsub.subscribe(sync_topic(iter), host_);
+  sim::ScopedSpan sync_span(ctx_.sim, "sync", host_.id(), parent_span);
 
   // Upload own partial, register it, and announce the hash over pub/sub.
   ipfs::Cid own_cid;
   (void)co_await upload_and_announce(iter, own_partial, directory::EntryType::kPartialUpdate,
-                                     rec, &own_cid);
+                                     rec, &own_cid, sync_span.id());
+  obs::set_ambient_span(sync_span.id());
   co_await ctx_.pubsub.publish(host_, sync_topic(iter), encode_sync_message(global_id_, own_cid));
 
   std::map<std::uint32_t, Payload> partials;  // by aggregator global id
@@ -326,6 +351,7 @@ sim::Task<std::optional<Payload>> Aggregator::synchronize(std::uint32_t iter,
     if (partials.contains(peer_id)) continue;
     Block data;
     try {
+      obs::set_ambient_span(sync_span.id());
       data = co_await ctx_.swarm.fetch_with_retry(host_, cid, ctx_.spec.options.retry,
                                                   t_sync_abs, &rec.rpc);
     } catch (const std::exception& e) {
@@ -337,6 +363,7 @@ sim::Task<std::optional<Payload>> Aggregator::synchronize(std::uint32_t iter,
     Payload payload = Payload::deserialize(data);
     if (ctx_.spec.options.verifiable) {
       // A partial must open the accumulated commitment of that peer's T_ij.
+      obs::set_ambient_span(sync_span.id());
       const crypto::Commitment acc =
           co_await ctx_.dir.aggregator_commitment(host_, partition_, peer_id, iter);
       if (batched) {
@@ -392,7 +419,7 @@ sim::Task<std::optional<Payload>> Aggregator::synchronize(std::uint32_t iter,
         if (partials.contains(peer)) continue;
         DFL_INFO("aggregator") << "a" << global_id_ << " covering for a" << peer;
         rec.covered_for_peer = true;
-        GatherResult g = co_await gather(iter, pa.trainers[j], t_sync_abs, rec);
+        GatherResult g = co_await gather(iter, pa.trainers[j], t_sync_abs, rec, sync_span.id());
         if (g.sum) partials.emplace(peer, std::move(*g.sum));
       }
     } else {
@@ -410,7 +437,8 @@ sim::Task<std::optional<Payload>> Aggregator::synchronize(std::uint32_t iter,
 
 sim::Task<bool> Aggregator::upload_and_announce(std::uint32_t iter, const Payload& payload,
                                                 directory::EntryType type,
-                                                AggregatorRecord& rec, ipfs::Cid* out_cid) {
+                                                AggregatorRecord& rec, ipfs::Cid* out_cid,
+                                                obs::SpanId span) {
   const PartitionAssignment& pa = ctx_.spec.assignment(partition_);
   // Spread update uploads across this aggregator's provider set so partial
   // exchange in the sync phase doesn't funnel through one storage node.
@@ -440,15 +468,20 @@ sim::Task<bool> Aggregator::upload_and_announce(std::uint32_t iter, const Payloa
         !(ctx_.spec.options.verifiable && type == directory::EntryType::kGlobalUpdate);
     const ipfs::Cid root = ipfs::Chunker(ctx_.spec.options.chunk_size).root_cid(data);
     if (out_cid != nullptr) *out_cid = root;
-    if (announce_early && !co_await ctx_.dir.announce(host_, addr, root)) co_return false;
+    if (announce_early) {
+      obs::set_ambient_span(span);
+      if (!co_await ctx_.dir.announce(host_, addr, root)) co_return false;
+    }
     // All replica uploads launch together: their leaves queue FIFO on our
     // uplink, so the first copy lands exactly as fast as a lone upload and
     // the rest trail right behind it — no idle uplink between replicas, and
     // downloaders stripe across copies as each leaf's record appears.
     std::size_t copies = 0;
     sim::TaskGroup puts(ctx_.sim);
-    auto put_replica = [this, &data, &root, &rec, &copies](std::uint32_t node_id)
+    auto put_replica = [this, &data, &root, &rec, &copies, span](std::uint32_t node_id)
         -> sim::Task<void> {
+      // Spawned: re-arm the enclosing span explicitly.
+      obs::set_ambient_span(span);
       const auto got = co_await ctx_.swarm.put_with_retry(node_id, host_, data,
                                                           ctx_.spec.options.retry, -1, &rec.rpc);
       if (!got) {
@@ -473,7 +506,10 @@ sim::Task<bool> Aggregator::upload_and_announce(std::uint32_t iter, const Payloa
     }
     // A failed target leaves us short a replica: spread node-to-node.
     if (copies < want_copies) ctx_.swarm.replicate_background(root, want_copies);
-    if (!announce_early) co_return co_await ctx_.dir.announce(host_, addr, root);
+    if (!announce_early) {
+      obs::set_ambient_span(span);
+      co_return co_await ctx_.dir.announce(host_, addr, root);
+    }
     co_return true;
   }
 
@@ -481,6 +517,7 @@ sim::Task<bool> Aggregator::upload_and_announce(std::uint32_t iter, const Payloa
   std::size_t copies = 0;
   for (std::size_t k = 0; k < provs.size() && copies < want_copies; ++k) {
     const std::uint32_t node_id = provs[(global_id_ + k) % provs.size()];
+    obs::set_ambient_span(span);
     const auto got = co_await ctx_.swarm.put_with_retry(node_id, host_, data,
                                                         ctx_.spec.options.retry, -1, &rec.rpc);
     if (!got) {
@@ -497,6 +534,7 @@ sim::Task<bool> Aggregator::upload_and_announce(std::uint32_t iter, const Payloa
     co_return false;
   }
   if (out_cid != nullptr) *out_cid = cid;
+  obs::set_ambient_span(span);
   co_return co_await ctx_.dir.announce(host_, addr, cid);
 }
 

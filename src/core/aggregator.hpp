@@ -48,24 +48,29 @@ class Aggregator {
   };
 
   /// Phase 1: collect gradients of the given trainer set. Used both for our
-  /// own T_ij and for covering an offline peer's set.
+  /// own T_ij and for covering an offline peer's set. `span` is the obs span
+  /// the phase's transfers attribute to (explicit because the fetch/merge
+  /// helpers are spawned, and ambient span context cannot cross a spawn).
   [[nodiscard]] sim::Task<GatherResult> gather(std::uint32_t iter,
                                                const std::vector<std::uint32_t>& trainers,
-                                               sim::TimeNs deadline, AggregatorRecord& rec);
+                                               sim::TimeNs deadline, AggregatorRecord& rec,
+                                               obs::SpanId span);
 
   /// Phase 2: multi-aggregator synchronization; returns the global payload.
   [[nodiscard]] sim::Task<std::optional<Payload>> synchronize(std::uint32_t iter,
                                                               sim::TimeNs round_start,
                                                               Payload own_partial,
                                                               RoundMetrics& metrics,
-                                                              AggregatorRecord& rec);
+                                                              AggregatorRecord& rec,
+                                                              obs::SpanId parent_span);
 
   /// Uploads `payload` to our first provider and announces it; stores the
   /// resulting CID through `out_cid` when non-null. Retries/failovers are
   /// recorded in `rec.rpc`.
   [[nodiscard]] sim::Task<bool> upload_and_announce(std::uint32_t iter, const Payload& payload,
                                                     directory::EntryType type,
-                                                    AggregatorRecord& rec, ipfs::Cid* out_cid);
+                                                    AggregatorRecord& rec, ipfs::Cid* out_cid,
+                                                    obs::SpanId span);
 
   /// Applies this aggregator's malicious behaviour to a formed partial.
   void corrupt(Payload& partial, const std::vector<std::uint32_t>& trainers,

@@ -10,6 +10,7 @@
 #include "directory/directory.hpp"
 #include "ipfs/pubsub.hpp"
 #include "ipfs/swarm.hpp"
+#include "obs/trace.hpp"
 #include "sim/net.hpp"
 #include "sim/simulator.hpp"
 
@@ -31,6 +32,10 @@ struct Context {
   /// go through the engine so per-round crypto stats are collected in one
   /// place. (Assigned by the Deployment after construction.)
   crypto::Engine* engine = nullptr;
+  /// obs span of the round currently executing (0 outside a round /
+  /// tracing off). Set by Deployment::run_round; actors parent their
+  /// per-host "round" spans under it.
+  obs::SpanId round_span = 0;
 
   /// Simulated compute cost of committing/verifying an `elements`-long
   /// vector. Uses the calibrated rate when calibration ran (the runner

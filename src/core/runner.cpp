@@ -6,7 +6,9 @@
 
 #include "common/log.hpp"
 #include "crypto/encoding.hpp"
+#include "obs/metrics.hpp"
 #include "sim/datapath.hpp"
+#include "sim/span.hpp"
 
 namespace dfl::core {
 
@@ -15,6 +17,59 @@ namespace {
 sim::HostConfig participant_link(const DeploymentConfig& cfg) {
   return sim::HostConfig{cfg.participant_mbps * 1e6, cfg.participant_mbps * 1e6,
                          cfg.link_latency};
+}
+
+/// Publishes the process-wide data-plane counters into the global registry.
+/// Registered once: the stats are process-global, not per-deployment.
+void register_datapath_collector() {
+  static const bool once = [] {
+    obs::Registry::global().register_collector("datapath", [](obs::Registry& r) {
+      const sim::DataPathStats& s = sim::datapath_stats();
+      r.counter("dfl.datapath.bytes_copied").set(s.bytes_copied);
+      r.counter("dfl.datapath.bytes_shared").set(s.bytes_shared);
+      r.counter("dfl.datapath.blocks_hashed").set(s.blocks_hashed);
+      r.counter("dfl.datapath.cid_cache_hits").set(s.cid_cache_hits);
+      r.counter("dfl.datapath.blocks_created").set(s.blocks_created);
+      r.counter("dfl.datapath.chunked_transfers").set(s.chunked_transfers);
+      r.counter("dfl.datapath.chunks_delivered").set(s.chunks_delivered);
+      r.gauge("dfl.datapath.resident_block_bytes")
+          .set(static_cast<double>(s.resident_block_bytes));
+      r.gauge("dfl.datapath.peak_resident_block_bytes")
+          .set(static_cast<double>(s.peak_resident_block_bytes));
+      r.gauge("dfl.datapath.copy_reduction_factor").set(s.copy_reduction_factor());
+    });
+    return true;
+  }();
+  (void)once;
+}
+
+/// Folds one finished round into the global registry: resilience counters
+/// accumulate, per-phase delays land in log-bucket histograms (millisecond
+/// resolution — ≤12.5% bucket error at sub_bucket_bits=3).
+void publish_round_metrics(const RoundMetrics& m) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("dfl.rounds_total").add(1);
+  reg.counter("dfl.rejected_updates_total").add(static_cast<std::uint64_t>(m.rejected_updates));
+  const ipfs::RetryStats rpc = m.rpc_totals();
+  reg.counter("dfl.rpc.attempts_total").add(rpc.attempts);
+  reg.counter("dfl.rpc.retries_total").add(rpc.retries);
+  reg.counter("dfl.rpc.timeouts_total").add(rpc.timeouts);
+  reg.counter("dfl.rpc.failovers_total").add(rpc.failovers);
+  reg.counter("dfl.rpc.giveups_total").add(rpc.giveups);
+  reg.counter("dfl.sim.events_total").add(m.datapath.sim_events);
+
+  auto record_ms = [&reg](const char* name, double seconds) {
+    if (seconds < 0) return;  // -1 sentinel: phase never completed
+    reg.histogram(name).record(static_cast<std::uint64_t>(seconds * 1e3));
+  };
+  record_ms("dfl.round.upload_delay_ms", m.mean_upload_delay_s());
+  record_ms("dfl.round.aggregation_delay_ms", m.mean_aggregation_delay_s());
+  record_ms("dfl.round.total_aggregation_delay_ms", m.total_aggregation_delay_s());
+  record_ms("dfl.round.sync_delay_ms", m.mean_sync_delay_s());
+  if (m.round_done >= 0) {
+    record_ms("dfl.round.duration_ms", sim::to_seconds(m.round_done - m.round_start));
+  }
+  reg.histogram("dfl.round.wall_ms").record(m.datapath.wall_ns / 1000000);
 }
 
 }  // namespace
@@ -105,9 +160,37 @@ Deployment::Deployment(DeploymentConfig config, std::unique_ptr<GradientSource> 
     fault_ = std::make_unique<sim::FaultInjector>(*net_, config_.fault_plan);
     fault_->arm();
   }
+
+  // Subsume the scattered per-subsystem stats under the metrics registry:
+  // collectors read the existing structs at snapshot() time, so the hot
+  // paths keep their plain counters and RoundMetrics deltas are untouched.
+  // The crypto/net collectors capture `this` and are unregistered in the
+  // destructor; with several live Deployments the last one constructed
+  // owns the names (snapshot() then reports that deployment).
+  register_datapath_collector();
+  obs::Registry::global().register_collector("net", [this](obs::Registry& r) {
+    r.counter("dfl.net.bytes_total").set(net_->total_bytes_transferred());
+    r.counter("dfl.net.mid_transfer_failures").set(net_->mid_transfer_failures());
+    r.counter("dfl.net.transfers_dropped").set(net_->transfers_dropped());
+    r.counter("dfl.net.trace_records").set(net_->trace().size());
+    r.counter("dfl.net.trace_dropped").set(net_->trace().dropped());
+  });
+  obs::Registry::global().register_collector("crypto", [this](obs::Registry& r) {
+    if (!engine_) return;
+    const crypto::EngineStats s = engine_->stats();
+    r.counter("dfl.crypto.commits").set(s.commits);
+    r.counter("dfl.crypto.verifies").set(s.verifies);
+    r.counter("dfl.crypto.batch_verifies").set(s.batch_verifies);
+    r.counter("dfl.crypto.committed_elements").set(s.committed_elements);
+    r.counter("dfl.crypto.commit_wall_ns").set(s.commit_wall_ns);
+    r.counter("dfl.crypto.verify_wall_ns").set(s.verify_wall_ns);
+  });
 }
 
-Deployment::~Deployment() = default;
+Deployment::~Deployment() {
+  obs::Registry::global().unregister_collector("net");
+  obs::Registry::global().unregister_collector("crypto");
+}
 
 RoundMetrics Deployment::run_round(std::uint32_t iter) {
   RoundMetrics metrics;
@@ -121,6 +204,12 @@ RoundMetrics Deployment::run_round(std::uint32_t iter) {
   const std::uint64_t events_before = sim_->events_processed();
   const auto wall_start = std::chrono::steady_clock::now();
 
+  // The round umbrella span lives on the process track; every actor's
+  // per-host "round" span parents under it via ctx_->round_span.
+  sim::ScopedSpan round_span(*sim_, "round", obs::kProcessTrack);
+  round_span.attr("iter", static_cast<std::int64_t>(iter));
+  ctx_->round_span = round_span.id();
+
   for (auto& t : trainers_) {
     sim_->spawn(t->run_round(iter, metrics.round_start, metrics));
   }
@@ -129,6 +218,8 @@ RoundMetrics Deployment::run_round(std::uint32_t iter) {
   }
   // Run to quiescence: every actor either finished or timed out by t_sync.
   sim_->run();
+  ctx_->round_span = 0;
+  round_span.close();
 
   metrics.datapath.stats = sim::datapath_stats().since(dp_before);
   metrics.datapath.sim_events = sim_->events_processed() - events_before;
@@ -161,6 +252,7 @@ RoundMetrics Deployment::run_round(std::uint32_t iter) {
   if (!last_global_update_.empty()) {
     source_->apply_global_update(last_global_update_, iter);
   }
+  publish_round_metrics(metrics);
   return metrics;
 }
 

@@ -1,0 +1,56 @@
+#include "core/trace_export.hpp"
+
+#include <ostream>
+
+namespace dfl::core {
+
+namespace {
+
+/// Payload bytes below which an untagged transfer is drawn as a control
+/// frame ("ctl": directory RPCs, acks, pub/sub hashes) rather than a bulk
+/// payload move. Chosen comfortably above every fixed-size control message
+/// in the protocol and far below any gradient partition.
+constexpr std::uint64_t kCtlPayloadBytes = 1024;
+
+}  // namespace
+
+std::vector<obs::WireSlice> wire_slices(const sim::Network& net) {
+  std::vector<obs::WireSlice> out;
+  out.reserve(net.trace().size());
+  const std::uint64_t overhead = net.per_message_overhead();
+  for (const sim::TransferRecord& r : net.trace()) {
+    obs::WireSlice w;
+    w.id = r.id;
+    w.parent = r.parent_span;
+    w.track = r.from;
+    w.issued_ns = r.issued_at;
+    w.start_ns = r.start;
+    w.end_ns = r.delivered;
+    const std::uint64_t payload = r.wire_bytes > overhead ? r.wire_bytes - overhead : 0;
+    if (r.dag_root != 0) {
+      w.name = "chunk_xfer";
+      w.attrs.push_back(obs::SpanAttr{"leaf", {}, r.dag_leaf, true});
+    } else {
+      w.name = payload <= kCtlPayloadBytes ? "ctl" : "xfer";
+    }
+    w.attrs.push_back(obs::SpanAttr{"bytes", {}, static_cast<std::int64_t>(r.wire_bytes), true});
+    w.attrs.push_back(obs::SpanAttr{"to", {}, static_cast<std::int64_t>(r.to), true});
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+void name_host_tracks(sim::Network& net) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  for (std::uint32_t id = 0; id < net.host_count(); ++id) {
+    tracer.set_track_name(id, net.host(id).name());
+  }
+  tracer.set_track_name(obs::kProcessTrack, "rounds");
+}
+
+void write_trace(std::ostream& os, sim::Network& net) {
+  name_host_tracks(net);
+  obs::write_perfetto(os, obs::Tracer::instance().snapshot(), wire_slices(net));
+}
+
+}  // namespace dfl::core

@@ -1,0 +1,30 @@
+// Bridges the simulation's observability data into the obs exporters:
+// converts sim::Network transfer records into obs::WireSlice rows (naming
+// chunked-plane traffic "chunk_xfer", small control frames "ctl", bulk
+// monolithic moves "xfer") and names each host's track after the host, so
+// the Perfetto export shows per-host protocol lanes with the wire activity
+// underneath. Lives in core because obs must not depend on sim types.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "sim/net.hpp"
+
+namespace dfl::core {
+
+/// Converts the network's retained transfer trace (net.trace()) into wire
+/// slices for obs::write_perfetto. Requires net.set_tracing(true) during
+/// the run; an empty trace yields an empty vector.
+[[nodiscard]] std::vector<obs::WireSlice> wire_slices(const sim::Network& net);
+
+/// Registers every host's name as its obs track name (track id == host id)
+/// plus the process track ("rounds"), so the export is human-readable.
+void name_host_tracks(sim::Network& net);
+
+/// One-call export: names tracks, snapshots the tracer, converts the
+/// network trace, and writes the complete Chrome trace_event document.
+void write_trace(std::ostream& os, sim::Network& net);
+
+}  // namespace dfl::core

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/log.hpp"
+#include "sim/span.hpp"
 
 namespace dfl::core {
 
@@ -16,6 +17,9 @@ sim::Task<void> Trainer::run_round(std::uint32_t iter, sim::TimeNs round_start,
     rec.update_missing = true;
     co_return;
   }
+  sim::ScopedSpan round_span(ctx_.sim, "round", host_.id(), ctx_.round_span);
+  round_span.attr("trainer", static_cast<std::int64_t>(id_));
+  round_span.attr("iter", static_cast<std::int64_t>(iter));
   const sim::TimeNs t_train_abs = round_start + ctx_.spec.schedule.t_train;
   const sim::TimeNs t_sync_abs = round_start + ctx_.spec.schedule.t_sync;
 
@@ -25,16 +29,26 @@ sim::Task<void> Trainer::run_round(std::uint32_t iter, sim::TimeNs round_start,
   if (behavior_ == TrainerBehavior::kSlow) {
     train_time = ctx_.spec.schedule.t_train + sim::from_seconds(1);
   }
-  co_await ctx_.sim.sleep(train_time);
+  {
+    sim::ScopedSpan train_span(ctx_.sim, "train", host_.id(), round_span.id());
+    co_await ctx_.sim.sleep(train_time);
+  }
   if (ctx_.sim.now() > t_train_abs) {
     // Algorithm 1 line 10: abort the iteration if training missed t_train.
     rec.aborted = true;
+    round_span.attr("aborted", std::int64_t{1});
     DFL_DEBUG("trainer") << "t" << id_ << " aborted iter " << iter << " (missed t_train)";
     co_return;
   }
 
-  co_await upload_gradients(iter, grad, t_sync_abs, metrics, rec);
-  co_await download_updates(iter, t_sync_abs, rec);
+  {
+    sim::ScopedSpan upload_span(ctx_.sim, "upload", host_.id(), round_span.id());
+    co_await upload_gradients(iter, grad, t_sync_abs, metrics, rec, upload_span.id());
+  }
+  {
+    sim::ScopedSpan download_span(ctx_.sim, "download", host_.id(), round_span.id());
+    co_await download_updates(iter, t_sync_abs, rec, download_span.id());
+  }
   if (!rec.update_missing) {
     rec.model_ready_at = ctx_.sim.now();
   }
@@ -43,7 +57,7 @@ sim::Task<void> Trainer::run_round(std::uint32_t iter, sim::TimeNs round_start,
 sim::Task<void> Trainer::upload_gradients(std::uint32_t iter,
                                           const std::vector<std::int64_t>& grad,
                                           sim::TimeNs deadline, RoundMetrics& metrics,
-                                          TrainerRecord& rec) {
+                                          TrainerRecord& rec, obs::SpanId span) {
   const bool batched = ctx_.spec.options.batched_announce;
   std::vector<directory::BatchItem> batch;
 
@@ -56,6 +70,8 @@ sim::Task<void> Trainer::upload_gradients(std::uint32_t iter,
 
     std::optional<crypto::Commitment> commitment;
     if (ctx_.spec.options.verifiable) {
+      sim::ScopedSpan commit_span(ctx_.sim, "commit", host_.id(), span);
+      commit_span.attr("partition", static_cast<std::int64_t>(p));
       commitment = ctx_.commit(payload.values);
       co_await ctx_.sim.sleep(ctx_.commit_cost(payload.values.size()));
     }
@@ -80,6 +96,7 @@ sim::Task<void> Trainer::upload_gradients(std::uint32_t iter,
       // still on our uplink. This supersedes batched_announce for gradients
       // (per-partition early announces buy overlap that batching can't).
       cid = ipfs::Chunker(ctx_.spec.options.chunk_size).root_cid(data);
+      obs::set_ambient_span(span);
       announced_early = co_await ctx_.dir.announce(host_, addr, cid, commitment);
       if (announced_early) {
         metrics.note_gradient_announce(ctx_.sim.now());
@@ -90,6 +107,7 @@ sim::Task<void> Trainer::upload_gradients(std::uint32_t iter,
     bool stored = false;
     const sim::TimeNs upload_start = ctx_.sim.now();
     for (const std::uint32_t target : targets) {
+      obs::set_ambient_span(span);
       const auto got = co_await ctx_.swarm.put_with_retry(target, host_, data,
                                                           ctx_.spec.options.retry, deadline,
                                                           &rec.rpc);
@@ -124,6 +142,7 @@ sim::Task<void> Trainer::upload_gradients(std::uint32_t iter,
       batch.push_back(directory::BatchItem{addr, cid, commitment});
       continue;
     }
+    obs::set_ambient_span(span);
     const bool accepted = co_await ctx_.dir.announce(host_, addr, cid, commitment);
     if (accepted) {
       metrics.note_gradient_announce(ctx_.sim.now());
@@ -133,6 +152,7 @@ sim::Task<void> Trainer::upload_gradients(std::uint32_t iter,
   }
 
   if (batched && !batch.empty()) {
+    obs::set_ambient_span(span);
     const bool accepted = co_await ctx_.dir.announce_batch(host_, std::move(batch));
     if (accepted) {
       metrics.note_gradient_announce(ctx_.sim.now());
@@ -143,7 +163,7 @@ sim::Task<void> Trainer::upload_gradients(std::uint32_t iter,
 }
 
 sim::Task<void> Trainer::download_updates(std::uint32_t iter, sim::TimeNs deadline,
-                                          TrainerRecord& rec) {
+                                          TrainerRecord& rec, obs::SpanId span) {
   last_update_.assign(ctx_.spec.num_params(), 0.0);
   const sim::TimeNs grace = ctx_.spec.schedule.t_sync / 2;
   const sim::TimeNs cutoff = deadline + grace;
@@ -159,6 +179,7 @@ sim::Task<void> Trainer::download_updates(std::uint32_t iter, sim::TimeNs deadli
     // Every download is bounded by the round cutoff: a straggling or dead
     // provider costs retries, never a hung round.
     while (!got) {
+      obs::set_ambient_span(span);
       const auto entries = co_await ctx_.dir.poll(host_, static_cast<std::uint32_t>(p), iter,
                                                   directory::EntryType::kGlobalUpdate);
       if (!entries.empty()) {
@@ -166,6 +187,7 @@ sim::Task<void> Trainer::download_updates(std::uint32_t iter, sim::TimeNs deadli
         Block data;
         bool fetched = false;
         try {
+          obs::set_ambient_span(span);
           data = co_await ctx_.swarm.fetch_with_retry(host_, entries.front().cid,
                                                       ctx_.spec.options.retry, cutoff,
                                                       &rec.rpc);
@@ -186,6 +208,7 @@ sim::Task<void> Trainer::download_updates(std::uint32_t iter, sim::TimeNs deadli
           if (audit) {
             // Don't take the directory's word for it: re-check the payload
             // against the accumulated partition commitment locally.
+            obs::set_ambient_span(span);
             audit_cs.push_back(co_await ctx_.dir.partition_commitment(
                 host_, static_cast<std::uint32_t>(p), iter));
             audit_values.push_back(std::move(payload.values));

@@ -37,9 +37,9 @@ class Trainer {
   [[nodiscard]] sim::Task<void> upload_gradients(std::uint32_t iter,
                                                  const std::vector<std::int64_t>& grad,
                                                  sim::TimeNs deadline, RoundMetrics& metrics,
-                                                 TrainerRecord& rec);
+                                                 TrainerRecord& rec, obs::SpanId span);
   [[nodiscard]] sim::Task<void> download_updates(std::uint32_t iter, sim::TimeNs deadline,
-                                                 TrainerRecord& rec);
+                                                 TrainerRecord& rec, obs::SpanId span);
 
   Context& ctx_;
   std::uint32_t id_;

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "crypto/sha256.hpp"
+#include "obs/trace.hpp"
 
 namespace dfl::crypto {
 
@@ -58,29 +59,43 @@ Engine::Engine(PedersenKey& key, EngineConfig cfg)
 Engine::~Engine() { key_.set_pool(nullptr); }
 
 Commitment Engine::commit(const std::vector<std::int64_t>& values) {
+  // Wall-clock span: crypto is real compute under the simulator, so it is
+  // drawn on the wall-time track of whatever thread runs it.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  obs::SpanToken span = tracer.begin_wall("commit");
+  tracer.attr(span, "elements", static_cast<std::int64_t>(values.size()));
   const std::uint64_t t0 = now_ns();
   Commitment c = key_.commit(values);
   commit_wall_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
   commits_.fetch_add(1, std::memory_order_relaxed);
   committed_elements_.fetch_add(values.size(), std::memory_order_relaxed);
+  tracer.end_wall(span);
   return c;
 }
 
 bool Engine::verify(const Commitment& c, const std::vector<std::int64_t>& values) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  obs::SpanToken span = tracer.begin_wall("verify");
+  tracer.attr(span, "elements", static_cast<std::int64_t>(values.size()));
   const std::uint64_t t0 = now_ns();
   const bool ok = key_.verify(c, values);
   verify_wall_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
   verifies_.fetch_add(1, std::memory_order_relaxed);
+  tracer.end_wall(span);
   return ok;
 }
 
 bool Engine::verify_batch(const std::vector<Commitment>& cs,
                           const std::vector<std::vector<std::int64_t>>& values) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  obs::SpanToken span = tracer.begin_wall("verify_batch");
+  tracer.attr(span, "openings", static_cast<std::int64_t>(cs.size()));
   const std::uint64_t t0 = now_ns();
   Rng rng(transcript_seed(cs, values));
   const bool ok = key_.verify_batch(cs, values, rng);
   verify_wall_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
   batch_verifies_.fetch_add(1, std::memory_order_relaxed);
+  tracer.end_wall(span);
   return ok;
 }
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace dfl::directory {
 
@@ -70,8 +71,10 @@ void DirectoryService::upsert_row(const Addr& addr, const ipfs::Cid& cid) {
 
 sim::Task<bool> DirectoryService::announce(sim::Host& caller, Addr addr, ipfs::Cid cid,
                                            std::optional<crypto::Commitment> commitment) {
+  const obs::SpanId parent = obs::take_ambient_span();
   std::uint64_t msg = config_.addr_bytes + config_.cid_bytes;
   if (commitment) msg += config_.commitment_bytes;
+  obs::set_ambient_span(parent);
   co_await net_.transfer(caller, host_, msg);
   ++stats_.announcements;
   ++stats_.announce_messages;
@@ -79,6 +82,7 @@ sim::Task<bool> DirectoryService::announce(sim::Host& caller, Addr addr, ipfs::C
 
   if (addr.type == EntryType::kGradient) {
     const bool ok = register_gradient(addr, cid, commitment);
+    obs::set_ambient_span(parent);
     co_await net_.transfer(host_, caller, 1);
     co_return ok;
   }
@@ -93,6 +97,7 @@ sim::Task<bool> DirectoryService::announce(sim::Host& caller, Addr addr, ipfs::C
       bool ok = accit != partition_acc_.end();
       if (ok) {
         try {
+          obs::set_ambient_span(parent);
           const Block payload = co_await swarm_.fetch(host_, cid);
           ok = verifier_->verify(payload, accit->second);
         } catch (const std::exception& e) {
@@ -105,6 +110,7 @@ sim::Task<bool> DirectoryService::announce(sim::Host& caller, Addr addr, ipfs::C
         DFL_WARN("directory") << "REJECTED global update for partition " << addr.partition_id
                               << " iter " << addr.iter << " from aggregator "
                               << addr.uploader_id;
+        obs::set_ambient_span(parent);
         co_await net_.transfer(host_, caller, 1);
         co_return false;
       }
@@ -112,12 +118,14 @@ sim::Task<bool> DirectoryService::announce(sim::Host& caller, Addr addr, ipfs::C
   }
 
   upsert_row(addr, cid);
+  obs::set_ambient_span(parent);
   co_await net_.transfer(host_, caller, 1);  // ack
   co_return true;
 }
 
 sim::Task<bool> DirectoryService::announce_batch(sim::Host& caller,
                                                  std::vector<BatchItem> items) {
+  const obs::SpanId parent = obs::take_ambient_span();
   std::uint64_t msg = 4;  // count prefix
   for (const BatchItem& item : items) {
     if (item.addr.type != EntryType::kGradient) {
@@ -126,6 +134,7 @@ sim::Task<bool> DirectoryService::announce_batch(sim::Host& caller,
     msg += config_.addr_bytes + config_.cid_bytes;
     if (item.commitment) msg += config_.commitment_bytes;
   }
+  obs::set_ambient_span(parent);
   co_await net_.transfer(caller, host_, msg);
   stats_.announcements += items.size();
   ++stats_.announce_messages;
@@ -135,6 +144,7 @@ sim::Task<bool> DirectoryService::announce_batch(sim::Host& caller,
   for (const BatchItem& item : items) {
     all_ok = register_gradient(item.addr, item.cid, item.commitment) && all_ok;
   }
+  obs::set_ambient_span(parent);
   co_await net_.transfer(host_, caller, 1);  // ack
   co_return all_ok;
 }
@@ -142,6 +152,8 @@ sim::Task<bool> DirectoryService::announce_batch(sim::Host& caller,
 sim::Task<std::vector<Entry>> DirectoryService::poll(sim::Host& caller,
                                                      std::uint32_t partition_id,
                                                      std::uint32_t iter, EntryType type) {
+  const obs::SpanId parent = obs::take_ambient_span();
+  obs::set_ambient_span(parent);
   co_await net_.transfer(caller, host_, config_.addr_bytes);
   ++stats_.polls;
   stats_.bytes_in += config_.addr_bytes;
@@ -149,17 +161,21 @@ sim::Task<std::vector<Entry>> DirectoryService::poll(sim::Host& caller,
   const std::uint64_t reply =
       result.size() * (config_.cid_bytes + 4) + 4;  // uploader ids + count
   stats_.bytes_out += reply;
+  obs::set_ambient_span(parent);
   co_await net_.transfer(host_, caller, reply);
   co_return result;
 }
 
 sim::Task<std::optional<ipfs::Cid>> DirectoryService::lookup(sim::Host& caller, Addr addr) {
+  const obs::SpanId parent = obs::take_ambient_span();
+  obs::set_ambient_span(parent);
   co_await net_.transfer(caller, host_, config_.addr_bytes);
   ++stats_.lookups;
   stats_.bytes_in += config_.addr_bytes;
   const auto result = find(addr);
   const std::uint64_t reply = result ? config_.cid_bytes : 1;
   stats_.bytes_out += reply;
+  obs::set_ambient_span(parent);
   co_await net_.transfer(host_, caller, reply);
   co_return result;
 }
@@ -167,6 +183,8 @@ sim::Task<std::optional<ipfs::Cid>> DirectoryService::lookup(sim::Host& caller, 
 sim::Task<crypto::Commitment> DirectoryService::partition_commitment(sim::Host& caller,
                                                                      std::uint32_t partition_id,
                                                                      std::uint32_t iter) {
+  const obs::SpanId parent = obs::take_ambient_span();
+  obs::set_ambient_span(parent);
   co_await net_.transfer(caller, host_, config_.addr_bytes);
   ++stats_.lookups;
   const auto it = partition_acc_.find({partition_id, iter});
@@ -174,6 +192,7 @@ sim::Task<crypto::Commitment> DirectoryService::partition_commitment(sim::Host& 
     throw std::runtime_error("directory: no accumulated commitment for partition");
   }
   stats_.bytes_out += config_.commitment_bytes;
+  obs::set_ambient_span(parent);
   co_await net_.transfer(host_, caller, config_.commitment_bytes);
   co_return it->second;
 }
@@ -181,6 +200,8 @@ sim::Task<crypto::Commitment> DirectoryService::partition_commitment(sim::Host& 
 sim::Task<crypto::Commitment> DirectoryService::aggregator_commitment(
     sim::Host& caller, std::uint32_t partition_id, std::uint32_t aggregator_id,
     std::uint32_t iter) {
+  const obs::SpanId parent = obs::take_ambient_span();
+  obs::set_ambient_span(parent);
   co_await net_.transfer(caller, host_, config_.addr_bytes);
   ++stats_.lookups;
   const auto it = aggregator_acc_.find(std::make_tuple(partition_id, aggregator_id, iter));
@@ -188,6 +209,7 @@ sim::Task<crypto::Commitment> DirectoryService::aggregator_commitment(
     throw std::runtime_error("directory: no accumulated commitment for aggregator");
   }
   stats_.bytes_out += config_.commitment_bytes;
+  obs::set_ambient_span(parent);
   co_await net_.transfer(host_, caller, config_.commitment_bytes);
   co_return it->second;
 }
@@ -195,6 +217,8 @@ sim::Task<crypto::Commitment> DirectoryService::aggregator_commitment(
 sim::Task<std::vector<std::pair<std::uint32_t, crypto::Commitment>>>
 DirectoryService::gradient_commitments(sim::Host& caller, std::uint32_t partition_id,
                                        std::uint32_t iter) {
+  const obs::SpanId parent = obs::take_ambient_span();
+  obs::set_ambient_span(parent);
   co_await net_.transfer(caller, host_, config_.addr_bytes);
   ++stats_.lookups;
   std::vector<std::pair<std::uint32_t, crypto::Commitment>> result;
@@ -202,6 +226,7 @@ DirectoryService::gradient_commitments(sim::Host& caller, std::uint32_t partitio
   if (it != gradient_commitments_.end()) result = it->second;
   const std::uint64_t reply = result.size() * (config_.commitment_bytes + 4) + 4;
   stats_.bytes_out += reply;
+  obs::set_ambient_span(parent);
   co_await net_.transfer(host_, caller, reply);
   co_return result;
 }

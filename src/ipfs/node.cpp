@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ipfs/swarm.hpp"
+#include "obs/trace.hpp"
 #include "sim/datapath.hpp"
 #include "sim/sync.hpp"
 
@@ -22,6 +23,11 @@ Bytes BlockMerger::merge_range(const std::vector<BytesView>& parts, std::uint64_
 }
 
 sim::Task<Cid> IpfsNode::put(sim::Host& caller, Block data) {
+  // Capture the caller's span context at entry (consume-once; see
+  // obs/trace.hpp) and re-establish it before every transfer we issue —
+  // each transfer consumes it, and suspensions in between would otherwise
+  // let an unrelated coroutine's context leak in.
+  const obs::SpanId parent = obs::take_ambient_span();
   if (config_.chunking.mode == ChunkingMode::kDag) {
     // Client-side chunking: the caller splits the content, then streams the
     // manifest (first — it unlocks downstream fetches) and every leaf as
@@ -37,38 +43,45 @@ sim::Task<Cid> IpfsNode::put(sim::Host& caller, Block data) {
     // reserved ~pipeline_depth chunks ahead, never for the whole blob, so
     // concurrent traffic interleaves at chunk granularity (cut-through).
     co_await receive_block(caller, std::move(dag.manifest), tag,
-                           sim::TransferRecord::kManifestLeaf);
+                           sim::TransferRecord::kManifestLeaf, parent);
     co_await sim::for_each_windowed(
         net_.simulator(), dag.leaves.size(), config_.chunking.pipeline_depth,
-        [&](std::size_t i) {
+        [&, parent](std::size_t i) {
           return receive_block(caller, std::move(dag.leaves[i]), tag,
-                               static_cast<std::int32_t>(i));
+                               static_cast<std::int32_t>(i), parent);
         });
+    obs::set_ambient_span(parent);
     co_await net_.transfer(host_, caller, 0);  // ack (framing overhead only)
     co_return root;
   }
   // Payload travels caller -> node, then a small ack travels back.
+  obs::set_ambient_span(parent);
   co_await net_.transfer(caller, host_, data.size());
   const Cid cid = put_local(std::move(data));
+  obs::set_ambient_span(parent);
   co_await net_.transfer(host_, caller, 0);  // ack (framing overhead only)
   co_return cid;
 }
 
 sim::Task<void> IpfsNode::receive_block(sim::Host& caller, Block block, std::uint64_t tag,
-                                        std::int32_t leaf_index) {
+                                        std::int32_t leaf_index, std::uint64_t parent_span) {
+  obs::set_ambient_span(parent_span);
   co_await net_.transfer(caller, host_, block.size(), tag, leaf_index);
   put_local(std::move(block));
 }
 
 sim::Task<Block> IpfsNode::get(sim::Host& caller, Cid cid) {
+  const obs::SpanId parent = obs::take_ambient_span();
+  obs::set_ambient_span(parent);
   co_await net_.transfer(caller, host_, 0);  // request
   if (config_.chunking.mode == ChunkingMode::kDag) {
     if (auto manifest = dag_manifest(cid)) {
-      co_return co_await get_dag(caller, cid, std::move(*manifest));
+      co_return co_await get_dag(caller, cid, std::move(*manifest), parent);
     }
   }
   auto block = store_.get(cid);
   if (!block) throw NotFoundError(cid);
+  obs::set_ambient_span(parent);
   co_await net_.transfer(host_, caller, block->size());
   // Chaos hook: a faulty node (or link) may corrupt the served bytes.
   // mutate_copy is the explicit CoW path: the stored replica (and any other
@@ -86,13 +99,15 @@ sim::Task<Block> IpfsNode::get(sim::Host& caller, Cid cid) {
   co_return *std::move(block);
 }
 
-sim::Task<Block> IpfsNode::get_dag(sim::Host& caller, Cid root, DagManifest manifest) {
+sim::Task<Block> IpfsNode::get_dag(sim::Host& caller, Cid root, DagManifest manifest,
+                                   std::uint64_t parent_span) {
   const std::uint64_t tag = cid_prefix64(root);
   sim::Simulator& sim = net_.simulator();
   const sim::TimeNs t0 = sim.now();
   const sim::TimeNs deadline = t0 + config_.chunking.leaf_wait;
   const std::size_t n = manifest.leaf_count();
   if (n == 0) {
+    obs::set_ambient_span(parent_span);
     co_await net_.transfer(host_, caller, 0, tag, -1);
     co_return Block(Bytes{});
   }
@@ -104,7 +119,7 @@ sim::Task<Block> IpfsNode::get_dag(sim::Host& caller, Cid root, DagManifest mani
   sim::TimeNs last = 0;
   co_await sim::for_each_windowed(sim, n, config_.chunking.pipeline_depth, [&](std::size_t i) {
     return serve_leaf(caller, manifest.leaves[i], tag, static_cast<std::int32_t>(i), deadline,
-                      &leaves[i], &first, &last);
+                      &leaves[i], &first, &last, parent_span);
   });
   sim::note_chunked_transfer(static_cast<std::uint64_t>(first < 0 ? 0 : first - t0),
                              static_cast<std::uint64_t>(last - t0), n);
@@ -113,12 +128,14 @@ sim::Task<Block> IpfsNode::get_dag(sim::Host& caller, Cid root, DagManifest mani
 
 sim::Task<void> IpfsNode::serve_leaf(sim::Host& caller, Cid leaf, std::uint64_t tag,
                                      std::int32_t leaf_index, sim::TimeNs deadline, Block* out,
-                                     sim::TimeNs* first, sim::TimeNs* last) {
+                                     sim::TimeNs* first, sim::TimeNs* last,
+                                     std::uint64_t parent_span) {
   if (!co_await await_block(leaf, deadline)) {
     throw UnavailableError("ipfs get: leaf " + leaf.to_hex() + " never arrived");
   }
   auto block = store_.get(leaf);
   if (!block) throw NotFoundError(leaf);
+  obs::set_ambient_span(parent_span);
   co_await net_.transfer(host_, caller, block->size(), tag, leaf_index);
   const sim::TimeNs now = net_.simulator().now();
   if (*first < 0) *first = now;
@@ -134,6 +151,8 @@ sim::Task<void> IpfsNode::serve_leaf(sim::Host& caller, Cid leaf, std::uint64_t 
 }
 
 sim::Task<Block> IpfsNode::get_manifest(sim::Host& caller, Cid root) {
+  const obs::SpanId parent = obs::take_ambient_span();
+  obs::set_ambient_span(parent);
   co_await net_.transfer(caller, host_, 0);  // request
   const sim::TimeNs deadline = net_.simulator().now() + config_.chunking.leaf_wait;
   if (!co_await await_block(root, deadline)) {
@@ -141,6 +160,7 @@ sim::Task<Block> IpfsNode::get_manifest(sim::Host& caller, Cid root) {
   }
   auto block = store_.get(root);
   if (!block) throw NotFoundError(root);
+  obs::set_ambient_span(parent);
   co_await net_.transfer(host_, caller, block->size(), cid_prefix64(root),
                          sim::TransferRecord::kManifestLeaf);
   if (!block->verify(root)) {
@@ -151,12 +171,15 @@ sim::Task<Block> IpfsNode::get_manifest(sim::Host& caller, Cid root) {
 
 sim::Task<Block> IpfsNode::get_leaf(sim::Host& caller, Cid cid, std::uint64_t root_tag,
                                     std::int32_t leaf_index, std::uint64_t claim_ticket) {
+  const obs::SpanId parent = obs::take_ambient_span();
+  obs::set_ambient_span(parent);
   co_await net_.transfer(caller, host_, 0);  // request
   auto block = store_.get(cid);
   if (!block) throw NotFoundError(cid);
   // The serve reserves the uplink below; from here the pipe itself carries
   // the load signal, so retire the scheduler's demand claim.
   if (claim_ticket != 0 && swarm_ != nullptr) swarm_->stripe_release(claim_ticket);
+  obs::set_ambient_span(parent);
   co_await net_.transfer(host_, caller, block->size(), root_tag, leaf_index);
   if (auto* hook = net_.fault_hook();
       hook != nullptr && !block->empty() && hook->should_corrupt_payload(host_)) {
@@ -209,10 +232,12 @@ std::optional<Block> IpfsNode::peek_content(const Cid& cid) {
 
 sim::Task<Block> IpfsNode::merge_get(sim::Host& caller, std::vector<Cid> cids,
                                      const BlockMerger& merger) {
+  const obs::SpanId parent = obs::take_ambient_span();
   // Request carries the hash list (32 bytes per CID).
+  obs::set_ambient_span(parent);
   co_await net_.transfer(caller, host_, cids.size() * 32);
   if (config_.chunking.mode == ChunkingMode::kDag && !cids.empty()) {
-    co_return co_await merge_get_streaming(caller, cids, merger);
+    co_return co_await merge_get_streaming(caller, cids, merger, parent);
   }
   std::vector<Block> blocks;
   std::vector<BytesView> views;
@@ -231,12 +256,14 @@ sim::Task<Block> IpfsNode::merge_get(sim::Host& caller, std::vector<Cid> cids,
       static_cast<sim::TimeNs>(static_cast<double>(input_bytes) / config_.merge_bytes_per_sec * 1e9);
   co_await net_.simulator().sleep(compute);
   Block merged(merger.merge(views));
+  obs::set_ambient_span(parent);
   co_await net_.transfer(host_, caller, merged.size());
   co_return merged;
 }
 
 sim::Task<Block> IpfsNode::merge_get_streaming(sim::Host& caller, const std::vector<Cid>& roots,
-                                               const BlockMerger& merger) {
+                                               const BlockMerger& merger,
+                                               std::uint64_t parent_span) {
   sim::Simulator& sim = net_.simulator();
   const ChunkingConfig& ck = config_.chunking;
   const sim::TimeNs t0 = sim.now();
@@ -263,6 +290,7 @@ sim::Task<Block> IpfsNode::merge_get_streaming(sim::Host& caller, const std::vec
   if (total == 0) {
     const std::vector<BytesView> empty_views(roots.size());
     Block merged(merger.merge(empty_views));
+    obs::set_ambient_span(parent_span);
     co_await net_.transfer(host_, caller, merged.size());
     co_return merged;
   }
@@ -304,7 +332,7 @@ sim::Task<Block> IpfsNode::merge_get_streaming(sim::Host& caller, const std::vec
           static_cast<double>((boundary - shipped) * roots.size()) / config_.merge_bytes_per_sec *
           1e9);
       co_await sim.sleep(compute);
-      sends.spawn(ship_range(&caller, piece.size(), &first));
+      sends.spawn(ship_range(&caller, piece.size(), &first, parent_span));
       ++ranges;
       out.insert(out.end(), piece.begin(), piece.end());
       shipped = boundary;
@@ -325,7 +353,9 @@ sim::Task<Block> IpfsNode::merge_get_streaming(sim::Host& caller, const std::vec
   co_return Block(std::move(out));
 }
 
-sim::Task<void> IpfsNode::ship_range(sim::Host* caller, std::uint64_t bytes, sim::TimeNs* first) {
+sim::Task<void> IpfsNode::ship_range(sim::Host* caller, std::uint64_t bytes, sim::TimeNs* first,
+                                     std::uint64_t parent_span) {
+  obs::set_ambient_span(parent_span);
   co_await net_.transfer(host_, *caller, bytes);
   if (*first < 0) *first = net_.simulator().now();
 }

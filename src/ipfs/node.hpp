@@ -144,22 +144,29 @@ class IpfsNode {
   [[nodiscard]] std::optional<Block> peek_content(const Cid& cid);
 
  private:
+  // Spawned helpers take the attributing obs span explicitly: they run
+  // concurrently, so the consume-once ambient channel (captured by the
+  // public RPCs at entry) cannot carry across into them.
+
   /// Receives one block of an in-progress DAG put and stores it on arrival
   /// (cut-through: later hops can start shipping it immediately).
   [[nodiscard]] sim::Task<void> receive_block(sim::Host& caller, Block block, std::uint64_t tag,
-                                              std::int32_t leaf_index);
+                                              std::int32_t leaf_index, std::uint64_t parent_span);
   /// Serves one leaf of a DAG get, waiting for it to land if still in
   /// flight; records delivery into the shared first/last timestamps.
   [[nodiscard]] sim::Task<void> serve_leaf(sim::Host& caller, Cid leaf, std::uint64_t tag,
                                            std::int32_t leaf_index, sim::TimeNs deadline,
-                                           Block* out, sim::TimeNs* first, sim::TimeNs* last);
-  [[nodiscard]] sim::Task<Block> get_dag(sim::Host& caller, Cid root, DagManifest manifest);
+                                           Block* out, sim::TimeNs* first, sim::TimeNs* last,
+                                           std::uint64_t parent_span);
+  [[nodiscard]] sim::Task<Block> get_dag(sim::Host& caller, Cid root, DagManifest manifest,
+                                         std::uint64_t parent_span);
   [[nodiscard]] sim::Task<Block> merge_get_streaming(sim::Host& caller,
                                                      const std::vector<Cid>& roots,
-                                                     const BlockMerger& merger);
+                                                     const BlockMerger& merger,
+                                                     std::uint64_t parent_span);
   /// Ships one merged range to the caller; records the first-byte time.
   [[nodiscard]] sim::Task<void> ship_range(sim::Host* caller, std::uint64_t bytes,
-                                           sim::TimeNs* first);
+                                           sim::TimeNs* first, std::uint64_t parent_span);
 
   sim::Network& net_;
   sim::Host& host_;

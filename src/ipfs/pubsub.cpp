@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace dfl::ipfs {
 
 sim::Channel<Block>& PubSub::subscribe(const std::string& topic, sim::Host& subscriber) {
@@ -24,6 +26,7 @@ void PubSub::unsubscribe(const std::string& topic, sim::Host& subscriber) {
 }
 
 sim::Task<void> PubSub::publish(sim::Host& from, std::string topic, Block message) {
+  const obs::SpanId parent = obs::take_ambient_span();
   const auto it = topics_.find(topic);
   if (it == topics_.end()) co_return;
   // Snapshot targets: subscription changes during delivery must not
@@ -35,6 +38,7 @@ sim::Task<void> PubSub::publish(sim::Host& from, std::string topic, Block messag
   for (Subscription* s : targets) {
     if (!s->host->is_up()) continue;  // best-effort delivery
     try {
+      obs::set_ambient_span(parent);
       co_await net_.transfer(from, *s->host, message.size());
     } catch (const sim::NetworkError&) {
       continue;  // subscriber (or we) went down mid-delivery; skip

@@ -3,13 +3,27 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 #include "sim/datapath.hpp"
+#include "sim/span.hpp"
 #include "sim/sync.hpp"
 #include "sim/timeout.hpp"
 
 namespace dfl::ipfs {
 
 namespace {
+
+/// Re-establishes `span` as the ambient obs context, then runs `inner`.
+/// Needed around with_timeout: it starts the payload task through the
+/// event queue (sim.spawn), so the caller's synchronously-set ambient
+/// context cannot reach the payload's entry — this shim sets it inside
+/// the spawned chain, immediately before the payload body runs.
+template <typename T>
+sim::Task<T> with_span(obs::SpanId span, sim::Task<T> inner) {
+  obs::set_ambient_span(span);
+  co_return co_await std::move(inner);
+}
+
 
 /// Deadline budget of one attempt: the policy's per-attempt timeout capped
 /// by the time remaining to the absolute deadline (0 = unbounded). A call
@@ -56,8 +70,10 @@ std::vector<std::uint32_t> Swarm::providers(const Cid& cid) const {
 }
 
 sim::Task<Block> Swarm::fetch(sim::Host& caller, Cid cid, RetryStats* stats) {
+  const obs::SpanId parent = obs::take_ambient_span();
   co_await net_.simulator().sleep(config_.lookup_latency);
   if (config_.node_config.chunking.mode == ChunkingMode::kDag) {
+    obs::set_ambient_span(parent);
     co_return co_await fetch_dag(caller, cid, stats);
   }
   const auto it = provider_records_.find(cid);
@@ -80,6 +96,7 @@ sim::Task<Block> Swarm::fetch(sim::Host& caller, Cid cid, RetryStats* stats) {
     IpfsNode& provider = *live[(start + k) % live.size()];
     if (!provider.host().is_up()) continue;  // crashed since the lookup
     try {
+      obs::set_ambient_span(parent);
       co_return co_await provider.get(caller, cid);
     } catch (const std::exception& e) {
       // Stale record, mid-transfer crash, corruption: fail over in place.
@@ -96,6 +113,11 @@ sim::Task<Block> Swarm::fetch_dag(sim::Host& caller, Cid root, RetryStats* stats
   const ChunkingConfig& ck = config_.node_config.chunking;
   const sim::TimeNs t0 = sim.now();
   const sim::TimeNs deadline = t0 + ck.leaf_wait;
+
+  // The span every chunk transfer of this fetch is attributed to.
+  sim::ScopedSpan span(sim, "dag_fetch", caller.id(), obs::take_ambient_span());
+  if (span) span.attr("root", root.to_hex().substr(0, 16));
+  const obs::SpanId wire_parent = span.id();
 
   // Resolve the root. In the chunked plane the CID is announced before the
   // upload finishes, so "no record yet" usually means "still in flight":
@@ -124,6 +146,7 @@ sim::Task<Block> Swarm::fetch_dag(sim::Host& caller, Cid root, RetryStats* stats
       for (std::size_t k = 0; k < live.size() && !root_block; ++k) {
         IpfsNode& provider = *nodes_.at(live[k]);
         try {
+          obs::set_ambient_span(wire_parent);
           root_block = co_await provider.get_manifest(caller, root);
         } catch (const std::exception& e) {
           DFL_DEBUG("swarm") << "manifest from " << provider.host().name() << " failed ("
@@ -146,6 +169,7 @@ sim::Task<Block> Swarm::fetch_dag(sim::Host& caller, Cid root, RetryStats* stats
     co_return *std::move(root_block);
   }
   const std::size_t n = manifest->leaf_count();
+  if (span) span.attr("leaves", static_cast<std::int64_t>(n));
   if (n == 0) co_return Block(Bytes{});
 
   // Stripe leaf downloads across providers: a shared claim counter feeds a
@@ -160,7 +184,7 @@ sim::Task<Block> Swarm::fetch_dag(sim::Host& caller, Cid root, RetryStats* stats
   sim::TaskGroup group(sim);
   for (std::size_t w = 0; w < workers; ++w) {
     group.spawn(stripe_worker(caller, root, &*manifest, tag, deadline, &next, &leaves, stats,
-                              &first, &last));
+                              &first, &last, wire_parent));
   }
   co_await group.join();
   sim::note_chunked_transfer(static_cast<std::uint64_t>(first < 0 ? 0 : first - t0),
@@ -171,7 +195,8 @@ sim::Task<Block> Swarm::fetch_dag(sim::Host& caller, Cid root, RetryStats* stats
 sim::Task<void> Swarm::stripe_worker(sim::Host& caller, Cid root, const DagManifest* manifest,
                                      std::uint64_t tag, sim::TimeNs deadline, std::size_t* next,
                                      std::vector<Block>* out, RetryStats* stats,
-                                     sim::TimeNs* first, sim::TimeNs* last) {
+                                     sim::TimeNs* first, sim::TimeNs* last,
+                                     std::uint64_t parent_span) {
   sim::Simulator& sim = net_.simulator();
   const sim::TimeNs poll = config_.node_config.chunking.leaf_poll;
   while (*next < manifest->leaf_count()) {
@@ -229,6 +254,7 @@ sim::Task<void> Swarm::stripe_worker(sim::Host& caller, Cid root, const DagManif
           IpfsNode& provider = *nodes_.at(live[j]);
           const std::uint64_t claim = stripe_claim(live[j], leaf_bytes);
           try {
+            obs::set_ambient_span(parent_span);
             (*out)[k] = co_await provider.get_leaf(caller, leaf, tag,
                                                    static_cast<std::int32_t>(k), claim);
             stripe_release(claim);  // no-op if the serve already released it
@@ -255,6 +281,7 @@ sim::Task<void> Swarm::stripe_worker(sim::Host& caller, Cid root, const DagManif
 
 sim::Task<Block> Swarm::fetch_with_retry(sim::Host& caller, Cid cid, const RetryPolicy& policy,
                                          sim::TimeNs deadline, RetryStats* stats) {
+  const obs::SpanId parent = obs::take_ambient_span();
   RetryStats local;
   RetryStats& s = stats != nullptr ? *stats : local;
   sim::Simulator& sim = net_.simulator();
@@ -272,10 +299,12 @@ sim::Task<Block> Swarm::fetch_with_retry(sim::Host& caller, Cid cid, const Retry
     const sim::TimeNs budget = attempt_budget(policy, deadline, sim.now());
     try {
       if (budget > 0) {
-        auto result = co_await sim::with_timeout(sim, fetch(caller, cid, stats), budget);
+        auto result = co_await sim::with_timeout(
+            sim, with_span(parent, fetch(caller, cid, stats)), budget);
         if (result) co_return std::move(*result);
         ++s.timeouts;
       } else {
+        obs::set_ambient_span(parent);
         co_return co_await fetch(caller, cid, stats);
       }
     } catch (const NotFoundError&) {
@@ -293,6 +322,7 @@ sim::Task<Block> Swarm::fetch_with_retry(sim::Host& caller, Cid cid, const Retry
 sim::Task<std::optional<Cid>> Swarm::put_with_retry(std::uint32_t node_id, sim::Host& caller,
                                                     Block data, const RetryPolicy& policy,
                                                     sim::TimeNs deadline, RetryStats* stats) {
+  const obs::SpanId parent = obs::take_ambient_span();
   RetryStats local;
   RetryStats& s = stats != nullptr ? *stats : local;
   sim::Simulator& sim = net_.simulator();
@@ -314,10 +344,12 @@ sim::Task<std::optional<Cid>> Swarm::put_with_retry(std::uint32_t node_id, sim::
         // (a refcount bump, not a byte copy), so an attempt abandoned at
         // its deadline can complete (or not) without touching our frame —
         // exactly an RPC whose ack was lost; content addressing dedupes.
-        auto result = co_await sim::with_timeout(sim, target.put(caller, data.serve_copy()), budget);
+        auto result = co_await sim::with_timeout(
+            sim, with_span(parent, target.put(caller, data.serve_copy())), budget);
         if (result) co_return *result;
         ++s.timeouts;
       } else {
+        obs::set_ambient_span(parent);
         co_return co_await target.put(caller, data.serve_copy());
       }
     } catch (const std::exception& e) {
@@ -335,6 +367,7 @@ sim::Task<std::optional<Block>> Swarm::merge_get_with_retry(std::uint32_t node_i
                                                             const RetryPolicy& policy,
                                                             sim::TimeNs deadline,
                                                             RetryStats* stats) {
+  const obs::SpanId parent = obs::take_ambient_span();
   RetryStats local;
   RetryStats& s = stats != nullptr ? *stats : local;
   sim::Simulator& sim = net_.simulator();
@@ -352,11 +385,12 @@ sim::Task<std::optional<Block>> Swarm::merge_get_with_retry(std::uint32_t node_i
     const sim::TimeNs budget = attempt_budget(policy, deadline, sim.now());
     try {
       if (budget > 0) {
-        auto result =
-            co_await sim::with_timeout(sim, provider.merge_get(caller, cids, merger), budget);
+        auto result = co_await sim::with_timeout(
+            sim, with_span(parent, provider.merge_get(caller, cids, merger)), budget);
         if (result) co_return std::move(*result);
         ++s.timeouts;
       } else {
+        obs::set_ambient_span(parent);
         co_return co_await provider.merge_get(caller, cids, merger);
       }
     } catch (const NotFoundError&) {

@@ -124,7 +124,8 @@ class Swarm {
                                               const DagManifest* manifest, std::uint64_t tag,
                                               sim::TimeNs deadline, std::size_t* next,
                                               std::vector<Block>* out, RetryStats* stats,
-                                              sim::TimeNs* first, sim::TimeNs* last);
+                                              sim::TimeNs* first, sim::TimeNs* last,
+                                              std::uint64_t parent_span);
   /// Copies one stored block node-to-node (replication data path).
   [[nodiscard]] sim::Task<void> copy_block(IpfsNode* source, IpfsNode* target, Cid cid,
                                            std::uint64_t tag, std::int32_t leaf_index);

@@ -1,0 +1,377 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+namespace dfl::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Chrome trace timestamps are microseconds; keep ns precision as decimals.
+void append_ts(std::string& out, std::int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1000.0);
+  out += buf;
+}
+
+void append_args(std::string& out, const std::vector<SpanAttr>& attrs) {
+  out += "{";
+  bool first = true;
+  for (const auto& a : attrs) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += json_escape(a.key);
+    out += "\":";
+    if (a.is_num) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%" PRId64, a.num);
+      out += buf;
+    } else {
+      out += "\"";
+      out += json_escape(a.str);
+      out += "\"";
+    }
+  }
+  out += "}";
+}
+
+struct Interval {
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  std::size_t item = 0;  // index into the source list
+};
+
+// Splits intervals into the minimum-ish number of lanes such that any two
+// intervals sharing a lane either nest or are disjoint — the invariant
+// Chrome's JSON importer needs for synchronous slices on one tid.
+// Greedy first-fit: process in (start asc, longer first) order; a lane
+// accepts an interval when, after closing everything that ended, its
+// innermost open interval fully contains the candidate (or none is open).
+std::vector<std::vector<Interval>> assign_lanes(std::vector<Interval> items) {
+  std::sort(items.begin(), items.end(), [](const Interval& a, const Interval& b) {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.end != b.end) return a.end > b.end;  // longer (outer) first
+    return a.item < b.item;
+  });
+  std::vector<std::vector<Interval>> lanes;       // accepted intervals per lane
+  std::vector<std::vector<std::int64_t>> open;    // per-lane stack of open ends
+  for (const Interval& iv : items) {
+    bool placed = false;
+    for (std::size_t l = 0; l < lanes.size() && !placed; ++l) {
+      auto& stack = open[l];
+      while (!stack.empty() && stack.back() <= iv.start) stack.pop_back();
+      if (stack.empty() || stack.back() >= iv.end) {
+        stack.push_back(iv.end);
+        lanes[l].push_back(iv);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      lanes.emplace_back(1, iv);
+      open.emplace_back(1, iv.end);
+    }
+  }
+  return lanes;
+}
+
+std::string track_display_name(const Tracer::Snapshot& snap, std::uint32_t track) {
+  auto it = snap.tracks.find(track);
+  if (it != snap.tracks.end()) return it->second;
+  if (track == kProcessTrack) return "rounds";
+  if (track >= kWallTrackBase) return "wall-thread-" + std::to_string(track - kWallTrackBase);
+  return "track-" + std::to_string(track);
+}
+
+}  // namespace
+
+void write_perfetto(std::ostream& os, const Tracer::Snapshot& snap,
+                    const std::vector<WireSlice>& wires) {
+  std::string out;
+  out.reserve(1 << 20);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first_event = true;
+  auto emit = [&](const std::string& ev) {
+    if (!first_event) out += ",\n";
+    first_event = false;
+    out += ev;
+  };
+
+  // --- group spans and wires by track ------------------------------------
+  std::map<std::uint32_t, std::vector<Interval>> span_tracks;   // sim + wall
+  for (std::size_t i = 0; i < snap.spans.size(); ++i) {
+    const Span& s = snap.spans[i];
+    const std::int64_t end = s.end_ns < s.start_ns ? s.start_ns : s.end_ns;
+    span_tracks[s.track].push_back(Interval{s.start_ns, end, i});
+  }
+  std::map<std::uint32_t, std::vector<Interval>> wire_tracks;
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    const WireSlice& w = wires[i];
+    const std::int64_t end = w.end_ns < w.start_ns ? w.start_ns : w.end_ns;
+    wire_tracks[w.track].push_back(Interval{w.start_ns, end, i});
+  }
+
+  // --- assign tids: tracks in ascending order, proto lanes then wire -----
+  struct TidInfo {
+    int pid = 1;
+    int tid = 0;
+  };
+  std::map<SpanId, TidInfo> span_tid;  // for flow arrow sources
+  int next_tid = 1;
+  int sort_index = 0;
+  char buf[256];
+
+  auto emit_thread_meta = [&](int pid, int tid, const std::string& name, int sort) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\","
+                  "\"args\":{\"name\":\"%s\"}}",
+                  pid, tid, json_escape(name).c_str());
+    emit(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_sort_index\","
+                  "\"args\":{\"sort_index\":%d}}",
+                  pid, tid, sort);
+    emit(buf);
+  };
+
+  emit("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+       "\"args\":{\"name\":\"sim (simulated time)\"}}");
+  emit("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_sort_index\",\"args\":{\"sort_index\":0}}");
+  emit("{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\","
+       "\"args\":{\"name\":\"host (wall time)\"}}");
+  emit("{\"ph\":\"M\",\"pid\":2,\"name\":\"process_sort_index\",\"args\":{\"sort_index\":1}}");
+
+  auto emit_span = [&](const Span& s, int pid, int tid) {
+    const std::int64_t end = s.end_ns < s.start_ns ? s.start_ns : s.end_ns;
+    std::string ev = "{\"ph\":\"X\",\"pid\":";
+    ev += std::to_string(pid);
+    ev += ",\"tid\":";
+    ev += std::to_string(tid);
+    ev += ",\"name\":\"";
+    ev += json_escape(s.name);
+    ev += "\",\"cat\":\"span\",\"ts\":";
+    append_ts(ev, s.start_ns);
+    ev += ",\"dur\":";
+    append_ts(ev, end - s.start_ns);
+    ev += ",\"args\":";
+    std::vector<SpanAttr> attrs = s.attrs;
+    SpanAttr id_attr;
+    id_attr.key = "span_id";
+    id_attr.num = static_cast<std::int64_t>(s.id);
+    id_attr.is_num = true;
+    attrs.push_back(id_attr);
+    if (s.parent != 0) {
+      SpanAttr p;
+      p.key = "parent_span";
+      p.num = static_cast<std::int64_t>(s.parent);
+      p.is_num = true;
+      attrs.push_back(p);
+    }
+    append_args(ev, attrs);
+    ev += "}";
+    emit(ev);
+  };
+
+  // Ordered union of all track ids (sim tracks, then process, then wall —
+  // numeric order already gives hosts < kWallTrackBase < kProcessTrack).
+  std::vector<std::uint32_t> all_tracks;
+  for (const auto& [t, v] : span_tracks) all_tracks.push_back(t);
+  for (const auto& [t, v] : wire_tracks) {
+    if (span_tracks.find(t) == span_tracks.end()) all_tracks.push_back(t);
+  }
+  std::sort(all_tracks.begin(), all_tracks.end());
+
+  std::map<std::size_t, TidInfo> wire_tid;  // wire index -> tid
+  for (std::uint32_t track : all_tracks) {
+    const bool is_wall = track >= kWallTrackBase && track != kProcessTrack;
+    const int pid = is_wall ? 2 : 1;
+    const std::string base = track_display_name(snap, track);
+    auto sit = span_tracks.find(track);
+    if (sit != span_tracks.end()) {
+      auto lanes = assign_lanes(sit->second);
+      for (std::size_t l = 0; l < lanes.size(); ++l) {
+        const int tid = next_tid++;
+        std::string name = base;
+        if (l > 0) name += " #" + std::to_string(l + 1);
+        emit_thread_meta(pid, tid, name, sort_index++);
+        for (const Interval& iv : lanes[l]) {
+          const Span& s = snap.spans[iv.item];
+          span_tid[s.id] = TidInfo{pid, tid};
+          emit_span(s, pid, tid);
+        }
+      }
+    }
+    auto wit = wire_tracks.find(track);
+    if (wit != wire_tracks.end()) {
+      auto lanes = assign_lanes(wit->second);
+      for (std::size_t l = 0; l < lanes.size(); ++l) {
+        const int tid = next_tid++;
+        std::string name = base + " wire";
+        if (l > 0) name += " #" + std::to_string(l + 1);
+        emit_thread_meta(pid, tid, name, sort_index++);
+        for (const Interval& iv : lanes[l]) {
+          const WireSlice& w = wires[iv.item];
+          wire_tid[iv.item] = TidInfo{pid, tid};
+          std::string ev = "{\"ph\":\"X\",\"pid\":";
+          ev += std::to_string(pid);
+          ev += ",\"tid\":";
+          ev += std::to_string(tid);
+          ev += ",\"name\":\"";
+          ev += json_escape(w.name);
+          ev += "\",\"cat\":\"wire\",\"ts\":";
+          append_ts(ev, w.start_ns);
+          ev += ",\"dur\":";
+          append_ts(ev, (w.end_ns < w.start_ns ? w.start_ns : w.end_ns) - w.start_ns);
+          ev += ",\"args\":";
+          std::vector<SpanAttr> attrs = w.attrs;
+          SpanAttr id_attr;
+          id_attr.key = "transfer_id";
+          id_attr.num = static_cast<std::int64_t>(w.id);
+          id_attr.is_num = true;
+          attrs.push_back(id_attr);
+          SpanAttr p;
+          p.key = "parent_span";
+          p.num = static_cast<std::int64_t>(w.parent);
+          p.is_num = true;
+          attrs.push_back(p);
+          append_args(ev, attrs);
+          ev += "}";
+          emit(ev);
+        }
+      }
+    }
+  }
+
+  // --- flow arrows: parent span -> wire slice ----------------------------
+  std::map<SpanId, const Span*> span_by_id;
+  for (const Span& s : snap.spans) span_by_id[s.id] = &s;
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    const WireSlice& w = wires[i];
+    if (w.parent == 0) continue;
+    auto pit = span_by_id.find(w.parent);
+    auto tit = span_tid.find(w.parent);
+    if (pit == span_by_id.end() || tit == span_tid.end()) continue;
+    const Span& parent = *pit->second;
+    // The departure point must sit inside the parent slice.
+    const std::int64_t pend = parent.end_ns < parent.start_ns ? parent.start_ns : parent.end_ns;
+    std::int64_t dep = w.issued_ns;
+    if (dep < parent.start_ns) dep = parent.start_ns;
+    if (dep > pend) dep = pend;
+    std::string ev = "{\"ph\":\"s\",\"id\":";
+    ev += std::to_string(w.id);
+    ev += ",\"pid\":";
+    ev += std::to_string(tit->second.pid);
+    ev += ",\"tid\":";
+    ev += std::to_string(tit->second.tid);
+    ev += ",\"name\":\"wire\",\"cat\":\"wire\",\"ts\":";
+    append_ts(ev, dep);
+    ev += "}";
+    emit(ev);
+    const TidInfo wt = wire_tid[i];
+    ev = "{\"ph\":\"f\",\"bp\":\"e\",\"id\":";
+    ev += std::to_string(w.id);
+    ev += ",\"pid\":";
+    ev += std::to_string(wt.pid);
+    ev += ",\"tid\":";
+    ev += std::to_string(wt.tid);
+    ev += ",\"name\":\"wire\",\"cat\":\"wire\",\"ts\":";
+    append_ts(ev, w.start_ns);
+    ev += "}";
+    emit(ev);
+  }
+
+  out += "\n]}\n";
+  os << out;
+}
+
+void write_metrics_jsonl(std::ostream& os, const MetricsSnapshot& snap,
+                         const std::vector<std::pair<std::string, std::int64_t>>& extra) {
+  std::string out = "{";
+  bool first = true;
+  auto key = [&](const std::string& k) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += json_escape(k);
+    out += "\":";
+  };
+  for (const auto& [k, v] : extra) {
+    key(k);
+    out += std::to_string(v);
+  }
+  key("counters");
+  out += "{";
+  bool f2 = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!f2) out += ",";
+    f2 = false;
+    out += "\"";
+    out += json_escape(name);
+    out += "\":";
+    out += std::to_string(v);
+  }
+  out += "}";
+  key("gauges");
+  out += "{";
+  f2 = true;
+  char buf[64];
+  for (const auto& [name, v] : snap.gauges) {
+    if (!f2) out += ",";
+    f2 = false;
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out += "\"";
+    out += json_escape(name);
+    out += "\":";
+    out += buf;
+  }
+  out += "}";
+  key("histograms");
+  out += "{";
+  f2 = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!f2) out += ",";
+    f2 = false;
+    out += "\"";
+    out += json_escape(name);
+    out += "\":{";
+    out += "\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + std::to_string(h.sum);
+    out += ",\"min\":" + std::to_string(h.min);
+    out += ",\"max\":" + std::to_string(h.max);
+    out += ",\"p50\":" + std::to_string(h.p50);
+    out += ",\"p90\":" + std::to_string(h.p90);
+    out += ",\"p99\":" + std::to_string(h.p99);
+    out += "}";
+  }
+  out += "}";
+  out += "}\n";
+  os << out;
+}
+
+}  // namespace dfl::obs

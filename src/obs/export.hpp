@@ -1,0 +1,59 @@
+// Exporters: Chrome/Perfetto `trace_event` JSON for spans + wire slices,
+// and JSONL metrics snapshots.
+//
+// Track layout in the JSON (see DESIGN.md "observability"):
+//  - pid 1 "sim" — simulated-time tracks. Each obs track (one per host,
+//    plus the process track) becomes one or more tids: protocol spans
+//    overlap arbitrarily in a coroutine world, and Chrome's JSON format
+//    requires synchronous slices on a tid to nest, so each track is split
+//    greedily into the minimum number of *lanes* where every slice either
+//    nests or is disjoint. Wire slices (network transfers) get their own
+//    "<host> wire" lanes under the sending host.
+//  - pid 2 "wall" — wall-clock tracks, one per OS thread that recorded
+//    wall spans (crypto engine work).
+//  - Flow arrows (`ph:"s"/"f"`) connect each wire slice to the protocol
+//    span that issued it, keyed by transfer id.
+//
+// The exporter is layering-clean: it knows obs types only. Converting
+// sim::TransferRecord to WireSlice lives in core (trace_export.cpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dfl::obs {
+
+/// One network transfer to draw on a wire lane and link to its parent
+/// protocol span via a flow arrow.
+struct WireSlice {
+  std::uint64_t id = 0;        // transfer id; also the flow id
+  SpanId parent = 0;           // issuing protocol span (0 = unattributed)
+  std::uint32_t track = 0;     // sending host's track
+  const char* name = "xfer";   // "chunk_xfer" for DAG-tagged transfers
+  std::int64_t issued_ns = 0;  // queued (flow departure point)
+  std::int64_t start_ns = 0;   // first byte on the wire
+  std::int64_t end_ns = 0;     // delivered
+  std::vector<SpanAttr> attrs;
+};
+
+/// Writes a complete Chrome trace_event JSON document. Spans still open
+/// (end_ns < start_ns) are exported as zero-duration slices.
+void write_perfetto(std::ostream& os, const Tracer::Snapshot& snap,
+                    const std::vector<WireSlice>& wires);
+
+/// Writes one JSON object (single line + '\n') with every counter, gauge
+/// and histogram in the snapshot; `extra` fields (e.g. {"round", 3})
+/// come first. Append one line per round for a JSONL metrics log.
+void write_metrics_jsonl(std::ostream& os, const MetricsSnapshot& snap,
+                         const std::vector<std::pair<std::string, std::int64_t>>& extra = {});
+
+/// JSON string escaping (exposed for the other writers/tests).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace dfl::obs

@@ -1,0 +1,92 @@
+#include "obs/metrics.hpp"
+
+namespace dfl::obs {
+
+std::uint64_t MetricsSnapshot::counter_or(const std::string& name, std::uint64_t fallback) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+double MetricsSnapshot::gauge_or(const std::string& name, double fallback) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, int sub_bucket_bits) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(sub_bucket_bits);
+  return *slot;
+}
+
+void Registry::register_collector(const std::string& name, std::function<void(Registry&)> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  collectors_[name] = std::move(fn);
+}
+
+void Registry::unregister_collector(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  collectors_.erase(name);
+}
+
+MetricsSnapshot Registry::snapshot() {
+  // Run collectors outside the lock: they call back into counter()/gauge().
+  std::vector<std::function<void(Registry&)>> collectors;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    collectors.reserve(collectors_.size());
+    for (const auto& [name, fn] : collectors_) collectors.push_back(fn);
+  }
+  for (const auto& fn : collectors) fn(*this);
+
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, c] : counters_) out.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_) out.gauges.emplace_back(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    const LogHistogram& d = h->data();
+    MetricsSnapshot::HistView v;
+    v.count = d.count();
+    v.sum = d.sum();
+    v.min = d.min();
+    v.max = d.max();
+    v.p50 = d.percentile(50.0);
+    v.p90 = d.percentile(90.0);
+    v.p99 = d.percentile(99.0);
+    out.histograms.emplace_back(name, v);
+  }
+  return out;
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  collectors_.clear();
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace dfl::obs

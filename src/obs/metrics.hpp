@@ -1,0 +1,116 @@
+// Process-wide metrics registry: named counters, gauges, and HDR-style
+// log-bucket histograms behind one registration/snapshot API, in the
+// Prometheus mold.
+//
+// Two ways to get numbers in:
+//  - Own a metric: `registry.counter("dfl.rpc.retries")` returns a stable
+//    reference; bump it from the hot path (relaxed atomic add).
+//  - Keep existing counters where they are and register a *collector* —
+//    a callback run at snapshot() time that reads whatever stats struct
+//    already exists (DataPathStats, crypto::EngineStats, RetryStats
+//    aggregates) and publishes gauges/counters into the snapshot. This is
+//    how the scattered per-subsystem stats are subsumed without rewriting
+//    their hot paths or disturbing the per-round deltas that flow into
+//    RoundMetrics.
+//
+// Counters and gauges are thread-safe (single atomic each). Histograms
+// are single-writer (the simulator thread); record() is not atomic.
+// snapshot() must not race with histogram writers — call it while the
+// simulation is quiescent, like Tracer::snapshot().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace dfl::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  /// For mirroring an externally maintained monotonic total.
+  void set(std::uint64_t value) { v_.store(value, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double value) { v_.store(value, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Thin wrapper over dfl::LogHistogram; single-writer, see file comment.
+class Histogram {
+ public:
+  explicit Histogram(int sub_bucket_bits = 3) : h_(sub_bucket_bits) {}
+  void record(std::uint64_t value, std::uint64_t count = 1) { h_.record(value, count); }
+  void reset() { h_.reset(); }
+  [[nodiscard]] const LogHistogram& data() const { return h_; }
+
+ private:
+  LogHistogram h_;
+};
+
+struct MetricsSnapshot {
+  struct HistView {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p90 = 0;
+    std::uint64_t p99 = 0;
+  };
+  // Sorted by name for deterministic iteration/export.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistView>> histograms;
+
+  /// Value lookup helpers (0 / not-found => fallback). For tests.
+  [[nodiscard]] std::uint64_t counter_or(const std::string& name, std::uint64_t fallback) const;
+  [[nodiscard]] double gauge_or(const std::string& name, double fallback) const;
+};
+
+class Registry {
+ public:
+  /// Returns the metric with this name, creating it on first use.
+  /// References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, int sub_bucket_bits = 3);
+
+  /// Registers (or replaces) a named collector invoked at snapshot()
+  /// time; it may create/update any metrics on the registry it is given.
+  void register_collector(const std::string& name, std::function<void(Registry&)> fn);
+  void unregister_collector(const std::string& name);
+
+  /// Runs collectors, then returns a sorted copy of every metric.
+  [[nodiscard]] MetricsSnapshot snapshot();
+
+  /// Drops all metrics and collectors (tests; references go stale).
+  void clear();
+
+  static Registry& global();
+
+ private:
+  std::mutex mu_;  // guards the maps; metric objects are stable via unique_ptr
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::function<void(Registry&)>> collectors_;
+};
+
+}  // namespace dfl::obs

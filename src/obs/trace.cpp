@@ -1,0 +1,163 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dfl::obs {
+
+namespace detail {
+
+// Per-thread append-only span log. Registered with the tracer once (under
+// its mutex) on the thread's first begin(); appends after that are plain
+// vector push_backs — no locks, no atomics. Slot order is registration
+// order, so the simulator thread (which always traces first) gets slot 0
+// and deterministic span ids.
+struct ThreadLog {
+  std::uint32_t slot = 0;
+  std::uint64_t next_index = 0;  // survives clear() so ids never repeat
+  std::vector<Span> spans;
+};
+
+namespace {
+thread_local ThreadLog* t_log = nullptr;
+
+SpanId make_id(std::uint32_t slot, std::uint64_t index) {
+  // (slot+1, index+1) so id 0 stays "no span".
+  return (static_cast<std::uint64_t>(slot + 1) << 40) | (index + 1);
+}
+}  // namespace
+
+}  // namespace detail
+
+Tracer& Tracer::instance() {
+  static Tracer t;
+  return t;
+}
+
+Tracer::Tracer() {
+  wall_epoch_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count();
+}
+
+std::int64_t Tracer::wall_now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+             .count() -
+         wall_epoch_;
+}
+
+void Tracer::set_enabled(bool on) {
+#if !defined(DFL_OBS_DISABLED)
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+#else
+  (void)on;
+#endif
+}
+
+void set_tracing(bool on) { Tracer::instance().set_enabled(on); }
+
+detail::ThreadLog& Tracer::local_log() {
+  if (detail::t_log == nullptr) {
+    auto* log = new detail::ThreadLog();  // lives for the process; thread
+    std::lock_guard<std::mutex> lk(mu_);  // logs are never deregistered
+    log->slot = static_cast<std::uint32_t>(logs_.size());
+    logs_.push_back(log);
+    detail::t_log = log;
+  }
+  return *detail::t_log;
+}
+
+SpanToken Tracer::begin(const char* name, std::uint32_t track, std::int64_t start_ns,
+                        SpanId parent, SpanClock clock) {
+  if (!enabled()) return {};
+  detail::ThreadLog& log = local_log();
+  Span s;
+  s.id = detail::make_id(log.slot, log.next_index++);
+  s.parent = parent;
+  s.name = name;
+  s.track = track;
+  s.clock = clock;
+  s.start_ns = start_ns;
+  const auto index = static_cast<std::uint32_t>(log.spans.size());
+  log.spans.push_back(std::move(s));
+  return SpanToken{&log, index, log.spans[index].id};
+}
+
+SpanToken Tracer::begin_wall(const char* name, SpanId parent) {
+  if (!enabled()) return {};
+  detail::ThreadLog& log = local_log();
+  const std::uint32_t track = kWallTrackBase + log.slot;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (track_names_.find(track) == track_names_.end()) {
+      track_names_[track] = "wall-thread-" + std::to_string(log.slot);
+    }
+  }
+  return begin(name, track, wall_now(), parent, SpanClock::kWall);
+}
+
+void Tracer::end(SpanToken t, std::int64_t end_ns) {
+  if (!t) return;
+  // Tokens from before a clear() point at truncated logs; drop them.
+  if (t.index >= t.log->spans.size() || t.log->spans[t.index].id != t.id) return;
+  t.log->spans[t.index].end_ns = end_ns;
+}
+
+void Tracer::end_wall(SpanToken t) { end(t, wall_now()); }
+
+void Tracer::attr(SpanToken t, const char* key, std::int64_t value) {
+  if (!t) return;
+  if (t.index >= t.log->spans.size() || t.log->spans[t.index].id != t.id) return;
+  SpanAttr a;
+  a.key = key;
+  a.num = value;
+  a.is_num = true;
+  t.log->spans[t.index].attrs.push_back(std::move(a));
+}
+
+void Tracer::attr(SpanToken t, const char* key, std::string value) {
+  if (!t) return;
+  if (t.index >= t.log->spans.size() || t.log->spans[t.index].id != t.id) return;
+  SpanAttr a;
+  a.key = key;
+  a.str = std::move(value);
+  t.log->spans[t.index].attrs.push_back(std::move(a));
+}
+
+void Tracer::set_track_name(std::uint32_t track, std::string name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  track_names_[track] = std::move(name);
+}
+
+Tracer::Snapshot Tracer::snapshot() const {
+  Snapshot out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto* log : logs_) {
+      out.spans.insert(out.spans.end(), log->spans.begin(), log->spans.end());
+    }
+    out.tracks = track_names_;
+  }
+  std::sort(out.spans.begin(), out.spans.end(), [](const Span& a, const Span& b) {
+    if (a.clock != b.clock) return a.clock < b.clock;
+    if (a.track != b.track) return a.track < b.track;
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto* log : logs_) log->spans.clear();
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t n = 0;
+  for (const auto* log : logs_) n += log->spans.size();
+  return n;
+}
+
+}  // namespace dfl::obs

@@ -1,0 +1,185 @@
+// Span tracer for the simulator and the wall-clock compute underneath it.
+//
+// Spans are nestable intervals — `round`, `train`, `upload`, `gather`,
+// `merge_get`, `sync`, `global_write`, `dag_fetch` — recorded on a *track*
+// (one per simulated host, plus a process track for rounds and one
+// wall-time track per OS thread that does crypto work). Each span carries
+// a parent link and key-value attributes, so chunk-level wire activity in
+// `sim::Network::trace()` can be causally attributed to the protocol phase
+// that issued it (see `set_ambient_span` below).
+//
+// Recording is lock-free on the hot path: every thread appends to its own
+// `ThreadLog` (registered once under a mutex on first use); span ids are
+// composed from (thread slot, per-thread index) so a single-threaded
+// simulation produces bit-identical ids run over run. `snapshot()`
+// stitches the per-thread logs into one deterministically ordered list.
+//
+// Cost model: when tracing is disabled (the default), `begin()` is a
+// single relaxed atomic load and an early return — benchmarked in
+// bench/abl_obs. Defining `DFL_OBS_DISABLED` at compile time removes even
+// that load. Instrumentation sites therefore never need their own guards,
+// but may use `DFL_OBS_ENABLED()` to skip attribute formatting work.
+//
+// Threading contract: a SpanToken must be used (attr/end) only on the
+// thread that created it. `snapshot()` / `clear()` must not race with
+// active instrumentation — call them while the system is quiescent
+// (between rounds, after the simulator returned and pool work joined).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dfl::obs {
+
+/// 0 is "no span" everywhere (parent links, ambient context).
+using SpanId = std::uint64_t;
+
+/// Which clock a span's timestamps come from: the simulator's virtual
+/// nanoseconds or the host's steady clock (ns since tracer start).
+enum class SpanClock : std::uint8_t { kSim = 0, kWall = 1 };
+
+/// One key-value attribute. Either a string or an int64, tagged.
+struct SpanAttr {
+  const char* key = "";
+  std::string str;
+  std::int64_t num = 0;
+  bool is_num = false;
+};
+
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;
+  const char* name = "";
+  std::uint32_t track = 0;
+  SpanClock clock = SpanClock::kSim;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = -1;  // -1 until end() is called
+  std::vector<SpanAttr> attrs;
+};
+
+namespace detail {
+struct ThreadLog;
+#if !defined(DFL_OBS_DISABLED)
+inline std::atomic<bool> g_enabled{false};
+#endif
+}  // namespace detail
+
+/// Fast global check, safe from any thread.
+[[nodiscard]] inline bool enabled() {
+#if defined(DFL_OBS_DISABLED)
+  return false;
+#else
+  return detail::g_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+#define DFL_OBS_ENABLED() ::dfl::obs::enabled()
+
+/// Handle to an open span; cheap to copy, valid until clear().
+/// A default-constructed token is inert: attr()/end() on it are no-ops.
+struct SpanToken {
+  detail::ThreadLog* log = nullptr;
+  std::uint32_t index = 0;
+  SpanId id = 0;
+  explicit operator bool() const { return log != nullptr; }
+};
+
+/// Track id for the process-wide track (round spans live here).
+inline constexpr std::uint32_t kProcessTrack = 0xFFFFFFFFu;
+/// Wall-clock tracks are kWallTrackBase + thread slot.
+inline constexpr std::uint32_t kWallTrackBase = 0xFFFF0000u;
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Flips the global enabled flag. Spans opened while enabled can still
+  /// be ended after disabling (tokens stay valid until clear()).
+  void set_enabled(bool on);
+
+  /// Opens a span. Returns an inert token when tracing is disabled.
+  SpanToken begin(const char* name, std::uint32_t track, std::int64_t start_ns,
+                  SpanId parent = 0, SpanClock clock = SpanClock::kSim);
+
+  /// Opens a wall-clock span on this thread's wall track, timestamped
+  /// with wall_now(). Pairs with end_wall().
+  SpanToken begin_wall(const char* name, SpanId parent = 0);
+
+  void end(SpanToken t, std::int64_t end_ns);
+  void end_wall(SpanToken t);
+
+  void attr(SpanToken t, const char* key, std::int64_t value);
+  void attr(SpanToken t, const char* key, std::string value);
+
+  /// Names a track in the export (host names, "rounds", "pool-worker-N").
+  /// Wall tracks self-register a default name on first use.
+  void set_track_name(std::uint32_t track, std::string name);
+
+  /// Wall-clock ns since tracer construction (the kWall span timebase).
+  [[nodiscard]] std::int64_t wall_now() const;
+
+  struct Snapshot {
+    std::vector<Span> spans;                       // deterministic order
+    std::map<std::uint32_t, std::string> tracks;   // explicit track names
+  };
+
+  /// Stitches all thread logs. Spans are ordered by (clock, track,
+  /// start, id) so single-threaded sim output is stable run over run.
+  /// Must not race with active instrumentation.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Drops all recorded spans and invalidates outstanding tokens.
+  /// Track names and thread registrations survive.
+  void clear();
+
+  /// Total spans recorded since the last clear().
+  [[nodiscard]] std::size_t span_count() const;
+
+ private:
+  Tracer();
+  detail::ThreadLog& local_log();
+
+  mutable std::mutex mu_;  // guards logs_ registration and track names
+  std::vector<detail::ThreadLog*> logs_;
+  std::map<std::uint32_t, std::string> track_names_;
+  std::int64_t wall_epoch_ = 0;
+};
+
+/// Enables/disables span collection process-wide (clears nothing).
+void set_tracing(bool on);
+
+// ---------------------------------------------------------------------------
+// Ambient span context.
+//
+// The simulator runs protocol coroutines on one thread, and sim::Task is
+// lazy: a callee's body runs synchronously inside co_await until its first
+// suspension. That gives a cheap, race-free way to attribute network
+// transfers to the protocol span that caused them without threading a
+// span id through every RPC signature: the caller calls
+// `set_ambient_span(id)` immediately before the co_await, and the *first
+// consumer* — either the callee capturing its parent at entry, or
+// `sim::Network::transfer` stamping a TransferRecord — calls
+// `take_ambient_span()`, which reads and clears it. Consume-once keeps
+// the ambient empty across suspension points, so concurrent coroutines
+// can never observe each other's context. Helpers that are spawned (not
+// awaited) take an explicit parent parameter instead.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+inline thread_local SpanId g_ambient_span = 0;
+}
+
+inline void set_ambient_span(SpanId s) { detail::g_ambient_span = s; }
+
+/// Reads and clears the ambient span (consume-once).
+[[nodiscard]] inline SpanId take_ambient_span() {
+  SpanId s = detail::g_ambient_span;
+  detail::g_ambient_span = 0;
+  return s;
+}
+
+}  // namespace dfl::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/trace.hpp"
+
 namespace dfl::sim {
 
 void TraceBuffer::set_capacity(std::size_t cap) {
@@ -73,6 +75,10 @@ Task<void> Network::transfer(Host& from, Host& to, std::uint64_t bytes) {
 
 Task<void> Network::transfer(Host& from, Host& to, std::uint64_t bytes, std::uint64_t dag_root,
                              std::int32_t dag_leaf) {
+  // Consume the ambient span first so a throw below still clears it —
+  // a stale ambient would mis-attribute an unrelated later transfer.
+  const obs::SpanId parent_span = obs::take_ambient_span();
+  const std::uint64_t transfer_id = ++transfer_seq_;
   if (!from.is_up() || !to.is_up()) {
     throw NetworkError("transfer " + from.name() + " -> " + to.name() + ": endpoint down");
   }
@@ -107,7 +113,7 @@ Task<void> Network::transfer(Host& from, Host& to, std::uint64_t bytes, std::uin
   const TimeNs arrival = pipe_end + from.config().latency + to.config().latency;
   if (tracing_) {
     trace_.push(TransferRecord{sim_.now(), start, arrival, from.id(), to.id(), wire_bytes,
-                               dag_root, dag_leaf});
+                               dag_root, dag_leaf, transfer_id, parent_span});
   }
   auto rec = std::make_shared<Inflight>(Inflight{from.id(), to.id(), {}, false, false});
   inflight_.push_back(rec);

@@ -113,6 +113,13 @@ struct TransferRecord {
   /// DAG (kManifestLeaf for the manifest itself).
   std::uint64_t dag_root = 0;
   std::int32_t dag_leaf = -1;
+  /// Monotonic per-network sequence number (1-based; 0 = unset). Stable
+  /// across tracing on/off, so records can be joined with external logs.
+  std::uint64_t id = 0;
+  /// obs span that issued this transfer (obs::take_ambient_span() at issue
+  /// time; 0 = unattributed). Lets exporters draw chunk-level wire activity
+  /// under the protocol phase that caused it.
+  std::uint64_t parent_span = 0;
 
   static constexpr std::int32_t kManifestLeaf = -2;
 };
@@ -231,14 +238,23 @@ class Network {
   [[nodiscard]] std::uint64_t per_message_overhead() const { return overhead_bytes_; }
 
   /// When enabled, every transfer is appended to trace() (observability;
-  /// off by default). Bound the log with set_trace_limit for long runs.
+  /// off by default). Enabling with no limit set applies a default cap of
+  /// kDefaultTraceCapacity records so a long run cannot grow the log
+  /// without bound; adjust it with set_trace_limit *after* enabling.
   void set_tracing(bool on) {
     tracing_ = on;
-    if (on) trace_.reserve(kTraceReserveOnEnable);
+    if (on) {
+      if (trace_.capacity() == 0) trace_.set_capacity(kDefaultTraceCapacity);
+      trace_.reserve(kTraceReserveOnEnable);
+    }
   }
   [[nodiscard]] bool tracing() const { return tracing_; }
-  /// Caps the trace at the most recent `cap` records (ring buffer);
-  /// 0 restores the default unlimited log.
+  /// Caps the trace at the most recent `cap` records: the log becomes a
+  /// ring buffer that keeps the newest `cap` records and counts evictions
+  /// in trace().dropped(). `cap == 0` removes the bound entirely (use
+  /// only for short runs or with periodic clear_trace()). Shrinking below
+  /// the current size keeps the newest records. Call after set_tracing —
+  /// enabling tracing installs the default cap when none is set.
   void set_trace_limit(std::size_t cap) { trace_.set_capacity(cap); }
   [[nodiscard]] const TraceBuffer& trace() const { return trace_; }
   void clear_trace() { trace_.clear(); }
@@ -281,7 +297,15 @@ class Network {
   std::uint64_t overhead_bytes_ = 256;
   std::uint64_t mid_transfer_failures_ = 0;
   std::uint64_t transfers_dropped_ = 0;
+  std::uint64_t transfer_seq_ = 0;
   static constexpr std::size_t kTraceReserveOnEnable = 4096;
+
+ public:
+  /// Default trace() bound installed by set_tracing(true); ~64Ki records
+  /// (a few MB) — enough for several rounds of a mid-size deployment.
+  static constexpr std::size_t kDefaultTraceCapacity = 65536;
+
+ private:
 
   bool tracing_ = false;
   TraceBuffer trace_;

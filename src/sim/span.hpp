@@ -1,0 +1,47 @@
+// RAII wrapper for simulated-time obs spans: opens at construction (at
+// sim.now()) and closes at destruction (at the then-current simulated
+// time), so an exception unwinding a coroutine frame still closes the
+// span at the simulated time of the failure. No-cost when tracing is
+// disabled (the token is inert and every call short-circuits).
+#pragma once
+
+#include <string>
+
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace dfl::sim {
+
+class ScopedSpan {
+ public:
+  ScopedSpan(Simulator& sim, const char* name, std::uint32_t track, obs::SpanId parent = 0)
+      : sim_(sim), token_(obs::Tracer::instance().begin(name, track, sim.now(), parent)) {}
+  ~ScopedSpan() { close(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Ends the span now; the destructor then does nothing. Call it when
+  /// the phase ends before the enclosing scope does.
+  void close() {
+    if (token_) {
+      obs::Tracer::instance().end(token_, sim_.now());
+      token_ = {};
+    }
+  }
+
+  [[nodiscard]] obs::SpanId id() const { return token_.id; }
+  [[nodiscard]] explicit operator bool() const { return static_cast<bool>(token_); }
+
+  void attr(const char* key, std::int64_t value) {
+    obs::Tracer::instance().attr(token_, key, value);
+  }
+  void attr(const char* key, std::string value) {
+    obs::Tracer::instance().attr(token_, key, std::move(value));
+  }
+
+ private:
+  Simulator& sim_;
+  obs::SpanToken token_;
+};
+
+}  // namespace dfl::sim

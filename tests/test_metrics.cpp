@@ -1,0 +1,125 @@
+// Edge-case coverage for the RoundMetrics summary helpers: empty records,
+// all-aborted rounds, and the -1 "never happened" time sentinels. These
+// feed both the CLI summaries and the obs histograms, so "no data" must
+// come out as a clean 0, never a NaN or a negative delay.
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dfl::core {
+namespace {
+
+TEST(RoundMetrics, HelpersOnEmptyRecordsAreZero) {
+  RoundMetrics m;
+  EXPECT_DOUBLE_EQ(m.mean_upload_delay_s(), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_aggregation_delay_s(), 0.0);
+  EXPECT_DOUBLE_EQ(m.total_aggregation_delay_s(), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_sync_delay_s(), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_aggregator_bytes(), 0.0);
+  const ipfs::RetryStats rpc = m.rpc_totals();
+  EXPECT_EQ(rpc.attempts, 0u);
+  EXPECT_EQ(rpc.retries, 0u);
+}
+
+TEST(RoundMetrics, UploadDelaySkipsTrainersWithNoUploads) {
+  RoundMetrics m;
+  // Aborted before any upload: uploads == 0 must not divide by zero or
+  // drag the mean toward 0.
+  TrainerRecord aborted;
+  aborted.aborted = true;
+  m.trainers.push_back(aborted);
+  TrainerRecord ok;
+  ok.uploads = 2;
+  ok.upload_delay_total_s = 3.0;  // per-upload mean 1.5
+  m.trainers.push_back(ok);
+  EXPECT_DOUBLE_EQ(m.mean_upload_delay_s(), 1.5);
+
+  // All aborted → no contributing trainer → 0, not NaN.
+  RoundMetrics all_aborted;
+  all_aborted.trainers.assign(3, aborted);
+  EXPECT_DOUBLE_EQ(all_aborted.mean_upload_delay_s(), 0.0);
+}
+
+TEST(RoundMetrics, AggregationDelayRequiresFirstAnnounce) {
+  RoundMetrics m;
+  AggregatorRecord a;
+  a.gather_done_at = sim::from_seconds(5);
+  m.aggregators.push_back(a);
+  // No gradient was ever announced (first_gradient_announce == -1): the
+  // delay baseline is undefined, so the helpers report 0.
+  EXPECT_DOUBLE_EQ(m.mean_aggregation_delay_s(), 0.0);
+  EXPECT_DOUBLE_EQ(m.total_aggregation_delay_s(), 0.0);
+
+  m.note_gradient_announce(sim::from_seconds(2));
+  EXPECT_DOUBLE_EQ(m.mean_aggregation_delay_s(), 3.0);
+  EXPECT_DOUBLE_EQ(m.total_aggregation_delay_s(), 3.0);
+}
+
+TEST(RoundMetrics, NoteGradientAnnounceKeepsEarliest) {
+  RoundMetrics m;
+  m.note_gradient_announce(sim::from_seconds(4));
+  m.note_gradient_announce(sim::from_seconds(2));
+  m.note_gradient_announce(sim::from_seconds(9));
+  EXPECT_EQ(m.first_gradient_announce, sim::from_seconds(2));
+}
+
+TEST(RoundMetrics, TotalAggregationDelayFallsBackToGatherTime) {
+  RoundMetrics m;
+  m.note_gradient_announce(sim::from_seconds(1));
+  // Aggregator that never synchronized (single-agg partition): its gather
+  // time stands in for sync in the Figure-2 "total" maximum.
+  AggregatorRecord gather_only;
+  gather_only.gather_done_at = sim::from_seconds(4);
+  m.aggregators.push_back(gather_only);
+  AggregatorRecord synced;
+  synced.gather_done_at = sim::from_seconds(3);
+  synced.sync_done_at = sim::from_seconds(6);
+  m.aggregators.push_back(synced);
+  // max(4-1, 6-1) = 5.
+  EXPECT_DOUBLE_EQ(m.total_aggregation_delay_s(), 5.0);
+
+  // An aggregator that died before gathering (both sentinels -1)
+  // contributes nothing rather than a bogus negative delay.
+  AggregatorRecord dead;
+  m.aggregators.push_back(dead);
+  EXPECT_DOUBLE_EQ(m.total_aggregation_delay_s(), 5.0);
+}
+
+TEST(RoundMetrics, SyncDelayNeedsBothTimestamps) {
+  RoundMetrics m;
+  AggregatorRecord no_sync;
+  no_sync.gather_done_at = sim::from_seconds(3);  // sync_done_at stays -1
+  m.aggregators.push_back(no_sync);
+  EXPECT_DOUBLE_EQ(m.mean_sync_delay_s(), 0.0);
+
+  AggregatorRecord synced;
+  synced.gather_done_at = sim::from_seconds(3);
+  synced.sync_done_at = sim::from_seconds(5);
+  m.aggregators.push_back(synced);
+  // Only the synced aggregator contributes to the mean.
+  EXPECT_DOUBLE_EQ(m.mean_sync_delay_s(), 2.0);
+}
+
+TEST(RoundMetrics, RpcTotalsSumTrainersAndAggregators) {
+  RoundMetrics m;
+  TrainerRecord t;
+  t.rpc.attempts = 5;
+  t.rpc.retries = 2;
+  t.rpc.timeouts = 1;
+  m.trainers.push_back(t);
+  AggregatorRecord a;
+  a.rpc.attempts = 7;
+  a.rpc.failovers = 3;
+  a.rpc.giveups = 1;
+  m.aggregators.push_back(a);
+
+  const ipfs::RetryStats rpc = m.rpc_totals();
+  EXPECT_EQ(rpc.attempts, 12u);
+  EXPECT_EQ(rpc.retries, 2u);
+  EXPECT_EQ(rpc.timeouts, 1u);
+  EXPECT_EQ(rpc.failovers, 3u);
+  EXPECT_EQ(rpc.giveups, 1u);
+}
+
+}  // namespace
+}  // namespace dfl::core

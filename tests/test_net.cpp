@@ -397,9 +397,24 @@ TEST_F(NetFixture, TraceRingBufferCapsGrowth) {
   }
 }
 
+TEST_F(NetFixture, TracingInstallsDefaultCapOnlyWhenUnset) {
+  // Enabling tracing with no limit set installs the default cap…
+  net.set_tracing(true);
+  EXPECT_EQ(net.trace().capacity(), Network::kDefaultTraceCapacity);
+  // …but a limit chosen before enabling is respected, not overwritten.
+  Network other{sim};
+  other.set_trace_limit(7);
+  other.set_tracing(true);
+  EXPECT_EQ(other.trace().capacity(), 7u);
+  // And re-enabling never stomps a later explicit choice.
+  net.set_trace_limit(123);
+  net.set_tracing(true);
+  EXPECT_EQ(net.trace().capacity(), 123u);
+}
+
 TEST_F(NetFixture, TraceLimitShrinkKeepsNewestRecords) {
   net.set_per_message_overhead(0);
-  net.set_tracing(true);  // unlimited by default
+  net.set_tracing(true);  // default cap (65536) is far above this test's 5
   Host& a = make_host("a", 10, 10);
   Host& b = make_host("b", 10, 10);
   for (std::uint64_t i = 1; i <= 5; ++i) {

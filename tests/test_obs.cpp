@@ -1,0 +1,318 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace dfl::obs {
+namespace {
+
+// The tracer is a process-wide singleton; every test starts from a clean,
+// disabled state and leaves it that way so ordering cannot matter.
+struct TracerFixture : ::testing::Test {
+  void SetUp() override {
+    Tracer::instance().clear();
+    set_tracing(true);
+  }
+  void TearDown() override {
+    set_tracing(false);
+    Tracer::instance().clear();
+    (void)take_ambient_span();  // never leak ambient context across tests
+  }
+};
+
+TEST_F(TracerFixture, DisabledBeginReturnsInertToken) {
+  set_tracing(false);
+  SpanToken t = Tracer::instance().begin("round", 0, 0);
+  EXPECT_FALSE(t);
+  EXPECT_EQ(t.id, 0u);
+  // Inert tokens make every downstream call a no-op, so call sites never
+  // need their own guards.
+  Tracer::instance().attr(t, "k", std::int64_t{1});
+  Tracer::instance().end(t, 10);
+  EXPECT_EQ(Tracer::instance().span_count(), 0u);
+}
+
+TEST_F(TracerFixture, BeginEndAttrRoundTrip) {
+  SpanToken t = Tracer::instance().begin("upload", 3, 100, /*parent=*/0);
+  ASSERT_TRUE(t);
+  Tracer::instance().attr(t, "bytes", std::int64_t{4096});
+  Tracer::instance().attr(t, "mode", std::string("dag"));
+  Tracer::instance().end(t, 250);
+
+  const auto snap = Tracer::instance().snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  const Span& s = snap.spans[0];
+  EXPECT_STREQ(s.name, "upload");
+  EXPECT_EQ(s.track, 3u);
+  EXPECT_EQ(s.start_ns, 100);
+  EXPECT_EQ(s.end_ns, 250);
+  EXPECT_EQ(s.parent, 0u);
+  ASSERT_EQ(s.attrs.size(), 2u);
+  EXPECT_STREQ(s.attrs[0].key, "bytes");
+  EXPECT_TRUE(s.attrs[0].is_num);
+  EXPECT_EQ(s.attrs[0].num, 4096);
+  EXPECT_STREQ(s.attrs[1].key, "mode");
+  EXPECT_FALSE(s.attrs[1].is_num);
+  EXPECT_EQ(s.attrs[1].str, "dag");
+}
+
+TEST_F(TracerFixture, ParentLinksAreRecorded) {
+  SpanToken outer = Tracer::instance().begin("round", 0, 0);
+  SpanToken inner = Tracer::instance().begin("train", 0, 10, outer.id);
+  Tracer::instance().end(inner, 20);
+  Tracer::instance().end(outer, 30);
+
+  const auto snap = Tracer::instance().snapshot();
+  ASSERT_EQ(snap.spans.size(), 2u);
+  // Same track, ordered by start time.
+  EXPECT_EQ(snap.spans[0].parent, 0u);
+  EXPECT_EQ(snap.spans[1].parent, snap.spans[0].id);
+}
+
+TEST_F(TracerFixture, SpanIdsAreNonZeroAndUnique) {
+  SpanToken a = Tracer::instance().begin("a", 0, 0);
+  SpanToken b = Tracer::instance().begin("b", 0, 0);
+  EXPECT_NE(a.id, 0u);
+  EXPECT_NE(b.id, 0u);
+  EXPECT_NE(a.id, b.id);
+}
+
+TEST_F(TracerFixture, IdsNeverRepeatAcrossClear) {
+  SpanToken a = Tracer::instance().begin("a", 0, 0);
+  const SpanId before = a.id;
+  Tracer::instance().clear();
+  SpanToken b = Tracer::instance().begin("b", 0, 0);
+  // The per-thread index survives clear() so old ids can never collide
+  // with new spans (stale tokens must not resolve).
+  EXPECT_GT(b.id, before);
+}
+
+TEST_F(TracerFixture, StaleTokenAfterClearIsIgnored) {
+  SpanToken t = Tracer::instance().begin("a", 0, 0);
+  Tracer::instance().clear();
+  SpanToken fresh = Tracer::instance().begin("b", 0, 5);
+  // The stale token aliases the fresh span's storage index but carries the
+  // old id, so end/attr must not corrupt the fresh span.
+  Tracer::instance().end(t, 99);
+  Tracer::instance().attr(t, "stale", std::int64_t{1});
+  const auto snap = Tracer::instance().snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  EXPECT_EQ(snap.spans[0].id, fresh.id);
+  EXPECT_EQ(snap.spans[0].end_ns, -1);
+  EXPECT_TRUE(snap.spans[0].attrs.empty());
+}
+
+TEST_F(TracerFixture, SnapshotOrdersByClockTrackStart) {
+  // Recorded deliberately out of order.
+  SpanToken w = Tracer::instance().begin_wall("commit");
+  Tracer::instance().end_wall(w);
+  SpanToken t2 = Tracer::instance().begin("late", 2, 500);
+  SpanToken t1 = Tracer::instance().begin("early", 2, 100);
+  SpanToken t0 = Tracer::instance().begin("other_track", 1, 900);
+  Tracer::instance().end(t2, 600);
+  Tracer::instance().end(t1, 200);
+  Tracer::instance().end(t0, 950);
+
+  const auto snap = Tracer::instance().snapshot();
+  ASSERT_EQ(snap.spans.size(), 4u);
+  EXPECT_STREQ(snap.spans[0].name, "other_track");  // sim clock, track 1
+  EXPECT_STREQ(snap.spans[1].name, "early");        // track 2, start 100
+  EXPECT_STREQ(snap.spans[2].name, "late");         // track 2, start 500
+  EXPECT_STREQ(snap.spans[3].name, "commit");       // wall clock sorts last
+  EXPECT_EQ(snap.spans[3].clock, SpanClock::kWall);
+  EXPECT_GE(snap.spans[3].track, kWallTrackBase);
+  // begin_wall self-registers a default name for its thread's wall track.
+  EXPECT_EQ(snap.tracks.count(snap.spans[3].track), 1u);
+}
+
+TEST_F(TracerFixture, TrackNamesSurviveClear) {
+  Tracer::instance().set_track_name(7, "trainer-7");
+  Tracer::instance().clear();
+  const auto snap = Tracer::instance().snapshot();
+  ASSERT_EQ(snap.tracks.count(7u), 1u);
+  EXPECT_EQ(snap.tracks.at(7u), "trainer-7");
+}
+
+TEST_F(TracerFixture, AmbientSpanIsConsumeOnce) {
+  set_ambient_span(42);
+  EXPECT_EQ(take_ambient_span(), 42u);
+  // The first take cleared it: a second consumer sees "no span", so
+  // context can never bleed across suspension points.
+  EXPECT_EQ(take_ambient_span(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, CounterGaugeHistogramRoundTrip) {
+  Registry reg;
+  reg.counter("dfl.test.hits").add(3);
+  reg.counter("dfl.test.hits").add(2);  // same name → same metric
+  reg.gauge("dfl.test.ratio").set(0.5);
+  reg.histogram("dfl.test.lat_ms").record(10);
+  reg.histogram("dfl.test.lat_ms").record(1000);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_or("dfl.test.hits", 0), 5u);
+  EXPECT_DOUBLE_EQ(snap.gauge_or("dfl.test.ratio", -1), 0.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].first, "dfl.test.lat_ms");
+  EXPECT_EQ(snap.histograms[0].second.count, 2u);
+  EXPECT_EQ(snap.histograms[0].second.sum, 1010u);
+  EXPECT_EQ(snap.histograms[0].second.min, 10u);
+  // Log-bucket recording: max is exact only below the unit-bucket range,
+  // so allow the documented 12.5% relative error.
+  EXPECT_GE(snap.histograms[0].second.max, 1000u);
+  EXPECT_LE(snap.histograms[0].second.max, 1125u);
+}
+
+TEST(Registry, LookupFallbacksWhenAbsent) {
+  Registry reg;
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_or("missing", 17), 17u);
+  EXPECT_DOUBLE_EQ(snap.gauge_or("missing", 2.5), 2.5);
+}
+
+TEST(Registry, SnapshotIsSortedByName) {
+  Registry reg;
+  reg.counter("z.last").add(1);
+  reg.counter("a.first").add(1);
+  reg.counter("m.middle").add(1);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "a.first");
+  EXPECT_EQ(snap.counters[1].first, "m.middle");
+  EXPECT_EQ(snap.counters[2].first, "z.last");
+}
+
+TEST(Registry, CollectorsRunAtSnapshotTime) {
+  Registry reg;
+  int runs = 0;
+  reg.register_collector("ext", [&](Registry& r) {
+    ++runs;
+    // Mirrors an externally maintained stats struct into the registry —
+    // the pattern DataPathStats / EngineStats / RetryStats use.
+    r.counter("ext.total").set(static_cast<std::uint64_t>(runs) * 10);
+  });
+  EXPECT_EQ(runs, 0);  // registration alone does nothing
+  EXPECT_EQ(reg.snapshot().counter_or("ext.total", 0), 10u);
+  EXPECT_EQ(reg.snapshot().counter_or("ext.total", 0), 20u);
+  EXPECT_EQ(runs, 2);
+
+  // Replacing by name supersedes; unregistering stops updates but the
+  // last published value remains visible.
+  reg.register_collector("ext", [](Registry& r) { r.counter("ext.total").set(99); });
+  EXPECT_EQ(reg.snapshot().counter_or("ext.total", 0), 99u);
+  reg.unregister_collector("ext");
+  EXPECT_EQ(reg.snapshot().counter_or("ext.total", 0), 99u);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST(Export, JsonEscape) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Export, PerfettoDocumentStructure) {
+  Tracer::Snapshot snap;
+  snap.tracks[3] = "trainer-3";
+  Span round;
+  round.id = 1;
+  round.name = "round";
+  round.track = 3;
+  round.start_ns = 1'000'000;
+  round.end_ns = 5'000'000;
+  snap.spans.push_back(round);
+  Span train;
+  train.id = 2;
+  train.parent = 1;
+  train.name = "train";
+  train.track = 3;
+  train.start_ns = 1'500'000;
+  train.end_ns = 2'500'000;  // nests inside round → same lane
+  snap.spans.push_back(train);
+
+  WireSlice wire;
+  wire.id = 11;
+  wire.parent = 2;
+  wire.track = 3;
+  wire.name = "chunk_xfer";
+  wire.issued_ns = 1'600'000;
+  wire.start_ns = 1'700'000;
+  wire.end_ns = 2'000'000;
+  std::ostringstream os;
+  write_perfetto(os, snap, {wire});
+  const std::string doc = os.str();
+
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  // Track metadata, span slices with causal args, and the wire slice.
+  EXPECT_NE(doc.find("trainer-3"), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"round\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"train\""), std::string::npos);
+  EXPECT_NE(doc.find("\"span_id\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"parent_span\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"chunk_xfer\""), std::string::npos);
+  EXPECT_NE(doc.find("\"transfer_id\":11"), std::string::npos);
+  // Flow arrow from the issuing span to the wire slice, both directions.
+  EXPECT_NE(doc.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(doc.find("\"bp\":\"e\""), std::string::npos);
+  // Timestamps are µs: 1'000'000 ns → 1000 µs.
+  EXPECT_NE(doc.find("\"ts\":1000"), std::string::npos);
+}
+
+TEST(Export, PerfettoSplitsOverlappingSpansIntoLanes) {
+  Tracer::Snapshot snap;
+  // Two spans on one track that overlap without nesting — the exporter
+  // must put them on different tids (lanes), not emit a malformed stack.
+  for (int i = 0; i < 2; ++i) {
+    Span s;
+    s.id = static_cast<SpanId>(i + 1);
+    s.name = i == 0 ? "first" : "second";
+    s.track = 5;
+    s.start_ns = 1000 + i * 500;
+    s.end_ns = 2000 + i * 500;
+    snap.spans.push_back(s);
+  }
+  std::ostringstream os;
+  write_perfetto(os, snap, {});
+  const std::string doc = os.str();
+  // The unnamed track gets a second lane ("track-5 #2") because the two
+  // slices neither nest nor are disjoint.
+  EXPECT_NE(doc.find("track-5"), std::string::npos);
+  EXPECT_NE(doc.find("track-5 #2"), std::string::npos);
+}
+
+TEST(Export, MetricsJsonlOneObjectPerLine) {
+  Registry reg;
+  reg.counter("dfl.rounds_total").add(2);
+  reg.gauge("dfl.copy_reduction").set(3.5);
+  reg.histogram("dfl.lat").record(7);
+  std::ostringstream os;
+  write_metrics_jsonl(os, reg.snapshot(), {{"round", 1}});
+  const std::string line = os.str();
+
+  // Exactly one line, ending in a newline.
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+  EXPECT_NE(line.find("\"round\":1"), std::string::npos);
+  EXPECT_NE(line.find("\"dfl.rounds_total\":2"), std::string::npos);
+  EXPECT_NE(line.find("\"dfl.copy_reduction\":3.5"), std::string::npos);
+  EXPECT_NE(line.find("\"dfl.lat\""), std::string::npos);
+  EXPECT_NE(line.find("\"count\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfl::obs

@@ -50,5 +50,89 @@ TEST(Stats, VarianceOfConstantIsZero) {
   EXPECT_DOUBLE_EQ(s.mean(), 3.5);
 }
 
+TEST(LogHistogram, EmptyIsAllZeros) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_TRUE(h.nonzero_buckets().empty());
+}
+
+TEST(LogHistogram, SmallValuesAreExact) {
+  LogHistogram h;  // sub_bucket_bits=3: values < 16 land in unit buckets
+  for (std::uint64_t v : {0u, 1u, 5u, 15u}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 21u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 15u);
+  // Each value has its own bucket, so percentiles are exact.
+  EXPECT_EQ(h.percentile(100), 15u);
+  EXPECT_EQ(h.percentile(0), 0u);
+  const auto buckets = h.nonzero_buckets();
+  ASSERT_EQ(buckets.size(), 4u);
+  for (const auto& b : buckets) {
+    EXPECT_EQ(b.lo, b.hi);  // unit buckets
+    EXPECT_EQ(b.count, 1u);
+  }
+}
+
+TEST(LogHistogram, LargeValuesBoundedRelativeError) {
+  LogHistogram h;  // 2^-3 = 12.5% relative error ceiling
+  const std::uint64_t v = 1'000'000;
+  h.record(v);
+  const std::uint64_t p = h.percentile(50);
+  EXPECT_GE(p, v);                      // bucket upper bound ≥ value
+  EXPECT_LE(p, v + v / 8);              // within 12.5%
+  EXPECT_EQ(h.max(), v);                // true extrema are tracked exactly
+  EXPECT_EQ(h.min(), v);
+  EXPECT_EQ(h.sum(), v);                // sum is exact too
+}
+
+TEST(LogHistogram, PercentileClampsToRecordedMax) {
+  LogHistogram h;
+  h.record(1000);
+  // The bucket's upper bound exceeds 1000, but the histogram never
+  // reports a percentile above what was actually seen.
+  EXPECT_LE(h.percentile(100), 1000u);
+}
+
+TEST(LogHistogram, WeightedRecordAndPercentiles) {
+  LogHistogram h;
+  h.record(1, 90);   // 90 fast ops
+  h.record(8, 9);    // 9 medium
+  h.record(12, 1);   // 1 slow
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.percentile(50), 1u);
+  EXPECT_EQ(h.percentile(95), 8u);
+  EXPECT_EQ(h.percentile(100), 12u);
+}
+
+TEST(LogHistogram, MergeCombinesCountsAndExtrema) {
+  LogHistogram a;
+  LogHistogram b;
+  a.record(5);
+  a.record(100);
+  b.record(2);
+  b.record(1'000'000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 1'000'107u);
+  EXPECT_EQ(a.min(), 2u);
+  EXPECT_EQ(a.max(), 1'000'000u);
+}
+
+TEST(LogHistogram, ResetClearsEverything) {
+  LogHistogram h;
+  h.record(42, 10);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_TRUE(h.nonzero_buckets().empty());
+}
+
 }  // namespace
 }  // namespace dfl

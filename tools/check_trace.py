@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Validates a Chrome/Perfetto trace_event JSON produced by dflsim --trace-out.
+
+Checks structural invariants the Perfetto UI relies on, plus the causal
+links this repo's exporter promises:
+
+  - the document parses and has a traceEvents array with process/thread
+    metadata for the sim (pid 1) track group;
+  - complete events ("ph":"X") on one (pid, tid) strictly nest — the lane
+    assignment invariant;
+  - required span names are present (--require-names, default "round");
+  - every span's parent_span resolves to an exported span;
+  - wire slices carry transfer_id args, and every *attributed* wire slice
+    (parent_span != 0) resolves to a real span;
+  - with --require-chunks: chunk_xfer wire slices exist and a majority are
+    attributed to a protocol span (background replication is legitimately
+    unattributed);
+  - every flow start ("ph":"s") pairs with a flow finish ("ph":"f") of the
+    same id, and vice versa.
+
+Exit status 0 = all checks passed. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+errors = []
+
+
+def err(msg):
+    errors.append(msg)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="trace_event JSON file")
+    ap.add_argument(
+        "--require-names",
+        default="round",
+        help="comma-separated span names that must appear (default: round)",
+    )
+    ap.add_argument(
+        "--require-chunks",
+        action="store_true",
+        help="require chunk_xfer wire slices attributed to protocol spans",
+    )
+    args = ap.parse_args()
+
+    with open(args.trace, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            print(f"FAIL: not valid JSON: {e}")
+            return 1
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print("FAIL: no traceEvents array")
+        return 1
+
+    spans = []  # ph:X cat:span
+    wires = []  # ph:X cat:wire
+    meta_pids = set()
+    flow_starts = defaultdict(int)
+    flow_finishes = defaultdict(int)
+    slices_by_tid = defaultdict(list)
+
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                meta_pids.add(ev.get("pid"))
+            continue
+        if ph == "s":
+            flow_starts[ev.get("id")] += 1
+            continue
+        if ph == "f":
+            flow_finishes[ev.get("id")] += 1
+            if ev.get("bp") != "e":
+                err(f"flow finish id={ev.get('id')} missing bp:e")
+            continue
+        if ph != "X":
+            continue
+        for field in ("pid", "tid", "name", "ts", "dur"):
+            if field not in ev:
+                err(f"X event missing {field}: {ev}")
+        cat = ev.get("cat")
+        if cat == "span":
+            spans.append(ev)
+        elif cat == "wire":
+            wires.append(ev)
+        else:
+            err(f"X event with unknown cat {cat!r}: name={ev.get('name')}")
+        slices_by_tid[(ev.get("pid"), ev.get("tid"))].append(ev)
+
+    if 1 not in meta_pids:
+        err("no process_name metadata for pid 1 (sim)")
+    if not spans:
+        err("no protocol spans exported")
+
+    # Nesting invariant per (pid, tid): sweep slices in start order with a
+    # stack of open interval ends; a slice must fit inside the innermost
+    # open slice (or none may be open). Timestamps are µs with 3 decimals
+    # (exact nanoseconds) — compare as integer ns so float epsilon from
+    # ts + dur cannot produce phantom overlaps.
+    def ns(x):
+        return round(x * 1000)
+
+    for tid, slices in sorted(slices_by_tid.items()):
+        slices.sort(key=lambda e: (ns(e["ts"]), -ns(e["dur"])))
+        stack = []
+        for ev in slices:
+            start, end = ns(ev["ts"]), ns(ev["ts"]) + ns(ev["dur"])
+            while stack and stack[-1] <= start:
+                stack.pop()
+            if stack and stack[-1] < end:
+                err(
+                    f"slices overlap without nesting on pid/tid {tid}: "
+                    f"{ev['name']} [{start}, {end}] vs open end {stack[-1]}"
+                )
+                break
+            stack.append(end)
+
+    span_ids = set()
+    for ev in spans:
+        sid = ev.get("args", {}).get("span_id")
+        if sid is None:
+            err(f"span {ev['name']} has no span_id arg")
+        else:
+            span_ids.add(sid)
+
+    names = {ev["name"] for ev in spans}
+    for required in filter(None, args.require_names.split(",")):
+        if required not in names:
+            err(f"required span name {required!r} not present (have: {sorted(names)})")
+
+    for ev in spans:
+        parent = ev.get("args", {}).get("parent_span", 0)
+        if parent and parent not in span_ids:
+            err(f"span {ev['name']} has dangling parent_span {parent}")
+
+    attributed = 0
+    chunk_total = 0
+    chunk_attributed = 0
+    for ev in wires:
+        a = ev.get("args", {})
+        if "transfer_id" not in a:
+            err(f"wire slice {ev['name']} has no transfer_id arg")
+        parent = a.get("parent_span", 0)
+        if parent:
+            attributed += 1
+            if parent not in span_ids:
+                err(f"wire slice {ev['name']} has dangling parent_span {parent}")
+        if ev["name"] == "chunk_xfer":
+            chunk_total += 1
+            if parent:
+                chunk_attributed += 1
+
+    if args.require_chunks:
+        if chunk_total == 0:
+            err("no chunk_xfer wire slices (expected a DAG-chunked run)")
+        elif chunk_attributed * 2 < chunk_total:
+            err(
+                f"only {chunk_attributed}/{chunk_total} chunk_xfer slices are "
+                "attributed to a protocol span"
+            )
+
+    for fid, n in flow_starts.items():
+        if flow_finishes.get(fid, 0) != n:
+            err(f"flow id {fid}: {n} starts vs {flow_finishes.get(fid, 0)} finishes")
+    for fid, n in flow_finishes.items():
+        if fid not in flow_starts:
+            err(f"flow id {fid}: finish without start")
+
+    if errors:
+        for e in errors[:20]:
+            print(f"FAIL: {e}")
+        if len(errors) > 20:
+            print(f"... and {len(errors) - 20} more")
+        return 1
+
+    print(
+        f"OK: {len(spans)} spans ({len(names)} names), {len(wires)} wire slices "
+        f"({attributed} attributed, {chunk_total} chunked), "
+        f"{sum(flow_starts.values())} flow arrows"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

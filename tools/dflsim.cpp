@@ -11,10 +11,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "common/log.hpp"
 #include "core/runner.hpp"
+#include "core/trace_export.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -54,6 +59,9 @@ void usage() {
       "faults:\n"
       "  --malicious-agg I:B aggregator I behaves B in {drop, alter, offline}\n"
       "  --faulty-trainer I:B trainer I behaves B in {slow, offline}\n"
+      "observability:\n"
+      "  --trace-out FILE    write a Chrome/Perfetto trace_event JSON of the run\n"
+      "  --metrics-out FILE  append one JSONL metrics snapshot per round\n"
       "misc:\n"
       "  --seed N            RNG seed (default 1)\n"
       "  --verbose           protocol-level logging\n");
@@ -88,6 +96,8 @@ int main(int argc, char** argv) {
   int rounds = 1;
   double mbps = 10.0;
   double latency_ms = 5.0;
+  std::string trace_out;
+  std::string metrics_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -160,6 +170,10 @@ int main(int argc, char** argv) {
       cfg.options.audit_updates = true;
     } else if (a == "--calibrate") {
       cfg.options.calibrate_crypto = true;
+    } else if (a == "--trace-out") {
+      trace_out = next();
+    } else if (a == "--metrics-out") {
+      metrics_out = next();
     } else if (a == "--seed" && parse_u64(next(), v)) {
       cfg.seed = v;
     } else if (a == "--verbose") {
@@ -215,6 +229,18 @@ int main(int argc, char** argv) {
   }
 
   core::Deployment d(cfg);
+  if (!trace_out.empty()) {
+    obs::set_tracing(true);
+    d.context().net.set_tracing(true);
+  }
+  std::ofstream metrics_stream;
+  if (!metrics_out.empty()) {
+    metrics_stream.open(metrics_out);
+    if (!metrics_stream) {
+      std::fprintf(stderr, "cannot open %s for writing\n", metrics_out.c_str());
+      return 1;
+    }
+  }
   std::printf("%-7s %14s %14s %12s %14s %12s %10s\n", "round", "upload_s", "aggregation_s",
               "sync_s", "round_time_s", "agg_MB", "rejected");
   core::CryptoRecord crypto_total;
@@ -229,6 +255,20 @@ int main(int argc, char** argv) {
     crypto_total.verifies += m.crypto.verifies;
     crypto_total.batch_verifies += m.crypto.batch_verifies;
     crypto_total.committed_elements += m.crypto.committed_elements;
+    if (metrics_stream.is_open()) {
+      obs::write_metrics_jsonl(metrics_stream, obs::Registry::global().snapshot(), {{"round", r}});
+    }
+  }
+  if (!trace_out.empty()) {
+    std::ofstream trace_stream(trace_out);
+    if (!trace_stream) {
+      std::fprintf(stderr, "cannot open %s for writing\n", trace_out.c_str());
+      return 1;
+    }
+    core::write_trace(trace_stream, d.context().net);
+    std::printf("\ntrace: %zu spans, %zu transfers -> %s\n",
+                obs::Tracer::instance().span_count(), d.context().net.trace().size(),
+                trace_out.c_str());
   }
   if (crypto_total.commits + crypto_total.verifies + crypto_total.batch_verifies > 0) {
     std::printf("\ncrypto engine: %llu commits (%llu elements), %llu verifies, "

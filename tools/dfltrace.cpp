@@ -4,6 +4,7 @@
 // shape without touching a debugger.
 //
 //   dfltrace --trainers 16 --providers 4 --merge
+//   dfltrace --rounds 3 --csv        # machine-readable multi-round report
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +35,8 @@ int main(int argc, char** argv) {
   cfg.providers_per_agg = 4;
   cfg.train_time = sim::from_seconds(1);
   std::string dump_host;
+  int rounds = 1;
+  bool csv = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -60,6 +63,10 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--chunk-size" && parse_u64(next(), v) && v > 0) {
       cfg.options.chunk_size = v * 1024;
+    } else if (a == "--rounds" && parse_u64(next(), v) && v > 0) {
+      rounds = static_cast<int>(v);
+    } else if (a == "--csv") {
+      csv = true;
     } else if (a == "--dump") {
       dump_host = next();
     } else {
@@ -70,9 +77,15 @@ int main(int argc, char** argv) {
 
   core::Deployment d(cfg);
   d.context().net.set_tracing(true);
-  const core::RoundMetrics m = d.run_round(0);
+  // Multi-round runs outgrow the default ring: keep every record so the
+  // utilization report covers the whole run, not the newest window.
+  d.context().net.set_trace_limit(static_cast<std::size_t>(1) << 20);
+  for (int r = 0; r < rounds; ++r) {
+    (void)d.run_round(static_cast<std::uint32_t>(r));
+  }
   const auto& trace = d.context().net.trace();
-  const double round_s = sim::to_seconds(m.round_done - m.round_start);
+  // Utilization denominator: the whole traced window (all rounds).
+  const double round_s = sim::to_seconds(d.simulator().now());
 
   struct HostUse {
     std::uint64_t bytes_out = 0, bytes_in = 0;
@@ -91,7 +104,22 @@ int main(int argc, char** argv) {
     ++from.transfers;
   }
 
-  std::printf("round: %.2f s, %zu transfers, %.2f MB on the wire\n\n", round_s, trace.size(),
+  if (csv) {
+    // Machine-readable per-host report; one row per host, stable columns.
+    std::printf("host,out_bytes,in_bytes,up_util_pct,down_util_pct,sends\n");
+    for (const auto& [id, u] : use) {
+      std::printf("%s,%llu,%llu,%.3f,%.3f,%llu\n", d.context().net.host(id).name().c_str(),
+                  static_cast<unsigned long long>(u.bytes_out),
+                  static_cast<unsigned long long>(u.bytes_in),
+                  100.0 * sim::to_seconds(u.busy_out) / round_s,
+                  100.0 * sim::to_seconds(u.busy_in) / round_s,
+                  static_cast<unsigned long long>(u.transfers));
+    }
+    return 0;
+  }
+
+  std::printf("%d round%s: %.2f s simulated, %zu transfers, %.2f MB on the wire\n\n", rounds,
+              rounds == 1 ? "" : "s", round_s, trace.size(),
               static_cast<double>(d.context().net.total_bytes_transferred()) / 1e6);
   std::printf("%-14s %10s %10s %10s %10s %8s\n", "host", "out_MB", "in_MB", "up_util%",
               "down_util%", "sends");
@@ -135,8 +163,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(root), du.max_leaf + 1,
                   static_cast<unsigned long long>(du.leaf_transfers + du.manifest_transfers),
                   static_cast<double>(du.bytes) / 1e3, du.sources.size(),
-                  sim::to_seconds(du.first_start - m.round_start),
-                  sim::to_seconds(du.last_delivered - m.round_start));
+                  sim::to_seconds(du.first_start), sim::to_seconds(du.last_delivered));
     }
   }
   if (!dump_host.empty()) {
@@ -152,9 +179,8 @@ int main(int argc, char** argv) {
         std::snprintf(root, sizeof root, "%016llx",
                       static_cast<unsigned long long>(r.dag_root));
       }
-      std::printf("%9.3f %9.3f %-14s %-14s %10.1f %-18s %5d\n",
-                  sim::to_seconds(r.start - m.round_start),
-                  sim::to_seconds(r.delivered - m.round_start), fn.c_str(), tn.c_str(),
+      std::printf("%9.3f %9.3f %-14s %-14s %10.1f %-18s %5d\n", sim::to_seconds(r.start),
+                  sim::to_seconds(r.delivered), fn.c_str(), tn.c_str(),
                   static_cast<double>(r.wire_bytes) / 1e3, root, r.dag_leaf);
     }
   }
