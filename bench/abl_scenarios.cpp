@@ -1,0 +1,135 @@
+// Ablation A12: graceful degradation across Internet-realistic scenarios.
+// Sweeps the checked-in scenarios/*.scn chaos configs against two protocol
+// modes (baseline fetch-all vs merge-and-download) and reports, per cell:
+// partition completion rate, p50/p99 round latency over completed rounds,
+// and the injected-fault totals. Results land in BENCH_scenarios.json
+// (override with DFL_SCENARIO_BENCH_JSON) so CI can diff regressions.
+//
+// Scenario files are resolved against DFL_SCENARIO_DIR (default
+// "scenarios", i.e. run from the repo root).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/runner.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace dfl;
+
+struct Cell {
+  std::string scenario;
+  std::string mode;
+  int rounds = 0;
+  int rounds_complete = 0;
+  double completion_rate = 0;
+  double p50_ms = -1;
+  double p99_ms = -1;
+  std::uint64_t crashes = 0;
+  std::uint64_t transfers_dropped = 0;
+  std::uint64_t payloads_corrupted = 0;
+};
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return -1;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+Cell run_cell(const sim::ScenarioSpec& spec, const std::string& mode, bool merge) {
+  core::DeploymentConfig cfg;
+  int rounds = core::apply_scenario(spec, cfg);
+  if (rounds <= 0) rounds = 4;
+  cfg.scenario.rounds = rounds;
+  cfg.options.merge_and_download = merge;
+
+  core::Deployment d(cfg);
+  Cell cell;
+  cell.scenario = spec.name;
+  cell.mode = mode;
+  cell.rounds = rounds;
+  double rate_sum = 0;
+  std::vector<double> durations_ms;
+  for (int r = 0; r < rounds; ++r) {
+    const core::RoundMetrics m = d.run_round(static_cast<std::uint32_t>(r));
+    rate_sum += m.completion_rate();
+    if (m.global_update_complete) ++cell.rounds_complete;
+    if (m.round_done >= 0) {
+      durations_ms.push_back(sim::to_seconds(m.round_done - m.round_start) * 1e3);
+    }
+    cell.crashes += m.faults.crashes;
+    cell.transfers_dropped += m.faults.transfers_dropped;
+    cell.payloads_corrupted += m.faults.payloads_corrupted;
+  }
+  cell.completion_rate = rate_sum / rounds;
+  cell.p50_ms = percentile(durations_ms, 50);
+  cell.p99_ms = percentile(durations_ms, 99);
+  return cell;
+}
+
+void write_json(const std::vector<Cell>& cells, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  out << "[\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << "  {\"scenario\": \"" << c.scenario << "\", \"mode\": \"" << c.mode
+        << "\", \"rounds\": " << c.rounds
+        << ", \"rounds_complete\": " << c.rounds_complete
+        << ", \"completion_rate\": " << c.completion_rate
+        << ", \"round_p50_ms\": " << c.p50_ms
+        << ", \"round_p99_ms\": " << c.p99_ms
+        << ", \"crashes\": " << c.crashes
+        << ", \"transfers_dropped\": " << c.transfers_dropped
+        << ", \"payloads_corrupted\": " << c.payloads_corrupted << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation A12: scenario sweep x protocol mode");
+  const char* dir_env = std::getenv("DFL_SCENARIO_DIR");
+  const std::string dir = dir_env != nullptr ? dir_env : "scenarios";
+  const char* out_env = std::getenv("DFL_SCENARIO_BENCH_JSON");
+  const std::string out_path = out_env != nullptr ? out_env : "BENCH_scenarios.json";
+
+  const std::vector<std::string> names = {"calm",        "diurnal",
+                                          "mobile-churn", "flash-crowd",
+                                          "degraded-backbone", "partition-heal"};
+  std::vector<Cell> cells;
+  std::printf("  %-18s %-9s %9s %12s %11s %11s %8s\n", "scenario", "mode", "complete",
+              "completion", "p50_ms", "p99_ms", "crashes");
+  for (const std::string& name : names) {
+    sim::ScenarioSpec spec;
+    try {
+      spec = sim::load_scenario_file(dir + "/" + name + ".scn");
+    } catch (const sim::ScenarioError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    for (const bool merge : {false, true}) {
+      const std::string mode = merge ? "merge" : "baseline";
+      const Cell c = run_cell(spec, mode, merge);
+      std::printf("  %-18s %-9s %6d/%-2d %12.3f %11.1f %11.1f %8llu\n", c.scenario.c_str(),
+                  mode.c_str(), c.rounds_complete, c.rounds, c.completion_rate, c.p50_ms,
+                  c.p99_ms, static_cast<unsigned long long>(c.crashes));
+      cells.push_back(c);
+    }
+  }
+  write_json(cells, out_path);
+  std::printf("  -> %s (%zu cells)\n", out_path.c_str(), cells.size());
+  return 0;
+}

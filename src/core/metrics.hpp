@@ -8,6 +8,7 @@
 
 #include "ipfs/retry.hpp"
 #include "sim/datapath.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 
 namespace dfl::core {
@@ -78,6 +79,14 @@ struct RoundMetrics {
   double post_round_loss = -1;
   CryptoRecord crypto;      // zeros when not verifiable
   DataPathRecord datapath;  // host-side data-plane observability
+  /// Injector activity during this round (delta; zeros without chaos).
+  sim::FaultStats faults;
+  /// Partitions whose accepted global update was assembled post-round,
+  /// and the total — the graceful-degradation signal scenario SLOs gate
+  /// on (completion_rate()).
+  std::size_t partitions_complete = 0;
+  std::size_t partitions_total = 0;
+  bool global_update_complete = false;
 
   void note_gradient_announce(sim::TimeNs at) {
     if (first_gradient_announce < 0 || at < first_gradient_announce) {
@@ -99,6 +108,14 @@ struct RoundMetrics {
   /// Storage-RPC resilience counters summed over every trainer and
   /// aggregator this round (chaos observability).
   [[nodiscard]] ipfs::RetryStats rpc_totals() const;
+  /// Fraction of partitions with an accepted global update (1.0 when the
+  /// round fully converged; 0 when partitions_total is unset).
+  [[nodiscard]] double completion_rate() const {
+    return partitions_total == 0
+               ? 0.0
+               : static_cast<double>(partitions_complete) /
+                     static_cast<double>(partitions_total);
+  }
 };
 
 }  // namespace dfl::core

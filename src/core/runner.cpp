@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "common/log.hpp"
@@ -17,6 +18,33 @@ namespace {
 sim::HostConfig participant_link(const DeploymentConfig& cfg) {
   return sim::HostConfig{cfg.participant_mbps * 1e6, cfg.participant_mbps * 1e6,
                          cfg.link_latency};
+}
+
+double scenario_num(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size()) {
+    throw sim::ScenarioError("scenario: [deployment] " + key + ": not a number: '" + value +
+                             "'");
+  }
+  return v;
+}
+
+/// Folds `built` (the expanded scenario generators) into `plan` (any
+/// chaos the caller configured directly): windows append, probabilistic
+/// fields take the stronger of the two, jitter from the scenario wins
+/// when it sets one.
+void merge_fault_plan(sim::FaultPlan& plan, sim::FaultPlan&& built) {
+  plan.crashes.insert(plan.crashes.end(), built.crashes.begin(), built.crashes.end());
+  plan.degradations.insert(plan.degradations.end(), built.degradations.begin(),
+                           built.degradations.end());
+  plan.transfer_failure_prob = std::max(plan.transfer_failure_prob, built.transfer_failure_prob);
+  plan.corruption_prob = std::max(plan.corruption_prob, built.corruption_prob);
+  if (!built.latency_jitter_ms.is_zero()) {
+    plan.latency_jitter_ms = built.latency_jitter_ms;
+    plan.latency_jitter_prob = built.latency_jitter_prob;
+  }
+  plan.seed = built.seed;
 }
 
 /// Publishes the process-wide data-plane counters into the global registry.
@@ -74,6 +102,66 @@ void publish_round_metrics(const RoundMetrics& m) {
 
 }  // namespace
 
+sim::RoleMap deployment_roles(const DeploymentConfig& cfg) {
+  sim::RoleMap roles;
+  std::uint32_t next = 0;
+  auto add = [&](const char* name, std::size_t count) {
+    auto& ids = roles[name];
+    for (std::size_t i = 0; i < count; ++i) ids.push_back(next++);
+  };
+  // Mirrors the constructor's host creation order exactly.
+  add("nodes", cfg.num_ipfs_nodes);
+  add("directory", std::max<std::size_t>(1, cfg.directory_replicas));
+  add("trainers", cfg.num_trainers);
+  add("aggregators", cfg.num_partitions * cfg.aggs_per_partition);
+  return roles;
+}
+
+int apply_scenario(const sim::ScenarioSpec& spec, DeploymentConfig& cfg) {
+  for (const auto& [key, value] : spec.deployment) {
+    const double v = scenario_num(key, value);
+    const auto count = static_cast<std::size_t>(v);
+    if (key == "trainers") {
+      cfg.num_trainers = count;
+    } else if (key == "partitions") {
+      cfg.num_partitions = count;
+    } else if (key == "elements") {
+      cfg.partition_elements = count;
+    } else if (key == "aggs_per_partition") {
+      cfg.aggs_per_partition = count;
+    } else if (key == "nodes") {
+      cfg.num_ipfs_nodes = count;
+    } else if (key == "providers") {
+      cfg.providers_per_agg = count;
+    } else if (key == "directory_replicas") {
+      cfg.directory_replicas = count;
+    } else if (key == "participant_mbps") {
+      cfg.participant_mbps = v;
+    } else if (key == "node_mbps") {
+      cfg.node_mbps = v;
+    } else if (key == "directory_mbps") {
+      cfg.directory_mbps = v;
+    } else if (key == "link_latency_ms") {
+      cfg.link_latency = sim::from_millis(v);
+    } else if (key == "t_train_s") {
+      cfg.schedule.t_train = sim::from_seconds(v);
+    } else if (key == "t_sync_s") {
+      cfg.schedule.t_sync = sim::from_seconds(v);
+    } else if (key == "poll_ms") {
+      cfg.schedule.poll_interval = sim::from_millis(v);
+    } else if (key == "train_time_s") {
+      cfg.train_time = sim::from_seconds(v);
+    } else if (key == "merge_and_download") {
+      cfg.options.merge_and_download = v != 0;
+    } else {
+      throw sim::ScenarioError("scenario: unknown [deployment] key '" + key + "'");
+    }
+  }
+  if (spec.has_seed) cfg.seed = spec.seed;
+  cfg.scenario = spec;
+  return spec.rounds;
+}
+
 Deployment::Deployment(DeploymentConfig config, std::unique_ptr<GradientSource> source)
     : config_(std::move(config)) {
   sim_ = std::make_unique<sim::Simulator>();
@@ -82,13 +170,27 @@ Deployment::Deployment(DeploymentConfig config, std::unique_ptr<GradientSource> 
   swarm_cfg.node_config.chunking.mode = config_.options.chunking;
   swarm_cfg.node_config.chunking.chunk_size = config_.options.chunk_size;
   swarm_cfg.node_config.chunking.pipeline_depth = config_.options.chunk_pipeline;
+  swarm_cfg.provider_ttl = config_.scenario.provider_ttl;
+  swarm_cfg.provider_republish = config_.scenario.provider_republish;
   swarm_ = std::make_unique<ipfs::Swarm>(*net_, swarm_cfg);
   pubsub_ = std::make_unique<ipfs::PubSub>(*net_);
 
+  // Scenario link heterogeneity: each host of a role draws its own config
+  // from the role's model, in host creation order from a private stream —
+  // the draw sequence (and so every HostConfig) is bit-stable in seed.
+  const bool scenario_active = config_.scenario.active();
+  Rng link_rng(config_.seed ^ 0x11ce5ca1ab1e11ceULL);
+  auto role_link = [&](const char* role, const sim::HostConfig& base) {
+    if (!scenario_active) return base;
+    const auto it = config_.scenario.links.find(role);
+    return it == config_.scenario.links.end() ? base : it->second.sample(base, link_rng);
+  };
+
   for (std::size_t i = 0; i < config_.num_ipfs_nodes; ++i) {
     swarm_->add_node("ipfs" + std::to_string(i),
-                     sim::HostConfig{config_.node_mbps * 1e6, config_.node_mbps * 1e6,
-                                     config_.link_latency});
+                     role_link("nodes",
+                               sim::HostConfig{config_.node_mbps * 1e6, config_.node_mbps * 1e6,
+                                               config_.link_latency}));
   }
 
   const std::size_t num_params = config_.partition_elements * config_.num_partitions;
@@ -102,8 +204,9 @@ Deployment::Deployment(DeploymentConfig config, std::unique_ptr<GradientSource> 
   for (std::size_t r = 0; r < dir_replicas; ++r) {
     directory_hosts_.push_back(&net_->add_host(
         "directory" + std::to_string(r),
-        sim::HostConfig{config_.directory_mbps * 1e6, config_.directory_mbps * 1e6,
-                        config_.link_latency}));
+        role_link("directory",
+                  sim::HostConfig{config_.directory_mbps * 1e6, config_.directory_mbps * 1e6,
+                                  config_.link_latency})));
   }
   boot_ = std::make_unique<Bootstrapper>(*net_, directory_hosts_, *swarm_, std::move(spec),
                                          config_.task_domain);
@@ -132,7 +235,8 @@ Deployment::Deployment(DeploymentConfig config, std::unique_ptr<GradientSource> 
   }
 
   for (std::uint32_t t = 0; t < config_.num_trainers; ++t) {
-    sim::Host& h = net_->add_host("trainer" + std::to_string(t), participant_link(config_));
+    sim::Host& h =
+        net_->add_host("trainer" + std::to_string(t), role_link("trainers", participant_link(config_)));
     TrainerBehavior behavior = TrainerBehavior::kHonest;
     if (const auto it = config_.trainer_behaviors.find(t);
         it != config_.trainer_behaviors.end()) {
@@ -142,7 +246,8 @@ Deployment::Deployment(DeploymentConfig config, std::unique_ptr<GradientSource> 
   }
   const std::size_t total_aggs = config_.num_partitions * config_.aggs_per_partition;
   for (std::uint32_t a = 0; a < total_aggs; ++a) {
-    sim::Host& h = net_->add_host("agg" + std::to_string(a), participant_link(config_));
+    sim::Host& h =
+        net_->add_host("agg" + std::to_string(a), role_link("aggregators", participant_link(config_)));
     const auto partition = static_cast<std::uint32_t>(a / config_.aggs_per_partition);
     const auto slot = static_cast<std::uint32_t>(a % config_.aggs_per_partition);
     AggBehavior behavior = AggBehavior::kHonest;
@@ -156,10 +261,25 @@ Deployment::Deployment(DeploymentConfig config, std::unique_ptr<GradientSource> 
   // Arm the chaos schedule last, once every host referenced by the plan
   // exists (storage nodes are hosts 0..num_ipfs_nodes-1, then directory
   // replicas, trainers, and aggregators, in that order).
+  if (scenario_active) {
+    // Expand the scenario's generators over the planned horizon (one
+    // round's slack past the suggested count — rounds that overrun their
+    // window still see chaos). Built from the *final* config, so a CLI
+    // seed override after apply_scenario reshapes the schedule too.
+    const auto planned = static_cast<sim::TimeNs>(std::max(1, config_.scenario.rounds) + 1);
+    merge_fault_plan(config_.fault_plan,
+                     config_.scenario.build_fault_plan(deployment_roles(config_),
+                                                       planned * config_.schedule.t_sync,
+                                                       config_.seed));
+  }
   if (!config_.fault_plan.empty()) {
     fault_ = std::make_unique<sim::FaultInjector>(*net_, config_.fault_plan);
-    fault_->arm();
+    // Scenario mode arms incrementally from run_round: scheduling a long
+    // horizon up front would let the end-of-round drain fast-forward the
+    // clock through every future window.
+    if (!scenario_active) fault_->arm();
   }
+  incremental_chaos_ = scenario_active;
 
   // Subsume the scattered per-subsystem stats under the metrics registry:
   // collectors read the existing structs at snapshot() time, so the hot
@@ -174,6 +294,19 @@ Deployment::Deployment(DeploymentConfig config, std::unique_ptr<GradientSource> 
     r.counter("dfl.net.transfers_dropped").set(net_->transfers_dropped());
     r.counter("dfl.net.trace_records").set(net_->trace().size());
     r.counter("dfl.net.trace_dropped").set(net_->trace().dropped());
+    const ipfs::ProviderStats& p = swarm_->provider_stats();
+    r.counter("dfl.provider.republish_sweeps").set(p.republish_sweeps);
+    r.counter("dfl.provider.records_refreshed").set(p.records_refreshed);
+    r.counter("dfl.provider.expired_lookups").set(p.expired_lookups);
+  });
+  obs::Registry::global().register_collector("fault", [this](obs::Registry& r) {
+    if (fault_ == nullptr) return;
+    const sim::FaultStats& s = fault_->stats();
+    r.counter("dfl.fault.crashes").set(s.crashes);
+    r.counter("dfl.fault.restarts").set(s.restarts);
+    r.counter("dfl.fault.transfers_dropped").set(s.transfers_dropped);
+    r.counter("dfl.fault.payloads_corrupted").set(s.payloads_corrupted);
+    r.counter("dfl.fault.transfers_jittered").set(s.transfers_jittered);
   });
   obs::Registry::global().register_collector("crypto", [this](obs::Registry& r) {
     if (!engine_) return;
@@ -190,6 +323,7 @@ Deployment::Deployment(DeploymentConfig config, std::unique_ptr<GradientSource> 
 Deployment::~Deployment() {
   obs::Registry::global().unregister_collector("net");
   obs::Registry::global().unregister_collector("crypto");
+  obs::Registry::global().unregister_collector("fault");
 }
 
 RoundMetrics Deployment::run_round(std::uint32_t iter) {
@@ -200,7 +334,15 @@ RoundMetrics Deployment::run_round(std::uint32_t iter) {
   metrics.aggregators.resize(aggregators_.size());
   const crypto::EngineStats crypto_before =
       engine_ ? engine_->stats() : crypto::EngineStats{};
+  const sim::FaultStats faults_before = fault_ ? fault_->stats() : sim::FaultStats{};
   const sim::DataPathStats dp_before = sim::datapath_stats();
+
+  // Scenario mode: arm one round's worth of chaos and provider republish
+  // sweeps. Cursors are monotonic, so both calls are cheap no-ops for
+  // already-covered spans and for legacy fully-armed plans.
+  const sim::TimeNs round_horizon = metrics.round_start + boot_->spec().schedule.t_sync;
+  if (fault_ != nullptr && incremental_chaos_) fault_->arm_until(round_horizon);
+  swarm_->republish_until(round_horizon);
   const std::uint64_t events_before = sim_->events_processed();
   const auto wall_start = std::chrono::steady_clock::now();
 
@@ -248,7 +390,10 @@ RoundMetrics Deployment::run_round(std::uint32_t iter) {
     metrics.crypto.parallel_speedup = calibration_.parallel_speedup;
   }
 
-  collect_global_update(iter);
+  metrics.partitions_total = boot_->spec().num_partitions();
+  metrics.partitions_complete = collect_global_update(iter);
+  metrics.global_update_complete = !last_global_update_.empty();
+  if (fault_) metrics.faults = fault_->stats().since(faults_before);
   if (!last_global_update_.empty()) {
     source_->apply_global_update(last_global_update_, iter);
   }
@@ -256,21 +401,22 @@ RoundMetrics Deployment::run_round(std::uint32_t iter) {
   return metrics;
 }
 
-void Deployment::collect_global_update(std::uint32_t iter) {
+std::size_t Deployment::collect_global_update(std::uint32_t iter) {
   // Omniscient post-round read: assemble the accepted global updates
   // directly out of the directory rows and node block stores (no network
-  // cost — this is measurement bookkeeping, not protocol).
+  // cost — this is measurement bookkeeping, not protocol). Expired
+  // provider records are deliberately included: the data plane pays for
+  // staleness, the measurement does not.
   last_global_update_.assign(boot_->spec().num_params(), 0.0);
+  std::size_t complete = 0;
   for (std::size_t p = 0; p < boot_->spec().num_partitions(); ++p) {
     const auto rows = boot_->directory().rows(static_cast<std::uint32_t>(p), iter,
                                               directory::EntryType::kGlobalUpdate);
-    if (rows.empty()) {
-      last_global_update_.clear();
-      return;
-    }
+    if (rows.empty()) continue;
     Block data;
     bool found = false;
-    for (const std::uint32_t node_id : swarm_->providers(rows.front().cid)) {
+    for (const std::uint32_t node_id :
+         swarm_->providers(rows.front().cid, /*include_expired=*/true)) {
       // peek: measurement read, kept out of the data-plane accounting.
       // peek_content reassembles DAG roots from their stored leaves.
       if (auto block = swarm_->node(node_id).peek_content(rows.front().cid)) {
@@ -279,10 +425,7 @@ void Deployment::collect_global_update(std::uint32_t iter) {
         break;
       }
     }
-    if (!found) {
-      last_global_update_.clear();
-      return;
-    }
+    if (!found) continue;
     const Payload payload = Payload::deserialize(data);
     const auto avg = payload.average(boot_->spec().options.frac_bits);
     const auto [first, last] = boot_->spec().partition_range(p);
@@ -291,7 +434,10 @@ void Deployment::collect_global_update(std::uint32_t iter) {
     }
     std::copy(avg.begin(), avg.end(),
               last_global_update_.begin() + static_cast<std::ptrdiff_t>(first));
+    ++complete;
   }
+  if (complete != boot_->spec().num_partitions()) last_global_update_.clear();
+  return complete;
 }
 
 RunSummary Deployment::run(int rounds, const ml::Dataset* eval) {

@@ -21,6 +21,7 @@
 #include "core/trainer.hpp"
 #include "ml/dataset.hpp"
 #include "sim/fault.hpp"
+#include "sim/scenario.hpp"
 
 namespace dfl::core {
 
@@ -63,7 +64,29 @@ struct DeploymentConfig {
   /// Directory replicas (>1 uses ReplicatedDirectory: no single point of
   /// failure, at the cost of write amplification).
   std::size_t directory_replicas = 1;
+
+  /// Declarative chaos scenario (inactive when name is empty; see
+  /// sim/scenario.hpp and core::apply_scenario). When active, the
+  /// deployment samples per-role link configs from scenario.links,
+  /// expands the generators into fault_plan at construction, enables
+  /// provider-record expiry/republish, and arms chaos *incrementally*
+  /// per round so long horizons never fast-forward the clock.
+  sim::ScenarioSpec scenario;
 };
+
+/// Applies `spec`'s [deployment] overrides and seed/rounds suggestions
+/// onto `cfg` and attaches the scenario (cfg.scenario = spec). Returns the
+/// scenario's suggested round count (0 = caller decides). CLI flags that
+/// should win over the file must be applied to `cfg` *after* this call;
+/// the fault plan itself is built inside the Deployment constructor from
+/// the final config, so a later seed override still reshapes the chaos.
+/// Throws sim::ScenarioError on an unknown [deployment] key.
+int apply_scenario(const sim::ScenarioSpec& spec, DeploymentConfig& cfg);
+
+/// Role -> host-id map for a config, mirroring the Deployment's host
+/// creation order: "nodes" (storage, ids 0..), then "directory",
+/// "trainers", "aggregators".
+[[nodiscard]] sim::RoleMap deployment_roles(const DeploymentConfig& cfg);
 
 struct RunSummary {
   std::vector<RoundMetrics> rounds;
@@ -115,7 +138,8 @@ class Deployment {
   }
 
  private:
-  void collect_global_update(std::uint32_t iter);
+  /// Returns the number of partitions whose global update was assembled.
+  std::size_t collect_global_update(std::uint32_t iter);
 
   DeploymentConfig config_;
   std::unique_ptr<sim::Simulator> sim_;
@@ -132,6 +156,9 @@ class Deployment {
   std::vector<std::unique_ptr<Aggregator>> aggregators_;
   std::vector<sim::Host*> directory_hosts_;
   std::vector<double> last_global_update_;
+  /// Scenario mode: chaos is armed per round (arm_until) instead of all
+  /// at once, so end-of-round drains never fast-forward the clock.
+  bool incremental_chaos_ = false;
 };
 
 }  // namespace dfl::core

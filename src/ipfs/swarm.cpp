@@ -56,17 +56,56 @@ std::size_t Swarm::live_node_count() const {
   return n;
 }
 
+sim::TimeNs Swarm::record_expiry() const {
+  return config_.provider_ttl <= 0 ? -1 : net_.simulator().now() + config_.provider_ttl;
+}
+
 void Swarm::add_provider(const Cid& cid, std::uint32_t node_id) {
   auto& list = provider_records_[cid];
-  if (std::find(list.begin(), list.end(), node_id) == list.end()) {
-    list.push_back(node_id);
+  for (ProviderRecord& rec : list) {
+    if (rec.node_id == node_id) {
+      rec.expires_at = record_expiry();  // re-announce refreshes the TTL
+      return;
+    }
+  }
+  list.push_back(ProviderRecord{node_id, record_expiry()});
+}
+
+std::vector<std::uint32_t> Swarm::providers(const Cid& cid, bool include_expired) const {
+  const auto it = provider_records_.find(cid);
+  if (it == provider_records_.end()) return {};
+  const sim::TimeNs now = net_.simulator().now();
+  std::vector<std::uint32_t> out;
+  out.reserve(it->second.size());
+  for (const ProviderRecord& rec : it->second) {
+    if (include_expired || rec.expires_at < 0 || now < rec.expires_at) {
+      out.push_back(rec.node_id);
+    }
+  }
+  return out;
+}
+
+void Swarm::republish_sweep() {
+  ++provider_stats_.republish_sweeps;
+  for (auto& [cid, records] : provider_records_) {
+    for (ProviderRecord& rec : records) {
+      if (rec.expires_at < 0) continue;
+      const IpfsNode& holder = *nodes_.at(rec.node_id);
+      if (!holder.host().is_up() || !holder.store().has(cid)) continue;
+      rec.expires_at = record_expiry();
+      ++provider_stats_.records_refreshed;
+    }
   }
 }
 
-std::vector<std::uint32_t> Swarm::providers(const Cid& cid) const {
-  const auto it = provider_records_.find(cid);
-  if (it == provider_records_.end()) return {};
-  return it->second;
+void Swarm::republish_until(sim::TimeNs until) {
+  if (config_.provider_republish <= 0 || config_.provider_ttl <= 0) return;
+  sim::Simulator& sim = net_.simulator();
+  if (next_republish_at_ <= 0) next_republish_at_ = config_.provider_republish;
+  while (next_republish_at_ < until) {
+    sim.schedule_at(next_republish_at_, [this] { republish_sweep(); });
+    next_republish_at_ += config_.provider_republish;
+  }
 }
 
 sim::Task<Block> Swarm::fetch(sim::Host& caller, Cid cid, RetryStats* stats) {
@@ -76,15 +115,21 @@ sim::Task<Block> Swarm::fetch(sim::Host& caller, Cid cid, RetryStats* stats) {
     obs::set_ambient_span(parent);
     co_return co_await fetch_dag(caller, cid, stats);
   }
-  const auto it = provider_records_.find(cid);
-  if (it == provider_records_.end() || it->second.empty()) {
+  const std::vector<std::uint32_t> current = providers(cid);
+  if (current.empty()) {
+    if (!providers(cid, /*include_expired=*/true).empty()) {
+      // Records exist but every one lapsed: the bytes are probably still
+      // out there and a republish can revive the record — retryable.
+      ++provider_stats_.expired_lookups;
+      throw UnavailableError("fetch " + cid.to_hex() + ": provider records expired");
+    }
     // No record at all: the block never existed (fatal, do not retry).
     throw NotFoundError(cid);
   }
   // Spread load across live replicas (IPFS swarming fetches from whichever
   // peer serves the block; we pick deterministically by caller identity).
   std::vector<IpfsNode*> live;
-  for (const std::uint32_t id : it->second) {
+  for (const std::uint32_t id : current) {
     IpfsNode& provider = *nodes_.at(id);
     if (provider.host().is_up()) live.push_back(&provider);
   }
@@ -123,7 +168,15 @@ sim::Task<Block> Swarm::fetch_dag(sim::Host& caller, Cid root, RetryStats* stats
   // upload finishes, so "no record yet" usually means "still in flight":
   // poll up to the leaf-wait budget before declaring it nonexistent.
   while (providers(root).empty()) {
-    if (sim.now() >= deadline) throw NotFoundError(root);
+    if (sim.now() >= deadline) {
+      if (!providers(root, /*include_expired=*/true).empty()) {
+        // Announced once but every record lapsed: retryable, a republish
+        // from a live holder can revive it.
+        ++provider_stats_.expired_lookups;
+        throw UnavailableError("fetch " + root.to_hex() + ": provider records expired");
+      }
+      throw NotFoundError(root);
+    }
     co_await sim.sleep(ck.leaf_poll);
   }
 
@@ -434,7 +487,9 @@ sim::TimeNs Swarm::node_drain_time(std::uint32_t node_id) const {
 }
 
 sim::Task<std::size_t> Swarm::replicate(Cid cid, std::size_t copies) {
-  const auto holders = providers(cid);
+  // Maintenance path: an expired record still points at real bytes, and
+  // the copy below re-announces (refreshing the record) via put_local.
+  const auto holders = providers(cid, /*include_expired=*/true);
   if (holders.empty()) throw NotFoundError(cid);
   IpfsNode* source = nullptr;
   for (const std::uint32_t id : holders) {

@@ -26,6 +26,24 @@ struct SwarmConfig {
   IpfsNodeConfig node_config{};
   /// Seed of the retry-jitter RNG stream (deterministic backoff).
   std::uint64_t retry_seed = 0x5eed5eedULL;
+  /// Provider-record TTL (0 = records never expire, the legacy behavior).
+  /// With a TTL, a record not refreshed within `provider_ttl` stops
+  /// resolving: lookups see stale directory entries actually fail, which
+  /// forces failover/retry through RetryPolicy — the IPFS DHT expiry
+  /// dynamic measured by Trautwein et al.
+  sim::TimeNs provider_ttl = 0;
+  /// Republish sweep interval (0 = no republish). Each sweep refreshes
+  /// the records of every live node that still holds the bytes; see
+  /// republish_until().
+  sim::TimeNs provider_republish = 0;
+};
+
+/// Provider-plane observability: expiry and republish activity.
+struct ProviderStats {
+  std::uint64_t republish_sweeps = 0;
+  std::uint64_t records_refreshed = 0;
+  /// Lookups that found only expired records (retryable UnavailableError).
+  std::uint64_t expired_lookups = 0;
 };
 
 class Swarm {
@@ -43,10 +61,25 @@ class Swarm {
   [[nodiscard]] std::size_t live_node_count() const;
 
   /// Records that `node_id` holds `cid` (called by IpfsNode on put).
+  /// Refreshes the expiry of an existing record (config().provider_ttl).
   void add_provider(const Cid& cid, std::uint32_t node_id);
 
   /// Provider set for a CID (no latency; see `fetch` for the routed path).
-  [[nodiscard]] std::vector<std::uint32_t> providers(const Cid& cid) const;
+  /// Excludes expired records unless `include_expired` — omniscient
+  /// measurement reads pass true, the routed data path never does.
+  [[nodiscard]] std::vector<std::uint32_t> providers(const Cid& cid,
+                                                     bool include_expired = false) const;
+
+  /// Schedules republish sweeps (every config().provider_republish) up to
+  /// `until`. Each sweep refreshes the record expiry of every live node
+  /// that still holds the block's bytes, reviving entries that lapsed
+  /// while the holder was down. Incremental like FaultInjector::arm_until:
+  /// the cursor is monotonic, so a per-round driver never schedules a
+  /// sweep twice and never floods the event queue past the horizon.
+  /// No-op when provider_republish or provider_ttl is 0.
+  void republish_until(sim::TimeNs until);
+
+  [[nodiscard]] const ProviderStats& provider_stats() const { return provider_stats_; }
 
   /// Resolves the CID through the routing layer (pays lookup_latency) and
   /// downloads from the live providers, failing over to the next replica
@@ -136,11 +169,27 @@ class Swarm {
   /// from it but whose transfers have not reserved the pipes yet.
   [[nodiscard]] sim::TimeNs node_drain_time(std::uint32_t node_id) const;
 
+  /// One DHT-lite provider record: who, and until when the record
+  /// resolves (expires_at < 0 = never, the no-TTL legacy mode).
+  struct ProviderRecord {
+    std::uint32_t node_id = 0;
+    sim::TimeNs expires_at = -1;
+  };
+
+  /// Expiry horizon for a record created/refreshed now.
+  [[nodiscard]] sim::TimeNs record_expiry() const;
+  /// One republish sweep: refresh records whose holder is up and still
+  /// has the bytes.
+  void republish_sweep();
+
   sim::Network& net_;
   SwarmConfig config_;
   Rng retry_rng_;
   std::vector<std::unique_ptr<IpfsNode>> nodes_;
-  std::unordered_map<Cid, std::vector<std::uint32_t>, CidHash> provider_records_;
+  std::unordered_map<Cid, std::vector<ProviderRecord>, CidHash> provider_records_;
+  ProviderStats provider_stats_;
+  /// Next republish sweep not yet scheduled (monotonic cursor).
+  sim::TimeNs next_republish_at_ = 0;
   /// In-flight striped-fetch demand per node (bytes claimed, not yet on
   /// the wire) — the look-ahead the pipe reservations can't see.
   std::unordered_map<std::uint32_t, std::uint64_t> stripe_pending_;

@@ -169,16 +169,26 @@ void write_perfetto(std::ostream& os, const Tracer::Snapshot& snap,
 
   auto emit_span = [&](const Span& s, int pid, int tid) {
     const std::int64_t end = s.end_ns < s.start_ns ? s.start_ns : s.end_ns;
-    std::string ev = "{\"ph\":\"X\",\"pid\":";
+    std::string ev;
+    if (s.instant) {
+      // Thread-scoped instant marker: a moment, not an extent.
+      ev = "{\"ph\":\"i\",\"s\":\"t\",\"pid\":";
+    } else {
+      ev = "{\"ph\":\"X\",\"pid\":";
+    }
     ev += std::to_string(pid);
     ev += ",\"tid\":";
     ev += std::to_string(tid);
     ev += ",\"name\":\"";
     ev += json_escape(s.name);
-    ev += "\",\"cat\":\"span\",\"ts\":";
+    ev += "\",\"cat\":\"";
+    ev += s.instant ? "fault" : "span";
+    ev += "\",\"ts\":";
     append_ts(ev, s.start_ns);
-    ev += ",\"dur\":";
-    append_ts(ev, end - s.start_ns);
+    if (!s.instant) {
+      ev += ",\"dur\":";
+      append_ts(ev, end - s.start_ns);
+    }
     ev += ",\"args\":";
     std::vector<SpanAttr> attrs = s.attrs;
     SpanAttr id_attr;

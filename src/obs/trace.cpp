@@ -97,6 +97,14 @@ SpanToken Tracer::begin_wall(const char* name, SpanId parent) {
   return begin(name, track, wall_now(), parent, SpanClock::kWall);
 }
 
+void Tracer::instant(const char* name, std::uint32_t track, std::int64_t ts_ns, SpanId parent,
+                     SpanClock clock) {
+  SpanToken t = begin(name, track, ts_ns, parent, clock);
+  if (!t) return;
+  t.log->spans[t.index].end_ns = ts_ns;
+  t.log->spans[t.index].instant = true;
+}
+
 void Tracer::end(SpanToken t, std::int64_t end_ns) {
   if (!t) return;
   // Tokens from before a clear() point at truncated logs; drop them.

@@ -58,6 +58,7 @@ struct Span {
   SpanClock clock = SpanClock::kSim;
   std::int64_t start_ns = 0;
   std::int64_t end_ns = -1;  // -1 until end() is called
+  bool instant = false;      // zero-duration marker (crash/restart/drop)
   std::vector<SpanAttr> attrs;
 };
 
@@ -108,6 +109,12 @@ class Tracer {
   /// Opens a wall-clock span on this thread's wall track, timestamped
   /// with wall_now(). Pairs with end_wall().
   SpanToken begin_wall(const char* name, SpanId parent = 0);
+
+  /// Records a zero-duration instant event (exported as Perfetto ph:"i")
+  /// — fault markers like crash/restart/drop/corrupt that have a moment
+  /// but no extent. No-op while tracing is disabled.
+  void instant(const char* name, std::uint32_t track, std::int64_t ts_ns, SpanId parent = 0,
+               SpanClock clock = SpanClock::kSim);
 
   void end(SpanToken t, std::int64_t end_ns);
   void end_wall(SpanToken t);

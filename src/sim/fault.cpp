@@ -1,10 +1,81 @@
 #include "sim/fault.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace dfl::sim {
+
+double Distribution::sample(Rng& rng) const {
+  switch (kind) {
+    case Kind::kConstant:
+      return a;
+    case Kind::kUniform:
+      return rng.uniform_real(a, b);
+    case Kind::kNormal:
+      return std::max(0.0, rng.normal(a, b));
+    case Kind::kLogNormal:
+      // a is the median (exp of the log-mean), b the sigma of the log.
+      return a * std::exp(rng.normal(0.0, b));
+    case Kind::kExponential:
+      return a <= 0 ? 0.0 : rng.exponential(1.0 / a);
+    case Kind::kPareto: {
+      // Inverse-CDF with tail index b, minimum a.
+      const double u = rng.uniform01();
+      return a / std::pow(1.0 - u, 1.0 / std::max(b, 1e-9));
+    }
+  }
+  return 0.0;
+}
+
+namespace {
+
+void check_prob(const char* name, double p) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("FaultPlan: " + std::string(name) + " = " + std::to_string(p) +
+                                " outside [0, 1]");
+  }
+}
+
+}  // namespace
+
+void FaultPlan::validate() const {
+  check_prob("transfer_failure_prob", transfer_failure_prob);
+  check_prob("corruption_prob", corruption_prob);
+  check_prob("latency_jitter_prob", latency_jitter_prob);
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    if (crashes[i].down_at < 0) {
+      throw std::invalid_argument("FaultPlan: crash window " + std::to_string(i) +
+                                  " (host " + std::to_string(crashes[i].host_id) +
+                                  ") has negative down_at");
+    }
+  }
+  for (std::size_t i = 0; i < degradations.size(); ++i) {
+    const DegradeWindow& w = degradations[i];
+    const std::string where =
+        "FaultPlan: degrade window " + std::to_string(i) + " (host " +
+        std::to_string(w.host_id) + ")";
+    if (!(w.factor > 0.0 && w.factor <= 1.0)) {
+      throw std::invalid_argument(where + " factor " + std::to_string(w.factor) +
+                                  " outside (0, 1]");
+    }
+    if (w.end < w.start) {
+      throw std::invalid_argument(where + " ends before it starts (end " +
+                                  std::to_string(w.end) + " < start " +
+                                  std::to_string(w.start) + ")");
+    }
+    if (w.start < 0) {
+      throw std::invalid_argument(where + " has negative start");
+    }
+  }
+  if (latency_jitter_ms.is_constant() && latency_jitter_ms.a < 0) {
+    throw std::invalid_argument("FaultPlan: negative latency_jitter_ms");
+  }
+}
 
 FaultPlan FaultPlan::periodic_churn(const std::vector<std::uint32_t>& host_ids, TimeNs horizon,
                                     TimeNs period, TimeNs downtime, double churn_prob,
@@ -26,58 +97,117 @@ FaultPlan FaultPlan::periodic_churn(const std::vector<std::uint32_t>& host_ids, 
   return plan;
 }
 
-void FaultInjector::arm() {
-  if (armed_) return;
-  armed_ = true;
-  Simulator& sim = net_.simulator();
-  for (const CrashWindow& w : plan_.crashes) {
-    if (w.host_id >= net_.host_count()) {
-      DFL_WARN("fault") << "crash window names unknown host " << w.host_id << "; skipped";
-      continue;
-    }
-    sim.schedule_at(w.down_at, [this, id = w.host_id] {
-      Host& h = net_.host(id);
-      if (!h.is_up()) return;  // overlapping windows: already down
-      ++stats_.crashes;
-      DFL_DEBUG("fault") << "crash host " << h.name() << " at " << to_seconds(net_.simulator().now()) << "s";
-      h.set_up(false);
-    });
-    if (w.up_at > w.down_at) {
-      sim.schedule_at(w.up_at, [this, id = w.host_id] {
-        Host& h = net_.host(id);
-        if (h.is_up()) return;
-        ++stats_.restarts;
-        DFL_DEBUG("fault") << "restart host " << h.name() << " at "
-                           << to_seconds(net_.simulator().now()) << "s";
-        h.set_up(true);
-      });
-    }
-  }
+void FaultInjector::install() {
+  plan_.validate();
   net_.set_fault_hook(this);
 }
 
-bool FaultInjector::should_drop_transfer(const Host&, const Host&) {
+void FaultInjector::schedule_window(const CrashWindow& w) {
+  Simulator& sim = net_.simulator();
+  if (w.host_id >= net_.host_count()) {
+    DFL_WARN("fault") << "crash window names unknown host " << w.host_id << "; skipped";
+    return;
+  }
+  sim.schedule_at(w.down_at, [this, id = w.host_id] {
+    Host& h = net_.host(id);
+    if (!h.is_up()) return;  // overlapping windows: already down
+    ++stats_.crashes;
+    DFL_DEBUG("fault") << "crash host " << h.name() << " at " << to_seconds(net_.simulator().now()) << "s";
+    obs::Tracer::instance().instant("crash", id, net_.simulator().now());
+    h.set_up(false);
+  });
+  if (w.up_at > w.down_at) {
+    sim.schedule_at(w.up_at, [this, id = w.host_id] {
+      Host& h = net_.host(id);
+      if (h.is_up()) return;
+      ++stats_.restarts;
+      DFL_DEBUG("fault") << "restart host " << h.name() << " at "
+                         << to_seconds(net_.simulator().now()) << "s";
+      obs::Tracer::instance().instant("restart", id, net_.simulator().now());
+      h.set_up(true);
+    });
+  }
+}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  install();
+  for (const CrashWindow& w : plan_.crashes) schedule_window(w);
+  // Everything is scheduled; an arm_until after a full arm is a no-op.
+  crash_cursor_ = plan_.crashes.size();
+  crash_order_.clear();
+}
+
+void FaultInjector::arm_until(TimeNs until) {
+  if (!armed_) {
+    armed_ = true;
+    install();
+    crash_order_.resize(plan_.crashes.size());
+    for (std::size_t i = 0; i < crash_order_.size(); ++i) crash_order_[i] = i;
+    std::stable_sort(crash_order_.begin(), crash_order_.end(), [this](std::size_t a, std::size_t b) {
+      return plan_.crashes[a].down_at < plan_.crashes[b].down_at;
+    });
+  }
+  while (crash_cursor_ < crash_order_.size() &&
+         plan_.crashes[crash_order_[crash_cursor_]].down_at < until) {
+    schedule_window(plan_.crashes[crash_order_[crash_cursor_]]);
+    ++crash_cursor_;
+  }
+}
+
+bool FaultInjector::should_drop_transfer(const Host& from, const Host&) {
   if (plan_.transfer_failure_prob <= 0) return false;
   const bool drop = rng_.uniform01() < plan_.transfer_failure_prob;
-  if (drop) ++stats_.transfers_dropped;
+  if (drop) {
+    ++stats_.transfers_dropped;
+    obs::Tracer::instance().instant("drop", from.id(), net_.simulator().now());
+  }
   return drop;
 }
 
-double FaultInjector::bandwidth_factor(const Host& from, const Host& to) {
-  double factor = 1.0;
+void FaultInjector::degrade_factors(const Host& from, const Host& to, double& up,
+                                    double& down) const {
   const TimeNs now = net_.simulator().now();
   for (const DegradeWindow& w : plan_.degradations) {
     if (now < w.start || now >= w.end) continue;
-    if (w.host_id != from.id() && w.host_id != to.id()) continue;
-    factor *= std::clamp(w.factor, 1e-6, 1.0);
+    const double f = std::clamp(w.factor, 1e-6, 1.0);
+    // The window throttles the named host's own pipes: its uplink when it
+    // is the sender, its downlink when it is the receiver.
+    if (w.host_id == from.id() && w.dir != LinkDirection::kDownlink) up *= f;
+    if (w.host_id == to.id() && w.dir != LinkDirection::kUplink) down *= f;
   }
-  return factor;
 }
 
-bool FaultInjector::should_corrupt_payload(const Host&) {
+double FaultInjector::bandwidth_factor(const Host& from, const Host& to) {
+  // Legacy symmetric view: the tighter of the two directional factors.
+  double up = 1.0;
+  double down = 1.0;
+  degrade_factors(from, to, up, down);
+  return std::min(up, down);
+}
+
+FaultHook::PathEffect FaultInjector::path_effect(const Host& from, const Host& to) {
+  PathEffect effect;
+  degrade_factors(from, to, effect.up_factor, effect.down_factor);
+  if (!plan_.latency_jitter_ms.is_zero() &&
+      (plan_.latency_jitter_prob >= 1.0 || rng_.uniform01() < plan_.latency_jitter_prob)) {
+    const double ms = plan_.latency_jitter_ms.sample(rng_);
+    if (ms > 0) {
+      effect.extra_latency = from_millis(ms);
+      ++stats_.transfers_jittered;
+    }
+  }
+  return effect;
+}
+
+bool FaultInjector::should_corrupt_payload(const Host& server) {
   if (plan_.corruption_prob <= 0) return false;
   const bool corrupt = rng_.uniform01() < plan_.corruption_prob;
-  if (corrupt) ++stats_.payloads_corrupted;
+  if (corrupt) {
+    ++stats_.payloads_corrupted;
+    obs::Tracer::instance().instant("corrupt", server.id(), net_.simulator().now());
+  }
   return corrupt;
 }
 

@@ -1,10 +1,10 @@
 // Deterministic chaos engineering for the simulator: a FaultPlan describes
 // *what* goes wrong (scheduled crash/restart windows, probabilistic
-// per-transfer faults, link degradation, payload corruption) and a
-// FaultInjector makes it happen on a Network. All randomness flows through
-// dfl::Rng seeded from the plan, so a given (plan, seed) pair reproduces
-// the exact same fault sequence bit-for-bit — chaos runs are regressions,
-// not flakes.
+// per-transfer faults, link degradation, latency jitter, payload
+// corruption) and a FaultInjector makes it happen on a Network. All
+// randomness flows through dfl::Rng seeded from the plan, so a given
+// (plan, seed) pair reproduces the exact same fault sequence bit-for-bit —
+// chaos runs are regressions, not flakes.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +16,35 @@
 
 namespace dfl::sim {
 
+/// A parameterized scalar distribution, sampled through dfl::Rng so every
+/// draw is deterministic. The chaos vocabulary (heavy-tailed bandwidth,
+/// Pareto latency, exponential jitter) is expressed with these; parsing
+/// from scenario text lives in sim/scenario.hpp.
+struct Distribution {
+  enum class Kind : std::uint8_t {
+    kConstant,     // a
+    kUniform,      // [a, b)
+    kNormal,       // mean a, stddev b (clamped to >= 0 by sample())
+    kLogNormal,    // median a (scale), sigma-of-log b — heavy-tailed bandwidth
+    kExponential,  // mean a — queueing-style latency jitter
+    kPareto,       // minimum a, tail index b — heavy-tailed latency
+  };
+  Kind kind = Kind::kConstant;
+  double a = 0.0;
+  double b = 0.0;
+
+  /// One non-negative draw (negative normal samples clamp to 0).
+  [[nodiscard]] double sample(Rng& rng) const;
+
+  [[nodiscard]] bool is_constant() const { return kind == Kind::kConstant; }
+  [[nodiscard]] bool is_zero() const { return kind == Kind::kConstant && a == 0.0; }
+
+  /// Degenerate distribution that always yields `v`.
+  static Distribution constant(double v) { return Distribution{Kind::kConstant, v, 0.0}; }
+
+  [[nodiscard]] bool operator==(const Distribution&) const = default;
+};
+
 /// One scheduled outage: the host goes down at `down_at` (failing every
 /// in-flight transfer touching it) and restarts at `up_at`. `up_at <=
 /// down_at` means the host never comes back.
@@ -25,13 +54,20 @@ struct CrashWindow {
   TimeNs up_at = 0;
 };
 
+/// Which side of a path a degradation applies to. Real access links are
+/// asymmetric (a saturated uplink leaves the downlink untouched), so a
+/// window can hit only the host's uplink, only its downlink, or both.
+enum class LinkDirection : std::uint8_t { kBoth = 0, kUplink = 1, kDownlink = 2 };
+
 /// Bandwidth degradation: while active, every transfer touching `host_id`
-/// runs at `factor` (in (0, 1]) of the normal path capacity.
+/// on the selected direction runs at `factor` (in (0, 1]) of the normal
+/// capacity.
 struct DegradeWindow {
   std::uint32_t host_id = 0;
   TimeNs start = 0;
   TimeNs end = 0;
   double factor = 1.0;
+  LinkDirection dir = LinkDirection::kBoth;
 };
 
 struct FaultPlan {
@@ -42,13 +78,25 @@ struct FaultPlan {
   /// Probability that a block served by a storage node is corrupted in
   /// flight (detected by the caller's CID re-verification).
   double corruption_prob = 0.0;
+  /// Extra one-way latency added to each transfer, in milliseconds,
+  /// sampled per transfer (constant 0 = no jitter).
+  Distribution latency_jitter_ms{};
+  /// Probability that a given transfer experiences the jitter at all.
+  double latency_jitter_prob = 1.0;
   /// Seed of the injector's private RNG stream.
   std::uint64_t seed = 1;
 
   [[nodiscard]] bool empty() const {
     return crashes.empty() && degradations.empty() && transfer_failure_prob <= 0 &&
-           corruption_prob <= 0;
+           corruption_prob <= 0 && latency_jitter_ms.is_zero();
   }
+
+  /// Sanity-checks every field: probabilities in [0, 1], degradation
+  /// factors in (0, 1], windows with end >= start, non-negative times and
+  /// jitter. Throws std::invalid_argument naming the offending entry.
+  /// FaultInjector::arm() calls this, so a malformed plan fails loudly at
+  /// arm time instead of silently misbehaving mid-run.
+  void validate() const;
 
   /// Deterministic churn generator: in every `period`-long slot up to
   /// `horizon`, each host in `host_ids` independently crashes with
@@ -65,10 +113,21 @@ struct FaultStats {
   std::uint64_t restarts = 0;
   std::uint64_t transfers_dropped = 0;
   std::uint64_t payloads_corrupted = 0;
+  std::uint64_t transfers_jittered = 0;
+
+  /// Delta of this snapshot against an earlier one (per-round metrics).
+  [[nodiscard]] FaultStats since(const FaultStats& before) const {
+    return FaultStats{crashes - before.crashes, restarts - before.restarts,
+                      transfers_dropped - before.transfers_dropped,
+                      payloads_corrupted - before.payloads_corrupted,
+                      transfers_jittered - before.transfers_jittered};
+  }
+  [[nodiscard]] bool operator==(const FaultStats&) const = default;
 };
 
-/// Executes a FaultPlan against a Network. Construct, then arm() once; the
-/// injector must outlive the network (or the hook must be cleared first).
+/// Executes a FaultPlan against a Network. Construct, then arm() once (or
+/// arm_until() repeatedly for incremental scenario runs); the injector must
+/// outlive the network (or the hook must be cleared first).
 class FaultInjector : public FaultHook {
  public:
   FaultInjector(Network& net, FaultPlan plan)
@@ -76,26 +135,44 @@ class FaultInjector : public FaultHook {
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
-  /// Schedules every crash/restart window on the simulator (relative times
-  /// in the plan are interpreted as absolute simulated times) and installs
-  /// this injector as the network's fault hook. Windows naming unknown
-  /// hosts are ignored.
+  /// Validates the plan, schedules every crash/restart window on the
+  /// simulator (relative times in the plan are interpreted as absolute
+  /// simulated times) and installs this injector as the network's fault
+  /// hook. Windows naming unknown hosts are ignored.
   void arm();
+
+  /// Incremental arming for long scenario horizons: schedules only the
+  /// crash windows with down_at < `until` that have not been scheduled
+  /// yet (windows are taken in down_at order; the cursor is monotonic).
+  /// Installs the hook and validates on the first call. Lets a driver arm
+  /// one round's worth of chaos at a time, so draining the event queue to
+  /// quiescence never fast-forwards the clock through the whole horizon.
+  void arm_until(TimeNs until);
 
   // FaultHook:
   bool should_drop_transfer(const Host& from, const Host& to) override;
   double bandwidth_factor(const Host& from, const Host& to) override;
+  PathEffect path_effect(const Host& from, const Host& to) override;
   bool should_corrupt_payload(const Host& server) override;
 
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
 
  private:
+  void install();
+  void schedule_window(const CrashWindow& w);
+  /// Directional degradation factors active right now on a path.
+  void degrade_factors(const Host& from, const Host& to, double& up, double& down) const;
+
   Network& net_;
   FaultPlan plan_;
   Rng rng_;
   FaultStats stats_;
   bool armed_ = false;
+  /// Crash indices sorted by down_at (built on first arm_until) and the
+  /// count already scheduled.
+  std::vector<std::size_t> crash_order_;
+  std::size_t crash_cursor_ = 0;
 };
 
 }  // namespace dfl::sim

@@ -87,10 +87,16 @@ Task<void> Network::transfer(Host& from, Host& to, std::uint64_t bytes, std::uin
     throw NetworkError("transfer " + from.name() + " -> " + to.name() + ": injected fault");
   }
   const std::uint64_t wire_bytes = bytes + overhead_bytes_;
-  double bps = std::min(from.config().up_bps, to.config().down_bps);
+  double up_bps = from.config().up_bps;
+  double down_bps = to.config().down_bps;
+  TimeNs extra_latency = 0;
   if (fault_hook_ != nullptr) {
-    bps *= std::clamp(fault_hook_->bandwidth_factor(from, to), 1e-6, 1.0);
+    const FaultHook::PathEffect pe = fault_hook_->path_effect(from, to);
+    up_bps *= std::clamp(pe.up_factor, 1e-6, 1.0);
+    down_bps *= std::clamp(pe.down_factor, 1e-6, 1.0);
+    extra_latency = std::max<TimeNs>(pe.extra_latency, 0);
   }
+  const double bps = std::min(up_bps, down_bps);
   const auto duration = static_cast<TimeNs>(static_cast<double>(wire_bytes) * 8.0 * 1e9 / bps);
 
   // Reserve both pipes FIFO: start when the later of the two frees up.
@@ -110,7 +116,7 @@ Task<void> Network::transfer(Host& from, Host& to, std::uint64_t bytes, std::uin
   to.bytes_received_ += wire_bytes;
   total_bytes_ += wire_bytes;
 
-  const TimeNs arrival = pipe_end + from.config().latency + to.config().latency;
+  const TimeNs arrival = pipe_end + from.config().latency + to.config().latency + extra_latency;
   if (tracing_) {
     trace_.push(TransferRecord{sim_.now(), start, arrival, from.id(), to.id(), wire_bytes,
                                dag_root, dag_leaf, transfer_id, parent_span});

@@ -98,6 +98,21 @@ class FaultHook {
   /// True to corrupt a payload served by `server` (storage-layer fault;
   /// consulted by IpfsNode::get, detected by CID re-verification).
   virtual bool should_corrupt_payload(const Host& server) = 0;
+
+  /// Direction-aware per-transfer effect: separate multipliers in (0, 1]
+  /// for the sender's uplink and the receiver's downlink, plus extra
+  /// one-way latency (jitter). This is what the network actually consults;
+  /// the default adapts the legacy symmetric bandwidth_factor so existing
+  /// hooks keep working unchanged.
+  struct PathEffect {
+    double up_factor = 1.0;
+    double down_factor = 1.0;
+    TimeNs extra_latency = 0;
+  };
+  virtual PathEffect path_effect(const Host& from, const Host& to) {
+    const double f = bandwidth_factor(from, to);
+    return PathEffect{f, f, 0};
+  }
 };
 
 /// One completed transfer, for offline analysis of a simulation run.

@@ -1,0 +1,535 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace dfl::sim {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw ScenarioError("scenario:" + std::to_string(line) + ": " + msg);
+}
+
+double to_double(const std::string& s, int line, const char* what) {
+  const std::string t = trim(s);
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  if (t.empty() || end != t.c_str() + t.size()) {
+    fail(line, std::string(what) + ": not a number: '" + t + "'");
+  }
+  return v;
+}
+
+std::uint64_t to_u64(const std::string& s, int line, const char* what) {
+  const std::string t = trim(s);
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(t.c_str(), &end, 10);
+  if (t.empty() || end != t.c_str() + t.size()) {
+    fail(line, std::string(what) + ": not an unsigned integer: '" + t + "'");
+  }
+  return v;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == sep) {
+      out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(trim(cur));
+  return out;
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+/// One parsed `[section]` with its `key = value` entries and line numbers.
+struct Section {
+  std::string name;
+  int line = 0;
+  std::vector<std::pair<std::string, std::string>> entries;
+  std::vector<int> entry_lines;
+};
+
+std::vector<Section> tokenize(const std::string& text) {
+  std::vector<Section> sections;
+  std::istringstream is(text);
+  std::string raw;
+  int line = 0;
+  while (std::getline(is, raw)) {
+    ++line;
+    // Strip comments: everything from the first unquoted '#' or ';'.
+    std::string stripped;
+    for (const char c : raw) {
+      if (c == '#' || c == ';') break;
+      stripped += c;
+    }
+    const std::string s = trim(stripped);
+    if (s.empty()) continue;
+    if (s.front() == '[') {
+      if (s.back() != ']' || s.size() < 3) fail(line, "malformed section header '" + s + "'");
+      sections.push_back(Section{trim(s.substr(1, s.size() - 2)), line, {}, {}});
+      continue;
+    }
+    const std::size_t eq = s.find('=');
+    if (eq == std::string::npos) fail(line, "expected 'key = value', got '" + s + "'");
+    if (sections.empty()) fail(line, "entry before any [section]");
+    sections.back().entries.emplace_back(trim(s.substr(0, eq)), trim(s.substr(eq + 1)));
+    sections.back().entry_lines.push_back(line);
+  }
+  return sections;
+}
+
+double prob_value(const std::string& v, int line, const char* what) {
+  const double p = to_double(v, line, what);
+  if (p < 0.0 || p > 1.0) fail(line, std::string(what) + " outside [0, 1]");
+  return p;
+}
+
+LinkDirection parse_dir(const std::string& s, int line) {
+  if (s == "both") return LinkDirection::kBoth;
+  if (s == "up") return LinkDirection::kUplink;
+  if (s == "down") return LinkDirection::kDownlink;
+  fail(line, "direction must be up, down, or both; got '" + s + "'");
+}
+
+/// Derives an independent, reproducible RNG stream per generator: the
+/// stream index is the generator's position in the spec, so adding a new
+/// section never perturbs earlier ones in the same file.
+Rng derived_rng(std::uint64_t seed, std::uint64_t stream) {
+  return Rng(seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+}
+
+std::vector<std::uint32_t> resolve_target(const std::string& target, const RoleMap& roles) {
+  if (target.rfind("host:", 0) == 0) {
+    char* end = nullptr;
+    const std::string num = target.substr(5);
+    const unsigned long id = std::strtoul(num.c_str(), &end, 10);
+    if (num.empty() || end != num.c_str() + num.size()) {
+      throw ScenarioError("scenario: malformed host target '" + target + "'");
+    }
+    return {static_cast<std::uint32_t>(id)};
+  }
+  const auto it = roles.find(target);
+  if (it == roles.end()) {
+    std::string known;
+    for (const auto& [name, ids] : roles) known += (known.empty() ? "" : ", ") + name;
+    throw ScenarioError("scenario: unknown role '" + target + "' (known: " + known + ")");
+  }
+  return it->second;
+}
+
+/// Coalesces overlapping/adjacent crash windows per host so a host is
+/// never "restarted" by one window while another still holds it down
+/// (up_at <= down_at means the host never returns).
+std::vector<CrashWindow> merge_windows(std::vector<CrashWindow> in) {
+  std::stable_sort(in.begin(), in.end(), [](const CrashWindow& a, const CrashWindow& b) {
+    if (a.host_id != b.host_id) return a.host_id < b.host_id;
+    return a.down_at < b.down_at;
+  });
+  std::vector<CrashWindow> out;
+  for (const CrashWindow& w : in) {
+    if (!out.empty() && out.back().host_id == w.host_id) {
+      CrashWindow& prev = out.back();
+      const bool prev_forever = prev.up_at <= prev.down_at;
+      if (prev_forever) continue;  // already down for good
+      if (w.down_at <= prev.up_at) {
+        const bool w_forever = w.up_at <= w.down_at;
+        prev.up_at = w_forever ? prev.down_at : std::max(prev.up_at, w.up_at);
+        continue;
+      }
+    }
+    out.push_back(w);
+  }
+  // Global schedule order: by time, then host (bit-stable run over run).
+  std::stable_sort(out.begin(), out.end(), [](const CrashWindow& a, const CrashWindow& b) {
+    if (a.down_at != b.down_at) return a.down_at < b.down_at;
+    return a.host_id < b.host_id;
+  });
+  return out;
+}
+
+}  // namespace
+
+HostConfig LinkModel::sample(const HostConfig& base, Rng& rng) const {
+  HostConfig cfg = base;
+  if (has_bandwidth) {
+    const double mbps = std::max(0.01, bandwidth_mbps.sample(rng));
+    cfg.up_bps = cfg.down_bps = mbps * 1e6;
+  }
+  if (has_up) cfg.up_bps = std::max(0.01, up_mbps.sample(rng)) * 1e6;
+  if (has_down) cfg.down_bps = std::max(0.01, down_mbps.sample(rng)) * 1e6;
+  if (has_latency) cfg.latency = from_millis(std::max(0.0, latency_ms.sample(rng)));
+  return cfg;
+}
+
+Distribution parse_distribution(const std::string& text) {
+  const std::string s = trim(text);
+  const std::size_t open = s.find('(');
+  if (open == std::string::npos) {
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (s.empty() || end != s.c_str() + s.size()) {
+      throw ScenarioError("scenario: malformed distribution '" + s + "'");
+    }
+    return Distribution::constant(v);
+  }
+  if (s.back() != ')') throw ScenarioError("scenario: missing ')' in '" + s + "'");
+  const std::string name = trim(s.substr(0, open));
+  const std::vector<std::string> args = split(s.substr(open + 1, s.size() - open - 2), ',');
+  auto arg = [&](std::size_t i) {
+    char* end = nullptr;
+    const double v = std::strtod(args[i].c_str(), &end);
+    if (args[i].empty() || end != args[i].c_str() + args[i].size()) {
+      throw ScenarioError("scenario: bad argument '" + args[i] + "' in '" + s + "'");
+    }
+    return v;
+  };
+  auto expect = [&](std::size_t n) {
+    if (args.size() != n) {
+      throw ScenarioError("scenario: " + name + " takes " + std::to_string(n) +
+                          " argument(s), got " + std::to_string(args.size()));
+    }
+  };
+  Distribution d;
+  if (name == "constant") {
+    expect(1);
+    d = Distribution::constant(arg(0));
+  } else if (name == "uniform") {
+    expect(2);
+    d = Distribution{Distribution::Kind::kUniform, arg(0), arg(1)};
+  } else if (name == "normal") {
+    expect(2);
+    d = Distribution{Distribution::Kind::kNormal, arg(0), arg(1)};
+  } else if (name == "lognormal") {
+    expect(2);
+    d = Distribution{Distribution::Kind::kLogNormal, arg(0), arg(1)};
+  } else if (name == "exp" || name == "exponential") {
+    expect(1);
+    d = Distribution{Distribution::Kind::kExponential, arg(0), 0.0};
+  } else if (name == "pareto") {
+    expect(2);
+    d = Distribution{Distribution::Kind::kPareto, arg(0), arg(1)};
+  } else {
+    throw ScenarioError("scenario: unknown distribution '" + name + "'");
+  }
+  return d;
+}
+
+ScenarioSpec parse_scenario(const std::string& text) {
+  ScenarioSpec spec;
+  for (const Section& sec : tokenize(text)) {
+    auto unknown_key = [&](std::size_t i) {
+      fail(sec.entry_lines[i],
+           "unknown key '" + sec.entries[i].first + "' in [" + sec.name + "]");
+    };
+    if (sec.name == "scenario") {
+      for (std::size_t i = 0; i < sec.entries.size(); ++i) {
+        const auto& [k, v] = sec.entries[i];
+        const int ln = sec.entry_lines[i];
+        if (k == "name") {
+          spec.name = v;
+        } else if (k == "description") {
+          spec.description = v;
+        } else if (k == "seed") {
+          spec.seed = to_u64(v, ln, "seed");
+          spec.has_seed = true;
+        } else if (k == "rounds") {
+          spec.rounds = static_cast<int>(to_u64(v, ln, "rounds"));
+        } else {
+          unknown_key(i);
+        }
+      }
+    } else if (sec.name == "deployment") {
+      for (const auto& kv : sec.entries) spec.deployment.push_back(kv);
+    } else if (sec.name.rfind("links.", 0) == 0) {
+      LinkModel& model = spec.links[sec.name.substr(6)];
+      for (std::size_t i = 0; i < sec.entries.size(); ++i) {
+        const auto& [k, v] = sec.entries[i];
+        try {
+          if (k == "bandwidth_mbps") {
+            model.bandwidth_mbps = parse_distribution(v);
+            model.has_bandwidth = true;
+          } else if (k == "up_mbps") {
+            model.up_mbps = parse_distribution(v);
+            model.has_up = true;
+          } else if (k == "down_mbps") {
+            model.down_mbps = parse_distribution(v);
+            model.has_down = true;
+          } else if (k == "latency_ms") {
+            model.latency_ms = parse_distribution(v);
+            model.has_latency = true;
+          } else {
+            unknown_key(i);
+          }
+        } catch (const ScenarioError& e) {
+          fail(sec.entry_lines[i], e.what());
+        }
+      }
+    } else if (sec.name == "faults") {
+      for (std::size_t i = 0; i < sec.entries.size(); ++i) {
+        const auto& [k, v] = sec.entries[i];
+        const int ln = sec.entry_lines[i];
+        if (k == "transfer_failure_prob") {
+          spec.transfer_failure_prob = prob_value(v, ln, k.c_str());
+        } else if (k == "corruption_prob") {
+          spec.corruption_prob = prob_value(v, ln, k.c_str());
+        } else if (k == "latency_jitter_ms") {
+          try {
+            spec.latency_jitter_ms = parse_distribution(v);
+          } catch (const ScenarioError& e) {
+            fail(ln, e.what());
+          }
+        } else if (k == "latency_jitter_prob") {
+          spec.latency_jitter_prob = prob_value(v, ln, k.c_str());
+        } else {
+          unknown_key(i);
+        }
+      }
+    } else if (sec.name == "churn") {
+      ChurnSpec c;
+      for (std::size_t i = 0; i < sec.entries.size(); ++i) {
+        const auto& [k, v] = sec.entries[i];
+        const int ln = sec.entry_lines[i];
+        if (k == "roles") {
+          c.roles = split(v, ',');
+        } else if (k == "period_s") {
+          c.period_s = to_double(v, ln, k.c_str());
+        } else if (k == "downtime_s") {
+          c.downtime_s = to_double(v, ln, k.c_str());
+        } else if (k == "prob") {
+          c.prob = prob_value(v, ln, k.c_str());
+        } else {
+          unknown_key(i);
+        }
+      }
+      if (c.roles.empty()) fail(sec.line, "[churn] needs roles = ...");
+      spec.churn.push_back(std::move(c));
+    } else if (sec.name == "diurnal") {
+      DiurnalSpec d;
+      for (std::size_t i = 0; i < sec.entries.size(); ++i) {
+        const auto& [k, v] = sec.entries[i];
+        const int ln = sec.entry_lines[i];
+        if (k == "roles") {
+          d.roles = split(v, ',');
+        } else if (k == "period_s") {
+          d.period_s = to_double(v, ln, k.c_str());
+        } else if (k == "trough_offset_s") {
+          d.trough_offset_s = to_double(v, ln, k.c_str());
+        } else if (k == "trough_len_s") {
+          d.trough_len_s = to_double(v, ln, k.c_str());
+        } else if (k == "down_prob") {
+          d.down_prob = prob_value(v, ln, k.c_str());
+        } else if (k == "phase_jitter_s") {
+          d.phase_jitter_s = to_double(v, ln, k.c_str());
+        } else {
+          unknown_key(i);
+        }
+      }
+      if (d.roles.empty()) fail(sec.line, "[diurnal] needs roles = ...");
+      if (d.period_s <= 0) fail(sec.line, "[diurnal] needs period_s > 0");
+      spec.diurnal.push_back(std::move(d));
+    } else if (sec.name == "sessions") {
+      SessionSpec s;
+      for (std::size_t i = 0; i < sec.entries.size(); ++i) {
+        const auto& [k, v] = sec.entries[i];
+        const int ln = sec.entry_lines[i];
+        try {
+          if (k == "roles") {
+            s.roles = split(v, ',');
+          } else if (k == "on_s") {
+            s.on_s = parse_distribution(v);
+          } else if (k == "off_s") {
+            s.off_s = parse_distribution(v);
+          } else if (k == "start_online_prob") {
+            s.start_online_prob = prob_value(v, ln, k.c_str());
+          } else {
+            unknown_key(i);
+          }
+        } catch (const ScenarioError& e) {
+          fail(ln, e.what());
+        }
+      }
+      if (s.roles.empty()) fail(sec.line, "[sessions] needs roles = ...");
+      spec.sessions.push_back(std::move(s));
+    } else if (sec.name == "degrade") {
+      for (std::size_t i = 0; i < sec.entries.size(); ++i) {
+        const auto& [k, v] = sec.entries[i];
+        const int ln = sec.entry_lines[i];
+        if (k != "window") unknown_key(i);
+        const std::vector<std::string> f = split_ws(v);
+        if (f.size() != 4 && f.size() != 5) {
+          fail(ln, "window = <target> <start_s> <end_s> <factor> [up|down|both]");
+        }
+        DegradeSpec d;
+        d.target = f[0];
+        d.start_s = to_double(f[1], ln, "start_s");
+        d.end_s = to_double(f[2], ln, "end_s");
+        d.factor = to_double(f[3], ln, "factor");
+        if (f.size() == 5) d.dir = parse_dir(f[4], ln);
+        spec.degrade.push_back(std::move(d));
+      }
+    } else if (sec.name == "outage") {
+      for (std::size_t i = 0; i < sec.entries.size(); ++i) {
+        const auto& [k, v] = sec.entries[i];
+        const int ln = sec.entry_lines[i];
+        if (k != "window") unknown_key(i);
+        const std::vector<std::string> f = split_ws(v);
+        if (f.size() != 3) fail(ln, "window = <target> <down_s> <up_s>");
+        OutageSpec o;
+        o.target = f[0];
+        o.down_s = to_double(f[1], ln, "down_s");
+        o.up_s = to_double(f[2], ln, "up_s");
+        spec.outages.push_back(std::move(o));
+      }
+    } else if (sec.name == "providers") {
+      for (std::size_t i = 0; i < sec.entries.size(); ++i) {
+        const auto& [k, v] = sec.entries[i];
+        const int ln = sec.entry_lines[i];
+        if (k == "ttl_s") {
+          spec.provider_ttl = from_seconds(to_double(v, ln, k.c_str()));
+        } else if (k == "republish_s") {
+          spec.provider_republish = from_seconds(to_double(v, ln, k.c_str()));
+        } else {
+          unknown_key(i);
+        }
+      }
+    } else if (sec.name == "slo") {
+      for (std::size_t i = 0; i < sec.entries.size(); ++i) {
+        const auto& [k, v] = sec.entries[i];
+        spec.slo.emplace_back(k, to_double(v, sec.entry_lines[i], k.c_str()));
+      }
+    } else {
+      fail(sec.line, "unknown section [" + sec.name + "]");
+    }
+  }
+  if (spec.name.empty()) {
+    throw ScenarioError("scenario: missing [scenario] name = ...");
+  }
+  return spec;
+}
+
+ScenarioSpec load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ScenarioError("scenario: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return parse_scenario(buf.str());
+  } catch (const ScenarioError& e) {
+    throw ScenarioError(path + ": " + e.what());
+  }
+}
+
+FaultPlan ScenarioSpec::build_fault_plan(const RoleMap& roles, TimeNs horizon,
+                                         std::uint64_t plan_seed) const {
+  FaultPlan plan;
+  plan.seed = plan_seed;
+  plan.transfer_failure_prob = transfer_failure_prob;
+  plan.corruption_prob = corruption_prob;
+  plan.latency_jitter_ms = latency_jitter_ms;
+  plan.latency_jitter_prob = latency_jitter_prob;
+
+  std::vector<CrashWindow> windows;
+  std::uint64_t stream = 0;
+
+  for (const ChurnSpec& c : churn) {
+    Rng rng = derived_rng(plan_seed, stream++);
+    const auto period = from_seconds(c.period_s);
+    const auto downtime = from_seconds(c.downtime_s);
+    if (period <= 0 || c.prob <= 0) continue;
+    for (const std::string& role : c.roles) {
+      for (const std::uint32_t id : resolve_target(role, roles)) {
+        for (TimeNs slot = 0; slot < horizon; slot += period) {
+          if (rng.uniform01() >= c.prob) continue;
+          const auto down_at =
+              slot + static_cast<TimeNs>(rng.uniform01() * 0.5 * static_cast<double>(period));
+          windows.push_back(CrashWindow{id, down_at, down_at + downtime});
+        }
+      }
+    }
+  }
+
+  for (const DiurnalSpec& d : diurnal) {
+    Rng rng = derived_rng(plan_seed, stream++);
+    const auto period = from_seconds(d.period_s);
+    const auto len = from_seconds(d.trough_len_s);
+    if (period <= 0 || len <= 0) continue;
+    for (const std::string& role : d.roles) {
+      for (const std::uint32_t id : resolve_target(role, roles)) {
+        const double phase = d.phase_jitter_s > 0
+                                 ? rng.uniform_real(-d.phase_jitter_s, d.phase_jitter_s)
+                                 : 0.0;
+        for (TimeNs t = 0; t < horizon; t += period) {
+          if (rng.uniform01() >= d.down_prob) continue;
+          const TimeNs down_at =
+              std::max<TimeNs>(0, t + from_seconds(d.trough_offset_s + phase));
+          windows.push_back(CrashWindow{id, down_at, down_at + len});
+        }
+      }
+    }
+  }
+
+  for (const SessionSpec& s : sessions) {
+    Rng rng = derived_rng(plan_seed, stream++);
+    for (const std::string& role : s.roles) {
+      for (const std::uint32_t id : resolve_target(role, roles)) {
+        TimeNs t = 0;
+        bool online = rng.uniform01() < s.start_online_prob;
+        while (t < horizon) {
+          if (online) {
+            t += std::max<TimeNs>(from_seconds(s.on_s.sample(rng)), from_millis(1));
+          } else {
+            const TimeNs down_at = t;
+            t += std::max<TimeNs>(from_seconds(s.off_s.sample(rng)), from_millis(1));
+            windows.push_back(CrashWindow{id, down_at, t});
+          }
+          online = !online;
+        }
+      }
+    }
+  }
+
+  for (const OutageSpec& o : outages) {
+    for (const std::uint32_t id : resolve_target(o.target, roles)) {
+      windows.push_back(
+          CrashWindow{id, from_seconds(o.down_s), from_seconds(o.up_s)});
+    }
+  }
+
+  plan.crashes = merge_windows(std::move(windows));
+
+  for (const DegradeSpec& d : degrade) {
+    for (const std::uint32_t id : resolve_target(d.target, roles)) {
+      plan.degradations.push_back(DegradeWindow{id, from_seconds(d.start_s),
+                                                from_seconds(d.end_s), d.factor, d.dir});
+    }
+  }
+
+  plan.validate();
+  return plan;
+}
+
+}  // namespace dfl::sim

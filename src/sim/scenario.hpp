@@ -1,0 +1,179 @@
+// Declarative chaos scenarios: a small INI-style config format that
+// composes into the existing FaultPlan / FaultInjector / Network setup,
+// so Internet-realistic adversity (heavy-tailed access links, diurnal
+// availability waves, mobile session churn, asymmetric degradation,
+// provider-record expiry) is described in a checked-in `.scn` file
+// instead of hand-written C++ — and every future perf change is
+// regression-tested under the same named conditions.
+//
+// Format (all times in seconds, all rates in Mbps, `#`/`;` comments):
+//
+//   [scenario]
+//   name = diurnal
+//   seed = 7
+//   rounds = 8
+//
+//   [deployment]            ; raw key=value overrides, applied by
+//   trainers = 8            ; core::apply_scenario (sim stays core-free)
+//
+//   [links.trainers]        ; per-role link sampling, one draw per host
+//   bandwidth_mbps = lognormal(10, 0.5)
+//   latency_ms = pareto(5, 2.5)
+//
+//   [faults]                ; probabilistic per-transfer faults
+//   latency_jitter_ms = exp(20)
+//
+//   [churn] [diurnal] [sessions]   ; CrashWindow generators
+//   [degrade]               ; window = <role|host:N> <start> <end> <factor> [up|down|both]
+//   [outage]                ; window = <role|host:N> <down_at> <up_at>
+//   [providers]             ; ttl_s / republish_s (record expiry)
+//   [slo]                   ; numeric thresholds for tools/check_scenario.py
+//
+// Everything is seeded and deterministic: the same (.scn, seed) pair
+// produces a bit-identical fault schedule, link assignment, and run.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/fault.hpp"
+
+namespace dfl::sim {
+
+/// Parse or semantic error in a scenario file; the message carries the
+/// offending line number.
+struct ScenarioError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// role name -> network host ids, in creation order. Built by the
+/// deployment layer ("nodes", "directory", "trainers", "aggregators").
+using RoleMap = std::map<std::string, std::vector<std::uint32_t>>;
+
+/// Per-role link model: each host of the role draws its own HostConfig.
+/// `bandwidth_mbps` sets both directions with one draw (symmetric link);
+/// `up_mbps` / `down_mbps` override a direction with an independent draw.
+struct LinkModel {
+  Distribution bandwidth_mbps{};
+  Distribution up_mbps{};
+  Distribution down_mbps{};
+  Distribution latency_ms{};
+  bool has_bandwidth = false;
+  bool has_up = false;
+  bool has_down = false;
+  bool has_latency = false;
+
+  /// One deterministic draw: fields not present keep `base`'s values.
+  /// Bandwidth draws clamp to >= 0.01 Mbps, latency to >= 0.
+  [[nodiscard]] HostConfig sample(const HostConfig& base, Rng& rng) const;
+};
+
+/// Periodic random churn (see FaultPlan::periodic_churn).
+struct ChurnSpec {
+  std::vector<std::string> roles;
+  double period_s = 0;
+  double downtime_s = 0;
+  double prob = 0;
+};
+
+/// Diurnal availability wave: every `period_s`, hosts of the role sleep
+/// with probability `down_prob` during the trough window
+/// [offset, offset + len). Each host gets a fixed per-host phase shift in
+/// [-phase_jitter_s, +phase_jitter_s] so the wave is staggered, not a
+/// synchronized mass crash.
+struct DiurnalSpec {
+  std::vector<std::string> roles;
+  double period_s = 0;
+  double trough_offset_s = 0;
+  double trough_len_s = 0;
+  double down_prob = 1.0;
+  double phase_jitter_s = 0;
+};
+
+/// Mobile-style session trace: each host alternates online/offline with
+/// durations drawn from `on_s` / `off_s` until the horizon. Offline
+/// intervals become CrashWindows.
+struct SessionSpec {
+  std::vector<std::string> roles;
+  Distribution on_s{};
+  Distribution off_s{};
+  double start_online_prob = 1.0;
+};
+
+/// Explicit degradation window on a role or single host.
+struct DegradeSpec {
+  std::string target;  // role name or "host:N"
+  double start_s = 0;
+  double end_s = 0;
+  double factor = 1.0;
+  LinkDirection dir = LinkDirection::kBoth;
+};
+
+/// Explicit outage window on a role or single host (up_s <= down_s means
+/// the hosts never return — a permanent partition).
+struct OutageSpec {
+  std::string target;
+  double down_s = 0;
+  double up_s = 0;
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  std::uint64_t seed = 1;
+  bool has_seed = false;
+  /// Suggested round count (0 = caller decides).
+  int rounds = 0;
+
+  /// Raw [deployment] overrides, interpreted by core::apply_scenario.
+  std::vector<std::pair<std::string, std::string>> deployment;
+
+  std::map<std::string, LinkModel> links;  // role -> model
+
+  // [faults]
+  double transfer_failure_prob = 0;
+  double corruption_prob = 0;
+  Distribution latency_jitter_ms{};
+  double latency_jitter_prob = 1.0;
+
+  std::vector<ChurnSpec> churn;
+  std::vector<DiurnalSpec> diurnal;
+  std::vector<SessionSpec> sessions;
+  std::vector<DegradeSpec> degrade;
+  std::vector<OutageSpec> outages;
+
+  /// [providers]: record TTL and republish interval (0 = disabled).
+  TimeNs provider_ttl = 0;
+  TimeNs provider_republish = 0;
+
+  /// [slo] thresholds, in file order (checked by tools/check_scenario.py).
+  std::vector<std::pair<std::string, double>> slo;
+
+  [[nodiscard]] bool active() const { return !name.empty(); }
+
+  /// Expands every generator into one merged, validated FaultPlan over
+  /// [0, horizon): churn/diurnal/session traces become CrashWindows
+  /// (overlapping windows on one host are coalesced), degrade/outage
+  /// targets are resolved through `roles`, probabilistic fields copy
+  /// through. Deterministic in (spec, roles, horizon, seed). Throws
+  /// ScenarioError on an unknown role.
+  [[nodiscard]] FaultPlan build_fault_plan(const RoleMap& roles, TimeNs horizon,
+                                           std::uint64_t seed) const;
+};
+
+/// Parses one distribution: a bare number (constant) or
+/// `constant(v)`, `uniform(a,b)`, `normal(mean,sd)`,
+/// `lognormal(median,sigma)`, `exp(mean)` / `exponential(mean)`,
+/// `pareto(min,tail)`. Throws ScenarioError on malformed input.
+[[nodiscard]] Distribution parse_distribution(const std::string& text);
+
+/// Parses scenario text. Throws ScenarioError with a line number on
+/// malformed syntax, unknown sections/keys, or invalid values.
+[[nodiscard]] ScenarioSpec parse_scenario(const std::string& text);
+
+/// Reads and parses a `.scn` file; the filename is included in errors.
+[[nodiscard]] ScenarioSpec load_scenario_file(const std::string& path);
+
+}  // namespace dfl::sim

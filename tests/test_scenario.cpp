@@ -1,0 +1,613 @@
+// Scenario engine: the declarative chaos format (parse errors carry line
+// numbers), the fault-plan generators it expands into (deterministic in
+// seed, coalesced per host), FaultPlan validation, periodic-churn edge
+// cases, provider-record expiry/republish, and an end-to-end scenario run
+// that must be bit-identical under the same seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/runner.hpp"
+#include "ipfs/swarm.hpp"
+#include "obs/trace.hpp"
+#include "sim/scenario.hpp"
+
+namespace dfl::sim {
+namespace {
+
+// --- distribution parsing -------------------------------------------------
+
+TEST(ParseDistribution, BareNumberIsConstant) {
+  const Distribution d = parse_distribution("  7.5 ");
+  EXPECT_TRUE(d.is_constant());
+  EXPECT_DOUBLE_EQ(d.a, 7.5);
+}
+
+TEST(ParseDistribution, NamedKinds) {
+  EXPECT_EQ(parse_distribution("constant(3)").kind, Distribution::Kind::kConstant);
+  EXPECT_EQ(parse_distribution("uniform(1, 2)").kind, Distribution::Kind::kUniform);
+  EXPECT_EQ(parse_distribution("normal(10, 2)").kind, Distribution::Kind::kNormal);
+  EXPECT_EQ(parse_distribution("lognormal(10, 0.5)").kind, Distribution::Kind::kLogNormal);
+  EXPECT_EQ(parse_distribution("exp(20)").kind, Distribution::Kind::kExponential);
+  EXPECT_EQ(parse_distribution("exponential(20)").kind, Distribution::Kind::kExponential);
+  const Distribution p = parse_distribution("pareto(5, 2.5)");
+  EXPECT_EQ(p.kind, Distribution::Kind::kPareto);
+  EXPECT_DOUBLE_EQ(p.a, 5.0);
+  EXPECT_DOUBLE_EQ(p.b, 2.5);
+}
+
+TEST(ParseDistribution, Rejections) {
+  EXPECT_THROW((void)parse_distribution("weibull(1,2)"), ScenarioError);
+  EXPECT_THROW((void)parse_distribution("uniform(1)"), ScenarioError);
+  EXPECT_THROW((void)parse_distribution("normal(1, 2, 3)"), ScenarioError);
+  EXPECT_THROW((void)parse_distribution("uniform(1, x)"), ScenarioError);
+  EXPECT_THROW((void)parse_distribution("uniform(1, 2"), ScenarioError);
+  EXPECT_THROW((void)parse_distribution("not-a-number"), ScenarioError);
+  EXPECT_THROW((void)parse_distribution(""), ScenarioError);
+}
+
+TEST(ParseDistribution, SamplingIsSeedDeterministic) {
+  const Distribution d = parse_distribution("lognormal(10, 0.5)");
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(d.sample(a), d.sample(b));
+}
+
+// --- scenario parsing -----------------------------------------------------
+
+constexpr const char* kFullScenario = R"(# full-feature scenario
+[scenario]
+name = everything
+description = all sections exercised
+seed = 9
+rounds = 3
+
+[deployment]
+trainers = 4
+nodes = 2
+
+[links.trainers]
+bandwidth_mbps = lognormal(10, 0.5)
+latency_ms = pareto(3, 2.5)
+
+[links.nodes]
+up_mbps = 5          ; asymmetric
+down_mbps = uniform(15, 25)
+
+[faults]
+transfer_failure_prob = 0.01
+corruption_prob = 0.002
+latency_jitter_ms = exp(20)
+latency_jitter_prob = 0.25
+
+[churn]
+roles = trainers
+period_s = 60
+downtime_s = 10
+prob = 0.2
+
+[diurnal]
+roles = trainers
+period_s = 240
+trough_offset_s = 30
+trough_len_s = 60
+down_prob = 0.5
+phase_jitter_s = 10
+
+[sessions]
+roles = nodes
+on_s = exp(120)
+off_s = exp(30)
+start_online_prob = 0.8
+
+[degrade]
+window = nodes 10 20 0.5 down
+window = host:1 0 30 0.25 up
+
+[outage]
+window = host:0 5 15
+
+[providers]
+ttl_s = 90
+republish_s = 30
+
+[slo]
+completion_rate_min = 0.9
+)";
+
+TEST(ParseScenario, FullFileRoundTrips) {
+  const ScenarioSpec spec = parse_scenario(kFullScenario);
+  EXPECT_EQ(spec.name, "everything");
+  EXPECT_EQ(spec.description, "all sections exercised");
+  EXPECT_TRUE(spec.has_seed);
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_EQ(spec.rounds, 3);
+  ASSERT_EQ(spec.deployment.size(), 2u);
+  EXPECT_EQ(spec.deployment[0].first, "trainers");
+  EXPECT_EQ(spec.deployment[0].second, "4");
+  ASSERT_EQ(spec.links.count("trainers"), 1u);
+  EXPECT_TRUE(spec.links.at("trainers").has_bandwidth);
+  EXPECT_TRUE(spec.links.at("trainers").has_latency);
+  EXPECT_TRUE(spec.links.at("nodes").has_up);
+  EXPECT_TRUE(spec.links.at("nodes").has_down);
+  EXPECT_FALSE(spec.links.at("nodes").has_bandwidth);
+  EXPECT_DOUBLE_EQ(spec.transfer_failure_prob, 0.01);
+  EXPECT_DOUBLE_EQ(spec.corruption_prob, 0.002);
+  EXPECT_DOUBLE_EQ(spec.latency_jitter_prob, 0.25);
+  ASSERT_EQ(spec.churn.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.churn[0].period_s, 60);
+  ASSERT_EQ(spec.diurnal.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.diurnal[0].phase_jitter_s, 10);
+  ASSERT_EQ(spec.sessions.size(), 1u);
+  ASSERT_EQ(spec.degrade.size(), 2u);
+  EXPECT_EQ(spec.degrade[0].dir, LinkDirection::kDownlink);
+  EXPECT_EQ(spec.degrade[1].target, "host:1");
+  EXPECT_EQ(spec.degrade[1].dir, LinkDirection::kUplink);
+  ASSERT_EQ(spec.outages.size(), 1u);
+  EXPECT_EQ(spec.provider_ttl, from_seconds(90));
+  EXPECT_EQ(spec.provider_republish, from_seconds(30));
+  ASSERT_EQ(spec.slo.size(), 1u);
+  EXPECT_EQ(spec.slo[0].first, "completion_rate_min");
+  EXPECT_TRUE(spec.active());
+}
+
+std::string error_of(const std::string& text) {
+  try {
+    (void)parse_scenario(text);
+  } catch (const ScenarioError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(ParseScenario, ErrorsCarryLineNumbers) {
+  // Line 3 holds the malformed entry in each snippet.
+  const std::string bad_key = "[scenario]\nname = x\nbogus = 1\n";
+  EXPECT_NE(error_of(bad_key).find("scenario:3"), std::string::npos) << error_of(bad_key);
+
+  const std::string bad_prob = "[scenario]\nname = x\n[faults]\ncorruption_prob = 1.5\n";
+  EXPECT_NE(error_of(bad_prob).find("scenario:4"), std::string::npos) << error_of(bad_prob);
+
+  const std::string bad_section = "[scenario]\nname = x\n[wat]\n";
+  EXPECT_NE(error_of(bad_section).find("scenario:3"), std::string::npos);
+}
+
+TEST(ParseScenario, Rejections) {
+  EXPECT_THROW((void)parse_scenario("x = 1\n"), ScenarioError);          // entry before section
+  EXPECT_THROW((void)parse_scenario("[scenario\nname = x\n"), ScenarioError);
+  EXPECT_THROW((void)parse_scenario("[scenario]\nno-equals-sign\n"), ScenarioError);
+  EXPECT_THROW((void)parse_scenario("[scenario]\nseed = 1\n"), ScenarioError);  // no name
+  EXPECT_THROW((void)parse_scenario("[scenario]\nname = x\n[churn]\nperiod_s = 1\n"),
+               ScenarioError);  // churn without roles
+  EXPECT_THROW((void)parse_scenario("[scenario]\nname = x\n[degrade]\nwindow = nodes 1 2\n"),
+               ScenarioError);  // short degrade window
+  EXPECT_THROW(
+      (void)parse_scenario("[scenario]\nname = x\n[degrade]\nwindow = nodes 1 2 0.5 sideways\n"),
+      ScenarioError);  // bad direction
+}
+
+TEST(ParseScenario, CommentsAndWhitespaceIgnored) {
+  const ScenarioSpec spec = parse_scenario(
+      "; leading comment\n"
+      "  [scenario]  # trailing\n"
+      "  name = padded   ; inline\n"
+      "\n");
+  EXPECT_EQ(spec.name, "padded");
+}
+
+// --- fault-plan generation ------------------------------------------------
+
+RoleMap two_roles() {
+  return RoleMap{{"nodes", {0, 1}}, {"trainers", {2, 3, 4}}};
+}
+
+TEST(BuildFaultPlan, DeterministicInSeed) {
+  const ScenarioSpec spec = parse_scenario(kFullScenario);
+  const RoleMap roles = two_roles();
+  const FaultPlan a = spec.build_fault_plan(roles, from_seconds(600), 7);
+  const FaultPlan b = spec.build_fault_plan(roles, from_seconds(600), 7);
+  ASSERT_EQ(a.crashes.size(), b.crashes.size());
+  for (std::size_t i = 0; i < a.crashes.size(); ++i) {
+    EXPECT_EQ(a.crashes[i].host_id, b.crashes[i].host_id);
+    EXPECT_EQ(a.crashes[i].down_at, b.crashes[i].down_at);
+    EXPECT_EQ(a.crashes[i].up_at, b.crashes[i].up_at);
+  }
+  const FaultPlan c = spec.build_fault_plan(roles, from_seconds(600), 8);
+  bool same = a.crashes.size() == c.crashes.size();
+  if (same) {
+    for (std::size_t i = 0; i < a.crashes.size(); ++i) {
+      same = same && a.crashes[i].down_at == c.crashes[i].down_at;
+    }
+  }
+  EXPECT_FALSE(same) << "different seeds produced an identical schedule";
+}
+
+TEST(BuildFaultPlan, ResolvesRolesAndHosts) {
+  const ScenarioSpec spec = parse_scenario(
+      "[scenario]\nname = x\n"
+      "[outage]\nwindow = trainers 10 20\nwindow = host:7 1 2\n"
+      "[degrade]\nwindow = nodes 5 6 0.5 up\n");
+  const FaultPlan plan = spec.build_fault_plan(two_roles(), from_seconds(60), 1);
+  // trainers = hosts 2,3,4 plus explicit host 7, sorted by (down_at, host).
+  ASSERT_EQ(plan.crashes.size(), 4u);
+  EXPECT_EQ(plan.crashes[0].host_id, 7u);
+  EXPECT_EQ(plan.crashes[1].host_id, 2u);
+  ASSERT_EQ(plan.degradations.size(), 2u);
+  EXPECT_EQ(plan.degradations[0].host_id, 0u);
+  EXPECT_EQ(plan.degradations[0].dir, LinkDirection::kUplink);
+}
+
+TEST(BuildFaultPlan, UnknownRoleThrows) {
+  const ScenarioSpec spec = parse_scenario(
+      "[scenario]\nname = x\n[outage]\nwindow = ghosts 1 2\n");
+  EXPECT_THROW((void)spec.build_fault_plan(two_roles(), from_seconds(60), 1), ScenarioError);
+}
+
+TEST(BuildFaultPlan, OverlappingWindowsCoalesce) {
+  const ScenarioSpec spec = parse_scenario(
+      "[scenario]\nname = x\n"
+      "[outage]\nwindow = host:0 10 30\nwindow = host:0 20 40\nwindow = host:0 50 60\n");
+  const FaultPlan plan = spec.build_fault_plan(two_roles(), from_seconds(100), 1);
+  ASSERT_EQ(plan.crashes.size(), 2u);
+  EXPECT_EQ(plan.crashes[0].down_at, from_seconds(10));
+  EXPECT_EQ(plan.crashes[0].up_at, from_seconds(40));
+  EXPECT_EQ(plan.crashes[1].down_at, from_seconds(50));
+}
+
+TEST(BuildFaultPlan, ForeverWindowSwallowsLaterOnes) {
+  const ScenarioSpec spec = parse_scenario(
+      "[scenario]\nname = x\n"
+      "[outage]\nwindow = host:0 10 10\nwindow = host:0 20 30\n");  // up <= down = forever
+  const FaultPlan plan = spec.build_fault_plan(two_roles(), from_seconds(100), 1);
+  ASSERT_EQ(plan.crashes.size(), 1u);
+  EXPECT_LE(plan.crashes[0].up_at, plan.crashes[0].down_at);
+}
+
+TEST(BuildFaultPlan, SessionTraceCoversHorizon) {
+  const ScenarioSpec spec = parse_scenario(
+      "[scenario]\nname = x\n"
+      "[sessions]\nroles = trainers\non_s = 5\noff_s = 5\nstart_online_prob = 1\n");
+  const TimeNs horizon = from_seconds(60);
+  const FaultPlan plan = spec.build_fault_plan(two_roles(), horizon, 3);
+  EXPECT_FALSE(plan.crashes.empty());
+  for (const CrashWindow& w : plan.crashes) {
+    EXPECT_GE(w.down_at, 0);
+    EXPECT_LT(w.down_at, horizon);
+    EXPECT_GT(w.up_at, w.down_at);
+  }
+  // Deterministic 5s-on/5s-off alternation: every trainer gets ~6 windows.
+  EXPECT_EQ(plan.crashes.size(), 18u);
+}
+
+// --- FaultPlan::validate (satellite: arm-time validation) -----------------
+
+TEST(FaultPlanValidate, RejectsBadValues) {
+  FaultPlan plan;
+  plan.transfer_failure_prob = 1.5;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+  plan = FaultPlan{};
+  plan.corruption_prob = -0.1;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+  plan = FaultPlan{};
+  plan.degradations.push_back(DegradeWindow{0, from_seconds(1), from_seconds(2), 0.0});
+  EXPECT_THROW(plan.validate(), std::invalid_argument);  // factor outside (0,1]
+
+  plan = FaultPlan{};
+  plan.degradations.push_back(DegradeWindow{0, from_seconds(1), from_seconds(2), 1.5});
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+  plan = FaultPlan{};
+  plan.degradations.push_back(DegradeWindow{0, from_seconds(5), from_seconds(2), 0.5});
+  EXPECT_THROW(plan.validate(), std::invalid_argument);  // ends before it starts
+
+  plan = FaultPlan{};
+  plan.crashes.push_back(CrashWindow{0, -from_seconds(1), from_seconds(1)});
+  EXPECT_THROW(plan.validate(), std::invalid_argument);  // negative down_at
+}
+
+TEST(FaultPlanValidate, AcceptsWellFormedPlan) {
+  FaultPlan plan;
+  plan.transfer_failure_prob = 0.5;
+  plan.latency_jitter_prob = 1.0;
+  plan.crashes.push_back(CrashWindow{1, from_seconds(1), from_seconds(2)});
+  plan.degradations.push_back(DegradeWindow{0, 0, from_seconds(2), 1.0});
+  EXPECT_NO_THROW(plan.validate());
+}
+
+// --- periodic_churn edge cases (satellite) --------------------------------
+
+TEST(PeriodicChurn, ZeroProbabilityYieldsNoCrashes) {
+  const FaultPlan plan = FaultPlan::periodic_churn({0, 1, 2}, from_seconds(100),
+                                                   from_seconds(10), from_seconds(2), 0.0, 1);
+  EXPECT_TRUE(plan.crashes.empty());
+}
+
+TEST(PeriodicChurn, CertainChurnCrashesEveryHostEverySlot) {
+  // Period does not divide the horizon: 100 / 30 -> slots at 0, 30, 60, 90.
+  const FaultPlan plan = FaultPlan::periodic_churn({4, 9}, from_seconds(100),
+                                                   from_seconds(30), from_seconds(5), 1.0, 1);
+  EXPECT_EQ(plan.crashes.size(), 2u * 4u);
+  for (const CrashWindow& w : plan.crashes) {
+    EXPECT_EQ(w.up_at - w.down_at, from_seconds(5));
+    EXPECT_LT(w.down_at, from_seconds(100));
+    // Crashes land in the first half of their slot, so a fixed downtime
+    // shorter than half a period can never bridge two slots.
+    const TimeNs offset = w.down_at % from_seconds(30);
+    EXPECT_LT(offset, from_seconds(15));
+  }
+}
+
+TEST(PeriodicChurn, SameSeedBitIdentical) {
+  const auto make = [](std::uint64_t seed) {
+    return FaultPlan::periodic_churn({0, 1, 2, 3}, from_seconds(300), from_seconds(7),
+                                     from_seconds(3), 0.5, seed);
+  };
+  const FaultPlan a = make(123);
+  const FaultPlan b = make(123);
+  ASSERT_EQ(a.crashes.size(), b.crashes.size());
+  for (std::size_t i = 0; i < a.crashes.size(); ++i) {
+    EXPECT_EQ(a.crashes[i].host_id, b.crashes[i].host_id);
+    EXPECT_EQ(a.crashes[i].down_at, b.crashes[i].down_at);
+    EXPECT_EQ(a.crashes[i].up_at, b.crashes[i].up_at);
+  }
+  EXPECT_FALSE(make(124).crashes.size() == a.crashes.size() &&
+               (a.crashes.empty() || make(124).crashes[0].down_at == a.crashes[0].down_at));
+}
+
+TEST(PeriodicChurn, DowntimeLongerThanPeriodStillValidates) {
+  const FaultPlan plan = FaultPlan::periodic_churn({0}, from_seconds(50), from_seconds(5),
+                                                   from_seconds(20), 1.0, 2);
+  EXPECT_NO_THROW(plan.validate());
+  EXPECT_EQ(plan.crashes.size(), 10u);
+}
+
+TEST(PeriodicChurn, ArmAfterGeneratingNeverThrows) {
+  // The generated schedule must always pass the injector's arm-time
+  // validation — the contract between generator and consumer.
+  Simulator sim;
+  Network net(sim);
+  for (int i = 0; i < 3; ++i) net.add_host("h" + std::to_string(i), HostConfig{1e6, 1e6, 0});
+  FaultInjector inj(net, FaultPlan::periodic_churn({0, 1, 2}, from_seconds(60), from_seconds(4),
+                                                   from_seconds(1), 0.7, 99));
+  EXPECT_NO_THROW(inj.arm());
+}
+
+// --- provider-record expiry / republish -----------------------------------
+
+struct ProviderExpiryFixture : ::testing::Test {
+  Simulator sim;
+  Network net{sim};
+  Host& client = net.add_host("client", HostConfig{10e6, 10e6, 0});
+
+  template <typename T>
+  T run(Task<T> task, bool* threw = nullptr) {
+    std::optional<T> out;
+    sim.spawn([](Task<T> t, std::optional<T>& o, bool* flag) -> Task<void> {
+      try {
+        o = co_await std::move(t);
+      } catch (const std::exception&) {
+        if (flag != nullptr) *flag = true;
+      }
+    }(std::move(task), out, threw));
+    sim.run();
+    if (!out.has_value()) {
+      if (threw != nullptr && *threw) return T{};
+      throw std::runtime_error("task did not complete");
+    }
+    return *out;
+  }
+};
+
+TEST_F(ProviderExpiryFixture, RecordsExpireAndLookupsFailRetryably) {
+  ipfs::SwarmConfig cfg;
+  cfg.provider_ttl = from_seconds(10);
+  ipfs::Swarm swarm(net, cfg);
+  swarm.add_node("n0", HostConfig{10e6, 10e6, 0});
+  const ipfs::Cid cid = run(swarm.node(0).put(client, dfl::bytes_of("payload")));
+  EXPECT_EQ(swarm.providers(cid).size(), 1u);
+
+  sim.schedule_at(from_seconds(11), [] {});
+  sim.run();
+  EXPECT_TRUE(swarm.providers(cid).empty());
+  EXPECT_EQ(swarm.providers(cid, /*include_expired=*/true).size(), 1u);
+
+  bool threw = false;
+  (void)run(swarm.fetch(client, cid), &threw);
+  EXPECT_TRUE(threw) << "fetch served from an expired record";
+  EXPECT_GE(swarm.provider_stats().expired_lookups, 1u);
+}
+
+TEST_F(ProviderExpiryFixture, ReannounceRefreshesExpiry) {
+  ipfs::SwarmConfig cfg;
+  cfg.provider_ttl = from_seconds(10);
+  ipfs::Swarm swarm(net, cfg);
+  swarm.add_node("n0", HostConfig{10e6, 10e6, 0});
+  const ipfs::Cid cid = run(swarm.node(0).put(client, dfl::bytes_of("fresh")));
+
+  sim.schedule_at(from_seconds(8), [&] { swarm.add_provider(cid, 0); });
+  sim.schedule_at(from_seconds(15), [] {});
+  sim.run();
+  // Refreshed at t=8 -> expires at 18, still valid at 15.
+  EXPECT_EQ(swarm.providers(cid).size(), 1u);
+}
+
+TEST_F(ProviderExpiryFixture, RepublishRevivesLiveHolders) {
+  ipfs::SwarmConfig cfg;
+  cfg.provider_ttl = from_seconds(10);
+  cfg.provider_republish = from_seconds(4);
+  ipfs::Swarm swarm(net, cfg);
+  swarm.add_node("n0", HostConfig{10e6, 10e6, 0});
+  const ipfs::Cid cid = run(swarm.node(0).put(client, dfl::bytes_of("kept alive")));
+
+  swarm.republish_until(from_seconds(30));
+  sim.schedule_at(from_seconds(29), [] {});
+  sim.run();
+  // Well past the 10s TTL, but sweeps every 4s kept the record fresh.
+  EXPECT_EQ(swarm.providers(cid).size(), 1u);
+  EXPECT_GE(swarm.provider_stats().republish_sweeps, 6u);
+  EXPECT_GE(swarm.provider_stats().records_refreshed, 6u);
+  EXPECT_EQ(run(swarm.fetch(client, cid)), dfl::bytes_of("kept alive"));
+}
+
+TEST_F(ProviderExpiryFixture, RepublishCursorIsMonotonic) {
+  ipfs::SwarmConfig cfg;
+  cfg.provider_ttl = from_seconds(10);
+  cfg.provider_republish = from_seconds(5);
+  ipfs::Swarm swarm(net, cfg);
+  swarm.add_node("n0", HostConfig{10e6, 10e6, 0});
+  // Overlapping horizons must not double-schedule sweeps.
+  swarm.republish_until(from_seconds(20));
+  swarm.republish_until(from_seconds(20));
+  swarm.republish_until(from_seconds(12));
+  sim.schedule_at(from_seconds(19), [] {});
+  sim.run();
+  EXPECT_EQ(swarm.provider_stats().republish_sweeps, 3u);  // t = 5, 10, 15
+}
+
+}  // namespace
+}  // namespace dfl::sim
+
+// --- end-to-end: scenario through a deployment ----------------------------
+
+namespace dfl::core {
+namespace {
+
+constexpr const char* kMiniScenario = R"(
+[scenario]
+name = mini
+seed = 5
+rounds = 2
+
+[deployment]
+trainers = 4
+partitions = 2
+elements = 64
+nodes = 4
+providers = 2
+t_train_s = 60
+t_sync_s = 120
+poll_ms = 50
+train_time_s = 0.2
+
+[links.trainers]
+bandwidth_mbps = lognormal(10, 0.4)
+latency_ms = uniform(1, 8)
+
+[faults]
+latency_jitter_ms = 5
+latency_jitter_prob = 1
+
+[churn]
+roles = nodes
+period_s = 2
+downtime_s = 1
+prob = 0.3
+
+[providers]
+ttl_s = 30
+republish_s = 10
+)";
+
+struct RunResult {
+  std::vector<double> aggregate;
+  sim::FaultStats faults;
+  std::size_t complete = 0;
+};
+
+RunResult run_scenario_text(const std::string& text, std::uint64_t seed_override = 0) {
+  DeploymentConfig cfg;
+  const int rounds = apply_scenario(sim::parse_scenario(text), cfg);
+  if (seed_override != 0) cfg.seed = seed_override;
+  Deployment d(cfg);
+  RunResult out;
+  for (int r = 0; r < rounds; ++r) {
+    const RoundMetrics m = d.run_round(static_cast<std::uint32_t>(r));
+    out.faults.crashes += m.faults.crashes;
+    out.faults.restarts += m.faults.restarts;
+    out.faults.transfers_jittered += m.faults.transfers_jittered;
+    out.complete += m.partitions_complete;
+    if (!d.last_global_update().empty()) out.aggregate = d.last_global_update();
+  }
+  return out;
+}
+
+TEST(ScenarioDeployment, AppliesDeploymentOverrides) {
+  DeploymentConfig cfg;
+  const int rounds = apply_scenario(sim::parse_scenario(kMiniScenario), cfg);
+  EXPECT_EQ(rounds, 2);
+  EXPECT_EQ(cfg.num_trainers, 4u);
+  EXPECT_EQ(cfg.num_partitions, 2u);
+  EXPECT_EQ(cfg.partition_elements, 64u);
+  EXPECT_EQ(cfg.providers_per_agg, 2u);
+  EXPECT_EQ(cfg.seed, 5u);
+  EXPECT_EQ(cfg.schedule.t_sync, sim::from_seconds(120));
+  EXPECT_TRUE(cfg.scenario.active());
+}
+
+TEST(ScenarioDeployment, UnknownDeploymentKeyThrows) {
+  DeploymentConfig cfg;
+  EXPECT_THROW((void)apply_scenario(sim::parse_scenario(
+                   "[scenario]\nname = x\n[deployment]\nwarp_drive = 1\n"),
+               cfg),
+               sim::ScenarioError);
+}
+
+TEST(ScenarioDeployment, RolesMirrorCreationOrder) {
+  DeploymentConfig cfg;
+  cfg.num_ipfs_nodes = 3;
+  cfg.directory_replicas = 2;
+  cfg.num_trainers = 4;
+  cfg.num_partitions = 2;
+  cfg.aggs_per_partition = 1;
+  const sim::RoleMap roles = deployment_roles(cfg);
+  EXPECT_EQ(roles.at("nodes"), (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(roles.at("directory"), (std::vector<std::uint32_t>{3, 4}));
+  EXPECT_EQ(roles.at("trainers"), (std::vector<std::uint32_t>{5, 6, 7, 8}));
+  EXPECT_EQ(roles.at("aggregators"), (std::vector<std::uint32_t>{9, 10}));
+}
+
+TEST(ScenarioDeployment, SameSeedBitIdentical) {
+  const RunResult a = run_scenario_text(kMiniScenario);
+  const RunResult b = run_scenario_text(kMiniScenario);
+  EXPECT_EQ(a.aggregate, b.aggregate);  // bitwise: vectors of doubles
+  EXPECT_EQ(a.faults, b.faults);
+  EXPECT_EQ(a.complete, b.complete);
+  EXPECT_FALSE(a.aggregate.empty());
+}
+
+TEST(ScenarioDeployment, SeedOverrideReshapesChaos) {
+  const RunResult a = run_scenario_text(kMiniScenario);
+  const RunResult b = run_scenario_text(kMiniScenario, /*seed_override=*/77);
+  EXPECT_FALSE(a.faults == b.faults) << "seed override did not reshape the fault schedule";
+}
+
+TEST(ScenarioDeployment, JitterTouchesTransfers) {
+  const RunResult a = run_scenario_text(kMiniScenario);
+  EXPECT_GT(a.faults.transfers_jittered, 0u);
+}
+
+TEST(ScenarioDeployment, InstantEventsRecordedWhenTracing) {
+  obs::set_tracing(true);
+  obs::Tracer::instance().clear();
+  const RunResult a = run_scenario_text(kMiniScenario);
+  ASSERT_GT(a.faults.crashes, 0u) << "scenario injected no chaos to trace";
+  const obs::Tracer::Snapshot snap = obs::Tracer::instance().snapshot();
+  std::size_t instants = 0;
+  bool saw_crash = false;
+  for (const obs::Span& s : snap.spans) {
+    if (!s.instant) continue;
+    ++instants;
+    EXPECT_EQ(s.start_ns, s.end_ns);
+    if (std::string(s.name) == "crash") saw_crash = true;
+  }
+  obs::set_tracing(false);
+  obs::Tracer::instance().clear();
+  EXPECT_GT(instants, 0u);
+  EXPECT_TRUE(saw_crash);
+}
+
+}  // namespace
+}  // namespace dfl::core

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Check a dflsim metrics JSONL run against a scenario's [slo] section.
+
+Usage:
+  check_scenario.py SCENARIO.scn METRICS.jsonl       # SLO gate
+  check_scenario.py --identical A.jsonl B.jsonl      # determinism gate
+
+The SLO gate reads the [slo] section straight out of the .scn file (the
+same file dflsim ran), so thresholds live next to the chaos they gate.
+Supported keys:
+
+  completion_rate_min    mean of partitions_complete / partitions_total
+  rounds_complete_min    rounds with round_complete == 1
+  round_p50_ms_max       p50 of round_ms over completed rounds
+  round_p99_ms_max       p99 of round_ms over completed rounds
+  crashes_min            total injected crashes (asserts chaos fired)
+  transfers_dropped_max  total dropped transfers
+  payloads_corrupted_max total corrupted payloads
+
+The determinism gate compares the (round, aggregate_hash, fault-counter)
+sequences of two runs; same scenario + same seed must be bit-identical.
+
+Exit code 0 = pass, 1 = violation, 2 = usage/parse error.
+"""
+import json
+import sys
+
+
+def parse_slo(path):
+    slo = []
+    section = None
+    with open(path) as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.split("#")[0].split(";")[0].strip()
+            if not line:
+                continue
+            if line.startswith("["):
+                section = line.strip("[]").strip()
+                continue
+            if section != "slo" or "=" not in line:
+                continue
+            key, _, value = line.partition("=")
+            try:
+                slo.append((key.strip(), float(value.strip())))
+            except ValueError:
+                sys.exit(f"{path}:{lineno}: bad [slo] value: {line!r}")
+    return slo
+
+
+def load_rounds(path):
+    rounds = []
+    with open(path) as f:
+        for lineno, raw in enumerate(f, 1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                rounds.append(json.loads(raw))
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{lineno}: bad JSONL: {e}")
+    if not rounds:
+        sys.exit(f"{path}: no rounds recorded")
+    return rounds
+
+
+def percentile(values, p):
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def check_slos(scn_path, jsonl_path):
+    slo = parse_slo(scn_path)
+    if not slo:
+        sys.exit(f"{scn_path}: no [slo] section to check")
+    rounds = load_rounds(jsonl_path)
+
+    rates = [
+        r["partitions_complete"] / r["partitions_total"]
+        for r in rounds
+        if r.get("partitions_total", 0) > 0
+    ]
+    completion_rate = sum(rates) / len(rates) if rates else 0.0
+    complete = sum(1 for r in rounds if r.get("round_complete") == 1)
+    durations = [r["round_ms"] for r in rounds if r.get("round_ms", -1) >= 0]
+    totals = {
+        k: sum(r.get(k, 0) for r in rounds)
+        for k in ("crashes", "transfers_dropped", "payloads_corrupted")
+    }
+
+    failures = []
+
+    def gate(name, actual, bound, is_min):
+        ok = actual >= bound if is_min else actual <= bound
+        mark = "ok  " if ok else "FAIL"
+        op = ">=" if is_min else "<="
+        print(f"  {mark} {name} = {actual:g} (want {op} {bound:g})")
+        if not ok:
+            failures.append(name)
+
+    print(f"{scn_path} vs {jsonl_path}: {len(rounds)} rounds, "
+          f"{complete} complete, completion_rate {completion_rate:.3f}")
+    for key, bound in slo:
+        if key == "completion_rate_min":
+            gate(key, completion_rate, bound, True)
+        elif key == "rounds_complete_min":
+            gate(key, complete, bound, True)
+        elif key in ("round_p50_ms_max", "round_p99_ms_max"):
+            if not durations:
+                print(f"  FAIL {key}: no completed rounds to measure")
+                failures.append(key)
+                continue
+            p = 50 if key == "round_p50_ms_max" else 99
+            gate(key, percentile(durations, p), bound, False)
+        elif key == "crashes_min":
+            gate(key, totals["crashes"], bound, True)
+        elif key == "transfers_dropped_max":
+            gate(key, totals["transfers_dropped"], bound, False)
+        elif key == "payloads_corrupted_max":
+            gate(key, totals["payloads_corrupted"], bound, False)
+        else:
+            sys.exit(f"{scn_path}: unknown [slo] key '{key}'")
+    return failures
+
+
+FINGERPRINT = ("round", "aggregate_hash", "round_complete", "partitions_complete",
+               "crashes", "restarts", "transfers_dropped", "payloads_corrupted",
+               "transfers_jittered")
+
+
+def check_identical(a_path, b_path):
+    a, b = load_rounds(a_path), load_rounds(b_path)
+    if len(a) != len(b):
+        print(f"FAIL: {a_path} has {len(a)} rounds, {b_path} has {len(b)}")
+        return ["rounds"]
+    failures = []
+    for ra, rb in zip(a, b):
+        fa = tuple(ra.get(k) for k in FINGERPRINT)
+        fb = tuple(rb.get(k) for k in FINGERPRINT)
+        if fa != fb:
+            print(f"FAIL: round {ra.get('round')} diverges:\n  {fa}\n  {fb}")
+            failures.append(f"round{ra.get('round')}")
+    if not failures:
+        print(f"identical: {len(a)} rounds, fingerprints match")
+    return failures
+
+
+def main(argv):
+    if len(argv) == 4 and argv[1] == "--identical":
+        failures = check_identical(argv[2], argv[3])
+    elif len(argv) == 3:
+        failures = check_slos(argv[1], argv[2])
+    else:
+        sys.exit(__doc__)
+    if failures:
+        print(f"SLO violations: {', '.join(failures)}")
+        return 1
+    print("all SLOs met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,6 +7,7 @@
 //   dflsim --trainers 16 --partitions 4 --aggs 2 --nodes 8 --rounds 3
 //   dflsim --merge --providers 4 --partition-kb 1300
 //   dflsim --verifiable --malicious-agg 0:drop
+//   dflsim --scenario scenarios/diurnal.scn --metrics-out diurnal.jsonl
 //   dflsim --help
 #include <cstdio>
 #include <cstdlib>
@@ -17,9 +18,11 @@
 #include "common/log.hpp"
 #include "core/runner.hpp"
 #include "core/trace_export.hpp"
+#include "crypto/sha256.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/scenario.hpp"
 
 namespace {
 
@@ -59,9 +62,16 @@ void usage() {
       "faults:\n"
       "  --malicious-agg I:B aggregator I behaves B in {drop, alter, offline}\n"
       "  --faulty-trainer I:B trainer I behaves B in {slow, offline}\n"
+      "scenario:\n"
+      "  --scenario FILE     load a declarative chaos scenario (scenarios/*.scn):\n"
+      "                      heterogeneous links, churn/diurnal/session outages,\n"
+      "                      latency jitter, provider-record expiry. File values\n"
+      "                      are defaults; explicit CLI flags still win.\n"
       "observability:\n"
       "  --trace-out FILE    write a Chrome/Perfetto trace_event JSON of the run\n"
       "  --metrics-out FILE  append one JSONL metrics snapshot per round\n"
+      "                      (with a scenario: adds round_complete, aggregate_hash\n"
+      "                      and fault counters for tools/check_scenario.py)\n"
       "misc:\n"
       "  --seed N            RNG seed (default 1)\n"
       "  --verbose           protocol-level logging\n");
@@ -70,7 +80,19 @@ void usage() {
 bool parse_u64(const char* s, std::uint64_t& out) {
   char* end = nullptr;
   out = std::strtoull(s, &end, 10);
-  return end != nullptr && *end == '\0';
+  return end != nullptr && *end == '\0' && end != s;
+}
+
+/// First 8 digest bytes of sha256 over the aggregate's raw doubles —
+/// the determinism fingerprint check_scenario.py compares across seeds
+/// (0 = no aggregate this round).
+std::int64_t aggregate_hash(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  const Bytes digest = crypto::sha256(
+      BytesView{reinterpret_cast<const std::uint8_t*>(v.data()), v.size() * sizeof(double)});
+  std::int64_t out = 0;
+  std::memcpy(&out, digest.data(), sizeof(out));
+  return out;
 }
 
 bool parse_behavior_pair(const std::string& arg, std::uint32_t& id, std::string& kind) {
@@ -92,12 +114,27 @@ int main(int argc, char** argv) {
   cfg.num_ipfs_nodes = 4;
   cfg.partition_elements = 128 * 1024 / 8;
   cfg.train_time = sim::from_seconds(1);
-  std::size_t providers = 0;  // 0 = all nodes
-  int rounds = 1;
-  double mbps = 10.0;
-  double latency_ms = 5.0;
+  constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
+  std::size_t providers = kUnset;  // 0 = all nodes
+  int rounds = -1;                 // -1 = scenario suggestion, else 1
   std::string trace_out;
   std::string metrics_out;
+
+  // Pass 1: the scenario file seeds the config, so every explicit CLI
+  // flag parsed afterwards overrides the file.
+  int scenario_rounds = 0;
+  std::string scenario_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--scenario") == 0) scenario_path = argv[i + 1];
+  }
+  if (!scenario_path.empty()) {
+    try {
+      scenario_rounds = core::apply_scenario(sim::load_scenario_file(scenario_path), cfg);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -108,28 +145,52 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    std::uint64_t v = 0;
+    // Numeric flag values report the offending flag by name instead of
+    // falling through to "unknown argument".
+    auto next_u64 = [&]() -> std::uint64_t {
+      const char* s = next();
+      std::uint64_t v = 0;
+      if (!parse_u64(s, v)) {
+        std::fprintf(stderr, "%s: malformed numeric value '%s'\n", a.c_str(), s);
+        std::exit(2);
+      }
+      return v;
+    };
+    auto next_double = [&]() -> double {
+      const char* s = next();
+      char* end = nullptr;
+      const double v = std::strtod(s, &end);
+      if (end == s || *end != '\0') {
+        std::fprintf(stderr, "%s: malformed numeric value '%s'\n", a.c_str(), s);
+        std::exit(2);
+      }
+      return v;
+    };
     if (a == "--help" || a == "-h") {
       usage();
       return 0;
-    } else if (a == "--trainers" && parse_u64(next(), v)) {
-      cfg.num_trainers = v;
-    } else if (a == "--partitions" && parse_u64(next(), v)) {
-      cfg.num_partitions = v;
-    } else if (a == "--aggs" && parse_u64(next(), v)) {
-      cfg.aggs_per_partition = v;
-    } else if (a == "--nodes" && parse_u64(next(), v)) {
-      cfg.num_ipfs_nodes = v;
-    } else if (a == "--providers" && parse_u64(next(), v)) {
-      providers = v;
-    } else if (a == "--partition-kb" && parse_u64(next(), v)) {
-      cfg.partition_elements = v * 1024 / 8;
-    } else if (a == "--rounds" && parse_u64(next(), v)) {
-      rounds = static_cast<int>(v);
+    } else if (a == "--scenario") {
+      (void)next();  // consumed in pass 1
+    } else if (a == "--trainers") {
+      cfg.num_trainers = next_u64();
+    } else if (a == "--partitions") {
+      cfg.num_partitions = next_u64();
+    } else if (a == "--aggs") {
+      cfg.aggs_per_partition = next_u64();
+    } else if (a == "--nodes") {
+      cfg.num_ipfs_nodes = next_u64();
+    } else if (a == "--providers") {
+      providers = next_u64();
+    } else if (a == "--partition-kb") {
+      cfg.partition_elements = next_u64() * 1024 / 8;
+    } else if (a == "--rounds") {
+      rounds = static_cast<int>(next_u64());
     } else if (a == "--mbps") {
-      mbps = std::atof(next());
+      const double mbps = next_double();
+      cfg.participant_mbps = mbps;
+      cfg.node_mbps = mbps;
     } else if (a == "--latency-ms") {
-      latency_ms = std::atof(next());
+      cfg.link_latency = sim::from_millis(next_double());
     } else if (a == "--merge") {
       cfg.options.merge_and_download = true;
     } else if (a == "--verifiable") {
@@ -138,12 +199,12 @@ int main(int argc, char** argv) {
       cfg.options.batched_announce = true;
     } else if (a == "--hashed-providers") {
       cfg.options.provider_policy = core::ProviderPolicy::kHashed;
-    } else if (a == "--replicas" && parse_u64(next(), v)) {
-      cfg.options.update_replicas = v;
-    } else if (a == "--gradient-replicas" && parse_u64(next(), v)) {
-      cfg.options.gradient_replicas = v;
-    } else if (a == "--directory-replicas" && parse_u64(next(), v)) {
-      cfg.directory_replicas = v;
+    } else if (a == "--replicas") {
+      cfg.options.update_replicas = next_u64();
+    } else if (a == "--gradient-replicas") {
+      cfg.options.gradient_replicas = next_u64();
+    } else if (a == "--directory-replicas") {
+      cfg.directory_replicas = next_u64();
     } else if (a == "--chunking") {
       const std::string mode = next();
       if (mode == "dag") cfg.options.chunking = ipfs::ChunkingMode::kDag;
@@ -152,18 +213,19 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown chunking mode '%s' (want dag|monolithic)\n", mode.c_str());
         return 2;
       }
-    } else if (a == "--chunk-size" && parse_u64(next(), v)) {
+    } else if (a == "--chunk-size") {
+      const std::uint64_t v = next_u64();
       if (v == 0) {
         std::fprintf(stderr, "--chunk-size must be positive (KiB)\n");
         return 2;
       }
       cfg.options.chunk_size = v * 1024;
-    } else if (a == "--pipeline" && parse_u64(next(), v)) {
-      cfg.options.chunk_pipeline = v;
-    } else if (a == "--crypto-threads" && parse_u64(next(), v)) {
-      cfg.options.crypto_threads = v;
-    } else if (a == "--fixed-base" && parse_u64(next(), v)) {
-      cfg.options.fixed_base_window = static_cast<int>(v);
+    } else if (a == "--pipeline") {
+      cfg.options.chunk_pipeline = next_u64();
+    } else if (a == "--crypto-threads") {
+      cfg.options.crypto_threads = next_u64();
+    } else if (a == "--fixed-base") {
+      cfg.options.fixed_base_window = static_cast<int>(next_u64());
     } else if (a == "--batch-verify") {
       cfg.options.batch_verify = true;
     } else if (a == "--audit") {
@@ -174,8 +236,8 @@ int main(int argc, char** argv) {
       trace_out = next();
     } else if (a == "--metrics-out") {
       metrics_out = next();
-    } else if (a == "--seed" && parse_u64(next(), v)) {
-      cfg.seed = v;
+    } else if (a == "--seed") {
+      cfg.seed = next_u64();
     } else if (a == "--verbose") {
       set_log_level(LogLevel::kInfo);
     } else if (a == "--malicious-agg") {
@@ -211,16 +273,27 @@ int main(int argc, char** argv) {
     }
   }
 
-  cfg.participant_mbps = mbps;
-  cfg.node_mbps = mbps;
-  cfg.link_latency = sim::from_millis(latency_ms);
-  cfg.providers_per_agg = providers == 0 ? cfg.num_ipfs_nodes : providers;
+  if (providers != kUnset) {
+    cfg.providers_per_agg = providers == 0 ? cfg.num_ipfs_nodes : providers;
+  } else if (scenario_path.empty()) {
+    cfg.providers_per_agg = cfg.num_ipfs_nodes;  // legacy default: all nodes
+  }
+  if (rounds < 0) rounds = scenario_rounds > 0 ? scenario_rounds : 1;
+  // The scenario's generator horizon must cover the rounds actually run.
+  cfg.scenario.rounds = rounds;
 
+  if (cfg.scenario.active()) {
+    std::printf("scenario: %s%s%s (seed %llu)\n", cfg.scenario.name.c_str(),
+                cfg.scenario.description.empty() ? "" : " — ",
+                cfg.scenario.description.c_str(),
+                static_cast<unsigned long long>(cfg.seed));
+  }
   std::printf("deployment: %zu trainers, %zu partitions x %.0f KB, |A_i|=%zu, %zu nodes, "
               "|P_ij|=%zu, %.0f Mbps%s%s%s\n\n",
               cfg.num_trainers, cfg.num_partitions,
               static_cast<double>(core::Payload::wire_size(cfg.partition_elements + 1)) / 1024,
-              cfg.aggs_per_partition, cfg.num_ipfs_nodes, cfg.providers_per_agg, mbps,
+              cfg.aggs_per_partition, cfg.num_ipfs_nodes, cfg.providers_per_agg,
+              cfg.participant_mbps,
               cfg.options.merge_and_download ? ", merge-and-download" : "",
               cfg.options.verifiable ? ", verifiable" : "",
               cfg.options.batched_announce ? ", batched announce" : "");
@@ -256,7 +329,20 @@ int main(int argc, char** argv) {
     crypto_total.batch_verifies += m.crypto.batch_verifies;
     crypto_total.committed_elements += m.crypto.committed_elements;
     if (metrics_stream.is_open()) {
-      obs::write_metrics_jsonl(metrics_stream, obs::Registry::global().snapshot(), {{"round", r}});
+      obs::write_metrics_jsonl(
+          metrics_stream, obs::Registry::global().snapshot(),
+          {{"round", r},
+           {"round_start_ms", static_cast<std::int64_t>(m.round_start / 1000000)},
+           {"round_complete", m.global_update_complete ? 1 : 0},
+           {"partitions_complete", static_cast<std::int64_t>(m.partitions_complete)},
+           {"partitions_total", static_cast<std::int64_t>(m.partitions_total)},
+           {"round_ms", static_cast<std::int64_t>(round_s >= 0 ? round_s * 1e3 : -1)},
+           {"aggregate_hash", aggregate_hash(d.last_global_update())},
+           {"crashes", static_cast<std::int64_t>(m.faults.crashes)},
+           {"restarts", static_cast<std::int64_t>(m.faults.restarts)},
+           {"transfers_dropped", static_cast<std::int64_t>(m.faults.transfers_dropped)},
+           {"payloads_corrupted", static_cast<std::int64_t>(m.faults.payloads_corrupted)},
+           {"transfers_jittered", static_cast<std::int64_t>(m.faults.transfers_jittered)}});
     }
   }
   if (!trace_out.empty()) {
