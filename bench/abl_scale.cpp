@@ -1,0 +1,285 @@
+// Ablation A13: the sharded event engine's scaling curve. Replicates the
+// A9 transfer-plane shape (groups of 50 trainers + 2 aggregators, each
+// trainer uploading a 4 MB model as 16 x 256 KiB chunks to its group
+// aggregator plus one gradient-replica aggregator half the ring away) at
+// N = 10^2..10^5 hosts and runs every N on the ShardedSimulator at
+// K in {1, 2, 4, 8}. K = 1 is literally today's serial engine
+// (ShardedSimulator::run delegates), so each row is a serial-vs-sharded
+// A/B; per cell the bench asserts the order-independent aggregate hash and
+// sim_round_done_ns match the K = 1 cell bit-for-bit before reporting
+// events/sec. Results land in BENCH_scale.json ($DFL_BENCH_SCALE_JSON
+// overrides the path).
+//
+//   abl_scale                 # full curve: N in {104, 1040, 10400, 104000}
+//   DFL_SCALE_SMOKE=1 abl_scale   # CI-sized: N in {104, 1040}, K in {1, 2, 8}
+//
+// The workload's equal-timestamp effects are commutative by construction
+// (sum/max folds), which is the documented contract for cross-K
+// bit-identity; every event timestamp is a pure function of
+// (trainer, chunk), never of execution order.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/pool.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace dfl;
+using sim::TimeNs;
+
+// A9 shape constants: 50 trainers + 2 aggregators per group, 4 MB model
+// shipped as 256 KiB chunks.
+constexpr std::size_t kGroup = 52;
+constexpr std::size_t kAggsPerGroup = 2;
+constexpr std::uint32_t kChunks = 16;
+constexpr double kChunkBits = 256.0 * 1024.0 * 8.0;
+constexpr TimeNs kMergeNs = sim::from_millis(25);  // aggregator merge cost
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Deterministic per-host link draws (the scenario layer does this with
+// Rng; the bench inlines a fixed assignment so parameters are a pure
+// function of the host id).
+// Edge/home access band (4..40 Mbps), the regime the paper's FL clients
+// live in: a 256 KiB chunk serializes for 52..524 ms.
+double up_mbps(std::uint32_t h) { return 4.0 + static_cast<double>(mix(h * 2 + 1) % 37); }
+TimeNs latency(std::uint32_t h) {
+  // Datacenter-to-metro band (1..5 ms): short enough that chunk
+  // serialization, not propagation, bounds the in-flight event population.
+  return sim::from_millis(1.0 + static_cast<double>(mix(h * 2 + 2) % 5));
+}
+TimeNs serialize_ns(std::uint32_t h) {
+  return static_cast<TimeNs>(kChunkBits * 1e9 / (up_mbps(h) * 1e6));
+}
+
+// One cache line of dense per-host state, touched on every event: acc[0]
+// carries the order-independent hash fold, the rest stand in for the
+// residual/partial-aggregate columns a merge would update.
+struct alignas(64) HostLane {
+  std::uint64_t acc[8] = {};
+};
+static_assert(sizeof(HostLane) == 64);
+
+struct World {
+  sim::ShardedSimulator* engine = nullptr;
+  const sim::ShardPlacement* place = nullptr;
+  std::vector<HostLane> lanes;           // [hosts]
+  std::vector<std::uint32_t> received;   // [hosts], aggregators only
+  std::vector<TimeNs> agg_done;          // [hosts], aggregators only
+  std::uint32_t expected_per_agg = 0;
+  std::size_t groups = 0;
+};
+
+bool is_agg(std::uint32_t h) { return h % kGroup < kAggsPerGroup; }
+std::uint32_t group_of(std::uint32_t h) { return h / kGroup; }
+
+// Primary aggregator: the trainer's own group; replica: the group half the
+// ring away — guaranteed cross-shard for K > 1 block placements.
+std::uint32_t primary_agg(std::uint32_t t) {
+  return group_of(t) * kGroup + t % kAggsPerGroup;
+}
+std::uint32_t replica_agg(const World& w, std::uint32_t t) {
+  const std::uint32_t g = (group_of(t) + static_cast<std::uint32_t>(w.groups) / 2) %
+                          static_cast<std::uint32_t>(w.groups);
+  return g * kGroup + t % kAggsPerGroup;
+}
+
+void deliver(World& w, std::uint32_t agg, std::uint32_t t, std::uint32_t chunk, TimeNs at);
+
+// Trainer t finishes serializing chunk `chunk` at the current time: fold
+// the local residual, ship the chunk to both aggregators, start the next.
+void upload(World& w, std::uint32_t t, std::uint32_t chunk) {
+  const std::uint32_t src_shard = w.place->shard(t);
+  const TimeNs now = w.engine->shard(src_shard).now();
+  HostLane& lane = w.lanes[t];
+  const std::uint64_t token = mix(static_cast<std::uint64_t>(t) << 32 | chunk) ^
+                              static_cast<std::uint64_t>(now);
+  for (int j = 0; j < 8; ++j) lane.acc[j] += mix(token + static_cast<std::uint64_t>(j));
+  const std::uint32_t dsts[2] = {primary_agg(t), replica_agg(w, t)};
+  for (const std::uint32_t a : dsts) {
+    const TimeNs arrival = now + latency(t) + latency(a);
+    const std::uint32_t dst_shard = w.place->shard(a);
+    auto fn = [pw = &w, a, t, chunk, arrival] { deliver(*pw, a, t, chunk, arrival); };
+    if (dst_shard == src_shard) {
+      w.engine->schedule_on(dst_shard, arrival, std::move(fn));
+    } else {
+      w.engine->send(src_shard, dst_shard, arrival, std::move(fn));
+    }
+  }
+  if (chunk + 1 < kChunks) {
+    const TimeNs next = now + serialize_ns(t);
+    w.engine->schedule_on(src_shard, next,
+                          [pw = &w, t, chunk] { upload(*pw, t, chunk + 1); });
+  }
+}
+
+void deliver(World& w, std::uint32_t agg, std::uint32_t t, std::uint32_t chunk, TimeNs at) {
+  // Commutative fold: additive per column, so the equal-timestamp tie
+  // order (the one thing serial vs sharded may legally disagree on) cannot
+  // change the result.
+  HostLane& lane = w.lanes[agg];
+  const std::uint64_t token = mix(static_cast<std::uint64_t>(t) << 32 | chunk) ^
+                              static_cast<std::uint64_t>(at);
+  for (std::uint64_t j = 0; j < 8; ++j) lane.acc[j] += mix(token ^ (j * 1315423911ULL));
+  if (++w.received[agg] == w.expected_per_agg) {
+    // Deliveries execute in timestamp order, so "now" is the last arrival.
+    w.agg_done[agg] = at + kMergeNs;
+  }
+}
+
+struct Cell {
+  std::size_t hosts = 0;
+  std::uint32_t shards = 0;
+  std::uint64_t events = 0;
+  double wall_s = 0;
+  double events_per_sec = 0;
+  std::uint64_t agg_hash = 0;
+  TimeNs round_done = 0;
+  sim::ShardedStats stats;
+  double speedup = 1.0;
+};
+
+Cell run_cell(std::size_t hosts, std::uint32_t k, ThreadPool* pool) {
+  const sim::ShardPlacement place = sim::ShardPlacement::blocks(hosts, k);
+  // Lookahead: every path is >= two 1 ms endpoint latencies; the network
+  // layer derives the same bound with Network::min_cross_shard_latency.
+  sim::ShardedSimulator engine(k, 2 * sim::from_millis(1), pool);
+
+  World w;
+  w.engine = &engine;
+  w.place = &place;
+  w.groups = hosts / kGroup;
+  w.lanes.assign(hosts, HostLane{});
+  w.received.assign(hosts, 0);
+  w.agg_done.assign(hosts, 0);
+  // Each group's trainers target their 2 aggs + 2 replica aggs; with the
+  // half-ring shift every agg serves its own group plus one replica group.
+  w.expected_per_agg =
+      static_cast<std::uint32_t>((kGroup - kAggsPerGroup) / kAggsPerGroup * kChunks * 2);
+
+  // Satellite: deployment-sized event-count hint. 1 upload + 2 deliveries
+  // per (trainer, chunk).
+  const std::size_t trainers = w.groups * (kGroup - kAggsPerGroup);
+  engine.reserve_events(trainers * kChunks * 3 / k + 1);
+
+  for (std::uint32_t h = 0; h < hosts; ++h) {
+    if (is_agg(h)) continue;
+    // Stagger round starts the way train_time jitter does in A9.
+    const TimeNs start = static_cast<TimeNs>(mix(h + 7) % sim::from_millis(500));
+    engine.schedule_on(place.shard(h), start + serialize_ns(h),
+                       [pw = &w, h] { upload(*pw, h, 0); });
+  }
+
+  bench::WallTimer timer;
+  engine.run();
+  Cell c;
+  c.wall_s = timer.seconds();
+  c.hosts = hosts;
+  c.shards = k;
+  c.events = engine.events_processed();
+  c.events_per_sec = c.wall_s > 0 ? static_cast<double>(c.events) / c.wall_s : 0;
+  for (const HostLane& lane : w.lanes) {
+    for (int j = 0; j < 8; ++j) c.agg_hash += mix(lane.acc[j]);  // order-free sum
+  }
+  for (std::uint32_t h = 0; h < hosts; ++h) {
+    if (is_agg(h)) c.round_done = std::max(c.round_done, w.agg_done[h]);
+  }
+  c.stats = engine.stats();
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("DFL_SCALE_SMOKE") != nullptr;
+  std::vector<std::size_t> sizes;
+  std::vector<std::uint32_t> ks;
+  if (smoke) {
+    sizes = {2 * kGroup, 20 * kGroup};
+    ks = {1, 2, 8};
+  } else {
+    sizes = {2 * kGroup, 20 * kGroup, 200 * kGroup, 2000 * kGroup};
+    ks = {1, 2, 4, 8};
+  }
+  ThreadPool& pool = ThreadPool::shared();
+
+  std::vector<Cell> cells;
+  bool identical = true;
+  for (const std::size_t n : sizes) {
+    Cell serial;
+    for (const std::uint32_t k : ks) {
+      Cell c = run_cell(n, k, k > 1 ? &pool : nullptr);
+      if (k == 1) {
+        serial = c;
+      } else {
+        c.speedup = serial.events_per_sec > 0 ? c.events_per_sec / serial.events_per_sec : 0;
+        if (c.agg_hash != serial.agg_hash || c.round_done != serial.round_done ||
+            c.events != serial.events) {
+          identical = false;
+          std::fprintf(stderr,
+                       "abl_scale: N=%zu K=%u diverged from serial "
+                       "(hash %016" PRIx64 " vs %016" PRIx64 ", round_done %lld vs %lld)\n",
+                       n, k, c.agg_hash, serial.agg_hash,
+                       static_cast<long long>(c.round_done),
+                       static_cast<long long>(serial.round_done));
+        }
+      }
+      std::printf("N=%6zu K=%u  %9" PRIu64 " events  %8.3f s  %10.0f ev/s  x%.2f  hash %016" PRIx64
+                  "  round_done %.3f s\n",
+                  n, k, c.events, c.wall_s, c.events_per_sec, c.speedup, c.agg_hash,
+                  sim::to_seconds(c.round_done));
+      cells.push_back(std::move(c));
+    }
+  }
+
+  const char* env_path = std::getenv("DFL_BENCH_SCALE_JSON");
+  const std::string path =
+      env_path != nullptr && *env_path != '\0' ? env_path : "BENCH_scale.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "abl_scale: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"abl_scale\",\n  \"mode\": \"%s\",\n",
+               smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"threads\": %zu,\n", pool.concurrency());
+  std::fprintf(f, "  \"hash_identical\": %s,\n", identical ? "true" : "false");
+  std::fprintf(f, "  \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(f,
+                 "    {\"hosts\": %zu, \"shards\": %u, \"events\": %" PRIu64
+                 ", \"wall_seconds\": %.6f, \"events_per_sec\": %.1f, "
+                 "\"speedup_vs_serial\": %.3f, \"agg_hash\": \"%016" PRIx64
+                 "\", \"sim_round_done_ns\": %lld, \"windows\": %" PRIu64
+                 ", \"cross_shard_events\": %" PRIu64 ", \"max_window_events\": %" PRIu64
+                 ", \"stalled_shard_windows\": %" PRIu64 "}%s\n",
+                 c.hosts, c.shards, c.events, c.wall_s, c.events_per_sec, c.speedup,
+                 c.agg_hash, static_cast<long long>(c.round_done), c.stats.windows,
+                 c.stats.cross_shard_events, c.stats.max_window_events,
+                 c.stats.stalled_shard_windows, i + 1 == cells.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr, "abl_scale: sharded results diverged from serial\n");
+    return 1;
+  }
+  return 0;
+}

@@ -67,6 +67,25 @@ struct DataPathRecord {
   }
 };
 
+/// One round's view of the sharded-engine driver (zeros at K = 1, where
+/// the serial fast path runs and no windows exist).
+struct ShardingRecord {
+  std::uint32_t shards = 1;
+  sim::TimeNs lookahead_ns = 0;        // conservative window width this round
+  std::uint64_t windows = 0;           // lookahead windows executed
+  std::uint64_t max_window_events = 0; // densest window (parallelism ceiling)
+  std::uint64_t cross_shard_transfers = 0;  // deliveries crossing a barrier
+  std::uint64_t local_shard_transfers = 0;  // deliveries kept shard-local
+  /// Fraction of deliveries that stayed inside their shard — the placement
+  /// quality signal (1.0 = no barrier traffic at all).
+  [[nodiscard]] double locality() const {
+    const auto total = cross_shard_transfers + local_shard_transfers;
+    return total == 0 ? 1.0
+                      : static_cast<double>(local_shard_transfers) /
+                            static_cast<double>(total);
+  }
+};
+
 struct RoundMetrics {
   std::uint32_t iter = 0;
   sim::TimeNs round_start = 0;
@@ -79,6 +98,7 @@ struct RoundMetrics {
   double post_round_loss = -1;
   CryptoRecord crypto;      // zeros when not verifiable
   DataPathRecord datapath;  // host-side data-plane observability
+  ShardingRecord sharding;  // sharded-engine window/locality counters
   /// Injector activity during this round (delta; zeros without chaos).
   sim::FaultStats faults;
   /// Partitions whose accepted global update was assembled post-round,

@@ -281,6 +281,42 @@ Deployment::Deployment(DeploymentConfig config, std::unique_ptr<GradientSource> 
   }
   incremental_chaos_ = scenario_active;
 
+  // Event-engine sharding: resolve K (config wins; $DFL_SHARDS fills the
+  // auto default), place hosts into contiguous blocks over the final
+  // roster, and teach the network to classify deliveries. K = 1 leaves
+  // the serial engine exactly as before — no placement, no buckets.
+  shards_ = config_.shards;
+  if (shards_ == 0) {
+    shards_ = 1;
+    if (const char* env = std::getenv("DFL_SHARDS"); env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(env, &end, 10);
+      if (end == env || *end != '\0' || v == 0 || v > 1024) {
+        throw std::invalid_argument(std::string("DFL_SHARDS: malformed shard count '") +
+                                    env + "' (want an integer in [1, 1024])");
+      }
+      shards_ = static_cast<std::uint32_t>(v);
+    }
+  }
+  const auto total_hosts = static_cast<std::uint32_t>(net_->host_count());
+  placement_ = sim::ShardPlacement::blocks(total_hosts, std::min(shards_, total_hosts));
+  shards_ = placement_.shards;
+  if (shards_ > 1) {
+    net_->set_shard_placement(&placement_);
+    lookahead_ = derive_lookahead();
+    sim_->enable_window_buckets(lookahead_);
+  }
+
+  // Size the event queue for the round ahead instead of growing through
+  // repeated reallocation: one slot per chunk transfer (upload fan-in plus
+  // aggregator gather) with headroom for control traffic.
+  const std::size_t partition_bytes = 8 * (config_.partition_elements + 1);
+  const std::size_t chunks = std::max<std::size_t>(
+      1, (partition_bytes + config_.options.chunk_size - 1) / config_.options.chunk_size);
+  const std::size_t transfers = config_.num_trainers * config_.num_partitions +
+                                total_aggs * config_.num_trainers + total_aggs * 4;
+  sim_->reserve_events(transfers * (chunks + 4));
+
   // Subsume the scattered per-subsystem stats under the metrics registry:
   // collectors read the existing structs at snapshot() time, so the hot
   // paths keep their plain counters and RoundMetrics deltas are untouched.
@@ -318,12 +354,20 @@ Deployment::Deployment(DeploymentConfig config, std::unique_ptr<GradientSource> 
     r.counter("dfl.crypto.commit_wall_ns").set(s.commit_wall_ns);
     r.counter("dfl.crypto.verify_wall_ns").set(s.verify_wall_ns);
   });
+  obs::Registry::global().register_collector("sharding", [this](obs::Registry& r) {
+    r.gauge("dfl.sim.shards").set(static_cast<double>(shards_));
+    r.gauge("dfl.sim.lookahead_ns").set(static_cast<double>(lookahead_));
+    r.counter("dfl.sim.windows").set(windows_total_);
+    r.counter("dfl.sim.cross_shard_transfers").set(net_->cross_shard_transfers());
+    r.counter("dfl.sim.local_shard_transfers").set(net_->local_shard_transfers());
+  });
 }
 
 Deployment::~Deployment() {
   obs::Registry::global().unregister_collector("net");
   obs::Registry::global().unregister_collector("crypto");
   obs::Registry::global().unregister_collector("fault");
+  obs::Registry::global().unregister_collector("sharding");
 }
 
 RoundMetrics Deployment::run_round(std::uint32_t iter) {
@@ -359,7 +403,15 @@ RoundMetrics Deployment::run_round(std::uint32_t iter) {
     sim_->spawn(a->run_round(iter, metrics.round_start, metrics));
   }
   // Run to quiescence: every actor either finished or timed out by t_sync.
-  sim_->run();
+  if (shards_ > 1) {
+    // Chaos armed this round may have tightened the jitter floor; re-derive
+    // the window width (enable_window_buckets re-buckets only on change).
+    lookahead_ = derive_lookahead();
+    sim_->enable_window_buckets(lookahead_);
+    run_windowed(metrics.sharding);
+  } else {
+    sim_->run();
+  }
   ctx_->round_span = 0;
   round_span.close();
 
@@ -399,6 +451,47 @@ RoundMetrics Deployment::run_round(std::uint32_t iter) {
   }
   publish_round_metrics(metrics);
   return metrics;
+}
+
+sim::TimeNs Deployment::derive_lookahead() const {
+  if (shards_ <= 1) return 0;
+  // Conservative bound on how far ahead any shard may run: the smallest
+  // latency a cross-shard delivery can possibly have. Jitter can only add
+  // delay except when it fires with certainty and its distribution has a
+  // positive floor — then that floor raises the bound too.
+  sim::TimeNs base = net_->min_cross_shard_latency(placement_);
+  if (base == sim::Simulator::kNoEvent) base = net_->min_path_latency();
+  if (base == sim::Simulator::kNoEvent) base = config_.link_latency;
+  const sim::TimeNs floor = config_.fault_plan.latency_floor_ns();
+  if (base <= sim::Simulator::kNoEvent - floor) base += floor;
+  return std::max<sim::TimeNs>(base, 1);
+}
+
+void Deployment::run_windowed(ShardingRecord& rec) {
+  rec.shards = shards_;
+  rec.lookahead_ns = lookahead_;
+  const std::uint64_t cross_before = net_->cross_shard_transfers();
+  const std::uint64_t local_before = net_->local_shard_transfers();
+  // Sequenced window driver: place each half-open window [W, W + lookahead)
+  // at the globally earliest pending event and drain it before moving on.
+  // One window at a time keeps execution order identical to the serial
+  // engine while exposing the same barrier cadence (window count, density,
+  // locality) the parallel shards see.
+  for (;;) {
+    const sim::TimeNs next = sim_->next_event_time();
+    if (next == sim::Simulator::kNoEvent) break;
+    const sim::TimeNs end = next > sim::Simulator::kNoEvent - lookahead_
+                                ? sim::Simulator::kNoEvent
+                                : next + lookahead_;
+    const std::uint64_t before = sim_->events_processed();
+    sim_->run_before(end);
+    ++rec.windows;
+    rec.max_window_events =
+        std::max(rec.max_window_events, sim_->events_processed() - before);
+  }
+  windows_total_ += rec.windows;
+  rec.cross_shard_transfers = net_->cross_shard_transfers() - cross_before;
+  rec.local_shard_transfers = net_->local_shard_transfers() - local_before;
 }
 
 std::size_t Deployment::collect_global_update(std::uint32_t iter) {

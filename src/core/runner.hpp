@@ -54,6 +54,14 @@ struct DeploymentConfig {
   /// Unreliable trainers: trainer id -> behaviour.
   std::map<std::uint32_t, TrainerBehavior> trainer_behaviors;
 
+  /// Event-engine shards (K). 0 = auto: $DFL_SHARDS when set, else 1.
+  /// K = 1 runs the serial engine exactly as before. K > 1 drives the
+  /// round through conservative lookahead windows (sequenced mode: one
+  /// window at a time in deterministic order, so results are bit-identical
+  /// to K = 1), switches the event queue to window-calendar buckets, and
+  /// fills RoundMetrics::sharding with window/locality counters.
+  std::uint32_t shards = 0;
+
   std::uint64_t seed = 1;
   std::string task_domain = "dfl/task/v1";
   /// Chaos schedule applied to the deployment (leave empty for a fault-free
@@ -131,6 +139,13 @@ class Deployment {
   [[nodiscard]] Aggregator& aggregator(std::size_t i) { return *aggregators_.at(i); }
   [[nodiscard]] std::size_t num_aggregators() const { return aggregators_.size(); }
 
+  /// Resolved shard count (config.shards, or $DFL_SHARDS when that is 0).
+  [[nodiscard]] std::uint32_t shards() const { return shards_; }
+  /// Host -> shard assignment (every host on shard 0 when shards() == 1).
+  [[nodiscard]] const sim::ShardPlacement& shard_placement() const { return placement_; }
+  /// The conservative window width of the current round, ns (0 at K = 1).
+  [[nodiscard]] sim::TimeNs lookahead() const { return lookahead_; }
+
   /// The decoded average gradient assembled by the directory's view after
   /// run_round (empty if any partition's update is missing).
   [[nodiscard]] const std::vector<double>& last_global_update() const {
@@ -140,6 +155,12 @@ class Deployment {
  private:
   /// Returns the number of partitions whose global update was assembled.
   std::size_t collect_global_update(std::uint32_t iter);
+  /// Re-derives the conservative window width from the network's
+  /// cross-shard latency floor plus the fault plan's jitter floor.
+  [[nodiscard]] sim::TimeNs derive_lookahead() const;
+  /// Drives the serial simulator to quiescence in lookahead windows,
+  /// filling `rec` with window counters (sequenced sharded mode, K > 1).
+  void run_windowed(ShardingRecord& rec);
 
   DeploymentConfig config_;
   std::unique_ptr<sim::Simulator> sim_;
@@ -156,6 +177,12 @@ class Deployment {
   std::vector<std::unique_ptr<Aggregator>> aggregators_;
   std::vector<sim::Host*> directory_hosts_;
   std::vector<double> last_global_update_;
+  std::uint32_t shards_ = 1;
+  sim::ShardPlacement placement_;
+  sim::TimeNs lookahead_ = 0;
+  /// Lifetime total of lookahead windows executed (the registry collector
+  /// reads this; per-round deltas live in RoundMetrics::sharding).
+  std::uint64_t windows_total_ = 0;
   /// Scenario mode: chaos is armed per round (arm_until) instead of all
   /// at once, so end-of-round drains never fast-forward the clock.
   bool incremental_chaos_ = false;

@@ -35,6 +35,11 @@ std::vector<obs::WireSlice> wire_slices(const sim::Network& net) {
     }
     w.attrs.push_back(obs::SpanAttr{"bytes", {}, static_cast<std::int64_t>(r.wire_bytes), true});
     w.attrs.push_back(obs::SpanAttr{"to", {}, static_cast<std::int64_t>(r.to), true});
+    if (const sim::ShardPlacement* p = net.shard_placement();
+        p != nullptr && p->shards > 1 && p->shard(r.from) != p->shard(r.to)) {
+      w.attrs.push_back(
+          obs::SpanAttr{"xshard", {}, static_cast<std::int64_t>(p->shard(r.to)), true});
+    }
     out.push_back(std::move(w));
   }
   return out;
@@ -42,8 +47,17 @@ std::vector<obs::WireSlice> wire_slices(const sim::Network& net) {
 
 void name_host_tracks(sim::Network& net) {
   obs::Tracer& tracer = obs::Tracer::instance();
+  // With a sharded engine the placement prefixes each host track with its
+  // shard ("s2/trainer7"), so Perfetto's track sort groups hosts by shard
+  // and barrier traffic reads as lines between track groups.
+  const sim::ShardPlacement* placement = net.shard_placement();
   for (std::uint32_t id = 0; id < net.host_count(); ++id) {
-    tracer.set_track_name(id, net.host(id).name());
+    if (placement != nullptr && placement->shards > 1) {
+      tracer.set_track_name(id, "s" + std::to_string(placement->shard(id)) + "/" +
+                                    net.host(id).name());
+    } else {
+      tracer.set_track_name(id, net.host(id).name());
+    }
   }
   tracer.set_track_name(obs::kProcessTrack, "rounds");
 }

@@ -32,6 +32,20 @@ double Distribution::sample(Rng& rng) const {
   return 0.0;
 }
 
+double Distribution::floor() const {
+  switch (kind) {
+    case Kind::kConstant:
+    case Kind::kUniform:
+    case Kind::kPareto:
+      return std::max(0.0, a);
+    case Kind::kNormal:
+    case Kind::kLogNormal:
+    case Kind::kExponential:
+      return 0.0;
+  }
+  return 0.0;
+}
+
 namespace {
 
 void check_prob(const char* name, double p) {
@@ -75,6 +89,36 @@ void FaultPlan::validate() const {
   if (latency_jitter_ms.is_constant() && latency_jitter_ms.a < 0) {
     throw std::invalid_argument("FaultPlan: negative latency_jitter_ms");
   }
+}
+
+TimeNs FaultPlan::latency_floor_ns() const {
+  // Conditional jitter (prob < 1) can skip a transfer entirely, so its
+  // guaranteed floor is zero. path_effect() also suppresses draws <= 0.
+  if (latency_jitter_prob < 1.0) return 0;
+  const double ms = latency_jitter_ms.floor();
+  return ms > 0 ? from_millis(ms) : 0;
+}
+
+std::vector<FaultPlan> FaultPlan::split_by_shard(const ShardPlacement& placement) const {
+  placement.validate();
+  std::vector<FaultPlan> out(placement.shards);
+  for (std::uint32_t k = 0; k < placement.shards; ++k) {
+    FaultPlan& p = out[k];
+    p.transfer_failure_prob = transfer_failure_prob;
+    p.corruption_prob = corruption_prob;
+    p.latency_jitter_ms = latency_jitter_ms;
+    p.latency_jitter_prob = latency_jitter_prob;
+    // Fork the stream per shard so the shard injectors stay deterministic
+    // and mutually independent regardless of transfer interleaving.
+    p.seed = seed ^ (0x9e3779b97f4a7c15ULL * (k + 1));
+  }
+  for (const CrashWindow& w : crashes) {
+    out[placement.shard(w.host_id)].crashes.push_back(w);
+  }
+  for (const DegradeWindow& w : degradations) {
+    out[placement.shard(w.host_id)].degradations.push_back(w);
+  }
+  return out;
 }
 
 FaultPlan FaultPlan::periodic_churn(const std::vector<std::uint32_t>& host_ids, TimeNs horizon,

@@ -36,6 +36,12 @@ struct Distribution {
   /// One non-negative draw (negative normal samples clamp to 0).
   [[nodiscard]] double sample(Rng& rng) const;
 
+  /// Guaranteed lower bound of every draw: constant/uniform/pareto never
+  /// yield below their `a`; normal/lognormal/exponential can reach 0.
+  /// Lookahead accounting uses this to *raise* the conservative window
+  /// when a scenario's jitter has a positive floor.
+  [[nodiscard]] double floor() const;
+
   [[nodiscard]] bool is_constant() const { return kind == Kind::kConstant; }
   [[nodiscard]] bool is_zero() const { return kind == Kind::kConstant && a == 0.0; }
 
@@ -97,6 +103,24 @@ struct FaultPlan {
   /// FaultInjector::arm() calls this, so a malformed plan fails loudly at
   /// arm time instead of silently misbehaving mid-run.
   void validate() const;
+
+  /// Guaranteed minimum extra one-way latency this plan adds to *every*
+  /// transfer, in ns: positive only when jitter is unconditional
+  /// (latency_jitter_prob >= 1) and its distribution has a positive
+  /// floor. A sharded driver adds this to the link-latency floor when
+  /// deriving the conservative lookahead window — jitter can only delay
+  /// deliveries further, so the result stays safe (and a *larger*
+  /// lookahead means wider windows, i.e. more parallelism, not less).
+  [[nodiscard]] TimeNs latency_floor_ns() const;
+
+  /// Splits the plan by home shard for per-shard arming: crash and
+  /// degrade windows follow their target host's shard, so a sharded
+  /// engine schedules every chaos event on the heap that owns the host
+  /// and never crosses a window barrier to flip a host. Per-transfer
+  /// probabilistic fields are sender-side and copy into every shard's
+  /// plan with a shard-forked seed (seed ^ shard) so the shard streams
+  /// stay independent yet deterministic.
+  [[nodiscard]] std::vector<FaultPlan> split_by_shard(const ShardPlacement& placement) const;
 
   /// Deterministic churn generator: in every `period`-long slot up to
   /// `horizon`, each host in `host_ids` independently crashes with

@@ -48,6 +48,46 @@ Host& Network::add_host(const std::string& name, const HostConfig& config) {
   return *hosts_.back();
 }
 
+TimeNs Network::min_path_latency() const {
+  // Path latency is from.latency + to.latency over distinct hosts, so the
+  // floor is the sum of the two smallest per-host latencies.
+  TimeNs lo1 = Simulator::kNoEvent;
+  TimeNs lo2 = Simulator::kNoEvent;
+  for (const auto& h : hosts_) {
+    const TimeNs l = h->config().latency;
+    if (l < lo1) {
+      lo2 = lo1;
+      lo1 = l;
+    } else if (l < lo2) {
+      lo2 = l;
+    }
+  }
+  return lo2 == Simulator::kNoEvent ? 0 : lo1 + lo2;
+}
+
+TimeNs Network::min_cross_shard_latency(const ShardPlacement& placement) const {
+  placement.validate();
+  // Per-shard minimum host latency, then the two smallest minima from
+  // *distinct* shards bound every cross-shard pair.
+  std::vector<TimeNs> shard_min(placement.shards, Simulator::kNoEvent);
+  for (const auto& h : hosts_) {
+    const std::uint32_t s = placement.shard(h->id());
+    shard_min[s] = std::min(shard_min[s], h->config().latency);
+  }
+  TimeNs lo1 = Simulator::kNoEvent;
+  TimeNs lo2 = Simulator::kNoEvent;
+  for (const TimeNs m : shard_min) {
+    if (m == Simulator::kNoEvent) continue;  // unpopulated shard
+    if (m < lo1) {
+      lo2 = lo1;
+      lo1 = m;
+    } else if (m < lo2) {
+      lo2 = m;
+    }
+  }
+  return lo2 == Simulator::kNoEvent ? Simulator::kNoEvent : lo1 + lo2;
+}
+
 void Network::InflightAwaiter::await_suspend(std::coroutine_handle<> h) {
   rec->handle = h;
   net.sim_.schedule_at(arrival, [rec = rec] {
@@ -117,6 +157,15 @@ Task<void> Network::transfer(Host& from, Host& to, std::uint64_t bytes, std::uin
   total_bytes_ += wire_bytes;
 
   const TimeNs arrival = pipe_end + from.config().latency + to.config().latency + extra_latency;
+  if (placement_ != nullptr) {
+    // The routing decision of a sharded transport: a delivery whose
+    // endpoints live on different shards crosses a window barrier.
+    if (placement_->shard(from.id()) == placement_->shard(to.id())) {
+      ++local_shard_transfers_;
+    } else {
+      ++cross_shard_transfers_;
+    }
+  }
   if (tracing_) {
     trace_.push(TransferRecord{sim_.now(), start, arrival, from.id(), to.id(), wire_bytes,
                                dag_root, dag_leaf, transfer_id, parent_span});

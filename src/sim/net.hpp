@@ -236,6 +236,33 @@ class Network {
   /// Total payload bytes moved since construction.
   [[nodiscard]] std::uint64_t total_bytes_transferred() const { return total_bytes_; }
 
+  /// Lookahead extraction for the sharded engine: the guaranteed minimum
+  /// delivery delay of any host-to-host transfer, i.e. the smallest
+  /// possible from.latency + to.latency over distinct hosts. Degradation
+  /// only stretches serialization and jitter only *adds* latency
+  /// (PathEffect::extra_latency >= 0), so the floor computed at arm time
+  /// stays conservative under chaos. Returns 0 with fewer than two hosts.
+  [[nodiscard]] TimeNs min_path_latency() const;
+
+  /// The same floor restricted to pairs of hosts in *different* shards —
+  /// intra-shard links do not constrain the conservative window, so this
+  /// is usually a (much) larger lookahead than min_path_latency. Returns
+  /// Simulator::kNoEvent when no cross-shard pair exists (all hosts on
+  /// one shard: no cross traffic, the window is unbounded).
+  [[nodiscard]] TimeNs min_cross_shard_latency(const ShardPlacement& placement) const;
+
+  /// Installs (or clears, with nullptr) the host->shard placement used to
+  /// classify deliveries as intra- vs cross-shard — the routing decision a
+  /// sharded transport makes per delivery, surfaced here as accounting so
+  /// the metrics/trace planes can show where parallelism dies. The
+  /// placement must outlive the network or be cleared first.
+  void set_shard_placement(const ShardPlacement* placement) { placement_ = placement; }
+  [[nodiscard]] const ShardPlacement* shard_placement() const { return placement_; }
+  /// Deliveries whose endpoints lived on different / the same shard
+  /// (counted at issue time; 0 until a placement is installed).
+  [[nodiscard]] std::uint64_t cross_shard_transfers() const { return cross_shard_transfers_; }
+  [[nodiscard]] std::uint64_t local_shard_transfers() const { return local_shard_transfers_; }
+
   /// Installs (or clears, with nullptr) the chaos hook. The hook must
   /// outlive the network or be cleared before destruction.
   void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
@@ -308,6 +335,9 @@ class Network {
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::shared_ptr<Inflight>> inflight_;
   FaultHook* fault_hook_ = nullptr;
+  const ShardPlacement* placement_ = nullptr;
+  std::uint64_t cross_shard_transfers_ = 0;
+  std::uint64_t local_shard_transfers_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t overhead_bytes_ = 256;
   std::uint64_t mid_transfer_failures_ = 0;

@@ -185,6 +185,12 @@ HostConfig LinkModel::sample(const HostConfig& base, Rng& rng) const {
   return cfg;
 }
 
+TimeNs LinkModel::latency_floor_ns(TimeNs fallback) const {
+  if (!has_latency) return fallback;
+  const double ms = latency_ms.floor();
+  return ms > 0 ? from_millis(ms) : 0;
+}
+
 Distribution parse_distribution(const std::string& text) {
   const std::string s = trim(text);
   const std::size_t open = s.find('(');
@@ -530,6 +536,20 @@ FaultPlan ScenarioSpec::build_fault_plan(const RoleMap& roles, TimeNs horizon,
 
   plan.validate();
   return plan;
+}
+
+TimeNs ScenarioSpec::latency_floor_ns() const {
+  if (latency_jitter_prob < 1.0) return 0;
+  const double ms = latency_jitter_ms.floor();
+  return ms > 0 ? from_millis(ms) : 0;
+}
+
+TimeNs ScenarioSpec::min_host_latency_ns(TimeNs base_latency) const {
+  TimeNs lo = base_latency;
+  for (const auto& [role, model] : links) {
+    lo = std::min(lo, model.latency_floor_ns(base_latency));
+  }
+  return lo;
 }
 
 }  // namespace dfl::sim

@@ -68,6 +68,12 @@ struct LinkModel {
   /// One deterministic draw: fields not present keep `base`'s values.
   /// Bandwidth draws clamp to >= 0.01 Mbps, latency to >= 0.
   [[nodiscard]] HostConfig sample(const HostConfig& base, Rng& rng) const;
+
+  /// Guaranteed lower bound of any latency this model can draw, in ns
+  /// (the distribution's floor; see Distribution::floor). Returns
+  /// `fallback` when the model does not override latency. Placement and
+  /// lookahead accounting use this before any host has been sampled.
+  [[nodiscard]] TimeNs latency_floor_ns(TimeNs fallback) const;
 };
 
 /// Periodic random churn (see FaultPlan::periodic_churn).
@@ -161,6 +167,20 @@ struct ScenarioSpec {
   /// ScenarioError on an unknown role.
   [[nodiscard]] FaultPlan build_fault_plan(const RoleMap& roles, TimeNs horizon,
                                            std::uint64_t seed) const;
+
+  /// Guaranteed minimum extra one-way latency the scenario's jitter adds
+  /// to every transfer, in ns — the same accounting as
+  /// FaultPlan::latency_floor_ns, available before the plan is built so a
+  /// sharded driver can fold it into the lookahead window up front.
+  [[nodiscard]] TimeNs latency_floor_ns() const;
+
+  /// Smallest per-host one-way latency any host can be assigned under the
+  /// scenario's link models, in ns: the minimum over the roles' latency
+  /// distribution floors, with `base_latency` standing in for roles (and
+  /// deployments) the scenario leaves untouched. A conservative lookahead
+  /// derived from this bound stays valid for every seed, because no draw
+  /// can undercut its distribution's floor.
+  [[nodiscard]] TimeNs min_host_latency_ns(TimeNs base_latency) const;
 };
 
 /// Parses one distribution: a bare number (constant) or

@@ -1,13 +1,118 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "common/pool.hpp"
 
 namespace dfl::sim {
 
 void Simulator::schedule_at(TimeNs at, EventFn fn) {
   if (at < now_) at = now_;
-  events_.push_back(Event{at, next_seq_++, std::move(fn)});
+  Event ev{at, next_seq_++, std::move(fn)};
+  if (bucket_width_ == 0) {
+    events_.push_back(std::move(ev));
+    std::push_heap(events_.begin(), events_.end(), EventLater{});
+    return;
+  }
+  bucket_insert(std::move(ev));
+}
+
+void Simulator::bucket_insert(Event ev) {
+  const std::int64_t w = static_cast<std::int64_t>(ev.at / bucket_width_);
+  if (w == cur_window_) {
+    // Landing in the window being drained (e.g. a coroutine resuming
+    // itself at now): splice into the undrained, sorted tail. seq is the
+    // largest issued, so ordering among equal timestamps is by at alone.
+    // While a handler is executing, cur_ must not be mutated (the handler
+    // lives in it); step() splices the parked events afterwards.
+    if (in_event_) {
+      cur_overflow_.push_back(std::move(ev));
+      return;
+    }
+    const auto it = std::upper_bound(
+        cur_.begin() + static_cast<std::ptrdiff_t>(cur_pos_), cur_.end(), ev.at,
+        [](TimeNs at, const Event& e) { return at < e.at; });
+    cur_.insert(it, std::move(ev));
+    return;
+  }
+  if (w < base_window_ + static_cast<std::int64_t>(kRingBuckets)) {
+    ring_[static_cast<std::size_t>(w) & (kRingBuckets - 1)].push_back(std::move(ev));
+    ++ring_count_;
+    return;
+  }
+  // Beyond the ring horizon: far-future overflow heap.
+  events_.push_back(std::move(ev));
   std::push_heap(events_.begin(), events_.end(), EventLater{});
+}
+
+bool Simulator::load_next_bucket() {
+  cur_.clear();
+  cur_pos_ = 0;
+  cur_window_ = -1;
+  for (;;) {
+    if (ring_count_ == 0 && events_.empty()) return false;
+    if (ring_count_ != 0) {
+      // Find the earliest populated window; pending events bound the scan.
+      for (std::size_t i = 0; i < kRingBuckets; ++i) {
+        auto& bucket = ring_[static_cast<std::size_t>(base_window_ + static_cast<std::int64_t>(i)) &
+                             (kRingBuckets - 1)];
+        if (bucket.empty()) continue;
+        base_window_ += static_cast<std::int64_t>(i);
+        cur_.swap(bucket);
+        ring_count_ -= cur_.size();
+        break;
+      }
+    } else {
+      // Ring drained: jump the base to the far heap's earliest window.
+      base_window_ = static_cast<std::int64_t>(events_.front().at / bucket_width_);
+    }
+    // Promote far-future events that now fall inside the ring span (or
+    // into the bucket just selected). Saturate: a huge bucket width (e.g.
+    // a degenerate lookahead) must not overflow the horizon product.
+    const std::int64_t hw = base_window_ + static_cast<std::int64_t>(kRingBuckets);
+    const TimeNs horizon = hw > kNoEvent / bucket_width_ ? kNoEvent : hw * bucket_width_;
+    while (!events_.empty() && events_.front().at < horizon) {
+      std::pop_heap(events_.begin(), events_.end(), EventLater{});
+      Event ev = std::move(events_.back());
+      events_.pop_back();
+      const std::int64_t w = static_cast<std::int64_t>(ev.at / bucket_width_);
+      if (w == base_window_ && !cur_.empty()) {
+        cur_.push_back(std::move(ev));
+      } else {
+        ring_[static_cast<std::size_t>(w) & (kRingBuckets - 1)].push_back(std::move(ev));
+        ++ring_count_;
+      }
+    }
+    if (!cur_.empty()) break;
+  }
+  cur_window_ = base_window_;
+  ++base_window_;
+  // One contiguous sort per window replaces a heap sift per event; (at,
+  // seq) keeps the exact total order of heap mode.
+  std::sort(cur_.begin(), cur_.end(), [](const Event& a, const Event& b) {
+    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+  });
+  return true;
+}
+
+TimeNs Simulator::next_event_time() const {
+  if (bucket_width_ == 0) return events_.empty() ? kNoEvent : events_.front().at;
+  if (cur_pos_ < cur_.size()) return cur_[cur_pos_].at;
+  TimeNs best = kNoEvent;
+  if (ring_count_ != 0) {
+    for (std::size_t i = 0; i < kRingBuckets; ++i) {
+      const auto& bucket =
+          ring_[static_cast<std::size_t>(base_window_ + static_cast<std::int64_t>(i)) &
+                (kRingBuckets - 1)];
+      if (bucket.empty()) continue;
+      for (const Event& ev : bucket) best = std::min(best, ev.at);
+      break;  // earlier windows always beat later ones
+    }
+    if (best != kNoEvent) return best;
+  }
+  return events_.empty() ? kNoEvent : events_.front().at;
 }
 
 void Simulator::spawn(Task<void> task) {
@@ -19,13 +124,38 @@ void Simulator::spawn(Task<void> task) {
 }
 
 bool Simulator::step() {
-  if (events_.empty()) return false;
-  std::pop_heap(events_.begin(), events_.end(), EventLater{});
-  Event ev = std::move(events_.back());
-  events_.pop_back();
-  now_ = ev.at;
-  ++events_processed_;
-  ev.fn();
+  if (bucket_width_ == 0) {
+    if (events_.empty()) return false;
+    std::pop_heap(events_.begin(), events_.end(), EventLater{});
+    Event ev = std::move(events_.back());
+    events_.pop_back();
+    now_ = ev.at;
+    ++events_processed_;
+    ev.fn();
+    return true;
+  }
+  if (cur_pos_ >= cur_.size() && !load_next_bucket()) return false;
+  {
+    // In-place execution: bucket_insert parks same-window schedules in
+    // cur_overflow_ while in_event_ is set, so cur_ cannot reallocate
+    // under this reference and the 64-byte move-out of heap mode is gone.
+    Event& ev = cur_[cur_pos_++];
+    now_ = ev.at;
+    ++events_processed_;
+    in_event_ = true;
+    ev.fn();
+    in_event_ = false;
+    // Release the closure now — the slot itself lives until the bucket
+    // turns over, and a captured coroutine frame must not be pinned.
+    ev.fn = EventFn{};
+  }
+  for (Event& ev : cur_overflow_) {
+    const auto it = std::upper_bound(
+        cur_.begin() + static_cast<std::ptrdiff_t>(cur_pos_), cur_.end(), ev.at,
+        [](TimeNs at, const Event& e) { return at < e.at; });
+    cur_.insert(it, std::move(ev));
+  }
+  cur_overflow_.clear();
   return true;
 }
 
@@ -35,13 +165,251 @@ void Simulator::run(std::uint64_t max_events) {
 }
 
 void Simulator::run_until(TimeNs until) {
-  while (!events_.empty() && events_.front().at <= until) step();
+  while (next_event_time() <= until && step()) {
+  }
   if (now_ < until) now_ = until;
+}
+
+void Simulator::run_before(TimeNs end) {
+  while (next_event_time() < end && step()) {
+  }
 }
 
 void Simulator::reset() {
   events_.clear();
   roots_.clear();
+  for (auto& bucket : ring_) bucket.clear();
+  cur_.clear();
+  cur_overflow_.clear();
+  cur_pos_ = 0;
+  cur_window_ = -1;
+  ring_count_ = 0;
+  if (bucket_width_ != 0) base_window_ = now_ / bucket_width_;
+}
+
+void Simulator::enable_window_buckets(TimeNs width) {
+  if (width < 1) throw std::invalid_argument("Simulator.bucket_width: must be >= 1 ns");
+  if (width == bucket_width_) return;
+  // Migrate everything pending into one flat list, then re-insert through
+  // the new bucket geometry. (at, seq) survives the trip, so order does.
+  std::vector<Event> pending;
+  pending.reserve(events_pending());
+  for (std::size_t i = cur_pos_; i < cur_.size(); ++i) pending.push_back(std::move(cur_[i]));
+  for (Event& ev : cur_overflow_) pending.push_back(std::move(ev));
+  cur_.clear();
+  cur_overflow_.clear();
+  cur_pos_ = 0;
+  cur_window_ = -1;
+  for (auto& bucket : ring_) {
+    for (Event& ev : bucket) pending.push_back(std::move(ev));
+    bucket.clear();
+  }
+  ring_count_ = 0;
+  for (Event& ev : events_) pending.push_back(std::move(ev));
+  events_.clear();
+  bucket_width_ = width;
+  base_window_ = now_ / width;
+  if (ring_.empty()) ring_.resize(kRingBuckets);
+  for (Event& ev : pending) bucket_insert(std::move(ev));
+}
+
+ShardPlacement ShardPlacement::blocks(std::size_t hosts, std::uint32_t k) {
+  if (k == 0) throw std::invalid_argument("ShardPlacement.shards: must be >= 1");
+  ShardPlacement p;
+  p.shards = k;
+  p.shard_of.resize(hosts);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    p.shard_of[h] = static_cast<std::uint32_t>(h * k / hosts);
+  }
+  return p;
+}
+
+void ShardPlacement::validate() const {
+  if (shards == 0) throw std::invalid_argument("ShardPlacement.shards: must be >= 1");
+  for (std::size_t h = 0; h < shard_of.size(); ++h) {
+    if (shard_of[h] >= shards) {
+      throw std::invalid_argument("ShardPlacement.shard_of[" + std::to_string(h) +
+                                  "]: shard " + std::to_string(shard_of[h]) +
+                                  " out of range (shards = " + std::to_string(shards) + ")");
+    }
+  }
+}
+
+ShardedSimulator::ShardedSimulator(std::uint32_t shards, TimeNs lookahead, ThreadPool* pool)
+    : pool_(pool), lookahead_(lookahead) {
+  if (shards == 0) throw std::invalid_argument("ShardedSimulator.shards: must be >= 1");
+  if (shards > 1 && lookahead < 1) {
+    throw std::invalid_argument(
+        "ShardedSimulator.lookahead: must be >= 1 ns when shards > 1 (a zero "
+        "window cannot make progress)");
+  }
+  shards_.reserve(shards);
+  for (std::uint32_t k = 0; k < shards; ++k) shards_.push_back(std::make_unique<Simulator>());
+  outboxes_.resize(static_cast<std::size_t>(shards) * shards);
+  window_before_.resize(shards);
+  stats_.shard_events.assign(shards, 0);
+  // The lookahead window is what makes a fixed calendar-bucket width work;
+  // give every shard the O(1) queue. K = 1 keeps the classic heap — that
+  // path must stay bit-for-bit today's serial engine.
+  if (shards > 1) {
+    for (auto& s : shards_) s->enable_window_buckets(lookahead);
+  }
+}
+
+void ShardedSimulator::set_lookahead(TimeNs lookahead) {
+  if (running_) throw std::logic_error("ShardedSimulator.lookahead: cannot change mid-run");
+  if (shards() > 1 && lookahead < 1) {
+    throw std::invalid_argument("ShardedSimulator.lookahead: must be >= 1 ns when shards > 1");
+  }
+  lookahead_ = lookahead;
+  if (shards() > 1) {
+    for (auto& s : shards_) s->enable_window_buckets(lookahead);
+  }
+}
+
+void ShardedSimulator::send(std::uint32_t src, std::uint32_t dst, TimeNs at, EventFn fn) {
+  if (src == dst) {
+    schedule_on(src, at, std::move(fn));
+    return;
+  }
+  Simulator& s = *shards_.at(src);
+  (void)shards_.at(dst);  // range-check dst before queueing
+  if (at - s.now() < lookahead_) {
+    throw std::logic_error("ShardedSimulator::send: shard " + std::to_string(src) +
+                           " -> " + std::to_string(dst) + " at t=" + std::to_string(at) +
+                           " violates the lookahead contract (now=" + std::to_string(s.now()) +
+                           ", lookahead=" + std::to_string(lookahead_) +
+                           "): the message could land inside the current window");
+  }
+  outboxes_[static_cast<std::size_t>(src) * shards() + dst].push_back(Msg{at, std::move(fn)});
+}
+
+void ShardedSimulator::drain_outboxes() {
+  const std::uint32_t k = shards();
+  for (std::uint32_t dst = 0; dst < k; ++dst) {
+    merge_scratch_.clear();
+    for (std::uint32_t src = 0; src < k; ++src) {
+      auto& box = outboxes_[static_cast<std::size_t>(src) * k + dst];
+      for (Msg& m : box) merge_scratch_.push_back(std::move(m));
+      box.clear();
+    }
+    if (merge_scratch_.empty()) continue;
+    // Boxes were appended in sending-shard order, each already in send
+    // order; a stable sort by timestamp therefore yields exactly
+    // (timestamp, sending shard, send sequence) — the deterministic merge
+    // the bit-identity guarantee rests on.
+    std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
+                     [](const Msg& a, const Msg& b) { return a.at < b.at; });
+    stats_.cross_shard_events += merge_scratch_.size();
+    for (Msg& m : merge_scratch_) shards_[dst]->schedule_at(m.at, std::move(m.fn));
+  }
+  merge_scratch_.clear();
+}
+
+void ShardedSimulator::run_window(TimeNs wend) {
+  const std::size_t k = shards_.size();
+  ++stats_.windows;
+  for (std::size_t i = 0; i < k; ++i) window_before_[i] = shards_[i]->events_processed();
+  auto body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) shards_[i]->run_before(wend);
+  };
+  if (pool_ != nullptr && pool_->concurrency() > 1) {
+    pool_->parallel_for(0, k, body, /*grain=*/1);
+  } else {
+    body(0, k);
+  }
+  std::uint64_t window_total = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint64_t delta = shards_[i]->events_processed() - window_before_[i];
+    stats_.shard_events[i] += delta;
+    window_total += delta;
+    if (delta == 0) ++stats_.stalled_shard_windows;
+  }
+  stats_.max_window_events = std::max(stats_.max_window_events, window_total);
+}
+
+namespace {
+/// Saturating window end: W + lookahead without wrapping past kNoEvent.
+TimeNs window_end(TimeNs next, TimeNs lookahead) {
+  return next > Simulator::kNoEvent - lookahead ? Simulator::kNoEvent : next + lookahead;
+}
+struct RunningFlag {
+  bool& flag;
+  explicit RunningFlag(bool& f) : flag(f) { flag = true; }
+  ~RunningFlag() { flag = false; }
+};
+}  // namespace
+
+void ShardedSimulator::run() {
+  if (shards_.size() == 1) {
+    shards_[0]->run();  // unsharded: exactly the serial engine
+    return;
+  }
+  RunningFlag guard(running_);
+  for (;;) {
+    drain_outboxes();
+    TimeNs next = Simulator::kNoEvent;
+    for (const auto& s : shards_) next = std::min(next, s->next_event_time());
+    if (next == Simulator::kNoEvent) break;
+    run_window(window_end(next, lookahead_));
+  }
+}
+
+void ShardedSimulator::run_until(TimeNs until) {
+  if (shards_.size() == 1) {
+    shards_[0]->run_until(until);
+    return;
+  }
+  RunningFlag guard(running_);
+  for (;;) {
+    drain_outboxes();
+    TimeNs next = Simulator::kNoEvent;
+    for (const auto& s : shards_) next = std::min(next, s->next_event_time());
+    if (next > until) break;
+    // Cap the window at until (inclusive: run_before is exclusive-end).
+    const TimeNs cap = until == Simulator::kNoEvent ? until : until + 1;
+    run_window(std::min(window_end(next, lookahead_), cap));
+  }
+  // Heaps now hold only events later than `until`; advance the clocks.
+  for (auto& s : shards_) s->run_until(until);
+}
+
+std::uint64_t ShardedSimulator::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->events_processed();
+  return total;
+}
+
+std::size_t ShardedSimulator::events_pending() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s->events_pending();
+  for (const auto& box : outboxes_) total += box.size();
+  return total;
+}
+
+TimeNs ShardedSimulator::next_event_time() const {
+  TimeNs next = Simulator::kNoEvent;
+  for (const auto& s : shards_) next = std::min(next, s->next_event_time());
+  for (const auto& box : outboxes_) {
+    for (const Msg& m : box) next = std::min(next, m.at);
+  }
+  return next;
+}
+
+TimeNs ShardedSimulator::now() const {
+  TimeNs t = Simulator::kNoEvent;
+  for (const auto& s : shards_) t = std::min(t, s->now());
+  return t;
+}
+
+void ShardedSimulator::reserve_events(std::size_t n) {
+  const std::size_t per_shard = n / shards_.size() + 1;
+  for (auto& s : shards_) s->reserve_events(per_shard);
+}
+
+void ShardedSimulator::reset() {
+  for (auto& s : shards_) s->reset();
+  for (auto& box : outboxes_) box.clear();
 }
 
 }  // namespace dfl::sim

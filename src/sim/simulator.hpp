@@ -5,10 +5,16 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
+#include <memory>
 #include <vector>
 
 #include "common/function.hpp"
 #include "sim/task.hpp"
+
+namespace dfl {
+class ThreadPool;
+}
 
 namespace dfl::sim {
 
@@ -32,11 +38,19 @@ class Simulator {
 
   [[nodiscard]] TimeNs now() const { return now_; }
   [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
-  [[nodiscard]] std::size_t events_pending() const { return events_.size(); }
+  [[nodiscard]] std::size_t events_pending() const {
+    return events_.size() + ring_count_ + (cur_.size() - cur_pos_) + cur_overflow_.size();
+  }
 
   /// Pre-sizes the event heap (hot-path hint for large deployments; growth
   /// is still automatic).
   void reserve_events(std::size_t n) { events_.reserve(n); }
+
+  /// Timestamp of the earliest pending event, or kNoEvent when the queue
+  /// is empty. Window schedulers (ShardedSimulator) use this to place the
+  /// next conservative execution window.
+  static constexpr TimeNs kNoEvent = std::numeric_limits<TimeNs>::max();
+  [[nodiscard]] TimeNs next_event_time() const;
 
   /// Schedules a callback at absolute simulated time `at` (clamped to now).
   /// Events at equal times run in scheduling (FIFO) order — deterministic.
@@ -74,8 +88,34 @@ class Simulator {
   /// remain queued.
   void run_until(TimeNs until);
 
+  /// Runs every pending event with timestamp strictly before `end`; later
+  /// events stay queued and the clock stops at the last executed event
+  /// (never advanced to `end`). This is the half-open window primitive of
+  /// the sharded engine: a window [W, W+lookahead) may be executed safely
+  /// before cross-shard messages timestamped >= W+lookahead are merged.
+  void run_before(TimeNs end);
+
   /// Drops all pending events and root tasks; clock keeps its value.
   void reset();
+
+  /// Switches the event queue to calendar (bucket) mode: events land in a
+  /// ring of time buckets `width` ns wide and each bucket is sorted once
+  /// when its window begins, so scheduling is O(1) and popping costs a
+  /// share of one small contiguous sort instead of a sift through a
+  /// potentially megabyte-sized binary heap. Execution order is the exact
+  /// same total (at, seq) order as heap mode — callers cannot tell the
+  /// modes apart except by speed. The natural `width` is the sharded
+  /// engine's lookahead: ShardedSimulator enables bucket mode on every
+  /// shard for K > 1 (the window structure is what makes a fixed bucket
+  /// width work; the K = 1 path keeps the classic heap untouched).
+  /// Pending events are migrated; calling again re-buckets with the new
+  /// width. Throws std::invalid_argument for width < 1.
+  void enable_window_buckets(TimeNs width);
+  [[nodiscard]] TimeNs bucket_width() const { return bucket_width_; }
+
+  /// Ring span, in buckets. Events beyond base + kRingBuckets windows
+  /// overflow into a far-future heap and are promoted as the ring turns.
+  static constexpr std::size_t kRingBuckets = 1024;
 
  private:
   static constexpr std::size_t kInitialEventCapacity = 1024;
@@ -94,16 +134,177 @@ class Simulator {
     }
   };
 
+  /// Loads the next non-empty bucket (or far-heap promotion) into cur_ and
+  /// sorts it. Returns false when no events remain anywhere.
+  bool load_next_bucket();
+  /// Routes one event into cur_/ring/far according to its window.
+  void bucket_insert(Event ev);
+
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   // Binary heap managed via std::push_heap/pop_heap over a plain vector:
   // unlike priority_queue this allows reserve() and moving the top element
-  // out without const_cast.
+  // out without const_cast. In bucket mode this vector is the far-future
+  // overflow heap instead.
   std::vector<Event> events_;
   // deque: spawn keeps a pointer to the element until its start event runs,
   // so container growth must not invalidate references.
   std::deque<Task<void>> roots_;
+
+  // Calendar-queue state (bucket_width_ == 0 means classic heap mode).
+  TimeNs bucket_width_ = 0;
+  std::vector<std::vector<Event>> ring_;  // ring_[w & (kRingBuckets-1)]
+  std::vector<Event> cur_;                // sorted in-drain bucket
+  std::size_t cur_pos_ = 0;
+  std::int64_t cur_window_ = -1;          // window index of cur_ (-1: none)
+  std::int64_t base_window_ = 0;          // earliest window the ring covers
+  std::size_t ring_count_ = 0;            // events in ring_ (not cur_/far)
+  // Events scheduled into the executing window *by the executing event*:
+  // inserting into cur_ mid-execution could reallocate it under the live
+  // handler, so they park here and step() splices them after the handler
+  // returns.
+  std::vector<Event> cur_overflow_;
+  bool in_event_ = false;
+};
+
+/// Host -> shard assignment for the sharded engine. Hosts of one shard
+/// share an event heap, a local clock, and (in parallel mode) a thread, so
+/// a placement should keep chatty neighbours together and balance counts.
+struct ShardPlacement {
+  /// shard_of[host_id] = owning shard, in [0, shards).
+  std::vector<std::uint32_t> shard_of;
+  std::uint32_t shards = 1;
+
+  [[nodiscard]] std::uint32_t shard(std::uint32_t host) const {
+    return host < shard_of.size() ? shard_of[host] : 0;
+  }
+  [[nodiscard]] std::size_t hosts() const { return shard_of.size(); }
+
+  /// Contiguous block placement: host h -> floor(h * k / hosts). Blocks
+  /// respect creation order, so a deployment that creates hosts role by
+  /// role keeps each role's hosts clustered on few shards.
+  static ShardPlacement blocks(std::size_t hosts, std::uint32_t k);
+
+  /// Throws std::invalid_argument (naming the field) unless shards >= 1
+  /// and every shard_of entry is < shards.
+  void validate() const;
+};
+
+/// Aggregate counters of one sharded run (observability: exported to the
+/// metrics registry / Perfetto so barrier stalls are visible).
+struct ShardedStats {
+  std::uint64_t windows = 0;              // conservative windows executed
+  std::uint64_t cross_shard_events = 0;   // messages exchanged at barriers
+  std::uint64_t max_window_events = 0;    // densest window (all shards)
+  std::uint64_t stalled_shard_windows = 0;  // (shard, window) pairs with 0 events
+  /// Events executed per shard (parallelism balance).
+  std::vector<std::uint64_t> shard_events;
+};
+
+/// Sharded discrete-event engine: K serial Simulators, one per shard,
+/// synchronized by conservative windows derived from `lookahead` — the
+/// guaranteed minimum delay of any cross-shard interaction (for a network
+/// workload: the minimum cross-shard link latency; see
+/// Network::min_cross_shard_latency).
+///
+/// Protocol: every shard executes its local events inside the half-open
+/// window [W, W + lookahead), where W is the globally earliest pending
+/// event. Cross-shard events produced during the window must be
+/// timestamped >= sender-now + lookahead (enforced by send()), so they can
+/// never land inside the window being executed. At the barrier the
+/// per-shard-pair outboxes are drained in (timestamp, sending shard,
+/// send sequence) order into the destination heaps — a deterministic merge,
+/// so results are bit-identical at any shard count and on any thread
+/// count. With K == 1 run() delegates straight to the serial Simulator:
+/// the unsharded code path stays exactly what it was.
+///
+/// Execution modes: with a ThreadPool of concurrency > 1, window bodies
+/// run on pool threads, one shard per task (shard state must then be
+/// confined to its shard's handlers); without a pool (or concurrency 1)
+/// windows execute shard-by-shard on the caller — same ordering, same
+/// results. Even single-threaded, per-shard heaps and shard-local state
+/// are far smaller than one global heap, which is where the scaling-curve
+/// bench gets most of its events/sec at 10^4..10^5 hosts.
+class ShardedSimulator {
+ public:
+  /// `lookahead` must be >= 1 ns when shards > 1 (a zero window cannot
+  /// make progress); it is ignored for K == 1. `pool` may be null.
+  ShardedSimulator(std::uint32_t shards, TimeNs lookahead, ThreadPool* pool = nullptr);
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  [[nodiscard]] std::uint32_t shards() const { return static_cast<std::uint32_t>(shards_.size()); }
+  [[nodiscard]] Simulator& shard(std::uint32_t k) { return *shards_.at(k); }
+
+  [[nodiscard]] TimeNs lookahead() const { return lookahead_; }
+  /// Lookahead is re-computable between run() calls (e.g. when armed
+  /// degrade windows change the latency floor); never while running.
+  void set_lookahead(TimeNs lookahead);
+
+  /// Schedules onto `shard`'s local heap directly. Safe from outside run()
+  /// (setup), or from an event already executing on that same shard.
+  void schedule_on(std::uint32_t shard, TimeNs at, EventFn fn) {
+    shards_.at(shard)->schedule_at(at, std::move(fn));
+  }
+
+  /// Cross-shard event: queued in the (src, dst) outbox and merged into
+  /// dst's heap at the next barrier. Must satisfy the lookahead contract
+  /// `at >= shard(src).now() + lookahead` — violating it would let a
+  /// message land inside a window another thread is executing, so it
+  /// throws std::logic_error instead. src == dst degrades to schedule_on.
+  void send(std::uint32_t src, std::uint32_t dst, TimeNs at, EventFn fn);
+
+  /// Runs to quiescence (all heaps and outboxes empty).
+  void run();
+  /// Runs every event with timestamp <= until; clocks end at `until`.
+  void run_until(TimeNs until);
+
+  [[nodiscard]] std::uint64_t events_processed() const;
+  [[nodiscard]] std::size_t events_pending() const;
+  /// Earliest pending timestamp across shards and outboxes (kNoEvent when
+  /// drained).
+  [[nodiscard]] TimeNs next_event_time() const;
+  /// Minimum of the shard clocks (the conservative global "now").
+  [[nodiscard]] TimeNs now() const;
+
+  /// Splits a deployment-sized event-count hint evenly across the
+  /// per-shard heaps (see Simulator::reserve_events).
+  void reserve_events(std::size_t n);
+
+  /// Drops pending events, outbox messages, and root tasks on every shard;
+  /// clocks keep their values. Stats are preserved (they are a run log).
+  void reset();
+
+  [[nodiscard]] const ShardedStats& stats() const { return stats_; }
+
+ private:
+  struct Msg {
+    TimeNs at;
+    EventFn fn;
+  };
+
+  /// Merges every outbox into the destination heaps in (timestamp,
+  /// sending shard, send sequence) order — the last two implicitly: boxes
+  /// are concatenated in src order (each already in send order) and then
+  /// stable-sorted by timestamp. Single-threaded (barrier only).
+  void drain_outboxes();
+  /// Executes one window ending at `wend` on every shard, in parallel when
+  /// a pool with concurrency > 1 is installed.
+  void run_window(TimeNs wend);
+
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  /// outboxes_[src * K + dst]: written only by src's window task, drained
+  /// only at barriers — no locks needed.
+  std::vector<std::vector<Msg>> outboxes_;
+  /// Barrier-time scratch for the per-destination merge and the per-window
+  /// event counters (kept across windows to avoid per-window allocation).
+  std::vector<Msg> merge_scratch_;
+  std::vector<std::uint64_t> window_before_;
+  ThreadPool* pool_;
+  TimeNs lookahead_;
+  bool running_ = false;
+  ShardedStats stats_;
 };
 
 }  // namespace dfl::sim

@@ -471,5 +471,92 @@ TEST_F(NetFixture, AsymmetricLinksUseDirectionalCapacity) {
   EXPECT_NEAR(to_seconds(done - start), 2.0, 1e-9);
 }
 
+TEST_F(NetFixture, MinPathLatencySumsTwoSmallest) {
+  EXPECT_EQ(net.min_path_latency(), 0);  // < 2 hosts: no pair, no bound
+  make_host("a", 10, 10, 500);
+  EXPECT_EQ(net.min_path_latency(), 0);
+  make_host("b", 10, 10, 300);
+  make_host("c", 10, 10, 900);
+  EXPECT_EQ(net.min_path_latency(), 800);  // 300 + 500, ignoring c
+}
+
+TEST_F(NetFixture, MinCrossShardLatencyUsesDistinctShards) {
+  Host& a = make_host("a", 10, 10, 100);  // shard 0
+  make_host("b", 10, 10, 200);            // shard 0
+  make_host("c", 10, 10, 5000);           // shard 1
+  make_host("d", 10, 10, 4000);           // shard 1
+  ShardPlacement p;
+  p.shards = 2;
+  p.shard_of = {0, 0, 1, 1};
+  // Cheapest pair within one shard is 100+200, but the cross-shard bound
+  // must pair minima from *different* shards: 100 + 4000.
+  EXPECT_EQ(net.min_cross_shard_latency(p), 4100);
+
+  // Every host on one shard: no cross-shard path exists.
+  ShardPlacement all_one;
+  all_one.shards = 2;
+  all_one.shard_of = {0, 0, 0, 0};
+  EXPECT_EQ(net.min_cross_shard_latency(all_one), Simulator::kNoEvent);
+  (void)a;
+}
+
+TEST(FaultLookahead, DistributionFloorPerKind) {
+  EXPECT_EQ(Distribution::constant(3.5).floor(), 3.5);
+  EXPECT_EQ((Distribution{Distribution::Kind::kUniform, 2.0, 9.0}).floor(), 2.0);
+  EXPECT_EQ((Distribution{Distribution::Kind::kPareto, 1.5, 2.0}).floor(), 1.5);
+  // Unbounded-below kinds (clamped at 0) contribute no positive floor.
+  EXPECT_EQ((Distribution{Distribution::Kind::kNormal, 10.0, 1.0}).floor(), 0.0);
+  EXPECT_EQ((Distribution{Distribution::Kind::kExponential, 10.0, 0.0}).floor(), 0.0);
+  EXPECT_EQ((Distribution{Distribution::Kind::kLogNormal, 10.0, 1.0}).floor(), 0.0);
+}
+
+TEST(FaultLookahead, PlanFloorNeedsCertainJitter) {
+  FaultPlan plan;
+  plan.latency_jitter_ms = Distribution::constant(4.0);
+  plan.latency_jitter_prob = 0.9;  // may not fire: floor must stay 0
+  EXPECT_EQ(plan.latency_floor_ns(), 0);
+  plan.latency_jitter_prob = 1.0;
+  EXPECT_EQ(plan.latency_floor_ns(), from_millis(4.0));
+}
+
+TEST(FaultLookahead, SplitByShardRoutesWindowsAndForksSeeds) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.transfer_failure_prob = 0.25;
+  plan.crashes.push_back({0, 100, 200});
+  plan.crashes.push_back({3, 300, 400});
+  plan.degradations.push_back(DegradeWindow{1, 500, 600});
+  ShardPlacement p;
+  p.shards = 2;
+  p.shard_of = {0, 0, 1, 1};
+  const std::vector<FaultPlan> split = plan.split_by_shard(p);
+  ASSERT_EQ(split.size(), 2u);
+  ASSERT_EQ(split[0].crashes.size(), 1u);
+  EXPECT_EQ(split[0].crashes[0].host_id, 0u);
+  ASSERT_EQ(split[1].crashes.size(), 1u);
+  EXPECT_EQ(split[1].crashes[0].host_id, 3u);
+  EXPECT_EQ(split[0].degradations.size(), 1u);
+  EXPECT_TRUE(split[1].degradations.empty());
+  // Per-transfer probabilities replicate; seeds fork per shard.
+  EXPECT_EQ(split[0].transfer_failure_prob, 0.25);
+  EXPECT_EQ(split[1].transfer_failure_prob, 0.25);
+  EXPECT_NE(split[0].seed, split[1].seed);
+  EXPECT_NE(split[0].seed, plan.seed);
+}
+
+TEST_F(NetFixture, ShardPlacementClassifiesTransfers) {
+  Host& a = make_host("a", 100, 100, 0);
+  Host& b = make_host("b", 100, 100, 0);
+  Host& c = make_host("c", 100, 100, 0);
+  ShardPlacement p;
+  p.shards = 2;
+  p.shard_of = {0, 0, 1};
+  net.set_shard_placement(&p);
+  timed_transfer(a, b, 1000);  // same shard
+  timed_transfer(a, c, 1000);  // crosses
+  EXPECT_EQ(net.local_shard_transfers(), 1u);
+  EXPECT_EQ(net.cross_shard_transfers(), 1u);
+}
+
 }  // namespace
 }  // namespace dfl::sim

@@ -99,5 +99,39 @@ TEST(Runner, SyntheticSourceRecordsLastUpdate) {
   EXPECT_EQ(src->last_update().size(), d.last_global_update().size());
 }
 
+TEST(Runner, ShardedRoundsAreBitIdenticalToSerial) {
+  auto cfg = tiny();
+  cfg.seed = 99;
+  Deployment serial(cfg);
+  cfg.shards = 2;
+  Deployment sharded(cfg);
+  EXPECT_EQ(sharded.shards(), 2u);
+  EXPECT_GE(sharded.lookahead(), 1);
+  for (std::uint32_t r = 0; r < 2; ++r) {
+    const RoundMetrics ma = serial.run_round(r);
+    const RoundMetrics mb = sharded.run_round(r);
+    EXPECT_EQ(ma.round_done, mb.round_done);
+    EXPECT_EQ(ma.first_gradient_announce, mb.first_gradient_announce);
+    EXPECT_EQ(ma.datapath.sim_events, mb.datapath.sim_events);
+    // The windowed driver fills the sharding record; serial leaves it zero.
+    EXPECT_EQ(ma.sharding.windows, 0u);
+    EXPECT_GT(mb.sharding.windows, 0u);
+    EXPECT_EQ(mb.sharding.shards, 2u);
+    EXPECT_GT(mb.sharding.cross_shard_transfers + mb.sharding.local_shard_transfers, 0u);
+    ASSERT_EQ(serial.last_global_update().size(), sharded.last_global_update().size());
+    for (std::size_t i = 0; i < serial.last_global_update().size(); ++i) {
+      EXPECT_DOUBLE_EQ(serial.last_global_update()[i], sharded.last_global_update()[i]);
+    }
+  }
+}
+
+TEST(Runner, ShardCountClampsToHostsAndRejectsBadEnv) {
+  auto cfg = tiny();  // 2 nodes + 1 directory + 4 trainers + 2 aggs = 9 hosts
+  cfg.shards = 64;    // more shards than hosts: placement clamps
+  Deployment d(cfg);
+  EXPECT_LE(d.shards(), 9u);
+  EXPECT_EQ(d.shard_placement().hosts(), 9u);
+}
+
 }  // namespace
 }  // namespace dfl::core

@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_sim.json produced by bench/abl_datapath or bench/abl_chunking.
+"""Validate a BENCH_sim.json produced by bench/abl_datapath, bench/abl_chunking,
+or a BENCH_scale.json produced by bench/abl_scale.
 
 Dispatches on the document's "bench" field and checks the schema (required
 keys and types) plus the invariants each bench guarantees regardless of
@@ -16,6 +17,14 @@ abl_chunking (A10, chunked Merkle-DAG transfer plane):
     than the monolithic plane at the same provider count,
   * chunking at 256 KiB never loses to monolithic at any provider count,
   * the headline cell is deterministic across a full re-run.
+
+abl_scale (A13, sharded-engine scaling curve):
+  * hard gate: per host count, agg_hash, sim_round_done_ns and the event
+    count are identical across every shard count K (bit-identity),
+  * at the largest host count, events/sec never *regresses* from K=1 to
+    the best sharded cell (tolerance below), and the best sharded cell at
+    scale shows a real speedup,
+  * speedup_vs_serial matches the cells it was derived from.
 
 Usage: check_bench_sim.py [path-to-BENCH_sim.json]
 Exits non-zero with a message on the first violation.
@@ -190,6 +199,104 @@ def check_chunking(doc, path):
     )
 
 
+SCALE_CELL_KEYS = {
+    "hosts": int,
+    "shards": int,
+    "events": int,
+    "wall_seconds": float,
+    "events_per_sec": float,
+    "speedup_vs_serial": float,
+    "agg_hash": str,
+    "sim_round_done_ns": int,
+    "windows": int,
+    "cross_shard_events": int,
+    "max_window_events": int,
+    "stalled_shard_windows": int,
+}
+
+# Wall-clock tolerance for the monotonicity gate: K=1 -> best sharded K may
+# not regress by more than this factor (timer noise on loaded CI runners).
+SCALE_REGRESSION_SLACK = 0.85
+# At the largest host count the best sharded cell must show a real
+# events/sec speedup. The windowed engine's single-core win comes from the
+# bucket queue + small per-shard heaps (~2x on one core); ThreadPool
+# parallelism stacks on top on multi-core runners. Gate on the floor that
+# must hold everywhere.
+MIN_SCALE_SPEEDUP = 1.3
+
+
+def check_scale(doc, path):
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        fail("cells missing or empty")
+    for i, cell in enumerate(cells):
+        check_keys(cell, SCALE_CELL_KEYS, f"cells[{i}]")
+        if cell["wall_seconds"] <= 0:
+            fail(f"cells[{i}]: non-positive wall_seconds")
+        if cell["shards"] > 1 and cell["windows"] == 0:
+            fail(f"cells[{i}]: sharded cell executed zero windows")
+
+    # Hard gate: bit-identity across every K at each host count.
+    if doc.get("hash_identical") is not True:
+        fail("hash_identical is not true: results diverged across shard counts")
+    by_hosts = {}
+    for c in cells:
+        by_hosts.setdefault(c["hosts"], []).append(c)
+    for hosts, group in sorted(by_hosts.items()):
+        serial = [c for c in group if c["shards"] == 1]
+        if len(serial) != 1:
+            fail(f"hosts={hosts}: want exactly one K=1 cell, got {len(serial)}")
+        s = serial[0]
+        for c in group:
+            for key in ("agg_hash", "sim_round_done_ns", "events"):
+                if c[key] != s[key]:
+                    fail(
+                        f"hosts={hosts} K={c['shards']}: {key} {c[key]!r} "
+                        f"differs from serial {s[key]!r}"
+                    )
+            measured = s["wall_seconds"] / c["wall_seconds"]
+            if abs(measured - c["speedup_vs_serial"]) > max(0.1, 0.05 * measured):
+                fail(
+                    f"hosts={hosts} K={c['shards']}: speedup_vs_serial "
+                    f"{c['speedup_vs_serial']} does not match the cells ({measured:.3f})"
+                )
+
+    # Throughput gates apply at the largest host count of a *full* run only:
+    # tiny grids (and the CI smoke mode, which stops at ~10^3 hosts) are
+    # dominated by window overhead and prove nothing about scaling.
+    if doc.get("mode") == "smoke":
+        print(
+            f"check_bench_sim: OK ({path}): smoke run, {len(cells)} cells over "
+            f"{len(by_hosts)} host counts, hashes identical across K "
+            f"(throughput gates skipped)"
+        )
+        return
+    largest = max(by_hosts)
+    group = by_hosts[largest]
+    serial = next(c for c in group if c["shards"] == 1)
+    sharded = [c for c in group if c["shards"] > 1]
+    if not sharded:
+        fail(f"hosts={largest}: no sharded cells to gate on")
+    best = max(sharded, key=lambda c: c["events_per_sec"])
+    if best["events_per_sec"] < serial["events_per_sec"] * SCALE_REGRESSION_SLACK:
+        fail(
+            f"hosts={largest}: best sharded K={best['shards']} regressed to "
+            f"{best['events_per_sec']:.0f} ev/s vs serial {serial['events_per_sec']:.0f}"
+        )
+    best_speedup = best["events_per_sec"] / serial["events_per_sec"]
+    if best_speedup < MIN_SCALE_SPEEDUP:
+        fail(
+            f"hosts={largest}: best sharded speedup {best_speedup:.2f}x "
+            f"< {MIN_SCALE_SPEEDUP}x (K={best['shards']})"
+        )
+
+    print(
+        f"check_bench_sim: OK ({path}): {len(cells)} cells over "
+        f"{len(by_hosts)} host counts, hashes identical across K, "
+        f"best speedup {best_speedup:.2f}x at N={largest} (K={best['shards']})"
+    )
+
+
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_sim.json"
     try:
@@ -203,8 +310,10 @@ def main():
         check_datapath(doc, path)
     elif bench == "abl_chunking":
         check_chunking(doc, path)
+    elif bench == "abl_scale":
+        check_scale(doc, path)
     else:
-        fail(f"unknown bench {bench!r} (want abl_datapath or abl_chunking)")
+        fail(f"unknown bench {bench!r} (want abl_datapath, abl_chunking or abl_scale)")
 
 
 if __name__ == "__main__":

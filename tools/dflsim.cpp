@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "common/log.hpp"
@@ -72,6 +73,9 @@ void usage() {
       "  --metrics-out FILE  append one JSONL metrics snapshot per round\n"
       "                      (with a scenario: adds round_complete, aggregate_hash\n"
       "                      and fault counters for tools/check_scenario.py)\n"
+      "engine:\n"
+      "  --shards K          event-engine shards (default $DFL_SHARDS or 1);\n"
+      "                      K>1 runs lookahead windows, results bit-identical\n"
       "misc:\n"
       "  --seed N            RNG seed (default 1)\n"
       "  --verbose           protocol-level logging\n");
@@ -222,6 +226,14 @@ int main(int argc, char** argv) {
       cfg.options.chunk_size = v * 1024;
     } else if (a == "--pipeline") {
       cfg.options.chunk_pipeline = next_u64();
+    } else if (a == "--shards") {
+      const std::uint64_t v = next_u64();
+      if (v == 0 || v > 1024) {
+        std::fprintf(stderr, "--shards: shard count must be in [1, 1024], got %llu\n",
+                     static_cast<unsigned long long>(v));
+        return 2;
+      }
+      cfg.shards = static_cast<std::uint32_t>(v);
     } else if (a == "--crypto-threads") {
       cfg.options.crypto_threads = next_u64();
     } else if (a == "--fixed-base") {
@@ -301,7 +313,16 @@ int main(int argc, char** argv) {
     std::printf("transfer plane: merkle-dag, %zu KiB chunks\n\n", cfg.options.chunk_size / 1024);
   }
 
-  core::Deployment d(cfg);
+  // Construction validates the config (fault plan, $DFL_SHARDS, ...):
+  // report a bad value as a diagnostic, not an uncaught exception.
+  std::unique_ptr<core::Deployment> deployment;
+  try {
+    deployment = std::make_unique<core::Deployment>(cfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  core::Deployment& d = *deployment;
   if (!trace_out.empty()) {
     obs::set_tracing(true);
     d.context().net.set_tracing(true);
@@ -317,8 +338,16 @@ int main(int argc, char** argv) {
   std::printf("%-7s %14s %14s %12s %14s %12s %10s\n", "round", "upload_s", "aggregation_s",
               "sync_s", "round_time_s", "agg_MB", "rejected");
   core::CryptoRecord crypto_total;
+  core::ShardingRecord shard_total;
   for (int r = 0; r < rounds; ++r) {
     const core::RoundMetrics m = d.run_round(static_cast<std::uint32_t>(r));
+    shard_total.shards = m.sharding.shards;
+    shard_total.lookahead_ns = m.sharding.lookahead_ns;
+    shard_total.windows += m.sharding.windows;
+    shard_total.max_window_events =
+        std::max(shard_total.max_window_events, m.sharding.max_window_events);
+    shard_total.cross_shard_transfers += m.sharding.cross_shard_transfers;
+    shard_total.local_shard_transfers += m.sharding.local_shard_transfers;
     const double round_s =
         m.round_done >= 0 ? sim::to_seconds(m.round_done - m.round_start) : -1.0;
     std::printf("%-7d %14.2f %14.2f %12.2f %14.2f %12.2f %10d\n", r, m.mean_upload_delay_s(),
@@ -342,7 +371,9 @@ int main(int argc, char** argv) {
            {"restarts", static_cast<std::int64_t>(m.faults.restarts)},
            {"transfers_dropped", static_cast<std::int64_t>(m.faults.transfers_dropped)},
            {"payloads_corrupted", static_cast<std::int64_t>(m.faults.payloads_corrupted)},
-           {"transfers_jittered", static_cast<std::int64_t>(m.faults.transfers_jittered)}});
+           {"transfers_jittered", static_cast<std::int64_t>(m.faults.transfers_jittered)},
+           {"shards", static_cast<std::int64_t>(m.sharding.shards)},
+           {"windows", static_cast<std::int64_t>(m.sharding.windows)}});
     }
   }
   if (!trace_out.empty()) {
@@ -363,6 +394,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(crypto_total.committed_elements),
                 static_cast<unsigned long long>(crypto_total.verifies),
                 static_cast<unsigned long long>(crypto_total.batch_verifies));
+  }
+
+  if (shard_total.shards > 1) {
+    std::printf("\nsharded engine: K=%u, lookahead %.3f ms, %llu windows "
+                "(densest %llu events), locality %.3f\n",
+                shard_total.shards, shard_total.lookahead_ns / 1e6,
+                static_cast<unsigned long long>(shard_total.windows),
+                static_cast<unsigned long long>(shard_total.max_window_events),
+                shard_total.locality());
   }
 
   const auto& s = d.directory().stats();
