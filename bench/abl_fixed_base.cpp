@@ -66,7 +66,7 @@ int main() {
   const double pip_s = tpip.seconds();
 
   std::vector<bench::BenchRecord> records;
-  records.push_back(bench::BenchRecord{"commit", n, "pippenger", 1, pip_s * 1e9});
+  records.push_back(bench::BenchRecord{"commit", n, "pippenger", 1, pip_s * 1e9, {}, {}, {}});
 
   const int recommended = pick_fixed_base_window(n, kCoveredBits);
   std::printf("n=%zu  pippenger baseline: %.3f s  (recommended w=%d)\n", n, pip_s, recommended);
@@ -91,8 +91,9 @@ int main() {
                 pip_s / commit_s, w == recommended ? "  <- pick" : "");
 
     const std::string backend = "fixed_base_w" + std::to_string(w);
-    records.push_back(bench::BenchRecord{"commit", n, backend, 1, commit_s * 1e9});
-    records.push_back(bench::BenchRecord{"table_build", n, backend, 1, build_s * 1e9});
+    records.push_back(bench::BenchRecord{"commit", n, backend, 1, commit_s * 1e9, {}, {}, {}});
+    records.push_back(
+        bench::BenchRecord{"table_build", n, backend, 1, build_s * 1e9, {}, {}, {}});
   }
 
   bench::write_bench_json(records);

@@ -60,10 +60,11 @@ int main() {
                   naive_s, pip_s, naive_s / pip_s, par_s);
       const bool k1 = curve == &Curve::secp256k1();
       if (k1) {
-        records.push_back(bench::BenchRecord{"msm", n, "naive", 1, naive_s * 1e9});
-        records.push_back(bench::BenchRecord{"msm", n, "pippenger", 1, pip_s * 1e9});
+        records.push_back(bench::BenchRecord{"msm", n, "naive", 1, naive_s * 1e9, {}, {}, {}});
         records.push_back(
-            bench::BenchRecord{"msm", n, "parallel", pool.concurrency(), par_s * 1e9});
+            bench::BenchRecord{"msm", n, "pippenger", 1, pip_s * 1e9, {}, {}, {}});
+        records.push_back(bench::BenchRecord{"msm", n, "parallel", pool.concurrency(),
+                                             par_s * 1e9, {}, {}, {}});
       }
     }
   }

@@ -12,6 +12,11 @@ bool full_sweep_requested() {
   return v != nullptr && std::strcmp(v, "0") != 0;
 }
 
+bool smoke_requested() {
+  const char* v = std::getenv("DFL_BENCH_SMOKE");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
 std::string bench_json_path() {
   const char* v = std::getenv("DFL_BENCH_JSON");
   return v != nullptr && *v != '\0' ? std::string(v) : std::string("BENCH_crypto.json");
@@ -44,8 +49,11 @@ std::string record_key(const BenchRecord& r) {
 std::string render(const BenchRecord& r) {
   std::ostringstream os;
   os << "  {\"op\": \"" << r.op << "\", \"size\": " << r.size << ", \"backend\": \""
-     << r.backend << "\", \"threads\": " << r.threads << ", \"ns_per_op\": " << r.ns_per_op
-     << "}";
+     << r.backend << "\", \"threads\": " << r.threads << ", \"ns_per_op\": " << r.ns_per_op;
+  if (!r.isa.empty()) os << ", \"isa\": \"" << r.isa << "\"";
+  if (!r.cpu.empty()) os << ", \"cpu\": \"" << r.cpu << "\"";
+  if (!r.digest.empty()) os << ", \"digest\": \"" << r.digest << "\"";
+  os << "}";
   return os.str();
 }
 
@@ -67,6 +75,9 @@ void write_bench_json(const std::vector<BenchRecord>& records) {
       r.threads =
           static_cast<std::size_t>(std::strtoull(field(line, "threads").c_str(), nullptr, 10));
       r.ns_per_op = std::strtod(field(line, "ns_per_op").c_str(), nullptr);
+      r.isa = field(line, "isa");
+      r.cpu = field(line, "cpu");
+      r.digest = field(line, "digest");
       if (!r.op.empty()) rows.emplace_back(record_key(r), render(r));
     }
   }

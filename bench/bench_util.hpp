@@ -31,13 +31,24 @@ inline void print_note(const std::string& note) {
 /// True when the caller asked for the full (slow) parameter sweep.
 bool full_sweep_requested();
 
-/// One machine-readable measurement row.
+/// True when DFL_BENCH_SMOKE=1 asks for the trimmed CI-gate sweep.
+bool smoke_requested();
+
+/// One machine-readable measurement row. `isa`, `cpu` and `digest` are
+/// optional metadata (omitted from the JSON when empty): the ISA tier the
+/// measured code dispatched to ("scalar"/"avx2"/"avx512ifma"), the host's
+/// detected CPU features (dfl::cpu_feature_string()), and a hex digest of
+/// the operation's result so independent backends can be asserted
+/// bit-identical by tools/check_bench_sim.py.
 struct BenchRecord {
   std::string op;       // e.g. "commit", "verify", "BM_FieldMul"
   std::size_t size = 0; // elements / range argument
-  std::string backend;  // e.g. "naive", "pippenger", "fixed_base"
+  std::string backend;  // e.g. "naive", "pippenger", "simd", "fixed_base"
   std::size_t threads = 1;
   double ns_per_op = 0; // whole-operation wall time in ns
+  std::string isa;      // dispatch tier that produced the number
+  std::string cpu;      // detected CPU features on the measuring host
+  std::string digest;   // hex result digest for cross-backend equality
 };
 
 /// Output path: $DFL_BENCH_JSON, or "BENCH_crypto.json" in the cwd.

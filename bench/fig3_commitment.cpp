@@ -3,20 +3,25 @@
 // number of model parameters (log-log in the paper).
 //
 // The naive columns use the per-element exponentiation the paper's
-// implementation used ("rather straight-forward", Section V). The pippenger
-// and engine columns show the two optimization stages this codebase adds:
-// bucketed MSM, then the crypto engine (thread pool + per-generator
-// fixed-base tables). Commit and verify are timed separately and everything
-// is emitted to BENCH_crypto.json (op, size, backend, threads, ns_per_op).
+// implementation used ("rather straight-forward", Section V). The pippenger,
+// simd and engine columns show the optimization stages this codebase adds:
+// bucketed MSM, the batched-affine SIMD engine (AVX2/IFMA batched-limb
+// field arithmetic; the speedup column is pippenger/simd), then the crypto
+// engine (thread pool + fixed-base tables). Commit and verify are timed
+// separately and everything is emitted to BENCH_crypto.json
+// (op, size, backend, threads, ns_per_op, isa, cpu, digest).
 //
 // Default sweep goes to 1M parameters; set DFL_BENCH_FULL=1 to extend to
 // 10M (the paper's MobileNet/GoogleNet scale — several minutes). DFL_THREADS
 // caps the engine's concurrency.
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/cpu.hpp"
 #include "common/rng.hpp"
+#include "crypto/backend.hpp"
 #include "crypto/encoding.hpp"
 #include "crypto/engine.hpp"
 #include "crypto/hash_to_curve.hpp"
@@ -58,7 +63,11 @@ int main() {
   bench::print_header("Figure 3: SHA-256 vs Pedersen commitment time by model size");
 
   std::vector<std::size_t> sizes{1'000, 10'000, 100'000, 1'000'000};
-  if (bench::full_sweep_requested()) {
+  if (bench::smoke_requested()) {
+    // CI gate configuration: just the sizes the crypto checker needs.
+    sizes = {1'000, 10'000};
+    bench::print_note("DFL_BENCH_SMOKE=1: trimmed sweep for the CI crypto gate");
+  } else if (bench::full_sweep_requested()) {
     sizes.push_back(5'000'000);
     sizes.push_back(10'000'000);
   } else {
@@ -89,15 +98,48 @@ int main() {
               engine.threads(), table_timer.seconds(),
               tables != nullptr ? static_cast<double>(tables->memory_bytes()) / 1e6 : 0.0);
 
+  // Warm the SIMD engine's cached vector-layout generators too, so the simd
+  // column times steady-state commits rather than the one-time layout
+  // conversion (same treatment the fixed-base tables get above).
+  {
+    ThreadPool* pool = key_k1.pool();
+    key_k1.set_pool(nullptr);
+    key_k1.set_mode(crypto::MsmMode::kAuto);
+    bench::WallTimer warm;
+    (void)key_k1.commit(std::vector<std::int64_t>(64, 1));
+    std::printf("  simd: vector-layout bases cached in %.1f s (isa=%s)\n", warm.seconds(),
+                crypto::active_isa());
+    key_k1.set_pool(pool);
+  }
+
   std::vector<bench::BenchRecord> records;
+  const std::string cpu = dfl::cpu_feature_string();
   auto record = [&](const char* op, std::size_t n, const char* backend, std::size_t threads,
-                    double seconds) {
-    records.push_back(bench::BenchRecord{op, n, backend, threads, seconds * 1e9});
+                    double seconds, const std::string& isa = "scalar",
+                    const std::string& digest = "") {
+    records.push_back(
+        bench::BenchRecord{op, n, backend, threads, seconds * 1e9, isa, cpu, digest});
   };
 
-  std::printf("%-10s %10s | %12s %12s %12s %8s | %12s %12s | %12s\n", "params", "sha256_s",
-              "naive_k1_s", "pippen_k1_s", "engine_k1_s", "speedup", "pippen_vfy_s",
-              "engine_vfy_s", "naive_r1_s");
+  // The optimized columns finish in milliseconds at the gated sizes, where
+  // scheduler noise can dominate a single run; report the best of a few
+  // repetitions (the commitment is identical every time). The naive columns
+  // cost seconds-to-minutes and stay single-shot.
+  auto best_of = [](int reps, auto&& commit_fn) {
+    double best_s = 0.0;
+    crypto::Commitment c;
+    for (int r = 0; r < reps; ++r) {
+      const bench::WallTimer t;
+      c = commit_fn();
+      const double s = t.seconds();
+      if (r == 0 || s < best_s) best_s = s;
+    }
+    return std::pair<double, crypto::Commitment>(best_s, c);
+  };
+
+  std::printf("%-10s %10s | %12s %12s %12s %12s %8s | %12s %12s | %12s\n", "params",
+              "sha256_s", "naive_k1_s", "pippen_k1_s", "simd_k1_s", "engine_k1_s", "speedup",
+              "pippen_vfy_s", "engine_vfy_s", "naive_r1_s");
   for (const std::size_t n : sizes) {
     const auto values = gradient_values(n);
     const double sha_s = time_sha256(values);
@@ -109,32 +151,37 @@ int main() {
     bench::WallTimer tnaive;
     const crypto::Commitment c_naive = key_k1.commit(values);
     const double naive_s = tnaive.seconds();
-    record("commit", n, "naive", 1, naive_s);
+    record("commit", n, "naive", 1, naive_s, "scalar", c_naive.to_hex());
 
+    const int reps = n <= 1'000'000 ? 3 : 1;
     key_k1.set_mode(crypto::MsmMode::kPippenger);
-    bench::WallTimer tpip;
-    (void)key_k1.commit(values);
-    const double pip_s = tpip.seconds();
-    record("commit", n, "pippenger", 1, pip_s);
+    const auto [pip_s, c_pip] = best_of(reps, [&] { return key_k1.commit(values); });
+    record("commit", n, "pippenger", 1, pip_s, "scalar", c_pip.to_hex());
 
     bench::WallTimer tpipv;
     const bool ok_pip = key_k1.verify(c_naive, values);
     const double pip_vfy_s = tpipv.seconds();
     record("verify", n, "pippenger", 1, pip_vfy_s);
 
+    // simd column: single-threaded kAuto routes through the batched-affine
+    // SIMD engine (cached vector-layout generators) on capable hosts; on
+    // scalar-only hosts it degrades to Pippenger, and the recorded isa
+    // says which one was measured. The digest lets the checker assert the
+    // commitment is byte-identical to the scalar backends' rows.
     key_k1.set_mode(crypto::MsmMode::kAuto);
+    const auto [simd_s, c_simd] = best_of(reps, [&] { return key_k1.commit(values); });
+    record("commit", n, "simd", 1, simd_s, crypto::active_isa(), c_simd.to_hex());
     key_k1.set_pool(pool);
-    bench::WallTimer teng;
-    const crypto::Commitment c_eng = engine.commit(values);
-    const double eng_s = teng.seconds();
-    record("commit", n, "engine", engine.threads(), eng_s);
+    const auto [eng_s, c_eng] = best_of(reps, [&] { return engine.commit(values); });
+    record("commit", n, "engine", engine.threads(), eng_s, crypto::active_isa(),
+           c_eng.to_hex());
 
     bench::WallTimer tengv;
     const bool ok_eng = engine.verify(c_naive, values);
     const double eng_vfy_s = tengv.seconds();
-    record("verify", n, "engine", engine.threads(), eng_vfy_s);
+    record("verify", n, "engine", engine.threads(), eng_vfy_s, crypto::active_isa());
 
-    if (c_naive != c_eng || !ok_pip || !ok_eng) {
+    if (c_naive != c_pip || c_naive != c_simd || c_naive != c_eng || !ok_pip || !ok_eng) {
       std::printf("  !! backend disagreement at n=%zu\n", n);
       return 1;
     }
@@ -144,8 +191,9 @@ int main() {
     const double r1_s = tr1.seconds();
     record("commit", n, "naive_r1", 1, r1_s);
 
-    std::printf("%-10zu %10.4f | %12.3f %12.3f %12.3f %7.1fx | %12.3f %12.3f | %12.3f\n", n,
-                sha_s, naive_s, pip_s, eng_s, pip_s / eng_s, pip_vfy_s, eng_vfy_s, r1_s);
+    std::printf("%-10zu %10.4f | %12.3f %12.3f %12.3f %12.3f %7.1fx | %12.3f %12.3f | %12.3f\n",
+                n, sha_s, naive_s, pip_s, simd_s, eng_s, pip_s / simd_s, pip_vfy_s, eng_vfy_s,
+                r1_s);
   }
 
   bench::write_bench_json(records);

@@ -1,0 +1,49 @@
+#include "common/cpu.hpp"
+
+#include <cstdlib>
+
+namespace dfl {
+
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.bmi2 = __builtin_cpu_supports("bmi2") != 0;
+  f.avx512f = __builtin_cpu_supports("avx512f") != 0;
+  f.avx512ifma = f.avx512f && __builtin_cpu_supports("avx512ifma") != 0 &&
+                 __builtin_cpu_supports("avx512vl") != 0 &&
+                 __builtin_cpu_supports("avx512dq") != 0 &&
+                 __builtin_cpu_supports("avx512bw") != 0;
+#endif
+  const char* no_simd = std::getenv("DFL_NO_SIMD");
+  f.simd_disabled_by_env = no_simd != nullptr && no_simd[0] != '\0' && no_simd[0] != '0';
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+std::string cpu_feature_string() {
+  const CpuFeatures& f = cpu_features();
+  std::string s;
+  auto append = [&s](const char* name) {
+    if (!s.empty()) s += ',';
+    s += name;
+  };
+  if (f.avx2) append("avx2");
+  if (f.bmi2) append("bmi2");
+  if (f.avx512f) append("avx512f");
+  if (f.avx512ifma) append("avx512ifma");
+  if (s.empty()) s = "none";
+  if (f.simd_disabled_by_env) s += "+no-simd-env";
+  return s;
+}
+
+}  // namespace dfl

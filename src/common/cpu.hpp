@@ -1,0 +1,31 @@
+// Runtime CPU feature detection for SIMD dispatch decisions. Detection runs
+// once (first call) and is cached; the `DFL_NO_SIMD=1` environment variable
+// is captured at the same time so a whole process can be forced onto the
+// scalar paths for A/B testing and CI fallback coverage.
+#pragma once
+
+#include <string>
+
+namespace dfl {
+
+struct CpuFeatures {
+  bool avx2 = false;
+  bool bmi2 = false;
+  bool avx512f = false;
+  /// The full feature set the 52-bit-limb IFMA tier needs (avx512f + ifma
+  /// + vl + dq + bw); the avx2 crypto backend silently widens when set.
+  bool avx512ifma = false;
+  /// DFL_NO_SIMD=1 was set when the process first queried features; SIMD
+  /// backends must treat supported features as absent when this is set.
+  bool simd_disabled_by_env = false;
+};
+
+/// Cached hardware feature probe (thread-safe, detection runs once).
+const CpuFeatures& cpu_features();
+
+/// Comma-separated list of detected features ("avx2,bmi2,avx512f"), with
+/// "+no-simd-env" appended when DFL_NO_SIMD suppressed them; "none" when
+/// nothing relevant was detected. Stable strings meant for bench metadata.
+std::string cpu_feature_string();
+
+}  // namespace dfl

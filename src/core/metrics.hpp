@@ -51,6 +51,9 @@ struct CryptoRecord {
   std::size_t threads = 0;
   double calibrated_ns_per_element = 0;
   double parallel_speedup = 0;
+  // Dispatch the round's crypto ran on (static storage, safe to copy).
+  const char* backend = "scalar";
+  const char* isa = "scalar";
 };
 
 /// Host-side data-plane activity during one round: the delta of the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "common/log.hpp"
@@ -85,6 +86,14 @@ void publish_round_metrics(const RoundMetrics& m) {
   reg.counter("dfl.rpc.failovers_total").add(rpc.failovers);
   reg.counter("dfl.rpc.giveups_total").add(rpc.giveups);
   reg.counter("dfl.sim.events_total").add(m.datapath.sim_events);
+  if (m.crypto.commits + m.crypto.verifies + m.crypto.batch_verifies > 0) {
+    reg.counter("dfl.crypto.commits_total").add(m.crypto.commits);
+    reg.counter("dfl.crypto.verifies_total").add(m.crypto.verifies + m.crypto.batch_verifies);
+    // Dispatch tier as an ordinal gauge (0 = scalar, 1 = avx2): snapshots
+    // record which backend produced the wall times alongside them. The
+    // ISA string itself rides in RoundMetrics/CryptoRecord.
+    reg.gauge("dfl.crypto.backend").set(std::strcmp(m.crypto.backend, "scalar") == 0 ? 0 : 1);
+  }
 
   auto record_ms = [&reg](const char* name, double seconds) {
     if (seconds < 0) return;  // -1 sentinel: phase never completed
@@ -376,6 +385,13 @@ RoundMetrics Deployment::run_round(std::uint32_t iter) {
   metrics.round_start = sim_->now();
   metrics.trainers.resize(trainers_.size());
   metrics.aggregators.resize(aggregators_.size());
+  // A backend flip since the last probe (test override, DFL_NO_SIMD in a
+  // forked child) would leave the modeled commit delay priced by code
+  // that no longer runs; re-ground it before the round starts.
+  if (engine_ && config_.options.calibrate_crypto && engine_->needs_recalibration()) {
+    calibration_ = engine_->calibrate(0);
+    boot_->spec().options.commit_ns_per_element = calibration_.ns_per_element;
+  }
   const crypto::EngineStats crypto_before =
       engine_ ? engine_->stats() : crypto::EngineStats{};
   const sim::FaultStats faults_before = fault_ ? fault_->stats() : sim::FaultStats{};
@@ -440,6 +456,8 @@ RoundMetrics Deployment::run_round(std::uint32_t iter) {
     metrics.crypto.threads = engine_->threads();
     metrics.crypto.calibrated_ns_per_element = calibration_.ns_per_element;
     metrics.crypto.parallel_speedup = calibration_.parallel_speedup;
+    metrics.crypto.backend = crypto::backend_name(after.backend);
+    metrics.crypto.isa = after.isa;
   }
 
   metrics.partitions_total = boot_->spec().num_partitions();

@@ -1,0 +1,130 @@
+#include "crypto/backend.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/cpu.hpp"
+
+#if DFL_HAVE_AVX2
+#include "crypto/simd_avx2.hpp"
+#endif
+
+namespace dfl::crypto {
+
+namespace {
+
+std::optional<Backend>& override_slot() {
+  static std::optional<Backend> slot;
+  return slot;
+}
+
+void scalar_add(const FieldCtx& f, const Fe* a, const Fe* b, Fe* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = f.add(a[i], b[i]);
+}
+
+void scalar_sub(const FieldCtx& f, const Fe* a, const Fe* b, Fe* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = f.sub(a[i], b[i]);
+}
+
+void scalar_mul(const FieldCtx& f, const Fe* a, const Fe* b, Fe* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = f.mul(a[i], b[i]);
+}
+
+void scalar_sqr(const FieldCtx& f, const Fe* a, Fe* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = f.sqr(a[i]);
+}
+
+void scalar_inv(const FieldCtx& f, const Fe* a, Fe* out, std::size_t n) {
+  if (n == 0) return;
+  // Montgomery's trick: prefix[i] = a[0]*...*a[i-1], one real inversion of
+  // the total product, then peel inverses off walking backwards.
+  std::vector<Fe> prefix(n);
+  Fe acc = f.one();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (f.is_zero(a[i])) throw std::domain_error("batch inv: zero input");
+    prefix[i] = acc;
+    acc = f.mul(acc, a[i]);
+  }
+  Fe inv_acc = f.inv(acc);
+  for (std::size_t i = n; i > 0; --i) {
+    const Fe ai = a[i - 1];  // read before out[] may overwrite (aliasing)
+    out[i - 1] = f.mul(inv_acc, prefix[i - 1]);
+    inv_acc = f.mul(inv_acc, ai);
+  }
+}
+
+constexpr FieldBatchOps kScalarOps{scalar_add, scalar_sub, scalar_mul, scalar_sqr, scalar_inv};
+
+}  // namespace
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool backend_compiled(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+#if DFL_HAVE_AVX2
+      return avx2::compiled();
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool backend_supported(Backend b) {
+  if (b == Backend::kScalar) return true;
+  if (!backend_compiled(b)) return false;
+  const CpuFeatures& f = cpu_features();
+  if (f.simd_disabled_by_env) return false;
+  switch (b) {
+    case Backend::kAvx2:
+      return f.avx2;
+    default:
+      return false;
+  }
+}
+
+Backend active_backend() {
+  const std::optional<Backend>& forced = override_slot();
+  if (forced.has_value()) return *forced;
+  static const Backend best =
+      backend_supported(Backend::kAvx2) ? Backend::kAvx2 : Backend::kScalar;
+  return best;
+}
+
+const char* active_isa() {
+#if DFL_HAVE_AVX2
+  if (active_backend() == Backend::kAvx2) return avx2::isa();
+#endif
+  return "scalar";
+}
+
+void set_backend_override(std::optional<Backend> b) {
+  if (b.has_value() && !backend_supported(*b)) {
+    throw std::invalid_argument("set_backend_override: backend not supported on this host");
+  }
+  override_slot() = b;
+}
+
+const FieldBatchOps& field_batch_ops(Backend b) {
+#if DFL_HAVE_AVX2
+  if (b == Backend::kAvx2 && backend_supported(Backend::kAvx2)) {
+    return avx2::field_ops();
+  }
+#else
+  (void)b;
+#endif
+  return kScalarOps;
+}
+
+}  // namespace dfl::crypto

@@ -1,0 +1,73 @@
+// Crypto backend abstraction: one compile-time-selected, runtime-verified
+// dispatch point for every SIMD-accelerated primitive.
+//
+// Selection happens in three layers (see DESIGN.md "crypto backend
+// abstraction"):
+//   1. compile time — `-DDFL_CRYPTO_BACKEND=scalar|avx2` decides which
+//      backend translation units exist in the binary at all;
+//   2. process start — CPUID (`dfl::cpu_features()`) and the `DFL_NO_SIMD`
+//      environment gate decide which compiled backends are usable here;
+//   3. call time — `active_backend()` returns the fastest usable backend
+//      (or a test override), and every dispatch site routes through it.
+//
+// Protocol code never names a backend: PedersenKey, the MSM entry points
+// and crypto::Engine all ask `active_backend()` and fall back to scalar
+// automatically, so a binary built with AVX2 still runs correctly on any
+// x86-64 machine.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "crypto/mont.hpp"
+
+namespace dfl::crypto {
+
+/// Backend identifiers, ordered by preference (larger = faster).
+enum class Backend { kScalar = 0, kAvx2 = 1 };
+
+/// Stable lowercase name ("scalar", "avx2") used by EngineStats, bench rows
+/// and the CI gate.
+const char* backend_name(Backend b);
+
+/// True when the backend's code was compiled into this binary.
+bool backend_compiled(Backend b);
+
+/// Compiled AND usable right now: the CPU reports the ISA and DFL_NO_SIMD
+/// did not disable SIMD. kScalar is always supported.
+bool backend_supported(Backend b);
+
+/// What every dispatch site uses: the test override if set, else the
+/// fastest supported backend.
+Backend active_backend();
+
+/// The instruction-set tier `active_backend()` actually executes:
+/// "scalar", "avx2", or "avx512ifma" (the avx2 backend's wider tier,
+/// taken automatically on CPUs with AVX-512 IFMA; DFL_FORCE_ISA=avx2
+/// pins the narrower one). Reported in EngineStats and bench rows so a
+/// recorded number is attributable to the code that produced it.
+const char* active_isa();
+
+/// Test/bench hook forcing dispatch to `b` (must satisfy
+/// backend_supported; throws std::invalid_argument otherwise); nullopt
+/// restores automatic selection. Not synchronized against concurrent
+/// crypto calls — flip it from single-threaded test setup only.
+void set_backend_override(std::optional<Backend> b);
+
+/// Batched field primitives with a uniform signature across backends.
+/// All arrays have length n; `out` may alias the inputs. `inv` uses
+/// Montgomery's trick (one real inversion per call) and throws
+/// std::domain_error if any input is zero.
+struct FieldBatchOps {
+  void (*add)(const FieldCtx&, const Fe* a, const Fe* b, Fe* out, std::size_t n);
+  void (*sub)(const FieldCtx&, const Fe* a, const Fe* b, Fe* out, std::size_t n);
+  void (*mul)(const FieldCtx&, const Fe* a, const Fe* b, Fe* out, std::size_t n);
+  void (*sqr)(const FieldCtx&, const Fe* a, Fe* out, std::size_t n);
+  void (*inv)(const FieldCtx&, const Fe* a, Fe* out, std::size_t n);
+};
+
+/// The op table for `b`; silently falls back to the scalar table when `b`
+/// is not supported, so callers can dispatch unconditionally.
+const FieldBatchOps& field_batch_ops(Backend b);
+
+}  // namespace dfl::crypto

@@ -133,7 +133,15 @@ Calibration Engine::calibrate(std::size_t elements, int iters) {
   cal.ns_per_element = static_cast<double>(multi_ns) / static_cast<double>(elements);
   cal.parallel_speedup =
       multi_ns == 0 ? 1.0 : static_cast<double>(single_ns) / static_cast<double>(multi_ns);
+  cal.backend = active_backend();
+  cal.isa = active_isa();
+  calibrated_ = true;
+  calibrated_backend_ = cal.backend;
   return cal;
+}
+
+bool Engine::needs_recalibration() const {
+  return calibrated_ && calibrated_backend_ != active_backend();
 }
 
 EngineStats Engine::stats() const {
@@ -144,6 +152,8 @@ EngineStats Engine::stats() const {
   s.committed_elements = committed_elements_.load(std::memory_order_relaxed);
   s.commit_wall_ns = commit_wall_ns_.load(std::memory_order_relaxed);
   s.verify_wall_ns = verify_wall_ns_.load(std::memory_order_relaxed);
+  s.backend = active_backend();
+  s.isa = active_isa();
   return s;
 }
 

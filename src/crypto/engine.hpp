@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/pool.hpp"
+#include "crypto/backend.hpp"
 #include "crypto/pedersen.hpp"
 
 namespace dfl::crypto {
@@ -36,6 +37,8 @@ struct EngineConfig {
 };
 
 /// Monotonic operation counters; wall times are real (not simulated) ns.
+/// `backend`/`isa` report the dispatch the counters' work ran on, sampled
+/// when stats() is called.
 struct EngineStats {
   std::uint64_t commits = 0;
   std::uint64_t verifies = 0;
@@ -43,13 +46,19 @@ struct EngineStats {
   std::uint64_t committed_elements = 0;
   std::uint64_t commit_wall_ns = 0;
   std::uint64_t verify_wall_ns = 0;
+  Backend backend = Backend::kScalar;
+  const char* isa = "scalar";
 };
 
-/// Result of a calibration probe.
+/// Result of a calibration probe. `backend`/`isa` record the dispatch the
+/// probe actually measured, so a later backend flip is detectable
+/// (needs_recalibration) instead of silently mispricing commits.
 struct Calibration {
   double ns_per_element = 0.0;   // measured commit cost at configured threads
   double parallel_speedup = 1.0; // single-thread time / configured-threads time
   std::size_t threads = 1;
+  Backend backend = Backend::kScalar;
+  const char* isa = "scalar";
 };
 
 class Engine {
@@ -86,12 +95,21 @@ class Engine {
   /// only, never on the default simulated path.
   [[nodiscard]] Calibration calibrate(std::size_t elements, int iters = 3);
 
+  /// True when a calibration ran but dispatch has since moved to a
+  /// different backend (test override flipped, DFL_NO_SIMD in a fork, …):
+  /// the cached ns/element was measured by different code and would skew
+  /// the simulator's modeled commit delay. Callers holding a Calibration
+  /// should re-run calibrate(). False before the first calibration.
+  [[nodiscard]] bool needs_recalibration() const;
+
   [[nodiscard]] EngineStats stats() const;
 
  private:
   PedersenKey& key_;
   EngineConfig cfg_;
   std::unique_ptr<ThreadPool> pool_;
+  bool calibrated_ = false;
+  Backend calibrated_backend_ = Backend::kScalar;
 
   std::atomic<std::uint64_t> commits_{0};
   std::atomic<std::uint64_t> verifies_{0};

@@ -1,0 +1,1508 @@
+// AVX2 crypto backend: 4-way batched field arithmetic over a 10x26-bit
+// interleaved limb representation, plus a vectorized batched-affine MSM.
+//
+// Representation. A field element lives in ten 26-bit limbs inside the low
+// bits of ten 64-bit lanes, in the *vector Montgomery domain*: the stored
+// integer is value * 2^260 mod p, canonical in [0, p). 2^260 (not 2^256)
+// because ten 26-bit limbs carry 260 bits, which lets the Montgomery
+// reduction retire exactly one limb per iteration. Four independent
+// elements ride in the four 64-bit lanes of each __m256i, so one vmul is
+// four field multiplications. The headroom above each 26-bit limb absorbs
+// deferred carries: a full product-accumulate pass stays below 2^57 per
+// lane, so carries propagate once per multiplication, not once per add.
+//
+// Every vector function carries a per-function target("avx2") attribute
+// instead of building the file with -mavx2; nothing outside the runtime-
+// dispatched region is ever compiled with AVX2 codegen, so linking this
+// object into a binary that runs on non-AVX2 hosts is safe (backend.cpp
+// only routes here after CPUID says yes).
+#include "crypto/simd_avx2.hpp"
+
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/msm_internal.hpp"
+
+#if DFL_HAVE_AVX2 && defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DFL_AVX2_REAL 1
+#else
+#define DFL_AVX2_REAL 0
+#endif
+
+#if DFL_AVX2_REAL
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#define DFL_TARGET_AVX2 __attribute__((target("avx2")))
+// The IFMA tier adds avx512f for the zmm lane plumbing; avx2 is listed
+// explicitly so the F4 helpers keep inlining into the wider functions.
+#define DFL_TARGET_IFMA \
+  __attribute__((target("avx2,avx512f,avx512vl,avx512dq,avx512bw,avx512ifma")))
+
+// GCC 12's unmasked AVX-512 intrinsics expand to masked builtins whose
+// passthrough operand is _mm512_undefined_epi32() (GCC PR105593); with
+// always_inline the bogus -Wuninitialized fires at every use site, so it
+// has to be silenced for the TU rather than fixed in the code.
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+namespace dfl::crypto::avx2 {
+namespace {
+
+constexpr int kLimbs = 10;
+constexpr std::uint64_t kMask26 = (std::uint64_t{1} << 26) - 1;
+
+using Limbs = std::array<std::uint64_t, kLimbs>;
+
+Limbs split26(const U256& v) {
+  Limbs out;
+  for (int j = 0; j < kLimbs; ++j) {
+    out[j] = v.bits(26 * j, 26);
+  }
+  return out;
+}
+
+U256 join26(const Limbs& l) {
+  U256 r{};
+  for (int j = 0; j < kLimbs; ++j) {
+    const int bitpos = 26 * j;
+    const int li = bitpos >> 6;
+    const int off = bitpos & 63;
+    r.limb[static_cast<std::size_t>(li)] |= l[j] << off;
+    if (off + 26 > 64 && li + 1 < 4) {
+      r.limb[static_cast<std::size_t>(li) + 1] |= l[j] >> (64 - off);
+    }
+  }
+  return r;
+}
+
+/// 2^k mod p by repeated modular doubling (setup-time only).
+U256 pow2_mod(int k, const U256& p) {
+  U256 x(1);
+  for (int i = 0; i < k; ++i) x = add_mod(x, x, p);
+  return x;
+}
+
+/// Per-modulus constants of the vector domain. One instance per field,
+/// cached by modulus value (not FieldCtx address: tests build transient
+/// contexts over the same modulus).
+struct VecField {
+  U256 p;
+  Limbs p26;          // modulus, split
+  std::uint64_t n0lo; // low 26 bits of -p^{-1} mod 2^52
+  std::uint64_t n0hi; // high 26 bits of -p^{-1} mod 2^52
+  Limbs kin26;        // 2^264 mod p: vmul(x~, kin) lifts scalar-Montgomery raw into the vector domain
+  Limbs kout26;       // 2^256 mod p: vmul(x^, kout) drops back to scalar-Montgomery raw
+  Limbs one26;        // 2^260 mod p: vector-domain 1 (vmul identity)
+  Fe conv_in_fe;      // mont(2^260): Fe -> plain vector-domain integer via one field mul
+  Fe conv_out_fe;     // raw 2^252:   plain vector-domain integer -> Fe via one field mul
+  Fe k520_fe;         // mont(2^520): seed constant of the vector batch inverse
+};
+
+const VecField& vec_field(const FieldCtx& f) {
+  static std::mutex mu;
+  static std::vector<std::unique_ptr<VecField>> cache;
+  std::lock_guard<std::mutex> lk(mu);
+  for (const auto& v : cache) {
+    if (v->p == f.modulus()) return *v;
+  }
+  auto vf = std::make_unique<VecField>();
+  const U256& p = f.modulus();
+  vf->p = p;
+  vf->p26 = split26(p);
+  // Newton's iteration doubles the number of valid low bits per step;
+  // five steps from the trivial inverse mod 2^3 give p^{-1} mod 2^64.
+  std::uint64_t inv = p.limb[0];
+  for (int i = 0; i < 5; ++i) inv *= 2 - p.limb[0] * inv;
+  const std::uint64_t n0_52 = (0 - inv) & ((std::uint64_t(1) << 52) - 1);
+  vf->n0lo = n0_52 & kMask26;
+  vf->n0hi = n0_52 >> 26;
+  vf->kin26 = split26(pow2_mod(264, p));
+  vf->kout26 = split26(pow2_mod(256, p));
+  vf->one26 = split26(pow2_mod(260, p));
+  vf->conv_in_fe = f.to_mont(pow2_mod(260, p));
+  vf->conv_out_fe = Fe{pow2_mod(252, p)};
+  vf->k520_fe = f.to_mont(pow2_mod(520, p));
+  cache.push_back(std::move(vf));
+  return *cache.back();
+}
+
+// ---------------------------------------------------------------------------
+// Vector core. F4 = four field elements, lane l of l[j] = limb j of element
+// l. All functions require canonical inputs (limbs < 2^26, value < p) and
+// produce canonical outputs unless stated otherwise.
+// ---------------------------------------------------------------------------
+
+// alignas(32) is load-bearing: this TU is compiled without -mavx2, where GCC
+// only gives __m256i 16-byte alignment, yet the target("avx2") functions emit
+// 32-byte-aligned accesses. The explicit alignment also pushes std::vector<F4>
+// onto the over-aligned operator new.
+struct alignas(32) F4 {
+  __m256i l[kLimbs];
+};
+
+/// Broadcast constants of one field, preloaded as vectors once per kernel.
+struct alignas(32) VConst {
+  __m256i mask;
+  __m256i n0lo;  // -p^{-1} mod 2^52, low 26 bits
+  __m256i n0hi;  // -p^{-1} mod 2^52, high 26 bits
+  __m256i p[kLimbs];
+  __m256i p2[kLimbs];  // 2p in redundant limbs, each >= 2^26 - 1 (lazy subtract)
+  __m256i one[kLimbs];
+};
+
+DFL_TARGET_AVX2 inline VConst vconst(const VecField& vf) {
+  VConst c;
+  c.mask = _mm256_set1_epi64x(static_cast<long long>(kMask26));
+  c.n0lo = _mm256_set1_epi64x(static_cast<long long>(vf.n0lo));
+  c.n0hi = _mm256_set1_epi64x(static_cast<long long>(vf.n0hi));
+  for (int j = 0; j < kLimbs; ++j) {
+    c.p[j] = _mm256_set1_epi64x(static_cast<long long>(vf.p26[j]));
+    // 2p with 2^26 borrowed down from every higher limb, so each limb is at
+    // least 2^26 - 1 >= any canonical limb; a modulus like secp256r1's has
+    // zero 26-bit limbs, where plain 2*p_j - b_j would go negative. The top
+    // limb stays nonnegative for any modulus >= 2^234.
+    const std::uint64_t lift = (j + 1 < kLimbs ? kMask26 + 1 : 0) - (j > 0 ? 1 : 0);
+    c.p2[j] = _mm256_set1_epi64x(static_cast<long long>(2 * vf.p26[j] + lift));
+    c.one[j] = _mm256_set1_epi64x(static_cast<long long>(vf.one26[j]));
+  }
+  return c;
+}
+
+DFL_TARGET_AVX2 inline F4 vbroadcast(const Limbs& a) {
+  F4 r;
+  for (int j = 0; j < kLimbs; ++j) r.l[j] = _mm256_set1_epi64x(static_cast<long long>(a[j]));
+  return r;
+}
+
+DFL_TARGET_AVX2 inline F4 vone(const VConst& c) {
+  F4 r;
+  for (int j = 0; j < kLimbs; ++j) r.l[j] = c.one[j];
+  return r;
+}
+
+DFL_TARGET_AVX2 inline F4 vzero() {
+  F4 r;
+  for (int j = 0; j < kLimbs; ++j) r.l[j] = _mm256_setzero_si256();
+  return r;
+}
+
+/// Gathers four elements from four 10-limb arrays (AoS storage). Each
+/// element is three contiguous vector loads (32+32+16 bytes); two 4x4
+/// unpck/perm transposes and one 2x4 tail transpose turn the twelve loads
+/// into limb-major form. ~3x fewer uops than lane-by-lane insertion, and
+/// plain loads pipeline better than vpgatherqq on scattered pointers.
+DFL_TARGET_AVX2 inline F4 vload4(const std::uint64_t* a0, const std::uint64_t* a1,
+                                 const std::uint64_t* a2, const std::uint64_t* a3) {
+  F4 r;
+  const std::uint64_t* a[4] = {a0, a1, a2, a3};
+#pragma GCC unroll 2
+  for (int g = 0; g < 2; ++g) {
+    const __m256i r0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a[0] + 4 * g));
+    const __m256i r1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a[1] + 4 * g));
+    const __m256i r2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a[2] + 4 * g));
+    const __m256i r3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a[3] + 4 * g));
+    const __m256i lo01 = _mm256_unpacklo_epi64(r0, r1);  // e0l0 e1l0 | e0l2 e1l2
+    const __m256i hi01 = _mm256_unpackhi_epi64(r0, r1);
+    const __m256i lo23 = _mm256_unpacklo_epi64(r2, r3);
+    const __m256i hi23 = _mm256_unpackhi_epi64(r2, r3);
+    r.l[4 * g + 0] = _mm256_permute2x128_si256(lo01, lo23, 0x20);
+    r.l[4 * g + 1] = _mm256_permute2x128_si256(hi01, hi23, 0x20);
+    r.l[4 * g + 2] = _mm256_permute2x128_si256(lo01, lo23, 0x31);
+    r.l[4 * g + 3] = _mm256_permute2x128_si256(hi01, hi23, 0x31);
+  }
+  const __m128i t0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a[0] + 8));
+  const __m128i t1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a[1] + 8));
+  const __m128i t2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a[2] + 8));
+  const __m128i t3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a[3] + 8));
+  const __m256i t01 = _mm256_set_m128i(t2, t0);  // e0l8 e0l9 | e2l8 e2l9
+  const __m256i t23 = _mm256_set_m128i(t3, t1);
+  r.l[8] = _mm256_unpacklo_epi64(t01, t23);
+  r.l[9] = _mm256_unpackhi_epi64(t01, t23);
+  return r;
+}
+
+/// Scatters the four lanes back to four 10-limb arrays; null skips a lane.
+/// Inverse of the vload4 transpose: per lane the element becomes three
+/// contiguous stores instead of ten extracted scalars.
+DFL_TARGET_AVX2 inline void vstore4(const F4& v, std::uint64_t* o0, std::uint64_t* o1,
+                                    std::uint64_t* o2, std::uint64_t* o3) {
+  std::uint64_t* o[4] = {o0, o1, o2, o3};
+  __m256i row[2][4];
+#pragma GCC unroll 2
+  for (int g = 0; g < 2; ++g) {
+    const __m256i lo01 = _mm256_unpacklo_epi64(v.l[4 * g + 0], v.l[4 * g + 1]);
+    const __m256i hi01 = _mm256_unpackhi_epi64(v.l[4 * g + 0], v.l[4 * g + 1]);
+    const __m256i lo23 = _mm256_unpacklo_epi64(v.l[4 * g + 2], v.l[4 * g + 3]);
+    const __m256i hi23 = _mm256_unpackhi_epi64(v.l[4 * g + 2], v.l[4 * g + 3]);
+    row[g][0] = _mm256_permute2x128_si256(lo01, lo23, 0x20);
+    row[g][1] = _mm256_permute2x128_si256(hi01, hi23, 0x20);
+    row[g][2] = _mm256_permute2x128_si256(lo01, lo23, 0x31);
+    row[g][3] = _mm256_permute2x128_si256(hi01, hi23, 0x31);
+  }
+  const __m256i t01 = _mm256_unpacklo_epi64(v.l[8], v.l[9]);  // e0 e1 | e2 e3 (l8,l9)
+  const __m256i t23 = _mm256_unpackhi_epi64(v.l[8], v.l[9]);
+  const __m128i tail[4] = {_mm256_castsi256_si128(t01), _mm256_castsi256_si128(t23),
+                           _mm256_extracti128_si256(t01, 1), _mm256_extracti128_si256(t23, 1)};
+  for (int lane = 0; lane < 4; ++lane) {
+    if (o[lane] == nullptr) continue;
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(o[lane]), row[0][lane]);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(o[lane] + 4), row[1][lane]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(o[lane] + 8), tail[lane]);
+  }
+}
+
+DFL_TARGET_AVX2 inline Limbs vextract_lane(const F4& v, int lane) {
+  alignas(32) std::uint64_t tmp[4];
+  Limbs out;
+  for (int j = 0; j < kLimbs; ++j) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), v.l[j]);
+    out[j] = tmp[static_cast<std::size_t>(lane)];
+  }
+  return out;
+}
+
+DFL_TARGET_AVX2 inline void vinsert_lane(F4& v, int lane, const Limbs& a) {
+  alignas(32) std::uint64_t tmp[4];
+  for (int j = 0; j < kLimbs; ++j) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), v.l[j]);
+    tmp[static_cast<std::size_t>(lane)] = a[j];
+    v.l[j] = _mm256_load_si256(reinterpret_cast<const __m256i*>(tmp));
+  }
+}
+
+/// Per-lane select: mask lanes (all-ones) take `a`, zero lanes take `b`.
+DFL_TARGET_AVX2 inline F4 vselect(__m256i mask, const F4& a, const F4& b) {
+  F4 r;
+  for (int j = 0; j < kLimbs; ++j) r.l[j] = _mm256_blendv_epi8(b.l[j], a.l[j], mask);
+  return r;
+}
+
+/// All-ones per lane whose element is zero (canonical rep required).
+DFL_TARGET_AVX2 inline __m256i vis_zero(const F4& a) {
+  __m256i acc = a.l[0];
+  for (int j = 1; j < kLimbs; ++j) acc = _mm256_or_si256(acc, a.l[j]);
+  return _mm256_cmpeq_epi64(acc, _mm256_setzero_si256());
+}
+
+/// Conditional subtract of p, for limb-normalized t with value < 2p:
+/// borrow-chains t - p in radix 2^26 and keeps the difference on lanes
+/// where it did not underflow.
+DFL_TARGET_AVX2 inline F4 vcond_sub_p(const VConst& c, const __m256i t[kLimbs]) {
+  __m256i d[kLimbs];
+  __m256i borrow = _mm256_setzero_si256();
+#pragma GCC unroll 10
+  for (int j = 0; j < kLimbs; ++j) {
+    const __m256i x = _mm256_sub_epi64(t[j], _mm256_add_epi64(c.p[j], borrow));
+    borrow = _mm256_srli_epi64(x, 63);
+    d[j] = _mm256_and_si256(x, c.mask);
+  }
+  const __m256i take_d = _mm256_cmpeq_epi64(borrow, _mm256_setzero_si256());
+  F4 r;
+#pragma GCC unroll 10
+  for (int j = 0; j < kLimbs; ++j) r.l[j] = _mm256_blendv_epi8(t[j], d[j], take_d);
+  return r;
+}
+
+/// Montgomery product: a * b * 2^-260 mod p, canonical.
+///
+/// Wide CIOS with a radix-2^52 reduction: each of five rounds feeds TWO
+/// operand limbs into a rolling 12-limb accumulator window and retires two
+/// limbs at once. Halving the round count shortens the serial
+/// q -> q*p -> next-q dependency chain that bounds vmul latency while the
+/// multiply count stays at 200 vpmuludq, and the window still fits the
+/// sixteen ymm registers (a 19-limb full product does not; the spilled
+/// accumulators put a store-forward round-trip on the critical path).
+///
+/// Per round, with u = value of the two low limbs mod 2^52 and
+/// n0' = -p^{-1} mod 2^52 split into 26-bit halves (n0lo, n0hi):
+///   q = u * n0' mod 2^52, computed from 26-bit halves in three muls:
+///   m0 = u_lo*n0lo, m1 = u_lo*n0hi + u_hi*n0lo, q = m0 + 2^26*m1 mod 2^52.
+/// Adding q_lo*p and (q_hi*p << 26) zeroes the two low limbs exactly, so
+/// their carries move up unmasked. Accumulators stay below ~22*2^52 < 2^57.
+DFL_TARGET_AVX2 inline F4 vmul(const VConst& c, const F4& a, const F4& b) {
+  __m256i t[kLimbs + 2];
+#pragma GCC unroll 12
+  for (int j = 0; j < kLimbs + 2; ++j) t[j] = _mm256_setzero_si256();
+#pragma GCC unroll 5
+  for (int i = 0; i < kLimbs; i += 2) {
+    const __m256i a0 = a.l[i];
+    const __m256i a1 = a.l[i + 1];
+#pragma GCC unroll 10
+    for (int j = 0; j < kLimbs; ++j) {
+      t[j] = _mm256_add_epi64(t[j], _mm256_mul_epu32(a0, b.l[j]));
+      t[j + 1] = _mm256_add_epi64(t[j + 1], _mm256_mul_epu32(a1, b.l[j]));
+    }
+    const __m256i u_lo = _mm256_and_si256(t[0], c.mask);
+    const __m256i u_hi =
+        _mm256_and_si256(_mm256_add_epi64(_mm256_srli_epi64(t[0], 26), t[1]), c.mask);
+    const __m256i m0 = _mm256_mul_epu32(u_lo, c.n0lo);
+    const __m256i m1 = _mm256_add_epi64(_mm256_mul_epu32(u_lo, c.n0hi),
+                                        _mm256_mul_epu32(u_hi, c.n0lo));
+    const __m256i q_lo = _mm256_and_si256(m0, c.mask);
+    const __m256i q_hi =
+        _mm256_and_si256(_mm256_add_epi64(_mm256_srli_epi64(m0, 26), m1), c.mask);
+#pragma GCC unroll 10
+    for (int j = 0; j < kLimbs; ++j) {
+      t[j] = _mm256_add_epi64(t[j], _mm256_mul_epu32(q_lo, c.p[j]));
+      t[j + 1] = _mm256_add_epi64(t[j + 1], _mm256_mul_epu32(q_hi, c.p[j]));
+    }
+    // Both low limbs are ≡ 0 mod 2^26 now; their carries shift out exactly.
+    t[1] = _mm256_add_epi64(t[1], _mm256_srli_epi64(t[0], 26));
+    t[2] = _mm256_add_epi64(t[2], _mm256_srli_epi64(t[1], 26));
+#pragma GCC unroll 10
+    for (int j = 0; j < kLimbs; ++j) t[j] = t[j + 2];
+    t[kLimbs] = _mm256_setzero_si256();
+    t[kLimbs + 1] = _mm256_setzero_si256();
+  }
+#pragma GCC unroll 10
+  for (int j = 0; j < kLimbs - 1; ++j) {
+    t[j + 1] = _mm256_add_epi64(t[j + 1], _mm256_srli_epi64(t[j], 26));
+    t[j] = _mm256_and_si256(t[j], c.mask);
+  }
+  return vcond_sub_p(c, t);
+}
+
+/// a + b mod p, canonical inputs/output.
+DFL_TARGET_AVX2 inline F4 vadd(const VConst& c, const F4& a, const F4& b) {
+  __m256i t[kLimbs];
+#pragma GCC unroll 10
+  for (int j = 0; j < kLimbs; ++j) t[j] = _mm256_add_epi64(a.l[j], b.l[j]);
+#pragma GCC unroll 10
+  for (int j = 0; j < kLimbs - 1; ++j) {
+    t[j + 1] = _mm256_add_epi64(t[j + 1], _mm256_srli_epi64(t[j], 26));
+    t[j] = _mm256_and_si256(t[j], c.mask);
+  }
+  return vcond_sub_p(c, t);
+}
+
+/// Arithmetic >> 26 for 64-bit lanes (AVX2 has no 64-bit vpsraq): logical
+/// shift plus sign bits re-extended into the top 26 positions.
+DFL_TARGET_AVX2 inline __m256i vsra26(__m256i v) {
+  const __m256i sign = _mm256_cmpgt_epi64(_mm256_setzero_si256(), v);
+  return _mm256_or_si256(_mm256_srli_epi64(v, 26), _mm256_slli_epi64(sign, 38));
+}
+
+/// a - b + 2p with NO normalization: limbs stay below 2^28 and the value in
+/// (0, 3p). Only valid where the result feeds vmul, which tolerates such
+/// operands: products still fit the 64-bit accumulators (10 * 2^56 + q*p
+/// terms < 2^60) and the Montgomery quotient keeps the result below 2p
+/// while 9p^2 < 2^260 * p, which holds for any 256-bit modulus. Skipping
+/// the carry sweep and conditional subtract saves ~60 uops per call.
+DFL_TARGET_AVX2 inline F4 vsub_lazy(const VConst& c, const F4& a, const F4& b) {
+  F4 r;
+#pragma GCC unroll 10
+  for (int j = 0; j < kLimbs; ++j) {
+    r.l[j] = _mm256_sub_epi64(_mm256_add_epi64(a.l[j], c.p2[j]), b.l[j]);
+  }
+  return r;
+}
+
+/// a - b mod p, canonical inputs/output. Computes a + p - b per limb, so
+/// intermediate limbs can be negative; carries propagate arithmetically.
+DFL_TARGET_AVX2 inline F4 vsub(const VConst& c, const F4& a, const F4& b) {
+  __m256i t[kLimbs];
+#pragma GCC unroll 10
+  for (int j = 0; j < kLimbs; ++j) {
+    t[j] = _mm256_sub_epi64(_mm256_add_epi64(a.l[j], c.p[j]), b.l[j]);
+  }
+#pragma GCC unroll 10
+  for (int j = 0; j < kLimbs - 1; ++j) {
+    const __m256i carry = vsra26(t[j]);
+    t[j] = _mm256_and_si256(t[j], c.mask);
+    t[j + 1] = _mm256_add_epi64(t[j + 1], carry);
+  }
+  return vcond_sub_p(c, t);
+}
+
+// ---------------------------------------------------------------------------
+// Conversions between the scalar world (Fe, plain U256) and the vector
+// domain, used at batch boundaries and for rare-case scalar fallbacks.
+// ---------------------------------------------------------------------------
+
+/// Plain vector-domain integer (value * 2^260 mod p, canonical limbs) -> Fe.
+Fe native_to_fe(const FieldCtx& f, const VecField& vf, const std::uint64_t* limbs) {
+  Limbs l;
+  std::memcpy(l.data(), limbs, sizeof(l));
+  return f.mul(Fe{join26(l)}, vf.conv_out_fe);
+}
+
+/// In-place batch inverse of m vector blocks in the vector domain; every
+/// lane must be nonzero (callers pad with the vector-domain 1). One scalar
+/// field inversion total: a prefix-product chain across blocks, a 4-lane
+/// scalar Montgomery trick for the seed, then back-substitution.
+///
+/// Invariant of the backward pass: I = 2^520 / pref[k] (the vector-domain
+/// inverse of a vector-domain value x^ = x * 2^260 is x^-1 * 2^260 =
+/// 2^520 / x^). Then vmul(I, pref[k-1]) = 2^260 * pref[k-1] / pref[k] =
+/// 2^520 / w[k] and vmul(I, w[k]) = 2^520 / pref[k-1], closing the loop.
+/// Vector-domain inverse of a single block via the 4-lane scalar Montgomery
+/// trick (one f.inv total).
+DFL_TARGET_AVX2 F4 inv_f4_seed(const FieldCtx& f, const VecField& vf, const F4& x) {
+  Fe fe[4];
+  for (int lane = 0; lane < 4; ++lane) {
+    fe[lane] = f.to_mont(join26(vextract_lane(x, lane)));
+  }
+  const Fe t1 = f.mul(fe[0], fe[1]);
+  const Fe t2 = f.mul(t1, fe[2]);
+  Fe acc = f.inv(f.mul(t2, fe[3]));
+  Fe inv_fe[4];
+  inv_fe[3] = f.mul(acc, t2);
+  acc = f.mul(acc, fe[3]);
+  inv_fe[2] = f.mul(acc, t1);
+  acc = f.mul(acc, fe[2]);
+  inv_fe[1] = f.mul(acc, fe[0]);
+  inv_fe[0] = f.mul(acc, fe[1]);
+  F4 inv = vzero();
+  for (int lane = 0; lane < 4; ++lane) {
+    const Limbs l = split26(f.from_mont(f.mul(inv_fe[lane], vf.k520_fe)));
+    vinsert_lane(inv, lane, l);
+  }
+  return inv;
+}
+
+/// Interleave factor of the batch-inverse chains. A lone prefix-product
+/// chain is one long vmul dependency chain; kInvChains independent chains
+/// walked in lockstep keep the multiplier ports busy instead.
+constexpr std::size_t kInvChains = 4;
+
+DFL_TARGET_AVX2 void inv_f4_list(const FieldCtx& f, const VecField& vf, const VConst& c,
+                                 F4* w, std::size_t m, std::vector<F4>& pref_scratch) {
+  if (m == 0) return;
+  if (m == 1) {
+    // Single-block batches hand w[0] straight to the scalar seed path, which
+    // requires canonical limbs; one multiply by the vector-domain 1
+    // normalizes a possibly-lazy input. Larger batches pass vmul outputs.
+    w[0] = inv_f4_seed(f, vf, vmul(c, w[0], vone(c)));
+    return;
+  }
+  pref_scratch.resize(m);
+  F4* pref = pref_scratch.data();
+  // Chain g owns the strided indices g, g+K, g+2K, ...: lockstep iteration
+  // j touches K adjacent blocks, so the interleaved loop stays sequential
+  // in memory.
+  const std::size_t K = m < 2 * kInvChains ? 1 : kInvChains;
+  for (std::size_t g = 0; g < K; ++g) pref[g] = w[g];
+  for (std::size_t k = K; k < m; ++k) pref[k] = vmul(c, pref[k - K], w[k]);
+
+  // Product of the K chain tails (tail of chain g is the largest index
+  // congruent to g mod K), then one scalar-seeded inverse of the total.
+  F4 tails[kInvChains];
+  for (std::size_t g = 0; g < K; ++g) tails[g] = pref[m - 1 - (m - 1 - g) % K];
+  F4 total = tails[0];
+  for (std::size_t g = 1; g < K; ++g) total = vmul(c, total, tails[g]);
+  F4 itop = inv_f4_seed(f, vf, total);
+
+  // Peel per-chain inverses off the running inverse-of-suffix-product.
+  F4 inv[kInvChains];
+  for (std::size_t g = K; g-- > 1;) {
+    F4 head = tails[0];
+    for (std::size_t h = 1; h < g; ++h) head = vmul(c, head, tails[h]);
+    inv[g] = vmul(c, itop, head);
+    itop = vmul(c, itop, tails[g]);
+  }
+  inv[0] = itop;
+
+  // Backward substitution, K chains in lockstep (independent vmuls).
+  for (std::size_t k = m; k-- > K;) {
+    const std::size_t g = k % K;
+    const F4 orig = w[k];
+    w[k] = vmul(c, inv[g], pref[k - K]);
+    inv[g] = vmul(c, inv[g], orig);
+  }
+  for (std::size_t g = 0; g < K; ++g) w[g] = inv[g];
+}
+
+// ---------------------------------------------------------------------------
+// FieldBatchOps: Fe-array boundary. add/sub never leave the 2^256 domain
+// (splitting commutes with the shared Montgomery factor); mul/sqr fold the
+// domain fixup into one extra vmul; inv converts through the vector domain.
+// Tails shorter than a vector go through the scalar FieldCtx — both paths
+// produce the unique canonical representative, so results are identical.
+// ---------------------------------------------------------------------------
+
+DFL_TARGET_AVX2 void load_fe_block(const Fe* a, std::size_t i, std::size_t n, F4& out) {
+  Limbs l[4];
+  for (std::size_t k = 0; k < 4; ++k) {
+    l[k] = split26(a[i + k < n ? i + k : n - 1].raw);
+  }
+  out = vload4(l[0].data(), l[1].data(), l[2].data(), l[3].data());
+}
+
+DFL_TARGET_AVX2 void store_fe_block(const F4& v, Fe* out, std::size_t i, std::size_t n) {
+  Limbs l[4];
+  vstore4(v, l[0].data(), l[1].data(), l[2].data(), l[3].data());
+  for (std::size_t k = 0; k < 4 && i + k < n; ++k) {
+    out[i + k] = Fe{join26(l[k])};
+  }
+}
+
+DFL_TARGET_AVX2 void avx2_add(const FieldCtx& f, const Fe* a, const Fe* b, Fe* out,
+                              std::size_t n) {
+  const VConst c = vconst(vec_field(f));
+  for (std::size_t i = 0; i < n; i += 4) {
+    F4 va, vb;
+    load_fe_block(a, i, n, va);
+    load_fe_block(b, i, n, vb);
+    store_fe_block(vadd(c, va, vb), out, i, n);
+  }
+}
+
+DFL_TARGET_AVX2 void avx2_sub(const FieldCtx& f, const Fe* a, const Fe* b, Fe* out,
+                              std::size_t n) {
+  const VConst c = vconst(vec_field(f));
+  for (std::size_t i = 0; i < n; i += 4) {
+    F4 va, vb;
+    load_fe_block(a, i, n, va);
+    load_fe_block(b, i, n, vb);
+    store_fe_block(vsub(c, va, vb), out, i, n);
+  }
+}
+
+DFL_TARGET_AVX2 void avx2_mul(const FieldCtx& f, const Fe* a, const Fe* b, Fe* out,
+                              std::size_t n) {
+  const VecField& vf = vec_field(f);
+  const VConst c = vconst(vf);
+  const F4 kin = vbroadcast(vf.kin26);
+  for (std::size_t i = 0; i < n; i += 4) {
+    F4 va, vb;
+    load_fe_block(a, i, n, va);
+    load_fe_block(b, i, n, vb);
+    // a~ * b~ * 2^-260 sits at 2^252; one multiply by 2^264 restores 2^256.
+    store_fe_block(vmul(c, vmul(c, va, vb), kin), out, i, n);
+  }
+}
+
+DFL_TARGET_AVX2 void avx2_sqr(const FieldCtx& f, const Fe* a, Fe* out, std::size_t n) {
+  avx2_mul(f, a, a, out, n);
+}
+
+DFL_TARGET_AVX2 void avx2_inv(const FieldCtx& f, const Fe* a, Fe* out, std::size_t n) {
+  if (n == 0) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i].raw.is_zero()) throw std::domain_error("batch inverse of zero element");
+  }
+  const VecField& vf = vec_field(f);
+  const VConst c = vconst(vf);
+  const F4 kin = vbroadcast(vf.kin26);
+  const F4 kout = vbroadcast(vf.kout26);
+  const std::size_t m = (n + 3) / 4;
+  std::vector<F4> w(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    F4 va;
+    load_fe_block(a, k * 4, n, va);  // duplicated tail lanes are harmless
+    w[k] = vmul(c, va, kin);         // lift raw (v * 2^256) to v * 2^260
+  }
+  std::vector<F4> pref;
+  inv_f4_list(f, vf, c, w.data(), m, pref);
+  for (std::size_t k = 0; k < m; ++k) {
+    store_fe_block(vmul(c, w[k], kout), out, k * 4, n);  // back to v^-1 * 2^256
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512 IFMA tier: 8-way field arithmetic over 5x52-bit limbs.
+//
+// vpmadd52{l,h}uq computes a 52x52->104-bit product and accumulates either
+// half in one instruction, so a Montgomery multiply needs ~21 multiply ops
+// per lane instead of ~107 on the AVX2 radix-2^26 path. The vector domain is
+// the same value * 2^260 mod p (5 * 52 = 10 * 26 = 260 bits), so a 52-bit
+// limb is just two adjacent 26-bit limbs packed together: both tiers share
+// the bucket/pool storage, the scalar seed inversion, and the bucket fold,
+// and flush_pairs dispatches per process after CPUID confirms IFMA support.
+// ---------------------------------------------------------------------------
+
+constexpr int kLimbs52 = 5;
+constexpr std::uint64_t kMask52 = (std::uint64_t{1} << 52) - 1;
+
+// alignas(64) for the same reason F4 carries alignas(32): the TU is compiled
+// without -mavx512f, where __m512i alignment is not otherwise guaranteed.
+struct alignas(64) F8 {
+  __m512i l[kLimbs52];
+};
+
+struct alignas(64) VConst8 {
+  __m512i mask;
+  __m512i n0;  // -p^{-1} mod 2^52
+  __m512i p[kLimbs52];
+  __m512i p2[kLimbs52];  // 2p in redundant limbs, each >= 2^52 - 1 (lazy subtract)
+  __m512i one[kLimbs52];
+};
+
+DFL_TARGET_IFMA inline VConst8 vconst8(const VecField& vf) {
+  VConst8 c;
+  c.mask = _mm512_set1_epi64(static_cast<long long>(kMask52));
+  c.n0 = _mm512_set1_epi64(static_cast<long long>(vf.n0lo | (vf.n0hi << 26)));
+  for (int j = 0; j < kLimbs52; ++j) {
+    const std::uint64_t pj = vf.p26[2 * j] | (vf.p26[2 * j + 1] << 26);
+    c.p[j] = _mm512_set1_epi64(static_cast<long long>(pj));
+    // Same redundant-limb lift as the 26-bit VConst: borrow 2^52 down from
+    // every higher limb so each limb dominates any canonical operand limb.
+    const std::uint64_t lift = (j + 1 < kLimbs52 ? kMask52 + 1 : 0) - (j > 0 ? 1 : 0);
+    c.p2[j] = _mm512_set1_epi64(static_cast<long long>(2 * pj + lift));
+    c.one[j] =
+        _mm512_set1_epi64(static_cast<long long>(vf.one26[2 * j] | (vf.one26[2 * j + 1] << 26)));
+  }
+  return c;
+}
+
+DFL_TARGET_IFMA inline F8 vone8(const VConst8& c) {
+  F8 r;
+  for (int j = 0; j < kLimbs52; ++j) r.l[j] = c.one[j];
+  return r;
+}
+
+/// Two F4 blocks (26-bit limbs) -> one F8 block (52-bit limbs), same values.
+DFL_TARGET_IFMA inline F8 f8_pack(const F4& lo, const F4& hi) {
+  F8 r;
+#pragma GCC unroll 5
+  for (int j = 0; j < kLimbs52; ++j) {
+    // zext (not cast): the plain cast's undefined upper half trips
+    // -Wuninitialized inside the intrinsic headers under -Werror builds.
+    const __m512i e =
+        _mm512_inserti64x4(_mm512_zextsi256_si512(lo.l[2 * j]), hi.l[2 * j], 1);
+    const __m512i o =
+        _mm512_inserti64x4(_mm512_zextsi256_si512(lo.l[2 * j + 1]), hi.l[2 * j + 1], 1);
+    r.l[j] = _mm512_or_si512(e, _mm512_slli_epi64(o, 26));
+  }
+  return r;
+}
+
+/// Inverse of f8_pack; requires limb-normalized input (limbs < 2^52).
+DFL_TARGET_IFMA inline void f8_unpack(const F8& v, F4& lo, F4& hi) {
+  const __m512i m26 = _mm512_set1_epi64(static_cast<long long>(kMask26));
+#pragma GCC unroll 5
+  for (int j = 0; j < kLimbs52; ++j) {
+    const __m512i e = _mm512_and_si512(v.l[j], m26);
+    const __m512i o = _mm512_srli_epi64(v.l[j], 26);
+    lo.l[2 * j] = _mm512_castsi512_si256(e);
+    hi.l[2 * j] = _mm512_extracti64x4_epi64(e, 1);
+    lo.l[2 * j + 1] = _mm512_castsi512_si256(o);
+    hi.l[2 * j + 1] = _mm512_extracti64x4_epi64(o, 1);
+  }
+}
+
+DFL_TARGET_IFMA inline F8 vcond_sub8_p(const VConst8& c, const __m512i t[kLimbs52]) {
+  __m512i d[kLimbs52];
+  __m512i borrow = _mm512_setzero_si512();
+#pragma GCC unroll 5
+  for (int j = 0; j < kLimbs52; ++j) {
+    const __m512i x = _mm512_sub_epi64(t[j], _mm512_add_epi64(c.p[j], borrow));
+    borrow = _mm512_srli_epi64(x, 63);
+    d[j] = _mm512_and_si512(x, c.mask);
+  }
+  const __mmask8 take_d = _mm512_cmpeq_epi64_mask(borrow, _mm512_setzero_si512());
+  F8 r;
+#pragma GCC unroll 5
+  for (int j = 0; j < kLimbs52; ++j) r.l[j] = _mm512_mask_blend_epi64(take_d, t[j], d[j]);
+  return r;
+}
+
+/// Montgomery product: a * b * 2^-260 mod p, canonical output. Plain CIOS,
+/// one limb per round: q = t0 * n0 mod 2^52 (madd52lo reads exactly the low
+/// 52 bits of both operands, so the unreduced accumulator is fine), then
+/// t += q*p zeroes the low limb and the round shifts down one position.
+/// Inputs may be lazy (limbs < 2^52, value < 4p): the accumulators stay
+/// under ~22 * 2^52 < 2^57 and the result is < p + 16p^2/2^260 < 2p for any
+/// 256-bit modulus, which one conditional subtract makes canonical.
+DFL_TARGET_IFMA inline F8 vmul8(const VConst8& c, const F8& a, const F8& b) {
+  __m512i t[kLimbs52 + 1];
+#pragma GCC unroll 6
+  for (int j = 0; j <= kLimbs52; ++j) t[j] = _mm512_setzero_si512();
+#pragma GCC unroll 5
+  for (int i = 0; i < kLimbs52; ++i) {
+    const __m512i ai = a.l[i];
+#pragma GCC unroll 5
+    for (int j = 0; j < kLimbs52; ++j) t[j] = _mm512_madd52lo_epu64(t[j], ai, b.l[j]);
+#pragma GCC unroll 5
+    for (int j = 0; j < kLimbs52; ++j)
+      t[j + 1] = _mm512_madd52hi_epu64(t[j + 1], ai, b.l[j]);
+    const __m512i q = _mm512_madd52lo_epu64(_mm512_setzero_si512(), t[0], c.n0);
+    t[0] = _mm512_madd52lo_epu64(t[0], q, c.p[0]);
+    t[1] = _mm512_add_epi64(t[1], _mm512_srli_epi64(t[0], 52));
+#pragma GCC unroll 4
+    for (int j = 1; j < kLimbs52; ++j) t[j] = _mm512_madd52lo_epu64(t[j], q, c.p[j]);
+#pragma GCC unroll 5
+    for (int j = 0; j < kLimbs52; ++j)
+      t[j + 1] = _mm512_madd52hi_epu64(t[j + 1], q, c.p[j]);
+#pragma GCC unroll 5
+    for (int j = 0; j < kLimbs52; ++j) t[j] = t[j + 1];
+    t[kLimbs52] = _mm512_setzero_si512();
+  }
+#pragma GCC unroll 4
+  for (int j = 0; j < kLimbs52 - 1; ++j) {
+    t[j + 1] = _mm512_add_epi64(t[j + 1], _mm512_srli_epi64(t[j], 52));
+    t[j] = _mm512_and_si512(t[j], c.mask);
+  }
+  return vcond_sub8_p(c, t);
+}
+
+/// a - b + 2p, limb-normalized but unreduced: value in (0, 3p), every limb
+/// below 2^52 as vpmadd52 requires (it reads exactly 52 operand bits, so the
+/// AVX2 tier's sweep-free lazy form would be silently truncated here).
+DFL_TARGET_IFMA inline F8 vsub8_lazy(const VConst8& c, const F8& a, const F8& b) {
+  F8 r;
+#pragma GCC unroll 5
+  for (int j = 0; j < kLimbs52; ++j) {
+    r.l[j] = _mm512_sub_epi64(_mm512_add_epi64(a.l[j], c.p2[j]), b.l[j]);
+  }
+#pragma GCC unroll 4
+  for (int j = 0; j < kLimbs52 - 1; ++j) {
+    r.l[j + 1] = _mm512_add_epi64(r.l[j + 1], _mm512_srli_epi64(r.l[j], 52));
+    r.l[j] = _mm512_and_si512(r.l[j], c.mask);
+  }
+  return r;
+}
+
+/// a - b mod p, canonical inputs/output. AVX-512 has a real 64-bit
+/// arithmetic shift, so the negative intermediate limbs of a + p - b
+/// propagate directly.
+DFL_TARGET_IFMA inline F8 vsub8(const VConst8& c, const F8& a, const F8& b) {
+  __m512i t[kLimbs52];
+#pragma GCC unroll 5
+  for (int j = 0; j < kLimbs52; ++j) {
+    t[j] = _mm512_add_epi64(a.l[j], _mm512_sub_epi64(c.p[j], b.l[j]));
+  }
+#pragma GCC unroll 4
+  for (int j = 0; j < kLimbs52 - 1; ++j) {
+    const __m512i carry = _mm512_srai_epi64(t[j], 52);
+    t[j] = _mm512_and_si512(t[j], c.mask);
+    t[j + 1] = _mm512_add_epi64(t[j + 1], carry);
+  }
+  return vcond_sub8_p(c, t);
+}
+
+/// 8-lane seed inverse: one scalar field inversion for the whole block via
+/// Montgomery's trick, through the same conversion constants as the F4 seed.
+DFL_TARGET_IFMA F8 inv_f8_seed(const FieldCtx& f, const VecField& vf, const F8& x) {
+  F4 lo, hi;
+  f8_unpack(x, lo, hi);
+  Fe fe[8];
+  for (int lane = 0; lane < 4; ++lane) {
+    fe[lane] = f.to_mont(join26(vextract_lane(lo, lane)));
+    fe[lane + 4] = f.to_mont(join26(vextract_lane(hi, lane)));
+  }
+  Fe pfx[8];
+  pfx[0] = fe[0];
+  for (int i = 1; i < 8; ++i) pfx[i] = f.mul(pfx[i - 1], fe[i]);
+  Fe acc = f.inv(pfx[7]);
+  Fe inv_fe[8];
+  for (int i = 7; i >= 1; --i) {
+    inv_fe[i] = f.mul(acc, pfx[i - 1]);
+    acc = f.mul(acc, fe[i]);
+  }
+  inv_fe[0] = acc;
+  F4 ilo = vzero();
+  F4 ihi = vzero();
+  for (int lane = 0; lane < 4; ++lane) {
+    vinsert_lane(ilo, lane, split26(f.from_mont(f.mul(inv_fe[lane], vf.k520_fe))));
+    vinsert_lane(ihi, lane, split26(f.from_mont(f.mul(inv_fe[lane + 4], vf.k520_fe))));
+  }
+  return f8_pack(ilo, ihi);
+}
+
+/// F8 mirror of inv_f4_list: interleaved prefix chains, one scalar-seeded
+/// inverse of the chain-tail product, backward substitution.
+DFL_TARGET_IFMA void inv_f8_list(const FieldCtx& f, const VecField& vf, const VConst8& c,
+                                 F8* w, std::size_t m, std::vector<F8>& pref_scratch) {
+  if (m == 0) return;
+  if (m == 1) {
+    // The scalar seed path needs canonical limbs; a multiply by the
+    // vector-domain 1 normalizes a possibly-lazy single block.
+    w[0] = inv_f8_seed(f, vf, vmul8(c, w[0], vone8(c)));
+    return;
+  }
+  pref_scratch.resize(m);
+  F8* pref = pref_scratch.data();
+  const std::size_t K = m < 2 * kInvChains ? 1 : kInvChains;
+  for (std::size_t g = 0; g < K; ++g) pref[g] = w[g];
+  for (std::size_t k = K; k < m; ++k) pref[k] = vmul8(c, pref[k - K], w[k]);
+
+  F8 tails[kInvChains];
+  for (std::size_t g = 0; g < K; ++g) tails[g] = pref[m - 1 - (m - 1 - g) % K];
+  F8 total = tails[0];
+  for (std::size_t g = 1; g < K; ++g) total = vmul8(c, total, tails[g]);
+  F8 itop = inv_f8_seed(f, vf, total);
+
+  F8 inv[kInvChains];
+  for (std::size_t g = K; g-- > 1;) {
+    F8 head = tails[0];
+    for (std::size_t h = 1; h < g; ++h) head = vmul8(c, head, tails[h]);
+    inv[g] = vmul8(c, itop, head);
+    itop = vmul8(c, itop, tails[g]);
+  }
+  inv[0] = itop;
+
+  for (std::size_t k = m; k-- > K;) {
+    const std::size_t g = k % K;
+    const F8 orig = w[k];
+    w[k] = vmul8(c, inv[g], pref[k - K]);
+    inv[g] = vmul8(c, inv[g], orig);
+  }
+  for (std::size_t g = 0; g < K; ++g) w[g] = inv[g];
+}
+
+/// True once CPUID confirms the full AVX-512 feature set the IFMA tier is
+/// compiled against. DFL_FORCE_ISA=avx2 pins the narrower tier (differential
+/// tests and apples-to-apples benchmarks).
+bool ifma_supported() {
+  static const bool ok = [] {
+    if (const char* e = std::getenv("DFL_FORCE_ISA")) {
+      if (std::strcmp(e, "avx2") == 0) return false;
+    }
+    return __builtin_cpu_supports("avx512f") != 0 &&
+           __builtin_cpu_supports("avx512ifma") != 0 &&
+           __builtin_cpu_supports("avx512vl") != 0 &&
+           __builtin_cpu_supports("avx512dq") != 0 && __builtin_cpu_supports("avx512bw") != 0;
+  }();
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized MSM: signed-digit windows into batched-affine buckets.
+//
+// Schedule: instead of serializing additions into each bucket, the pairs
+// of each bucket are combined as a balanced tree — bucket-sort the window's
+// (point, bucket) items, then repeatedly pair up adjacent items of every
+// bucket. All chord additions of one tree level are independent, so they
+// fill arbitrarily large inversion batches with zero conflict bookkeeping,
+// and the total work is exactly (items - occupied buckets) additions.
+// Chord adds keep everything affine; the rare equal-x pairs (doubling or
+// cancellation) divert to per-bucket Jacobian spill accumulators.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kScratchBit = 0x80000000u;  // item lives in the scratch pool
+constexpr std::uint32_t kNegBit = 0x40000000u;      // base item enters negated
+constexpr std::uint32_t kIndexMask = 0x3fffffffu;
+constexpr std::size_t kVecBatch = 4096;  // pairs per inversion batch (one scalar inv each)
+
+struct PairJob {
+  const std::uint64_t* ax;
+  const std::uint64_t* ay;
+  const std::uint64_t* bx;
+  const std::uint64_t* by;
+  std::uint64_t* ox;
+  std::uint64_t* oy;
+};
+
+/// Reused across windows; all vector-element containers are only touched
+/// inside target("avx2") functions.
+struct MsmScratch {
+  std::vector<std::uint32_t> cnt, cnt2;    // per-bucket item counts
+  std::vector<std::uint32_t> offs, offs2;  // per-bucket start offsets
+  std::vector<std::uint32_t> cursor;
+  std::vector<std::uint32_t> items, next;  // item codes, bucket-sorted
+  std::vector<std::uint64_t> pool_x, pool_y;  // chord outputs, 10 limbs each
+  std::size_t pool_used = 0;
+  std::vector<PairJob> pending;
+  std::vector<F4> ga_x, ga_y, gb_x, gb_y, gdx;  // gathered pair blocks (avx2 tier)
+  std::vector<F4> inv_pref;
+  std::vector<F8> ha_x, ha_y, hb_x, hb_y, hdx;  // gathered pair blocks (ifma tier)
+  std::vector<F8> inv_pref8;
+  std::vector<std::uint64_t> bx, by;  // final bucket coords (B * 10)
+  std::vector<std::uint8_t> filled;
+  std::vector<JacobianPoint> spill;
+  std::vector<std::uint32_t> spill_ids;
+  bool spill_live = false;
+};
+
+const std::uint64_t* item_x(const NativeBases& bases, const MsmScratch& S, std::uint32_t code) {
+  const std::size_t i = (code & kIndexMask) * std::size_t{kLimbs};
+  return (code & kScratchBit) != 0 ? &S.pool_x[i] : &bases.x[i];
+}
+
+const std::uint64_t* item_y(const NativeBases& bases, const MsmScratch& S, std::uint32_t code) {
+  const std::size_t i = (code & kIndexMask) * std::size_t{kLimbs};
+  if ((code & kScratchBit) != 0) return &S.pool_y[i];
+  return (code & kNegBit) != 0 ? &bases.yneg[i] : &bases.y[i];
+}
+
+/// Item -> scalar affine point, for the rare spill path.
+AffinePoint item_affine(const FieldCtx& f, const VecField& vf, const AffinePoint* affine,
+                        const MsmScratch& S, std::uint32_t code) {
+  if ((code & kScratchBit) != 0) {
+    const std::size_t i = (code & kIndexMask) * std::size_t{kLimbs};
+    return AffinePoint{native_to_fe(f, vf, &S.pool_x[i]), native_to_fe(f, vf, &S.pool_y[i]),
+                       false};
+  }
+  AffinePoint q = affine[code & kIndexMask];
+  if ((code & kNegBit) != 0) q.y = f.neg(q.y);
+  return q;
+}
+
+void spill_add(const Curve& curve, MsmScratch& S, std::size_t nbuckets, std::uint32_t bucket,
+               const JacobianPoint& p) {
+  if (!S.spill_live) {
+    S.spill.assign(nbuckets, curve.infinity());
+    S.spill_ids.clear();
+    S.spill_live = true;
+  }
+  if (curve.is_infinity(S.spill[bucket])) S.spill_ids.push_back(bucket);
+  S.spill[bucket] = curve.add(S.spill[bucket], p);
+}
+
+/// Runs the gathered chord additions: one batched inversion of all dx,
+/// then lambda = dy/dx, x3 = lambda^2 - x1 - x2, y3 = lambda*(x1-x3) - y1.
+/// Callers guarantee dx != 0 (equal-x pairs were diverted to spill).
+///
+/// Pass structure: every loop iteration carries only a SHORT dependency
+/// chain (at most one vmul deep), because one vmul alone overflows the
+/// reorder window — chaining several per iteration would serialize them at
+/// full latency. Sweeping the scratch multiple times costs less than that:
+/// the kernels here are uop-bound, not memory-bound (a fused two-sweep
+/// variant with a five-vmul chain per block measured ~20% slower).
+DFL_TARGET_AVX2 void flush_pairs_avx2(const FieldCtx& f, const VecField& vf, MsmScratch& S) {
+  const std::size_t m = S.pending.size();
+  if (m == 0) return;
+  const VConst c = vconst(vf);
+  const std::size_t m4 = (m + 3) / 4;
+  S.ga_x.resize(m4);
+  S.ga_y.resize(m4);
+  S.gb_x.resize(m4);
+  S.gb_y.resize(m4);
+  S.gdx.resize(m4);
+  for (std::size_t k = 0; k < m4; ++k) {
+    // Pair coordinates live at bucket-sorted (i.e. effectively random)
+    // offsets; prefetch a few blocks ahead to overlap the misses with the
+    // gather shuffles.
+    if (4 * k + 19 < m) {
+      for (std::size_t a = 16; a < 20; ++a) {
+        const PairJob& pj = S.pending[4 * k + a];
+        _mm_prefetch(reinterpret_cast<const char*>(pj.ax), _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char*>(pj.ay), _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char*>(pj.bx), _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char*>(pj.by), _MM_HINT_T0);
+      }
+    }
+    const PairJob* j[4];
+    for (std::size_t lane = 0; lane < 4; ++lane) {
+      const std::size_t idx = 4 * k + lane;
+      j[lane] = &S.pending[idx < m ? idx : m - 1];  // duplicated pad lanes keep dx nonzero
+    }
+    S.ga_x[k] = vload4(j[0]->ax, j[1]->ax, j[2]->ax, j[3]->ax);
+    S.ga_y[k] = vload4(j[0]->ay, j[1]->ay, j[2]->ay, j[3]->ay);
+    S.gb_x[k] = vload4(j[0]->bx, j[1]->bx, j[2]->bx, j[3]->bx);
+    S.gb_y[k] = vload4(j[0]->by, j[1]->by, j[2]->by, j[3]->by);
+    S.gdx[k] = vsub_lazy(c, S.gb_x[k], S.ga_x[k]);  // only ever a vmul operand
+  }
+  inv_f4_list(f, vf, c, S.gdx.data(), m4, S.inv_pref);
+  for (std::size_t k = 0; k < m4; ++k) {
+    S.gdx[k] = vmul(c, vsub_lazy(c, S.gb_y[k], S.ga_y[k]), S.gdx[k]);  // lambda
+  }
+  for (std::size_t k = 0; k < m4; ++k) {
+    // x3 overwrites b.x (consumed here); y3 still needs a.x, a.y, lambda.
+    S.gb_x[k] = vsub(c, vsub(c, vmul(c, S.gdx[k], S.gdx[k]), S.ga_x[k]), S.gb_x[k]);
+  }
+  for (std::size_t k = 0; k < m4; ++k) {
+    const F4 y3 = vsub(c, vmul(c, S.gdx[k], vsub_lazy(c, S.ga_x[k], S.gb_x[k])), S.ga_y[k]);
+    std::uint64_t* ox[4];
+    std::uint64_t* oy[4];
+    for (std::size_t lane = 0; lane < 4; ++lane) {
+      const std::size_t idx = 4 * k + lane;
+      ox[lane] = idx < m ? S.pending[idx].ox : nullptr;
+      oy[lane] = idx < m ? S.pending[idx].oy : nullptr;
+    }
+    vstore4(S.gb_x[k], ox[0], ox[1], ox[2], ox[3]);
+    vstore4(y3, oy[0], oy[1], oy[2], oy[3]);
+  }
+  S.pending.clear();
+}
+
+/// IFMA-tier twin of flush_pairs_avx2: identical pass structure over 8-lane
+/// blocks, with the 26-bit pool/bucket storage packed into 52-bit limbs at
+/// the gather and unpacked at the scatter.
+DFL_TARGET_IFMA void flush_pairs_ifma(const FieldCtx& f, const VecField& vf, MsmScratch& S) {
+  const std::size_t m = S.pending.size();
+  if (m == 0) return;
+  const VConst8 c = vconst8(vf);
+  const std::size_t m8 = (m + 7) / 8;
+  S.ha_x.resize(m8);
+  S.ha_y.resize(m8);
+  S.hb_x.resize(m8);
+  S.hb_y.resize(m8);
+  S.hdx.resize(m8);
+  for (std::size_t k = 0; k < m8; ++k) {
+    if (8 * k + 31 < m) {
+      for (std::size_t a = 24; a < 32; ++a) {
+        const PairJob& pj = S.pending[8 * k + a];
+        _mm_prefetch(reinterpret_cast<const char*>(pj.ax), _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char*>(pj.ay), _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char*>(pj.bx), _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char*>(pj.by), _MM_HINT_T0);
+      }
+    }
+    const PairJob* j[8];
+    for (std::size_t lane = 0; lane < 8; ++lane) {
+      const std::size_t idx = 8 * k + lane;
+      j[lane] = &S.pending[idx < m ? idx : m - 1];  // duplicated pad lanes keep dx nonzero
+    }
+    S.ha_x[k] = f8_pack(vload4(j[0]->ax, j[1]->ax, j[2]->ax, j[3]->ax),
+                        vload4(j[4]->ax, j[5]->ax, j[6]->ax, j[7]->ax));
+    S.ha_y[k] = f8_pack(vload4(j[0]->ay, j[1]->ay, j[2]->ay, j[3]->ay),
+                        vload4(j[4]->ay, j[5]->ay, j[6]->ay, j[7]->ay));
+    S.hb_x[k] = f8_pack(vload4(j[0]->bx, j[1]->bx, j[2]->bx, j[3]->bx),
+                        vload4(j[4]->bx, j[5]->bx, j[6]->bx, j[7]->bx));
+    S.hb_y[k] = f8_pack(vload4(j[0]->by, j[1]->by, j[2]->by, j[3]->by),
+                        vload4(j[4]->by, j[5]->by, j[6]->by, j[7]->by));
+    S.hdx[k] = vsub8_lazy(c, S.hb_x[k], S.ha_x[k]);
+  }
+  inv_f8_list(f, vf, c, S.hdx.data(), m8, S.inv_pref8);
+  for (std::size_t k = 0; k < m8; ++k) {
+    S.hdx[k] = vmul8(c, vsub8_lazy(c, S.hb_y[k], S.ha_y[k]), S.hdx[k]);  // lambda
+  }
+  for (std::size_t k = 0; k < m8; ++k) {
+    S.hb_x[k] = vsub8(c, vsub8(c, vmul8(c, S.hdx[k], S.hdx[k]), S.ha_x[k]), S.hb_x[k]);
+  }
+  for (std::size_t k = 0; k < m8; ++k) {
+    const F8 y3 =
+        vsub8(c, vmul8(c, S.hdx[k], vsub8_lazy(c, S.ha_x[k], S.hb_x[k])), S.ha_y[k]);
+    F4 xlo, xhi, ylo, yhi;
+    f8_unpack(S.hb_x[k], xlo, xhi);
+    f8_unpack(y3, ylo, yhi);
+    std::uint64_t* ox[8];
+    std::uint64_t* oy[8];
+    for (std::size_t lane = 0; lane < 8; ++lane) {
+      const std::size_t idx = 8 * k + lane;
+      ox[lane] = idx < m ? S.pending[idx].ox : nullptr;
+      oy[lane] = idx < m ? S.pending[idx].oy : nullptr;
+    }
+    vstore4(xlo, ox[0], ox[1], ox[2], ox[3]);
+    vstore4(xhi, ox[4], ox[5], ox[6], ox[7]);
+    vstore4(ylo, oy[0], oy[1], oy[2], oy[3]);
+    vstore4(yhi, oy[4], oy[5], oy[6], oy[7]);
+  }
+  S.pending.clear();
+}
+
+/// Per-process ISA dispatch between the two flush kernels. Everything
+/// around the flush (sorting, pairing, spill, fold) is tier-agnostic.
+void flush_pairs(const FieldCtx& f, const VecField& vf, MsmScratch& S) {
+  if (ifma_supported()) {
+    flush_pairs_ifma(f, vf, S);
+  } else {
+    flush_pairs_avx2(f, vf, S);
+  }
+}
+
+}  // namespace
+
+DFL_TARGET_AVX2 static void prepare_bases_impl(const VecField& vf,
+                                               const std::vector<AffinePoint>& points,
+                                               NativeBases& nb) {
+  const VConst c = vconst(vf);
+  const F4 kin = vbroadcast(vf.kin26);
+  const std::size_t n = points.size();
+  const Fe zero{};
+  for (std::size_t i = 0; i < n; i += 4) {
+    Limbs lx[4], ly[4];
+    for (std::size_t lane = 0; lane < 4; ++lane) {
+      const std::size_t idx = i + lane < n ? i + lane : n - 1;
+      const bool inf = points[idx].infinity;
+      lx[lane] = split26(inf ? zero.raw : points[idx].x.raw);
+      ly[lane] = split26(inf ? zero.raw : points[idx].y.raw);
+    }
+    const F4 vx = vmul(c, vload4(lx[0].data(), lx[1].data(), lx[2].data(), lx[3].data()), kin);
+    const F4 vy = vmul(c, vload4(ly[0].data(), ly[1].data(), ly[2].data(), ly[3].data()), kin);
+    const F4 vyn = vsub(c, vzero(), vy);
+    std::uint64_t* px[4];
+    std::uint64_t* py[4];
+    std::uint64_t* pn[4];
+    for (std::size_t lane = 0; lane < 4; ++lane) {
+      const bool ok = i + lane < n;
+      px[lane] = ok ? &nb.x[(i + lane) * kLimbs] : nullptr;
+      py[lane] = ok ? &nb.y[(i + lane) * kLimbs] : nullptr;
+      pn[lane] = ok ? &nb.yneg[(i + lane) * kLimbs] : nullptr;
+    }
+    vstore4(vx, px[0], px[1], px[2], px[3]);
+    vstore4(vy, py[0], py[1], py[2], py[3]);
+    vstore4(vyn, pn[0], pn[1], pn[2], pn[3]);
+  }
+  for (std::size_t i = 0; i < n; ++i) nb.inf[i] = points[i].infinity ? 1 : 0;
+}
+
+NativeBases prepare_bases(const Curve& curve, const std::vector<AffinePoint>& points) {
+  NativeBases nb;
+  nb.count = points.size();
+  nb.x.resize(nb.count * kLimbs);
+  nb.y.resize(nb.count * kLimbs);
+  nb.yneg.resize(nb.count * kLimbs);
+  nb.inf.resize(nb.count);
+  if (nb.count > 0) prepare_bases_impl(vec_field(curve.fp()), points, nb);
+  return nb;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lane-parallel bucket fold. The B buckets split into four contiguous
+// segments of s = B/4; lane g runs the classic running-sum fold over its
+// segment (digits g*s+1 .. g*s+s), producing W_g = sum_k k*bucket and the
+// plain segment sum S_g. The window total is
+//   sum_g W_g + s * (S_1 + 2*S_2 + 3*S_3).
+// Vector Jacobian adds compute the general case on all lanes and blend in
+// the exceptional ones; the genuinely rare doubling lanes (running sum
+// collides with a bucket point) fall back to scalar via the conversion
+// helpers.
+// ---------------------------------------------------------------------------
+
+struct J4 {
+  F4 x, y, z;
+};
+
+DFL_TARGET_AVX2 Fe lane_to_fe(const FieldCtx& f, const VecField& vf, const F4& v, int lane) {
+  return f.mul(Fe{join26(vextract_lane(v, lane))}, vf.conv_out_fe);
+}
+
+DFL_TARGET_AVX2 JacobianPoint j4_lane(const FieldCtx& f, const VecField& vf, const J4& p,
+                                      int lane) {
+  return JacobianPoint{lane_to_fe(f, vf, p.x, lane), lane_to_fe(f, vf, p.y, lane),
+                       lane_to_fe(f, vf, p.z, lane)};
+}
+
+DFL_TARGET_AVX2 void j4_set_lane(const FieldCtx& f, const VecField& vf, J4& p, int lane,
+                                 const JacobianPoint& q) {
+  vinsert_lane(p.x, lane, split26(f.from_mont(f.mul(q.x, vf.conv_in_fe))));
+  vinsert_lane(p.y, lane, split26(f.from_mont(f.mul(q.y, vf.conv_in_fe))));
+  vinsert_lane(p.z, lane, split26(f.from_mont(f.mul(q.z, vf.conv_in_fe))));
+}
+
+DFL_TARGET_AVX2 inline int lane_mask_bits(__m256i m) {
+  return _mm256_movemask_pd(_mm256_castsi256_pd(m));
+}
+
+/// r += (ax, ay) on `valid` lanes (mixed add, affine operand never
+/// infinity). Invalid lanes may carry arbitrary canonical values.
+DFL_TARGET_AVX2 void j4_madd(const Curve& curve, const FieldCtx& f, const VecField& vf,
+                             const VConst& c, J4& r, const F4& ax, const F4& ay,
+                             __m256i valid) {
+  const F4 z1z1 = vmul(c, r.z, r.z);
+  const F4 u2 = vmul(c, ax, z1z1);
+  const F4 s2 = vmul(c, ay, vmul(c, r.z, z1z1));
+  const F4 h = vsub(c, u2, r.x);
+  const F4 rr = vsub(c, s2, r.y);
+  const F4 h2 = vmul(c, h, h);
+  const F4 h3 = vmul(c, h2, h);
+  const F4 v = vmul(c, r.x, h2);
+  F4 x3 = vsub(c, vsub(c, vmul(c, rr, rr), h3), vadd(c, v, v));
+  F4 y3 = vsub(c, vmul(c, rr, vsub(c, v, x3)), vmul(c, r.y, h3));
+  F4 z3 = vmul(c, r.z, h);
+
+  const __m256i rz0 = vis_zero(r.z);
+  const __m256i h0 = _mm256_andnot_si256(rz0, vis_zero(h));
+  const __m256i r0 = vis_zero(rr);
+  const __m256i cancel = _mm256_andnot_si256(r0, h0);
+  const __m256i dblm = _mm256_and_si256(_mm256_and_si256(h0, r0), valid);
+
+  // Doubling lanes (r equals the affine point): snapshot before writeback.
+  const int rare = lane_mask_bits(dblm);
+  JacobianPoint fix[4];
+  if (rare != 0) {
+    for (int lane = 0; lane < 4; ++lane) {
+      if (((rare >> lane) & 1) != 0) fix[lane] = curve.dbl(j4_lane(f, vf, r, lane));
+    }
+  }
+
+  x3 = vselect(rz0, ax, x3);
+  y3 = vselect(rz0, ay, y3);
+  z3 = vselect(rz0, vone(c), z3);
+  z3 = vselect(cancel, vzero(), z3);  // r == -point: result is infinity
+  r.x = vselect(valid, x3, r.x);
+  r.y = vselect(valid, y3, r.y);
+  r.z = vselect(valid, z3, r.z);
+
+  if (rare != 0) {
+    for (int lane = 0; lane < 4; ++lane) {
+      if (((rare >> lane) & 1) != 0) j4_set_lane(f, vf, r, lane, fix[lane]);
+    }
+  }
+}
+
+/// w += r per lane (full Jacobian add; lanes with r == infinity skip).
+DFL_TARGET_AVX2 void j4_add(const Curve& curve, const FieldCtx& f, const VecField& vf,
+                            const VConst& c, J4& w, const J4& r) {
+  const __m256i skip = vis_zero(r.z);
+  const int live = lane_mask_bits(skip);
+  if (live == 0xf) return;
+  const __m256i apply = _mm256_xor_si256(skip, _mm256_set1_epi64x(-1));
+  const __m256i winf = _mm256_and_si256(apply, vis_zero(w.z));
+
+  const F4 z1z1 = vmul(c, w.z, w.z);
+  const F4 z2z2 = vmul(c, r.z, r.z);
+  const F4 u1 = vmul(c, w.x, z2z2);
+  const F4 u2 = vmul(c, r.x, z1z1);
+  const F4 s1 = vmul(c, w.y, vmul(c, r.z, z2z2));
+  const F4 s2 = vmul(c, r.y, vmul(c, w.z, z1z1));
+  const F4 h = vsub(c, u2, u1);
+  const F4 rr = vsub(c, s2, s1);
+  const F4 h2 = vmul(c, h, h);
+  const F4 h3 = vmul(c, h2, h);
+  const F4 v = vmul(c, u1, h2);
+  F4 x3 = vsub(c, vsub(c, vmul(c, rr, rr), h3), vadd(c, v, v));
+  F4 y3 = vsub(c, vmul(c, rr, vsub(c, v, x3)), vmul(c, s1, h3));
+  F4 z3 = vmul(c, vmul(c, w.z, r.z), h);
+
+  const __m256i gen = _mm256_andnot_si256(winf, apply);
+  const __m256i h0 = _mm256_and_si256(gen, vis_zero(h));
+  const __m256i r0 = vis_zero(rr);
+  const __m256i cancel = _mm256_andnot_si256(r0, h0);
+  const __m256i dblm = _mm256_and_si256(h0, r0);
+
+  const int rare = lane_mask_bits(dblm);
+  JacobianPoint fix[4];
+  if (rare != 0) {
+    for (int lane = 0; lane < 4; ++lane) {
+      // w and r are the same point on these lanes.
+      if (((rare >> lane) & 1) != 0) fix[lane] = curve.dbl(j4_lane(f, vf, w, lane));
+    }
+  }
+
+  x3 = vselect(winf, r.x, x3);
+  y3 = vselect(winf, r.y, y3);
+  z3 = vselect(winf, r.z, z3);
+  z3 = vselect(cancel, vzero(), z3);
+  w.x = vselect(apply, x3, w.x);
+  w.y = vselect(apply, y3, w.y);
+  w.z = vselect(apply, z3, w.z);
+
+  if (rare != 0) {
+    for (int lane = 0; lane < 4; ++lane) {
+      if (((rare >> lane) & 1) != 0) j4_set_lane(f, vf, w, lane, fix[lane]);
+    }
+  }
+}
+
+DFL_TARGET_AVX2 JacobianPoint fold_buckets(const Curve& curve, const FieldCtx& f,
+                                           const VecField& vf, MsmScratch& S,
+                                           std::size_t nbuckets) {
+  const VConst c = vconst(vf);
+  const std::size_t s = nbuckets / 4;
+  J4 run, wgt;
+  run.x = run.y = vone(c);
+  run.z = vzero();
+  wgt = run;
+  for (std::size_t k = s; k >= 1; --k) {
+    std::size_t idx[4];
+    const std::uint64_t* px[4];
+    const std::uint64_t* py[4];
+    long long fill[4];
+    for (std::size_t g = 0; g < 4; ++g) {
+      idx[g] = g * s + k - 1;
+      px[g] = &S.bx[idx[g] * kLimbs];
+      py[g] = &S.by[idx[g] * kLimbs];
+      fill[g] = S.filled[idx[g]] != 0 ? -1 : 0;
+    }
+    const __m256i valid = _mm256_set_epi64x(fill[3], fill[2], fill[1], fill[0]);
+    const F4 ax = vload4(px[0], px[1], px[2], px[3]);
+    const F4 ay = vload4(py[0], py[1], py[2], py[3]);
+    j4_madd(curve, f, vf, c, run, ax, ay, valid);
+    j4_add(curve, f, vf, c, wgt, run);
+  }
+  JacobianPoint total = curve.infinity();
+  JacobianPoint seg[4];
+  for (int lane = 0; lane < 4; ++lane) {
+    total = curve.add(total, j4_lane(f, vf, wgt, lane));
+    seg[lane] = j4_lane(f, vf, run, lane);
+  }
+  // s * (S_1 + 2*S_2 + 3*S_3) = s*S_1 + 2s*(S_2 + S_3) + s*S_3, computed as
+  // ((S_2 + S_3) doubled once, plus S_1 plus S_3) doubled log2(s) times.
+  JacobianPoint t = curve.add(seg[2], seg[3]);
+  t = curve.dbl(t);
+  t = curve.add(t, seg[1]);
+  t = curve.add(t, seg[3]);
+  if (!curve.is_infinity(t)) {
+    for (std::size_t sh = s; sh > 1; sh >>= 1) t = curve.dbl(t);
+  }
+  return curve.add(total, t);
+}
+
+/// One signed-digit window: bucket-sort the items, reduce every bucket by
+/// pairwise tree levels, then fold.
+JacobianPoint accumulate_window(const Curve& curve, const FieldCtx& f, const VecField& vf,
+                                const NativeBases& bases, const AffinePoint* affine,
+                                const std::vector<std::int16_t>& digits, int w, int windows,
+                                std::size_t nbuckets,
+                                const std::vector<std::uint8_t>* negate, MsmScratch& S) {
+  const std::size_t n = digits.size() / static_cast<std::size_t>(windows);
+  S.cnt.assign(nbuckets, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int d = digits[i * static_cast<std::size_t>(windows) + static_cast<std::size_t>(w)];
+    if (d == 0 || bases.inf[i] != 0) continue;
+    ++S.cnt[static_cast<std::size_t>(std::abs(d)) - 1];
+    ++total;
+  }
+  S.spill_live = false;
+  if (total == 0) return curve.infinity();
+
+  S.offs.resize(nbuckets);
+  std::uint32_t off = 0;
+  std::uint32_t maxcnt = 0;
+  for (std::size_t b = 0; b < nbuckets; ++b) {
+    S.offs[b] = off;
+    off += S.cnt[b];
+    maxcnt = std::max(maxcnt, S.cnt[b]);
+  }
+  S.cursor.assign(S.offs.begin(), S.offs.end());
+  S.items.resize(total);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int d = digits[i * static_cast<std::size_t>(windows) + static_cast<std::size_t>(w)];
+    if (d == 0 || bases.inf[i] != 0) continue;
+    bool neg = d < 0;
+    if (negate != nullptr && (*negate)[i] != 0) neg = !neg;
+    const std::size_t b = static_cast<std::size_t>(std::abs(d)) - 1;
+    S.items[S.cursor[b]++] = static_cast<std::uint32_t>(i) | (neg ? kNegBit : 0);
+  }
+
+  S.pool_x.resize(total * kLimbs);
+  S.pool_y.resize(total * kLimbs);
+  S.pool_used = 0;
+  S.pending.clear();
+
+  while (maxcnt > 1) {
+    S.next.clear();
+    S.offs2.resize(nbuckets);
+    S.cnt2.resize(nbuckets);
+    maxcnt = 0;
+    for (std::size_t b = 0; b < nbuckets; ++b) {
+      const std::uint32_t cb = S.cnt[b];
+      const std::uint32_t base = S.offs[b];
+      S.offs2[b] = static_cast<std::uint32_t>(S.next.size());
+      for (std::uint32_t j = 0; j + 1 < cb; j += 2) {
+        const std::uint32_t ea = S.items[base + j];
+        const std::uint32_t eb = S.items[base + j + 1];
+        const std::uint64_t* ax = item_x(bases, S, ea);
+        const std::uint64_t* bx = item_x(bases, S, eb);
+        if (std::memcmp(ax, bx, kLimbs * sizeof(std::uint64_t)) == 0) {
+          // Doubling or cancellation: divert the whole pair to the spill.
+          const AffinePoint pa = item_affine(f, vf, affine, S, ea);
+          const AffinePoint pb = item_affine(f, vf, affine, S, eb);
+          spill_add(curve, S, nbuckets, static_cast<std::uint32_t>(b),
+                    curve.add_mixed(curve.to_jacobian(pa), pb));
+          continue;
+        }
+        const std::size_t slot = S.pool_used++;
+        S.pending.push_back(PairJob{ax, item_y(bases, S, ea), bx, item_y(bases, S, eb),
+                                    &S.pool_x[slot * kLimbs], &S.pool_y[slot * kLimbs]});
+        S.next.push_back(static_cast<std::uint32_t>(slot) | kScratchBit);
+        if (S.pending.size() >= kVecBatch) flush_pairs(f, vf, S);
+      }
+      if ((cb & 1) != 0) S.next.push_back(S.items[base + cb - 1]);
+      S.cnt2[b] = static_cast<std::uint32_t>(S.next.size()) - S.offs2[b];
+      maxcnt = std::max(maxcnt, S.cnt2[b]);
+    }
+    flush_pairs(f, vf, S);
+    S.items.swap(S.next);
+    S.offs.swap(S.offs2);
+    S.cnt.swap(S.cnt2);
+  }
+
+  S.bx.assign(nbuckets * kLimbs, 0);
+  S.by.assign(nbuckets * kLimbs, 0);
+  S.filled.assign(nbuckets, 0);
+  for (std::size_t b = 0; b < nbuckets; ++b) {
+    if (S.cnt[b] == 0) continue;
+    const std::uint32_t code = S.items[S.offs[b]];
+    std::memcpy(&S.bx[b * kLimbs], item_x(bases, S, code), kLimbs * sizeof(std::uint64_t));
+    std::memcpy(&S.by[b * kLimbs], item_y(bases, S, code), kLimbs * sizeof(std::uint64_t));
+    S.filled[b] = 1;
+  }
+
+  JacobianPoint out = fold_buckets(curve, f, vf, S, nbuckets);
+
+  if (S.spill_live) {
+    // sum_j d_j * spill_j over occupied spill buckets, descending digits:
+    // run_j = spill_{d_1} + ... + spill_{d_j} contributes (d_j - d_{j+1})
+    // copies, with a sentinel digit 0 at the end.
+    std::sort(S.spill_ids.begin(), S.spill_ids.end(), std::greater<std::uint32_t>());
+    JacobianPoint run = curve.infinity();
+    for (std::size_t j = 0; j < S.spill_ids.size(); ++j) {
+      const std::uint32_t d = S.spill_ids[j] + 1;
+      const std::uint32_t dnext = j + 1 < S.spill_ids.size() ? S.spill_ids[j + 1] + 1 : 0;
+      run = curve.add(run, S.spill[S.spill_ids[j]]);
+      // run * (d - dnext) by double-and-add; gaps are small integers.
+      std::uint32_t gap = d - dnext;
+      JacobianPoint acc = curve.infinity();
+      JacobianPoint doubling = run;
+      while (gap != 0) {
+        if ((gap & 1) != 0) acc = curve.add(acc, doubling);
+        gap >>= 1;
+        if (gap != 0) doubling = curve.dbl(doubling);
+      }
+      out = curve.add(out, acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool compiled() { return true; }
+
+const char* isa() { return ifma_supported() ? "avx512ifma" : "avx2"; }
+
+const FieldBatchOps& field_ops() {
+  static const FieldBatchOps ops{&avx2_add, &avx2_sub, &avx2_mul, &avx2_sqr, &avx2_inv};
+  return ops;
+}
+
+JacobianPoint msm_native(const Curve& curve, const NativeBases& bases,
+                         const AffinePoint* affine, const std::vector<std::int16_t>& digits,
+                         int c, int windows, const std::vector<std::uint8_t>* negate) {
+  const FieldCtx& f = curve.fp();
+  const VecField& vf = vec_field(f);
+  const std::size_t nbuckets = std::size_t{1} << (c - 1);
+  if (nbuckets % 4 != 0) {
+    throw std::invalid_argument("msm_native: window width must be at least 3 bits");
+  }
+  MsmScratch S;
+  JacobianPoint result = curve.infinity();
+  for (int w = windows - 1; w >= 0; --w) {
+    if (!curve.is_infinity(result)) {
+      for (int i = 0; i < c; ++i) result = curve.dbl(result);
+    }
+    result = curve.add(
+        result, accumulate_window(curve, f, vf, bases, affine, digits, w, windows, nbuckets,
+                                  negate, S));
+  }
+  return result;
+}
+
+}  // namespace dfl::crypto::avx2
+
+#else  // !DFL_AVX2_REAL — stub for non-x86 builds of the avx2 configuration
+
+#include <stdexcept>
+
+namespace dfl::crypto::avx2 {
+
+bool compiled() { return false; }
+
+const char* isa() { return "scalar"; }
+
+const FieldBatchOps& field_ops() {
+  throw std::logic_error("avx2 backend not compiled on this architecture");
+}
+
+NativeBases prepare_bases(const Curve&, const std::vector<AffinePoint>&) {
+  throw std::logic_error("avx2 backend not compiled on this architecture");
+}
+
+JacobianPoint msm_native(const Curve&, const NativeBases&, const AffinePoint*,
+                         const std::vector<std::int16_t>&, int, int,
+                         const std::vector<std::uint8_t>*) {
+  throw std::logic_error("avx2 backend not compiled on this architecture");
+}
+
+}  // namespace dfl::crypto::avx2
+
+#endif  // DFL_AVX2_REAL

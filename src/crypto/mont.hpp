@@ -42,7 +42,8 @@ class FieldCtx {
   /// a^e for a plain (non-Montgomery) exponent.
   [[nodiscard]] Fe pow(const Fe& a, const U256& e) const;
 
-  /// Multiplicative inverse via Fermat's little theorem (modulus prime).
+  /// Multiplicative inverse via binary extended GCD (any odd modulus with
+  /// gcd(a, m) = 1; throws std::domain_error otherwise, including for 0).
   [[nodiscard]] Fe inv(const Fe& a) const;
 
   /// Small-integer constant lifted into the field.

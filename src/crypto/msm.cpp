@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "crypto/msm_internal.hpp"
+
 namespace dfl::crypto {
 
 namespace {
@@ -104,6 +106,15 @@ JacobianPoint msm_pippenger(const Curve& curve, const std::vector<AffinePoint>& 
 JacobianPoint msm(const Curve& curve, const std::vector<AffinePoint>& points,
                   const std::vector<U256>& scalars) {
   if (points.size() < 8) return msm_naive(curve, points, scalars);
+#if DFL_HAVE_AVX2
+  // Auto call sites (Pedersen kAuto, verify_batch, msm_parallel chunks)
+  // get the batched-affine SIMD engine whenever the CPU can run it. The
+  // on-the-fly vector-layout conversion is a fraction of one bucket
+  // insert per element, and the result is bit-exact vs Pippenger.
+  if (active_backend() == Backend::kAvx2 && points.size() >= 32) {
+    return msm_simd(curve, points, scalars);
+  }
+#endif
   return msm_pippenger(curve, points, scalars);
 }
 
@@ -257,6 +268,93 @@ JacobianPoint msm_fixed_base(const Curve& curve, const FixedBaseTables& tables,
   JacobianPoint acc = curve.infinity();
   for (const JacobianPoint& p : partial) acc = curve.add(acc, p);
   return acc;
+}
+
+std::size_t PreparedBases::size() const { return impl_ == nullptr ? 0 : impl_->affine.size(); }
+
+CurveId PreparedBases::curve() const {
+  return impl_ == nullptr ? CurveId::kSecp256k1 : impl_->curve_id;
+}
+
+bool PreparedBases::has_simd_layout() const { return impl_ != nullptr && impl_->has_native; }
+
+PreparedBases PreparedBases::build(const Curve& curve, std::vector<AffinePoint> points) {
+  auto impl = std::make_shared<detail::PreparedBasesImpl>();
+  impl->curve_id = curve.id();
+  impl->affine = std::move(points);
+#if DFL_HAVE_AVX2
+  // The vector mirror is built whenever the CPU can run it (not gated on
+  // the dispatch override), so tests can flip backends per call against
+  // the same prepared set.
+  if (backend_supported(Backend::kAvx2)) {
+    impl->native = avx2::prepare_bases(curve, impl->affine);
+    impl->has_native = true;
+  }
+#endif
+  PreparedBases out;
+  out.impl_ = std::move(impl);
+  return out;
+}
+
+namespace {
+
+JacobianPoint msm_simd_impl(const Curve& curve, const AffinePoint* points,
+                            const detail::PreparedBasesImpl* prepared,
+                            const std::vector<U256>& scalars,
+                            const std::vector<std::uint8_t>* negate) {
+  if (negate != nullptr && negate->size() != scalars.size()) {
+    throw std::invalid_argument("msm_simd: negate mask size mismatch");
+  }
+  if (scalars.empty()) return curve.infinity();
+  const int bits = max_bit_length(scalars);
+  if (bits == 0) return curve.infinity();
+
+  const Backend be = active_backend();
+  const int c = msm_detail::pick_simd_window(scalars.size(), bits, be);
+  const int windows = msm_detail::signed_windows(bits, c);
+  std::vector<std::int16_t> digits;
+  msm_detail::decompose_signed(scalars, c, windows, digits);
+#if DFL_HAVE_AVX2
+  if (be == Backend::kAvx2 && prepared != nullptr && prepared->has_native) {
+    return avx2::msm_native(curve, prepared->native, points, digits, c, windows, negate);
+  }
+#endif
+  (void)prepared;
+  return msm_detail::msm_batched_scalar(curve, points, digits, c, windows, negate);
+}
+
+}  // namespace
+
+JacobianPoint msm_simd(const Curve& curve, const PreparedBases& bases,
+                       const std::vector<U256>& scalars,
+                       const std::vector<std::uint8_t>* negate) {
+  if (bases.empty()) {
+    if (scalars.empty()) return curve.infinity();
+    throw std::invalid_argument("msm_simd: empty prepared bases");
+  }
+  const detail::PreparedBasesImpl& impl = bases.impl();
+  if (impl.curve_id != curve.id()) {
+    throw std::invalid_argument("msm_simd: bases built for a different curve");
+  }
+  if (scalars.size() > impl.affine.size()) {
+    throw std::invalid_argument("msm_simd: more scalars than prepared bases");
+  }
+  return msm_simd_impl(curve, impl.affine.data(), &impl, scalars, negate);
+}
+
+JacobianPoint msm_simd(const Curve& curve, const std::vector<AffinePoint>& points,
+                       const std::vector<U256>& scalars,
+                       const std::vector<std::uint8_t>* negate) {
+  check_sizes(points, scalars);
+#if DFL_HAVE_AVX2
+  // Worth converting to the vector layout on the fly: the per-element
+  // conversion is a fraction of one bucket insert and each element is
+  // inserted once per window.
+  if (active_backend() == Backend::kAvx2 && points.size() >= 32) {
+    return msm_simd(curve, PreparedBases::build(curve, points), scalars, negate);
+  }
+#endif
+  return msm_simd_impl(curve, points.data(), nullptr, scalars, negate);
 }
 
 }  // namespace dfl::crypto

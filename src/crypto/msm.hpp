@@ -11,6 +11,10 @@
 //    shifted multiples (`FixedBaseTables`) — no doublings at all. For keys
 //    whose generators are fixed per task (Pedersen), this trades a one-time
 //    table build for a cheaper per-commit cost.
+//  - `msm_simd`: signed-digit windowing with batched-affine bucket
+//    accumulation, dispatched through crypto/backend.hpp — the AVX2
+//    batched-limb engine when compiled and supported, else a scalar twin
+//    of the exact same algorithm.
 //
 // All backends scan the actual scalar bit lengths, so small scalars
 // (fixed-point gradients) are automatically cheap and nothing is ever
@@ -18,12 +22,17 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/pool.hpp"
 #include "crypto/curve.hpp"
 
 namespace dfl::crypto {
+
+namespace detail {
+struct PreparedBasesImpl;
+}  // namespace detail
 
 /// Naive per-term scalar multiplication; cost scales with per-scalar bit
 /// length, matching what a library exponentiation loop would do.
@@ -96,5 +105,43 @@ JacobianPoint msm_fixed_base(const Curve& curve, const FixedBaseTables& tables,
 /// `covered_bits` scalar bits: argmin over c of the point-addition count
 /// n * ceil(covered_bits / c) + 2^(c+1)  (bucket inserts + bucket folding).
 int pick_fixed_base_window(std::size_t n, int covered_bits);
+
+/// Bases preprocessed for `msm_simd`: a canonical affine copy plus — when
+/// the AVX2 backend is compiled in and usable on this CPU — the same
+/// coordinates converted once into the vector backend's interleaved
+/// radix-2^26 limb layout. Cheap shared handle; build once per generator
+/// set (PedersenKey caches one) and reuse across commits.
+class PreparedBases {
+ public:
+  PreparedBases() = default;
+
+  static PreparedBases build(const Curve& curve, std::vector<AffinePoint> points);
+
+  [[nodiscard]] bool empty() const { return impl_ == nullptr; }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] CurveId curve() const;
+  /// True when the vector-domain mirror exists (AVX2 compiled + CPU ok).
+  [[nodiscard]] bool has_simd_layout() const;
+
+  /// Internal accessor for the MSM engines.
+  [[nodiscard]] const detail::PreparedBasesImpl& impl() const { return *impl_; }
+
+ private:
+  std::shared_ptr<const detail::PreparedBasesImpl> impl_;
+};
+
+/// Signed-digit batched-affine bucket MSM, dispatched to the active
+/// backend (crypto/backend.hpp). `negate`, when given (same length as
+/// scalars), subtracts that term instead of adding it. Uses the first
+/// scalars.size() bases. Bit-exact against every other msm_* backend.
+JacobianPoint msm_simd(const Curve& curve, const PreparedBases& bases,
+                       const std::vector<U256>& scalars,
+                       const std::vector<std::uint8_t>* negate = nullptr);
+
+/// One-shot variant preparing `points` on the fly; prefer the
+/// PreparedBases overload when the bases are reused across calls.
+JacobianPoint msm_simd(const Curve& curve, const std::vector<AffinePoint>& points,
+                       const std::vector<U256>& scalars,
+                       const std::vector<std::uint8_t>* negate = nullptr);
 
 }  // namespace dfl::crypto

@@ -1,0 +1,225 @@
+// Scalar engine for the signed-digit batched-affine bucket MSM, plus the
+// recoding/window helpers shared with the AVX2 engine.
+//
+// The classic Pippenger inner loop does one Jacobian mixed addition per
+// (point, window) digit. Here buckets hold *affine* points and pairs are
+// accumulated in large batches: each batch needs one field inversion
+// (Montgomery's trick) and ~6 field multiplies per pair, under half the
+// cost of a mixed addition. Signed digits halve the bucket count on top.
+// Rare cases the affine chord formula cannot express (equal-x pairs, i.e.
+// doublings/cancellations, and tiny tail batches where an inversion would
+// dominate) divert to per-bucket Jacobian "spill" accumulators, keeping
+// every path exact — the final group element is identical to msm_naive.
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "crypto/msm_internal.hpp"
+
+namespace dfl::crypto::msm_detail {
+
+int pick_simd_window(std::size_t n, int bits, Backend b) {
+  // Tuning escape hatch: pin the window width, bypassing the cost model.
+  if (const char* env = std::getenv("DFL_MSM_WINDOW_BITS")) {
+    const int forced = std::atoi(env);
+    if (forced >= 4 && forced <= 13) return forced;
+  }
+  // Unit = one bucket insert; the fold weight is the measured cost ratio of
+  // folding one bucket (suffix-sum Jacobian adds) to one batched insert.
+  const double fold_weight = b == Backend::kAvx2 ? 2.5 : 5.0;
+  int best = 4;
+  double best_cost = -1.0;
+  for (int c = 4; c <= 13; ++c) {
+    const int w = signed_windows(bits, c);
+    const double cost =
+        static_cast<double>(n) * w +
+        fold_weight * static_cast<double>(std::size_t{1} << (c - 1)) * w;
+    if (best_cost < 0.0 || cost < best_cost) {
+      best = c;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+void decompose_signed(const std::vector<U256>& scalars, int c, int windows,
+                      std::vector<std::int16_t>& digits) {
+  digits.assign(scalars.size() * static_cast<std::size_t>(windows), 0);
+  const std::uint64_t half = std::uint64_t{1} << (c - 1);
+  for (std::size_t i = 0; i < scalars.size(); ++i) {
+    const U256& s = scalars[i];
+    std::int16_t* out = &digits[i * static_cast<std::size_t>(windows)];
+    std::uint64_t carry = 0;
+    for (int w = 0; w < windows; ++w) {
+      const std::uint64_t d = s.bits(w * c, c) + carry;
+      if (d > half) {
+        // Borrow from the next window: d - 2^c is in [-(2^(c-1)-1), 0].
+        out[w] = static_cast<std::int16_t>(static_cast<std::int64_t>(d) -
+                                           (std::int64_t{1} << c));
+        carry = 1;
+      } else {
+        out[w] = static_cast<std::int16_t>(d);
+        carry = 0;
+      }
+    }
+    // windows covers bit_length+1 bits, so the top digit is <= 2^(c-1) and
+    // never borrows: carry == 0 here by construction.
+  }
+}
+
+namespace {
+
+// One pair queued for batched accumulation: bucket += q.
+struct BatchSlot {
+  std::uint32_t bucket;
+  AffinePoint q;
+};
+
+// Pairs per batch: large enough that the one real inversion per batch
+// (binary xgcd, ~order of 10 field mults per element at this size)
+// disappears into the per-pair cost.
+constexpr std::size_t kBatchSize = 256;
+// Below this, Jacobian spill adds are cheaper than a batch inversion.
+constexpr std::size_t kMinBatchForInversion = 24;
+
+class ScalarBucketAccumulator {
+ public:
+  ScalarBucketAccumulator(const Curve& curve, std::size_t num_buckets)
+      : curve_(curve),
+        fp_(curve.fp()),
+        buckets_(num_buckets),  // AffinePoint{} has infinity=true: "empty"
+        epoch_(num_buckets, 0) {
+    batch_.reserve(kBatchSize);
+  }
+
+  void add(std::uint32_t b, const AffinePoint& q) {
+    if (buckets_[b].infinity) {
+      // Never-touched bucket (occupancy is monotone): plain store. Later
+      // pairs in this same batch read the stored value at flush time.
+      buckets_[b] = q;
+      return;
+    }
+    if (epoch_[b] == batch_id_) {
+      // Bucket already has a pending pair in this batch; retry later.
+      retry_.push_back({b, q});
+      return;
+    }
+    epoch_[b] = batch_id_;
+    batch_.push_back({b, q});
+    if (batch_.size() >= kBatchSize) flush();
+  }
+
+  /// Drains conflicted pairs; call once after the last add().
+  void finish() {
+    flush();
+    while (!retry_.empty()) {
+      std::vector<BatchSlot> pending;
+      pending.swap(retry_);
+      // The first re-added slot never conflicts with the fresh batch, so
+      // every pass retires at least one pair and the drain terminates.
+      for (const BatchSlot& s : pending) add(s.bucket, s.q);
+      flush();
+    }
+  }
+
+  /// sum_d d * (bucket_d + spill_d) via the running-sum trick.
+  [[nodiscard]] JacobianPoint fold() const {
+    JacobianPoint running = curve_.infinity();
+    JacobianPoint sum = curve_.infinity();
+    for (std::size_t d = buckets_.size(); d > 0; --d) {
+      if (!buckets_[d - 1].infinity) running = curve_.add_mixed(running, buckets_[d - 1]);
+      if (!spill_.empty() && !curve_.is_infinity(spill_[d - 1])) {
+        running = curve_.add(running, spill_[d - 1]);
+      }
+      sum = curve_.add(sum, running);
+    }
+    return sum;
+  }
+
+ private:
+  void spill_add(std::uint32_t b, const AffinePoint& q) {
+    if (spill_.empty()) spill_.assign(buckets_.size(), curve_.infinity());
+    spill_[b] = curve_.add_mixed(spill_[b], q);
+  }
+
+  void flush() {
+    ++batch_id_;  // every queued epoch mark becomes stale
+    if (batch_.empty()) return;
+    if (batch_.size() < kMinBatchForInversion) {
+      for (const BatchSlot& s : batch_) spill_add(s.bucket, s.q);
+      batch_.clear();
+      return;
+    }
+    // The affine chord formula needs x1 != x2; equal-x pairs (doubling or
+    // P + (-P)) divert to the Jacobian spill bucket.
+    valid_.clear();
+    dx_.clear();
+    for (const BatchSlot& s : batch_) {
+      const AffinePoint& p = buckets_[s.bucket];
+      if (p.x == s.q.x) {
+        spill_add(s.bucket, s.q);
+        continue;
+      }
+      valid_.push_back(s);
+      dx_.push_back(fp_.sub(s.q.x, p.x));
+    }
+    if (!dx_.empty()) {
+      inv_.resize(dx_.size());
+      field_batch_ops(Backend::kScalar).inv(fp_, dx_.data(), inv_.data(), dx_.size());
+      for (std::size_t k = 0; k < valid_.size(); ++k) {
+        AffinePoint& p = buckets_[valid_[k].bucket];
+        const AffinePoint& q = valid_[k].q;
+        const Fe lambda = fp_.mul(fp_.sub(q.y, p.y), inv_[k]);
+        const Fe x3 = fp_.sub(fp_.sub(fp_.sqr(lambda), p.x), q.x);
+        const Fe y3 = fp_.sub(fp_.mul(lambda, fp_.sub(p.x, x3)), p.y);
+        p = AffinePoint{x3, y3, false};
+      }
+    }
+    batch_.clear();
+  }
+
+  const Curve& curve_;
+  const FieldCtx& fp_;
+  std::vector<AffinePoint> buckets_;
+  std::vector<JacobianPoint> spill_;  // allocated on first rare case
+  std::vector<std::uint32_t> epoch_;
+  std::uint32_t batch_id_ = 1;
+  std::vector<BatchSlot> batch_;
+  std::vector<BatchSlot> retry_;
+  std::vector<BatchSlot> valid_;
+  std::vector<Fe> dx_;
+  std::vector<Fe> inv_;
+};
+
+}  // namespace
+
+JacobianPoint msm_batched_scalar(const Curve& curve, const AffinePoint* points,
+                                 const std::vector<std::int16_t>& digits, int c, int windows,
+                                 const std::vector<std::uint8_t>* negate) {
+  const std::size_t n =
+      windows == 0 ? 0 : digits.size() / static_cast<std::size_t>(windows);
+  const std::size_t num_buckets = std::size_t{1} << (c - 1);
+  const FieldCtx& fp = curve.fp();
+
+  JacobianPoint result = curve.infinity();
+  for (int w = windows - 1; w >= 0; --w) {
+    if (!curve.is_infinity(result)) {
+      for (int i = 0; i < c; ++i) result = curve.dbl(result);
+    }
+    ScalarBucketAccumulator acc(curve, num_buckets);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int d = digits[i * static_cast<std::size_t>(windows) + static_cast<std::size_t>(w)];
+      if (d == 0 || points[i].infinity) continue;
+      bool neg = d < 0;
+      if (negate != nullptr && (*negate)[i] != 0) neg = !neg;
+      AffinePoint q = points[i];
+      if (neg) q.y = fp.neg(q.y);
+      acc.add(static_cast<std::uint32_t>(std::abs(d)) - 1, q);
+    }
+    acc.finish();
+    result = curve.add(result, acc.fold());
+  }
+  return result;
+}
+
+}  // namespace dfl::crypto::msm_detail

@@ -1,0 +1,54 @@
+// Internals shared by the SIMD MSM front-end (msm.cpp), the scalar
+// batched-affine engine (msm_batched.cpp) and the AVX2 backend
+// (fe_avx2.cpp). Not part of the public crypto surface.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/backend.hpp"
+#include "crypto/curve.hpp"
+#include "crypto/simd_avx2.hpp"
+
+namespace dfl::crypto::detail {
+
+/// Backing store of msm.hpp's PreparedBases handle.
+struct PreparedBasesImpl {
+  CurveId curve_id = CurveId::kSecp256k1;
+  /// Canonical affine copy: the scalar engine's input and the spill/rare-
+  /// case fallback for the vector engine.
+  std::vector<AffinePoint> affine;
+  /// Vector-domain mirror of `affine`; only populated when the AVX2
+  /// backend is compiled in and usable on this CPU.
+  avx2::NativeBases native;
+  bool has_native = false;
+};
+
+}  // namespace dfl::crypto::detail
+
+namespace dfl::crypto::msm_detail {
+
+/// Number of c-bit signed windows covering `bits`-bit scalars: one extra
+/// bit of headroom so the final carry of the signed recoding is always
+/// absorbed by the top digit.
+inline int signed_windows(int bits, int c) { return (bits + c) / c; }
+
+/// Window width for the batched-affine bucket method: argmin of
+/// inserts + fold work, with a per-backend fold/insert cost ratio.
+int pick_simd_window(std::size_t n, int bits, Backend b);
+
+/// Signed window recoding: digits[i*windows + w] in [-(2^(c-1)-1), 2^(c-1)]
+/// with sum_w digit*2^(wc) == scalars[i]. Requires
+/// windows >= signed_windows(max bit length, c).
+void decompose_signed(const std::vector<U256>& scalars, int c, int windows,
+                      std::vector<std::int16_t>& digits);
+
+/// Scalar twin of the vectorized MSM: identical signed-digit windowing and
+/// batched-affine bucket accumulation (batch inversion via Montgomery's
+/// trick), so the AVX2 engine has a bit-exact reference and non-AVX2 hosts
+/// a fast fallback. Uses the first digits.size()/windows points.
+JacobianPoint msm_batched_scalar(const Curve& curve, const AffinePoint* points,
+                                 const std::vector<std::int16_t>& digits, int c, int windows,
+                                 const std::vector<std::uint8_t>* negate);
+
+}  // namespace dfl::crypto::msm_detail

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "crypto/backend.hpp"
 #include "crypto/encoding.hpp"
 #include "crypto/hash_to_curve.hpp"
 
@@ -40,9 +41,41 @@ const FixedBaseTables& PedersenKey::ensure_fixed_base() const {
   return *fb_tables_;
 }
 
+const PreparedBases& PedersenKey::ensure_simd_bases() const {
+  const std::lock_guard<std::mutex> lock(fb_mu_);
+  if (simd_bases_.empty()) {
+    simd_bases_ = PreparedBases::build(*curve_, generators_);
+  }
+  return simd_bases_;
+}
+
 JacobianPoint PedersenKey::commit_point(const std::vector<std::int64_t>& values) const {
   if (values.size() > generators_.size()) {
     throw std::invalid_argument("PedersenKey::commit: vector longer than key dimension");
+  }
+  // Single-threaded kAuto commits on an AVX2-capable host go straight to
+  // the batched-affine SIMD engine against a cached vector-layout copy of
+  // the generators (index-aligned scalars, sign as a negate mask — no
+  // generator copies, no per-commit layout conversion). It preempts even
+  // configured fixed-base tables: one bucket pass over the same digits
+  // with much cheaper adds measures ~3-4x faster than the tables on
+  // AVX2/IFMA hosts. Pooled commits fall through, where the fixed-base
+  // and msm_parallel paths parallelize (msm_parallel's per-chunk `msm`
+  // calls pick up the SIMD engine themselves).
+  if (mode_ == MsmMode::kAuto && pool_ == nullptr &&
+      active_backend() == Backend::kAvx2 && values.size() >= 32) {
+    std::vector<U256> scalars(values.size());
+    std::vector<std::uint8_t> negate(values.size(), 0);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const std::int64_t v = values[i];
+      if (v < 0) {
+        negate[i] = 1;
+        scalars[i] = U256(static_cast<std::uint64_t>(-(v + 1)) + 1);
+      } else {
+        scalars[i] = U256(static_cast<std::uint64_t>(v));
+      }
+    }
+    return msm_simd(*curve_, ensure_simd_bases(), scalars, &negate);
   }
   // The fixed-base path only serves kAuto: the forced kNaive/kPippenger
   // modes stay exact baselines for tests and benchmarks.

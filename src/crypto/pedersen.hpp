@@ -113,6 +113,7 @@ class PedersenKey {
  private:
   [[nodiscard]] JacobianPoint commit_point(const std::vector<std::int64_t>& values) const;
   [[nodiscard]] const FixedBaseTables& ensure_fixed_base() const;
+  [[nodiscard]] const PreparedBases& ensure_simd_bases() const;
 
   const Curve* curve_;
   std::string domain_;
@@ -126,6 +127,10 @@ class PedersenKey {
   // non-copyable — keys are shared by reference everywhere).
   mutable std::mutex fb_mu_;
   mutable std::unique_ptr<FixedBaseTables> fb_tables_;
+  // Generators mirrored into the SIMD engine's vector limb layout, built
+  // lazily on the first single-threaded kAuto commit and reused across
+  // commits (the build cost is one layout conversion per generator).
+  mutable PreparedBases simd_bases_;
 };
 
 }  // namespace dfl::crypto

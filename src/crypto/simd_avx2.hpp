@@ -1,0 +1,53 @@
+// Internal interface of the AVX2 backend (fe_avx2.cpp). Only backend.cpp
+// and the MSM dispatch include this; everything else goes through
+// crypto/backend.hpp. The functions exist only when the avx2 backend is
+// compiled in (DFL_HAVE_AVX2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/backend.hpp"
+#include "crypto/curve.hpp"
+#include "crypto/u256.hpp"
+
+namespace dfl::crypto::avx2 {
+
+/// True when this translation unit actually carries AVX2 code (x86-64 with
+/// a compiler supporting per-function target attributes); false for the
+/// stub build on other architectures.
+bool compiled();
+
+/// The ISA tier this backend's dispatch lands on right now: "avx512ifma"
+/// when the CPU has the full AVX-512 IFMA feature set (and DFL_FORCE_ISA
+/// does not pin it down), else "avx2"; "scalar" in the stub build.
+const char* isa();
+
+/// Batched field ops over the interleaved 10x26-bit limb layout (conversion
+/// at the array boundary, so the Fe-facing signature matches scalar).
+const FieldBatchOps& field_ops();
+
+/// Opaque SIMD-resident base set: affine coordinates pre-converted to the
+/// vector Montgomery domain. Built once per generator set.
+struct NativeBases {
+  std::size_t count = 0;
+  // AoS layout: element i occupies limbs [i*10, i*10+10), radix-2^26,
+  // vector Montgomery domain (value * 2^260 mod p), canonical in [0, p).
+  std::vector<std::uint64_t> x;
+  std::vector<std::uint64_t> y;
+  std::vector<std::uint64_t> yneg;  // p - y, for the negate mask
+  std::vector<std::uint8_t> inf;
+};
+
+/// Converts affine points into the native layout. Requires compiled().
+NativeBases prepare_bases(const Curve& curve, const std::vector<AffinePoint>& points);
+
+/// Signed-digit batched-affine bucket MSM over prepared bases. `digits`
+/// holds windows*count signed window digits (window-major stride =
+/// `windows` per point, matching msm_detail::decompose_signed). Exact same
+/// group element as the scalar backends.
+JacobianPoint msm_native(const Curve& curve, const NativeBases& bases,
+                         const AffinePoint* affine, const std::vector<std::int16_t>& digits,
+                         int c, int windows, const std::vector<std::uint8_t>* negate);
+
+}  // namespace dfl::crypto::avx2

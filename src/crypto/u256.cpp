@@ -139,4 +139,61 @@ U256 sub_mod(const U256& a, const U256& b, const U256& m) {
   return r;
 }
 
+namespace {
+
+// x <- x/2 mod m for odd m. Even x just shifts; odd x adds m first (x + m
+// is even), keeping the 257th bit from add_assign's carry-out.
+void halve_mod(U256& x, const U256& m) {
+  if (x.is_odd()) {
+    const std::uint64_t carry = x.add_assign(m);
+    x.shr1();
+    x.limb[3] |= carry << 63;
+  } else {
+    x.shr1();
+  }
+}
+
+}  // namespace
+
+U256 mod_inverse(const U256& a, const U256& m) {
+  if (!m.is_odd()) {
+    throw std::invalid_argument("mod_inverse: modulus must be odd");
+  }
+  if (a.is_zero()) {
+    throw std::domain_error("mod_inverse: zero has no inverse");
+  }
+  if (!(a < m)) {
+    throw std::invalid_argument("mod_inverse: operand must be reduced mod m");
+  }
+  // Binary extended GCD. Invariants: x1 * a == u (mod m), x2 * a == v
+  // (mod m); u and v stay positive and their sum strictly decreases, so the
+  // loop terminates with gcd(a, m) in whichever of u/v reached it.
+  U256 u = a;
+  U256 v = m;
+  U256 x1(1);
+  U256 x2{};
+  const U256 kOne(1);
+  while (!(u == kOne) && !(v == kOne)) {
+    if (u.is_zero() || v.is_zero()) {
+      throw std::domain_error("mod_inverse: operand not invertible");
+    }
+    while (!u.is_odd()) {
+      u.shr1();
+      halve_mod(x1, m);
+    }
+    while (!v.is_odd()) {
+      v.shr1();
+      halve_mod(x2, m);
+    }
+    if (u >= v) {
+      u.sub_assign(v);
+      x1 = sub_mod(x1, x2, m);
+    } else {
+      v.sub_assign(u);
+      x2 = sub_mod(x2, x1, m);
+    }
+  }
+  return u == kOne ? x1 : x2;
+}
+
 }  // namespace dfl::crypto

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/rng.hpp"
+#include "crypto/backend.hpp"
 
 namespace dfl::crypto {
 namespace {
@@ -110,6 +113,45 @@ TEST(Engine, CalibrateReportsPositiveRate) {
   // Calibration must leave the engine fully functional.
   const auto v = sample_gradient(128, 9);
   EXPECT_TRUE(engine.verify(engine.commit(v), v));
+}
+
+TEST(Engine, StatsAndCalibrationReportActiveBackend) {
+  const Curve& c = Curve::secp256k1();
+  PedersenKey key(c, "engine-backend", 16);
+  Engine engine(key, EngineConfig{.threads = 1});
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.backend, active_backend());
+  EXPECT_EQ(std::string(s.isa), active_isa());
+  const Calibration cal = engine.calibrate(16, 1);
+  EXPECT_EQ(cal.backend, active_backend());
+  EXPECT_EQ(std::string(cal.isa), active_isa());
+}
+
+TEST(Engine, RecalibratesWhenActiveBackendChanges) {
+  // A calibration taken under one backend must not be trusted once dispatch
+  // lands somewhere else (the ns-per-element model would be off by the SIMD
+  // speedup factor). Flipping the override models exactly that.
+  const Curve& c = Curve::secp256k1();
+  PedersenKey key(c, "engine-recal", 64);
+  Engine engine(key, EngineConfig{.threads = 1});
+  EXPECT_FALSE(engine.needs_recalibration());  // never calibrated: nothing stale
+
+  (void)engine.calibrate(64, 1);
+  EXPECT_FALSE(engine.needs_recalibration());  // fresh under current backend
+
+  const Backend other =
+      active_backend() == Backend::kScalar ? Backend::kAvx2 : Backend::kScalar;
+  if (!backend_supported(other)) {
+    GTEST_SKIP() << "only one backend usable on this host";
+  }
+  set_backend_override(other);
+  EXPECT_TRUE(engine.needs_recalibration());
+  const Calibration recal = engine.calibrate(64, 1);
+  EXPECT_EQ(recal.backend, other);
+  EXPECT_FALSE(engine.needs_recalibration());
+  set_backend_override(std::nullopt);
+  // Back on the original backend, the recalibration is stale again.
+  EXPECT_TRUE(engine.needs_recalibration());
 }
 
 TEST(Engine, FixedBaseTablesBuildLazilyAndReportMemory) {

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <string>
+
 #include "common/rng.hpp"
+#include "crypto/backend.hpp"
 #include "crypto/curve.hpp"
 
 namespace dfl::crypto {
@@ -189,6 +193,174 @@ U256 reference_mulmod(const U256& a, const U256& b, const U256& m) {
   }
   return r;
 }
+
+// ---------------------------------------------------------------------------
+// Backend dispatch + batched-op differential coverage (crypto/backend.hpp).
+// On an AVX2-capable host the kAvx2 table is the vector engine and these are
+// true cross-implementation differential tests; on a scalar-only host the
+// table silently falls back to scalar and the comparisons are tautological
+// (the dispatch behavior itself is still exercised).
+
+TEST(Backend, NamesAndScalarAlwaysUsable) {
+  EXPECT_STREQ(backend_name(Backend::kScalar), "scalar");
+  EXPECT_STREQ(backend_name(Backend::kAvx2), "avx2");
+  EXPECT_TRUE(backend_compiled(Backend::kScalar));
+  EXPECT_TRUE(backend_supported(Backend::kScalar));
+  // Supported implies compiled.
+  if (backend_supported(Backend::kAvx2)) {
+    EXPECT_TRUE(backend_compiled(Backend::kAvx2));
+  }
+}
+
+TEST(Backend, ActiveIsaIsConsistentWithActiveBackend) {
+  const std::string isa = active_isa();
+  EXPECT_TRUE(isa == "scalar" || isa == "avx2" || isa == "avx512ifma") << isa;
+  if (active_backend() == Backend::kScalar) {
+    EXPECT_EQ(isa, "scalar");
+  } else {
+    EXPECT_NE(isa, "scalar");
+  }
+}
+
+TEST(Backend, OverrideForcesDispatchAndRestores) {
+  const Backend automatic = active_backend();
+  set_backend_override(Backend::kScalar);
+  EXPECT_EQ(active_backend(), Backend::kScalar);
+  EXPECT_STREQ(active_isa(), "scalar");
+  set_backend_override(std::nullopt);
+  EXPECT_EQ(active_backend(), automatic);
+}
+
+TEST(Backend, OverrideToUnsupportedBackendThrows) {
+  if (backend_supported(Backend::kAvx2)) GTEST_SKIP() << "avx2 usable on this host";
+  EXPECT_THROW(set_backend_override(Backend::kAvx2), std::invalid_argument);
+}
+
+class BackendDifferential : public ::testing::TestWithParam<const FieldCtx*> {
+ protected:
+  const FieldCtx& f() const { return *GetParam(); }
+
+  // Locates the first mismatching element so a failure names the exact
+  // input instead of drowning in 30k per-element expectations.
+  static void expect_identical(const FieldCtx& f, const std::vector<Fe>& scalar,
+                               const std::vector<Fe>& simd, const char* op) {
+    ASSERT_EQ(scalar.size(), simd.size());
+    if (std::memcmp(scalar.data(), simd.data(), scalar.size() * sizeof(Fe)) == 0) return;
+    for (std::size_t i = 0; i < scalar.size(); ++i) {
+      ASSERT_EQ(scalar[i], simd[i]) << op << " diverges at index " << i << ": scalar="
+                                    << f.from_mont(scalar[i]).to_hex() << " simd="
+                                    << f.from_mont(simd[i]).to_hex();
+    }
+  }
+};
+
+TEST_P(BackendDifferential, BatchedOpsMatchScalarOnRandomInputs) {
+  // 30k random cases per field x 4 field instantiations = 120k differential
+  // cases for each of add/sub/mul/sqr, with the boundary values pinned at
+  // the front of the batch.
+  constexpr std::size_t kCases = 30'000;
+  const FieldBatchOps& scalar_ops = field_batch_ops(Backend::kScalar);
+  const FieldBatchOps& simd_ops = field_batch_ops(Backend::kAvx2);
+
+  Rng rng(20240);
+  U256 pm1 = f().modulus();
+  pm1.sub_assign(U256(1));
+  std::vector<Fe> a(kCases), b(kCases);
+  for (std::size_t i = 0; i < kCases; ++i) {
+    a[i] = f().to_mont(random_mod(rng, f().modulus()));
+    b[i] = f().to_mont(random_mod(rng, f().modulus()));
+  }
+  a[0] = f().zero();
+  b[0] = f().zero();
+  a[1] = f().one();
+  b[1] = f().to_mont(pm1);
+  a[2] = f().to_mont(pm1);
+  b[2] = f().to_mont(pm1);
+
+  std::vector<Fe> out_s(kCases), out_v(kCases);
+  scalar_ops.add(f(), a.data(), b.data(), out_s.data(), kCases);
+  simd_ops.add(f(), a.data(), b.data(), out_v.data(), kCases);
+  expect_identical(f(), out_s, out_v, "add");
+
+  scalar_ops.sub(f(), a.data(), b.data(), out_s.data(), kCases);
+  simd_ops.sub(f(), a.data(), b.data(), out_v.data(), kCases);
+  expect_identical(f(), out_s, out_v, "sub");
+
+  scalar_ops.mul(f(), a.data(), b.data(), out_s.data(), kCases);
+  simd_ops.mul(f(), a.data(), b.data(), out_v.data(), kCases);
+  expect_identical(f(), out_s, out_v, "mul");
+
+  scalar_ops.sqr(f(), a.data(), out_s.data(), kCases);
+  simd_ops.sqr(f(), a.data(), out_v.data(), kCases);
+  expect_identical(f(), out_s, out_v, "sqr");
+}
+
+TEST_P(BackendDifferential, BatchedInverseMatchesScalarAndSelfChecks) {
+  // Smaller batch: inv costs a field inversion per call plus three muls per
+  // element, and every output is additionally verified to multiply back to
+  // one. 8k x 4 fields = 32k inverse cases.
+  constexpr std::size_t kCases = 8'000;
+  const FieldBatchOps& scalar_ops = field_batch_ops(Backend::kScalar);
+  const FieldBatchOps& simd_ops = field_batch_ops(Backend::kAvx2);
+
+  Rng rng(20241);
+  std::vector<Fe> a(kCases);
+  for (std::size_t i = 0; i < kCases; ++i) {
+    U256 x = random_mod(rng, f().modulus());
+    if (x.is_zero()) x = U256(1);
+    a[i] = f().to_mont(x);
+  }
+  a[0] = f().one();
+  U256 pm1 = f().modulus();
+  pm1.sub_assign(U256(1));
+  a[1] = f().to_mont(pm1);
+
+  std::vector<Fe> out_s(kCases), out_v(kCases);
+  scalar_ops.inv(f(), a.data(), out_s.data(), kCases);
+  simd_ops.inv(f(), a.data(), out_v.data(), kCases);
+  expect_identical(f(), out_s, out_v, "inv");
+  for (std::size_t i = 0; i < kCases; i += 997) {
+    EXPECT_EQ(f().mul(a[i], out_s[i]), f().one()) << "index " << i;
+  }
+}
+
+TEST_P(BackendDifferential, BatchedOpsSupportAliasedOutput) {
+  constexpr std::size_t kCases = 257;  // deliberately not a vector multiple
+  const FieldBatchOps& simd_ops = field_batch_ops(Backend::kAvx2);
+  Rng rng(20242);
+  std::vector<Fe> a(kCases), b(kCases), expected(kCases);
+  for (std::size_t i = 0; i < kCases; ++i) {
+    a[i] = f().to_mont(random_mod(rng, f().modulus()));
+    b[i] = f().to_mont(random_mod(rng, f().modulus()));
+    expected[i] = f().mul(a[i], b[i]);
+  }
+  std::vector<Fe> aliased = a;
+  simd_ops.mul(f(), aliased.data(), b.data(), aliased.data(), kCases);
+  expect_identical(f(), expected, aliased, "aliased mul");
+}
+
+TEST_P(BackendDifferential, BatchedInverseOfZeroThrowsInBothBackends) {
+  std::vector<Fe> a(5, f().one());
+  a[3] = f().zero();
+  std::vector<Fe> out(5);
+  EXPECT_THROW(field_batch_ops(Backend::kScalar).inv(f(), a.data(), out.data(), 5),
+               std::domain_error);
+  EXPECT_THROW(field_batch_ops(Backend::kAvx2).inv(f(), a.data(), out.data(), 5),
+               std::domain_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFields, BackendDifferential,
+    ::testing::Values(&Curve::secp256k1().fp(), &Curve::secp256k1().fn(),
+                      &Curve::secp256r1().fp(), &Curve::secp256r1().fn()),
+    [](const ::testing::TestParamInfo<const FieldCtx*>& info) {
+      switch (info.index) {
+        case 0: return std::string("secp256k1_base");
+        case 1: return std::string("secp256k1_scalar");
+        case 2: return std::string("secp256r1_base");
+        default: return std::string("secp256r1_scalar");
+      }
+    });
 
 TEST(Field, MontgomeryMatchesReferenceMulmod) {
   Rng rng(77);

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "crypto/backend.hpp"
 #include "crypto/hash_to_curve.hpp"
+#include "crypto/pedersen.hpp"
 
 namespace dfl::crypto {
 namespace {
@@ -44,6 +46,15 @@ TEST_P(MsmEquivalence, PippengerMatchesNaive) {
   const JacobianPoint d = msm(c, points, scalars);
   EXPECT_TRUE(c.eq(a, b));
   EXPECT_TRUE(c.eq(a, d));
+
+  // The SIMD engine (vector backend where usable, its scalar twin
+  // otherwise) must land on the same group element, via both the one-shot
+  // and the prepared-bases entry points.
+  const JacobianPoint e = msm_simd(c, points, scalars);
+  EXPECT_TRUE(c.eq(a, e));
+  const PreparedBases prepared = PreparedBases::build(c, points);
+  EXPECT_EQ(prepared.size(), size);
+  EXPECT_TRUE(c.eq(a, msm_simd(c, prepared, scalars)));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -276,6 +287,176 @@ TEST(Msm, LinearityInScalars) {
   const JacobianPoint lhs = c.add(msm_pippenger(c, pts, s), msm_pippenger(c, pts, t));
   const JacobianPoint rhs = msm_pippenger(c, pts, st);
   EXPECT_TRUE(c.eq(lhs, rhs));
+}
+
+// ---------------------------------------------------------------------------
+// SIMD engine edge cases. `each_backend` runs the body once per usable
+// backend via the dispatch override, so on an AVX2 host every edge case is
+// checked against both the vector engine and its scalar twin; on a
+// scalar-only host the loop degenerates to one scalar pass.
+
+template <typename Fn>
+void each_backend(Fn&& fn) {
+  std::vector<Backend> backends{Backend::kScalar};
+  if (backend_supported(Backend::kAvx2)) backends.push_back(Backend::kAvx2);
+  for (const Backend b : backends) {
+    set_backend_override(b);
+    fn(b);
+  }
+  set_backend_override(std::nullopt);
+}
+
+TEST(MsmSimd, ZeroScalarsGiveInfinity) {
+  const Curve& c = Curve::secp256k1();
+  const auto pts = derive_generators(c, "simd-zeros", 100);
+  const std::vector<U256> zeros(100, U256{});
+  const std::vector<AffinePoint> no_points;
+  const std::vector<U256> no_scalars;
+  each_backend([&](Backend b) {
+    EXPECT_TRUE(c.is_infinity(msm_simd(c, pts, zeros))) << backend_name(b);
+    EXPECT_TRUE(c.is_infinity(msm_simd(c, no_points, no_scalars))) << backend_name(b);
+  });
+}
+
+TEST(MsmSimd, IdentityPointsAreSkipped) {
+  const Curve& c = Curve::secp256k1();
+  auto pts = derive_generators(c, "simd-inf", 50);
+  pts[0] = AffinePoint{};  // identity at the batch head,
+  pts[31] = AffinePoint{};  // at a vector-lane boundary,
+  pts[49] = AffinePoint{};  // and at the ragged tail.
+  std::vector<U256> scalars;
+  for (std::uint64_t i = 0; i < 50; ++i) scalars.push_back(U256(i * 977 + 1));
+  const JacobianPoint expected = msm_naive(c, pts, scalars);
+  const PreparedBases prepared = PreparedBases::build(c, pts);
+  each_backend([&](Backend b) {
+    EXPECT_TRUE(c.eq(expected, msm_simd(c, pts, scalars))) << backend_name(b);
+    EXPECT_TRUE(c.eq(expected, msm_simd(c, prepared, scalars))) << backend_name(b);
+  });
+}
+
+TEST(MsmSimd, SingleElementMatchesScalarMul) {
+  const Curve& c = Curve::secp256r1();
+  const AffinePoint g = c.generator();
+  const U256 k = U256::from_hex("fedcba9876543210123456789abcdef0");
+  const JacobianPoint expected = c.scalar_mul(g, k);
+  each_backend([&](Backend b) {
+    EXPECT_TRUE(c.eq(expected, msm_simd(c, {g}, {k}))) << backend_name(b);
+  });
+}
+
+TEST(MsmSimd, MaxScalarIsExact) {
+  // order-1 (== -1 in the scalar group) exercises every window including
+  // the signed-digit carry out of the top window.
+  for (const CurveId id : {CurveId::kSecp256k1, CurveId::kSecp256r1}) {
+    const Curve& c = Curve::get(id);
+    const auto pts = derive_generators(c, "simd-max", 40);
+    U256 max = c.order();
+    max.sub_assign(U256(1));
+    std::vector<U256> scalars(40, max);
+    scalars[7] = U256{};   // zero among maximal scalars
+    scalars[23] = U256(1);
+    const JacobianPoint expected = msm_naive(c, pts, scalars);
+    each_backend([&](Backend b) {
+      EXPECT_TRUE(c.eq(expected, msm_simd(c, pts, scalars)))
+          << backend_name(b) << " on " << c.name();
+    });
+  }
+}
+
+TEST(MsmSimd, NegateMaskSubtracts) {
+  const Curve& c = Curve::secp256k1();
+  const auto pts = derive_generators(c, "simd-neg", 6);
+  const std::vector<U256> scalars = {U256(3), U256(5), U256(0), U256(9), U256(1), U256(70000)};
+  const std::vector<std::uint8_t> negate = {0, 1, 1, 1, 0, 1};
+  JacobianPoint expected = c.scalar_mul(pts[0], U256(3));
+  expected = c.add(expected, c.neg(c.scalar_mul(pts[1], U256(5))));
+  expected = c.add(expected, c.neg(c.scalar_mul(pts[3], U256(9))));
+  expected = c.add(expected, c.scalar_mul(pts[4], U256(1)));
+  expected = c.add(expected, c.neg(c.scalar_mul(pts[5], U256(70000))));
+  each_backend([&](Backend b) {
+    EXPECT_TRUE(c.eq(expected, msm_simd(c, pts, scalars, &negate))) << backend_name(b);
+  });
+}
+
+TEST(MsmSimd, RandomizedDifferentialAcrossSizes) {
+  // Ragged sizes straddling the vector-lane width and the dispatch
+  // thresholds, random full-width scalars, random negate mask.
+  const Curve& c = Curve::secp256k1();
+  Rng rng(5150);
+  for (const std::size_t n : {1u, 3u, 8u, 31u, 32u, 33u, 100u, 300u}) {
+    const auto pts = derive_generators(c, "simd-rand" + std::to_string(n), n);
+    std::vector<U256> scalars;
+    std::vector<std::uint8_t> negate;
+    for (std::size_t i = 0; i < n; ++i) {
+      U256 s{rng.next(), rng.next(), rng.next(), rng.next()};
+      while (!(s < c.order())) s.shr1();
+      scalars.push_back(s);
+      negate.push_back(static_cast<std::uint8_t>(rng.next() & 1));
+    }
+    JacobianPoint expected = c.infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      const JacobianPoint term = c.scalar_mul(pts[i], scalars[i]);
+      expected = c.add(expected, negate[i] != 0 ? c.neg(term) : term);
+    }
+    each_backend([&](Backend b) {
+      EXPECT_TRUE(c.eq(expected, msm_simd(c, pts, scalars, &negate)))
+          << backend_name(b) << " n=" << n;
+    });
+  }
+}
+
+TEST(MsmSimd, PreparedBasesPrefixAndReuse) {
+  const Curve& c = Curve::secp256k1();
+  const auto pts = derive_generators(c, "simd-prefix", 64);
+  const PreparedBases prepared = PreparedBases::build(c, pts);
+  EXPECT_FALSE(prepared.empty());
+  EXPECT_EQ(prepared.size(), 64u);
+  EXPECT_EQ(prepared.curve(), CurveId::kSecp256k1);
+  Rng rng(616);
+  for (const std::size_t n : {1u, 5u, 40u, 64u}) {
+    std::vector<U256> scalars;
+    for (std::size_t i = 0; i < n; ++i) scalars.push_back(U256(rng.next()));
+    const std::vector<AffinePoint> prefix(pts.begin(),
+                                          pts.begin() + static_cast<std::ptrdiff_t>(n));
+    const JacobianPoint expected = msm_naive(c, prefix, scalars);
+    EXPECT_TRUE(c.eq(expected, msm_simd(c, prepared, scalars))) << "prefix n=" << n;
+  }
+}
+
+TEST(MsmSimd, RejectsBadInputs) {
+  const Curve& k1 = Curve::secp256k1();
+  const auto pts = derive_generators(k1, "simd-bad", 2);
+  const PreparedBases prepared = PreparedBases::build(k1, pts);
+  const std::vector<U256> three(3, U256(1));
+  EXPECT_THROW((void)msm_simd(k1, prepared, three), std::invalid_argument);
+  const std::vector<U256> two(2, U256(1));
+  const std::vector<std::uint8_t> short_mask(1, 0);
+  EXPECT_THROW((void)msm_simd(k1, prepared, two, &short_mask), std::invalid_argument);
+  EXPECT_THROW((void)msm_simd(Curve::secp256r1(), prepared, two), std::invalid_argument);
+  EXPECT_THROW((void)msm_simd(k1, PreparedBases{}, two), std::invalid_argument);
+  EXPECT_THROW((void)msm_simd(k1, pts, three), std::invalid_argument);
+}
+
+TEST(MsmSimd, PedersenCommitmentsAreByteIdenticalAcrossBackends) {
+  // The end-to-end guarantee the CI bench gate enforces, in miniature:
+  // commit() must produce byte-identical commitments whichever backend the
+  // dispatch lands on, including kAuto's cached-bases fast path (>= 32
+  // values, no pool).
+  PedersenKey key(Curve::secp256k1(), "simd-exact", 64, MsmMode::kAuto);
+  Rng rng(2718);
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 64; ++i) {
+    values.push_back(static_cast<std::int64_t>(rng.next() % 200001) - 100000);
+  }
+  values[0] = 0;
+  std::vector<Commitment> commitments;
+  each_backend([&](Backend) { commitments.push_back(key.commit(values)); });
+  key.set_mode(MsmMode::kNaive);
+  commitments.push_back(key.commit(values));
+  for (std::size_t i = 1; i < commitments.size(); ++i) {
+    EXPECT_EQ(commitments[0].point, commitments[i].point) << "variant " << i;
+    EXPECT_TRUE(key.verify(commitments[i], values));
+  }
 }
 
 }  // namespace

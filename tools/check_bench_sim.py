@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Validate a BENCH_sim.json produced by bench/abl_datapath, bench/abl_chunking,
-or a BENCH_scale.json produced by bench/abl_scale.
+a BENCH_scale.json produced by bench/abl_scale, or a BENCH_crypto.json row
+list produced by the crypto benches (bench/fig3_commitment et al.).
 
-Dispatches on the document's "bench" field and checks the schema (required
-keys and types) plus the invariants each bench guarantees regardless of
-workload size:
+Dispatches on the document's "bench" field (row lists dispatch to the
+crypto gate) and checks the schema (required keys and types) plus the
+invariants each bench guarantees regardless of workload size:
 
 abl_datapath (A9, zero-copy data plane):
   * simulated results are bit-identical across the two modes,
@@ -17,6 +18,15 @@ abl_chunking (A10, chunked Merkle-DAG transfer plane):
     than the monolithic plane at the same provider count,
   * chunking at 256 KiB never loses to monolithic at any provider count,
   * the headline cell is deterministic across a full re-run.
+
+BENCH_crypto.json (A14, vectorized crypto backend):
+  * scalar-vs-SIMD exact match: at every size carrying both rows, the
+    "simd" commit digest is byte-identical to the "pippenger" (and
+    "naive", when present) commit digest,
+  * speedup floor: when the simd row's isa shows a vector tier (not
+    "scalar"), commit at size 10^4 must be >= MIN_SIMD_SPEEDUP x faster
+    than single-thread Pippenger; skipped (with a note) on hosts where
+    the AVX2 backend is unavailable or disabled,
 
 abl_scale (A13, sharded-engine scaling curve):
   * hard gate: per host count, agg_hash, sim_round_done_ns and the event
@@ -297,6 +307,88 @@ def check_scale(doc, path):
     )
 
 
+CRYPTO_ROW_KEYS = {
+    "op": str,
+    "size": int,
+    "backend": str,
+    "threads": int,
+    "ns_per_op": float,
+}
+
+# Commit at 10^4 elements must beat single-thread Pippenger by at least
+# this factor when a vector ISA tier is active. The AVX2 tier alone
+# measures ~2.5-3x on noisy hosts and the IFMA tier 4-6x; gate on the
+# floor that must hold on any AVX2-capable machine.
+MIN_SIMD_SPEEDUP = 2.0
+SIMD_SPEEDUP_SIZE = 10_000
+
+
+def check_crypto(rows, path):
+    if not rows:
+        fail("crypto row list is empty")
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            fail(f"rows[{i}]: not an object")
+        check_keys(row, CRYPTO_ROW_KEYS, f"rows[{i}]")
+
+    def commit_rows(backend):
+        return {
+            r["size"]: r
+            for r in rows
+            if r["op"] == "commit" and r["backend"] == backend and r["threads"] == 1
+        }
+
+    simd = commit_rows("simd")
+    pip = commit_rows("pippenger")
+    naive = commit_rows("naive")
+    if not simd:
+        fail("no single-thread 'simd' commit rows (fig3_commitment not run?)")
+    if not pip:
+        fail("no single-thread 'pippenger' commit rows to compare against")
+
+    # Exact-match gate: the SIMD engine must produce byte-identical
+    # commitments wherever digests were recorded for both backends.
+    compared = 0
+    for size, srow in sorted(simd.items()):
+        for ref_name, ref in (("pippenger", pip.get(size)), ("naive", naive.get(size))):
+            if ref is None:
+                continue
+            sdig, rdig = srow.get("digest", ""), ref.get("digest", "")
+            if not sdig or not rdig:
+                continue
+            if sdig != rdig:
+                fail(
+                    f"size={size}: simd commitment digest {sdig[:16]}… differs "
+                    f"from {ref_name} {rdig[:16]}… (backends are not bit-exact)"
+                )
+            compared += 1
+    if compared == 0:
+        fail("no overlapping commit digests to compare (digest fields missing)")
+
+    # Speedup floor, only meaningful when a vector tier actually ran.
+    srow = simd.get(SIMD_SPEEDUP_SIZE)
+    prow = pip.get(SIMD_SPEEDUP_SIZE)
+    isa = (srow or {}).get("isa", "scalar") or "scalar"
+    if srow is None or prow is None:
+        fail(f"missing size={SIMD_SPEEDUP_SIZE} simd/pippenger commit rows")
+    if isa == "scalar":
+        print(
+            f"check_bench_sim: OK ({path}): {compared} digest pairs identical; "
+            f"speedup floor skipped (isa=scalar: AVX2 backend absent or disabled)"
+        )
+        return
+    speedup = prow["ns_per_op"] / srow["ns_per_op"]
+    if speedup < MIN_SIMD_SPEEDUP:
+        fail(
+            f"simd commit at n={SIMD_SPEEDUP_SIZE} is only {speedup:.2f}x faster "
+            f"than pippenger (< {MIN_SIMD_SPEEDUP}x floor, isa={isa})"
+        )
+    print(
+        f"check_bench_sim: OK ({path}): {compared} digest pairs identical, "
+        f"simd {speedup:.2f}x over pippenger at n={SIMD_SPEEDUP_SIZE} (isa={isa})"
+    )
+
+
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_sim.json"
     try:
@@ -304,6 +396,10 @@ def main():
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot load {path}: {e}")
+
+    if isinstance(doc, list):
+        check_crypto(doc, path)
+        return
 
     bench = doc.get("bench")
     if bench == "abl_datapath":
