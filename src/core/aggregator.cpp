@@ -1,6 +1,7 @@
 #include "core/aggregator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "common/log.hpp"
@@ -10,6 +11,21 @@
 namespace dfl::core {
 
 namespace {
+
+/// Async folds are integer-scaled so the staleness-weighted mean stays
+/// exact: a fresh gradient carries factor 256, one s iterations old carries
+/// round(256/(1+s)^α). The weight element scales along with the values, so
+/// Payload::average divides by the exact factor sum — no floating-point in
+/// the accumulation domain.
+constexpr std::int64_t kAsyncWeightOne = 256;
+/// How many prior iterations the staleness cover looks back through.
+constexpr std::uint32_t kStaleDepth = 2;
+
+std::int64_t stale_factor(std::uint32_t staleness, double alpha) {
+  const double f = static_cast<double>(kAsyncWeightOne) /
+                   std::pow(1.0 + static_cast<double>(staleness), alpha);
+  return std::max<std::int64_t>(1, std::llround(f));
+}
 
 /// Zero payload of the right shape (used when nothing was gathered).
 Payload zero_payload(std::size_t elements) {
@@ -130,6 +146,14 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
   if (expected.empty()) co_return g;
 
   const bool merge_mode = ctx_.spec.options.merge_and_download;
+  const bool async = ctx_.spec.options.async_rounds;
+  const CodecConfig cc = codec_config(ctx_.spec.options);
+
+  // Individual gradient blocks arrive codec-encoded; merged pre-aggregates
+  // always come back dense (the storage-node merger decodes before folding).
+  auto decode_wire = [&](const Block& data) {
+    return cc.codec == Codec::kDense ? Payload::deserialize(data) : decode_payload(data, cc);
+  };
 
   // provider node -> expected trainers stored there (deterministic rule).
   std::map<std::uint32_t, std::set<std::uint32_t>> groups;
@@ -143,8 +167,20 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
   // Individual-gradient commitments, fetched lazily once (verifiable merge).
   std::optional<std::map<std::uint32_t, crypto::Commitment>> grad_commitments;
 
-  auto absorb = [&](const Payload& p, const std::set<std::uint32_t>& from) {
-    g.sum = g.sum ? Payload::add(*g.sum, p) : p;
+  auto absorb = [&](const Payload& p, const std::set<std::uint32_t>& from,
+                    std::int64_t factor) {
+    if (async) {
+      if (factor == kAsyncWeightOne) {
+        rec.fresh_folds += from.size();
+      } else {
+        rec.stale_folds += from.size();
+      }
+      Payload scaled = p;
+      for (std::int64_t& v : scaled.values) v *= factor;
+      g.sum = g.sum ? Payload::add(*g.sum, scaled) : std::move(scaled);
+    } else {
+      g.sum = g.sum ? Payload::add(*g.sum, p) : p;
+    }
     g.received.insert(from.begin(), from.end());
   };
 
@@ -160,7 +196,7 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
       const Block data = co_await ctx_.swarm.fetch_with_retry(host_, cid, ctx_.spec.options.retry,
                                                               deadline, &rec.rpc);
       rec.bytes_received += data.size();
-      absorb(Payload::deserialize(data), {t});
+      absorb(decode_wire(data), {t}, kAsyncWeightOne);
     } catch (const std::exception&) {
       DFL_WARN("aggregator") << "a" << global_id_ << " gradient of t" << t
                              << " unavailable on every replica";
@@ -246,7 +282,7 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
         co_await fetches.join();
       }
     }
-    if (accept) absorb(payload, from);
+    if (accept) absorb(payload, from, kAsyncWeightOne);
     list.clear();
     merged_providers.insert(provider_id);
   };
@@ -305,6 +341,63 @@ sim::Task<Aggregator::GatherResult> Aggregator::gather(
   } catch (...) {
     // co_await is illegal inside a catch block: capture, drain, rethrow.
     gather_error = std::current_exception();
+  }
+  // Async staleness cover: a trainer that missed this iteration's gather
+  // deadline is represented by its most recent prior-iteration gradient,
+  // folded with weight round(256/(1+s)^α). Runs only after the fresh folds
+  // settle, so it never races an upload that would still have made it.
+  if (async && gather_error == nullptr && iter > 0) {
+    co_await inflight.join();
+    if (g.received.size() < expected.size()) {
+      sim::ScopedSpan fold_span(ctx_.sim, "async_fold", host_.id(), span);
+      fold_span.attr("iter", static_cast<std::int64_t>(iter));
+      const sim::TimeNs stale_deadline =
+          ctx_.sim.now() + (ctx_.spec.schedule.t_sync - ctx_.spec.schedule.t_train) / 4;
+      auto fetch_stale = [&](std::uint32_t t, ipfs::Cid cid,
+                             std::uint32_t staleness) -> sim::Task<void> {
+        sim::ScopedSpan stale_span(ctx_.sim, "stale_update", host_.id(), fold_span.id());
+        stale_span.attr("trainer", static_cast<std::int64_t>(t));
+        stale_span.attr("staleness", static_cast<std::int64_t>(staleness));
+        const std::int64_t factor = stale_factor(staleness, ctx_.spec.options.staleness_alpha);
+        stale_span.attr("factor", factor);
+        try {
+          obs::set_ambient_span(stale_span.id());
+          const Block data = co_await ctx_.swarm.fetch_with_retry(
+              host_, cid, ctx_.spec.options.retry, stale_deadline, &rec.rpc);
+          rec.bytes_received += data.size();
+          absorb(decode_wire(data), {t}, factor);
+        } catch (const std::exception&) {
+          DFL_WARN("aggregator") << "a" << global_id_ << " stale gradient of t" << t
+                                 << " unavailable on every replica";
+        }
+      };
+      sim::TaskGroup stale_fetches(ctx_.sim);
+      std::set<std::uint32_t> covered;
+      std::exception_ptr stale_error;
+      try {
+        // Freshest first: a trainer found at staleness s is not re-fetched
+        // at s+1.
+        for (std::uint32_t s = 1; s <= kStaleDepth && s <= iter; ++s) {
+          if (g.received.size() + covered.size() >= expected.size()) break;
+          obs::set_ambient_span(fold_span.id());
+          const auto entries = co_await ctx_.dir.poll(host_, partition_, iter - s,
+                                                      directory::EntryType::kGradient);
+          for (const auto& e : entries) {
+            if (!expected.contains(e.uploader_id) || g.received.contains(e.uploader_id) ||
+                covered.contains(e.uploader_id)) {
+              continue;
+            }
+            covered.insert(e.uploader_id);
+            stale_fetches.spawn(fetch_stale(e.uploader_id, e.cid, s));
+          }
+        }
+      } catch (...) {
+        stale_error = std::current_exception();
+      }
+      co_await stale_fetches.join();
+      fold_span.attr("stale", static_cast<std::int64_t>(covered.size()));
+      if (stale_error != nullptr) std::rethrow_exception(stale_error);
+    }
   }
   co_await inflight.join();
   if (gather_error != nullptr) std::rethrow_exception(gather_error);

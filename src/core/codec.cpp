@@ -1,0 +1,368 @@
+#include "core/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "common/serde.hpp"
+#include "core/payload.hpp"
+
+namespace dfl::core {
+
+namespace {
+
+// Wire magics: a dense payload starts with its u32 element count, so a
+// count would have to reach ~3.7e9 elements to collide with either magic.
+constexpr std::uint32_t kQuantMagic = 0xDF1C0DE1u;
+constexpr std::uint32_t kTopkMagic = 0xDF1C0DE2u;
+
+constexpr int kQuantBitsMin = 2;
+constexpr int kQuantBitsMax = 16;
+
+void check_quant_bits(int bits) {
+  if (bits < kQuantBitsMin || bits > kQuantBitsMax) {
+    throw CodecError("codec: quant_bits out of range [2, 16]");
+  }
+}
+
+void check_topk_frac(double frac) {
+  if (!(frac > 0.0) || frac > 1.0) {
+    throw CodecError("codec: topk_frac out of range (0, 1]");
+  }
+}
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t u = 0;
+  for (std::size_t i = 0; i < 4; ++i) u |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return u;
+}
+
+std::int64_t load_i64(const std::uint8_t* p) {
+  std::uint64_t u = 0;
+  for (std::size_t i = 0; i < 8; ++i) u |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return static_cast<std::int64_t>(u);
+}
+
+/// Bounds-checked little-endian cursor; throws CodecError instead of
+/// running off the end, so truncated buffers surface as typed errors.
+class Cursor {
+ public:
+  explicit Cursor(BytesView data) : data_(data) {}
+
+  std::uint32_t u32() { return load_u32(need(4)); }
+  std::int64_t i64() { return load_i64(need(8)); }
+
+  const std::uint8_t* need(std::size_t n) {
+    if (data_.size() - pos_ < n) throw CodecError("codec: truncated payload");
+    const std::uint8_t* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+void expect_done(const Cursor& c) {
+  if (c.remaining() != 0) throw CodecError("codec: trailing bytes after payload");
+}
+
+/// LSB-first bit packer for k-bit two's-complement values (k ≤ 16).
+class BitWriter {
+ public:
+  void put(std::uint32_t v, int bits) {
+    acc_ |= static_cast<std::uint64_t>(v & ((1u << bits) - 1u)) << nbits_;
+    nbits_ += bits;
+    while (nbits_ >= 8) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ & 0xffu));
+      acc_ >>= 8;
+      nbits_ -= 8;
+    }
+  }
+
+  void flush(Writer& w) {
+    if (nbits_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ & 0xffu));
+      acc_ = 0;
+      nbits_ = 0;
+    }
+    w.put_raw(out_);
+  }
+
+ private:
+  Bytes out_;
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  /// Reads a k-bit two's-complement value, sign-extended to int64.
+  std::int64_t get_signed(int bits) {
+    while (nbits_ < bits) {
+      if (pos_ >= size_) throw CodecError("codec: truncated quantized stream");
+      acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << nbits_;
+      nbits_ += 8;
+    }
+    const std::uint64_t raw = acc_ & ((1ull << bits) - 1ull);
+    acc_ >>= bits;
+    nbits_ -= bits;
+    const std::uint64_t sign = 1ull << (bits - 1);
+    return static_cast<std::int64_t>((raw ^ sign)) - static_cast<std::int64_t>(sign);
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+/// floor(t / s) with s > 0, plus the nonnegative remainder in [0, s).
+std::int64_t floor_div(__int128 t, std::int64_t s, std::int64_t* rem) {
+  __int128 q = t / s;  // truncates toward zero
+  if (t % s != 0 && t < 0) --q;
+  *rem = static_cast<std::int64_t>(t - q * s);
+  return static_cast<std::int64_t>(q);
+}
+
+/// round((q * s) / qmax), ties away from zero — exact integer arithmetic so
+/// every receiver reconstructs the identical fixed-point value.
+std::int64_t dequantize(std::int64_t q, std::int64_t s, std::int64_t qmax) {
+  const __int128 t = static_cast<__int128>(q) * s;
+  const __int128 r =
+      t >= 0 ? (t + qmax / 2) / qmax : -((-t + qmax / 2) / qmax);
+  return static_cast<std::int64_t>(r);
+}
+
+std::size_t topk_kept(std::size_t n, double frac) {
+  if (n == 0) return 0;
+  const auto want = static_cast<std::size_t>(std::ceil(frac * static_cast<double>(n)));
+  return std::min(n, std::max<std::size_t>(1, want));
+}
+
+Bytes encode_quant(const Payload& p, int bits, std::uint64_t seed, EncodeStats* stats) {
+  check_quant_bits(bits);
+  if (p.values.empty()) throw CodecError("codec: cannot quantize an empty payload");
+  const std::size_t n = p.values.size() - 1;  // gradient elements, weight excluded
+  const std::int64_t qmax = (std::int64_t{1} << (bits - 1)) - 1;
+
+  std::int64_t scale = 0;  // max |v| over the gradient elements
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t a = p.values[i] < 0 ? -p.values[i] : p.values[i];
+    scale = std::max(scale, a);
+  }
+
+  Writer w;
+  w.put<std::uint32_t>(kQuantMagic);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(bits));
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(p.values.size()));
+  w.put<std::int64_t>(p.values.back());  // weight, exact
+  w.put<std::int64_t>(scale);
+
+  Rng rng(seed);
+  double error_sq = 0;
+  BitWriter bw;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t q = 0;
+    if (scale > 0) {
+      // q = v·qmax/scale with stochastic rounding: round up with
+      // probability rem/scale so the quantizer is unbiased.
+      std::int64_t rem = 0;
+      q = floor_div(static_cast<__int128>(p.values[i]) * qmax, scale, &rem);
+      if (rem != 0 && rng.uniform(static_cast<std::uint64_t>(scale)) <
+                          static_cast<std::uint64_t>(rem)) {
+        ++q;
+      }
+    }
+    bw.put(static_cast<std::uint32_t>(static_cast<std::uint64_t>(q)), bits);
+    const double err = static_cast<double>(dequantize(q, scale, qmax) - p.values[i]);
+    error_sq += err * err;
+  }
+  bw.flush(w);
+
+  Bytes out = w.take();
+  if (stats != nullptr) {
+    stats->raw_bytes = Payload::wire_size(p.values.size());
+    stats->encoded_bytes = out.size();
+    stats->error_sq = error_sq;
+  }
+  return out;
+}
+
+Payload decode_quant(BytesView data, int bits) {
+  check_quant_bits(bits);
+  Cursor c(data);
+  if (c.u32() != kQuantMagic) throw CodecError("codec: bad quant magic");
+  const std::uint32_t wire_bits = c.u32();
+  if (wire_bits != static_cast<std::uint32_t>(bits)) {
+    throw CodecError("codec: quant_bits mismatch");
+  }
+  const std::uint32_t count = c.u32();
+  if (count == 0) throw CodecError("codec: empty quantized payload");
+  const std::int64_t weight = c.i64();
+  const std::int64_t scale = c.i64();
+  if (scale < 0) throw CodecError("codec: negative quant scale");
+  const std::size_t n = count - 1;
+  const std::int64_t qmax = (std::int64_t{1} << (bits - 1)) - 1;
+  const std::size_t packed = (n * static_cast<std::size_t>(bits) + 7) / 8;
+  BitReader br(c.need(packed), packed);
+  expect_done(c);
+
+  Payload p;
+  p.values.reserve(count);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t q = br.get_signed(bits);
+    if (q < -qmax || q > qmax) throw CodecError("codec: quantized value out of range");
+    p.values.push_back(dequantize(q, scale, qmax));
+  }
+  p.values.push_back(weight);
+  return p;
+}
+
+Bytes encode_topk(const Payload& p, double frac, EncodeStats* stats) {
+  check_topk_frac(frac);
+  if (p.values.empty()) throw CodecError("codec: cannot sparsify an empty payload");
+  const std::size_t n = p.values.size() - 1;
+  const std::size_t kept = topk_kept(n, frac);
+
+  // Deterministic selection: magnitude descending, index ascending on ties.
+  std::vector<std::uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  const auto louder = [&](std::uint32_t a, std::uint32_t b) {
+    const std::int64_t va = p.values[a] < 0 ? -p.values[a] : p.values[a];
+    const std::int64_t vb = p.values[b] < 0 ? -p.values[b] : p.values[b];
+    return va != vb ? va > vb : a < b;
+  };
+  if (kept < n) {
+    std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(kept) - 1,
+                     idx.end(), louder);
+  }
+  std::vector<std::uint8_t> bitmap((n + 7) / 8, 0);
+  for (std::size_t i = 0; i < kept; ++i) {
+    bitmap[idx[i] / 8] |= static_cast<std::uint8_t>(1u << (idx[i] % 8));
+  }
+
+  Writer w;
+  w.put<std::uint32_t>(kTopkMagic);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(p.values.size()));
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(kept));
+  w.put<std::int64_t>(p.values.back());  // weight, exact
+  w.put_raw(bitmap);
+  double error_sq = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((bitmap[i / 8] >> (i % 8)) & 1u) {
+      w.put<std::int64_t>(p.values[i]);
+    } else {
+      const double err = static_cast<double>(p.values[i]);
+      error_sq += err * err;
+    }
+  }
+
+  Bytes out = w.take();
+  if (stats != nullptr) {
+    stats->raw_bytes = Payload::wire_size(p.values.size());
+    stats->encoded_bytes = out.size();
+    stats->error_sq = error_sq;
+  }
+  return out;
+}
+
+Payload decode_topk(BytesView data, double frac) {
+  check_topk_frac(frac);
+  Cursor c(data);
+  if (c.u32() != kTopkMagic) throw CodecError("codec: bad topk magic");
+  const std::uint32_t count = c.u32();
+  if (count == 0) throw CodecError("codec: empty sparsified payload");
+  const std::uint32_t kept = c.u32();
+  const std::int64_t weight = c.i64();
+  const std::size_t n = count - 1;
+  if (kept > n || kept != topk_kept(n, frac)) {
+    throw CodecError("codec: topk kept-count mismatch");
+  }
+  const std::uint8_t* bitmap = c.need((n + 7) / 8);
+  std::size_t marked = 0;
+  for (std::size_t i = 0; i < n; ++i) marked += (bitmap[i / 8] >> (i % 8)) & 1u;
+  if (marked != kept) throw CodecError("codec: topk bitmap/kept mismatch");
+
+  Payload p;
+  p.values.assign(count, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((bitmap[i / 8] >> (i % 8)) & 1u) p.values[i] = c.i64();
+  }
+  p.values.back() = weight;
+  expect_done(c);
+  return p;
+}
+
+}  // namespace
+
+const char* codec_name(Codec c) {
+  switch (c) {
+    case Codec::kDense:
+      return "dense";
+    case Codec::kQuant:
+      return "quant";
+    case Codec::kTopK:
+      return "topk";
+  }
+  return "unknown";
+}
+
+Bytes encode_payload(const Payload& p, const CodecConfig& cfg, std::uint64_t seed,
+                     EncodeStats* stats) {
+  switch (cfg.codec) {
+    case Codec::kQuant:
+      return encode_quant(p, cfg.quant_bits, seed, stats);
+    case Codec::kTopK:
+      return encode_topk(p, cfg.topk_frac, stats);
+    case Codec::kDense:
+      break;
+  }
+  Bytes out = p.serialize();
+  if (stats != nullptr) {
+    stats->raw_bytes = out.size();
+    stats->encoded_bytes = out.size();
+    stats->error_sq = 0;
+  }
+  return out;
+}
+
+Payload decode_payload(BytesView data, const CodecConfig& cfg) {
+  switch (cfg.codec) {
+    case Codec::kQuant:
+      return decode_quant(data, cfg.quant_bits);
+    case Codec::kTopK:
+      return decode_topk(data, cfg.topk_frac);
+    case Codec::kDense:
+      break;
+  }
+  return Payload::deserialize(data);
+}
+
+Payload reconstruct_payload(const Payload& p, const CodecConfig& cfg, std::uint64_t seed) {
+  if (cfg.codec == Codec::kDense) return p;
+  const Bytes wire = encode_payload(p, cfg, seed);
+  return decode_payload(wire, cfg);
+}
+
+std::uint64_t codec_seed(std::uint32_t trainer, std::uint32_t iter, std::uint32_t partition) {
+  // splitmix64 finalizer over a fixed-salt pack of the upload identity.
+  std::uint64_t x = 0xC0DEC5EEDULL;
+  x ^= (static_cast<std::uint64_t>(trainer) << 40) ^ (static_cast<std::uint64_t>(iter) << 16) ^
+       partition;
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace dfl::core

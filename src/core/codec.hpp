@@ -1,0 +1,82 @@
+// Pluggable wire encodings for gradient payloads. Trainers encode each
+// partition payload before storing it; aggregators (and the storage-node
+// merger) decode before folding, so partial sums always accumulate in the
+// exact int64 fixed-point domain regardless of what traveled on the wire
+// (decode-on-fold). Three codecs:
+//
+//   kDense — the identity codec: the legacy `Payload` wire format,
+//            byte-for-byte. Zero overhead, bit-identical behavior.
+//   kQuant — uniform k-bit quantization against the payload's max
+//            magnitude, with deterministic stochastic rounding (unbiased in
+//            expectation; the rounding stream is seeded from the upload's
+//            (trainer, iter, partition) identity so reruns are identical).
+//   kTopK  — top-k magnitude sparsification: a presence bitmap plus the
+//            kept elements verbatim, dropped elements decode to zero.
+//
+// The averaging weight (last element) is never quantized or dropped — sums
+// of weights must stay exact for Payload::average.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace dfl::core {
+
+struct Payload;
+
+enum class Codec : std::uint8_t {
+  kDense = 0,
+  kQuant = 1,
+  kTopK = 2,
+};
+
+/// Stable lowercase name ("dense", "quant", "topk") for flags/bench rows.
+[[nodiscard]] const char* codec_name(Codec c);
+
+struct CodecConfig {
+  Codec codec = Codec::kDense;
+  /// Bits per quantized element for kQuant, in [2, 16].
+  int quant_bits = 8;
+  /// Fraction of gradient elements kept by kTopK, in (0, 1].
+  double topk_frac = 0.1;
+};
+
+/// Malformed encoded payload: truncated buffer, wrong magic, codec
+/// mismatch, or an out-of-range codec parameter.
+struct CodecError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// What one encode cost and lost (lossy codecs; dense reports equal byte
+/// counts and zero error).
+struct EncodeStats {
+  std::size_t raw_bytes = 0;      // dense wire size of the input payload
+  std::size_t encoded_bytes = 0;  // bytes actually shipped
+  double error_sq = 0;  // squared reconstruction error, fixed-point units
+};
+
+/// Encodes `p` under `cfg`. Dense is the identity (`p.serialize()`).
+/// `seed` drives kQuant's stochastic rounding; kDense/kTopK ignore it.
+/// Throws CodecError on out-of-range codec parameters.
+[[nodiscard]] Bytes encode_payload(const Payload& p, const CodecConfig& cfg, std::uint64_t seed,
+                                   EncodeStats* stats = nullptr);
+
+/// Decodes an encoded buffer back to the exact fixed-point payload the
+/// receiver folds. Dense delegates to Payload::deserialize. Throws
+/// CodecError (or PayloadError for dense) on malformed input.
+[[nodiscard]] Payload decode_payload(BytesView data, const CodecConfig& cfg);
+
+/// decode(encode(p)): the payload a receiver reconstructs. Verifiable mode
+/// commits to this — the commitment must open what actually ships.
+[[nodiscard]] Payload reconstruct_payload(const Payload& p, const CodecConfig& cfg,
+                                          std::uint64_t seed);
+
+/// Deterministic stochastic-rounding stream seed for one gradient upload:
+/// a fixed-salt mix of (trainer, iter, partition), so every rerun rounds
+/// identically and no two uploads share a stream.
+[[nodiscard]] std::uint64_t codec_seed(std::uint32_t trainer, std::uint32_t iter,
+                                       std::uint32_t partition);
+
+}  // namespace dfl::core

@@ -1,8 +1,11 @@
 #include "core/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace dfl::core {
+
+double CodecRecord::error_norm() const { return std::sqrt(error_sq); }
 
 double RoundMetrics::mean_upload_delay_s() const {
   double total = 0;

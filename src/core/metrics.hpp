@@ -33,6 +33,8 @@ struct AggregatorRecord {
   std::uint64_t gradients_aggregated = 0;
   std::uint64_t merge_requests = 0;
   std::uint64_t merge_fallbacks = 0;  // merge_get degraded to individual fetches
+  std::uint64_t fresh_folds = 0;      // async: gradients folded at their own iter
+  std::uint64_t stale_folds = 0;      // async: prior-iter gradients folded late
   bool covered_for_peer = false;  // downloaded an offline peer's gradients
   bool rejected_by_directory = false;
   ipfs::RetryStats rpc;  // storage-RPC attempts/retries/timeouts/failovers
@@ -89,6 +91,24 @@ struct ShardingRecord {
   }
 };
 
+/// Payload-codec activity during one round: raw vs encoded gradient bytes
+/// and the reconstruction error the lossy codecs introduced. All zeros for
+/// the dense identity codec.
+struct CodecRecord {
+  std::uint64_t encodes = 0;        // gradient partitions encoded
+  std::uint64_t raw_bytes = 0;      // dense wire bytes the uploads would be
+  std::uint64_t encoded_bytes = 0;  // bytes actually shipped
+  double error_sq = 0;  // summed squared reconstruction error, fixed-point units
+  /// Encoded-vs-raw byte ratio (1.0 for dense / no uploads).
+  [[nodiscard]] double compression() const {
+    return encoded_bytes == 0 ? 1.0
+                              : static_cast<double>(raw_bytes) /
+                                    static_cast<double>(encoded_bytes);
+  }
+  /// L2 norm of the round's reconstruction error, fixed-point LSB units.
+  [[nodiscard]] double error_norm() const;
+};
+
 struct RoundMetrics {
   std::uint32_t iter = 0;
   sim::TimeNs round_start = 0;
@@ -100,6 +120,7 @@ struct RoundMetrics {
   double post_round_accuracy = -1;
   double post_round_loss = -1;
   CryptoRecord crypto;      // zeros when not verifiable
+  CodecRecord codec;        // payload-codec bytes/error (zeros for dense)
   DataPathRecord datapath;  // host-side data-plane observability
   ShardingRecord sharding;  // sharded-engine window/locality counters
   /// Injector activity during this round (delta; zeros without chaos).

@@ -15,7 +15,17 @@ Bytes Payload::serialize() const {
   return w.take();
 }
 
+std::size_t Payload::serialized_size(BytesView data) {
+  if (data.size() < 4) throw PayloadError("Payload: truncated header");
+  std::uint32_t n = 0;
+  for (std::size_t i = 0; i < 4; ++i) n |= static_cast<std::uint32_t>(data[i]) << (8 * i);
+  return wire_size(n);
+}
+
 Payload Payload::deserialize(BytesView data) {
+  const std::size_t declared = serialized_size(data);
+  if (data.size() < declared) throw PayloadError("Payload: truncated elements");
+  if (data.size() > declared) throw PayloadError("Payload: trailing bytes");
   Reader r(data);
   const auto n = r.get<std::uint32_t>();
   Payload p;
@@ -51,6 +61,13 @@ std::vector<double> Payload::average(int frac_bits) const {
 
 Bytes PayloadMerger::merge(const std::vector<BytesView>& blocks) const {
   if (blocks.empty()) return Payload{}.serialize();
+  if (codec_.codec != Codec::kDense) {
+    Payload acc = decode_payload(blocks.front(), codec_);
+    for (std::size_t i = 1; i < blocks.size(); ++i) {
+      acc = Payload::add(acc, decode_payload(blocks[i], codec_));
+    }
+    return acc.serialize();
+  }
   Payload acc = Payload::deserialize(blocks.front());
   for (std::size_t i = 1; i < blocks.size(); ++i) {
     acc = Payload::add(acc, Payload::deserialize(blocks[i]));
@@ -77,6 +94,8 @@ void append_i64(Bytes& out, std::int64_t v) {
 
 std::uint64_t PayloadMerger::merge_boundary(std::uint64_t limit, std::uint64_t total) const {
   if (limit >= total) return total;
+  // Encoded blocks are opaque until complete: no partial boundary exists.
+  if (codec_.codec != Codec::kDense) return 0;
   if (limit < kHeader) return 0;
   return std::min(total, kHeader + 8 * ((limit - kHeader) / 8));
 }
@@ -84,13 +103,24 @@ std::uint64_t PayloadMerger::merge_boundary(std::uint64_t limit, std::uint64_t t
 Bytes PayloadMerger::merge_range(const std::vector<BytesView>& parts, std::uint64_t from,
                                  std::uint64_t to) const {
   if (parts.empty() || to <= from) return {};
+  if (codec_.codec != Codec::kDense) {
+    // merge_boundary only ever returns 0 or total for encoded blocks, so
+    // the one legal range is the whole block: decode-and-fold it.
+    if (from != 0) {
+      throw std::logic_error("PayloadMerger: encoded payloads merge whole blocks only");
+    }
+    std::vector<BytesView> whole;
+    whole.reserve(parts.size());
+    for (const BytesView& p : parts) whole.push_back(p.first(to));
+    return merge(whole);
+  }
   Bytes out;
   out.reserve(to - from);
   // Header range: all inputs must agree on the element count; emit it once.
   for (std::uint64_t pos = from; pos < std::min(to, kHeader); ++pos) {
     const std::uint8_t b = parts.front()[pos];
     for (const BytesView& p : parts) {
-      if (p[pos] != b) throw std::invalid_argument("PayloadMerger: header mismatch");
+      if (p[pos] != b) throw PayloadError("PayloadMerger: header mismatch");
     }
     out.push_back(b);
   }

@@ -5,18 +5,30 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "core/codec.hpp"
 #include "ipfs/node.hpp"
 
 namespace dfl::core {
+
+/// Malformed dense payload buffer: truncated header, truncated elements,
+/// or trailing bytes beyond the declared element count.
+struct PayloadError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct Payload {
   /// Fixed-point encoded gradient elements, then the weight element.
   std::vector<std::int64_t> values;
 
   [[nodiscard]] Bytes serialize() const;
+
+  /// Strict framing: `data` must be exactly the declared element count —
+  /// truncated or over-long buffers throw PayloadError, never a silent
+  /// short read.
   static Payload deserialize(BytesView data);
 
   /// Element-wise sum; sizes must match.
@@ -32,24 +44,43 @@ struct Payload {
   /// (including the weight element).
   static std::size_t wire_size(std::size_t elements) { return 4 + elements * 8; }
 
+  /// Wire size this payload serializes to.
+  [[nodiscard]] std::size_t serialized_size() const { return wire_size(values.size()); }
+
+  /// Total size a serialized buffer declares in its count header, without
+  /// deserializing it. Throws PayloadError if `data` cannot even hold the
+  /// header.
+  static std::size_t serialized_size(BytesView data);
+
   friend bool operator==(const Payload&, const Payload&) = default;
 };
 
 /// Sums payload blocks on a storage node — the merge-and-download merger.
 ///
-/// Streaming-capable: the wire format is a 4-byte count header followed by
-/// little-endian int64 elements, so any prefix ending on an element
-/// boundary (offset 4 + 8k) merges independently of the rest — that is
-/// what lets merge_get ship partial sums while later chunks are still
+/// Dense codec: streaming-capable. The wire format is a 4-byte count header
+/// followed by little-endian int64 elements, so any prefix ending on an
+/// element boundary (offset 4 + 8k) merges independently of the rest — that
+/// is what lets merge_get ship partial sums while later chunks are still
 /// downloading. Concatenating merge_range over those boundaries is
 /// bit-identical to merge() on the whole blocks.
+///
+/// Lossy codecs (quant/topk): blocks are opaque until complete, so
+/// merge_boundary only fires at `total` and the single whole-block
+/// merge_range decodes each input and folds in the exact int64 domain
+/// (decode-on-fold). Merged output is always dense.
 class PayloadMerger final : public ipfs::BlockMerger {
  public:
+  PayloadMerger() = default;
+  explicit PayloadMerger(CodecConfig codec) : codec_(codec) {}
+
   [[nodiscard]] Bytes merge(const std::vector<BytesView>& blocks) const override;
   [[nodiscard]] std::uint64_t merge_boundary(std::uint64_t limit,
                                              std::uint64_t total) const override;
   [[nodiscard]] Bytes merge_range(const std::vector<BytesView>& parts, std::uint64_t from,
                                   std::uint64_t to) const override;
+
+ private:
+  CodecConfig codec_;
 };
 
 }  // namespace dfl::core

@@ -173,6 +173,20 @@ int apply_scenario(const sim::ScenarioSpec& spec, DeploymentConfig& cfg) {
 
 Deployment::Deployment(DeploymentConfig config, std::unique_ptr<GradientSource> source)
     : config_(std::move(config)) {
+  if (config_.options.async_rounds && config_.options.verifiable) {
+    // Commitments attest one synchronous round's inputs; staleness-weighted
+    // folds mix iterations, so no accumulated commitment could open them.
+    throw std::invalid_argument(
+        "Deployment: async_rounds is incompatible with verifiable aggregation");
+  }
+  if (config_.options.codec == Codec::kQuant &&
+      (config_.options.quant_bits < 2 || config_.options.quant_bits > 16)) {
+    throw std::invalid_argument("Deployment: quant_bits out of range [2, 16]");
+  }
+  if (config_.options.codec == Codec::kTopK &&
+      !(config_.options.topk_frac > 0.0 && config_.options.topk_frac <= 1.0)) {
+    throw std::invalid_argument("Deployment: topk_frac out of range (0, 1]");
+  }
   sim_ = std::make_unique<sim::Simulator>();
   net_ = std::make_unique<sim::Network>(*sim_);
   ipfs::SwarmConfig swarm_cfg;
@@ -226,7 +240,8 @@ Deployment::Deployment(DeploymentConfig config, std::unique_ptr<GradientSource> 
                                                                config_.options.frac_bits);
 
   ctx_.reset(new Context{*sim_, *net_, *swarm_, *pubsub_, boot_->directory(), boot_->spec(),
-                         *source_, boot_->key(), PayloadMerger{}});
+                         *source_, boot_->key(),
+                         PayloadMerger{codec_config(config_.options)}});
 
   if (boot_->mutable_key() != nullptr) {
     crypto::EngineConfig ecfg;
@@ -551,7 +566,146 @@ std::size_t Deployment::collect_global_update(std::uint32_t iter) {
   return complete;
 }
 
+void Deployment::drive_until(sim::TimeNs end, ShardingRecord& rec) {
+  if (shards_ <= 1) {
+    sim_->run_before(end);
+    return;
+  }
+  rec.shards = shards_;
+  rec.lookahead_ns = lookahead_;
+  const std::uint64_t windows_before = rec.windows;
+  const std::uint64_t cross_before = net_->cross_shard_transfers();
+  const std::uint64_t local_before = net_->local_shard_transfers();
+  // Same sequenced window driver as run_windowed, capped at `end`: the
+  // windows partition the identical total event order, so state at `end`
+  // is bit-identical to a serial run_before(end) — at any K.
+  for (;;) {
+    const sim::TimeNs next = sim_->next_event_time();
+    if (next == sim::Simulator::kNoEvent || next >= end) break;
+    sim::TimeNs wend = next > sim::Simulator::kNoEvent - lookahead_
+                           ? sim::Simulator::kNoEvent
+                           : next + lookahead_;
+    wend = std::min(wend, end);
+    const std::uint64_t before = sim_->events_processed();
+    sim_->run_before(wend);
+    ++rec.windows;
+    rec.max_window_events =
+        std::max(rec.max_window_events, sim_->events_processed() - before);
+  }
+  windows_total_ += rec.windows - windows_before;
+  rec.cross_shard_transfers += net_->cross_shard_transfers() - cross_before;
+  rec.local_shard_transfers += net_->local_shard_transfers() - local_before;
+}
+
+RunSummary Deployment::run_async(int rounds, const ml::Dataset* eval) {
+  RunSummary summary;
+  if (rounds <= 0) return summary;
+  auto* ml_source = dynamic_cast<MlGradientSource*>(source_.get());
+  const Schedule& sched = boot_->spec().schedule;
+  const sim::TimeNs period =
+      config_.options.async_period > 0 ? config_.options.async_period : sched.t_train;
+  const sim::TimeNs t0 = sim_->now();
+
+  // Per-round metrics behind stable addresses: every actor coroutine holds
+  // a reference to its round's record for the whole overlapped run.
+  std::vector<std::unique_ptr<RoundMetrics>> rms;
+  rms.reserve(static_cast<std::size_t>(rounds));
+
+  const sim::FaultStats faults_before = fault_ ? fault_->stats() : sim::FaultStats{};
+  const sim::DataPathStats dp_before = sim::datapath_stats();
+  const std::uint64_t events_before = sim_->events_processed();
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  if (shards_ > 1) {
+    lookahead_ = derive_lookahead();
+    sim_->enable_window_buckets(lookahead_);
+  }
+
+  // One umbrella span for the whole overlapped run: rounds coexist in
+  // time, so a per-round ctx_->round_span would race. Actor round spans
+  // carry their iter as an attribute.
+  sim::ScopedSpan run_span(*sim_, "async_run", obs::kProcessTrack);
+  run_span.attr("rounds", static_cast<std::int64_t>(rounds));
+  run_span.attr("period_ms", static_cast<std::int64_t>(period / 1000000));
+  ctx_->round_span = run_span.id();
+
+  // Launch every round up front on the fixed cadence: round r trains while
+  // round r-1 uploads and aggregates — the barrier-free overlap.
+  for (int r = 0; r < rounds; ++r) {
+    auto m = std::make_unique<RoundMetrics>();
+    m->iter = static_cast<std::uint32_t>(r);
+    m->round_start = t0 + static_cast<sim::TimeNs>(r) * period;
+    m->trainers.resize(trainers_.size());
+    m->aggregators.resize(aggregators_.size());
+    for (auto& t : trainers_) sim_->spawn(t->run_round(m->iter, m->round_start, *m));
+    for (auto& a : aggregators_) sim_->spawn(a->run_round(m->iter, m->round_start, *m));
+    rms.push_back(std::move(m));
+  }
+
+  // Chaos and provider-republish cover the whole overlapped horizon.
+  const sim::TimeNs horizon =
+      t0 + static_cast<sim::TimeNs>(rounds - 1) * period + sched.t_sync;
+  if (fault_ != nullptr && incremental_chaos_) fault_->arm_until(horizon);
+  swarm_->republish_until(horizon);
+
+  // Drive in round-deadline segments: each boundary collects round r's
+  // global update and applies it, so rounds launched later train on it —
+  // one or more rounds stale, which is exactly async FL's contract.
+  for (int r = 0; r < rounds; ++r) {
+    RoundMetrics& m = *rms[static_cast<std::size_t>(r)];
+    drive_until(m.round_start + sched.t_sync, m.sharding);
+    m.partitions_total = boot_->spec().num_partitions();
+    m.partitions_complete = collect_global_update(m.iter);
+    m.global_update_complete = !last_global_update_.empty();
+    if (!last_global_update_.empty()) {
+      source_->apply_global_update(last_global_update_, m.iter);
+    }
+    summary.updates.push_back(last_global_update_);
+    if (ml_source != nullptr && eval != nullptr) {
+      m.post_round_accuracy = ml_source->model().accuracy(*eval);
+      m.post_round_loss = ml_source->model().loss(*eval);
+      summary.accuracy.push_back(m.post_round_accuracy);
+      summary.loss.push_back(m.post_round_loss);
+    }
+    // GC lags the staleness window: aggregators read gradients up to two
+    // iterations back when covering stragglers.
+    if (r >= 3) boot_->directory().gc_before(static_cast<std::uint32_t>(r - 2));
+  }
+  // Drain the tail: the last round's downloads run past its t_sync grace.
+  if (shards_ > 1) {
+    drive_until(sim::Simulator::kNoEvent, rms.back()->sharding);
+  } else {
+    sim_->run();
+  }
+  ctx_->round_span = 0;
+  run_span.close();
+
+  // Wall clock and engine throughput are properties of the overlapped run;
+  // split them evenly across rounds for per-round reporting. The datapath
+  // stats and fault deltas (not divisible) land on round 0.
+  const std::uint64_t total_events = sim_->events_processed() - events_before;
+  const auto total_wall = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           wall_start)
+          .count());
+  const auto n = static_cast<std::uint64_t>(rounds);
+  rms.front()->datapath.stats = sim::datapath_stats().since(dp_before);
+  if (fault_) rms.front()->faults = fault_->stats().since(faults_before);
+  for (auto& mp : rms) {
+    RoundMetrics& m = *mp;
+    m.datapath.sim_events = total_events / n;
+    m.datapath.wall_ns = total_wall / n;
+    sim::TimeNs done = -1;
+    for (const TrainerRecord& t : m.trainers) done = std::max(done, t.model_ready_at);
+    m.round_done = done;
+    publish_round_metrics(m);
+    summary.rounds.push_back(std::move(m));
+  }
+  return summary;
+}
+
 RunSummary Deployment::run(int rounds, const ml::Dataset* eval) {
+  if (config_.options.async_rounds) return run_async(rounds, eval);
   RunSummary summary;
   auto* ml_source = dynamic_cast<MlGradientSource*>(source_.get());
   for (int r = 0; r < rounds; ++r) {

@@ -101,6 +101,10 @@ struct RunSummary {
   /// Accuracy after each round (ML source only; empty otherwise).
   std::vector<double> accuracy;
   std::vector<double> loss;
+  /// Per-round decoded global updates (async driver only; the sync path
+  /// exposes last_global_update() after each run_round instead). An empty
+  /// entry marks a round whose global update was incomplete.
+  std::vector<std::vector<double>> updates;
 };
 
 class Deployment {
@@ -117,6 +121,7 @@ class Deployment {
   RoundMetrics run_round(std::uint32_t iter);
 
   /// Runs `rounds` iterations; evaluates on `eval` after each when given.
+  /// Dispatches to the barrier-free driver when options.async_rounds is on.
   RunSummary run(int rounds, const ml::Dataset* eval = nullptr);
 
   [[nodiscard]] const DeploymentConfig& config() const { return config_; }
@@ -161,6 +166,15 @@ class Deployment {
   /// Drives the serial simulator to quiescence in lookahead windows,
   /// filling `rec` with window counters (sequenced sharded mode, K > 1).
   void run_windowed(ShardingRecord& rec);
+  /// Barrier-free driver (options.async_rounds): spawns every round's
+  /// actors up front on a fixed launch cadence, then drives the engine in
+  /// round-deadline segments — each boundary collects and applies that
+  /// round's global update while later rounds keep training/uploading.
+  RunSummary run_async(int rounds, const ml::Dataset* eval);
+  /// Advances the engine to time `end` (serial run_before at K = 1;
+  /// sequenced lookahead windows at K > 1 — the windows only partition the
+  /// same total event order, so results are bit-identical at any K).
+  void drive_until(sim::TimeNs end, ShardingRecord& rec);
 
   DeploymentConfig config_;
   std::unique_ptr<sim::Simulator> sim_;

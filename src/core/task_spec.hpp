@@ -8,6 +8,7 @@
 #include <map>
 #include <vector>
 
+#include "core/codec.hpp"
 #include "crypto/pedersen.hpp"
 #include "ipfs/chunker.hpp"
 #include "ipfs/retry.hpp"
@@ -108,7 +109,34 @@ struct ProtocolOptions {
   /// downloads are additionally bounded by the round's t_sync deadline
   /// (straggler tolerance: proceed with whatever arrived).
   ipfs::RetryPolicy retry;
+  /// Gradient-upload wire codec. Trainers encode each partition payload
+  /// before storing it; receivers decode before folding, so partial sums
+  /// stay exact in the int64 accumulation domain (decode-on-fold). Merged
+  /// pre-aggregates, partial updates, and global updates always ship
+  /// dense. kDense is the identity: byte-identical to the legacy format.
+  Codec codec = Codec::kDense;
+  /// Bits per element for Codec::kQuant, in [2, 16].
+  int quant_bits = 8;
+  /// Fraction of gradient elements kept by Codec::kTopK, in (0, 1].
+  double topk_frac = 0.1;
+  /// Barrier-free asynchronous rounds: every round launches on a fixed
+  /// cadence (`async_period`) instead of waiting for the previous round to
+  /// quiesce, trainers keep uploading even when training overruns t_train,
+  /// and aggregators cover trainers that miss the gather deadline by
+  /// folding their most recent prior-iteration gradient with staleness
+  /// weight 1/(1+s)^staleness_alpha. Incompatible with `verifiable`
+  /// (commitments attest a single synchronous round's inputs).
+  bool async_rounds = false;
+  /// Staleness decay exponent α for async folds.
+  double staleness_alpha = 0.5;
+  /// Round launch cadence for async mode (0 = schedule.t_train).
+  sim::TimeNs async_period = 0;
 };
+
+/// The wire-codec negotiation the options describe.
+[[nodiscard]] inline CodecConfig codec_config(const ProtocolOptions& o) {
+  return CodecConfig{o.codec, o.quant_bits, o.topk_frac};
+}
 
 /// Role assignment for one partition.
 struct PartitionAssignment {

@@ -33,8 +33,10 @@ sim::Task<void> Trainer::run_round(std::uint32_t iter, sim::TimeNs round_start,
     sim::ScopedSpan train_span(ctx_.sim, "train", host_.id(), round_span.id());
     co_await ctx_.sim.sleep(train_time);
   }
-  if (ctx_.sim.now() > t_train_abs) {
+  if (ctx_.sim.now() > t_train_abs && !ctx_.spec.options.async_rounds) {
     // Algorithm 1 line 10: abort the iteration if training missed t_train.
+    // Async mode keeps going: the late upload becomes a staleness-weighted
+    // contribution to a later iteration instead of wasted compute.
     rec.aborted = true;
     round_span.attr("aborted", std::int64_t{1});
     DFL_DEBUG("trainer") << "t" << id_ << " aborted iter " << iter << " (missed t_train)";
@@ -59,6 +61,7 @@ sim::Task<void> Trainer::upload_gradients(std::uint32_t iter,
                                           sim::TimeNs deadline, RoundMetrics& metrics,
                                           TrainerRecord& rec, obs::SpanId span) {
   const bool batched = ctx_.spec.options.batched_announce;
+  const CodecConfig cc = codec_config(ctx_.spec.options);
   std::vector<directory::BatchItem> batch;
 
   for (std::size_t p = 0; p < ctx_.spec.num_partitions(); ++p) {
@@ -67,6 +70,23 @@ sim::Task<void> Trainer::upload_gradients(std::uint32_t iter,
     payload.values.assign(grad.begin() + static_cast<std::ptrdiff_t>(first),
                           grad.begin() + static_cast<std::ptrdiff_t>(last));
     payload.values.push_back(1);  // averaging weight (Algorithm 1 line 14)
+
+    // Encode for the wire. Lossy codecs replace `payload` with the decoded
+    // reconstruction: receivers fold exactly what shipped, and the
+    // commitment below must open that reconstruction, not the original.
+    Bytes wire;
+    if (cc.codec == Codec::kDense) {
+      wire = payload.serialize();
+    } else {
+      EncodeStats st;
+      wire = encode_payload(payload, cc, codec_seed(id_, iter, static_cast<std::uint32_t>(p)),
+                            &st);
+      payload = decode_payload(wire, cc);
+      ++metrics.codec.encodes;
+      metrics.codec.raw_bytes += st.raw_bytes;
+      metrics.codec.encoded_bytes += st.encoded_bytes;
+      metrics.codec.error_sq += st.error_sq;
+    }
 
     std::optional<crypto::Commitment> commitment;
     if (ctx_.spec.options.verifiable) {
@@ -83,7 +103,7 @@ sim::Task<void> Trainer::upload_gradients(std::uint32_t iter,
         ctx_.spec.upload_targets(p, id_, ctx_.spec.options.gradient_replicas);
     // One allocation per logical payload: every target and every retry
     // below shares this immutable buffer.
-    const Block data(payload.serialize());
+    const Block data(std::move(wire));
     const directory::Addr addr{id_, static_cast<std::uint32_t>(p), iter,
                                directory::EntryType::kGradient};
     const bool dag = ctx_.spec.options.chunking == ipfs::ChunkingMode::kDag;

@@ -11,6 +11,42 @@ namespace dfl::crypto {
 
 std::string Commitment::to_hex() const { return dfl::to_hex(point); }
 
+std::vector<U256> fold_openings(const Curve& curve, const std::vector<U256>& r,
+                                const std::vector<std::vector<std::int64_t>>& values,
+                                std::size_t dim, bool vectorized) {
+  const FieldCtx& fn = curve.fn();
+  std::vector<Fe> folded(dim, fn.zero());
+  if (vectorized) {
+    const FieldBatchOps& ops = field_batch_ops(active_backend());
+    std::vector<Fe> coeff(dim);
+    std::vector<Fe> term(dim);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const std::size_t n = values[i].size();
+      if (n == 0) continue;
+      // r_i·R² times the *plain* scalar reduces to exactly
+      // mul(to_mont(r_i), to_mont(v)) — one canonical Montgomery product —
+      // so this batched route is bit-identical to the elementwise one.
+      const Fe ri_rr = fn.to_mont(fn.to_mont(r[i]).raw);
+      std::fill(coeff.begin(), coeff.begin() + static_cast<std::ptrdiff_t>(n), ri_rr);
+      for (std::size_t j = 0; j < n; ++j) term[j] = Fe{to_scalar(values[i][j], curve)};
+      ops.mul(fn, coeff.data(), term.data(), term.data(), n);
+      ops.add(fn, folded.data(), term.data(), folded.data(), n);
+    }
+  } else {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const Fe ri = fn.to_mont(r[i]);
+      for (std::size_t j = 0; j < values[i].size(); ++j) {
+        const Fe vj = fn.to_mont(to_scalar(values[i][j], curve));
+        folded[j] = fn.add(folded[j], fn.mul(ri, vj));
+      }
+    }
+  }
+  std::vector<U256> out;
+  out.reserve(dim);
+  for (const Fe& f : folded) out.push_back(fn.from_mont(f));
+  return out;
+}
+
 PedersenKey::PedersenKey(const Curve& curve, std::string domain, std::size_t dim, MsmMode mode)
     : curve_(&curve),
       domain_(std::move(domain)),
@@ -176,7 +212,6 @@ bool PedersenKey::verify_batch(const std::vector<Commitment>& cs,
                                Rng& rng) const {
   if (cs.size() != values.size()) return false;
   if (cs.empty()) return true;
-  const FieldCtx& fn = curve_->fn();
 
   // Random 128-bit coefficients r_i. A single forged opening passes with
   // probability ~2^-128.
@@ -205,19 +240,11 @@ bool PedersenKey::verify_batch(const std::vector<Commitment>& cs,
   std::size_t dim = 0;
   for (const auto& v : values) dim = std::max(dim, v.size());
   if (dim > generators_.size()) return false;
-  std::vector<Fe> folded(dim, fn.zero());
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    const Fe ri = fn.to_mont(r[i]);
-    for (std::size_t j = 0; j < values[i].size(); ++j) {
-      const Fe vj = fn.to_mont(to_scalar(values[i][j], *curve_));
-      folded[j] = fn.add(folded[j], fn.mul(ri, vj));
-    }
-  }
+  // Row-by-row fold through the active backend's batched field tables
+  // (scalar table on non-SIMD builds — same values either way).
+  std::vector<U256> scalars = fold_openings(*curve_, r, values, dim, /*vectorized=*/true);
   std::vector<AffinePoint> gens(generators_.begin(),
                                 generators_.begin() + static_cast<std::ptrdiff_t>(dim));
-  std::vector<U256> scalars;
-  scalars.reserve(dim);
-  for (const Fe& f : folded) scalars.push_back(fn.from_mont(f));
   // The folded coefficients are full-width scalars, so the fixed-base
   // tables (sized for gradient magnitudes) would mostly hit the overflow
   // path here — the variable-base backends are the right tool.

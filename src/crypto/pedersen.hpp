@@ -28,6 +28,18 @@ namespace dfl::crypto {
 /// Which multi-exponentiation backend a key uses for commit/verify.
 enum class MsmMode { kNaive, kPippenger, kAuto };
 
+/// The scalar-field random-linear-combination fold behind verify_batch:
+/// out[j] = Σ_i r_i · to_scalar(values[i][j]) over the curve's scalar
+/// field (plain, non-Montgomery scalars; rows shorter than `dim`
+/// contribute zero past their length). `vectorized` routes each row's
+/// inner products through the active backend's FieldBatchOps tables; both
+/// routes are bit-identical (the batched route multiplies r_i·R² by the
+/// plain scalar, one Montgomery reduction from the canonical product) —
+/// exposed so the differential test can pin that.
+[[nodiscard]] std::vector<U256> fold_openings(const Curve& curve, const std::vector<U256>& r,
+                                              const std::vector<std::vector<std::int64_t>>& values,
+                                              std::size_t dim, bool vectorized);
+
 /// A commitment: one compressed group element plus the curve it lives on.
 struct Commitment {
   CurveId curve = CurveId::kSecp256k1;

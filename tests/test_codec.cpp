@@ -1,0 +1,251 @@
+// Payload codec layer: dense identity, quantization round-trip + error
+// bound + determinism, top-k selection semantics, decode-on-fold merging,
+// and the typed-error contract for malformed encoded buffers.
+#include "core/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/payload.hpp"
+
+namespace dfl::core {
+namespace {
+
+/// A payload of `n` gradient elements plus the weight element, values
+/// spread across positive/negative magnitudes up to `range`.
+Payload random_payload(std::size_t n, std::int64_t range, std::uint64_t seed) {
+  Rng rng(seed);
+  Payload p;
+  p.values.reserve(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto mag = static_cast<std::int64_t>(rng.uniform(static_cast<std::uint64_t>(range)));
+    p.values.push_back(rng.uniform(2) == 0 ? mag : -mag);
+  }
+  p.values.push_back(1);  // weight
+  return p;
+}
+
+TEST(CodecDense, EncodeIsByteIdenticalToSerialize) {
+  const Payload p = random_payload(64, 1 << 20, 7);
+  EncodeStats st;
+  const Bytes wire = encode_payload(p, CodecConfig{Codec::kDense}, 123, &st);
+  EXPECT_EQ(wire, p.serialize());
+  EXPECT_EQ(st.raw_bytes, st.encoded_bytes);
+  EXPECT_EQ(st.error_sq, 0.0);
+  EXPECT_EQ(decode_payload(wire, CodecConfig{Codec::kDense}), p);
+  EXPECT_EQ(reconstruct_payload(p, CodecConfig{Codec::kDense}, 123), p);
+}
+
+TEST(CodecQuant, RoundTripWithinErrorBound) {
+  for (const int bits : {2, 4, 8, 12, 16}) {
+    CodecConfig cfg{Codec::kQuant, bits};
+    const Payload p = random_payload(256, std::int64_t{1} << 30, 11);
+    const std::int64_t qmax = (std::int64_t{1} << (bits - 1)) - 1;
+    std::int64_t scale = 0;
+    for (std::size_t i = 0; i + 1 < p.values.size(); ++i) {
+      scale = std::max(scale, std::abs(p.values[i]));
+    }
+    EncodeStats st;
+    const Bytes wire = encode_payload(p, cfg, 42, &st);
+    const Payload back = decode_payload(wire, cfg);
+    ASSERT_EQ(back.values.size(), p.values.size());
+    EXPECT_EQ(back.weight(), p.weight()) << "weight must survive exactly";
+    // Per-element quantization error is bounded by one quantization step
+    // (scale / qmax ≈ 2^{1-bits}·range) plus one dequantization rounding.
+    const double step = static_cast<double>(scale) / static_cast<double>(qmax) + 1.0;
+    double error_sq = 0;
+    for (std::size_t i = 0; i + 1 < p.values.size(); ++i) {
+      const double err = static_cast<double>(back.values[i] - p.values[i]);
+      EXPECT_LE(std::abs(err), step) << "bits=" << bits << " i=" << i;
+      error_sq += err * err;
+    }
+    // EncodeStats reports the same reconstruction error the receiver sees.
+    EXPECT_DOUBLE_EQ(st.error_sq, error_sq);
+    EXPECT_EQ(st.raw_bytes, p.serialized_size());
+    EXPECT_EQ(st.encoded_bytes, wire.size());
+  }
+}
+
+TEST(CodecQuant, CompresssesAtExpectedRatio) {
+  const std::size_t n = 4096;
+  const Payload p = random_payload(n, 1 << 24, 3);
+  for (const int bits : {4, 8}) {
+    const Bytes wire = encode_payload(p, CodecConfig{Codec::kQuant, bits}, 1);
+    // 8 bytes/element dense vs bits/8 bytes/element + fixed header: the
+    // asymptotic ratio is 64/bits.
+    const double ratio =
+        static_cast<double>(p.serialized_size()) / static_cast<double>(wire.size());
+    EXPECT_GT(ratio, 64.0 / bits * 0.9) << "bits=" << bits;
+  }
+}
+
+TEST(CodecQuant, StochasticRoundingIsSeedDeterministic) {
+  CodecConfig cfg{Codec::kQuant, 8};
+  const Payload p = random_payload(512, 1 << 22, 5);
+  EXPECT_EQ(encode_payload(p, cfg, 99), encode_payload(p, cfg, 99));
+  EXPECT_NE(encode_payload(p, cfg, 99), encode_payload(p, cfg, 100))
+      << "different seeds should round differently on a payload this large";
+}
+
+TEST(CodecQuant, AllZeroGradientRoundTrips) {
+  Payload p;
+  p.values = {0, 0, 0, 5};  // zero gradient, weight 5
+  CodecConfig cfg{Codec::kQuant, 8};
+  const Payload back = decode_payload(encode_payload(p, cfg, 1), cfg);
+  EXPECT_EQ(back, p);
+}
+
+TEST(CodecQuant, ExtremeMagnitudesSurvive) {
+  // INT64_MIN-adjacent values exercise the __int128 quantizer paths.
+  Payload p;
+  p.values = {INT64_MAX, INT64_MIN + 1, 0, 1};
+  CodecConfig cfg{Codec::kQuant, 8};
+  const Payload back = decode_payload(encode_payload(p, cfg, 1), cfg);
+  const std::int64_t qmax = 127;
+  const double step = static_cast<double>(INT64_MAX) / static_cast<double>(qmax) + 1.0;
+  for (std::size_t i = 0; i + 1 < p.values.size(); ++i) {
+    EXPECT_LE(std::abs(static_cast<double>(back.values[i] - p.values[i])), step);
+  }
+}
+
+TEST(CodecTopK, KeepsLargestMagnitudesExactly) {
+  Payload p;
+  p.values = {100, -900, 3, 800, -2, 50, 0, 7, 1};  // 8 elements + weight
+  CodecConfig cfg{Codec::kTopK, 8, 0.25};           // keep ceil(0.25·8) = 2
+  EncodeStats st;
+  const Bytes wire = encode_payload(p, cfg, 0, &st);
+  const Payload back = decode_payload(wire, cfg);
+  ASSERT_EQ(back.values.size(), p.values.size());
+  // -900 and 800 survive verbatim; everything else decodes to zero.
+  EXPECT_EQ(back.values[1], -900);
+  EXPECT_EQ(back.values[3], 800);
+  for (const std::size_t i : {0u, 2u, 4u, 5u, 6u, 7u}) EXPECT_EQ(back.values[i], 0);
+  EXPECT_EQ(back.weight(), 1);
+  // error_sq = sum of squares of the dropped elements.
+  double dropped = 0;
+  for (const std::size_t i : {0u, 2u, 4u, 5u, 6u, 7u}) {
+    dropped += static_cast<double>(p.values[i]) * static_cast<double>(p.values[i]);
+  }
+  EXPECT_DOUBLE_EQ(st.error_sq, dropped);
+}
+
+TEST(CodecTopK, EncodedSizeDependsOnlyOnShape) {
+  // The streaming merger requires equal totals across trainers: the wire
+  // size must be a function of (n, frac) alone, not of the values.
+  CodecConfig cfg{Codec::kTopK, 8, 0.1};
+  const Bytes a = encode_payload(random_payload(333, 1 << 20, 1), cfg, 0);
+  const Bytes b = encode_payload(random_payload(333, 1 << 4, 2), cfg, 0);
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(CodecTopK, DeterministicUnderTies) {
+  Payload p;
+  p.values = {5, 5, 5, 5, 1};  // all tied: index order breaks ties
+  CodecConfig cfg{Codec::kTopK, 8, 0.5};  // keep 2
+  const Payload back = decode_payload(encode_payload(p, cfg, 0), cfg);
+  EXPECT_EQ(back.values, (std::vector<std::int64_t>{5, 5, 0, 0, 1}));
+  EXPECT_EQ(encode_payload(p, cfg, 0), encode_payload(p, cfg, 7))
+      << "topk ignores the rounding seed";
+}
+
+TEST(CodecTopK, FullFractionIsLossless) {
+  const Payload p = random_payload(100, 1 << 16, 9);
+  CodecConfig cfg{Codec::kTopK, 8, 1.0};
+  EncodeStats st;
+  const Payload back = decode_payload(encode_payload(p, cfg, 0, &st), cfg);
+  EXPECT_EQ(back, p);
+  EXPECT_EQ(st.error_sq, 0.0);
+}
+
+TEST(CodecMerger, DecodeOnFoldMatchesReconstructionSum) {
+  CodecConfig cfg{Codec::kQuant, 8};
+  const Payload a = random_payload(64, 1 << 20, 21);
+  const Payload b = random_payload(64, 1 << 20, 22);
+  const Bytes wa = encode_payload(a, cfg, 1);
+  const Bytes wb = encode_payload(b, cfg, 2);
+  const PayloadMerger merger(cfg);
+  const Payload merged = Payload::deserialize(
+      merger.merge({BytesView(wa), BytesView(wb)}));
+  const Payload expect =
+      Payload::add(decode_payload(wa, cfg), decode_payload(wb, cfg));
+  EXPECT_EQ(merged, expect);
+  EXPECT_EQ(merged.weight(), a.weight() + b.weight());
+}
+
+TEST(CodecMerger, EncodedBoundaryIsWholeBlockOnly) {
+  const PayloadMerger merger(CodecConfig{Codec::kQuant, 8});
+  EXPECT_EQ(merger.merge_boundary(100, 1000), 0u);
+  EXPECT_EQ(merger.merge_boundary(999, 1000), 0u);
+  EXPECT_EQ(merger.merge_boundary(1000, 1000), 1000u);
+  EXPECT_EQ(merger.merge_boundary(5000, 1000), 1000u);
+}
+
+TEST(CodecMerger, EncodedRangeMergeMatchesWholeMerge) {
+  CodecConfig cfg{Codec::kTopK, 8, 0.5};
+  const Payload a = random_payload(32, 1 << 12, 31);
+  const Payload b = random_payload(32, 1 << 12, 32);
+  const Bytes wa = encode_payload(a, cfg, 0);
+  const Bytes wb = encode_payload(b, cfg, 0);
+  ASSERT_EQ(wa.size(), wb.size());
+  const PayloadMerger merger(cfg);
+  const std::vector<BytesView> parts{BytesView(wa), BytesView(wb)};
+  EXPECT_EQ(merger.merge_range(parts, 0, wa.size()), merger.merge(parts));
+  EXPECT_THROW((void)merger.merge_range(parts, 8, wa.size()), std::logic_error);
+}
+
+TEST(CodecErrors, RejectsBadParameters) {
+  const Payload p = random_payload(8, 100, 1);
+  EXPECT_THROW((void)encode_payload(p, CodecConfig{Codec::kQuant, 1}, 0), CodecError);
+  EXPECT_THROW((void)encode_payload(p, CodecConfig{Codec::kQuant, 17}, 0), CodecError);
+  EXPECT_THROW((void)encode_payload(p, CodecConfig{Codec::kTopK, 8, 0.0}, 0), CodecError);
+  EXPECT_THROW((void)encode_payload(p, CodecConfig{Codec::kTopK, 8, 1.5}, 0), CodecError);
+  EXPECT_THROW((void)encode_payload(Payload{}, CodecConfig{Codec::kQuant, 8}, 0), CodecError);
+}
+
+TEST(CodecErrors, RejectsMalformedBuffers) {
+  CodecConfig quant{Codec::kQuant, 8};
+  CodecConfig topk{Codec::kTopK, 8, 0.5};
+  const Payload p = random_payload(16, 1 << 10, 1);
+  Bytes wq = encode_payload(p, quant, 0);
+  Bytes wt = encode_payload(p, topk, 0);
+
+  // Wrong magic: a dense buffer fed to a lossy decoder, and vice versa.
+  EXPECT_THROW((void)decode_payload(p.serialize(), quant), CodecError);
+  EXPECT_THROW((void)decode_payload(wq, topk), CodecError);
+  EXPECT_THROW((void)decode_payload(wt, quant), CodecError);
+
+  // Truncation at any depth surfaces as CodecError, never a short read.
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{10},
+                                wq.size() - 1}) {
+    EXPECT_THROW((void)decode_payload(BytesView(wq.data(), cut), quant), CodecError);
+  }
+  EXPECT_THROW((void)decode_payload(BytesView(wt.data(), wt.size() - 1), topk), CodecError);
+
+  // Trailing garbage is rejected, not ignored.
+  wq.push_back(0);
+  EXPECT_THROW((void)decode_payload(wq, quant), CodecError);
+  wt.push_back(0);
+  EXPECT_THROW((void)decode_payload(wt, topk), CodecError);
+
+  // Bits mismatch between sender and receiver config.
+  wq.pop_back();
+  EXPECT_THROW((void)decode_payload(wq, CodecConfig{Codec::kQuant, 4}), CodecError);
+  // Kept-count mismatch when the receiver expects a different fraction.
+  wt.pop_back();
+  EXPECT_THROW((void)decode_payload(wt, CodecConfig{Codec::kTopK, 8, 0.25}), CodecError);
+}
+
+TEST(CodecSeed, DistinctPerUploadIdentity) {
+  const std::uint64_t base = codec_seed(1, 2, 3);
+  EXPECT_EQ(base, codec_seed(1, 2, 3));
+  EXPECT_NE(base, codec_seed(2, 2, 3));
+  EXPECT_NE(base, codec_seed(1, 3, 3));
+  EXPECT_NE(base, codec_seed(1, 2, 4));
+}
+
+}  // namespace
+}  // namespace dfl::core

@@ -20,11 +20,56 @@ TEST(PayloadTest, EmptyPayload) {
   EXPECT_EQ(p.weight(), 0);
 }
 
-TEST(PayloadTest, DeserializeRejectsTruncated) {
+TEST(PayloadTest, DeserializeRejectsTruncatedElements) {
   const Payload p{{1, 2, 3}};
   Bytes bytes = p.serialize();
   bytes.pop_back();
-  EXPECT_THROW((void)Payload::deserialize(bytes), std::out_of_range);
+  EXPECT_THROW((void)Payload::deserialize(bytes), PayloadError);
+}
+
+TEST(PayloadTest, DeserializeRejectsTruncatedHeader) {
+  const Bytes empty;
+  const Bytes short_header{0x01, 0x00};
+  EXPECT_THROW((void)Payload::deserialize(empty), PayloadError);
+  EXPECT_THROW((void)Payload::deserialize(short_header), PayloadError);
+}
+
+TEST(PayloadTest, DeserializeRejectsTrailingBytes) {
+  const Payload p{{1, 2, 3}};
+  Bytes bytes = p.serialize();
+  bytes.push_back(0x00);
+  EXPECT_THROW((void)Payload::deserialize(bytes), PayloadError);
+}
+
+TEST(PayloadTest, DeserializeRejectsCountOverrun) {
+  // Header declares more elements than the buffer carries.
+  Bytes bytes = Payload{{1, 2, 3}}.serialize();
+  bytes[0] = 0xFF;  // count = 255, but only 3 elements follow
+  EXPECT_THROW((void)Payload::deserialize(bytes), PayloadError);
+}
+
+TEST(PayloadTest, SerializedSizeFromHeader) {
+  const Payload p{{1, -2, 3}};
+  const Bytes bytes = p.serialize();
+  EXPECT_EQ(p.serialized_size(), bytes.size());
+  EXPECT_EQ(Payload::serialized_size(BytesView(bytes)), bytes.size());
+  // The static form needs only the 4-byte header, not the full buffer.
+  EXPECT_EQ(Payload::serialized_size(BytesView(bytes.data(), 4)), bytes.size());
+  EXPECT_THROW((void)Payload::serialized_size(BytesView(bytes.data(), 3)), PayloadError);
+}
+
+TEST(PayloadTest, PayloadErrorIsRuntimeError) {
+  // Callers catch std::runtime_error at fetch boundaries; the typed error
+  // must stay inside that hierarchy (the old contract accidentally threw
+  // std::out_of_range through common/serde).
+  EXPECT_THROW((void)Payload::deserialize(Bytes{}), std::runtime_error);
+}
+
+TEST(PayloadTest, MergerRangeRejectsHeaderMismatch) {
+  const PayloadMerger merger;
+  const Bytes a = Payload{{1, 2, 1}}.serialize();     // count = 3
+  const Bytes b = Payload{{1, 2, 3, 1}}.serialize();  // count = 4
+  EXPECT_THROW((void)merger.merge_range({BytesView(a), BytesView(b)}, 0, 4), PayloadError);
 }
 
 TEST(PayloadTest, AddIsElementwise) {

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/rng.hpp"
+#include "crypto/backend.hpp"
 
 namespace dfl::crypto {
 namespace {
@@ -258,6 +259,74 @@ TEST(Pedersen, BatchVerifyUsesPoolConsistently) {
   key.set_pool(nullptr);
   Rng r2(77);
   EXPECT_TRUE(key.verify_batch(cs, values, r2));
+}
+
+TEST_P(PedersenBothCurves, FoldOpeningsVectorizedMatchesScalar) {
+  // Differential test for the batched-field RLC fold behind verify_batch:
+  // both routes must produce bit-identical scalars on ragged rows, empty
+  // rows, zeros, and int64 extremes.
+  Rng rng(41);
+  std::vector<std::vector<std::int64_t>> values;
+  values.push_back(random_values(rng, 24, 1 << 30));
+  values.push_back(random_values(rng, 7, 1 << 12));
+  values.push_back({});
+  values.push_back(std::vector<std::int64_t>(16, 0));
+  values.push_back({std::numeric_limits<std::int64_t>::max(),
+                    std::numeric_limits<std::int64_t>::min() + 1, -1, 1});
+  std::size_t dim = 0;
+  for (const auto& row : values) dim = std::max(dim, row.size());
+  std::vector<U256> r;
+  for (std::size_t i = 0; i < values.size(); ++i) r.push_back(U256{rng.next(), rng.next(), 0, 0});
+
+  const auto vectorized = fold_openings(curve(), r, values, dim, /*vectorized=*/true);
+  const auto scalar = fold_openings(curve(), r, values, dim, /*vectorized=*/false);
+  ASSERT_EQ(vectorized.size(), dim);
+  ASSERT_EQ(scalar.size(), dim);
+  for (std::size_t j = 0; j < dim; ++j) EXPECT_EQ(vectorized[j], scalar[j]) << "j=" << j;
+}
+
+TEST(Pedersen, FoldOpeningsAgreesAcrossBackends) {
+  // The vectorized fold must be bit-identical whichever FieldBatchOps
+  // table dispatch picks (scalar is always supported; avx2 when the host
+  // has it).
+  Rng rng(43);
+  std::vector<std::vector<std::int64_t>> values;
+  for (int i = 0; i < 6; ++i) values.push_back(random_values(rng, 64, 1 << 28));
+  std::vector<U256> r;
+  for (std::size_t i = 0; i < values.size(); ++i) r.push_back(U256{rng.next(), rng.next(), 0, 0});
+  const Curve& curve = Curve::secp256k1();
+
+  set_backend_override(Backend::kScalar);
+  const auto on_scalar = fold_openings(curve, r, values, 64, /*vectorized=*/true);
+  set_backend_override(std::nullopt);
+  const auto automatic = fold_openings(curve, r, values, 64, /*vectorized=*/true);
+  ASSERT_EQ(on_scalar.size(), automatic.size());
+  for (std::size_t j = 0; j < on_scalar.size(); ++j) EXPECT_EQ(on_scalar[j], automatic[j]);
+
+  if (backend_supported(Backend::kAvx2)) {
+    set_backend_override(Backend::kAvx2);
+    const auto on_avx2 = fold_openings(curve, r, values, 64, /*vectorized=*/true);
+    set_backend_override(std::nullopt);
+    for (std::size_t j = 0; j < on_avx2.size(); ++j) EXPECT_EQ(on_avx2[j], on_scalar[j]);
+  }
+}
+
+TEST(Pedersen, BatchVerifyMatchesScalarFoldEndToEnd) {
+  // verify_batch routes through the vectorized fold; it must accept
+  // exactly the openings the scalar fold describes.
+  PedersenKey key(Curve::secp256k1(), "fold-e2e", 32);
+  Rng vals_rng(17);
+  std::vector<Commitment> cs;
+  std::vector<std::vector<std::int64_t>> values;
+  for (int i = 0; i < 5; ++i) {
+    values.push_back(random_values(vals_rng, 32, 1 << 22));
+    cs.push_back(key.commit(values.back()));
+  }
+  Rng accept(5);
+  EXPECT_TRUE(key.verify_batch(cs, values, accept));
+  values[2][9] += 1;
+  Rng reject(5);
+  EXPECT_FALSE(key.verify_batch(cs, values, reject));
 }
 
 TEST(Pedersen, CommitmentHexEncoding) {

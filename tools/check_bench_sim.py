@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Validate a BENCH_sim.json produced by bench/abl_datapath, bench/abl_chunking,
-a BENCH_scale.json produced by bench/abl_scale, or a BENCH_crypto.json row
-list produced by the crypto benches (bench/fig3_commitment et al.).
+a BENCH_async.json produced by bench/abl_async, a BENCH_scale.json produced
+by bench/abl_scale, or a BENCH_crypto.json row list produced by the crypto
+benches (bench/fig3_commitment et al.).
 
 Dispatches on the document's "bench" field (row lists dispatch to the
 crypto gate) and checks the schema (required keys and types) plus the
@@ -18,6 +19,15 @@ abl_chunking (A10, chunked Merkle-DAG transfer plane):
     than the monolithic plane at the same provider count,
   * chunking at 256 KiB never loses to monolithic at any provider count,
   * the headline cell is deterministic across a full re-run.
+
+abl_async (A15, compressed payloads + barrier-free async rounds):
+  * every cell completed all of its rounds (no dropped folds),
+  * the headline cell (async + 8-bit quantization) is >= 1.5x faster
+    per round than the synchronous dense baseline,
+  * async x dense reproduces the sync x dense aggregates bit-exactly
+    (the staleness weighting cancels when nothing is stale),
+  * quantized/sparsified cells actually compress (ratio floors),
+  * the sync baseline is deterministic across a full re-run.
 
 BENCH_crypto.json (A14, vectorized crypto backend):
   * scalar-vs-SIMD exact match: at every size carrying both rows, the
@@ -307,6 +317,92 @@ def check_scale(doc, path):
     )
 
 
+ASYNC_WORKLOAD_KEYS = {
+    "trainers": int,
+    "partitions": int,
+    "partition_elements": int,
+    "partition_bytes": int,
+    "rounds": int,
+    "smoke": bool,
+}
+
+ASYNC_CELL_KEYS = {
+    "cell": str,
+    "async": bool,
+    "codec": str,
+    "period_s": float,
+    "round_seconds": float,
+    "complete_rounds": int,
+    "compression": float,
+    "error_norm": float,
+    "fingerprint": str,
+}
+
+# Per-cell compression-ratio floors: measured ratios are ~8x (quant8),
+# ~16x (quant4) and ~8.6x (top-k at 10%); gate at half to tolerate the
+# per-payload headers on small smoke workloads.
+ASYNC_COMPRESSION_FLOORS = {
+    "async_quant8": 4.0,
+    "async_quant4": 8.0,
+    "async_topk": 4.0,
+}
+
+
+def check_async(doc, path):
+    check_keys(doc.get("workload", {}), ASYNC_WORKLOAD_KEYS, "workload")
+    rounds = doc["workload"]["rounds"]
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        fail("cells missing or empty")
+    by_name = {}
+    for i, cell in enumerate(cells):
+        check_keys(cell, ASYNC_CELL_KEYS, f"cells[{i}]")
+        if cell["round_seconds"] <= 0:
+            fail(f"cells[{i}]: non-positive round_seconds")
+        if cell["complete_rounds"] != rounds:
+            fail(
+                f"cells[{i}] ({cell['cell']}): only {cell['complete_rounds']} of "
+                f"{rounds} rounds completed"
+            )
+        by_name[cell["cell"]] = cell
+
+    for name in ("sync_dense", "async_dense", "async_quant8"):
+        if name not in by_name:
+            fail(f"grid is missing the '{name}' cell")
+
+    # Exactness gates: async must not perturb the dense arithmetic, and the
+    # sync baseline must be reproducible.
+    if doc.get("async_dense_matches_sync") is not True:
+        fail("async_dense_matches_sync is not true: async dense diverged from sync")
+    if by_name["async_dense"]["fingerprint"] != by_name["sync_dense"]["fingerprint"]:
+        fail("async_dense fingerprint differs from sync_dense (cells contradict flag)")
+    if doc.get("sync_dense_deterministic") is not True:
+        fail("sync_dense_deterministic is not true: baseline diverged across reruns")
+
+    # Headline: async + 8-bit quantization vs the synchronous dense baseline.
+    speedup = doc.get("headline_speedup")
+    if not isinstance(speedup, (int, float)):
+        fail("headline_speedup missing or non-numeric")
+    measured = by_name["sync_dense"]["round_seconds"] / by_name["async_quant8"]["round_seconds"]
+    if abs(measured - speedup) > 0.05:
+        fail(f"headline_speedup {speedup} does not match the cells ({measured:.3f})")
+    if speedup < MIN_HEADLINE_SPEEDUP:
+        fail(f"headline_speedup {speedup:.2f} < {MIN_HEADLINE_SPEEDUP}")
+
+    # Lossy codecs must actually shrink the wire payloads.
+    for name, floor in ASYNC_COMPRESSION_FLOORS.items():
+        cell = by_name.get(name)
+        if cell is None:
+            continue
+        if cell["compression"] < floor:
+            fail(f"{name}: compression {cell['compression']:.2f}x < {floor}x floor")
+
+    print(
+        f"check_bench_sim: OK ({path}): headline {speedup:.2f}x over "
+        f"{len(cells)} cells, async dense bit-exact vs sync, deterministic"
+    )
+
+
 CRYPTO_ROW_KEYS = {
     "op": str,
     "size": int,
@@ -406,10 +502,15 @@ def main():
         check_datapath(doc, path)
     elif bench == "abl_chunking":
         check_chunking(doc, path)
+    elif bench == "abl_async":
+        check_async(doc, path)
     elif bench == "abl_scale":
         check_scale(doc, path)
     else:
-        fail(f"unknown bench {bench!r} (want abl_datapath, abl_chunking or abl_scale)")
+        fail(
+            f"unknown bench {bench!r} "
+            f"(want abl_datapath, abl_chunking, abl_async or abl_scale)"
+        )
 
 
 if __name__ == "__main__":

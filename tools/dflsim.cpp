@@ -54,6 +54,15 @@ void usage() {
       "  --chunking MODE     transfer plane: dag | monolithic (default monolithic)\n"
       "  --chunk-size K      DAG leaf size in KiB (default 256)\n"
       "  --pipeline N        DAG bulk-transfer window, leaves (0 = unbounded, default 1)\n"
+      "payload codec:\n"
+      "  --codec MODE        gradient encoding: dense | quant | topk (default dense)\n"
+      "  --quant-bits N      quantization bits per element, 2..16 (default 8)\n"
+      "  --topk-frac X       top-k kept fraction, (0,1] (default 0.1)\n"
+      "async rounds:\n"
+      "  --async             barrier-free rounds: trainers publish continuously,\n"
+      "                      aggregators fold stale gradients at reduced weight\n"
+      "  --alpha X           staleness decay exponent, weight 1/(1+s)^a (default 0.5)\n"
+      "  --async-period-s X  round launch cadence in seconds (default: train time)\n"
       "crypto engine (with --verifiable):\n"
       "  --crypto-threads N  commit/verify worker threads, 0 = all cores (default 1)\n"
       "  --fixed-base W      fixed-base tables, W = window bits, 1 = auto-pick\n"
@@ -226,6 +235,25 @@ int main(int argc, char** argv) {
       cfg.options.chunk_size = v * 1024;
     } else if (a == "--pipeline") {
       cfg.options.chunk_pipeline = next_u64();
+    } else if (a == "--codec") {
+      const std::string mode = next();
+      if (mode == "dense") cfg.options.codec = core::Codec::kDense;
+      else if (mode == "quant") cfg.options.codec = core::Codec::kQuant;
+      else if (mode == "topk") cfg.options.codec = core::Codec::kTopK;
+      else {
+        std::fprintf(stderr, "unknown codec '%s' (want dense|quant|topk)\n", mode.c_str());
+        return 2;
+      }
+    } else if (a == "--quant-bits") {
+      cfg.options.quant_bits = static_cast<int>(next_u64());
+    } else if (a == "--topk-frac") {
+      cfg.options.topk_frac = next_double();
+    } else if (a == "--async") {
+      cfg.options.async_rounds = true;
+    } else if (a == "--alpha") {
+      cfg.options.staleness_alpha = next_double();
+    } else if (a == "--async-period-s") {
+      cfg.options.async_period = sim::from_seconds(next_double());
     } else if (a == "--shards") {
       const std::uint64_t v = next_u64();
       if (v == 0 || v > 1024) {
@@ -335,12 +363,21 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (cfg.options.codec != core::Codec::kDense || cfg.options.async_rounds) {
+    std::printf("payload codec: %s", core::codec_name(cfg.options.codec));
+    if (cfg.options.codec == core::Codec::kQuant)
+      std::printf(" (%d bits)", cfg.options.quant_bits);
+    if (cfg.options.codec == core::Codec::kTopK)
+      std::printf(" (keep %.2f)", cfg.options.topk_frac);
+    if (cfg.options.async_rounds)
+      std::printf(", async rounds (alpha %.2f)", cfg.options.staleness_alpha);
+    std::printf("\n\n");
+  }
   std::printf("%-7s %14s %14s %12s %14s %12s %10s\n", "round", "upload_s", "aggregation_s",
               "sync_s", "round_time_s", "agg_MB", "rejected");
   core::CryptoRecord crypto_total;
   core::ShardingRecord shard_total;
-  for (int r = 0; r < rounds; ++r) {
-    const core::RoundMetrics m = d.run_round(static_cast<std::uint32_t>(r));
+  auto report = [&](int r, const core::RoundMetrics& m, const std::vector<double>& aggregate) {
     shard_total.shards = m.sharding.shards;
     shard_total.lookahead_ns = m.sharding.lookahead_ns;
     shard_total.windows += m.sharding.windows;
@@ -366,7 +403,7 @@ int main(int argc, char** argv) {
            {"partitions_complete", static_cast<std::int64_t>(m.partitions_complete)},
            {"partitions_total", static_cast<std::int64_t>(m.partitions_total)},
            {"round_ms", static_cast<std::int64_t>(round_s >= 0 ? round_s * 1e3 : -1)},
-           {"aggregate_hash", aggregate_hash(d.last_global_update())},
+           {"aggregate_hash", aggregate_hash(aggregate)},
            {"crashes", static_cast<std::int64_t>(m.faults.crashes)},
            {"restarts", static_cast<std::int64_t>(m.faults.restarts)},
            {"transfers_dropped", static_cast<std::int64_t>(m.faults.transfers_dropped)},
@@ -374,6 +411,22 @@ int main(int argc, char** argv) {
            {"transfers_jittered", static_cast<std::int64_t>(m.faults.transfers_jittered)},
            {"shards", static_cast<std::int64_t>(m.sharding.shards)},
            {"windows", static_cast<std::int64_t>(m.sharding.windows)}});
+    }
+  };
+  if (cfg.options.async_rounds) {
+    // The barrier-free driver owns the whole run: every round's actors are
+    // spawned up front and overlap, so per-round metrics come back in one
+    // summary instead of a run_round loop.
+    const core::RunSummary summary = d.run(rounds);
+    static const std::vector<double> kNoAggregate;
+    for (std::size_t r = 0; r < summary.rounds.size(); ++r) {
+      const std::vector<double>& agg =
+          r < summary.updates.size() ? summary.updates[r] : kNoAggregate;
+      report(static_cast<int>(r), summary.rounds[r], agg);
+    }
+  } else {
+    for (int r = 0; r < rounds; ++r) {
+      report(r, d.run_round(static_cast<std::uint32_t>(r)), d.last_global_update());
     }
   }
   if (!trace_out.empty()) {
