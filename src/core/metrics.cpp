@@ -7,6 +7,12 @@ namespace dfl::core {
 
 double CodecRecord::error_norm() const { return std::sqrt(error_sq); }
 
+double CriticalPathRecord::dominant_fraction() const {
+  if (!analyzed || total_ns <= 0) return 0.0;
+  const sim::TimeNs mx = std::max({train_ns, crypto_ns, wire_ns, queue_ns, stale_ns, merge_ns});
+  return static_cast<double>(mx) / static_cast<double>(total_ns);
+}
+
 double RoundMetrics::mean_upload_delay_s() const {
   double total = 0;
   int n = 0;

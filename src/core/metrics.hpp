@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ipfs/retry.hpp"
@@ -109,6 +110,43 @@ struct CodecRecord {
   [[nodiscard]] double error_norm() const;
 };
 
+/// Critical-path blame breakdown of one round, filled at quiescence from
+/// obs::analyze_critical_paths when tracing is enabled (analyzed == false
+/// otherwise — all-zero categories, no trace cost). The six category
+/// durations partition [round span start, end] exactly, so they sum to
+/// total_ns by construction; "dominant" names the single host and category
+/// that owned the most critical-path time ("78% wire on s2/trainer7").
+struct CriticalPathRecord {
+  bool analyzed = false;
+  sim::TimeNs total_ns = 0;
+  sim::TimeNs train_ns = 0;
+  sim::TimeNs crypto_ns = 0;
+  sim::TimeNs wire_ns = 0;
+  sim::TimeNs queue_ns = 0;   // queue-wait: pipes, polls, acks, peer progress
+  sim::TimeNs stale_ns = 0;   // stale-wait: async_fold / stale_update
+  sim::TimeNs merge_ns = 0;
+  std::size_t segments = 0;   // path hops (maximal same-blame intervals)
+  std::string dominant_host;  // most critical-path time ("s2/trainer7")
+  sim::TimeNs dominant_host_ns = 0;
+  std::string dominant_category;  // blame name with the largest share
+
+  [[nodiscard]] sim::TimeNs category_sum() const {
+    return train_ns + crypto_ns + wire_ns + queue_ns + stale_ns + merge_ns;
+  }
+  /// Share of the dominant category, in [0, 1] (0 when not analyzed).
+  [[nodiscard]] double dominant_fraction() const;
+};
+
+/// One violated [slo] clause, evaluated in-engine (core::SloEvaluator).
+struct SloBreach {
+  std::string key;          // clause name, e.g. "round_p99_ms_max"
+  double actual = 0;        // observed value at breach time
+  double bound = 0;         // the clause's threshold
+  /// Critical-path attribution of the breached round when available,
+  /// e.g. "78% wire on s2/trainer7" (empty without tracing).
+  std::string attribution;
+};
+
 struct RoundMetrics {
   std::uint32_t iter = 0;
   sim::TimeNs round_start = 0;
@@ -131,6 +169,11 @@ struct RoundMetrics {
   std::size_t partitions_complete = 0;
   std::size_t partitions_total = 0;
   bool global_update_complete = false;
+  /// Why the round took as long as it did (tracing runs only).
+  CriticalPathRecord critical_path;
+  /// [slo] clauses this round violated (in-engine evaluation; empty when
+  /// the scenario has no [slo] section).
+  std::vector<SloBreach> slo_breaches;
 
   void note_gradient_announce(sim::TimeNs at) {
     if (first_gradient_announce < 0 || at < first_gradient_announce) {

@@ -7,8 +7,12 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "core/trace_export.hpp"
 #include "crypto/encoding.hpp"
+#include "obs/analysis.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
 #include "sim/datapath.hpp"
 #include "sim/span.hpp"
 
@@ -66,6 +70,21 @@ void register_datapath_collector() {
       r.gauge("dfl.datapath.peak_resident_block_bytes")
           .set(static_cast<double>(s.peak_resident_block_bytes));
       r.gauge("dfl.datapath.copy_reduction_factor").set(s.copy_reduction_factor());
+    });
+    return true;
+  }();
+  (void)once;
+}
+
+/// Publishes the tracer's health into the registry. Registered once (the
+/// tracer is process-global): dfl.obs.dropped_spans > 0 means the span cap
+/// truncated the trace and every downstream analysis of it is incomplete.
+void register_obs_collector() {
+  static const bool once = [] {
+    obs::Registry::global().register_collector("obs", [](obs::Registry& r) {
+      const obs::Tracer& t = obs::Tracer::instance();
+      r.counter("dfl.obs.spans").set(t.span_count());
+      r.counter("dfl.obs.dropped_spans").set(t.dropped_spans());
     });
     return true;
   }();
@@ -348,6 +367,10 @@ Deployment::Deployment(DeploymentConfig config, std::unique_ptr<GradientSource> 
   // destructor; with several live Deployments the last one constructed
   // owns the names (snapshot() then reports that deployment).
   register_datapath_collector();
+  register_obs_collector();
+  if (!config_.scenario.slo.empty()) {
+    slo_ = std::make_unique<SloEvaluator>(config_.scenario.slo);
+  }
   obs::Registry::global().register_collector("net", [this](obs::Registry& r) {
     r.counter("dfl.net.bytes_total").set(net_->total_bytes_transferred());
     r.counter("dfl.net.mid_transfer_failures").set(net_->mid_transfer_failures());
@@ -433,16 +456,16 @@ RoundMetrics Deployment::run_round(std::uint32_t iter) {
   for (auto& a : aggregators_) {
     sim_->spawn(a->run_round(iter, metrics.round_start, metrics));
   }
-  // Run to quiescence: every actor either finished or timed out by t_sync.
   if (shards_ > 1) {
     // Chaos armed this round may have tightened the jitter floor; re-derive
     // the window width (enable_window_buckets re-buckets only on change).
     lookahead_ = derive_lookahead();
     sim_->enable_window_buckets(lookahead_);
-    run_windowed(metrics.sharding);
-  } else {
-    sim_->run();
   }
+  // Run to quiescence: every actor either finished or timed out by t_sync.
+  // drive_until(kNoEvent) is the serial run() at K = 1 and the sequenced
+  // window driver at K > 1, interleaving metrics samples when enabled.
+  drive_until(sim::Simulator::kNoEvent, metrics.sharding);
   ctx_->round_span = 0;
   round_span.close();
 
@@ -482,6 +505,8 @@ RoundMetrics Deployment::run_round(std::uint32_t iter) {
   if (!last_global_update_.empty()) {
     source_->apply_global_update(last_global_update_, iter);
   }
+  attach_critical_path(metrics);
+  if (slo_) metrics.slo_breaches = slo_->on_round(metrics, sim_->now());
   publish_round_metrics(metrics);
   return metrics;
 }
@@ -500,32 +525,6 @@ sim::TimeNs Deployment::derive_lookahead() const {
   return std::max<sim::TimeNs>(base, 1);
 }
 
-void Deployment::run_windowed(ShardingRecord& rec) {
-  rec.shards = shards_;
-  rec.lookahead_ns = lookahead_;
-  const std::uint64_t cross_before = net_->cross_shard_transfers();
-  const std::uint64_t local_before = net_->local_shard_transfers();
-  // Sequenced window driver: place each half-open window [W, W + lookahead)
-  // at the globally earliest pending event and drain it before moving on.
-  // One window at a time keeps execution order identical to the serial
-  // engine while exposing the same barrier cadence (window count, density,
-  // locality) the parallel shards see.
-  for (;;) {
-    const sim::TimeNs next = sim_->next_event_time();
-    if (next == sim::Simulator::kNoEvent) break;
-    const sim::TimeNs end = next > sim::Simulator::kNoEvent - lookahead_
-                                ? sim::Simulator::kNoEvent
-                                : next + lookahead_;
-    const std::uint64_t before = sim_->events_processed();
-    sim_->run_before(end);
-    ++rec.windows;
-    rec.max_window_events =
-        std::max(rec.max_window_events, sim_->events_processed() - before);
-  }
-  windows_total_ += rec.windows;
-  rec.cross_shard_transfers = net_->cross_shard_transfers() - cross_before;
-  rec.local_shard_transfers = net_->local_shard_transfers() - local_before;
-}
 
 std::size_t Deployment::collect_global_update(std::uint32_t iter) {
   // Omniscient post-round read: assemble the accepted global updates
@@ -566,8 +565,10 @@ std::size_t Deployment::collect_global_update(std::uint32_t iter) {
   return complete;
 }
 
-void Deployment::drive_until(sim::TimeNs end, ShardingRecord& rec) {
+void Deployment::advance(sim::TimeNs end, ShardingRecord& rec) {
   if (shards_ <= 1) {
+    // run_before(kNoEvent) is exactly run(): every real event's timestamp
+    // is below the sentinel, so the serial quiescent drive falls out.
     sim_->run_before(end);
     return;
   }
@@ -576,9 +577,12 @@ void Deployment::drive_until(sim::TimeNs end, ShardingRecord& rec) {
   const std::uint64_t windows_before = rec.windows;
   const std::uint64_t cross_before = net_->cross_shard_transfers();
   const std::uint64_t local_before = net_->local_shard_transfers();
-  // Same sequenced window driver as run_windowed, capped at `end`: the
-  // windows partition the identical total event order, so state at `end`
-  // is bit-identical to a serial run_before(end) — at any K.
+  // Sequenced window driver, capped at `end`: place each half-open window
+  // [W, W + lookahead) at the globally earliest pending event and drain it
+  // before moving on. One window at a time keeps execution order identical
+  // to the serial engine (the windows only partition the same total event
+  // order), so state at `end` is bit-identical to run_before(end) at any K,
+  // while exposing the barrier cadence the parallel shards would see.
   for (;;) {
     const sim::TimeNs next = sim_->next_event_time();
     if (next == sim::Simulator::kNoEvent || next >= end) break;
@@ -595,6 +599,83 @@ void Deployment::drive_until(sim::TimeNs end, ShardingRecord& rec) {
   windows_total_ += rec.windows - windows_before;
   rec.cross_shard_transfers += net_->cross_shard_transfers() - cross_before;
   rec.local_shard_transfers += net_->local_shard_transfers() - local_before;
+}
+
+void Deployment::drive_until(sim::TimeNs end, ShardingRecord& rec) {
+  if (sampler_ == nullptr) {
+    advance(end, rec);
+    return;
+  }
+  // Segmented drive with sample boundaries: a sample at boundary T is taken
+  // after every event with ts < T and before any event at ts >= T, so the
+  // engine's event order — and therefore every simulated result — is
+  // untouched by sampling. Samples only read registry state.
+  for (;;) {
+    const sim::TimeNs next = sim_->next_event_time();
+    if (next == sim::Simulator::kNoEvent || next >= end) break;
+    if (next_sample_ <= next) {
+      sampler_->sample(next_sample_);
+      next_sample_ += sample_period_;
+      continue;
+    }
+    advance(std::min(end, next_sample_), rec);
+  }
+  // Flush the boundaries this drive covered but no event forced: up to
+  // `end` for a deadline drive, up to the quiescent clock for a full drain
+  // (every remaining boundary would just repeat the final state).
+  const sim::TimeNs limit = end == sim::Simulator::kNoEvent ? sim_->now() : end;
+  while (next_sample_ <= limit) {
+    sampler_->sample(next_sample_);
+    next_sample_ += sample_period_;
+  }
+}
+
+void Deployment::enable_metrics_sampling(obs::TimeSeriesWriter& writer,
+                                         sim::TimeNs period) {
+  sampler_ = &writer;
+  sample_period_ = std::max<sim::TimeNs>(period, 1);
+  next_sample_ = sim_->now() + sample_period_;
+}
+
+std::vector<SloBreach> Deployment::finalize_slos() {
+  if (!slo_) return {};
+  return slo_->finalize(sim_->now());
+}
+
+void Deployment::fill_critical_path(RoundMetrics& m, const obs::RoundCriticalPath& rcp) {
+  CriticalPathRecord& cp = m.critical_path;
+  auto ns = [&rcp](obs::Blame b) {
+    return rcp.blame_ns[static_cast<std::size_t>(b)];
+  };
+  cp.analyzed = true;
+  cp.total_ns = rcp.total_ns();
+  cp.train_ns = ns(obs::Blame::kTrain);
+  cp.crypto_ns = ns(obs::Blame::kCrypto);
+  cp.wire_ns = ns(obs::Blame::kWire);
+  cp.queue_ns = ns(obs::Blame::kQueueWait);
+  cp.stale_ns = ns(obs::Blame::kStaleWait);
+  cp.merge_ns = ns(obs::Blame::kMerge);
+  cp.segments = rcp.segments.size();
+  cp.dominant_host = rcp.dominant_host();
+  cp.dominant_host_ns = rcp.dominant_host_ns();
+  cp.dominant_category = obs::blame_name(rcp.dominant_blame());
+}
+
+void Deployment::attach_critical_path(RoundMetrics& m) {
+  if (!obs::enabled()) return;
+  // Re-analyzing the full snapshot each round is O(rounds × spans) over a
+  // run, but the trace itself is capped (span limit / transfer ring) and
+  // rounds that aged out of it simply don't match — acceptable for the
+  // smoke scales tracing targets.
+  name_host_tracks(*net_);
+  const obs::Analysis analysis =
+      obs::analyze_critical_paths(obs::Tracer::instance().snapshot(), wire_slices(*net_));
+  for (const obs::RoundCriticalPath& rcp : analysis.rounds) {
+    if (rcp.iter == m.iter) {
+      fill_critical_path(m, rcp);
+      break;
+    }
+  }
 }
 
 RunSummary Deployment::run_async(int rounds, const ml::Dataset* eval) {
@@ -672,13 +753,19 @@ RunSummary Deployment::run_async(int rounds, const ml::Dataset* eval) {
     if (r >= 3) boot_->directory().gc_before(static_cast<std::uint32_t>(r - 2));
   }
   // Drain the tail: the last round's downloads run past its t_sync grace.
-  if (shards_ > 1) {
-    drive_until(sim::Simulator::kNoEvent, rms.back()->sharding);
-  } else {
-    sim_->run();
-  }
+  drive_until(sim::Simulator::kNoEvent, rms.back()->sharding);
   ctx_->round_span = 0;
   run_span.close();
+
+  // One analysis over the whole overlapped trace: async rounds interleave,
+  // so per-round snapshots would re-walk the same spans; the per-host
+  // "round" spans' iter attributes slice the DAG into round frames.
+  obs::Analysis analysis;
+  if (obs::enabled()) {
+    name_host_tracks(*net_);
+    analysis = obs::analyze_critical_paths(obs::Tracer::instance().snapshot(),
+                                           wire_slices(*net_));
+  }
 
   // Wall clock and engine throughput are properties of the overlapped run;
   // split them evenly across rounds for per-round reporting. The datapath
@@ -698,6 +785,13 @@ RunSummary Deployment::run_async(int rounds, const ml::Dataset* eval) {
     sim::TimeNs done = -1;
     for (const TrainerRecord& t : m.trainers) done = std::max(done, t.model_ready_at);
     m.round_done = done;
+    for (const obs::RoundCriticalPath& rcp : analysis.rounds) {
+      if (rcp.iter == m.iter) {
+        fill_critical_path(m, rcp);
+        break;
+      }
+    }
+    if (slo_) m.slo_breaches = slo_->on_round(m, sim_->now());
     publish_round_metrics(m);
     summary.rounds.push_back(std::move(m));
   }

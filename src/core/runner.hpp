@@ -18,10 +18,16 @@
 #include "core/aggregator.hpp"
 #include "core/bootstrapper.hpp"
 #include "core/context.hpp"
+#include "core/slo.hpp"
 #include "core/trainer.hpp"
 #include "ml/dataset.hpp"
 #include "sim/fault.hpp"
 #include "sim/scenario.hpp"
+
+namespace dfl::obs {
+class TimeSeriesWriter;
+struct RoundCriticalPath;
+}  // namespace dfl::obs
 
 namespace dfl::core {
 
@@ -157,15 +163,28 @@ class Deployment {
     return last_global_update_;
   }
 
+  /// Streams windowed registry samples on the *simulated* clock: while
+  /// rounds run, the driver samples `writer` at every `period` boundary —
+  /// after all events before the boundary, before any at/after it — so
+  /// enabling sampling never changes event order, simulated time, or
+  /// results. `writer` must outlive the deployment's runs.
+  void enable_metrics_sampling(obs::TimeSeriesWriter& writer, sim::TimeNs period);
+
+  /// In-engine SLO evaluator (null unless the scenario has [slo] clauses).
+  /// run_round / the async driver evaluate round-scoped clauses per round
+  /// into RoundMetrics::slo_breaches.
+  [[nodiscard]] SloEvaluator* slo() { return slo_.get(); }
+  /// Evaluates the end-of-run [slo] clauses (completion-rate mean,
+  /// rounds_complete_min, crashes_min). Call once after the last round;
+  /// returns {} when no evaluator is active.
+  std::vector<SloBreach> finalize_slos();
+
  private:
   /// Returns the number of partitions whose global update was assembled.
   std::size_t collect_global_update(std::uint32_t iter);
   /// Re-derives the conservative window width from the network's
   /// cross-shard latency floor plus the fault plan's jitter floor.
   [[nodiscard]] sim::TimeNs derive_lookahead() const;
-  /// Drives the serial simulator to quiescence in lookahead windows,
-  /// filling `rec` with window counters (sequenced sharded mode, K > 1).
-  void run_windowed(ShardingRecord& rec);
   /// Barrier-free driver (options.async_rounds): spawns every round's
   /// actors up front on a fixed launch cadence, then drives the engine in
   /// round-deadline segments — each boundary collects and applies that
@@ -174,7 +193,14 @@ class Deployment {
   /// Advances the engine to time `end` (serial run_before at K = 1;
   /// sequenced lookahead windows at K > 1 — the windows only partition the
   /// same total event order, so results are bit-identical at any K).
+  /// `end == kNoEvent` drives to quiescence.
+  void advance(sim::TimeNs end, ShardingRecord& rec);
+  /// advance(), interleaving metrics samples at period boundaries when
+  /// sampling is enabled (samples only read state, never schedule events).
   void drive_until(sim::TimeNs end, ShardingRecord& rec);
+  /// Fills m.critical_path from a fresh trace analysis (tracing runs only).
+  void attach_critical_path(RoundMetrics& m);
+  static void fill_critical_path(RoundMetrics& m, const obs::RoundCriticalPath& rcp);
 
   DeploymentConfig config_;
   std::unique_ptr<sim::Simulator> sim_;
@@ -200,6 +226,12 @@ class Deployment {
   /// Scenario mode: chaos is armed per round (arm_until) instead of all
   /// at once, so end-of-round drains never fast-forward the clock.
   bool incremental_chaos_ = false;
+  /// In-engine [slo] evaluation (null when the scenario has no clauses).
+  std::unique_ptr<SloEvaluator> slo_;
+  /// Simulated-clock metrics sampling (enable_metrics_sampling).
+  obs::TimeSeriesWriter* sampler_ = nullptr;
+  sim::TimeNs sample_period_ = 0;
+  sim::TimeNs next_sample_ = 0;
 };
 
 }  // namespace dfl::core

@@ -1,0 +1,131 @@
+#include "core/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace dfl::core {
+
+SloEvaluator::SloEvaluator(std::vector<std::pair<std::string, double>> clauses)
+    : clauses_(std::move(clauses)) {}
+
+double SloEvaluator::running_percentile(double q) const {
+  if (round_ms_.empty()) return 0.0;
+  std::vector<double> ordered = round_ms_;
+  std::sort(ordered.begin(), ordered.end());
+  // Same nearest-rank rounding as tools/check_scenario.py, so the
+  // in-engine verdict and the post-hoc gate can never disagree on the
+  // full-run data. Python's round() is round-half-even, which is exactly
+  // nearbyint() under the default FE_TONEAREST mode — llround() would
+  // diverge at .5 midpoints.
+  const auto n = static_cast<double>(ordered.size() - 1);
+  auto idx = static_cast<std::size_t>(std::nearbyint(q / 100.0 * n));
+  idx = std::min(idx, ordered.size() - 1);
+  return ordered[idx];
+}
+
+void SloEvaluator::emit(SloBreach breach, const RoundMetrics* m, std::int64_t now_ns,
+                        std::vector<SloBreach>& out) {
+  if (m != nullptr && m->critical_path.analyzed && m->critical_path.total_ns > 0) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%.0f%% %s on %s",
+                  100.0 * m->critical_path.dominant_fraction(),
+                  m->critical_path.dominant_category.c_str(),
+                  m->critical_path.dominant_host.c_str());
+    breach.attribution = buf;
+  }
+  ++breaches_total_;
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("dfl.slo.breaches_total").add(1);
+  reg.counter("dfl.slo.breach." + breach.key).add(1);
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const obs::SpanToken t =
+      tracer.begin("slo_breach", obs::kProcessTrack, now_ns, /*parent=*/0);
+  if (t) {
+    tracer.attr(t, "slo", breach.key);
+    tracer.attr(t, "actual_x1000", static_cast<std::int64_t>(breach.actual * 1000.0));
+    tracer.attr(t, "bound_x1000", static_cast<std::int64_t>(breach.bound * 1000.0));
+    if (m != nullptr) tracer.attr(t, "iter", static_cast<std::int64_t>(m->iter));
+    if (!breach.attribution.empty()) tracer.attr(t, "blame", breach.attribution);
+    tracer.make_instant(t);
+  }
+  out.push_back(std::move(breach));
+}
+
+std::vector<SloBreach> SloEvaluator::on_round(const RoundMetrics& m, std::int64_t now_ns) {
+  std::vector<SloBreach> out;
+  ++rounds_seen_;
+  if (m.partitions_total > 0) completion_sum_ += m.completion_rate();
+  // "round complete" matches the JSONL field check_scenario.py counts: an
+  // accepted global update covering every partition.
+  if (m.global_update_complete) ++rounds_complete_;
+  if (m.round_done >= 0) {
+    round_ms_.push_back(sim::to_seconds(m.round_done - m.round_start) * 1e3);
+  }
+  crashes_ += m.faults.crashes;
+  transfers_dropped_ += m.faults.transfers_dropped;
+  payloads_corrupted_ += m.faults.payloads_corrupted;
+
+  if (clauses_.empty()) return out;
+  for (const auto& [key, bound] : clauses_) {
+    if (key == "completion_rate_min") {
+      if (m.partitions_total > 0 && m.completion_rate() < bound) {
+        emit(SloBreach{key, m.completion_rate(), bound, {}}, &m, now_ns, out);
+      }
+    } else if (key == "round_p50_ms_max") {
+      const double p = running_percentile(50);
+      if (!round_ms_.empty() && p > bound) {
+        emit(SloBreach{key, p, bound, {}}, &m, now_ns, out);
+      }
+    } else if (key == "round_p99_ms_max") {
+      const double p = running_percentile(99);
+      if (!round_ms_.empty() && p > bound) {
+        emit(SloBreach{key, p, bound, {}}, &m, now_ns, out);
+      }
+    } else if (key == "transfers_dropped_max") {
+      if (static_cast<double>(transfers_dropped_) > bound) {
+        emit(SloBreach{key, static_cast<double>(transfers_dropped_), bound, {}}, &m,
+             now_ns, out);
+      }
+    } else if (key == "payloads_corrupted_max") {
+      if (static_cast<double>(payloads_corrupted_) > bound) {
+        emit(SloBreach{key, static_cast<double>(payloads_corrupted_), bound, {}}, &m,
+             now_ns, out);
+      }
+    }
+    // completion-mean / rounds_complete_min / crashes_min are end-of-run
+    // quantities: a breach mid-run would be noise, not signal.
+  }
+  return out;
+}
+
+std::vector<SloBreach> SloEvaluator::finalize(std::int64_t now_ns) {
+  std::vector<SloBreach> out;
+  if (clauses_.empty() || rounds_seen_ == 0) return out;
+  const double mean_completion =
+      completion_sum_ / static_cast<double>(rounds_seen_);
+  for (const auto& [key, bound] : clauses_) {
+    if (key == "completion_rate_min") {
+      if (mean_completion < bound) {
+        emit(SloBreach{key, mean_completion, bound, {}}, nullptr, now_ns, out);
+      }
+    } else if (key == "rounds_complete_min") {
+      if (static_cast<double>(rounds_complete_) < bound) {
+        emit(SloBreach{key, static_cast<double>(rounds_complete_), bound, {}}, nullptr,
+             now_ns, out);
+      }
+    } else if (key == "crashes_min") {
+      if (static_cast<double>(crashes_) < bound) {
+        emit(SloBreach{key, static_cast<double>(crashes_), bound, {}}, nullptr, now_ns,
+             out);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dfl::core

@@ -1,0 +1,69 @@
+// In-engine SLO evaluation: the scenario's [slo] clauses, checked per
+// round as the simulation runs instead of post-hoc by check_scenario.py
+// (which stays as the independent CI gate — same keys, same semantics at
+// end of run).
+//
+// Clause semantics (matching tools/check_scenario.py):
+//   completion_rate_min      — per-round: the round's own completion rate;
+//                              finalize: the mean over all rounds
+//   rounds_complete_min      — finalize: rounds with every partition done
+//   round_p50_ms_max         — per-round: running p50 of round durations
+//   round_p99_ms_max         — per-round: running p99 of round durations
+//   crashes_min              — finalize: total injected crashes (a chaos
+//                              scenario that failed to inject is itself
+//                              a broken experiment)
+//   transfers_dropped_max    — per-round: running total
+//   payloads_corrupted_max   — per-round: running total
+//
+// Every breach emits a Perfetto instant event ("slo_breach" on the
+// process track), bumps dfl.slo.breaches_total plus a per-key
+// dfl.slo.breach.<key> counter, and — when the round carries a
+// critical-path record — is attributed against it ("round 12 breached
+// round_p99_ms_max: 78% wire on s2/trainer7").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/metrics.hpp"
+
+namespace dfl::core {
+
+class SloEvaluator {
+ public:
+  /// `clauses` in file order (sim::ScenarioSpec::slo). Unknown keys are
+  /// ignored here (check_scenario.py warns on them).
+  explicit SloEvaluator(std::vector<std::pair<std::string, double>> clauses);
+
+  [[nodiscard]] bool active() const { return !clauses_.empty(); }
+
+  /// Folds round `m` into the running stats and returns the clauses this
+  /// round breached (emitting instants + counters). `now_ns` stamps the
+  /// instant events (the quiescent sim time the round was evaluated at).
+  std::vector<SloBreach> on_round(const RoundMetrics& m, std::int64_t now_ns);
+
+  /// End-of-run clauses (mins and aggregate rates). Call once after the
+  /// last round; also emits instants + counters.
+  std::vector<SloBreach> finalize(std::int64_t now_ns);
+
+  [[nodiscard]] std::uint64_t breaches_total() const { return breaches_total_; }
+
+ private:
+  void emit(SloBreach breach, const RoundMetrics* m, std::int64_t now_ns,
+            std::vector<SloBreach>& out);
+  [[nodiscard]] double running_percentile(double q) const;
+
+  std::vector<std::pair<std::string, double>> clauses_;
+  std::vector<double> round_ms_;  // completed-round durations, insert order
+  std::uint64_t rounds_seen_ = 0;
+  std::uint64_t rounds_complete_ = 0;
+  double completion_sum_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t transfers_dropped_ = 0;
+  std::uint64_t payloads_corrupted_ = 0;
+  std::uint64_t breaches_total_ = 0;
+};
+
+}  // namespace dfl::core

@@ -64,7 +64,8 @@ void name_host_tracks(sim::Network& net) {
 
 void write_trace(std::ostream& os, sim::Network& net) {
   name_host_tracks(net);
-  obs::write_perfetto(os, obs::Tracer::instance().snapshot(), wire_slices(net));
+  obs::write_perfetto(os, obs::Tracer::instance().snapshot(), wire_slices(net),
+                      net.trace().dropped());
 }
 
 }  // namespace dfl::core

@@ -1,0 +1,266 @@
+#include "obs/analysis.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+namespace dfl::obs {
+
+const char* blame_name(Blame b) {
+  switch (b) {
+    case Blame::kTrain: return "train";
+    case Blame::kCrypto: return "crypto";
+    case Blame::kWire: return "wire";
+    case Blame::kQueueWait: return "queue-wait";
+    case Blame::kStaleWait: return "stale-wait";
+    case Blame::kMerge: return "merge";
+  }
+  return "queue-wait";
+}
+
+Blame blame_of_span(const char* name) {
+  if (std::strcmp(name, "train") == 0) return Blame::kTrain;
+  if (std::strcmp(name, "commit") == 0 || std::strcmp(name, "verify") == 0 ||
+      std::strcmp(name, "verify_batch") == 0 || std::strcmp(name, "audit") == 0) {
+    return Blame::kCrypto;
+  }
+  if (std::strcmp(name, "merge_get") == 0) return Blame::kMerge;
+  if (std::strcmp(name, "async_fold") == 0 || std::strcmp(name, "stale_update") == 0) {
+    return Blame::kStaleWait;
+  }
+  // round / upload / download / gather / sync / global_write / dag_fetch /
+  // async_run and anything future: self-time is waiting on something.
+  return Blame::kQueueWait;
+}
+
+Blame RoundCriticalPath::dominant_blame() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < kBlameCount; ++i) {
+    if (blame_ns[i] > blame_ns[best]) best = i;
+  }
+  return static_cast<Blame>(best);
+}
+
+const std::string& RoundCriticalPath::dominant_host() const {
+  static const std::string empty;
+  return host_ns.empty() ? empty : host_ns.front().first;
+}
+
+std::int64_t RoundCriticalPath::dominant_host_ns() const {
+  return host_ns.empty() ? 0 : host_ns.front().second;
+}
+
+namespace {
+
+/// One schedulable interval in the DAG: a sim-clock span or a wire slice.
+struct Activity {
+  std::int64_t start = 0;
+  std::int64_t end = 0;  // clamped to >= start
+  Blame self_blame = Blame::kQueueWait;
+  std::uint32_t track = 0;
+  const char* name = "";
+  std::uint64_t source = 0;
+  bool wire = false;
+};
+
+std::string track_label(const Tracer::Snapshot& snap, std::uint32_t track) {
+  auto it = snap.tracks.find(track);
+  if (it != snap.tracks.end()) return it->second;
+  if (track == kProcessTrack) return "rounds";
+  return "track-" + std::to_string(track);
+}
+
+class Walker {
+ public:
+  Walker(const std::vector<Activity>& acts,
+         const std::vector<std::vector<std::uint32_t>>& children)
+      : acts_(acts), children_(children) {}
+
+  /// Backward walk over [lo, hi]: at each instant blame the child activity
+  /// that finished last (the one progress was waiting on); gaps no child
+  /// covers are `self`'s own time. Emits segments in reverse order.
+  void walk(const std::vector<std::uint32_t>& kids, const Activity& self, std::int64_t lo,
+            std::int64_t hi) {
+    std::int64_t t = hi;
+    while (t > lo) {
+      const std::uint32_t kNone = 0xFFFFFFFFu;
+      std::uint32_t best = kNone;
+      std::int64_t best_ce = 0;
+      for (const std::uint32_t k : kids) {
+        const Activity& c = acts_[k];
+        if (c.start >= t || c.end <= lo) continue;
+        const std::int64_t ce = std::min(c.end, t);
+        if (best == kNone || better(c, ce, acts_[best], best_ce)) {
+          best = k;
+          best_ce = ce;
+        }
+      }
+      if (best == kNone) {
+        emit(self, lo, t);
+        return;
+      }
+      const Activity& c = acts_[best];
+      if (best_ce < t) emit(self, best_ce, t);  // nothing ran in (ce, t]: self-time
+      const std::int64_t clo = std::max(c.start, lo);
+      walk(children_[best], c, clo, best_ce);
+      t = clo;
+    }
+  }
+
+  std::vector<CriticalSegment> take() {
+    std::reverse(segments_.begin(), segments_.end());
+    return std::move(segments_);
+  }
+
+ private:
+  static bool better(const Activity& a, std::int64_t a_ce, const Activity& b,
+                     std::int64_t b_ce) {
+    if (a_ce != b_ce) return a_ce > b_ce;          // later finisher wins
+    if (a.start != b.start) return a.start > b.start;  // then the inner one
+    if (a.wire != b.wire) return a.wire;           // wires are leaves: innermost
+    return a.source > b.source;                    // deterministic tiebreak
+  }
+
+  void emit(const Activity& who, std::int64_t lo, std::int64_t hi) {
+    if (hi <= lo) return;
+    CriticalSegment s;
+    s.start_ns = lo;
+    s.end_ns = hi;
+    s.blame = who.wire ? Blame::kWire : who.self_blame;
+    s.track = who.track;
+    s.name = who.name;
+    s.source = who.source;
+    s.wire = who.wire;
+    segments_.push_back(s);
+  }
+
+  const std::vector<Activity>& acts_;
+  const std::vector<std::vector<std::uint32_t>>& children_;
+  std::vector<CriticalSegment> segments_;
+};
+
+std::int64_t span_iter_attr(const Span& s) {
+  for (const SpanAttr& a : s.attrs) {
+    if (a.is_num && std::strcmp(a.key, "iter") == 0) return a.num;
+  }
+  return -1;
+}
+
+RoundCriticalPath summarize(std::uint32_t iter, std::int64_t lo, std::int64_t hi,
+                            std::vector<CriticalSegment> segs,
+                            const Tracer::Snapshot& snap) {
+  RoundCriticalPath rcp;
+  rcp.iter = iter;
+  rcp.start_ns = lo;
+  rcp.end_ns = hi;
+  rcp.segments = std::move(segs);
+  std::map<std::uint32_t, std::int64_t> per_track;
+  for (const CriticalSegment& s : rcp.segments) {
+    rcp.blame_ns[static_cast<std::size_t>(s.blame)] += s.duration_ns();
+    per_track[s.track] += s.duration_ns();
+  }
+  for (const auto& [track, ns] : per_track) {
+    rcp.host_ns.emplace_back(track_label(snap, track), ns);
+  }
+  std::stable_sort(rcp.host_ns.begin(), rcp.host_ns.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  return rcp;
+}
+
+}  // namespace
+
+Analysis analyze_critical_paths(const Tracer::Snapshot& snap,
+                                const std::vector<WireSlice>& wires) {
+  Analysis out;
+
+  // --- flatten spans + wires into one activity table ----------------------
+  std::vector<Activity> acts;
+  acts.reserve(snap.spans.size() + wires.size());
+  std::unordered_map<SpanId, std::uint32_t> span_act;  // span id -> activity
+  std::vector<std::pair<SpanId, std::uint32_t>> links;  // (parent, child act)
+  std::vector<std::pair<std::uint32_t, std::int64_t>> roots;  // (act, iter)
+  // Async mode has no per-round process span: group per-host round spans
+  // by their iter attribute instead. (iter, member activities.)
+  std::map<std::int64_t, std::vector<std::uint32_t>> iter_groups;
+
+  for (const Span& s : snap.spans) {
+    if (s.clock != SpanClock::kSim || s.instant) continue;
+    Activity a;
+    a.start = s.start_ns;
+    a.end = std::max(s.end_ns, s.start_ns);
+    a.self_blame = blame_of_span(s.name);
+    a.track = s.track;
+    a.name = s.name;
+    a.source = s.id;
+    const auto idx = static_cast<std::uint32_t>(acts.size());
+    acts.push_back(a);
+    span_act.emplace(s.id, idx);
+    if (s.parent != 0) links.emplace_back(s.parent, idx);
+    if (std::strcmp(s.name, "round") == 0) {
+      if (s.track == kProcessTrack) {
+        roots.emplace_back(idx, span_iter_attr(s));
+      } else if (const std::int64_t iter = span_iter_attr(s); iter >= 0) {
+        iter_groups[iter].push_back(idx);
+      }
+    }
+  }
+  for (const WireSlice& w : wires) {
+    Activity a;
+    a.start = w.start_ns;
+    a.end = std::max(w.end_ns, w.start_ns);
+    a.self_blame = Blame::kWire;
+    a.track = w.track;
+    a.name = w.name;
+    a.source = w.id;
+    a.wire = true;
+    const auto idx = static_cast<std::uint32_t>(acts.size());
+    acts.push_back(a);
+    if (w.parent != 0) links.emplace_back(w.parent, idx);
+  }
+
+  std::vector<std::vector<std::uint32_t>> children(acts.size());
+  for (const auto& [parent, child] : links) {
+    auto it = span_act.find(parent);
+    if (it != span_act.end()) children[it->second].push_back(child);
+  }
+
+  // --- sync mode: one process-track "round" span frames each round --------
+  if (!roots.empty()) {
+    std::sort(roots.begin(), roots.end(), [&](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second < b.second;
+      return acts[a.first].start < acts[b.first].start;
+    });
+    for (const auto& [r, iter] : roots) {
+      const Activity& frame = acts[r];
+      Walker w(acts, children);
+      w.walk(children[r], frame, frame.start, frame.end);
+      out.rounds.push_back(summarize(iter < 0 ? 0 : static_cast<std::uint32_t>(iter),
+                                     frame.start, frame.end, w.take(), snap));
+    }
+    return out;
+  }
+
+  // --- async mode: synthesize a frame per iter over the actor spans -------
+  for (const auto& [iter, members] : iter_groups) {
+    std::int64_t lo = acts[members.front()].start;
+    std::int64_t hi = acts[members.front()].end;
+    for (const std::uint32_t m : members) {
+      lo = std::min(lo, acts[m].start);
+      hi = std::max(hi, acts[m].end);
+    }
+    Activity frame;
+    frame.start = lo;
+    frame.end = hi;
+    frame.self_blame = Blame::kQueueWait;
+    frame.track = kProcessTrack;
+    frame.name = "round";
+    Walker w(acts, children);
+    w.walk(members, frame, lo, hi);
+    out.rounds.push_back(
+        summarize(static_cast<std::uint32_t>(iter), lo, hi, w.take(), snap));
+  }
+  return out;
+}
+
+}  // namespace dfl::obs

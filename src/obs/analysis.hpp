@@ -1,0 +1,115 @@
+// Critical-path analysis over the span log: the "why was this round slow"
+// layer on top of the PR 5 tracer.
+//
+// At round quiescence the span snapshot plus the network's wire slices
+// form a DAG per round: the round frame (the process-track "round" span in
+// sync mode, or the per-host "round" spans grouped by their `iter`
+// attribute in async mode) parents the per-actor spans, which parent the
+// protocol-phase spans, which parent the wire transfers via the ambient
+// span links. `analyze_critical_paths` walks that DAG *backwards* from the
+// round's end and, at every instant, blames the innermost activity that
+// was determining progress — in the spirit of Coz-style causal profiling,
+// but exact rather than sampled because simulated time is discrete and
+// fully recorded.
+//
+// The walk produces a sequence of segments that partitions the round
+// interval exactly: category durations always sum to the round span's
+// duration, by construction (the acceptance property CI gates on). Each
+// segment carries a blame category:
+//
+//   train      — inside a "train" span (local compute)
+//   crypto     — inside a sim-clock commit/verify/audit span
+//   wire       — a network transfer was the innermost activity
+//   queue-wait — self-time of structural spans (upload/gather/sync/...):
+//                waiting on pipes, polls, acks, peer progress
+//   stale-wait — async staleness handling (async_fold / stale_update)
+//   merge      — merge-and-download assembly (merge_get self-time)
+//
+// Determinism: the input snapshot is deterministically ordered, ids are
+// stable run over run, and every tie in the backward walk breaks on
+// (clamped end, start, wire-ness, id) — so two identical runs produce
+// byte-identical analyses (hash-compared in CI).
+//
+// Layering: this file knows obs types only (Span, WireSlice, track names).
+// Converting sim::TransferRecord to WireSlice and invoking the analysis at
+// quiescence lives in core (trace_export.cpp / runner.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+
+namespace dfl::obs {
+
+/// Blame categories, in export order.
+enum class Blame : std::uint8_t {
+  kTrain = 0,
+  kCrypto = 1,
+  kWire = 2,
+  kQueueWait = 3,
+  kStaleWait = 4,
+  kMerge = 5,
+};
+inline constexpr std::size_t kBlameCount = 6;
+
+/// Stable short name ("train", "crypto", "wire", "queue-wait",
+/// "stale-wait", "merge") for reports and JSON keys.
+[[nodiscard]] const char* blame_name(Blame b);
+
+/// The category a span's *self-time* (time not covered by any child
+/// activity) is charged to, from its name.
+[[nodiscard]] Blame blame_of_span(const char* name);
+
+/// One maximal critical-path interval with a single blame.
+struct CriticalSegment {
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  Blame blame = Blame::kQueueWait;
+  std::uint32_t track = 0;     // host track owning the blamed activity
+  const char* name = "";       // span or wire name ("train", "chunk_xfer", ...)
+  std::uint64_t source = 0;    // span id, or transfer id for wires
+  bool wire = false;
+  [[nodiscard]] std::int64_t duration_ns() const { return end_ns - start_ns; }
+};
+
+/// Critical path of one round: segments partition [start_ns, end_ns].
+struct RoundCriticalPath {
+  std::uint32_t iter = 0;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  /// Chronological; adjacent segments share endpoints (exact partition).
+  std::vector<CriticalSegment> segments;
+  /// Per-category totals; sums to total_ns() exactly.
+  std::array<std::int64_t, kBlameCount> blame_ns{};
+  /// Critical-path time per host track name, descending — the "top-k
+  /// bottleneck hosts" list. Process-track self-time reports as "rounds".
+  std::vector<std::pair<std::string, std::int64_t>> host_ns;
+
+  [[nodiscard]] std::int64_t total_ns() const { return end_ns - start_ns; }
+  [[nodiscard]] Blame dominant_blame() const;
+  /// Empty string when the path is empty.
+  [[nodiscard]] const std::string& dominant_host() const;
+  [[nodiscard]] std::int64_t dominant_host_ns() const;
+};
+
+struct Analysis {
+  /// Rounds in ascending iter order (only rounds present in the trace).
+  std::vector<RoundCriticalPath> rounds;
+};
+
+/// Reconstructs each round's DAG from the snapshot's sim-clock spans plus
+/// the wire slices' parent links, extracts the critical path, and
+/// attributes every nanosecond of the round interval to a blame category.
+/// Wall-clock spans are ignored (different timebase; the sim-clock crypto
+/// spans carry the modeled cost). Spans with unresolvable parents are
+/// unreachable from a round frame and silently excluded — export
+/// truncation is surfaced separately (Tracer::dropped_spans).
+[[nodiscard]] Analysis analyze_critical_paths(const Tracer::Snapshot& snap,
+                                              const std::vector<WireSlice>& wires);
+
+}  // namespace dfl::obs

@@ -112,10 +112,14 @@ std::string track_display_name(const Tracer::Snapshot& snap, std::uint32_t track
 }  // namespace
 
 void write_perfetto(std::ostream& os, const Tracer::Snapshot& snap,
-                    const std::vector<WireSlice>& wires) {
+                    const std::vector<WireSlice>& wires, std::uint64_t dropped_wires) {
   std::string out;
   out.reserve(1 << 20);
-  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_spans\":";
+  out += std::to_string(snap.dropped_spans);
+  out += ",\"dropped_wires\":";
+  out += std::to_string(dropped_wires);
+  out += "},\"traceEvents\":[\n";
   bool first_event = true;
   auto emit = [&](const std::string& ev) {
     if (!first_event) out += ",\n";

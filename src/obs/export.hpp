@@ -43,9 +43,13 @@ struct WireSlice {
 };
 
 /// Writes a complete Chrome trace_event JSON document. Spans still open
-/// (end_ns < start_ns) are exported as zero-duration slices.
+/// (end_ns < start_ns) are exported as zero-duration slices. The document
+/// carries an "otherData" object with the truncation counters
+/// (dropped_spans from the snapshot, dropped_wires from the caller's
+/// transfer ring) so validators can refuse truncated traces.
 void write_perfetto(std::ostream& os, const Tracer::Snapshot& snap,
-                    const std::vector<WireSlice>& wires);
+                    const std::vector<WireSlice>& wires,
+                    std::uint64_t dropped_wires = 0);
 
 /// Writes one JSON object (single line + '\n') with every counter, gauge
 /// and histogram in the snapshot; `extra` fields (e.g. {"round", 3})

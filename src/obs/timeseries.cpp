@@ -1,0 +1,108 @@
+#include "obs/timeseries.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "obs/export.hpp"
+
+namespace dfl::obs {
+
+TimeSeriesWriter::TimeSeriesWriter(std::ostream& os, Registry& reg) : os_(os), reg_(reg) {}
+
+void TimeSeriesWriter::sample(std::int64_t sim_now_ns) {
+  const MetricsSnapshot snap = reg_.snapshot();
+  std::string out = "{\"t_ms\":";
+  out += std::to_string(sim_now_ns / 1000000);
+  out += ",\"sample\":";
+  out += std::to_string(samples_);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":" + std::to_string(v);
+  }
+  out += "},\"deltas\":{";
+  first = true;
+  for (const auto& [name, v] : snap.counters) {
+    const auto it = prev_counters_.find(name);
+    const std::uint64_t prev = it == prev_counters_.end() ? 0 : it->second;
+    // Counters are monotonic; a reset (clear() between runs) would show as
+    // a huge wrap, so clamp the delta at zero instead.
+    const std::uint64_t delta = v >= prev ? v - prev : 0;
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":" + std::to_string(delta);
+    prev_counters_[name] = v;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  char buf[64];
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out += "\"" + json_escape(name) + "\":" + buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":{";
+    out += "\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + std::to_string(h.sum);
+    out += ",\"p50\":" + std::to_string(h.p50);
+    out += ",\"p90\":" + std::to_string(h.p90);
+    out += ",\"p99\":" + std::to_string(h.p99);
+    out += "}";
+  }
+  out += "}}\n";
+  os_ << out;
+  ++samples_;
+}
+
+namespace {
+
+std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snap) {
+  std::string out;
+  out.reserve(1 << 14);
+  char buf[64];
+  for (const auto& [name, v] : snap.counters) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string n = prom_name(name);
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + buf + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " summary\n";
+    out += n + "{quantile=\"0.5\"} " + std::to_string(h.p50) + "\n";
+    out += n + "{quantile=\"0.9\"} " + std::to_string(h.p90) + "\n";
+    out += n + "{quantile=\"0.99\"} " + std::to_string(h.p99) + "\n";
+    out += n + "_sum " + std::to_string(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
+  os << out;
+}
+
+}  // namespace dfl::obs

@@ -1,0 +1,58 @@
+// Streaming time-series telemetry: grows the registry from "one snapshot
+// at the end" into plottable timelines.
+//
+// A TimeSeriesWriter appends one JSON line per sample to a stream:
+//
+//   {"t_ms":4000,"sample":3,
+//    "counters":{"dfl.net.bytes_total":123, ...},      absolute values
+//    "deltas":{"dfl.net.bytes_total":40, ...},         change vs previous
+//    "gauges":{"dfl.sim.shards":2.0, ...},
+//    "histograms":{"dfl.round.duration_ms":{"count":4,"p50":...}, ...}}
+//
+// Sampling is driven on the *simulated* clock by the deployment driver
+// (`--metrics-period`): the runner advances the engine in segments and
+// samples at each period boundary after every event before it has run and
+// none at/after it has — so enabling the sampler never perturbs event
+// order, simulated time, or results (bit-identical aggregates either way).
+//
+// `write_prometheus` renders a snapshot in the Prometheus text exposition
+// format (counters, gauges, histograms as summaries with quantile labels)
+// for scraping or CI artifacts.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace dfl::obs {
+
+class TimeSeriesWriter {
+ public:
+  /// Samples `reg` (the global registry by default); lines go to `os`,
+  /// which must outlive the writer.
+  explicit TimeSeriesWriter(std::ostream& os, Registry& reg = Registry::global());
+
+  /// Takes a registry snapshot (running collectors) and appends one JSONL
+  /// line stamped at `sim_now_ns`. Counter deltas are vs the previous
+  /// sample (first sample: delta == absolute). Must be called at a
+  /// quiescent instant, like Registry::snapshot().
+  void sample(std::int64_t sim_now_ns);
+
+  [[nodiscard]] std::size_t samples() const { return samples_; }
+
+ private:
+  std::ostream& os_;
+  Registry& reg_;
+  std::size_t samples_ = 0;
+  std::map<std::string, std::uint64_t> prev_counters_;
+};
+
+/// Prometheus text exposition (version 0.0.4): '.' in metric names becomes
+/// '_', counters get a _total-less TYPE counter line, histograms render as
+/// summaries ({quantile="0.5"|"0.9"|"0.99"} plus _sum/_count).
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snap);
+
+}  // namespace dfl::obs

@@ -71,6 +71,16 @@ detail::ThreadLog& Tracer::local_log() {
 SpanToken Tracer::begin(const char* name, std::uint32_t track, std::int64_t start_ns,
                         SpanId parent, SpanClock clock) {
   if (!enabled()) return {};
+  // Process-wide cap: counts are approximate under concurrent wall-span
+  // recording (relaxed), exact on the single simulator thread. A dropped
+  // span yields an inert token, so end()/attr() on it are no-ops and its
+  // children simply dangle (the analysis skips unreachable spans).
+  if (recorded_spans_.load(std::memory_order_relaxed) >=
+      span_limit_.load(std::memory_order_relaxed)) {
+    dropped_spans_.fetch_add(1, std::memory_order_relaxed);
+    return {};
+  }
+  recorded_spans_.fetch_add(1, std::memory_order_relaxed);
   detail::ThreadLog& log = local_log();
   Span s;
   s.id = detail::make_id(log.slot, log.next_index++);
@@ -114,6 +124,14 @@ void Tracer::end(SpanToken t, std::int64_t end_ns) {
 
 void Tracer::end_wall(SpanToken t) { end(t, wall_now()); }
 
+void Tracer::make_instant(SpanToken t) {
+  if (!t) return;
+  if (t.index >= t.log->spans.size() || t.log->spans[t.index].id != t.id) return;
+  Span& s = t.log->spans[t.index];
+  s.end_ns = s.start_ns;
+  s.instant = true;
+}
+
 void Tracer::attr(SpanToken t, const char* key, std::int64_t value) {
   if (!t) return;
   if (t.index >= t.log->spans.size() || t.log->spans[t.index].id != t.id) return;
@@ -140,6 +158,7 @@ void Tracer::set_track_name(std::uint32_t track, std::string name) {
 
 Tracer::Snapshot Tracer::snapshot() const {
   Snapshot out;
+  out.dropped_spans = dropped_spans_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (const auto* log : logs_) {
@@ -159,6 +178,12 @@ Tracer::Snapshot Tracer::snapshot() const {
 void Tracer::clear() {
   std::lock_guard<std::mutex> lk(mu_);
   for (auto* log : logs_) log->spans.clear();
+  recorded_spans_.store(0, std::memory_order_relaxed);
+  dropped_spans_.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::set_span_limit(std::size_t limit) {
+  span_limit_.store(limit == 0 ? 1 : limit, std::memory_order_relaxed);
 }
 
 std::size_t Tracer::span_count() const {

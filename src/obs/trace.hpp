@@ -94,6 +94,12 @@ inline constexpr std::uint32_t kProcessTrack = 0xFFFFFFFFu;
 /// Wall-clock tracks are kWallTrackBase + thread slot.
 inline constexpr std::uint32_t kWallTrackBase = 0xFFFF0000u;
 
+/// Default cap on retained spans (64Ki, mirroring the network's transfer
+/// trace ring). begin() past the cap returns an inert token and bumps
+/// dropped_spans() instead of growing without bound; exports surface the
+/// drop count so a truncated trace is never silently analyzed.
+inline constexpr std::size_t kDefaultSpanLimit = 64 * 1024;
+
 class Tracer {
  public:
   static Tracer& instance();
@@ -119,6 +125,11 @@ class Tracer {
   void end(SpanToken t, std::int64_t end_ns);
   void end_wall(SpanToken t);
 
+  /// Collapses an open span into an instant marker at its start time.
+  /// For instants that need attributes (instant() cannot attach any):
+  /// begin() + attr()... + make_instant().
+  void make_instant(SpanToken t);
+
   void attr(SpanToken t, const char* key, std::int64_t value);
   void attr(SpanToken t, const char* key, std::string value);
 
@@ -132,6 +143,7 @@ class Tracer {
   struct Snapshot {
     std::vector<Span> spans;                       // deterministic order
     std::map<std::uint32_t, std::string> tracks;   // explicit track names
+    std::uint64_t dropped_spans = 0;               // lost to the span cap
   };
 
   /// Stitches all thread logs. Spans are ordered by (clock, track,
@@ -146,6 +158,20 @@ class Tracer {
   /// Total spans recorded since the last clear().
   [[nodiscard]] std::size_t span_count() const;
 
+  /// Caps retained spans process-wide (default kDefaultSpanLimit). Spans
+  /// begun past the cap are dropped (inert token) and counted. Multi-round
+  /// trace consumers (dfltrace) raise this before long runs.
+  void set_span_limit(std::size_t limit);
+  [[nodiscard]] std::size_t span_limit() const {
+    return span_limit_.load(std::memory_order_relaxed);
+  }
+  /// Spans dropped by the cap since the last clear(). Nonzero means every
+  /// downstream analysis of this trace is incomplete — exported into the
+  /// Perfetto document and the dfl.obs.dropped_spans counter.
+  [[nodiscard]] std::uint64_t dropped_spans() const {
+    return dropped_spans_.load(std::memory_order_relaxed);
+  }
+
  private:
   Tracer();
   detail::ThreadLog& local_log();
@@ -154,6 +180,9 @@ class Tracer {
   std::vector<detail::ThreadLog*> logs_;
   std::map<std::uint32_t, std::string> track_names_;
   std::int64_t wall_epoch_ = 0;
+  std::atomic<std::size_t> span_limit_{kDefaultSpanLimit};
+  std::atomic<std::uint64_t> recorded_spans_{0};
+  std::atomic<std::uint64_t> dropped_spans_{0};
 };
 
 /// Enables/disables span collection process-wide (clears nothing).

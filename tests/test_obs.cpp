@@ -7,6 +7,7 @@
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 
 namespace dfl::obs {
 namespace {
@@ -312,6 +313,106 @@ TEST(Export, MetricsJsonlOneObjectPerLine) {
   EXPECT_NE(line.find("\"dfl.copy_reduction\":3.5"), std::string::npos);
   EXPECT_NE(line.find("\"dfl.lat\""), std::string::npos);
   EXPECT_NE(line.find("\"count\":1"), std::string::npos);
+}
+
+TEST_F(TracerFixture, SpanCapDropsAndCounts) {
+  Tracer& t = Tracer::instance();
+  t.set_span_limit(2);
+  SpanToken a = t.begin("round", 0, 0);
+  SpanToken b = t.begin("train", 0, 1);
+  SpanToken c = t.begin("upload", 0, 2);  // past the cap
+  SpanToken d = t.begin("gather", 0, 3);
+  EXPECT_TRUE(a);
+  EXPECT_TRUE(b);
+  EXPECT_FALSE(c);
+  EXPECT_FALSE(d);
+  EXPECT_EQ(t.span_count(), 2u);
+  EXPECT_EQ(t.dropped_spans(), 2u);
+  EXPECT_EQ(t.snapshot().dropped_spans, 2u);
+  // Dropped tokens are inert: attr/end on them never crash or record.
+  t.attr(c, "k", std::int64_t{1});
+  t.end(c, 9);
+  // clear() resets both the recorded count and the drop counter, so the
+  // next run starts with full budget and a clean bill of health.
+  t.clear();
+  EXPECT_EQ(t.dropped_spans(), 0u);
+  EXPECT_TRUE(t.begin("round", 0, 0));
+  t.set_span_limit(kDefaultSpanLimit);
+}
+
+TEST_F(TracerFixture, MakeInstantCollapsesSpanKeepingAttrs) {
+  Tracer& t = Tracer::instance();
+  SpanToken tok = t.begin("slo_breach", kProcessTrack, 500);
+  t.attr(tok, "slo", std::string("round_p99_ms_max"));
+  t.attr(tok, "actual_x1000", std::int64_t{78000});
+  t.make_instant(tok);
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  EXPECT_TRUE(snap.spans[0].instant);
+  EXPECT_EQ(snap.spans[0].start_ns, 500);
+  EXPECT_EQ(snap.spans[0].end_ns, 500);
+  ASSERT_EQ(snap.spans[0].attrs.size(), 2u);
+  EXPECT_STREQ(snap.spans[0].attrs[0].key, "slo");
+}
+
+TEST_F(TracerFixture, PerfettoOtherDataCarriesTruncationCounters) {
+  Tracer& t = Tracer::instance();
+  t.set_span_limit(1);
+  (void)t.begin("round", 0, 0);
+  (void)t.begin("train", 0, 1);  // dropped
+  std::ostringstream os;
+  write_perfetto(os, t.snapshot(), {}, /*dropped_wires=*/3);
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("\"otherData\""), std::string::npos);
+  EXPECT_NE(doc.find("\"dropped_spans\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"dropped_wires\":3"), std::string::npos);
+  t.set_span_limit(kDefaultSpanLimit);
+}
+
+TEST(TimeSeries, SamplesCarryDeltasAndQuantiles) {
+  Registry reg;
+  reg.counter("dfl.rounds_total").add(2);
+  reg.gauge("dfl.sim.shards").set(2);
+  for (std::uint64_t v = 1; v <= 100; ++v) reg.histogram("dfl.round.duration_ms").record(v);
+  std::ostringstream os;
+  TimeSeriesWriter w(os, reg);
+  w.sample(5'000'000'000);  // t = 5 s
+  reg.counter("dfl.rounds_total").add(3);
+  w.sample(10'000'000'000);
+  EXPECT_EQ(w.samples(), 2u);
+
+  std::istringstream lines(os.str());
+  std::string first, second;
+  ASSERT_TRUE(std::getline(lines, first));
+  ASSERT_TRUE(std::getline(lines, second));
+  EXPECT_NE(first.find("\"t_ms\":5000"), std::string::npos);
+  EXPECT_NE(first.find("\"sample\":0"), std::string::npos);
+  // First window's delta is the absolute value (prev = 0).
+  EXPECT_NE(first.find("\"dfl.rounds_total\":2"), std::string::npos);
+  EXPECT_NE(first.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(second.find("\"t_ms\":10000"), std::string::npos);
+  // Second window saw 3 more: counters show 5 absolute, deltas show 3.
+  EXPECT_NE(second.find("\"dfl.rounds_total\":5"), std::string::npos);
+  EXPECT_NE(second.find("\"dfl.rounds_total\":3"), std::string::npos);
+  EXPECT_NE(second.find("\"dfl.sim.shards\":2"), std::string::npos);
+}
+
+TEST(TimeSeries, PrometheusExpositionShape) {
+  Registry reg;
+  reg.counter("dfl.slo.breaches_total").add(4);
+  reg.gauge("dfl.sim.shards").set(2);
+  reg.histogram("dfl.round.duration_ms").record(10);
+  std::ostringstream os;
+  write_prometheus(os, reg.snapshot());
+  const std::string doc = os.str();
+  // Names are sanitized to the Prometheus charset (dots become _).
+  EXPECT_NE(doc.find("# TYPE dfl_slo_breaches_total counter"), std::string::npos);
+  EXPECT_NE(doc.find("dfl_slo_breaches_total 4"), std::string::npos);
+  EXPECT_NE(doc.find("# TYPE dfl_sim_shards gauge"), std::string::npos);
+  EXPECT_NE(doc.find("# TYPE dfl_round_duration_ms summary"), std::string::npos);
+  EXPECT_NE(doc.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(doc.find("dfl_round_duration_ms_count 1"), std::string::npos);
+  EXPECT_EQ(doc.find("dfl.round"), std::string::npos);  // no raw dots leak
 }
 
 }  // namespace

@@ -1,0 +1,330 @@
+// Critical-path analysis and in-engine SLO evaluation over real runs: the
+// blame partition invariant (category durations sum exactly to the round
+// span), attribution in async/sharded modes, determinism of the analysis,
+// and the SloEvaluator's clause semantics.
+#include "obs/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/runner.hpp"
+#include "core/slo.hpp"
+#include "core/trace_export.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+
+namespace dfl::core {
+namespace {
+
+DeploymentConfig tiny() {
+  DeploymentConfig cfg;
+  cfg.num_trainers = 4;
+  cfg.num_partitions = 2;
+  cfg.partition_elements = 16;
+  cfg.num_ipfs_nodes = 2;
+  cfg.train_time = sim::from_millis(100);
+  cfg.schedule = Schedule{sim::from_seconds(20), sim::from_seconds(40), sim::from_millis(50)};
+  return cfg;
+}
+
+// The tracer is a process-wide singleton: run one traced deployment at a
+// time, starting from a clean log, and leave tracing off afterwards.
+struct TracedRun : ::testing::Test {
+  void SetUp() override {
+    obs::Tracer::instance().clear();
+    obs::set_tracing(true);
+  }
+  void TearDown() override {
+    obs::set_tracing(false);
+    obs::Tracer::instance().clear();
+  }
+};
+
+obs::Analysis analyze(Deployment& d) {
+  name_host_tracks(d.context().net);
+  return obs::analyze_critical_paths(obs::Tracer::instance().snapshot(),
+                                     wire_slices(d.context().net));
+}
+
+/// Stable textual form of an analysis for identity comparisons. Span ids
+/// are deliberately excluded: the tracer's per-thread indices survive
+/// clear() (ids never repeat), so in-process reruns shift them — separate
+/// processes (the CI hash comparison) get identical ids too.
+std::string serialize(const obs::Analysis& a) {
+  std::ostringstream os;
+  for (const obs::RoundCriticalPath& r : a.rounds) {
+    os << "round " << r.iter << " [" << r.start_ns << "," << r.end_ns << ")\n";
+    for (std::size_t b = 0; b < obs::kBlameCount; ++b) os << r.blame_ns[b] << " ";
+    os << "\n";
+    for (const obs::CriticalSegment& s : r.segments) {
+      os << s.start_ns << " " << s.end_ns << " " << static_cast<int>(s.blame) << " "
+         << s.track << " " << s.name << " " << s.wire << "\n";
+    }
+  }
+  return os.str();
+}
+
+TEST_F(TracedRun, SyncBlamePartitionsRoundExactly) {
+  auto cfg = tiny();
+  Deployment d(cfg);
+  d.context().net.set_tracing(true);
+  const RoundMetrics m0 = d.run_round(0);
+  const RoundMetrics m1 = d.run_round(1);
+
+  const obs::Analysis a = analyze(d);
+  ASSERT_EQ(a.rounds.size(), 2u);
+  for (const obs::RoundCriticalPath& r : a.rounds) {
+    ASSERT_GT(r.total_ns(), 0);
+    std::int64_t sum = 0;
+    for (std::size_t b = 0; b < obs::kBlameCount; ++b) sum += r.blame_ns[b];
+    // Exact partition, not a 1% bound: the backward walk emits contiguous
+    // segments covering [start, end) by construction.
+    EXPECT_EQ(sum, r.total_ns());
+    ASSERT_FALSE(r.segments.empty());
+    EXPECT_EQ(r.segments.front().start_ns, r.start_ns);
+    EXPECT_EQ(r.segments.back().end_ns, r.end_ns);
+    for (std::size_t i = 1; i < r.segments.size(); ++i) {
+      EXPECT_EQ(r.segments[i].start_ns, r.segments[i - 1].end_ns);
+    }
+    // A real round trains and moves bytes; both must appear on the path.
+    EXPECT_GT(r.blame_ns[static_cast<std::size_t>(obs::Blame::kTrain)], 0);
+    EXPECT_GT(r.blame_ns[static_cast<std::size_t>(obs::Blame::kWire)], 0);
+    std::int64_t host_sum = 0;
+    for (const auto& [host, ns] : r.host_ns) host_sum += ns;
+    EXPECT_EQ(host_sum, r.total_ns());
+  }
+
+  // run_round attached the same records to the metrics it returned.
+  for (const RoundMetrics* m : {&m0, &m1}) {
+    ASSERT_TRUE(m->critical_path.analyzed);
+    EXPECT_EQ(m->critical_path.category_sum(), m->critical_path.total_ns);
+    EXPECT_FALSE(m->critical_path.dominant_host.empty());
+    EXPECT_GT(m->critical_path.dominant_fraction(), 0.0);
+  }
+}
+
+TEST_F(TracedRun, AnalysisIsDeterministicAcrossIdenticalRuns) {
+  auto cfg = tiny();
+  cfg.seed = 99;
+  std::string first;
+  for (int run = 0; run < 2; ++run) {
+    obs::Tracer::instance().clear();
+    auto d = std::make_unique<Deployment>(cfg);
+    d->context().net.set_tracing(true);
+    (void)d->run_round(0);
+    const std::string s = serialize(analyze(*d));
+    ASSERT_FALSE(s.empty());
+    if (run == 0) {
+      first = s;
+    } else {
+      EXPECT_EQ(s, first);  // byte-identical blame attribution
+    }
+  }
+}
+
+TEST_F(TracedRun, AsyncRoundsGetPerIterFramesWithStaleWait) {
+  auto cfg = tiny();
+  cfg.options.async_rounds = true;
+  cfg.options.async_period = sim::from_seconds(1);
+  // A straggler forces the stale-fold path: kSlow trains t_train + 1s, and
+  // with this schedule the fresh gather deadline t_train + (t_sync -
+  // t_train)/4 = 2.5s is always missed, so aggregators emit
+  // async_fold/stale_update spans (same geometry as test_async.cpp).
+  cfg.schedule = Schedule{sim::from_seconds(2), sim::from_seconds(4),
+                          sim::from_millis(50)};
+  cfg.trainer_behaviors[0] = TrainerBehavior::kSlow;
+  Deployment d(cfg);
+  d.context().net.set_tracing(true);
+  const RunSummary s = d.run(3);
+  ASSERT_EQ(s.rounds.size(), 3u);
+
+  // async_fold / stale_update spans must parent into real spans and climb
+  // to a per-host "round" frame, so they land inside the right round's DAG
+  // instead of dangling.
+  const auto snap = obs::Tracer::instance().snapshot();
+  std::map<obs::SpanId, const obs::Span*> by_id;
+  for (const obs::Span& sp : snap.spans) by_id[sp.id] = &sp;
+  std::size_t folds = 0;
+  for (const obs::Span& sp : snap.spans) {
+    if (std::string(sp.name) != "async_fold" && std::string(sp.name) != "stale_update") {
+      continue;
+    }
+    ++folds;
+    EXPECT_NE(sp.parent, 0u) << sp.name << " span dangles";
+    const obs::Span* cur = &sp;
+    bool reached_round = false;
+    for (int hop = 0; hop < 16 && cur->parent != 0; ++hop) {
+      const auto it = by_id.find(cur->parent);
+      if (it == by_id.end()) break;
+      cur = it->second;
+      if (std::string(cur->name) == "round" || std::string(cur->name) == "async_run") {
+        reached_round = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(reached_round) << sp.name << " does not reach a round frame";
+  }
+  EXPECT_GT(folds, 0u);
+
+  const obs::Analysis a = analyze(d);
+  ASSERT_EQ(a.rounds.size(), 3u);
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    EXPECT_EQ(a.rounds[r].iter, static_cast<std::uint32_t>(r));
+    std::int64_t sum = 0;
+    for (std::size_t b = 0; b < obs::kBlameCount; ++b) sum += a.rounds[r].blame_ns[b];
+    EXPECT_EQ(sum, a.rounds[r].total_ns());
+    // The summary rounds carry the same analysis.
+    EXPECT_TRUE(s.rounds[r].critical_path.analyzed);
+    EXPECT_EQ(s.rounds[r].critical_path.total_ns, a.rounds[r].total_ns());
+  }
+}
+
+TEST_F(TracedRun, ShardedRunMatchesSerialBlameAndMarksCrossShardWires) {
+  auto cfg = tiny();
+  cfg.seed = 7;
+
+  obs::Analysis serial;
+  {
+    obs::Tracer::instance().clear();
+    cfg.shards = 1;
+    auto d = std::make_unique<Deployment>(cfg);
+    d->context().net.set_tracing(true);
+    (void)d->run_round(0);
+    serial = analyze(*d);
+  }
+
+  obs::Tracer::instance().clear();
+  cfg.shards = 2;
+  auto d = std::make_unique<Deployment>(cfg);
+  d->context().net.set_tracing(true);
+  (void)d->run_round(0);
+  const std::vector<obs::WireSlice> wires = wire_slices(d->context().net);
+  std::size_t xshard = 0;
+  for (const obs::WireSlice& w : wires) {
+    for (const obs::SpanAttr& at : w.attrs) {
+      if (std::string(at.key) == "xshard") ++xshard;
+    }
+  }
+  EXPECT_GT(xshard, 0u) << "K=2 run produced no cross-shard wire slices";
+
+  // Windowed execution only partitions the serial event order, so the
+  // blame attribution must be bit-identical to K = 1.
+  const obs::Analysis sharded = analyze(*d);
+  ASSERT_EQ(sharded.rounds.size(), serial.rounds.size());
+  for (std::size_t r = 0; r < sharded.rounds.size(); ++r) {
+    EXPECT_EQ(sharded.rounds[r].total_ns(), serial.rounds[r].total_ns());
+    for (std::size_t b = 0; b < obs::kBlameCount; ++b) {
+      EXPECT_EQ(sharded.rounds[r].blame_ns[b], serial.rounds[r].blame_ns[b])
+          << "category " << obs::blame_name(static_cast<obs::Blame>(b))
+          << " diverges at K=2";
+    }
+  }
+  // Sharded host tracks are shard-prefixed in the export ("s0/trainer1").
+  bool prefixed = false;
+  for (const auto& [host, ns] : sharded.rounds[0].host_ns) {
+    if (host.rfind("s0/", 0) == 0 || host.rfind("s1/", 0) == 0) prefixed = true;
+  }
+  EXPECT_TRUE(prefixed);
+}
+
+TEST_F(TracedRun, MetricsSamplingNeverPerturbsResults) {
+  auto cfg = tiny();
+  cfg.seed = 11;
+
+  obs::Tracer::instance().clear();
+  auto plain = std::make_unique<Deployment>(cfg);
+  const RoundMetrics mp = plain->run_round(0);
+  const std::vector<double> update = plain->last_global_update();
+  plain.reset();
+
+  obs::Tracer::instance().clear();
+  auto sampled = std::make_unique<Deployment>(cfg);
+  std::ostringstream ts;
+  obs::TimeSeriesWriter writer(ts);
+  sampled->enable_metrics_sampling(writer, sim::from_seconds(1));
+  const RoundMetrics ms = sampled->run_round(0);
+
+  EXPECT_EQ(mp.round_done, ms.round_done);
+  EXPECT_EQ(mp.partitions_complete, ms.partitions_complete);
+  ASSERT_EQ(update.size(), sampled->last_global_update().size());
+  for (std::size_t i = 0; i < update.size(); ++i) {
+    EXPECT_DOUBLE_EQ(update[i], sampled->last_global_update()[i]);
+  }
+  EXPECT_GT(writer.samples(), 0u);
+  EXPECT_NE(ts.str().find("\"t_ms\""), std::string::npos);
+}
+
+TEST(SloEvaluator, RoundAndFinalizeClauseSemantics) {
+  SloEvaluator slo({{"completion_rate_min", 1.0},
+                    {"round_p50_ms_max", 150.0},
+                    {"rounds_complete_min", 2.0},
+                    {"crashes_min", 1.0}});
+  ASSERT_TRUE(slo.active());
+
+  RoundMetrics good;
+  good.iter = 0;
+  good.partitions_total = 2;
+  good.partitions_complete = 2;
+  good.global_update_complete = true;
+  good.round_start = 0;
+  good.round_done = sim::from_millis(100);
+  EXPECT_TRUE(slo.on_round(good, good.round_done).empty());
+
+  RoundMetrics bad = good;
+  bad.iter = 1;
+  bad.partitions_complete = 1;
+  bad.global_update_complete = false;
+  bad.round_start = sim::from_millis(100);
+  bad.round_done = sim::from_millis(600);
+  // p50 of [100, 500] is 100 under check_scenario.py's half-even nearest
+  // rank (round(0.5) = 0), so only the completion clause trips here.
+  const auto breaches = slo.on_round(bad, bad.round_done);
+  ASSERT_EQ(breaches.size(), 1u);
+  EXPECT_EQ(breaches[0].key, "completion_rate_min");
+  EXPECT_DOUBLE_EQ(breaches[0].actual, 0.5);
+
+  RoundMetrics slow = good;
+  slow.iter = 2;
+  slow.round_start = sim::from_millis(600);
+  slow.round_done = sim::from_millis(1100);  // [100,500,500]: p50 = 500
+  const auto slow_breaches = slo.on_round(slow, slow.round_done);
+  ASSERT_EQ(slow_breaches.size(), 1u);
+  EXPECT_EQ(slow_breaches[0].key, "round_p50_ms_max");
+  EXPECT_DOUBLE_EQ(slow_breaches[0].actual, 500.0);
+
+  // Finalize: mean completion 2.5/3 < 1.0; rounds_complete 2 meets the
+  // bound; no crashes were injected although the scenario demanded one.
+  const auto final_breaches = slo.finalize(slow.round_done);
+  ASSERT_EQ(final_breaches.size(), 2u);
+  EXPECT_EQ(final_breaches[0].key, "completion_rate_min");
+  EXPECT_DOUBLE_EQ(final_breaches[0].actual, 2.5 / 3.0);
+  EXPECT_EQ(final_breaches[1].key, "crashes_min");
+  EXPECT_EQ(slo.breaches_total(), 4u);
+}
+
+TEST(SloEvaluator, BreachAttributionUsesCriticalPath) {
+  SloEvaluator slo({{"completion_rate_min", 1.0}});
+  RoundMetrics m;
+  m.iter = 12;
+  m.partitions_total = 4;
+  m.partitions_complete = 2;
+  m.round_start = 0;
+  m.round_done = sim::from_millis(50);
+  m.critical_path.analyzed = true;
+  m.critical_path.total_ns = 1000;
+  m.critical_path.wire_ns = 780;
+  m.critical_path.queue_ns = 220;
+  m.critical_path.dominant_category = "wire";
+  m.critical_path.dominant_host = "s2/trainer7";
+  m.critical_path.dominant_host_ns = 780;
+  const auto breaches = slo.on_round(m, m.round_done);
+  ASSERT_EQ(breaches.size(), 1u);
+  EXPECT_EQ(breaches[0].attribution, "78% wire on s2/trainer7");
+}
+
+}  // namespace
+}  // namespace dfl::core

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Compares two BENCH_*.json files and reports per-cell numeric deltas.
+
+Handles every bench output shape in this repo without per-bench code:
+
+  - cells documents   {"bench": ..., "cells": [{...}, ...]}
+  - nested documents  {"baseline": {...}, "zero_copy": {...}, ...}
+  - row lists         [{"op": ..., "backend": ..., "ns_per_op": ...}, ...]
+
+Rows/objects are keyed by their non-numeric scalar fields plus a small set
+of well-known numeric identity fields (size, threads, shards, providers,
+...), so the same logical cell is compared across files even when the
+files order cells differently or one file has cells the other lacks.
+
+Every numeric leaf becomes one comparison: old value, new value, delta and
+percent change. Rows whose |pct| exceeds --threshold are marked with `!`
+(and with --gate make the exit status nonzero — by default the report is
+informational, for the non-gating CI step).
+
+  tools/bench_diff.py old/BENCH_sim.json new/BENCH_sim.json
+  tools/bench_diff.py --threshold 10 --gate old.json new.json
+
+Exit status: 0 normally; 1 only with --gate and a regression; 2 on bad
+input. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+# Numeric fields that identify a cell rather than measure it: they join
+# the row key and are excluded from the diff.
+IDENTITY_FIELDS = {
+    "size", "threads", "shards", "providers", "hosts", "chunk_bytes",
+    "window", "rounds", "trainers", "partitions", "round",
+}
+# Non-numeric fields that are measurements (digests pin determinism):
+# report changes, but never as a percent regression.
+TEXT_MEASUREMENTS = {"fingerprint", "digest", "agg_hash", "aggregate_hash"}
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def row_key(obj, fallback):
+    """A stable label for one dict row: its identifying scalars."""
+    parts = []
+    for k in sorted(obj):
+        v = obj[k]
+        if isinstance(v, str) and k not in TEXT_MEASUREMENTS:
+            parts.append(f"{k}={v}")
+        elif isinstance(v, bool) or (is_num(v) and k in IDENTITY_FIELDS):
+            parts.append(f"{k}={v}")
+    return ",".join(parts) if parts else fallback
+
+
+def flatten(node, prefix, out):
+    """path -> value for every numeric or text-measurement leaf."""
+    if isinstance(node, dict):
+        for k in sorted(node):
+            v = node[k]
+            path = f"{prefix}.{k}" if prefix else k
+            if is_num(v) and k not in IDENTITY_FIELDS:
+                out[path] = v
+            elif isinstance(v, str) and k in TEXT_MEASUREMENTS:
+                out[path] = v
+            elif isinstance(v, (dict, list)):
+                flatten(v, path, out)
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            if isinstance(v, dict):
+                label = row_key(v, f"[{i}]")
+                flatten(v, f"{prefix}[{label}]", out)
+            elif isinstance(v, (dict, list)):
+                flatten(v, f"{prefix}[{i}]", out)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    out = {}
+    flatten(doc, "", out)
+    if not out:
+        sys.exit(f"bench_diff: no numeric leaves found in {path}")
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("old", help="baseline BENCH_*.json")
+    ap.add_argument("new", help="candidate BENCH_*.json")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=5.0,
+        help="mark rows whose |pct change| exceeds this (default 5%%)",
+    )
+    ap.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 1 when any row exceeds the threshold (default: report only)",
+    )
+    ap.add_argument(
+        "--filter",
+        default="",
+        help="only show paths containing this substring",
+    )
+    args = ap.parse_args()
+
+    old, new = load(args.old), load(args.new)
+    paths = sorted(set(old) | set(new))
+    if args.filter:
+        paths = [p for p in paths if args.filter in p]
+
+    flagged = 0
+    width = max((len(p) for p in paths), default=4)
+    print(f"{'metric':<{width}} {'old':>14} {'new':>14} {'delta':>12} {'pct':>8}")
+    for p in paths:
+        a, b = old.get(p), new.get(p)
+        if a is None or b is None:
+            side = "only in new" if a is None else "only in old"
+            print(f"{p:<{width}} {side:>14}")
+            continue
+        if isinstance(a, str) or isinstance(b, str):
+            if a != b:
+                print(f"{p:<{width}} {str(a):>14} {str(b):>14} {'changed':>12} {'':>8}")
+            continue
+        delta = b - a
+        pct = 100.0 * delta / a if a else (0.0 if not delta else float("inf"))
+        mark = " !" if abs(pct) > args.threshold else ""
+        if mark:
+            flagged += 1
+        print(f"{p:<{width}} {a:>14.6g} {b:>14.6g} {delta:>+12.6g} {pct:>+7.1f}%{mark}")
+
+    print(
+        f"\n{len(paths)} metrics compared, {flagged} beyond ±{args.threshold:g}%"
+        + (" (gating)" if args.gate else " (informational)")
+    )
+    return 1 if args.gate and flagged else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -123,9 +123,15 @@ def check_slos(scn_path, jsonl_path):
     return failures
 
 
+# cp_* fields only appear on traced runs; untraced pairs compare them as
+# None == None, so the fingerprint stays backward-compatible. On traced
+# pairs they additionally pin the critical-path analysis to be
+# deterministic (byte-identical blame attribution run over run).
 FINGERPRINT = ("round", "aggregate_hash", "round_complete", "partitions_complete",
                "crashes", "restarts", "transfers_dropped", "payloads_corrupted",
-               "transfers_jittered")
+               "transfers_jittered", "cp_total_ns", "cp_train_ns", "cp_crypto_ns",
+               "cp_wire_ns", "cp_queue_ns", "cp_stale_ns", "cp_merge_ns",
+               "cp_segments")
 
 
 def check_identical(a_path, b_path):

@@ -16,7 +16,15 @@ links this repo's exporter promises:
     attributed to a protocol span (background replication is legitimately
     unattributed);
   - every flow start ("ph":"s") pairs with a flow finish ("ph":"f") of the
-    same id, and vice versa.
+    same id, and vice versa;
+  - the trace is complete: otherData.dropped_spans / dropped_wires are 0
+    (a truncated trace silently breaks every downstream analysis);
+  - with --metrics: the round JSONL's cp_* critical-path fields are
+    present on every round and the category durations sum exactly to
+    cp_total_ns (the analysis partitions the round interval);
+  - with --timeseries: the time-series JSONL is well-formed — monotonic
+    t_ms, consecutive sample indices, counters/deltas/gauges/histograms
+    objects present, and counter deltas consistent between lines.
 
 Exit status 0 = all checks passed. Stdlib only.
 """
@@ -46,6 +54,15 @@ def main():
         action="store_true",
         help="require chunk_xfer wire slices attributed to protocol spans",
     )
+    ap.add_argument(
+        "--metrics",
+        help="round JSONL (dflsim --metrics-out) whose cp_* critical-path "
+        "fields must be present and internally consistent",
+    )
+    ap.add_argument(
+        "--timeseries",
+        help="time-series JSONL (dflsim --metrics-period) to validate",
+    )
     args = ap.parse_args()
 
     with open(args.trace, "r", encoding="utf-8") as f:
@@ -59,6 +76,14 @@ def main():
     if not isinstance(events, list) or not events:
         print("FAIL: no traceEvents array")
         return 1
+
+    # A truncated trace is not a smaller trace — it is a wrong trace:
+    # critical-path analysis and attribution checks would silently pass on
+    # whatever survived the cap. Refuse it outright.
+    other = doc.get("otherData", {})
+    for key in ("dropped_spans", "dropped_wires"):
+        if other.get(key, 0):
+            err(f"trace truncated: otherData.{key} = {other[key]} (raise the cap)")
 
     spans = []  # ph:X cat:span
     wires = []  # ph:X cat:wire
@@ -174,6 +199,77 @@ def main():
         if fid not in flow_starts:
             err(f"flow id {fid}: finish without start")
 
+    cp_rounds = 0
+    if args.metrics:
+        cp_keys = [
+            "cp_train_ns",
+            "cp_crypto_ns",
+            "cp_wire_ns",
+            "cp_queue_ns",
+            "cp_stale_ns",
+            "cp_merge_ns",
+        ]
+        with open(args.metrics, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                if not line.strip():
+                    continue
+                row = json.loads(line)
+                missing = [k for k in ["cp_total_ns"] + cp_keys if k not in row]
+                if missing:
+                    err(f"{args.metrics}:{lineno}: missing {missing}")
+                    continue
+                total = row["cp_total_ns"]
+                cat_sum = sum(row[k] for k in cp_keys)
+                # The analysis partitions the round interval exactly; allow
+                # the acceptance bound of 1% for forward compatibility.
+                if total > 0 and abs(cat_sum - total) > total * 0.01:
+                    err(
+                        f"{args.metrics}:{lineno}: cp categories sum to "
+                        f"{cat_sum}, round span is {total}"
+                    )
+                if row.get("cp_segments", 0) <= 0 and total > 0:
+                    err(f"{args.metrics}:{lineno}: empty critical path")
+                cp_rounds += 1
+        if cp_rounds == 0:
+            err(f"{args.metrics}: no rounds with critical-path fields")
+
+    ts_samples = 0
+    if args.timeseries:
+        prev_t = None
+        prev_counters = {}
+        with open(args.timeseries, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                if not line.strip():
+                    continue
+                row = json.loads(line)
+                for key in ("t_ms", "sample", "counters", "deltas", "gauges", "histograms"):
+                    if key not in row:
+                        err(f"{args.timeseries}:{lineno}: missing {key}")
+                if row.get("sample") != ts_samples:
+                    err(
+                        f"{args.timeseries}:{lineno}: sample index "
+                        f"{row.get('sample')} != {ts_samples}"
+                    )
+                t = row.get("t_ms", 0)
+                if prev_t is not None and t <= prev_t:
+                    err(f"{args.timeseries}:{lineno}: t_ms not increasing")
+                for name, value in row.get("deltas", {}).items():
+                    expect = row.get("counters", {}).get(name, 0) - prev_counters.get(name, 0)
+                    if expect >= 0 and value != expect:
+                        err(
+                            f"{args.timeseries}:{lineno}: delta {name}={value} "
+                            f"but counters moved by {expect}"
+                        )
+                for name, h in row.get("histograms", {}).items():
+                    for field in ("count", "sum", "p50", "p90", "p99"):
+                        if field not in h:
+                            err(f"{args.timeseries}:{lineno}: histogram {name} missing {field}")
+                prev_t = t
+                prev_counters = row.get("counters", {})
+                ts_samples += 1
+        if ts_samples == 0:
+            err(f"{args.timeseries}: no samples")
+
     if errors:
         for e in errors[:20]:
             print(f"FAIL: {e}")
@@ -181,10 +277,15 @@ def main():
             print(f"... and {len(errors) - 20} more")
         return 1
 
+    extras = ""
+    if args.metrics:
+        extras += f", {cp_rounds} critical-path rounds"
+    if args.timeseries:
+        extras += f", {ts_samples} time-series samples"
     print(
         f"OK: {len(spans)} spans ({len(names)} names), {len(wires)} wire slices "
         f"({attributed} attributed, {chunk_total} chunked), "
-        f"{sum(flow_starts.values())} flow arrows"
+        f"{sum(flow_starts.values())} flow arrows" + extras
     )
     return 0
 

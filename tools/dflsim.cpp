@@ -22,6 +22,7 @@
 #include "crypto/sha256.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sim/scenario.hpp"
 
@@ -81,7 +82,14 @@ void usage() {
       "  --trace-out FILE    write a Chrome/Perfetto trace_event JSON of the run\n"
       "  --metrics-out FILE  append one JSONL metrics snapshot per round\n"
       "                      (with a scenario: adds round_complete, aggregate_hash\n"
-      "                      and fault counters for tools/check_scenario.py)\n"
+      "                      and fault counters for tools/check_scenario.py;\n"
+      "                      with --trace-out: adds cp_* critical-path fields)\n"
+      "  --metrics-period S  sample the metrics registry every S simulated\n"
+      "                      seconds into a time-series JSONL (never perturbs\n"
+      "                      the simulation; results stay bit-identical)\n"
+      "  --timeseries-out F  time-series JSONL path (default timeseries.jsonl)\n"
+      "  --prom-out FILE     write a Prometheus text exposition of the final\n"
+      "                      registry state at exit\n"
       "engine:\n"
       "  --shards K          event-engine shards (default $DFL_SHARDS or 1);\n"
       "                      K>1 runs lookahead windows, results bit-identical\n"
@@ -132,6 +140,9 @@ int main(int argc, char** argv) {
   int rounds = -1;                 // -1 = scenario suggestion, else 1
   std::string trace_out;
   std::string metrics_out;
+  std::string timeseries_out;
+  std::string prom_out;
+  double metrics_period_s = 0;
 
   // Pass 1: the scenario file seeds the config, so every explicit CLI
   // flag parsed afterwards overrides the file.
@@ -276,6 +287,16 @@ int main(int argc, char** argv) {
       trace_out = next();
     } else if (a == "--metrics-out") {
       metrics_out = next();
+    } else if (a == "--metrics-period") {
+      metrics_period_s = next_double();
+      if (metrics_period_s <= 0) {
+        std::fprintf(stderr, "--metrics-period must be positive (seconds)\n");
+        return 2;
+      }
+    } else if (a == "--timeseries-out") {
+      timeseries_out = next();
+    } else if (a == "--prom-out") {
+      prom_out = next();
     } else if (a == "--seed") {
       cfg.seed = next_u64();
     } else if (a == "--verbose") {
@@ -363,6 +384,18 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  std::ofstream timeseries_stream;
+  std::unique_ptr<obs::TimeSeriesWriter> sampler;
+  if (metrics_period_s > 0) {
+    if (timeseries_out.empty()) timeseries_out = "timeseries.jsonl";
+    timeseries_stream.open(timeseries_out);
+    if (!timeseries_stream) {
+      std::fprintf(stderr, "cannot open %s for writing\n", timeseries_out.c_str());
+      return 1;
+    }
+    sampler = std::make_unique<obs::TimeSeriesWriter>(timeseries_stream);
+    d.enable_metrics_sampling(*sampler, sim::from_seconds(metrics_period_s));
+  }
   if (cfg.options.codec != core::Codec::kDense || cfg.options.async_rounds) {
     std::printf("payload codec: %s", core::codec_name(cfg.options.codec));
     if (cfg.options.codec == core::Codec::kQuant)
@@ -395,22 +428,44 @@ int main(int argc, char** argv) {
     crypto_total.batch_verifies += m.crypto.batch_verifies;
     crypto_total.committed_elements += m.crypto.committed_elements;
     if (metrics_stream.is_open()) {
-      obs::write_metrics_jsonl(
-          metrics_stream, obs::Registry::global().snapshot(),
-          {{"round", r},
-           {"round_start_ms", static_cast<std::int64_t>(m.round_start / 1000000)},
-           {"round_complete", m.global_update_complete ? 1 : 0},
-           {"partitions_complete", static_cast<std::int64_t>(m.partitions_complete)},
-           {"partitions_total", static_cast<std::int64_t>(m.partitions_total)},
-           {"round_ms", static_cast<std::int64_t>(round_s >= 0 ? round_s * 1e3 : -1)},
-           {"aggregate_hash", aggregate_hash(aggregate)},
-           {"crashes", static_cast<std::int64_t>(m.faults.crashes)},
-           {"restarts", static_cast<std::int64_t>(m.faults.restarts)},
-           {"transfers_dropped", static_cast<std::int64_t>(m.faults.transfers_dropped)},
-           {"payloads_corrupted", static_cast<std::int64_t>(m.faults.payloads_corrupted)},
-           {"transfers_jittered", static_cast<std::int64_t>(m.faults.transfers_jittered)},
-           {"shards", static_cast<std::int64_t>(m.sharding.shards)},
-           {"windows", static_cast<std::int64_t>(m.sharding.windows)}});
+      std::vector<std::pair<std::string, std::int64_t>> extra = {
+          {"round", r},
+          {"round_start_ms", static_cast<std::int64_t>(m.round_start / 1000000)},
+          {"round_complete", m.global_update_complete ? 1 : 0},
+          {"partitions_complete", static_cast<std::int64_t>(m.partitions_complete)},
+          {"partitions_total", static_cast<std::int64_t>(m.partitions_total)},
+          {"round_ms", static_cast<std::int64_t>(round_s >= 0 ? round_s * 1e3 : -1)},
+          {"aggregate_hash", aggregate_hash(aggregate)},
+          {"crashes", static_cast<std::int64_t>(m.faults.crashes)},
+          {"restarts", static_cast<std::int64_t>(m.faults.restarts)},
+          {"transfers_dropped", static_cast<std::int64_t>(m.faults.transfers_dropped)},
+          {"payloads_corrupted", static_cast<std::int64_t>(m.faults.payloads_corrupted)},
+          {"transfers_jittered", static_cast<std::int64_t>(m.faults.transfers_jittered)},
+          {"shards", static_cast<std::int64_t>(m.sharding.shards)},
+          {"windows", static_cast<std::int64_t>(m.sharding.windows)}};
+      if (m.critical_path.analyzed) {
+        const core::CriticalPathRecord& cp = m.critical_path;
+        extra.insert(extra.end(),
+                     {{"cp_total_ns", cp.total_ns},
+                      {"cp_train_ns", cp.train_ns},
+                      {"cp_crypto_ns", cp.crypto_ns},
+                      {"cp_wire_ns", cp.wire_ns},
+                      {"cp_queue_ns", cp.queue_ns},
+                      {"cp_stale_ns", cp.stale_ns},
+                      {"cp_merge_ns", cp.merge_ns},
+                      {"cp_segments", static_cast<std::int64_t>(cp.segments)}});
+      }
+      if (!m.slo_breaches.empty()) {
+        extra.emplace_back("slo_breaches",
+                           static_cast<std::int64_t>(m.slo_breaches.size()));
+      }
+      obs::write_metrics_jsonl(metrics_stream, obs::Registry::global().snapshot(), extra);
+    }
+    for (const core::SloBreach& b : m.slo_breaches) {
+      std::printf("        SLO breach: round %d %s (%.3f vs bound %.3f)%s%s\n", r,
+                  b.key.c_str(), b.actual, b.bound,
+                  b.attribution.empty() ? "" : " — critical path ",
+                  b.attribution.c_str());
     }
   };
   if (cfg.options.async_rounds) {
@@ -428,6 +483,16 @@ int main(int argc, char** argv) {
     for (int r = 0; r < rounds; ++r) {
       report(r, d.run_round(static_cast<std::uint32_t>(r)), d.last_global_update());
     }
+  }
+  // End-of-run SLO clauses (mins and aggregate rates), evaluated in-engine
+  // with the same semantics as tools/check_scenario.py.
+  for (const core::SloBreach& b : d.finalize_slos()) {
+    std::printf("SLO breach: run %s (%.3f vs bound %.3f)\n", b.key.c_str(), b.actual,
+                b.bound);
+  }
+  if (d.slo() != nullptr) {
+    std::printf("slo: %llu breach(es) across the run\n",
+                static_cast<unsigned long long>(d.slo()->breaches_total()));
   }
   if (!trace_out.empty()) {
     std::ofstream trace_stream(trace_out);
@@ -469,5 +534,19 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.verifications_failed));
   }
   std::printf("\n");
+
+  if (sampler) {
+    std::printf("time-series: %zu samples (every %.1f sim-s) -> %s\n", sampler->samples(),
+                metrics_period_s, timeseries_out.c_str());
+  }
+  if (!prom_out.empty()) {
+    std::ofstream prom_stream(prom_out);
+    if (!prom_stream) {
+      std::fprintf(stderr, "cannot open %s for writing\n", prom_out.c_str());
+      return 1;
+    }
+    obs::write_prometheus(prom_stream, obs::Registry::global().snapshot());
+    std::printf("prometheus exposition -> %s\n", prom_out.c_str());
+  }
   return 0;
 }

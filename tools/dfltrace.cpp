@@ -5,6 +5,10 @@
 //
 //   dfltrace --trainers 16 --providers 4 --merge
 //   dfltrace --rounds 3 --csv        # machine-readable multi-round report
+//   dfltrace --critical-path         # per-round blame breakdown: which
+//                                    # category (train/crypto/wire/queue/
+//                                    # stale/merge) and which host the
+//                                    # round's duration was spent on
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -13,6 +17,9 @@
 #include <vector>
 
 #include "core/runner.hpp"
+#include "core/trace_export.hpp"
+#include "obs/analysis.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -37,6 +44,7 @@ int main(int argc, char** argv) {
   std::string dump_host;
   int rounds = 1;
   bool csv = false;
+  bool critical_path = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -67,6 +75,8 @@ int main(int argc, char** argv) {
       rounds = static_cast<int>(v);
     } else if (a == "--csv") {
       csv = true;
+    } else if (a == "--critical-path") {
+      critical_path = true;
     } else if (a == "--dump") {
       dump_host = next();
     } else {
@@ -80,8 +90,26 @@ int main(int argc, char** argv) {
   // Multi-round runs outgrow the default ring: keep every record so the
   // utilization report covers the whole run, not the newest window.
   d.context().net.set_trace_limit(static_cast<std::size_t>(1) << 20);
+  if (critical_path) {
+    // The blame analysis walks protocol spans, not just wire records; raise
+    // the span cap in step with the transfer ring so multi-round runs never
+    // truncate (a truncated trace would silently misattribute).
+    obs::set_tracing(true);
+    obs::Tracer::instance().set_span_limit(static_cast<std::size_t>(1) << 20);
+  }
   for (int r = 0; r < rounds; ++r) {
     (void)d.run_round(static_cast<std::uint32_t>(r));
+  }
+
+  obs::Analysis analysis;
+  std::map<std::string, std::int64_t> host_cp_ns;  // across all rounds
+  if (critical_path) {
+    core::name_host_tracks(d.context().net);
+    analysis = obs::analyze_critical_paths(obs::Tracer::instance().snapshot(),
+                                           core::wire_slices(d.context().net));
+    for (const obs::RoundCriticalPath& rcp : analysis.rounds) {
+      for (const auto& [host, ns] : rcp.host_ns) host_cp_ns[host] += ns;
+    }
   }
   const auto& trace = d.context().net.trace();
   // Utilization denominator: the whole traced window (all rounds).
@@ -106,14 +134,25 @@ int main(int argc, char** argv) {
 
   if (csv) {
     // Machine-readable per-host report; one row per host, stable columns.
-    std::printf("host,out_bytes,in_bytes,up_util_pct,down_util_pct,sends\n");
+    // --critical-path appends each host's share of the rounds' critical
+    // paths (ns on the path and percent of total simulated time).
+    std::printf("host,out_bytes,in_bytes,up_util_pct,down_util_pct,sends%s\n",
+                critical_path ? ",cp_ns,cp_pct" : "");
     for (const auto& [id, u] : use) {
-      std::printf("%s,%llu,%llu,%.3f,%.3f,%llu\n", d.context().net.host(id).name().c_str(),
+      const std::string& name = d.context().net.host(id).name();
+      std::printf("%s,%llu,%llu,%.3f,%.3f,%llu", name.c_str(),
                   static_cast<unsigned long long>(u.bytes_out),
                   static_cast<unsigned long long>(u.bytes_in),
                   100.0 * sim::to_seconds(u.busy_out) / round_s,
                   100.0 * sim::to_seconds(u.busy_in) / round_s,
                   static_cast<unsigned long long>(u.transfers));
+      if (critical_path) {
+        const auto it = host_cp_ns.find(name);
+        const std::int64_t ns = it == host_cp_ns.end() ? 0 : it->second;
+        std::printf(",%lld,%.3f", static_cast<long long>(ns),
+                    100.0 * sim::to_seconds(ns) / round_s);
+      }
+      std::printf("\n");
     }
     return 0;
   }
@@ -182,6 +221,47 @@ int main(int argc, char** argv) {
       std::printf("%9.3f %9.3f %-14s %-14s %10.1f %-18s %5d\n", sim::to_seconds(r.start),
                   sim::to_seconds(r.delivered), fn.c_str(), tn.c_str(),
                   static_cast<double>(r.wire_bytes) / 1e3, root, r.dag_leaf);
+    }
+  }
+  if (critical_path) {
+    const auto& tracks = obs::Tracer::instance().snapshot().tracks;
+    auto track_name = [&](std::uint32_t track) -> std::string {
+      const auto it = tracks.find(track);
+      if (it != tracks.end()) return it->second;
+      if (track == obs::kProcessTrack) return "rounds";
+      return "track-" + std::to_string(track);
+    };
+    std::printf("\ncritical path (%zu round%s analyzed):\n", analysis.rounds.size(),
+                analysis.rounds.size() == 1 ? "" : "s");
+    for (const obs::RoundCriticalPath& rcp : analysis.rounds) {
+      const double total = static_cast<double>(rcp.total_ns());
+      if (total <= 0) continue;
+      std::printf("round %u: %.3f s —", rcp.iter, sim::to_seconds(rcp.total_ns()));
+      for (std::size_t b = 0; b < obs::kBlameCount; ++b) {
+        std::printf(" %s %.1f%%", obs::blame_name(static_cast<obs::Blame>(b)),
+                    100.0 * static_cast<double>(rcp.blame_ns[b]) / total);
+      }
+      std::printf("\n  top hosts:");
+      for (std::size_t h = 0; h < rcp.host_ns.size() && h < 3; ++h) {
+        std::printf("%s %s %.3f s (%.0f%%)", h == 0 ? "" : ",",
+                    rcp.host_ns[h].first.c_str(), sim::to_seconds(rcp.host_ns[h].second),
+                    100.0 * static_cast<double>(rcp.host_ns[h].second) / total);
+      }
+      // The slowest-edge chain: the path's longest individual segments are
+      // the concrete spans/transfers to attack first.
+      std::vector<const obs::CriticalSegment*> slowest;
+      for (const obs::CriticalSegment& s : rcp.segments) slowest.push_back(&s);
+      std::stable_sort(slowest.begin(), slowest.end(),
+                       [](const obs::CriticalSegment* a, const obs::CriticalSegment* b) {
+                         return a->duration_ns() > b->duration_ns();
+                       });
+      std::printf("\n  slowest segments:\n");
+      for (std::size_t s = 0; s < slowest.size() && s < 5; ++s) {
+        std::printf("    %9.3f s  %-10s %-12s on %s\n",
+                    sim::to_seconds(slowest[s]->duration_ns()),
+                    obs::blame_name(slowest[s]->blame), slowest[s]->name,
+                    track_name(slowest[s]->track).c_str());
+      }
     }
   }
   std::printf("\nhighest down_util%% marks the bottleneck pipe of this deployment\n");
